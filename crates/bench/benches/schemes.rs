@@ -1,0 +1,38 @@
+//! Criterion bench behind Figs. 5–8: end-to-end plan execution of Q7 under
+//! each optimization scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wf_bench::experiments::Harness;
+use wf_bench::{paper_mb_to_blocks, queries};
+use wf_core::cost::TableStats;
+use wf_core::planner::{optimize, Scheme};
+use wf_core::runtime::{execute_plan, ExecEnv};
+
+fn bench_schemes(c: &mut Criterion) {
+    let h = Harness { rows: 20_000 };
+    let cfg = h.ws_config();
+    let table = cfg.generate();
+    let stats = TableStats::from_table(&table);
+    let query = queries::q7(&cfg);
+    let m = paper_mb_to_blocks(50.0, table.block_count());
+
+    let mut group = c.benchmark_group("q7_schemes");
+    group.sample_size(10);
+    for scheme in [Scheme::Cso, Scheme::Bfo, Scheme::Orcl, Scheme::Psql] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |bench, &scheme| {
+                bench.iter(|| {
+                    let env = ExecEnv::with_memory_blocks(m);
+                    let plan = optimize(&query, &stats, scheme, &env).unwrap();
+                    execute_plan(&plan, &table, &env).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

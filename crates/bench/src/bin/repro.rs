@@ -1,0 +1,88 @@
+//! `repro` — regenerate every figure and table of "Optimization of Analytic
+//! Window Functions" (VLDB 2012).
+//!
+//! ```sh
+//! cargo run --release -p wf-bench --bin repro -- all
+//! cargo run --release -p wf-bench --bin repro -- fig3 --rows 400000
+//! ```
+//!
+//! Results print as aligned tables and are written as CSV under `results/`.
+
+use wf_bench::experiments::{
+    run_ablate_hs, run_ablate_ss, run_fig3, run_fig4, run_integrated, run_parallel,
+    run_queries, run_query_experiment, run_table11, Harness,
+};
+use wf_bench::queries;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment> [--rows N]\n\
+         experiments:\n\
+           fig3      FS vs HS micro-benchmark (Q1/Q2/Q3, Fig. 3)\n\
+           fig4      SS vs FS/HS on sorted/grouped inputs (Q4/Q5, Fig. 4)\n\
+           q6|q7|q8|q9  plans + times per scheme (Tables 4/6/8/10, Figs. 5-8)\n\
+           queries   q6..q9 in one go\n\
+           table11   optimizer overheads (Table 11)\n\
+           ablate-hs HS MFV optimization ablation\n\
+           ablate-ss SS unit-count ablation\n\
+           parallel  §3.5 parallel speedup\n\
+           integrated  §5 GROUP-BY-variant integration\n\
+           all       everything above\n\
+         options:\n\
+           --rows N  table size (default 200000; paper ratio-preserving)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut rows = 200_000usize;
+    let mut cmd: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => {
+                i += 1;
+                rows = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            c if cmd.is_none() => cmd = Some(c.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let h = Harness { rows };
+    let cfg = h.ws_config();
+    let started = std::time::Instant::now();
+    match cmd.as_deref() {
+        Some("fig3") => run_fig3(&h),
+        Some("fig4") => run_fig4(&h),
+        Some("q6") => run_query_experiment("q6", &queries::q6(&cfg), &h, true),
+        Some("q7") => run_query_experiment("q7", &queries::q7(&cfg), &h, false),
+        Some("q8") => run_query_experiment("q8", &queries::q8(&cfg), &h, false),
+        Some("q9") => run_query_experiment("q9", &queries::q9(&cfg), &h, false),
+        Some("queries") => run_queries(&h),
+        Some("table11") => run_table11(&h),
+        Some("ablate-hs") => run_ablate_hs(&h),
+        Some("ablate-ss") => run_ablate_ss(&h),
+        Some("parallel") => run_parallel(&h),
+        Some("integrated") => run_integrated(&h),
+        Some("all") => {
+            run_fig3(&h);
+            run_fig4(&h);
+            run_queries(&h);
+            run_table11(&h);
+            run_integrated(&h);
+            run_ablate_hs(&h);
+            run_ablate_ss(&h);
+            run_parallel(&h);
+        }
+        _ => usage(),
+    }
+    eprintln!("\n(total harness time: {:.1?})", started.elapsed());
+}

@@ -1,0 +1,115 @@
+//! Table printing and CSV output for the repro harness.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple column-aligned table that also serializes to CSV.
+pub struct ReportTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ReportTable {
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        ReportTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("## {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and save under `results/<slug>.csv`.
+    pub fn emit(&self, slug: &str) {
+        println!("{}", self.render());
+        if let Err(e) = self.write_csv(slug) {
+            eprintln!("(could not write results/{slug}.csv: {e})");
+        }
+    }
+
+    fn write_csv(&self, slug: &str) -> std::io::Result<()> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let mut csv = String::new();
+        csv.push_str(&self.header.join(","));
+        csv.push('\n');
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            csv.push_str(&escaped.join(","));
+            csv.push('\n');
+        }
+        fs::write(dir.join(format!("{slug}.csv")), csv)
+    }
+}
+
+/// Format milliseconds compactly.
+pub fn ms(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.1}s", v / 1000.0)
+    } else {
+        format!("{v:.1}ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = ReportTable::new("demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(12.34), "12.3ms");
+        assert_eq!(ms(2500.0), "2.5s");
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by the wfopt engine.
+///
+/// The engine is deliberately panic-free on user input: malformed queries,
+/// schema mismatches and resource misconfiguration all surface as `Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A name could not be resolved against a schema.
+    UnknownAttribute(String),
+    /// A value had a different type than the operation required.
+    TypeMismatch { expected: String, found: String },
+    /// The schema of a row did not match the expected schema.
+    SchemaMismatch(String),
+    /// Query is syntactically or semantically invalid.
+    InvalidQuery(String),
+    /// An execution-time invariant was violated (e.g. an unmatched window
+    /// evaluation reached the executor).
+    Execution(String),
+    /// Resource configuration problem (e.g. a zero-block sort budget).
+    Resource(String),
+    /// Planner could not produce a plan under the requested constraints.
+    Planning(String),
+    /// SQL parse error with a byte offset into the input.
+    Parse { offset: usize, message: String },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Error::Execution(msg) => write!(f, "execution error: {msg}"),
+            Error::Resource(msg) => write!(f, "resource error: {msg}"),
+            Error::Planning(msg) => write!(f, "planning error: {msg}"),
+            Error::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            Error::UnknownAttribute("x".into()).to_string(),
+            "unknown attribute `x`"
+        );
+        assert_eq!(
+            Error::TypeMismatch { expected: "Int".into(), found: "Str".into() }.to_string(),
+            "type mismatch: expected Int, found Str"
+        );
+        assert_eq!(
+            Error::Parse { offset: 3, message: "bad token".into() }.to_string(),
+            "parse error at byte 3: bad token"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Execution("boom".into()));
+    }
+}

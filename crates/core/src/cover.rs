@@ -1,0 +1,564 @@
+//! Cover sets and covering permutations (paper §4.2, Def. 4, Thms. 5 & 7).
+//!
+//! A set of window functions `W` is a *cover set* when some member `wf_c`
+//! admits a key `γ = perm(WPK_c) ∘ WOK_c` such that every other member's
+//! `perm(WPK_i) ∘ WOK_i` is a prefix of `γ`. Once the input is reordered to
+//! match `wf_c` on `γ`, the whole cover set evaluates with no further
+//! reordering (Thm. 7 / Cor. 1).
+//!
+//! The technical core is [`KeyPattern`]: a partially determined sort key —
+//! a sequence of *fixed elements* (attribute + direction), *fixed
+//! attributes* (position pinned, direction still free) and *free chunks*
+//! (a set of attributes whose internal order is still undecided). Each
+//! covered function contributes the constraint "positions `0..p_i` are
+//! exactly `WPK_i` in some order, then `WOK_i` follows element-wise";
+//! constraint merging is exact, so a successful merge *is* a proof that the
+//! set is a cover set, and linearization yields a concrete covering
+//! permutation. `θ(P)` prefixes (§4.5) merge through the same machinery.
+//!
+//! Minimum cover-set partitioning is NP-hard (Thm. 6, vertex coloring); the
+//! greedy here processes functions by decreasing key length and joins the
+//! accepting builder with the shortest covering key (tightest fit), which
+//! reproduces the paper's partitions on Q6–Q9.
+
+use crate::spec::WindowSpec;
+use wf_common::{AttrId, AttrSet, OrdElem, SortSpec};
+
+/// One position-range of a partially determined sort key.
+#[derive(Debug, Clone, PartialEq)]
+enum Slot {
+    /// Fully determined element.
+    Fixed(OrdElem),
+    /// Attribute pinned to this position, direction still free.
+    FixedAttr(AttrId),
+    /// A set of attributes occupying the next `|set|` positions in any
+    /// order, directions free.
+    Free(AttrSet),
+}
+
+impl Slot {
+    fn len(&self) -> usize {
+        match self {
+            Slot::Fixed(_) | Slot::FixedAttr(_) => 1,
+            Slot::Free(s) => s.len(),
+        }
+    }
+}
+
+/// A partially determined covering key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyPattern {
+    slots: Vec<Slot>,
+}
+
+/// One element of a `θ` prefix: attribute with an optional pinned
+/// direction (directions are pinned when the element came from a `WOK`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaElem {
+    pub attr: AttrId,
+    pub elem: Option<OrdElem>,
+}
+
+impl ThetaElem {
+    /// Direction-free element.
+    pub fn free(attr: AttrId) -> Self {
+        ThetaElem { attr, elem: None }
+    }
+
+    /// Direction-pinned element.
+    pub fn fixed(e: OrdElem) -> Self {
+        ThetaElem { attr: e.attr, elem: Some(e) }
+    }
+}
+
+impl KeyPattern {
+    /// The pattern of all keys `perm(WPK) ∘ WOK` of `wf`.
+    pub fn for_spec(wf: &WindowSpec) -> Self {
+        let mut slots = Vec::new();
+        if !wf.wpk().is_empty() {
+            slots.push(Slot::Free(wf.wpk().clone()));
+        }
+        slots.extend(wf.wok().elems().iter().map(|e| Slot::Fixed(*e)));
+        KeyPattern { slots }
+    }
+
+    /// Total key length.
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(Slot::len).sum()
+    }
+
+    /// True when the pattern has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Merge the covering constraint of `wf`: the prefix of this key must
+    /// realize `perm(WPK) ∘ WOK`. Returns `false` (leaving `self` possibly
+    /// partially modified — callers work on clones) when incompatible.
+    #[must_use]
+    pub fn constrain_cover(&mut self, wpk: &AttrSet, wok: &[OrdElem]) -> bool {
+        // Phase A: the first |WPK| positions must be exactly WPK.
+        let mut budget = wpk.clone();
+        let mut i = 0usize;
+        while !budget.is_empty() {
+            let Some(slot) = self.slots.get_mut(i) else { return false };
+            match slot {
+                Slot::Fixed(e) => {
+                    if !budget.remove(e.attr) {
+                        return false;
+                    }
+                    i += 1;
+                }
+                Slot::FixedAttr(a) => {
+                    if !budget.remove(*a) {
+                        return false;
+                    }
+                    i += 1;
+                }
+                Slot::Free(s) => {
+                    let inter = s.intersect(&budget);
+                    if inter.is_empty() {
+                        return false;
+                    }
+                    if inter.len() == s.len() {
+                        for a in s.iter() {
+                            budget.remove(a);
+                        }
+                        i += 1;
+                    } else {
+                        // Pull the WPK attrs to the front of the free chunk.
+                        let rest = s.difference(&inter);
+                        for a in inter.iter() {
+                            budget.remove(a);
+                        }
+                        *slot = Slot::Free(inter);
+                        self.slots.insert(i + 1, Slot::Free(rest));
+                        i += 1;
+                        // budget must now be empty, else the next slot's
+                        // attrs (∉ WPK) would sit inside the WPK region.
+                    }
+                }
+            }
+        }
+        // Phase B: WOK follows element-wise.
+        for e in wok {
+            let Some(slot) = self.slots.get_mut(i) else { return false };
+            match slot {
+                Slot::Fixed(have) => {
+                    if *have != *e {
+                        return false;
+                    }
+                    i += 1;
+                }
+                Slot::FixedAttr(a) => {
+                    if *a != e.attr {
+                        return false;
+                    }
+                    *slot = Slot::Fixed(*e);
+                    i += 1;
+                }
+                Slot::Free(s) => {
+                    if !s.contains(e.attr) {
+                        return false;
+                    }
+                    let mut rest = s.clone();
+                    rest.remove(e.attr);
+                    *slot = Slot::Fixed(*e);
+                    if !rest.is_empty() {
+                        self.slots.insert(i + 1, Slot::Free(rest));
+                    }
+                    i += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Merge a `θ` prefix constraint: position `j` must hold `theta[j]`.
+    #[must_use]
+    pub fn constrain_theta(&mut self, theta: &[ThetaElem]) -> bool {
+        let mut i = 0usize;
+        for t in theta {
+            let Some(slot) = self.slots.get_mut(i) else { return false };
+            match slot {
+                Slot::Fixed(have) => {
+                    if have.attr != t.attr {
+                        return false;
+                    }
+                    if let Some(e) = t.elem {
+                        if *have != e {
+                            return false;
+                        }
+                    }
+                    i += 1;
+                }
+                Slot::FixedAttr(a) => {
+                    if *a != t.attr {
+                        return false;
+                    }
+                    if let Some(e) = t.elem {
+                        *slot = Slot::Fixed(e);
+                    }
+                    i += 1;
+                }
+                Slot::Free(s) => {
+                    if !s.contains(t.attr) {
+                        return false;
+                    }
+                    let mut rest = s.clone();
+                    rest.remove(t.attr);
+                    *slot = match t.elem {
+                        Some(e) => Slot::Fixed(e),
+                        None => Slot::FixedAttr(t.attr),
+                    };
+                    if !rest.is_empty() {
+                        self.slots.insert(i + 1, Slot::Free(rest));
+                    }
+                    i += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Concrete covering permutation: free regions linearize in canonical
+    /// (ascending attribute id, ascending direction) order.
+    pub fn linearize(&self) -> SortSpec {
+        let mut out: Vec<OrdElem> = Vec::with_capacity(self.len());
+        for slot in &self.slots {
+            match slot {
+                Slot::Fixed(e) => out.push(*e),
+                Slot::FixedAttr(a) => out.push(OrdElem::asc(*a)),
+                Slot::Free(s) => out.extend(s.iter().map(OrdElem::asc)),
+            }
+        }
+        SortSpec::new(out)
+    }
+}
+
+/// A proven cover set over indices into a spec slice.
+#[derive(Debug, Clone)]
+pub struct CoverSet {
+    /// Member indices, evaluation-ordered: covering function first, then
+    /// the rest by decreasing key length (then index).
+    pub members: Vec<usize>,
+    /// Index of the covering function.
+    pub covering: usize,
+    /// The merged pattern; linearizes to a covering permutation.
+    pub pattern: KeyPattern,
+}
+
+impl CoverSet {
+    /// The concrete covering permutation `γ`.
+    pub fn key(&self) -> SortSpec {
+        self.pattern.linearize()
+    }
+}
+
+/// Try to prove that `members` (indices into `specs`) form a cover set,
+/// optionally requiring `theta` to be a prefix of the covering key.
+/// Candidates for the covering function are exactly the members of maximal
+/// key length (a shorter key cannot have a longer prefix).
+pub fn try_cover_set(
+    specs: &[WindowSpec],
+    members: &[usize],
+    theta: Option<&[ThetaElem]>,
+) -> Option<CoverSet> {
+    if members.is_empty() {
+        return None;
+    }
+    let max_len = members.iter().map(|&i| specs[i].key_len()).max().unwrap_or(0);
+    // Covered functions merge in ascending key length for determinism.
+    let mut by_len: Vec<usize> = members.to_vec();
+    by_len.sort_by_key(|&i| (specs[i].key_len(), i));
+
+    for &cand in members.iter().filter(|&&i| specs[i].key_len() == max_len) {
+        let mut pattern = KeyPattern::for_spec(&specs[cand]);
+        if let Some(t) = theta {
+            if !pattern.constrain_theta(t) {
+                continue;
+            }
+        }
+        let ok = by_len
+            .iter()
+            .filter(|&&i| i != cand)
+            .all(|&i| pattern.constrain_cover(specs[i].wpk(), specs[i].wok().elems()));
+        if ok {
+            let mut rest: Vec<usize> = members.iter().copied().filter(|&i| i != cand).collect();
+            rest.sort_by_key(|&i| (std::cmp::Reverse(specs[i].key_len()), i));
+            let mut ordered = vec![cand];
+            ordered.extend(rest);
+            return Some(CoverSet { members: ordered, covering: cand, pattern });
+        }
+    }
+    None
+}
+
+/// Greedy partition of `idxs` into cover sets (heuristic for the NP-hard
+/// minimum partition, Thm. 6). Functions are processed by decreasing key
+/// length; each joins the accepting existing set with the shortest covering
+/// key, else opens a new set. `theta` constrains every produced cover set's
+/// key (used for the first cover set of a prefixable subset).
+pub fn partition_into_cover_sets(
+    specs: &[WindowSpec],
+    idxs: &[usize],
+    theta: Option<&[ThetaElem]>,
+) -> Vec<CoverSet> {
+    let mut order: Vec<usize> = idxs.to_vec();
+    order.sort_by_key(|&i| (std::cmp::Reverse(specs[i].key_len()), i));
+
+    let mut sets: Vec<Vec<usize>> = Vec::new();
+    for &wf in &order {
+        let mut best: Option<(usize, usize)> = None; // (set index, covering len)
+        for (si, members) in sets.iter().enumerate() {
+            let mut trial = members.clone();
+            trial.push(wf);
+            if let Some(cs) = try_cover_set(specs, &trial, theta) {
+                let cover_len = specs[cs.covering].key_len();
+                if best.is_none_or(|(_, l)| cover_len < l) {
+                    best = Some((si, cover_len));
+                }
+            }
+        }
+        match best {
+            Some((si, _)) => sets[si].push(wf),
+            None => sets.push(vec![wf]),
+        }
+    }
+    sets.into_iter()
+        .map(|members| {
+            try_cover_set(specs, &members, theta)
+                .expect("greedy only grows sets it has already proven")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::AttrId;
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+    fn key(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+    }
+    fn wf(wpk: &[usize], wok: &[usize]) -> WindowSpec {
+        WindowSpec::rank("t", wpk.iter().map(|&i| a(i)).collect(), key(wok))
+    }
+
+    /// The covering key must cover every member: prefix check by brute
+    /// force over all permutations of each member's WPK.
+    fn assert_covers(specs: &[WindowSpec], cs: &CoverSet) {
+        let gamma = cs.key();
+        for &m in &cs.members {
+            let s = &specs[m];
+            let n = s.key_len();
+            assert!(gamma.len() >= n, "γ shorter than member key");
+            let head: AttrSet = gamma.elems()[..s.wpk().len()].iter().map(|e| e.attr).collect();
+            assert_eq!(&head, s.wpk(), "γ prefix must be member's WPK");
+            assert_eq!(
+                &gamma.elems()[s.wpk().len()..n],
+                s.wok().elems(),
+                "γ must continue with member's WOK"
+            );
+        }
+    }
+
+    /// Paper Example 8: W = {wf1=({a,b,c},(d)), wf2=({a,b},(c,d)),
+    /// wf3=({a,b},(c))} is a cover set (covering functions wf1 and wf2).
+    #[test]
+    fn example8_cover_set() {
+        let specs = vec![wf(&[0, 1, 2], &[3]), wf(&[0, 1], &[2, 3]), wf(&[0, 1], &[2])];
+        let cs = try_cover_set(&specs, &[0, 1, 2], None).expect("must be a cover set");
+        assert_covers(&specs, &cs);
+        assert_eq!(specs[cs.covering].key_len(), 4);
+        // γ = (a,b,c,d) or (b,a,c,d).
+        let gamma = cs.key();
+        assert_eq!(gamma.len(), 4);
+        assert_eq!(gamma.elems()[2].attr, a(2));
+        assert_eq!(gamma.elems()[3].attr, a(3));
+    }
+
+    #[test]
+    fn incompatible_pair_is_not_a_cover_set() {
+        // ({a},(b)) vs ({a},(c)) — Q6's two functions.
+        let specs = vec![wf(&[0], &[1]), wf(&[0], &[2])];
+        assert!(try_cover_set(&specs, &[0, 1], None).is_none());
+    }
+
+    #[test]
+    fn conflicting_free_region_orders_rejected() {
+        // wfc=({a,b},(c)); wf1=(∅,(a)); wf2=(∅,(b)): pairwise coverable but
+        // not simultaneously.
+        let specs = vec![wf(&[0, 1], &[2]), wf(&[], &[0]), wf(&[], &[1])];
+        assert!(try_cover_set(&specs, &[0, 1], None).is_some());
+        assert!(try_cover_set(&specs, &[0, 2], None).is_some());
+        assert!(try_cover_set(&specs, &[0, 1, 2], None).is_none());
+    }
+
+    #[test]
+    fn directions_must_agree_in_wok_region() {
+        let desc_spec = WindowSpec::rank(
+            "d",
+            vec![a(0)],
+            SortSpec::new(vec![OrdElem::desc(a(1))]),
+        );
+        let asc_spec = wf(&[0], &[1]);
+        let specs = vec![desc_spec, asc_spec];
+        assert!(try_cover_set(&specs, &[0, 1], None).is_none());
+        // But a desc WOK inside another's WPK region is fine:
+        let specs2 = vec![
+            WindowSpec::rank("d", vec![a(0)], SortSpec::new(vec![OrdElem::desc(a(1))])),
+            wf(&[0, 1], &[]),
+        ];
+        let cs = try_cover_set(&specs2, &[0, 1], None).expect("cover set");
+        assert_covers(&specs2, &cs);
+        assert_eq!(cs.key().elems()[1], OrdElem::desc(a(1)));
+    }
+
+    #[test]
+    fn theta_constraint_restricts_key() {
+        // Covering wf = ({a,b},(c)); θ = (b): γ must start with b.
+        let specs = vec![wf(&[0, 1], &[2])];
+        let theta = [ThetaElem::free(a(1))];
+        let cs = try_cover_set(&specs, &[0], Some(&theta)).expect("feasible");
+        assert_eq!(cs.key().elems()[0].attr, a(1));
+        // θ with an attr outside the key is infeasible.
+        let bad = [ThetaElem::free(a(9))];
+        assert!(try_cover_set(&specs, &[0], Some(&bad)).is_none());
+    }
+
+    /// Paper Q7: {wf5, wf4, wf3} form one cover set with covering wf5.
+    /// Attrs: date=0, time=1, ship=2, item=3, bill=4.
+    #[test]
+    fn q7_item_group_single_cover_set() {
+        let specs = vec![
+            wf(&[3], &[]),          // wf3 = ({item}, ε)
+            wf(&[], &[3, 4]),       // wf4 = (∅, (item,bill))
+            wf(&[0, 1, 3, 4], &[2]) // wf5 = ({date,time,item,bill}, (ship))
+        ];
+        let cs = try_cover_set(&specs, &[0, 1, 2], None).expect("cover set");
+        assert_covers(&specs, &cs);
+        assert_eq!(cs.covering, 2);
+        // γ must start (item, bill, ...).
+        let gamma = cs.key();
+        assert_eq!(gamma.elems()[0].attr, a(3));
+        assert_eq!(gamma.elems()[1].attr, a(4));
+        // Evaluation order: covering first.
+        assert_eq!(cs.members[0], 2);
+    }
+
+    /// Paper Q9 item-group: {wf1, wf2, wf3, wf4} partitions into exactly
+    /// {wf2,wf3}, {wf1}, {wf4} (3 cover sets). Attrs: date=0, item=1,
+    /// time=2, bill=3.
+    #[test]
+    fn q9_item_group_partition() {
+        let specs = vec![
+            wf(&[1], &[3, 0]),    // wf1 = ({item},(bill,date))
+            wf(&[1, 2], &[0]),    // wf2 = ({item,time},(date))
+            wf(&[1], &[2]),       // wf3 = ({item},(time))
+            wf(&[], &[1, 0]),     // wf4 = (∅,(item,date))
+        ];
+        let sets = partition_into_cover_sets(&specs, &[0, 1, 2, 3], None);
+        assert_eq!(sets.len(), 3);
+        let mut memberships: Vec<Vec<usize>> = sets
+            .iter()
+            .map(|cs| {
+                let mut m = cs.members.clone();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        memberships.sort();
+        assert_eq!(memberships, vec![vec![0], vec![1, 2], vec![3]]);
+        for cs in &sets {
+            assert_covers(&specs, cs);
+        }
+    }
+
+    /// Q8 time/date-group: greedy must produce {wf5}, {wf1, wf2} — wf2
+    /// joins the *tighter* builder. Attrs: date=0, time=1, ship=2, item=3,
+    /// bill=4.
+    #[test]
+    fn q8_min_slack_join() {
+        let specs = vec![
+            wf(&[0, 1, 2], &[]),    // wf1 = ({date,time,ship}, ε)
+            wf(&[1, 0], &[]),       // wf2 = ({time,date}, ε)
+            wf(&[0, 1, 3], &[4, 2]) // wf5 = ({date,time,item},(bill,ship))
+        ];
+        let sets = partition_into_cover_sets(&specs, &[0, 1, 2], None);
+        assert_eq!(sets.len(), 2);
+        let with_wf2 = sets.iter().find(|cs| cs.members.contains(&1)).unwrap();
+        assert!(with_wf2.members.contains(&0), "wf2 must join wf1, the tighter cover");
+        for cs in &sets {
+            assert_covers(&specs, cs);
+        }
+    }
+
+    #[test]
+    fn singleton_always_cover_set() {
+        let specs = vec![wf(&[0], &[1])];
+        let cs = try_cover_set(&specs, &[0], None).unwrap();
+        assert_eq!(cs.members, vec![0]);
+        assert_eq!(cs.key().attr_seq().as_slice(), &[a(0), a(1)]);
+    }
+
+    #[test]
+    fn pattern_linearize_is_deterministic() {
+        let s = wf(&[2, 0, 1], &[3]);
+        let p = KeyPattern::for_spec(&s);
+        assert_eq!(p.len(), 4);
+        let k1 = p.linearize();
+        let k2 = KeyPattern::for_spec(&s).linearize();
+        assert_eq!(k1, k2);
+        // Canonical: free region ascending by attr id.
+        assert_eq!(k1.attr_seq().as_slice(), &[a(0), a(1), a(2), a(3)]);
+    }
+
+    #[test]
+    fn nested_three_level_cover() {
+        // wf3 ⊂ wf2 ⊂ wf1 with progressively longer keys forces repeated
+        // free-chunk splitting.
+        let specs = vec![
+            wf(&[0, 1, 2, 3], &[4]), // covering
+            wf(&[0, 2], &[1]),
+            wf(&[0], &[2]),
+        ];
+        let cs = try_cover_set(&specs, &[0, 1, 2], None).expect("nested covers");
+        assert_covers(&specs, &cs);
+        // γ must be exactly (a, c, b, d, e).
+        let attrs: Vec<AttrId> = cs.key().elems().iter().map(|e| e.attr).collect();
+        assert_eq!(attrs, vec![a(0), a(2), a(1), a(3), a(4)]);
+    }
+
+    #[test]
+    fn theta_combined_with_cover_constraints() {
+        // θ = (b) plus covered member (∅,(b,a)): both must merge.
+        let specs = vec![wf(&[0, 1], &[2]), wf(&[], &[1, 0])];
+        let theta = [ThetaElem::free(a(1))];
+        let cs = try_cover_set(&specs, &[0, 1], Some(&theta)).expect("compatible");
+        assert_covers(&specs, &cs);
+        assert_eq!(cs.key().attr_seq().as_slice(), &[a(1), a(0), a(2)]);
+        // Conflicting θ = (c): c is not first in any perm of {a,b}∘(c)... it
+        // is not in WPK, so position 0 cannot hold it.
+        let bad = [ThetaElem::free(a(2))];
+        assert!(try_cover_set(&specs, &[0, 1], Some(&bad)).is_none());
+    }
+
+    #[test]
+    fn partition_handles_duplicate_specs() {
+        // Identical functions must land in one cover set.
+        let specs = vec![wf(&[0], &[1]), wf(&[0], &[1]), wf(&[0], &[1])];
+        let sets = partition_into_cover_sets(&specs, &[0, 1, 2], None);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].members.len(), 3);
+    }
+
+    #[test]
+    fn empty_members_not_a_cover_set() {
+        let specs: Vec<WindowSpec> = vec![];
+        assert!(try_cover_set(&specs, &[], None).is_none());
+    }
+}

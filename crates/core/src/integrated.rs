@@ -1,0 +1,267 @@
+//! Integrated window-query optimization (paper §5).
+//!
+//! The loose approach optimizes the non-window query, the window chain and
+//! the final ORDER BY separately; the tight approach enumerates *interesting
+//! property* variants of the windowed table (e.g. a GROUP BY can deliver a
+//! grouped or sorted table at some extra cost) and picks the combination
+//! that minimizes chain cost **plus** the residual ORDER BY cost — which is
+//! zero when the chain's final properties already satisfy the ORDER BY, a
+//! partial (segmented) sort when a prefix is satisfied, and a full sort
+//! otherwise.
+
+use crate::cost::{fs_cost, ss_cost, ss_units, Cost, TableStats};
+use crate::plan::Plan;
+use crate::planner::{optimize, Scheme};
+use crate::props::SegProps;
+use crate::query::WindowQuery;
+use crate::runtime::ExecEnv;
+use wf_common::{Result, SortSpec};
+use wf_exec::{full_sort, segmented_sort, SegmentedRows};
+use wf_storage::Table;
+
+/// One way the upstream plan could deliver the windowed table.
+#[derive(Debug, Clone)]
+pub struct InputVariant {
+    /// Label for reports (e.g. "heap", "sorted by group-by").
+    pub label: String,
+    /// Physical properties delivered.
+    pub props: SegProps,
+    /// Physical segment count delivered.
+    pub segments: u64,
+    /// Extra cost (modeled ms) of producing this variant instead of the
+    /// cheapest one.
+    pub setup_cost_ms: f64,
+}
+
+impl InputVariant {
+    /// The plain heap table: unordered, free.
+    pub fn heap() -> Self {
+        InputVariant {
+            label: "heap".into(),
+            props: SegProps::unordered(),
+            segments: 1,
+            setup_cost_ms: 0.0,
+        }
+    }
+}
+
+/// How the final ORDER BY will be satisfied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FinalOrder {
+    /// No ORDER BY clause.
+    NotRequired,
+    /// The chain's output already satisfies it.
+    Satisfied,
+    /// A partial sort suffices: `prefix_len` leading elements already hold.
+    PartialSort { prefix_len: usize },
+    /// A full sort is needed.
+    FullSort,
+}
+
+/// Result of integrated optimization.
+#[derive(Debug)]
+pub struct IntegratedPlan {
+    /// Index of the chosen input variant.
+    pub variant: usize,
+    pub plan: Plan,
+    pub final_order: FinalOrder,
+    /// Chain + ORDER BY + variant setup, modeled ms.
+    pub total_ms: f64,
+}
+
+/// Cost of satisfying `order` given the chain's final properties.
+fn order_by_cost(
+    props: &SegProps,
+    order: &SortSpec,
+    stats: &TableStats,
+    mem_blocks: u64,
+) -> (FinalOrder, Cost) {
+    if order.is_empty() {
+        return (FinalOrder::NotRequired, Cost::zero());
+    }
+    if props.satisfies_order(order) {
+        return (FinalOrder::Satisfied, Cost::zero());
+    }
+    let prefix = props.satisfied_order_prefix(order);
+    if prefix > 0 {
+        // Partial sort: the satisfied prefix segments the work like SS.
+        let alpha = order.prefix(prefix);
+        let u = ss_units(stats, props.x(), &alpha, 1);
+        return (FinalOrder::PartialSort { prefix_len: prefix }, ss_cost(stats, mem_blocks, 1, u));
+    }
+    (FinalOrder::FullSort, fs_cost(stats, mem_blocks))
+}
+
+/// Pick the best (variant, chain) combination for a query with an optional
+/// ORDER BY (§5's tightly integrated approach).
+pub fn optimize_integrated(
+    query: &WindowQuery,
+    variants: &[InputVariant],
+    stats: &TableStats,
+    scheme: Scheme,
+    env: &ExecEnv,
+) -> Result<IntegratedPlan> {
+    let weights = env.weights();
+    let order = query.order_by.clone().unwrap_or_else(SortSpec::empty);
+    let mut best: Option<IntegratedPlan> = None;
+    for (vi, variant) in variants.iter().enumerate() {
+        let mut q = query.clone();
+        q.input_props = variant.props.clone();
+        q.input_segments = variant.segments;
+        let plan = optimize(&q, stats, scheme, env)?;
+        let (final_order, oc) =
+            order_by_cost(&plan.final_props, &order, stats, env.mem_blocks());
+        let total_ms =
+            variant.setup_cost_ms + plan.est_cost.ms(&weights) + oc.ms(&weights);
+        if best.as_ref().is_none_or(|b| total_ms < b.total_ms) {
+            best = Some(IntegratedPlan { variant: vi, plan, final_order, total_ms });
+        }
+    }
+    best.ok_or_else(|| wf_common::Error::Planning("no input variants supplied".into()))
+}
+
+/// Apply the final ORDER BY to an executed result, using a partial
+/// (segmented) sort when a prefix of the order is already satisfied.
+pub fn apply_final_order(
+    table: Table,
+    final_props: &SegProps,
+    order: &SortSpec,
+    env: &ExecEnv,
+) -> Result<Table> {
+    if order.is_empty() || final_props.satisfies_order(order) {
+        return Ok(table);
+    }
+    let schema = table.schema().clone();
+    let rows = SegmentedRows::single_segment(table.into_rows());
+    let prefix = final_props.satisfied_order_prefix(order);
+    let sorted = if prefix > 0 {
+        segmented_sort(rows, &order.prefix(prefix), &order.suffix(prefix), env.op_env())?
+    } else {
+        full_sort(rows, order, env.op_env())?
+    };
+    Table::from_rows(schema, sorted.into_rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use wf_common::{row, AttrId, DataType, OrdElem, Schema};
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+    fn key(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+    }
+    fn schema() -> Schema {
+        Schema::of(&[("g", DataType::Int), ("v", DataType::Int), ("w", DataType::Int)])
+    }
+    fn stats() -> TableStats {
+        TableStats::synthetic(
+            400_000,
+            10_600 * wf_storage::BLOCK_SIZE as u64,
+            vec![(a(0), 500), (a(1), 50_000), (a(2), 50_000)],
+        )
+    }
+
+    /// A GROUP BY-sorted variant is worth a modest setup cost because the
+    /// chain then needs only SS.
+    #[test]
+    fn sorted_variant_wins_when_cheap_enough() {
+        let s = schema();
+        let q = QueryBuilder::new(&s).rank("r", &["g"], &[("v", false)]).build().unwrap();
+        let st = stats();
+        let env = ExecEnv::with_memory_blocks(37);
+        let variants = vec![
+            InputVariant::heap(),
+            InputVariant {
+                label: "sorted by g".into(),
+                props: SegProps::sorted(key(&[0])),
+                segments: 1,
+                setup_cost_ms: 10.0,
+            },
+        ];
+        let best = optimize_integrated(&q, &variants, &st, Scheme::Cso, &env).unwrap();
+        assert_eq!(best.variant, 1, "sorted variant should win");
+        // And with an absurd setup cost the heap wins.
+        let pricey = vec![
+            InputVariant::heap(),
+            InputVariant {
+                label: "sorted by g".into(),
+                props: SegProps::sorted(key(&[0])),
+                segments: 1,
+                setup_cost_ms: 1e12,
+            },
+        ];
+        let best2 = optimize_integrated(&q, &pricey, &st, Scheme::Cso, &env).unwrap();
+        assert_eq!(best2.variant, 0);
+    }
+
+    /// ORDER BY satisfied by the chain output costs nothing; a conflicting
+    /// one forces a final sort that the total reflects.
+    #[test]
+    fn order_by_influences_total() {
+        let s = schema();
+        let q_sat = QueryBuilder::new(&s)
+            .rank("r", &["g"], &[("v", false)])
+            .order_by(&[("g", false), ("v", false)])
+            .build()
+            .unwrap();
+        let q_full = QueryBuilder::new(&s)
+            .rank("r", &["g"], &[("v", false)])
+            .order_by(&[("w", false)])
+            .build()
+            .unwrap();
+        let st = stats();
+        // Large memory → the chain ends with FS (total order) and the
+        // satisfied case needs nothing.
+        let env = ExecEnv::with_memory_blocks(111);
+        let sat =
+            optimize_integrated(&q_sat, &[InputVariant::heap()], &st, Scheme::Cso, &env).unwrap();
+        assert_eq!(sat.final_order, FinalOrder::Satisfied);
+        let full =
+            optimize_integrated(&q_full, &[InputVariant::heap()], &st, Scheme::Cso, &env).unwrap();
+        assert_eq!(full.final_order, FinalOrder::FullSort);
+        assert!(full.total_ms > sat.total_ms);
+    }
+
+    #[test]
+    fn partial_sort_detected() {
+        let s = schema();
+        let q = QueryBuilder::new(&s)
+            .rank("r", &["g"], &[("v", false)])
+            .order_by(&[("g", false), ("w", false)])
+            .build()
+            .unwrap();
+        let st = stats();
+        let env = ExecEnv::with_memory_blocks(111);
+        let best =
+            optimize_integrated(&q, &[InputVariant::heap()], &st, Scheme::Cso, &env).unwrap();
+        assert_eq!(best.final_order, FinalOrder::PartialSort { prefix_len: 1 });
+    }
+
+    #[test]
+    fn apply_final_order_sorts() {
+        let s = schema();
+        let mut t = Table::new(s);
+        for i in 0..100 {
+            t.push(row![(100 - i) as i64, i as i64, (i % 7) as i64]);
+        }
+        let env = ExecEnv::with_memory_blocks(64);
+        let order = key(&[0]);
+        let sorted = apply_final_order(t, &SegProps::unordered(), &order, &env).unwrap();
+        let vals: Vec<i64> =
+            sorted.rows().iter().map(|r| r.get(a(0)).as_int().unwrap()).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn no_variants_is_an_error() {
+        let s = schema();
+        let q = QueryBuilder::new(&s).rank("r", &["g"], &[]).build().unwrap();
+        let st = stats();
+        let env = ExecEnv::with_memory_blocks(37);
+        assert!(optimize_integrated(&q, &[], &st, Scheme::Cso, &env).is_err());
+    }
+}

@@ -1,0 +1,450 @@
+//! Executable window-function chains.
+//!
+//! A [`Plan`] is the paper's *window function chain*: an ordered list of
+//! window evaluations, each optionally preceded by a reordering operator.
+//! Plans are produced by the planners in [`crate::planner`] and finalized
+//! by [`finalize_chain`], which walks the chain through the property
+//! algebra, verifies every evaluation is matched, *repairs* any gap with
+//! the cheapest applicable reorder, and attaches cost estimates. Repair
+//! guarantees that heuristic planners can never produce an incorrect plan —
+//! only a more expensive one, which the estimate then reflects honestly.
+
+use crate::cost::{
+    fs_cost, hs_bucket_count, hs_cost, hs_segment_estimate, ss_reorder_cost, window_scan_cost,
+    Cost, TableStats,
+};
+use crate::cover::KeyPattern;
+use crate::props::SegProps;
+use crate::spec::WindowSpec;
+use wf_common::{AttrSet, Schema, SortSpec};
+use wf_storage::CostWeights;
+
+/// The reordering operator in front of one window evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReorderOp {
+    /// Input already matches — evaluate directly.
+    None,
+    /// Full Sort on `key`.
+    Fs { key: SortSpec },
+    /// Hashed Sort: hash on `whk`, sort buckets on `key`. `mfv` lists
+    /// hash-key values pipelined straight to the first sort (§3.2's MFV
+    /// optimization, chosen from the statistics' hot values).
+    Hs { whk: AttrSet, key: SortSpec, n_buckets: usize, mfv: Vec<Vec<wf_common::Value>> },
+    /// Segmented Sort: `α`-groups sorted on `β`.
+    Ss { alpha: SortSpec, beta: SortSpec },
+}
+
+impl ReorderOp {
+    /// Paper-style arrow label (`→`, `FS→`, `HS→`, `SS→`).
+    pub fn arrow(&self) -> &'static str {
+        match self {
+            ReorderOp::None => "→",
+            ReorderOp::Fs { .. } => "FS→",
+            ReorderOp::Hs { .. } => "HS→",
+            ReorderOp::Ss { .. } => "SS→",
+        }
+    }
+}
+
+/// One link of the chain: reorder (maybe) then evaluate `specs[wf]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    pub wf: usize,
+    pub reorder: ReorderOp,
+}
+
+/// A finalized, costed window-function chain.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Which scheme produced it (display only).
+    pub scheme: String,
+    /// The window functions the steps index into.
+    pub specs: Vec<WindowSpec>,
+    pub steps: Vec<PlanStep>,
+    pub input_props: SegProps,
+    pub final_props: SegProps,
+    /// Estimated cost under the paper's models.
+    pub est_cost: Cost,
+    /// Number of reorders the finalizer had to insert (0 for a planner
+    /// whose chain was already consistent).
+    pub repairs: usize,
+}
+
+impl Plan {
+    /// Number of FS/HS/SS reorders in the chain.
+    pub fn reorder_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.reorder != ReorderOp::None).count()
+    }
+
+    /// Paper-notation chain, e.g. `ws FS→ wf5 → wf4 → wf3 HS→ wf1 → wf2`.
+    pub fn chain_string(&self) -> String {
+        let mut out = String::from("ws");
+        for step in &self.steps {
+            out.push(' ');
+            out.push_str(step.reorder.arrow());
+            out.push(' ');
+            out.push_str(&self.specs[step.wf].name);
+        }
+        out
+    }
+
+    /// Chain with schema-resolved key details (for EXPLAIN-style output).
+    pub fn explain(&self, schema: &Schema) -> String {
+        let specs = &self.specs;
+        let mut out = format!("input: {}\n", self.input_props);
+        for step in &self.steps {
+            let spec = &specs[step.wf];
+            match &step.reorder {
+                ReorderOp::None => out.push_str("  ── (matched)\n"),
+                ReorderOp::Fs { key } => {
+                    out.push_str(&format!("  ── FullSort key={}\n", names(key, schema)))
+                }
+                ReorderOp::Hs { whk, key, n_buckets, mfv } => out.push_str(&format!(
+                    "  ── HashedSort whk={{{}}} key={} buckets={}{}\n",
+                    whk.iter().map(|a| schema.name(a).to_string()).collect::<Vec<_>>().join(","),
+                    names(key, schema),
+                    n_buckets,
+                    if mfv.is_empty() { String::new() } else { format!(" mfv={}", mfv.len()) }
+                )),
+                ReorderOp::Ss { alpha, beta } => out.push_str(&format!(
+                    "  ── SegmentedSort α={} β={}\n",
+                    names(alpha, schema),
+                    names(beta, schema)
+                )),
+            }
+            out.push_str(&format!("  {} {}\n", spec.name, spec.describe(schema)));
+        }
+        out.push_str(&format!("output: {}", self.final_props));
+        out
+    }
+}
+
+fn names(key: &SortSpec, schema: &Schema) -> String {
+    let parts: Vec<String> = key
+        .elems()
+        .iter()
+        .map(|e| {
+            let mut s = schema.name(e.attr).to_string();
+            if e.dir == wf_common::Direction::Desc {
+                s.push_str(" desc");
+            }
+            s
+        })
+        .collect();
+    format!("({})", parts.join(","))
+}
+
+/// Planner context shared by all schemes.
+#[derive(Clone)]
+pub struct PlanContext<'a> {
+    pub stats: &'a TableStats,
+    /// Unit reorder memory in blocks (the paper's `M`).
+    pub mem_blocks: u64,
+    pub weights: CostWeights,
+    /// CSO(v1) disables HS; CSO(v2) disables SS (§6.2's ablations).
+    pub allow_hs: bool,
+    pub allow_ss: bool,
+}
+
+impl<'a> PlanContext<'a> {
+    pub fn new(stats: &'a TableStats, mem_blocks: u64) -> Self {
+        PlanContext {
+            stats,
+            mem_blocks,
+            weights: CostWeights::default(),
+            allow_hs: true,
+            allow_ss: true,
+        }
+    }
+}
+
+/// The default FS key for a single function: its canonical covering
+/// permutation.
+pub fn default_fs_key(spec: &WindowSpec) -> SortSpec {
+    KeyPattern::for_spec(spec).linearize()
+}
+
+/// Choose the cheapest applicable reorder for `spec` given the current
+/// properties (used for repair and by the PSQL/ORCL baselines' forced-FS
+/// variants through the `allow_*` switches).
+pub fn cheapest_reorder(
+    props: &SegProps,
+    segments: u64,
+    spec: &WindowSpec,
+    ctx: &PlanContext<'_>,
+) -> (ReorderOp, Cost) {
+    let mut best: Option<(ReorderOp, Cost)> = None;
+    let mut consider = |op: ReorderOp, cost: Cost| {
+        let better = match &best {
+            None => true,
+            Some((_, c)) => cost.ms(&ctx.weights) < c.ms(&ctx.weights),
+        };
+        if better {
+            best = Some((op, cost));
+        }
+    };
+
+    if ctx.allow_ss && props.ss_reorderable(spec) {
+        let split = props.alpha_split(spec);
+        let cost = ss_reorder_cost(ctx.stats, props, segments, spec, ctx.mem_blocks);
+        consider(ReorderOp::Ss { alpha: split.alpha.clone(), beta: split.beta.clone() }, cost);
+    }
+    let key = default_fs_key(spec);
+    consider(ReorderOp::Fs { key: key.clone() }, fs_cost(ctx.stats, ctx.mem_blocks));
+    if ctx.allow_hs && !spec.wpk().is_empty() {
+        let whk = spec.wpk().clone();
+        let cost = hs_cost(ctx.stats, &whk, ctx.mem_blocks);
+        let n_buckets = hs_bucket_count(ctx.stats, &whk);
+        let mfv = ctx.stats.mfv_for(&whk, ctx.mem_blocks);
+        consider(ReorderOp::Hs { whk, key, n_buckets, mfv }, cost);
+    }
+    best.expect("FS is always applicable")
+}
+
+/// Apply a reorder to the tracked `(props, segments)` planning state.
+pub fn apply_reorder(
+    op: &ReorderOp,
+    props: &SegProps,
+    segments: u64,
+    spec: &WindowSpec,
+    stats: &TableStats,
+) -> (SegProps, u64) {
+    match op {
+        ReorderOp::None => (props.clone(), segments),
+        ReorderOp::Fs { key } => (SegProps::after_fs(key.clone()), 1),
+        ReorderOp::Hs { whk, key, .. } => {
+            (SegProps::after_hs(whk.clone(), key.clone()), hs_segment_estimate(stats, whk))
+        }
+        ReorderOp::Ss { alpha, beta } => {
+            let _ = spec;
+            (
+                SegProps::new(props.x().clone(), alpha.concat(beta), props.is_grouped()),
+                segments,
+            )
+        }
+    }
+}
+
+/// Estimated cost of executing a reorder in the current state.
+pub fn reorder_cost(
+    op: &ReorderOp,
+    props: &SegProps,
+    segments: u64,
+    spec: &WindowSpec,
+    ctx: &PlanContext<'_>,
+) -> Cost {
+    match op {
+        ReorderOp::None => Cost::zero(),
+        ReorderOp::Fs { .. } => fs_cost(ctx.stats, ctx.mem_blocks),
+        ReorderOp::Hs { whk, .. } => hs_cost(ctx.stats, whk, ctx.mem_blocks),
+        ReorderOp::Ss { alpha, .. } => {
+            let _ = spec;
+            let u = crate::cost::ss_units(ctx.stats, props.x(), alpha, segments);
+            crate::cost::ss_cost(ctx.stats, ctx.mem_blocks, segments, u)
+        }
+    }
+}
+
+/// Walk a raw chain, validate each step against the property algebra,
+/// repair gaps with the cheapest applicable reorder, and cost the result.
+pub fn finalize_chain(
+    scheme: &str,
+    specs: &[WindowSpec],
+    input_props: &SegProps,
+    input_segments: u64,
+    raw_steps: Vec<PlanStep>,
+    ctx: &PlanContext<'_>,
+) -> Plan {
+    let mut props = input_props.clone();
+    let mut segments = input_segments;
+    let mut total = Cost::zero();
+    let mut steps = Vec::with_capacity(raw_steps.len());
+    let mut repairs = 0usize;
+
+    for step in raw_steps {
+        let spec = &specs[step.wf];
+        // Validate the declared reorder; fall back to repair if it would
+        // not leave the input matched.
+        let valid = {
+            let (p2, _) = apply_reorder(&step.reorder, &props, segments, spec, ctx.stats);
+            let applicable = match &step.reorder {
+                ReorderOp::None | ReorderOp::Fs { .. } => true,
+                ReorderOp::Hs { whk, .. } => !whk.is_empty() && whk.is_subset(spec.wpk()),
+                // The declared α must really be satisfied by the input —
+                // the executor detects unit boundaries on α values.
+                ReorderOp::Ss { alpha, .. } => {
+                    props.ss_reorderable(spec)
+                        && props.satisfied_prefix_of(alpha) >= alpha.len()
+                }
+            };
+            applicable && p2.matches(spec)
+        };
+        let reorder = if valid {
+            step.reorder
+        } else {
+            repairs += 1;
+            cheapest_reorder(&props, segments, spec, ctx).0
+        };
+        total = total.plus(&reorder_cost(&reorder, &props, segments, spec, ctx));
+        let (p2, s2) = apply_reorder(&reorder, &props, segments, spec, ctx.stats);
+        debug_assert!(p2.matches(spec), "finalized step must be matched");
+        props = p2;
+        segments = s2;
+        total = total.plus(&window_scan_cost(ctx.stats));
+        steps.push(PlanStep { wf: step.wf, reorder });
+    }
+
+    Plan {
+        scheme: scheme.to_string(),
+        specs: specs.to_vec(),
+        steps,
+        input_props: input_props.clone(),
+        final_props: props,
+        est_cost: total,
+        repairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::{AttrId, OrdElem};
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+    fn key(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+    }
+    fn wf(wpk: &[usize], wok: &[usize]) -> WindowSpec {
+        WindowSpec::rank(
+            format!("wf{}", wpk.first().copied().unwrap_or(9)),
+            wpk.iter().map(|&i| a(i)).collect(),
+            key(wok),
+        )
+    }
+    fn stats() -> TableStats {
+        TableStats::synthetic(
+            400_000,
+            10_600 * wf_storage::BLOCK_SIZE as u64,
+            vec![(a(0), 20_000), (a(1), 40_000), (a(2), 100)],
+        )
+    }
+
+    #[test]
+    fn finalize_accepts_consistent_chain() {
+        let specs = vec![wf(&[0], &[1]), wf(&[0], &[2])];
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let raw = vec![
+            PlanStep {
+                wf: 0,
+                reorder: ReorderOp::Hs {
+                    whk: AttrSet::from_iter([a(0)]),
+                    key: key(&[0, 1]),
+                    n_buckets: 64,
+                    mfv: vec![],
+                },
+            },
+            PlanStep { wf: 1, reorder: ReorderOp::Ss { alpha: key(&[0]), beta: key(&[2]) } },
+        ];
+        let plan = finalize_chain("test", &specs, &SegProps::unordered(), 1, raw, &ctx);
+        assert_eq!(plan.repairs, 0);
+        assert_eq!(plan.reorder_count(), 2);
+        assert!(plan.est_cost.io_blocks > 0.0);
+        assert_eq!(plan.chain_string(), "ws HS→ wf0 SS→ wf0");
+    }
+
+    #[test]
+    fn finalize_repairs_missing_reorder() {
+        let specs = vec![wf(&[0], &[1])];
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let raw = vec![PlanStep { wf: 0, reorder: ReorderOp::None }];
+        let plan = finalize_chain("test", &specs, &SegProps::unordered(), 1, raw, &ctx);
+        assert_eq!(plan.repairs, 1);
+        assert_ne!(plan.steps[0].reorder, ReorderOp::None);
+        assert!(plan.final_props.matches(&specs[0]));
+    }
+
+    #[test]
+    fn finalize_repairs_invalid_ss() {
+        // SS declared but input is unordered → not SS-reorderable.
+        let specs = vec![wf(&[0], &[1])];
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let raw = vec![PlanStep {
+            wf: 0,
+            reorder: ReorderOp::Ss { alpha: key(&[0]), beta: key(&[1]) },
+        }];
+        let plan = finalize_chain("test", &specs, &SegProps::unordered(), 1, raw, &ctx);
+        assert_eq!(plan.repairs, 1);
+    }
+
+    #[test]
+    fn matched_input_needs_no_reorder() {
+        let specs = vec![wf(&[0], &[1])];
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let raw = vec![PlanStep { wf: 0, reorder: ReorderOp::None }];
+        let plan =
+            finalize_chain("test", &specs, &SegProps::sorted(key(&[0, 1])), 1, raw, &ctx);
+        assert_eq!(plan.repairs, 0);
+        assert_eq!(plan.reorder_count(), 0);
+    }
+
+    #[test]
+    fn cheapest_reorder_prefers_ss_when_applicable() {
+        let specs = [wf(&[0], &[1])];
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let props = SegProps::sorted(key(&[0, 2]));
+        let (op, _) = cheapest_reorder(&props, 1, &specs[0], &ctx);
+        assert!(matches!(op, ReorderOp::Ss { .. }));
+    }
+
+    #[test]
+    fn cheapest_reorder_hs_vs_fs_by_memory() {
+        let specs = [wf(&[0], &[1])];
+        let s = stats();
+        let small = PlanContext::new(&s, 37);
+        let large = PlanContext::new(&s, 111);
+        let (op_small, _) = cheapest_reorder(&SegProps::unordered(), 1, &specs[0], &small);
+        let (op_large, _) = cheapest_reorder(&SegProps::unordered(), 1, &specs[0], &large);
+        assert!(matches!(op_small, ReorderOp::Hs { .. }), "small M → HS");
+        assert!(matches!(op_large, ReorderOp::Fs { .. }), "large M → FS");
+    }
+
+    #[test]
+    fn disallowing_ops_respected() {
+        let specs = [wf(&[0], &[1])];
+        let s = stats();
+        let mut ctx = PlanContext::new(&s, 37);
+        ctx.allow_hs = false;
+        let (op, _) = cheapest_reorder(&SegProps::unordered(), 1, &specs[0], &ctx);
+        assert!(matches!(op, ReorderOp::Fs { .. }));
+        let props = SegProps::sorted(key(&[0, 2]));
+        ctx.allow_ss = false;
+        ctx.allow_hs = true;
+        let (op2, _) = cheapest_reorder(&props, 1, &specs[0], &ctx);
+        assert!(!matches!(op2, ReorderOp::Ss { .. }));
+    }
+
+    #[test]
+    fn chain_string_formats_paper_style() {
+        let specs = vec![wf(&[0], &[1]), wf(&[0], &[2])];
+        let plan = Plan {
+            scheme: "CSO".into(),
+            specs: specs.clone(),
+            steps: vec![
+                PlanStep { wf: 0, reorder: ReorderOp::Fs { key: key(&[0, 1]) } },
+                PlanStep { wf: 1, reorder: ReorderOp::None },
+            ],
+            input_props: SegProps::unordered(),
+            final_props: SegProps::unordered(),
+            est_cost: Cost::zero(),
+            repairs: 0,
+        };
+        assert_eq!(plan.chain_string(), "ws FS→ wf0 → wf0");
+    }
+}

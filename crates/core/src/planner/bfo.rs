@@ -1,0 +1,385 @@
+//! **BFO** — brute-force enumeration of window-function chains (§6).
+//!
+//! Explores every evaluation order, every applicable reordering operator
+//! and (bounded) every sort-key permutation / hash-key subset, so it finds
+//! the optimal plan under the cost models. The default configuration
+//! memoizes on `(evaluated set, physical properties)`; the *enumerative*
+//! configuration disables memoization, exhibiting the exponential blow-up
+//! the paper reports in Table 11 (2.7 hours at 10 functions on their
+//! hardware). A node budget bounds runaway enumerations; hitting it marks
+//! the plan as truncated (best found so far).
+
+use crate::plan::{
+    apply_reorder, default_fs_key, finalize_chain, reorder_cost, Plan, PlanContext, PlanStep,
+    ReorderOp,
+};
+use crate::cost::{hs_bucket_count, window_scan_cost};
+use crate::props::SegProps;
+use crate::query::WindowQuery;
+use crate::spec::WindowSpec;
+use std::collections::HashMap;
+use wf_common::{AttrId, AttrSet, Error, OrdElem, Result, SortSpec};
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct BfoOptions {
+    /// Enumerate all WPK permutations / WHK subsets up to this WPK size
+    /// (larger keys fall back to the canonical choice).
+    pub perm_limit: usize,
+    /// Memoize on (mask, props); disable to demonstrate Table 11's blow-up.
+    pub memoize: bool,
+    /// Abort after this many search nodes (plan marked truncated).
+    pub node_budget: u64,
+}
+
+impl Default for BfoOptions {
+    fn default() -> Self {
+        BfoOptions { perm_limit: 4, memoize: true, node_budget: 50_000_000 }
+    }
+}
+
+struct Search<'a> {
+    specs: &'a [WindowSpec],
+    ctx: &'a PlanContext<'a>,
+    opts: &'a BfoOptions,
+    memo: HashMap<(u32, SegProps, u64), (f64, Vec<PlanStep>)>,
+    nodes: u64,
+    truncated: bool,
+}
+
+/// All permutations of a small attribute set.
+fn permutations(attrs: &AttrSet) -> Vec<Vec<AttrId>> {
+    let items: Vec<AttrId> = attrs.iter().collect();
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(items.len());
+    let mut used = vec![false; items.len()];
+    fn rec(
+        items: &[AttrId],
+        used: &mut [bool],
+        current: &mut Vec<AttrId>,
+        out: &mut Vec<Vec<AttrId>>,
+    ) {
+        if current.len() == items.len() {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..items.len() {
+            if !used[i] {
+                used[i] = true;
+                current.push(items[i]);
+                rec(items, used, current, out);
+                current.pop();
+                used[i] = false;
+            }
+        }
+    }
+    rec(&items, &mut used, &mut current, &mut out);
+    out
+}
+
+/// Non-empty subsets of a small attribute set.
+fn subsets(attrs: &AttrSet) -> Vec<AttrSet> {
+    let items: Vec<AttrId> = attrs.iter().collect();
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << items.len()) {
+        out.push(AttrSet::from_iter(
+            items.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &a)| a),
+        ));
+    }
+    out
+}
+
+impl<'a> Search<'a> {
+    /// Candidate reorders for evaluating `spec` on `props`.
+    fn options(&self, props: &SegProps, segments: u64, spec: &WindowSpec) -> Vec<ReorderOp> {
+        if props.matches(spec) {
+            return vec![ReorderOp::None];
+        }
+        let mut out = Vec::new();
+        let keys: Vec<SortSpec> = if spec.wpk().len() <= self.opts.perm_limit {
+            permutations(spec.wpk())
+                .into_iter()
+                .map(|perm| {
+                    let head: Vec<OrdElem> = perm.iter().map(|&a| OrdElem::asc(a)).collect();
+                    SortSpec::new(head).concat(spec.wok())
+                })
+                .collect()
+        } else {
+            vec![default_fs_key(spec)]
+        };
+        if self.ctx.allow_ss && props.ss_reorderable(spec) {
+            // α is determined by the input; enumerate β arrangements via
+            // the same key permutations (α = satisfied prefix of each key).
+            for key in &keys {
+                let n = props.satisfied_prefix_of(key);
+                if n > 0 || !props.x().is_empty() {
+                    let op = ReorderOp::Ss { alpha: key.prefix(n), beta: key.suffix(n) };
+                    if !out.contains(&op) {
+                        out.push(op);
+                    }
+                }
+            }
+            if out.is_empty() {
+                let split = props.alpha_split(spec);
+                out.push(ReorderOp::Ss { alpha: split.alpha, beta: split.beta });
+            }
+        }
+        for key in &keys {
+            out.push(ReorderOp::Fs { key: key.clone() });
+        }
+        if self.ctx.allow_hs && !spec.wpk().is_empty() {
+            let whks = if spec.wpk().len() <= self.opts.perm_limit {
+                subsets(spec.wpk())
+            } else {
+                vec![spec.wpk().clone()]
+            };
+            for whk in whks {
+                let n_buckets = hs_bucket_count(self.ctx.stats, &whk);
+                let mfv = self.ctx.stats.mfv_for(&whk, self.ctx.mem_blocks);
+                for key in &keys {
+                    out.push(ReorderOp::Hs {
+                        whk: whk.clone(),
+                        key: key.clone(),
+                        n_buckets,
+                        mfv: mfv.clone(),
+                    });
+                }
+            }
+        }
+        let _ = segments;
+        out
+    }
+
+    fn solve(&mut self, mask: u32, props: &SegProps, segments: u64) -> (f64, Vec<PlanStep>) {
+        let full = (1u32 << self.specs.len()) - 1;
+        if mask == full {
+            return (0.0, vec![]);
+        }
+        if self.opts.memoize {
+            if let Some(hit) = self.memo.get(&(mask, props.clone(), segments)) {
+                return hit.clone();
+            }
+        }
+        self.nodes += 1;
+        if self.nodes > self.opts.node_budget {
+            self.truncated = true;
+            // Fall back: finish greedily in index order.
+            let mut steps = Vec::new();
+            let mut p = props.clone();
+            let mut seg = segments;
+            let mut cost = 0.0;
+            for i in 0..self.specs.len() {
+                if mask & (1 << i) != 0 {
+                    continue;
+                }
+                let spec = &self.specs[i];
+                let op = if p.matches(spec) {
+                    ReorderOp::None
+                } else {
+                    crate::plan::cheapest_reorder(&p, seg, spec, self.ctx).0
+                };
+                cost += reorder_cost(&op, &p, seg, spec, self.ctx).ms(&self.ctx.weights);
+                cost += window_scan_cost(self.ctx.stats).ms(&self.ctx.weights);
+                let (p2, s2) = apply_reorder(&op, &p, seg, spec, self.ctx.stats);
+                p = p2;
+                seg = s2;
+                steps.push(PlanStep { wf: i, reorder: op });
+            }
+            return (cost, steps);
+        }
+
+        let mut best: Option<(f64, Vec<PlanStep>)> = None;
+        for i in 0..self.specs.len() {
+            if mask & (1 << i) != 0 {
+                continue;
+            }
+            let spec = &self.specs[i];
+            for op in self.options(props, segments, spec) {
+                let step_cost = reorder_cost(&op, props, segments, spec, self.ctx)
+                    .ms(&self.ctx.weights)
+                    + window_scan_cost(self.ctx.stats).ms(&self.ctx.weights);
+                let (p2, s2) = apply_reorder(&op, props, segments, spec, self.ctx.stats);
+                if !p2.matches(spec) {
+                    continue; // key choice did not realize a matching order
+                }
+                let (rest_cost, rest_steps) = self.solve(mask | (1 << i), &p2, s2);
+                let total = step_cost + rest_cost;
+                if best.as_ref().is_none_or(|(c, _)| total < *c) {
+                    let mut steps = Vec::with_capacity(rest_steps.len() + 1);
+                    steps.push(PlanStep { wf: i, reorder: op });
+                    steps.extend(rest_steps);
+                    best = Some((total, steps));
+                }
+            }
+        }
+        let best = best.expect("FS is always applicable, some option must match");
+        if self.opts.memoize {
+            self.memo.insert((mask, props.clone(), segments), best.clone());
+        }
+        best
+    }
+}
+
+/// Run the brute-force search and finalize the best chain.
+pub fn plan_bfo(query: &WindowQuery, ctx: &PlanContext<'_>, opts: &BfoOptions) -> Result<Plan> {
+    if query.specs.len() > 20 {
+        return Err(Error::Planning(format!(
+            "BFO limited to 20 window functions, got {}",
+            query.specs.len()
+        )));
+    }
+    let mut search = Search { specs: &query.specs, ctx, opts, memo: HashMap::new(), nodes: 0,
+        truncated: false };
+    let (_, steps) = search.solve(0, &query.input_props, query.input_segments);
+    let mut plan = finalize_chain(
+        if search.truncated { "BFO(truncated)" } else { "BFO" },
+        &query.specs,
+        &query.input_props,
+        query.input_segments,
+        steps,
+        ctx,
+    );
+    if search.truncated {
+        plan.scheme = "BFO(truncated)".into();
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableStats;
+    use crate::planner::{plan_cso, plan_psql};
+    use wf_common::{DataType, Schema};
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+    fn key(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+    }
+    fn wf(name: &str, wpk: &[usize], wok: &[usize]) -> WindowSpec {
+        WindowSpec::rank(name, wpk.iter().map(|&i| a(i)).collect(), key(wok))
+    }
+    fn stats() -> TableStats {
+        TableStats::synthetic(
+            400_000,
+            10_600 * wf_storage::BLOCK_SIZE as u64,
+            vec![(a(0), 1_800), (a(1), 86_400), (a(2), 1_800), (a(3), 20_000), (a(4), 40_000)],
+        )
+    }
+    fn schema5() -> Schema {
+        Schema::of(&[
+            ("date", DataType::Int),
+            ("time", DataType::Int),
+            ("ship", DataType::Int),
+            ("item", DataType::Int),
+            ("bill", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn permutations_and_subsets() {
+        let s = AttrSet::from_iter([a(0), a(1), a(2)]);
+        assert_eq!(permutations(&s).len(), 6);
+        assert_eq!(subsets(&s).len(), 7);
+    }
+
+    /// Q6 at 50 MB-equivalent: BFO finds the paper's plan HS→SS.
+    #[test]
+    fn q6_bfo_matches_paper() {
+        let q = WindowQuery::new(
+            schema5(),
+            vec![wf("wf1", &[3], &[0]), wf("wf2", &[3], &[4])],
+        );
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let plan = plan_bfo(&q, &ctx, &BfoOptions::default()).unwrap();
+        assert_eq!(plan.repairs, 0);
+        let chain = plan.chain_string();
+        assert!(chain == "ws HS→ wf1 SS→ wf2" || chain == "ws HS→ wf2 SS→ wf1", "{chain}");
+    }
+
+    /// BFO is never worse than CSO or PSQL under the same cost model.
+    #[test]
+    fn bfo_is_lower_bound() {
+        let q = WindowQuery::new(
+            schema5(),
+            vec![
+                wf("wf1", &[0, 1, 2], &[]),
+                wf("wf2", &[1, 0], &[]),
+                wf("wf3", &[3], &[]),
+                wf("wf4", &[], &[3, 4]),
+                wf("wf5", &[0, 1, 3, 4], &[2]),
+            ],
+        );
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let bfo = plan_bfo(&q, &ctx, &BfoOptions::default()).unwrap();
+        let cso = plan_cso(&q, &ctx).unwrap();
+        let psql = plan_psql(&q, &ctx).unwrap();
+        let w = ctx.weights;
+        assert!(bfo.est_cost.ms(&w) <= cso.est_cost.ms(&w) + 1e-6);
+        assert!(bfo.est_cost.ms(&w) <= psql.est_cost.ms(&w) + 1e-6);
+        // And CSO is near-optimal on the paper's queries.
+        assert!(cso.est_cost.ms(&w) <= 1.05 * bfo.est_cost.ms(&w));
+    }
+
+    /// Example 7's insight: the FS key permutation matters. With
+    /// wf1 = ({a,b}, ε) then wf2 = ({a},(c)), BFO must sort (a,b) — not
+    /// (b,a) — so that wf2 is SS-reorderable afterwards.
+    #[test]
+    fn example7_key_permutation() {
+        let q = WindowQuery::new(
+            schema5(),
+            vec![wf("wf1", &[0, 1], &[]), wf("wf2", &[0], &[2])],
+        );
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let plan = plan_bfo(&q, &ctx, &BfoOptions::default()).unwrap();
+        // One FS/HS + one SS, never two full reorders.
+        let fs_hs = plan
+            .steps
+            .iter()
+            .filter(|st| matches!(st.reorder, ReorderOp::Fs { .. } | ReorderOp::Hs { .. }))
+            .count();
+        let ss = plan
+            .steps
+            .iter()
+            .filter(|st| matches!(st.reorder, ReorderOp::Ss { .. }))
+            .count();
+        assert_eq!((fs_hs, ss), (1, 1), "{}", plan.chain_string());
+    }
+
+    /// Tiny node budget triggers truncation but still yields a valid plan.
+    #[test]
+    fn node_budget_truncates_gracefully() {
+        let q = WindowQuery::new(
+            schema5(),
+            vec![
+                wf("wf1", &[0, 1], &[2]),
+                wf("wf2", &[3], &[0]),
+                wf("wf3", &[4], &[1]),
+                wf("wf4", &[], &[2, 3]),
+            ],
+        );
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let opts = BfoOptions { node_budget: 3, ..Default::default() };
+        let plan = plan_bfo(&q, &ctx, &opts).unwrap();
+        assert_eq!(plan.scheme, "BFO(truncated)");
+        assert_eq!(plan.steps.len(), 4);
+        assert!(plan.final_props.matches(&q.specs[plan.steps.last().unwrap().wf]));
+    }
+
+    #[test]
+    fn too_many_functions_rejected() {
+        let specs: Vec<WindowSpec> = (0..21).map(|i| wf(&format!("w{i}"), &[0], &[])).collect();
+        // Names must be unique but WindowQuery::new does not enforce;
+        // plan_bfo still rejects on count.
+        let q = WindowQuery::new(schema5(), specs);
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        assert!(plan_bfo(&q, &ctx, &BfoOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! **CSO** — the paper's cover-set based optimization scheme (§4).
+//!
+//! The window functions split into three classes:
+//!
+//! * `C0` — matched by the input relation: evaluated first, no reordering
+//!   (Cor. 1),
+//! * `C1` — SS-reorderable from the input: partitioned into a minimum
+//!   number of cover sets (§4.4), each evaluated with exactly one SS,
+//! * `C2` — the rest: partitioned into a minimum number of *prefixable*
+//!   subsets `P_i` (§4.5), each evaluated with exactly one FS/HS (chosen by
+//!   the cost models; sort key `γ ⊇ θ(P_i)`, hash key from `θ'`) for its
+//!   first cover set and one SS per remaining cover set.
+//!
+//! Order heuristics (the paper's TR leaves them open; see DESIGN.md §6):
+//! prefixable subsets run in ascending induced-cover-set count (ties:
+//! descending size, then SELECT index); within a subset, cover sets run in
+//! ascending (size, covering key length, SELECT index); within a cover set
+//! the covering function runs first. Every produced chain passes the
+//! finalizer, so a heuristic miss can only cost, never corrupt.
+
+use crate::cover::{partition_into_cover_sets, CoverSet, ThetaElem};
+use crate::cost::{fs_cost, hs_bucket_count, hs_cost};
+use crate::plan::{apply_reorder, finalize_chain, Plan, PlanContext, PlanStep, ReorderOp};
+use crate::prefixable::{partition_into_prefixable, theta, theta_prime};
+use crate::props::SegProps;
+use crate::query::WindowQuery;
+use crate::spec::WindowSpec;
+use wf_common::{AttrSet, Result, SortSpec};
+
+/// Produce the CSO chain.
+pub fn plan_cso(query: &WindowQuery, ctx: &PlanContext<'_>) -> Result<Plan> {
+    let specs = &query.specs;
+    let mut props = query.input_props.clone();
+    let mut segments = query.input_segments;
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(specs.len());
+
+    // --- C0: already matched -------------------------------------------------
+    let mut rest: Vec<usize> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if props.matches(spec) {
+            steps.push(PlanStep { wf: i, reorder: ReorderOp::None });
+        } else {
+            rest.push(i);
+        }
+    }
+
+    // --- C1: SS-reorderable from the input -----------------------------------
+    let (c1, c2): (Vec<usize>, Vec<usize>) = rest
+        .into_iter()
+        .partition(|&i| ctx.allow_ss && props.ss_reorderable(&specs[i]));
+    let mut c1_sets = partition_into_cover_sets(specs, &c1, None);
+    sort_cover_sets(specs, &mut c1_sets);
+    for cs in &c1_sets {
+        emit_ss_cover_set(specs, cs, &mut props, &mut segments, &mut steps, ctx);
+    }
+
+    // --- C2: prefixable subsets ----------------------------------------------
+    let parts = partition_into_prefixable(specs, &c2);
+    // Plan each part: θ, θ-constrained cover sets.
+    struct PlannedPart {
+        idxs: Vec<usize>,
+        theta: Vec<ThetaElem>,
+        sets: Vec<CoverSet>,
+        min_idx: usize,
+    }
+    let mut planned: Vec<PlannedPart> = parts
+        .into_iter()
+        .map(|idxs| {
+            let th = theta(specs, &idxs);
+            let mut sets = partition_into_cover_sets(specs, &idxs, theta_opt(&th));
+            sort_cover_sets(specs, &mut sets);
+            let min_idx = idxs.iter().copied().min().unwrap_or(usize::MAX);
+            PlannedPart { idxs, theta: th, sets, min_idx }
+        })
+        .collect();
+    // Evaluation order of the P_i.
+    planned.sort_by_key(|p| (p.sets.len(), std::cmp::Reverse(p.idxs.len()), p.min_idx));
+
+    for part in &planned {
+        for (j, cs) in part.sets.iter().enumerate() {
+            if j == 0 || !ctx.allow_ss {
+                // Without SS (CSO(v2)), every cover set pays its own FS/HS.
+                emit_fs_hs_cover_set(specs, part.idxs.as_slice(), &part.theta, cs, &mut props,
+                    &mut segments, &mut steps, ctx);
+            } else {
+                emit_ss_cover_set(specs, cs, &mut props, &mut segments, &mut steps, ctx);
+            }
+        }
+    }
+
+    Ok(finalize_chain(
+        scheme_name(ctx),
+        specs,
+        &query.input_props,
+        query.input_segments,
+        steps,
+        ctx,
+    ))
+}
+
+fn scheme_name(ctx: &PlanContext<'_>) -> &'static str {
+    match (ctx.allow_hs, ctx.allow_ss) {
+        (true, true) => "CSO",
+        (false, true) => "CSO(v1)",
+        (true, false) => "CSO(v2)",
+        (false, false) => "CSO(v1+v2)",
+    }
+}
+
+fn theta_opt(theta: &[ThetaElem]) -> Option<&[ThetaElem]> {
+    if theta.is_empty() { None } else { Some(theta) }
+}
+
+/// Within-group evaluation order: size asc, covering key length asc,
+/// SELECT index asc (reproduces the paper's Q6/Q8/Q9-bill chains; see
+/// EXPERIMENTS.md for the two cost-equivalent deviations).
+fn sort_cover_sets(specs: &[WindowSpec], sets: &mut [CoverSet]) {
+    sets.sort_by_key(|cs| {
+        (
+            cs.members.len(),
+            specs[cs.covering].key_len(),
+            cs.members.iter().copied().min().unwrap_or(usize::MAX),
+        )
+    });
+}
+
+/// Align a cover set's key pattern to the current input ordering so the
+/// Segmented Sort's `α` is as long as possible (§3.3's permutation choice,
+/// lifted to covering permutations).
+fn aligned_key(cs: &CoverSet, props: &SegProps) -> SortSpec {
+    let mut taken: Vec<ThetaElem> = Vec::new();
+    let mut pattern = cs.pattern.clone();
+    for e in props.y().elems() {
+        let mut trial_prefix = taken.clone();
+        trial_prefix.push(ThetaElem::fixed(*e));
+        let mut fresh = cs.pattern.clone();
+        if fresh.constrain_theta(&trial_prefix) {
+            taken = trial_prefix;
+            pattern = fresh;
+        } else {
+            break;
+        }
+    }
+    pattern.linearize()
+}
+
+/// Emit one cover set evaluated with a single Segmented Sort on its
+/// (input-aligned) covering permutation.
+fn emit_ss_cover_set(
+    specs: &[WindowSpec],
+    cs: &CoverSet,
+    props: &mut SegProps,
+    segments: &mut u64,
+    steps: &mut Vec<PlanStep>,
+    ctx: &PlanContext<'_>,
+) {
+    let gamma = aligned_key(cs, props);
+    let n_alpha = props.satisfied_prefix_of(&gamma);
+    let reorder = if props.matches_all(cs.members.iter().map(|&m| &specs[m])) {
+        ReorderOp::None
+    } else {
+        ReorderOp::Ss { alpha: gamma.prefix(n_alpha), beta: gamma.suffix(n_alpha) }
+    };
+    push_cover_set(specs, cs, reorder, props, segments, steps, ctx);
+}
+
+/// Emit the first cover set of a prefixable subset with one FS or HS,
+/// chosen by the cost models (§4.5.1–4.5.2).
+#[allow(clippy::too_many_arguments)]
+fn emit_fs_hs_cover_set(
+    specs: &[WindowSpec],
+    part: &[usize],
+    theta: &[ThetaElem],
+    cs: &CoverSet,
+    props: &mut SegProps,
+    segments: &mut u64,
+    steps: &mut Vec<PlanStep>,
+    ctx: &PlanContext<'_>,
+) {
+    let gamma = aligned_key(cs, props);
+    if props.matches_all(cs.members.iter().map(|&m| &specs[m])) {
+        push_cover_set(specs, cs, ReorderOp::None, props, segments, steps, ctx);
+        return;
+    }
+    // Hash-key pool: θ' limited to attributes in *every* member of the
+    // whole prefixable subset — later cover sets reorder with SS, which
+    // requires X ⊆ WPK for each of them.
+    let pool = theta_prime(theta, specs, part);
+    let whk: AttrSet = AttrSet::from_iter(pool.iter().map(|t| t.attr));
+    let use_hs = ctx.allow_hs
+        && !whk.is_empty()
+        && hs_cost(ctx.stats, &whk, ctx.mem_blocks).ms(&ctx.weights)
+            < fs_cost(ctx.stats, ctx.mem_blocks).ms(&ctx.weights);
+    let reorder = if use_hs {
+        let n_buckets = hs_bucket_count(ctx.stats, &whk);
+        let mfv = ctx.stats.mfv_for(&whk, ctx.mem_blocks);
+        ReorderOp::Hs { whk, key: gamma, n_buckets, mfv }
+    } else {
+        ReorderOp::Fs { key: gamma }
+    };
+    push_cover_set(specs, cs, reorder, props, segments, steps, ctx);
+}
+
+fn push_cover_set(
+    specs: &[WindowSpec],
+    cs: &CoverSet,
+    reorder: ReorderOp,
+    props: &mut SegProps,
+    segments: &mut u64,
+    steps: &mut Vec<PlanStep>,
+    ctx: &PlanContext<'_>,
+) {
+    for (j, &wf) in cs.members.iter().enumerate() {
+        let op = if j == 0 { reorder.clone() } else { ReorderOp::None };
+        let (p2, s2) = apply_reorder(&op, props, *segments, &specs[wf], ctx.stats);
+        *props = p2;
+        *segments = s2;
+        steps.push(PlanStep { wf, reorder: op });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableStats;
+    use wf_common::{AttrId, DataType, OrdElem, Schema};
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+    fn key(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+    }
+    fn wf(name: &str, wpk: &[usize], wok: &[usize]) -> WindowSpec {
+        WindowSpec::rank(name, wpk.iter().map(|&i| a(i)).collect(), key(wok))
+    }
+
+    /// web_sales-scale statistics; attrs 0..5 with paper-like cardinality.
+    fn stats() -> TableStats {
+        TableStats::synthetic(
+            400_000,
+            10_600 * wf_storage::BLOCK_SIZE as u64,
+            vec![
+                (a(0), 1_800),  // date
+                (a(1), 86_400), // time
+                (a(2), 1_800),  // ship
+                (a(3), 20_000), // item
+                (a(4), 40_000), // bill
+            ],
+        )
+    }
+
+    fn schema5() -> Schema {
+        Schema::of(&[
+            ("date", DataType::Int),
+            ("time", DataType::Int),
+            ("ship", DataType::Int),
+            ("item", DataType::Int),
+            ("bill", DataType::Int),
+        ])
+    }
+
+    const M50: u64 = 37;
+    const M150: u64 = 111;
+
+    /// Paper Table 4 — Q6 = {wf1=({item},(date)), wf2=({item},(bill))}:
+    /// `ws HS→ wf1 SS→ wf2` at 50/75 MB, `ws FS→ wf1 SS→ wf2` at 150 MB.
+    #[test]
+    fn q6_plans_match_paper() {
+        let q = WindowQuery::new(
+            schema5(),
+            vec![wf("wf1", &[3], &[0]), wf("wf2", &[3], &[4])],
+        );
+        let s = stats();
+        let plan50 = plan_cso(&q, &PlanContext::new(&s, M50)).unwrap();
+        assert_eq!(plan50.chain_string(), "ws HS→ wf1 SS→ wf2");
+        assert_eq!(plan50.repairs, 0);
+        let plan150 = plan_cso(&q, &PlanContext::new(&s, M150)).unwrap();
+        assert_eq!(plan150.chain_string(), "ws FS→ wf1 SS→ wf2");
+    }
+
+    /// Q6 ablations (Fig. 5): CSO(v1) = FS+SS at all M; CSO(v2) = two
+    /// HS (50/75) or two FS (150).
+    #[test]
+    fn q6_ablations() {
+        let q = WindowQuery::new(
+            schema5(),
+            vec![wf("wf1", &[3], &[0]), wf("wf2", &[3], &[4])],
+        );
+        let s = stats();
+        let mut ctx = PlanContext::new(&s, M50);
+        ctx.allow_hs = false;
+        let v1 = plan_cso(&q, &ctx).unwrap();
+        assert_eq!(v1.chain_string(), "ws FS→ wf1 SS→ wf2");
+
+        let mut ctx2 = PlanContext::new(&s, M50);
+        ctx2.allow_ss = false;
+        let v2 = plan_cso(&q, &ctx2).unwrap();
+        assert_eq!(v2.chain_string(), "ws HS→ wf1 HS→ wf2");
+        let mut ctx3 = PlanContext::new(&s, M150);
+        ctx3.allow_ss = false;
+        let v2b = plan_cso(&q, &ctx3).unwrap();
+        assert_eq!(v2b.chain_string(), "ws FS→ wf1 FS→ wf2");
+    }
+
+    /// Paper Table 6 — Q7: `ws FS→ wf5 → wf4 → wf3 HS→ wf1 → wf2` at
+    /// 50/75, with FS instead of HS at 150.
+    #[test]
+    fn q7_plans_match_paper() {
+        let q = WindowQuery::new(
+            schema5(),
+            vec![
+                wf("wf1", &[0, 1, 2], &[]),
+                wf("wf2", &[1, 0], &[]),
+                wf("wf3", &[3], &[]),
+                wf("wf4", &[], &[3, 4]),
+                wf("wf5", &[0, 1, 3, 4], &[2]),
+            ],
+        );
+        let s = stats();
+        let plan50 = plan_cso(&q, &PlanContext::new(&s, M50)).unwrap();
+        assert_eq!(
+            plan50.chain_string(),
+            "ws FS→ wf5 → wf4 → wf3 HS→ wf1 → wf2"
+        );
+        assert_eq!(plan50.repairs, 0);
+        let plan150 = plan_cso(&q, &PlanContext::new(&s, M150)).unwrap();
+        assert_eq!(
+            plan150.chain_string(),
+            "ws FS→ wf5 → wf4 → wf3 FS→ wf1 → wf2"
+        );
+    }
+
+    /// Paper Table 8 — Q8 plan shape: our P-order differs (cost-equivalent,
+    /// see EXPERIMENTS.md) but the operator multiset must match the paper:
+    /// {HS, SS, HS} at 50/75 with the same cover sets.
+    #[test]
+    fn q8_operator_multiset_matches_paper() {
+        let q = WindowQuery::new(
+            schema5(),
+            vec![
+                wf("wf1", &[0, 1, 2], &[]),
+                wf("wf2", &[1, 0], &[]),
+                wf("wf3", &[3], &[]),
+                wf("wf4", &[3], &[4]),
+                wf("wf5", &[0, 1, 3], &[4, 2]),
+            ],
+        );
+        let s = stats();
+        let plan = plan_cso(&q, &PlanContext::new(&s, M50)).unwrap();
+        assert_eq!(plan.repairs, 0);
+        let mut ops: Vec<&str> = plan
+            .steps
+            .iter()
+            .filter(|st| st.reorder != ReorderOp::None)
+            .map(|st| st.reorder.arrow())
+            .collect();
+        ops.sort_unstable();
+        assert_eq!(ops, vec!["HS→", "HS→", "SS→"]);
+        // 3 cover sets → exactly 3 reorders for 5 functions.
+        assert_eq!(plan.reorder_count(), 3);
+    }
+
+    /// Paper Table 10 — Q9 at 50/75: the chain must use 6 reorders
+    /// (3 FS/HS + 3 SS) over 8 functions, with the item-subset on FS
+    /// (wf4's empty WPK empties the hash-key pool), the bill-subset on HS
+    /// and the time-subset on FS.
+    #[test]
+    fn q9_plan_structure() {
+        // Attrs: date=0, time=1, item=3, bill=4.
+        let q = WindowQuery::new(
+            schema5(),
+            vec![
+                wf("wf1", &[3], &[4, 0]),
+                wf("wf2", &[3, 1], &[0]),
+                wf("wf3", &[3], &[1]),
+                wf("wf4", &[], &[3, 0]),
+                wf("wf5", &[4, 0], &[1]),
+                wf("wf6", &[4], &[1]),
+                wf("wf7", &[0, 1], &[]),
+                wf("wf8", &[], &[1]),
+            ],
+        );
+        let s = stats();
+        let plan = plan_cso(&q, &PlanContext::new(&s, M50)).unwrap();
+        assert_eq!(plan.repairs, 0);
+        assert_eq!(plan.reorder_count(), 6, "{}", plan.chain_string());
+        let chain = plan.chain_string();
+        // Time-subset first (1 cover set), FS-forced by wf8's empty WPK.
+        assert!(chain.starts_with("ws FS→ wf7 → wf8"), "chain: {chain}");
+        // Bill-subset on HS at small memory.
+        assert!(chain.contains("HS→ wf6 SS→ wf5"), "chain: {chain}");
+        let ss_count = plan
+            .steps
+            .iter()
+            .filter(|st| matches!(st.reorder, ReorderOp::Ss { .. }))
+            .count();
+        assert_eq!(ss_count, 3);
+    }
+
+    /// C0: functions matched by the input evaluate first with no reorder.
+    #[test]
+    fn c0_matched_first() {
+        let mut q = WindowQuery::new(
+            schema5(),
+            vec![wf("w_matched", &[0], &[1]), wf("w_other", &[3], &[])],
+        );
+        q.input_props = SegProps::sorted(key(&[0, 1]));
+        let s = stats();
+        let plan = plan_cso(&q, &PlanContext::new(&s, M50)).unwrap();
+        assert_eq!(plan.steps[0].wf, 0);
+        assert_eq!(plan.steps[0].reorder, ReorderOp::None);
+    }
+
+    /// C1: SS-reorderable functions use SS directly from the input
+    /// (the Fig. 4 scenario: web_sales_s sorted on quantity).
+    #[test]
+    fn c1_uses_ss_from_input() {
+        let mut q =
+            WindowQuery::new(schema5(), vec![wf("w", &[0], &[3])]); // ({date},(item))
+        q.input_props = SegProps::sorted(key(&[0])); // sorted on date
+        let s = stats();
+        let plan = plan_cso(&q, &PlanContext::new(&s, M50)).unwrap();
+        assert!(matches!(plan.steps[0].reorder, ReorderOp::Ss { .. }));
+        assert_eq!(plan.repairs, 0);
+    }
+
+    /// Single-function query degenerates to the cost-based FS/HS choice.
+    #[test]
+    fn single_function_cost_based() {
+        let q = WindowQuery::new(schema5(), vec![wf("w", &[3], &[1])]);
+        let s = stats();
+        let plan50 = plan_cso(&q, &PlanContext::new(&s, M50)).unwrap();
+        assert!(matches!(plan50.steps[0].reorder, ReorderOp::Hs { .. }));
+        let plan150 = plan_cso(&q, &PlanContext::new(&s, M150)).unwrap();
+        assert!(matches!(plan150.steps[0].reorder, ReorderOp::Fs { .. }));
+    }
+}

@@ -1,0 +1,99 @@
+//! The four optimization schemes the paper evaluates (§6), plus the CSO
+//! ablations used for Q6 (Fig. 5).
+
+mod bfo;
+mod cso;
+mod orcl;
+mod psql;
+
+pub use bfo::{plan_bfo, BfoOptions};
+pub use cso::plan_cso;
+pub use orcl::plan_orcl;
+pub use psql::plan_psql;
+
+use crate::plan::{Plan, PlanContext};
+use crate::query::WindowQuery;
+use crate::runtime::ExecEnv;
+use crate::cost::TableStats;
+use wf_common::Result;
+
+/// Which optimizer to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Cover-set based optimization (§4) — the paper's contribution.
+    Cso,
+    /// CSO with Hashed Sort disabled (Q6's CSO(v1)).
+    CsoNoHs,
+    /// CSO with Segmented Sort disabled (Q6's CSO(v2)).
+    CsoNoSs,
+    /// Brute force: exhaustive search over orders, operators and keys.
+    Bfo,
+    /// Oracle 8i: ordering groups (= cover sets) with FS-only reordering.
+    Orcl,
+    /// PostgreSQL 9.1: SELECT order, FS-only, written-order sort keys,
+    /// reorder skipped when the input matches.
+    Psql,
+}
+
+impl Scheme {
+    /// All schemes, in the order the paper's figures list them.
+    pub fn all() -> [Scheme; 6] {
+        [Scheme::Bfo, Scheme::Cso, Scheme::CsoNoHs, Scheme::CsoNoSs, Scheme::Orcl, Scheme::Psql]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Cso => "CSO",
+            Scheme::CsoNoHs => "CSO(v1)",
+            Scheme::CsoNoSs => "CSO(v2)",
+            Scheme::Bfo => "BFO",
+            Scheme::Orcl => "ORCL",
+            Scheme::Psql => "PSQL",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Optimize a window query under the given scheme. `env` supplies the unit
+/// reorder memory; `stats` the table statistics the cost models need.
+pub fn optimize(
+    query: &WindowQuery,
+    stats: &TableStats,
+    scheme: Scheme,
+    env: &ExecEnv,
+) -> Result<Plan> {
+    let mut ctx = PlanContext::new(stats, env.mem_blocks());
+    ctx.weights = env.weights();
+    match scheme {
+        Scheme::Cso => plan_cso(query, &ctx),
+        Scheme::CsoNoHs => {
+            ctx.allow_hs = false;
+            plan_cso(query, &ctx)
+        }
+        Scheme::CsoNoSs => {
+            ctx.allow_ss = false;
+            plan_cso(query, &ctx)
+        }
+        Scheme::Bfo => plan_bfo(query, &ctx, &BfoOptions::default()),
+        Scheme::Orcl => plan_orcl(query, &ctx),
+        Scheme::Psql => plan_psql(query, &ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Cso.name(), "CSO");
+        assert_eq!(Scheme::all().len(), 6);
+        assert_eq!(Scheme::CsoNoHs.to_string(), "CSO(v1)");
+    }
+}

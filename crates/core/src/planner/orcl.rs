@@ -1,0 +1,152 @@
+//! The ORCL baseline: Oracle 8i's ordering-group scheme (§6, [5]).
+//!
+//! Window functions are clustered into a minimum number of *ordering
+//! groups* — equivalent to the paper's cover sets — but the leading
+//! function of each group may only be reordered with a Full Sort. The
+//! clustering heuristic processes functions in SELECT order and joins the
+//! first group whose covering key can absorb the newcomer (Oracle's exact
+//! tie-breaking is unpublished; group *counts* match the paper, membership
+//! can differ on ties — see EXPERIMENTS.md).
+//!
+//! Groups are evaluated largest-first (then by smallest member index);
+//! within a group the covering function runs first.
+
+use crate::cover::try_cover_set;
+use crate::plan::{apply_reorder, finalize_chain, Plan, PlanContext, PlanStep, ReorderOp};
+use crate::query::WindowQuery;
+use wf_common::Result;
+
+/// Produce the ORCL chain.
+pub fn plan_orcl(query: &WindowQuery, ctx: &PlanContext<'_>) -> Result<Plan> {
+    let specs = &query.specs;
+
+    // Greedy ordering-group formation in SELECT order.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..specs.len() {
+        let mut joined = false;
+        for g in groups.iter_mut() {
+            let mut trial = g.clone();
+            trial.push(i);
+            if try_cover_set(specs, &trial, None).is_some() {
+                g.push(i);
+                joined = true;
+                break;
+            }
+        }
+        if !joined {
+            groups.push(vec![i]);
+        }
+    }
+
+    // Evaluation order: size desc, then smallest member index.
+    groups.sort_by_key(|g| {
+        (std::cmp::Reverse(g.len()), g.iter().copied().min().unwrap_or(usize::MAX))
+    });
+
+    let mut props = query.input_props.clone();
+    let mut segments = query.input_segments;
+    let mut steps = Vec::with_capacity(specs.len());
+    for g in &groups {
+        let cs = try_cover_set(specs, g, None).expect("groups were built as cover sets");
+        let gamma = cs.key();
+        for (j, &wf) in cs.members.iter().enumerate() {
+            let reorder = if j == 0 {
+                if props.matches_all(cs.members.iter().map(|&m| &specs[m])) {
+                    ReorderOp::None
+                } else {
+                    ReorderOp::Fs { key: gamma.clone() }
+                }
+            } else {
+                ReorderOp::None
+            };
+            let (p2, s2) = apply_reorder(&reorder, &props, segments, &specs[wf], ctx.stats);
+            props = p2;
+            segments = s2;
+            steps.push(PlanStep { wf, reorder });
+        }
+    }
+    Ok(finalize_chain("ORCL", specs, &query.input_props, query.input_segments, steps, ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableStats;
+    use crate::spec::WindowSpec;
+    use wf_common::{AttrId, OrdElem, SortSpec};
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+    fn key(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+    }
+    fn wf(name: &str, wpk: &[usize], wok: &[usize]) -> WindowSpec {
+        WindowSpec::rank(name, wpk.iter().map(|&i| a(i)).collect(), key(wok))
+    }
+    fn stats() -> TableStats {
+        TableStats::synthetic(
+            400_000,
+            10_600 * wf_storage::BLOCK_SIZE as u64,
+            vec![(a(0), 1800), (a(1), 80_000), (a(2), 200), (a(3), 20_000), (a(4), 40_000)],
+        )
+    }
+    /// Attrs: date=0, time=1, ship=2, item=3, bill=4.
+    fn q7() -> WindowQuery {
+        let schema = wf_common::Schema::of(&[
+            ("date", wf_common::DataType::Int),
+            ("time", wf_common::DataType::Int),
+            ("ship", wf_common::DataType::Int),
+            ("item", wf_common::DataType::Int),
+            ("bill", wf_common::DataType::Int),
+        ]);
+        WindowQuery::new(
+            schema,
+            vec![
+                wf("wf1", &[0, 1, 2], &[]),
+                wf("wf2", &[1, 0], &[]),
+                wf("wf3", &[3], &[]),
+                wf("wf4", &[], &[3, 4]),
+                wf("wf5", &[0, 1, 3, 4], &[2]),
+            ],
+        )
+    }
+
+    /// Paper Table 6, ORCL row: ws FS→ wf5 → wf4 → wf3 FS→ wf1 → wf2.
+    #[test]
+    fn q7_orcl_plan_matches_paper() {
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let plan = plan_orcl(&q7(), &ctx).unwrap();
+        assert_eq!(plan.repairs, 0);
+        assert_eq!(plan.chain_string(), "ws FS→ wf5 → wf4 → wf3 FS→ wf1 → wf2");
+        assert_eq!(plan.reorder_count(), 2);
+    }
+
+    /// ORCL never emits HS or SS.
+    #[test]
+    fn orcl_is_fs_only() {
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let plan = plan_orcl(&q7(), &ctx).unwrap();
+        assert!(plan
+            .steps
+            .iter()
+            .all(|st| matches!(st.reorder, ReorderOp::Fs { .. } | ReorderOp::None)));
+    }
+
+    /// A matched leading group evaluates with no sort at all.
+    #[test]
+    fn orcl_skips_sort_when_input_matches() {
+        let schema = wf_common::Schema::of(&[
+            ("x", wf_common::DataType::Int),
+            ("y", wf_common::DataType::Int),
+        ]);
+        let mut q = WindowQuery::new(schema, vec![wf("w", &[0], &[1])]);
+        q.input_props = crate::props::SegProps::sorted(key(&[0, 1]));
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let plan = plan_orcl(&q, &ctx).unwrap();
+        assert_eq!(plan.reorder_count(), 0);
+    }
+}

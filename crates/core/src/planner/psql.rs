@@ -1,0 +1,136 @@
+//! The PSQL baseline: PostgreSQL 9.1's naive scheme (§6).
+//!
+//! Window functions are evaluated strictly in SELECT-clause order; every
+//! unmatched function is reordered with a Full Sort whose key is the
+//! *written* order of its PARTITION BY attributes followed by its ORDER BY.
+//! The only optimization is skipping the sort when the input already
+//! matches (which is why the paper's Q9 PSQL plan still shares one sort
+//! between wf2 and wf3).
+
+use crate::plan::{apply_reorder, finalize_chain, Plan, PlanContext, PlanStep, ReorderOp};
+use crate::props::SegProps;
+use crate::query::WindowQuery;
+use crate::spec::WindowSpec;
+use wf_common::Result;
+
+/// PostgreSQL 9.1's match test is purely positional: the current sort key
+/// must start with the function's *written* key, element for element. It
+/// cannot see that `(time, date)` is satisfied by a `(date, time, …)` sort —
+/// the gap the paper's Q7 exposes (its wf1/wf2 pair is never shared).
+fn psql_matches(props: &SegProps, spec: &WindowSpec) -> bool {
+    props.x().is_empty() && spec.written_key().is_prefix_of(props.y())
+}
+
+/// Produce the PSQL chain.
+pub fn plan_psql(query: &WindowQuery, ctx: &PlanContext<'_>) -> Result<Plan> {
+    let specs = &query.specs;
+    let mut props = query.input_props.clone();
+    let mut segments = query.input_segments;
+    let mut steps = Vec::with_capacity(specs.len());
+
+    for (i, spec) in specs.iter().enumerate() {
+        let reorder = if psql_matches(&props, spec) {
+            ReorderOp::None
+        } else {
+            ReorderOp::Fs { key: spec.written_key() }
+        };
+        let (p2, s2) = apply_reorder(&reorder, &props, segments, spec, ctx.stats);
+        props = p2;
+        segments = s2;
+        steps.push(PlanStep { wf: i, reorder });
+    }
+    Ok(finalize_chain("PSQL", specs, &query.input_props, query.input_segments, steps, ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableStats;
+    use crate::spec::WindowSpec;
+    use wf_common::{AttrId, OrdElem, SortSpec};
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+    fn key(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+    }
+    fn stats() -> TableStats {
+        TableStats::synthetic(
+            400_000,
+            10_600 * wf_storage::BLOCK_SIZE as u64,
+            vec![(a(0), 1800), (a(1), 20_000), (a(2), 80_000), (a(3), 40_000)],
+        )
+    }
+    fn query(specs: Vec<WindowSpec>) -> WindowQuery {
+        let schema = wf_common::Schema::of(&[
+            ("date", wf_common::DataType::Int),
+            ("item", wf_common::DataType::Int),
+            ("time", wf_common::DataType::Int),
+            ("bill", wf_common::DataType::Int),
+        ]);
+        WindowQuery::new(schema, specs)
+    }
+
+    /// Q9's PSQL sharing: wf2 = ({item,time},(date)) sorted on its written
+    /// key (item,time,date) leaves wf3 = ({item},(time)) matched.
+    #[test]
+    fn psql_shares_sort_when_matched() {
+        let wf2 = WindowSpec::rank("wf2", vec![a(1), a(2)], key(&[0]));
+        let wf3 = WindowSpec::rank("wf3", vec![a(1)], key(&[2]));
+        let q = query(vec![wf2, wf3]);
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let plan = plan_psql(&q, &ctx).unwrap();
+        assert_eq!(plan.repairs, 0);
+        assert!(matches!(plan.steps[0].reorder, ReorderOp::Fs { .. }));
+        assert_eq!(plan.steps[1].reorder, ReorderOp::None);
+    }
+
+    /// Q7's gap: wf1 = ({date,time,ship}, ε) sorts on (date,time,ship);
+    /// wf2 = ({time,date}, ε) is *semantically* matched but PSQL's
+    /// positional check cannot see it, so it sorts again (paper Table 6).
+    #[test]
+    fn psql_misses_permuted_match() {
+        let wf1 = WindowSpec::rank("wf1", vec![a(0), a(2), a(3)], key(&[]));
+        let wf2 = WindowSpec::rank("wf2", vec![a(2), a(0)], key(&[]));
+        let q = query(vec![wf1, wf2]);
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let plan = plan_psql(&q, &ctx).unwrap();
+        assert_eq!(plan.reorder_count(), 2, "{}", plan.chain_string());
+    }
+
+    /// PSQL uses the *written* WPK order, so ({b,a},...) sorts on (b,a,...).
+    #[test]
+    fn psql_written_order_key() {
+        let wf1 = WindowSpec::rank("wf1", vec![a(3), a(1)], key(&[0]));
+        let q = query(vec![wf1]);
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let plan = plan_psql(&q, &ctx).unwrap();
+        match &plan.steps[0].reorder {
+            ReorderOp::Fs { key } => {
+                assert_eq!(key.attr_seq().as_slice(), &[a(3), a(1), a(0)]);
+            }
+            other => panic!("expected FS, got {other:?}"),
+        }
+    }
+
+    /// Every reorder is an FS: PSQL never uses HS or SS even when SS would
+    /// apply.
+    #[test]
+    fn psql_is_fs_only() {
+        let wf1 = WindowSpec::rank("wf1", vec![a(1)], key(&[0]));
+        let wf2 = WindowSpec::rank("wf2", vec![a(1)], key(&[2]));
+        let q = query(vec![wf1, wf2]);
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let plan = plan_psql(&q, &ctx).unwrap();
+        assert_eq!(plan.reorder_count(), 2);
+        assert!(plan
+            .steps
+            .iter()
+            .all(|st| matches!(st.reorder, ReorderOp::Fs { .. } | ReorderOp::None)));
+    }
+}

@@ -1,0 +1,226 @@
+//! User-facing window-query description.
+//!
+//! A [`WindowQuery`] is the paper's setting: a windowed table (already
+//! produced by the non-window part of the query) carrying physical
+//! properties, a set of window functions to evaluate, and an optional final
+//! ORDER BY. [`QueryBuilder`] provides a name-based construction API.
+
+use crate::props::SegProps;
+use crate::spec::{WindowFunction, WindowSpec};
+use wf_common::{Direction, Error, NullOrder, OrdElem, Result, Schema, SortSpec};
+
+/// A set of window functions over a windowed table.
+#[derive(Debug, Clone)]
+pub struct WindowQuery {
+    pub schema: Schema,
+    pub specs: Vec<WindowSpec>,
+    /// Physical property of the input (unordered for a heap table).
+    pub input_props: SegProps,
+    /// Number of physical segments of the input (1 for a heap table).
+    pub input_segments: u64,
+    /// Final ORDER BY clause, if any (§5).
+    pub order_by: Option<SortSpec>,
+    /// Output projection over the *output schema* (base columns followed by
+    /// one column per window function). `None` keeps every column
+    /// (`SELECT *` semantics, the paper's setting).
+    pub projection: Option<Vec<wf_common::AttrId>>,
+}
+
+impl WindowQuery {
+    /// Query over an unordered table.
+    pub fn new(schema: Schema, specs: Vec<WindowSpec>) -> Self {
+        WindowQuery {
+            schema,
+            specs,
+            input_props: SegProps::unordered(),
+            input_segments: 1,
+            order_by: None,
+            projection: None,
+        }
+    }
+
+    /// Output schema: input plus one column per window function.
+    pub fn output_schema(&self) -> Result<Schema> {
+        let mut schema = self.schema.clone();
+        for spec in &self.specs {
+            let dt = spec.func.result_type(&schema);
+            schema = schema.with_appended(wf_common::Field::new(spec.name.clone(), dt))?;
+        }
+        Ok(schema)
+    }
+}
+
+/// Name-based builder for [`WindowQuery`].
+pub struct QueryBuilder<'a> {
+    schema: &'a Schema,
+    specs: Vec<WindowSpec>,
+    input_props: SegProps,
+    input_segments: u64,
+    order_by: Option<SortSpec>,
+    error: Option<Error>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Start building over a schema.
+    pub fn new(schema: &'a Schema) -> Self {
+        QueryBuilder {
+            schema,
+            specs: Vec::new(),
+            input_props: SegProps::unordered(),
+            input_segments: 1,
+            order_by: None,
+            error: None,
+        }
+    }
+
+    fn resolve_order(&mut self, order_by: &[(&str, bool)]) -> Option<SortSpec> {
+        let mut elems = Vec::with_capacity(order_by.len());
+        for (name, desc) in order_by {
+            match self.schema.resolve(name) {
+                Ok(attr) => elems.push(OrdElem {
+                    attr,
+                    dir: if *desc { Direction::Desc } else { Direction::Asc },
+                    nulls: NullOrder::Last,
+                }),
+                Err(e) => {
+                    self.error.get_or_insert(e);
+                    return None;
+                }
+            }
+        }
+        Some(SortSpec::new(elems))
+    }
+
+    /// Add a window function: `partition_by` names, `order_by` as
+    /// `(name, descending)` pairs.
+    pub fn window(
+        mut self,
+        name: &str,
+        func: WindowFunction,
+        partition_by: &[&str],
+        order_by: &[(&str, bool)],
+    ) -> Self {
+        let mut wpk = Vec::with_capacity(partition_by.len());
+        for p in partition_by {
+            match self.schema.resolve(p) {
+                Ok(a) => wpk.push(a),
+                Err(e) => {
+                    self.error.get_or_insert(e);
+                    return self;
+                }
+            }
+        }
+        let Some(wok) = self.resolve_order(order_by) else { return self };
+        self.specs.push(WindowSpec::new(name, func, wpk, wok));
+        self
+    }
+
+    /// Shorthand for `rank()`.
+    pub fn rank(self, name: &str, partition_by: &[&str], order_by: &[(&str, bool)]) -> Self {
+        self.window(name, WindowFunction::Rank, partition_by, order_by)
+    }
+
+    /// Declare the input's physical properties (e.g. output of a GROUP BY).
+    pub fn input_props(mut self, props: SegProps, segments: u64) -> Self {
+        self.input_props = props;
+        self.input_segments = segments.max(1);
+        self
+    }
+
+    /// Final ORDER BY.
+    pub fn order_by(mut self, order_by: &[(&str, bool)]) -> Self {
+        if let Some(spec) = self.resolve_order(order_by) {
+            self.order_by = Some(spec);
+        }
+        self
+    }
+
+    /// Finish; errors if any name failed to resolve or no function was
+    /// added.
+    pub fn build(self) -> Result<WindowQuery> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.specs.is_empty() {
+            return Err(Error::InvalidQuery("a window query needs at least one function".into()));
+        }
+        // Duplicate output names collide with the appended schema.
+        for (i, s) in self.specs.iter().enumerate() {
+            for t in &self.specs[..i] {
+                if s.name.eq_ignore_ascii_case(&t.name) {
+                    return Err(Error::InvalidQuery(format!(
+                        "duplicate window column name `{}`",
+                        s.name
+                    )));
+                }
+            }
+        }
+        Ok(WindowQuery {
+            schema: self.schema.clone(),
+            specs: self.specs,
+            input_props: self.input_props,
+            input_segments: self.input_segments,
+            order_by: self.order_by,
+            projection: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::of(&[("a", DataType::Int), ("b", DataType::Int), ("c", DataType::Str)])
+    }
+
+    #[test]
+    fn builder_resolves_names() {
+        let s = schema();
+        let q = QueryBuilder::new(&s)
+            .rank("r1", &["a"], &[("b", true)])
+            .rank("r2", &[], &[("c", false)])
+            .order_by(&[("a", false)])
+            .build()
+            .unwrap();
+        assert_eq!(q.specs.len(), 2);
+        assert_eq!(q.specs[0].wpk().len(), 1);
+        assert_eq!(q.specs[0].wok().elems()[0].dir, Direction::Desc);
+        assert!(q.order_by.is_some());
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let s = schema();
+        assert!(QueryBuilder::new(&s).rank("r", &["zz"], &[]).build().is_err());
+        assert!(QueryBuilder::new(&s).rank("r", &[], &[("zz", false)]).build().is_err());
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let s = schema();
+        assert!(QueryBuilder::new(&s).build().is_err());
+    }
+
+    #[test]
+    fn duplicate_output_names_rejected() {
+        let s = schema();
+        let r = QueryBuilder::new(&s).rank("r", &["a"], &[]).rank("R", &["b"], &[]).build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn output_schema_appends_columns() {
+        let s = schema();
+        let q = QueryBuilder::new(&s)
+            .rank("r1", &["a"], &[("b", false)])
+            .window("cd", WindowFunction::CumeDist, &[], &[("b", false)])
+            .build()
+            .unwrap();
+        let out = q.output_schema().unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.field(wf_common::AttrId::new(3)).data_type, DataType::Int);
+        assert_eq!(out.field(wf_common::AttrId::new(4)).data_type, DataType::Float);
+    }
+}

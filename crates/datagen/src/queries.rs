@@ -1,0 +1,76 @@
+//! The random window-function workload of §6.3 (Table 11).
+//!
+//! "In each window function wf of each query, we randomly determined the
+//! number of attributes as well as the attributes themselves for both WPK
+//! and WOK." Attributes are drawn from the five columns of Table 2.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wf_common::{AttrId, OrdElem, SortSpec};
+use wf_core::spec::WindowSpec;
+
+/// Generate `n` random window specifications over `attr_pool` (distinct
+/// attributes; WPK up to 3 attributes, WOK up to 2, never both empty).
+pub fn random_specs(n: usize, attr_pool: &[AttrId], seed: u64) -> Vec<WindowSpec> {
+    assert!(attr_pool.len() >= 3, "need at least 3 attributes to draw from");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut specs = Vec::with_capacity(n);
+    for i in 0..n {
+        loop {
+            let mut pool: Vec<AttrId> = attr_pool.to_vec();
+            pool.shuffle(&mut rng);
+            let n_wpk = rng.random_range(0..=3usize.min(pool.len()));
+            let n_wok = rng.random_range(0..=2usize.min(pool.len() - n_wpk));
+            if n_wpk + n_wok == 0 {
+                continue;
+            }
+            let wpk: Vec<AttrId> = pool[..n_wpk].to_vec();
+            let wok = SortSpec::new(
+                pool[n_wpk..n_wpk + n_wok].iter().map(|&a| OrdElem::asc(a)).collect(),
+            );
+            specs.push(WindowSpec::rank(format!("wf{}", i + 1), wpk, wok));
+            break;
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<AttrId> {
+        (0..5).map(AttrId::new).collect()
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = random_specs(8, &pool(), 1);
+        let b = random_specs(8, &pool(), 1);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a, b);
+        let c = random_specs(8, &pool(), 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn never_empty_keys_and_bounded() {
+        for seed in 0..20 {
+            for spec in random_specs(10, &pool(), seed) {
+                assert!(spec.key_len() >= 1);
+                assert!(spec.wpk().len() <= 3);
+                assert!(spec.wok().len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn wpk_wok_disjoint_by_construction() {
+        for spec in random_specs(50, &pool(), 9) {
+            for e in spec.wok().elems() {
+                assert!(!spec.wpk().contains(e.attr));
+            }
+        }
+    }
+}

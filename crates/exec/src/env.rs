@@ -1,0 +1,59 @@
+//! Per-operator execution environment.
+
+use std::sync::Arc;
+use wf_common::Result;
+use wf_storage::spill::SpillMedium;
+use wf_storage::{CostTracker, MemoryLedger};
+
+/// Everything a reordering operator needs: the shared cost tracker, the
+/// spill medium, and the size of its unit reorder memory (the paper's `M`,
+/// in blocks).
+#[derive(Clone)]
+pub struct OpEnv {
+    /// Shared work counters.
+    pub tracker: Arc<CostTracker>,
+    /// Where spills go.
+    pub medium: SpillMedium,
+    /// Unit reorder memory in blocks.
+    pub mem_blocks: u64,
+}
+
+impl OpEnv {
+    /// Environment with a fresh tracker, simulated spill device and the
+    /// given memory budget.
+    pub fn with_memory_blocks(mem_blocks: u64) -> Self {
+        OpEnv {
+            tracker: Arc::new(CostTracker::new()),
+            medium: SpillMedium::Simulated,
+            mem_blocks,
+        }
+    }
+
+    /// New ledger sized to this environment's budget.
+    pub fn ledger(&self) -> Result<MemoryLedger> {
+        MemoryLedger::with_blocks(self.mem_blocks)
+    }
+
+    /// Same environment with a different memory budget.
+    pub fn with_blocks(&self, mem_blocks: u64) -> Self {
+        OpEnv { tracker: Arc::clone(&self.tracker), medium: self.medium, mem_blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_matches_budget() {
+        let env = OpEnv::with_memory_blocks(4);
+        assert_eq!(env.ledger().unwrap().budget_blocks(), 4);
+        assert_eq!(env.with_blocks(9).ledger().unwrap().budget_blocks(), 9);
+    }
+
+    #[test]
+    fn zero_budget_ledger_errors() {
+        let env = OpEnv::with_memory_blocks(0);
+        assert!(env.ledger().is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! **Full Sort (FS)** — the conventional reordering operator.
+//!
+//! Sorts the entire input on `perm(WPK) ∘ WOK` with the external merge sort
+//! from [`crate::sorter`]. The output is a single segment, totally ordered
+//! on the sort key (`R_{∅, key}` in the paper's notation).
+
+use crate::env::OpEnv;
+use crate::segment::SegmentedRows;
+use crate::sorter::sort_rows;
+use wf_common::{Result, RowComparator, SortSpec};
+
+/// Sort all rows on `key`; returns one totally ordered segment.
+pub fn full_sort(input: SegmentedRows, key: &SortSpec, env: &OpEnv) -> Result<SegmentedRows> {
+    let cmp = RowComparator::new(key);
+    let rows = sort_rows(input.into_rows(), &cmp, env)?;
+    Ok(SegmentedRows::single_segment(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::{row, AttrId, OrdElem, Row};
+
+    fn key(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(AttrId::new(i))).collect())
+    }
+
+    #[test]
+    fn produces_single_totally_ordered_segment() {
+        let env = OpEnv::with_memory_blocks(2);
+        let rows: Vec<Row> = (0..2000)
+            .map(|i| row![(i * 37 % 101) as i64, (i * 13 % 7) as i64, "padding-padding"])
+            .collect();
+        let out = full_sort(SegmentedRows::single_segment(rows), &key(&[0, 1]), &env).unwrap();
+        assert_eq!(out.segment_count(), 1);
+        assert_eq!(out.len(), 2000);
+        let cmp = RowComparator::new(&key(&[0, 1]));
+        assert!(out.segments_sorted_by(&cmp));
+    }
+
+    #[test]
+    fn respects_descending_keys() {
+        let env = OpEnv::with_memory_blocks(16);
+        let rows: Vec<Row> = (0..50).map(|i| row![i as i64]).collect();
+        let spec = SortSpec::new(vec![OrdElem::desc(AttrId::new(0))]);
+        let out = full_sort(SegmentedRows::single_segment(rows), &spec, &env).unwrap();
+        let first = out.rows()[0].get(AttrId::new(0)).as_int().unwrap();
+        let last = out.rows()[49].get(AttrId::new(0)).as_int().unwrap();
+        assert_eq!((first, last), (49, 0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let env = OpEnv::with_memory_blocks(2);
+        let out = full_sort(SegmentedRows::empty(), &key(&[0]), &env).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.segment_count(), 0);
+    }
+
+    #[test]
+    fn ignores_input_segmentation() {
+        let env = OpEnv::with_memory_blocks(8);
+        let s = SegmentedRows::from_parts(vec![row![3], row![1], row![2]], vec![0, 1, 2]);
+        let out = full_sort(s, &key(&[0]), &env).unwrap();
+        assert_eq!(out.segment_count(), 1);
+        let vals: Vec<i64> = out.rows().iter().map(|r| r.get(AttrId::new(0)).as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # wf-exec
+//!
+//! Physical operators for the wfopt engine:
+//!
+//! * [`full_sort`] — **FS**: external merge sort (replacement-selection run
+//!   formation + F-way merge bounded by the memory budget `M`),
+//! * [`hashed_sort`] — **HS**: hash partitioning into buckets of complete
+//!   window partitions with victim spilling and the MFV optimization, then
+//!   per-bucket sorts (paper §3.2),
+//! * [`segmented_sort`] — **SS**: per-unit sorts of `α`-groups inside the
+//!   segments of an already-segmented input (paper §3.3),
+//! * [`window`] — the window-function operator proper: partition and peer
+//!   detection, ranking / distribution / reference / aggregate functions
+//!   with ROWS and RANGE frames,
+//! * [`parallel`] — hash-partitioned parallel evaluation (paper §3.5),
+//! * [`segment`] — the segmented-rows representation flowing between
+//!   operators (segment boundaries are physical metadata, mirroring how the
+//!   paper's PostgreSQL operators pipeline window partitions).
+//!
+//! All operators charge their I/O (in blocks), comparisons and hashes to a
+//! shared [`wf_storage::CostTracker`], which is what the benchmark harness
+//! converts into modeled execution time.
+
+pub mod env;
+pub mod full_sort;
+pub mod hashed_sort;
+pub mod parallel;
+pub mod relational;
+pub mod segment;
+pub mod segmented_sort;
+pub mod sorter;
+pub mod util;
+pub mod window;
+
+pub use env::OpEnv;
+pub use full_sort::full_sort;
+pub use hashed_sort::{hashed_sort, HsOptions};
+pub use relational::{filter, group_by_hash, group_by_sort, GroupAgg, Predicate};
+pub use segment::SegmentedRows;
+pub use segmented_sort::segmented_sort;
+pub use window::{evaluate_window, Bound, FrameSpec, FrameUnits, WindowFunction};

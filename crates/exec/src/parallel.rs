@@ -1,0 +1,199 @@
+//! Parallel window evaluation (paper §3.5).
+//!
+//! A window function over `(WPK, WOK)` parallelizes by hash-partitioning the
+//! input on (a subset of) `WPK`: every window partition lands wholly inside
+//! one data partition, so each worker can reorder and evaluate
+//! independently. Workers get their own memory ledger (each models one
+//! "unit reorder memory") and share the cost tracker; outputs are
+//! concatenated with their segment boundaries preserved — the result is a
+//! valid segmented relation because data partitions are disjoint on the
+//! partitioning attributes.
+
+use crate::env::OpEnv;
+use crate::segment::SegmentedRows;
+use crate::util::hash_row_on;
+use wf_common::{AttrSet, Error, Result};
+
+/// Hash-partition `input` on `attrs` into `workers` parts, run `work` on
+/// each part concurrently, and concatenate the results in worker order.
+///
+/// `work` receives `(worker_index, part)` and must be `Sync` — it is shared
+/// across threads; per-call state belongs inside the closure.
+pub fn parallel_partitioned<F>(
+    input: SegmentedRows,
+    attrs: &AttrSet,
+    workers: usize,
+    env: &OpEnv,
+    work: F,
+) -> Result<SegmentedRows>
+where
+    F: Fn(usize, SegmentedRows) -> Result<SegmentedRows> + Sync,
+{
+    if attrs.is_empty() {
+        return Err(Error::Execution(
+            "parallel evaluation requires a non-empty partitioning key".into(),
+        ));
+    }
+    let workers = workers.max(1);
+    if workers == 1 {
+        return work(0, input);
+    }
+
+    // Scatter rows by hash; each partition becomes one unordered segment.
+    let mut parts: Vec<Vec<wf_common::Row>> = (0..workers).map(|_| Vec::new()).collect();
+    for row in input.into_rows() {
+        env.tracker.hash(1);
+        let idx = (hash_row_on(&row, attrs) % workers as u64) as usize;
+        parts[idx].push(row);
+    }
+
+    // Run each partition on its own thread.
+    let work = &work;
+    let results: Vec<Result<SegmentedRows>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, rows)| {
+                scope.spawn(move |_| work(i, SegmentedRows::single_segment(rows)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err(Error::Execution("worker panicked".into()))))
+            .collect()
+    })
+    .map_err(|_| Error::Execution("parallel scope panicked".into()))?;
+
+    let mut outputs = Vec::with_capacity(workers);
+    for r in results {
+        outputs.push(r?);
+    }
+    Ok(SegmentedRows::concat(outputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full_sort::full_sort;
+    use crate::window::{evaluate_window, WindowFunction};
+    use wf_common::{row, AttrId, OrdElem, Row, SortSpec};
+
+    fn aset(ids: &[usize]) -> AttrSet {
+        AttrSet::from_iter(ids.iter().map(|&i| AttrId::new(i)))
+    }
+    fn spec(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(AttrId::new(i))).collect())
+    }
+
+    fn sample(n: usize) -> Vec<Row> {
+        (0..n).map(|i| row![(i % 17) as i64, ((i * 31) % 101) as i64, i as i64]).collect()
+    }
+
+    /// Parallel rank equals sequential rank for every input row (keyed by
+    /// the unique id column).
+    #[test]
+    fn parallel_rank_matches_sequential() {
+        let rows = sample(600);
+        let wpk = aset(&[0]);
+        let wok = spec(&[1]);
+        let sort_key = spec(&[0, 1]);
+
+        let run_chain = |input: SegmentedRows, env: &OpEnv| -> Result<SegmentedRows> {
+            let sorted = full_sort(input, &sort_key, env)?;
+            evaluate_window(sorted, &wpk, &wok, &WindowFunction::Rank, None, env)
+        };
+
+        let env_seq = OpEnv::with_memory_blocks(64);
+        let seq = run_chain(SegmentedRows::single_segment(rows.clone()), &env_seq).unwrap();
+
+        let env_par = OpEnv::with_memory_blocks(64);
+        let par = parallel_partitioned(
+            SegmentedRows::single_segment(rows),
+            &wpk,
+            4,
+            &env_par,
+            |_, part| run_chain(part, &env_par.with_blocks(16)),
+        )
+        .unwrap();
+
+        let extract = |s: &SegmentedRows| {
+            let mut v: Vec<(i64, i64)> = s
+                .rows()
+                .iter()
+                .map(|r| {
+                    (r.get(AttrId::new(2)).as_int().unwrap(), r.get(AttrId::new(3)).as_int().unwrap())
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(extract(&seq), extract(&par));
+    }
+
+    #[test]
+    fn empty_partition_key_rejected() {
+        let env = OpEnv::with_memory_blocks(8);
+        let r = parallel_partitioned(
+            SegmentedRows::empty(),
+            &AttrSet::empty(),
+            2,
+            &env,
+            |_, p| Ok(p),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn single_worker_shortcut() {
+        let env = OpEnv::with_memory_blocks(8);
+        let rows = sample(10);
+        let out = parallel_partitioned(
+            SegmentedRows::single_segment(rows.clone()),
+            &aset(&[0]),
+            1,
+            &env,
+            |i, p| {
+                assert_eq!(i, 0);
+                Ok(p)
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), rows.len());
+        // No hashing charged on the shortcut.
+        assert_eq!(env.tracker.snapshot().hashes, 0);
+    }
+
+    #[test]
+    fn worker_errors_propagate() {
+        let env = OpEnv::with_memory_blocks(8);
+        let r = parallel_partitioned(
+            SegmentedRows::single_segment(sample(50)),
+            &aset(&[0]),
+            3,
+            &env,
+            |i, p| {
+                if i == 1 {
+                    Err(Error::Execution("boom".into()))
+                } else {
+                    Ok(p)
+                }
+            },
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn partitions_are_disjoint_on_key() {
+        let env = OpEnv::with_memory_blocks(8);
+        let out = parallel_partitioned(
+            SegmentedRows::single_segment(sample(500)),
+            &aset(&[0]),
+            4,
+            &env,
+            |_, p| Ok(p),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 500);
+        assert!(out.segments_disjoint_on(&aset(&[0])));
+    }
+}

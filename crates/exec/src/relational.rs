@@ -1,0 +1,448 @@
+//! Minimal relational operators for the non-window part of a window query.
+//!
+//! The paper's §5 integrates window planning with the rest of the query:
+//! the windowed table is *produced* by some plan (scan, filter, GROUP BY),
+//! and different upstream plans deliver different physical properties at
+//! different costs. This module supplies that upstream machinery:
+//!
+//! * [`filter`] — predicate scan,
+//! * [`group_by_hash`] — hash aggregation; output is *grouped* on the keys
+//!   (`R^g_{keys, ε}`: every group contiguous, groups unordered),
+//! * [`group_by_sort`] — sort-based aggregation; output is *sorted* on the
+//!   keys (`R_{∅, keys}`),
+//!
+//! so `wf_core::integrated` can weigh "hash GROUP BY + cheap chain" against
+//! "sort GROUP BY + even cheaper chain" exactly as §5 describes.
+
+use crate::env::OpEnv;
+use crate::full_sort::full_sort;
+use crate::segment::SegmentedRows;
+use crate::util::hash_row_on;
+use std::collections::HashMap;
+use wf_common::{
+    AttrId, AttrSet, DataType, Error, Field, Result, Row, RowComparator, Schema, SortSpec, Value,
+};
+use wf_storage::Table;
+
+/// A simple column-vs-literal predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    Eq(AttrId, Value),
+    Ne(AttrId, Value),
+    Lt(AttrId, Value),
+    Le(AttrId, Value),
+    Gt(AttrId, Value),
+    Ge(AttrId, Value),
+    /// Inclusive range.
+    Between(AttrId, Value, Value),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate against a row. SQL three-valued logic collapsed to boolean:
+    /// comparisons with NULL are false.
+    pub fn matches(&self, row: &Row) -> bool {
+        use Predicate::*;
+        let cmp = |a: &AttrId, v: &Value| -> Option<std::cmp::Ordering> {
+            let lhs = row.get(*a);
+            if lhs.is_null() || v.is_null() {
+                None
+            } else {
+                Some(lhs.cmp_nulls_first(v))
+            }
+        };
+        match self {
+            Eq(a, v) => cmp(a, v) == Some(std::cmp::Ordering::Equal),
+            Ne(a, v) => matches!(cmp(a, v), Some(o) if o != std::cmp::Ordering::Equal),
+            Lt(a, v) => cmp(a, v) == Some(std::cmp::Ordering::Less),
+            Le(a, v) => matches!(cmp(a, v), Some(o) if o != std::cmp::Ordering::Greater),
+            Gt(a, v) => cmp(a, v) == Some(std::cmp::Ordering::Greater),
+            Ge(a, v) => matches!(cmp(a, v), Some(o) if o != std::cmp::Ordering::Less),
+            Between(a, lo, hi) => {
+                matches!(cmp(a, lo), Some(o) if o != std::cmp::Ordering::Less)
+                    && matches!(cmp(a, hi), Some(o) if o != std::cmp::Ordering::Greater)
+            }
+            And(l, r) => l.matches(row) && r.matches(row),
+        }
+    }
+}
+
+/// Filter a table; charges one scan plus the output rows moved.
+pub fn filter(table: &Table, pred: &Predicate, env: &OpEnv) -> Result<Table> {
+    table.charge_scan(&env.tracker);
+    let mut out = Table::new(table.schema().clone());
+    for row in table.rows() {
+        env.tracker.compare(1);
+        if pred.matches(row) {
+            out.push(row.clone());
+            env.tracker.move_rows(1);
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregates supported by the GROUP BY operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupAgg {
+    CountStar,
+    Count(AttrId),
+    Sum(AttrId),
+    Min(AttrId),
+    Max(AttrId),
+    Avg(AttrId),
+}
+
+impl GroupAgg {
+    fn name(&self, schema: &Schema) -> String {
+        match self {
+            GroupAgg::CountStar => "count".into(),
+            GroupAgg::Count(a) => format!("count_{}", schema.name(*a)),
+            GroupAgg::Sum(a) => format!("sum_{}", schema.name(*a)),
+            GroupAgg::Min(a) => format!("min_{}", schema.name(*a)),
+            GroupAgg::Max(a) => format!("max_{}", schema.name(*a)),
+            GroupAgg::Avg(a) => format!("avg_{}", schema.name(*a)),
+        }
+    }
+
+    fn data_type(&self, schema: &Schema) -> DataType {
+        match self {
+            GroupAgg::CountStar | GroupAgg::Count(_) => DataType::Int,
+            GroupAgg::Avg(_) => DataType::Float,
+            GroupAgg::Sum(a) | GroupAgg::Min(a) | GroupAgg::Max(a) => {
+                schema.field(*a).data_type
+            }
+        }
+    }
+}
+
+/// Running state of one aggregate for one group.
+#[derive(Debug, Clone)]
+struct AggState {
+    count: i64,
+    sum: f64,
+    all_int: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState { count: 0, sum: 0.0, all_int: true, min: None, max: None }
+    }
+
+    fn update(&mut self, agg: &GroupAgg, row: &Row) -> Result<()> {
+        let col = match agg {
+            GroupAgg::CountStar => {
+                self.count += 1;
+                return Ok(());
+            }
+            GroupAgg::Count(a)
+            | GroupAgg::Sum(a)
+            | GroupAgg::Min(a)
+            | GroupAgg::Max(a)
+            | GroupAgg::Avg(a) => *a,
+        };
+        let v = row.get(col);
+        if v.is_null() {
+            return Ok(());
+        }
+        self.count += 1;
+        match v {
+            Value::Int(x) => self.sum += *x as f64,
+            Value::Float(x) => {
+                self.all_int = false;
+                self.sum += *x;
+            }
+            _ if matches!(agg, GroupAgg::Sum(_) | GroupAgg::Avg(_)) => {
+                return Err(Error::TypeMismatch {
+                    expected: "numeric".into(),
+                    found: v.type_name().into(),
+                })
+            }
+            _ => {}
+        }
+        if self.min.as_ref().is_none_or(|m| v < m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v > m) {
+            self.max = Some(v.clone());
+        }
+        Ok(())
+    }
+
+    fn finish(&self, agg: &GroupAgg) -> Value {
+        match agg {
+            GroupAgg::CountStar | GroupAgg::Count(_) => Value::Int(self.count),
+            GroupAgg::Sum(_) => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.all_int {
+                    Value::Int(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            GroupAgg::Avg(_) => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            GroupAgg::Min(_) => self.min.clone().unwrap_or(Value::Null),
+            GroupAgg::Max(_) => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Output schema of a GROUP BY: key columns (in given order) then one
+/// column per aggregate.
+pub fn group_by_schema(schema: &Schema, keys: &[AttrId], aggs: &[GroupAgg]) -> Result<Schema> {
+    let mut fields: Vec<Field> =
+        keys.iter().map(|&a| schema.field(a).clone()).collect();
+    for agg in aggs {
+        fields.push(Field::new(agg.name(schema), agg.data_type(schema)));
+    }
+    Schema::new(fields)
+}
+
+/// Hash-based GROUP BY. Output rows are *grouped* on the keys: each group
+/// is one row here, so the result is trivially `R^g_{keys, ε}` with one
+/// segment per group — the "interesting grouping" variant of §5.
+pub fn group_by_hash(
+    table: &Table,
+    keys: &[AttrId],
+    aggs: &[GroupAgg],
+    env: &OpEnv,
+) -> Result<Table> {
+    table.charge_scan(&env.tracker);
+    let key_set = AttrSet::from_iter(keys.iter().copied());
+    // Hash → collided groups, each (key values, aggregate states).
+    type GroupBucket = Vec<(Vec<Value>, Vec<AggState>)>;
+    let mut groups: HashMap<u64, GroupBucket> = HashMap::new();
+    for row in table.rows() {
+        env.tracker.hash(1);
+        let h = hash_row_on(row, &key_set);
+        let key_vals: Vec<Value> = keys.iter().map(|&a| row.get(a).clone()).collect();
+        let bucket = groups.entry(h).or_default();
+        let state = match bucket.iter_mut().find(|(k, _)| *k == key_vals) {
+            Some((_, s)) => s,
+            None => {
+                bucket.push((key_vals.clone(), vec![AggState::new(); aggs.len()]));
+                &mut bucket.last_mut().expect("just pushed").1
+            }
+        };
+        for (agg, st) in aggs.iter().zip(state.iter_mut()) {
+            st.update(agg, row)?;
+        }
+    }
+    let schema = group_by_schema(table.schema(), keys, aggs)?;
+    let mut out = Table::new(schema);
+    let mut hashes: Vec<u64> = groups.keys().copied().collect();
+    hashes.sort_unstable(); // deterministic (but not key-ordered) output
+    for h in hashes {
+        for (key_vals, states) in &groups[&h] {
+            let mut vals = key_vals.clone();
+            for (agg, st) in aggs.iter().zip(states) {
+                vals.push(st.finish(agg));
+            }
+            out.push(Row::new(vals));
+            env.tracker.move_rows(1);
+        }
+    }
+    Ok(out)
+}
+
+/// Sort-based GROUP BY: sorts on the keys (through the FS operator, so the
+/// sort is charged like any reorder), then aggregates adjacent runs. Output
+/// is `R_{∅, keys}` — totally sorted on the group-by keys, §5's
+/// "interesting order" variant.
+pub fn group_by_sort(
+    table: &Table,
+    keys: &[AttrId],
+    aggs: &[GroupAgg],
+    env: &OpEnv,
+) -> Result<Table> {
+    table.charge_scan(&env.tracker);
+    let key_spec =
+        SortSpec::new(keys.iter().map(|&a| wf_common::OrdElem::asc(a)).collect());
+    let sorted =
+        full_sort(SegmentedRows::single_segment(table.rows().to_vec()), &key_spec, env)?;
+    let cmp = RowComparator::new(&key_spec);
+
+    let schema = group_by_schema(table.schema(), keys, aggs)?;
+    let mut out = Table::new(schema);
+    let rows = sorted.rows();
+    let mut i = 0;
+    while i < rows.len() {
+        let mut states = vec![AggState::new(); aggs.len()];
+        let start = i;
+        while i < rows.len() && {
+            if i == start {
+                true
+            } else {
+                env.tracker.compare(1);
+                cmp.equal(&rows[start], &rows[i])
+            }
+        } {
+            for (agg, st) in aggs.iter().zip(states.iter_mut()) {
+                st.update(agg, &rows[i])?;
+            }
+            i += 1;
+        }
+        let mut vals: Vec<Value> = keys.iter().map(|&a| rows[start].get(a).clone()).collect();
+        for (agg, st) in aggs.iter().zip(&states) {
+            vals.push(st.finish(agg));
+        }
+        out.push(Row::new(vals));
+        env.tracker.move_rows(1);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::row;
+
+    fn sample() -> Table {
+        let schema = Schema::of(&[
+            ("g", DataType::Int),
+            ("v", DataType::Int),
+            ("w", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for (g, v, w) in [
+            (2, 10, 1.5),
+            (1, 5, 2.0),
+            (2, 20, 0.5),
+            (1, 7, 1.0),
+            (3, 1, 9.0),
+            (1, 9, 4.5),
+        ] {
+            t.push(row![g, v, w]);
+        }
+        t
+    }
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+
+    #[test]
+    fn predicates() {
+        let r = row![5, Value::Null];
+        assert!(Predicate::Eq(a(0), Value::Int(5)).matches(&r));
+        assert!(Predicate::Between(a(0), Value::Int(5), Value::Int(9)).matches(&r));
+        assert!(!Predicate::Lt(a(0), Value::Int(5)).matches(&r));
+        assert!(Predicate::Le(a(0), Value::Int(5)).matches(&r));
+        assert!(Predicate::Ne(a(0), Value::Int(4)).matches(&r));
+        // NULL comparisons are false.
+        assert!(!Predicate::Eq(a(1), Value::Null).matches(&r));
+        assert!(!Predicate::Gt(a(1), Value::Int(0)).matches(&r));
+        let both = Predicate::And(
+            Box::new(Predicate::Ge(a(0), Value::Int(5))),
+            Box::new(Predicate::Lt(a(0), Value::Int(6))),
+        );
+        assert!(both.matches(&r));
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let t = sample();
+        let env = OpEnv::with_memory_blocks(8);
+        let out = filter(&t, &Predicate::Eq(a(0), Value::Int(1)), &env).unwrap();
+        assert_eq!(out.row_count(), 3);
+        assert!(out.rows().iter().all(|r| r.get(a(0)).as_int() == Some(1)));
+        assert!(env.tracker.snapshot().blocks_read >= t.block_count());
+    }
+
+    fn check_groups(out: &Table) {
+        // Expected: g=1 → count 3, sum 21, min 5, max 9, avg 7.0
+        //           g=2 → count 2, sum 30; g=3 → count 1, sum 1.
+        let mut seen = std::collections::HashMap::new();
+        for r in out.rows() {
+            let g = r.get(a(0)).as_int().unwrap();
+            let cnt = r.get(a(1)).as_int().unwrap();
+            let sum = r.get(a(2)).as_int().unwrap();
+            let mn = r.get(a(3)).as_int().unwrap();
+            let mx = r.get(a(4)).as_int().unwrap();
+            let avg = r.get(a(5)).as_f64().unwrap();
+            seen.insert(g, (cnt, sum, mn, mx, avg));
+        }
+        assert_eq!(seen[&1], (3, 21, 5, 9, 7.0));
+        assert_eq!(seen[&2], (2, 30, 10, 20, 15.0));
+        assert_eq!(seen[&3], (1, 1, 1, 1, 1.0));
+        assert_eq!(seen.len(), 3);
+    }
+
+    fn aggs() -> Vec<GroupAgg> {
+        vec![
+            GroupAgg::CountStar,
+            GroupAgg::Sum(a(1)),
+            GroupAgg::Min(a(1)),
+            GroupAgg::Max(a(1)),
+            GroupAgg::Avg(a(1)),
+        ]
+    }
+
+    #[test]
+    fn hash_and_sort_group_by_agree() {
+        let t = sample();
+        let env = OpEnv::with_memory_blocks(8);
+        let hashed = group_by_hash(&t, &[a(0)], &aggs(), &env).unwrap();
+        check_groups(&hashed);
+        let sorted = group_by_sort(&t, &[a(0)], &aggs(), &env).unwrap();
+        check_groups(&sorted);
+        // Sort-based output is ordered on the key.
+        let gs: Vec<i64> =
+            sorted.rows().iter().map(|r| r.get(a(0)).as_int().unwrap()).collect();
+        assert_eq!(gs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn group_by_schema_names_and_types() {
+        let t = sample();
+        let s = group_by_schema(t.schema(), &[a(0)], &aggs()).unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.field(a(1)).name, "count");
+        assert_eq!(s.field(a(2)).name, "sum_v");
+        assert_eq!(s.field(a(5)).data_type, DataType::Float);
+    }
+
+    #[test]
+    fn sum_of_floats_stays_float() {
+        let t = sample();
+        let env = OpEnv::with_memory_blocks(8);
+        let out = group_by_hash(&t, &[a(0)], &[GroupAgg::Sum(a(2))], &env).unwrap();
+        let g1 = out
+            .rows()
+            .iter()
+            .find(|r| r.get(a(0)).as_int() == Some(1))
+            .unwrap();
+        assert_eq!(g1.get(a(1)), &Value::Float(7.5));
+    }
+
+    #[test]
+    fn null_keys_form_their_own_group() {
+        let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]);
+        let mut t = Table::new(schema);
+        t.push(row![Value::Null, 1]);
+        t.push(row![Value::Null, 2]);
+        t.push(row![1, 3]);
+        let env = OpEnv::with_memory_blocks(8);
+        let out = group_by_hash(&t, &[a(0)], &[GroupAgg::CountStar], &env).unwrap();
+        assert_eq!(out.row_count(), 2);
+        let null_group = out.rows().iter().find(|r| r.get(a(0)).is_null()).unwrap();
+        assert_eq!(null_group.get(a(1)).as_int(), Some(2));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let t = Table::new(sample().schema().clone());
+        let env = OpEnv::with_memory_blocks(8);
+        assert!(group_by_hash(&t, &[a(0)], &aggs(), &env).unwrap().is_empty());
+        assert!(group_by_sort(&t, &[a(0)], &aggs(), &env).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! The segmented-rows representation flowing between operators.
+//!
+//! A [`SegmentedRows`] is the physical realization of the paper's segmented
+//! relation `R_{X,Y}`: rows in order plus the start index of every segment.
+//! FS produces a single segment; HS produces one segment per bucket; SS
+//! refines or coarsens unit boundaries; window evaluation preserves
+//! boundaries untouched. Keeping boundaries as explicit metadata mirrors how
+//! the paper's PostgreSQL operators pipeline complete window partitions and
+//! lets Segmented Sort handle the `α = ε` case (sort whole segments) without
+//! guessing boundaries from values.
+
+use wf_common::{AttrSet, Row, RowComparator};
+
+/// Rows plus segment boundaries. Invariant: `seg_starts` is strictly
+/// increasing, starts with 0 when non-empty, and every entry is a valid row
+/// index. An empty relation has no segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentedRows {
+    rows: Vec<Row>,
+    seg_starts: Vec<usize>,
+}
+
+impl SegmentedRows {
+    /// A single segment holding all rows (FS output; also any unordered
+    /// input, which is trivially one segment).
+    pub fn single_segment(rows: Vec<Row>) -> Self {
+        let seg_starts = if rows.is_empty() { vec![] } else { vec![0] };
+        SegmentedRows { rows, seg_starts }
+    }
+
+    /// Build from explicit parts; debug-asserts the invariant.
+    pub fn from_parts(rows: Vec<Row>, seg_starts: Vec<usize>) -> Self {
+        debug_assert!(
+            seg_starts.windows(2).all(|w| w[0] < w[1]),
+            "segment starts must be strictly increasing"
+        );
+        debug_assert!(rows.is_empty() && seg_starts.is_empty() || seg_starts.first() == Some(&0));
+        debug_assert!(seg_starts.iter().all(|&s| s < rows.len().max(1)));
+        SegmentedRows { rows, seg_starts }
+    }
+
+    /// Empty relation.
+    pub fn empty() -> Self {
+        SegmentedRows { rows: vec![], seg_starts: vec![] }
+    }
+
+    /// All rows in physical order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consume into rows, discarding boundaries.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of segments (`k` in the cost models).
+    pub fn segment_count(&self) -> usize {
+        self.seg_starts.len()
+    }
+
+    /// Segment start indices.
+    pub fn seg_starts(&self) -> &[usize] {
+        &self.seg_starts
+    }
+
+    /// Iterate `(start, end)` half-open ranges of segments.
+    pub fn segment_ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let n = self.rows.len();
+        self.seg_starts
+            .iter()
+            .enumerate()
+            .map(move |(i, &s)| (s, self.seg_starts.get(i + 1).copied().unwrap_or(n)))
+    }
+
+    /// Slice of one segment by index.
+    pub fn segment(&self, i: usize) -> &[Row] {
+        let start = self.seg_starts[i];
+        let end = self.seg_starts.get(i + 1).copied().unwrap_or(self.rows.len());
+        &self.rows[start..end]
+    }
+
+    /// Verify that every segment is sorted under `cmp` (test helper; does
+    /// not charge comparisons).
+    pub fn segments_sorted_by(&self, cmp: &RowComparator) -> bool {
+        self.segment_ranges().all(|(s, e)| {
+            self.rows[s..e].windows(2).all(|w| cmp.compare(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+        })
+    }
+
+    /// Verify pairwise disjointness of segments on `attrs` (test helper,
+    /// O(n²) over segments).
+    pub fn segments_disjoint_on(&self, attrs: &AttrSet) -> bool {
+        use std::collections::HashSet;
+        let mut seen: HashSet<Vec<wf_common::Value>> = HashSet::new();
+        for (s, e) in self.segment_ranges() {
+            let mut local: HashSet<Vec<wf_common::Value>> = HashSet::new();
+            for row in &self.rows[s..e] {
+                let key: Vec<wf_common::Value> =
+                    attrs.iter().map(|a| row.get(a).clone()).collect();
+                local.insert(key);
+            }
+            for key in local {
+                if !seen.insert(key) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Concatenate several segmented relations, keeping each input's
+    /// boundaries (used by parallel execution to stitch worker outputs).
+    pub fn concat(parts: Vec<SegmentedRows>) -> SegmentedRows {
+        let mut rows = Vec::new();
+        let mut seg_starts = Vec::new();
+        for part in parts {
+            let offset = rows.len();
+            seg_starts.extend(part.seg_starts.iter().map(|s| s + offset));
+            rows.extend(part.rows);
+        }
+        SegmentedRows { rows, seg_starts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::{row, AttrId, OrdElem, SortSpec};
+
+    fn aset(ids: &[usize]) -> AttrSet {
+        AttrSet::from_iter(ids.iter().map(|&i| AttrId::new(i)))
+    }
+
+    #[test]
+    fn single_segment_shape() {
+        let s = SegmentedRows::single_segment(vec![row![1], row![2]]);
+        assert_eq!(s.segment_count(), 1);
+        assert_eq!(s.segment(0).len(), 2);
+        let e = SegmentedRows::single_segment(vec![]);
+        assert_eq!(e.segment_count(), 0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn segment_ranges_cover_rows() {
+        let s = SegmentedRows::from_parts(
+            vec![row![1], row![2], row![3], row![4]],
+            vec![0, 2, 3],
+        );
+        let ranges: Vec<_> = s.segment_ranges().collect();
+        assert_eq!(ranges, vec![(0, 2), (2, 3), (3, 4)]);
+        assert_eq!(s.segment(1), &[row![3]]);
+    }
+
+    #[test]
+    fn sortedness_check() {
+        let spec = SortSpec::new(vec![OrdElem::asc(AttrId::new(0))]);
+        let cmp = RowComparator::new(&spec);
+        let good = SegmentedRows::from_parts(vec![row![1], row![2], row![0]], vec![0, 2]);
+        assert!(good.segments_sorted_by(&cmp));
+        let bad = SegmentedRows::from_parts(vec![row![2], row![1], row![0]], vec![0, 2]);
+        assert!(!bad.segments_sorted_by(&cmp));
+    }
+
+    #[test]
+    fn disjointness_check() {
+        let s = SegmentedRows::from_parts(
+            vec![row![1, 9], row![1, 8], row![2, 7]],
+            vec![0, 2],
+        );
+        assert!(s.segments_disjoint_on(&aset(&[0])));
+        let overlapping = SegmentedRows::from_parts(
+            vec![row![1, 9], row![2, 8], row![2, 7]],
+            vec![0, 2],
+        );
+        assert!(!overlapping.segments_disjoint_on(&aset(&[0])));
+        // Disjoint on (a,b) pairs even though `a` overlaps.
+        assert!(overlapping.segments_disjoint_on(&aset(&[0, 1])));
+    }
+
+    #[test]
+    fn concat_offsets_boundaries() {
+        let a = SegmentedRows::from_parts(vec![row![1], row![2]], vec![0, 1]);
+        let b = SegmentedRows::from_parts(vec![row![3]], vec![0]);
+        let c = SegmentedRows::concat(vec![a, b, SegmentedRows::empty()]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.seg_starts(), &[0, 1, 2]);
+    }
+}

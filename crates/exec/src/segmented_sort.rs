@@ -1,0 +1,226 @@
+//! **Segmented Sort (SS)** — reorder an already-segmented relation by
+//! sorting only the pieces that need it (paper §3.3).
+//!
+//! Given input `R_{X,Y}` and a target key `perm(WPK) ∘ WOK = α ∘ β` where
+//! `α = (perm(WPK) ∘ WOK) ∧ Y` is the prefix the input already satisfies:
+//!
+//! * if `α` is non-empty, each segment is a sequence of `α`-groups; sorting
+//!   every `α`-group on `β` yields `R_{X, α∘β}`;
+//! * if `α` is empty (possible only when `X ≠ ∅`), each whole segment is
+//!   sorted on `β`.
+//!
+//! Units are detected by `α`-value change *within* segments — segment
+//! boundaries always terminate a unit — so the input's segmentation is
+//! preserved exactly. Units normally fit in memory (that is SS's whole
+//! advantage); oversized units fall back to the shared external sort.
+
+use crate::env::OpEnv;
+use crate::segment::SegmentedRows;
+use crate::sorter::sort_rows;
+use wf_common::{Result, Row, RowComparator, SortSpec};
+
+/// Sort each `α`-group (or each segment when `alpha` is empty) on `beta`.
+///
+/// `alpha` must be a prefix the input already satisfies; this operator does
+/// not re-verify it (the planner's property algebra guarantees it), but unit
+/// detection only relies on equality of `alpha` values, so a violated
+/// precondition degrades to smaller sorted pieces rather than UB.
+pub fn segmented_sort(
+    input: SegmentedRows,
+    alpha: &SortSpec,
+    beta: &SortSpec,
+    env: &OpEnv,
+) -> Result<SegmentedRows> {
+    let alpha_cmp = RowComparator::new(alpha);
+    let beta_cmp = RowComparator::new(beta);
+
+    let seg_starts = input.seg_starts().to_vec();
+    let n = input.len();
+    let rows = input.into_rows();
+
+    let mut out: Vec<Row> = Vec::with_capacity(n);
+    let mut seg_ends: Vec<usize> = seg_starts.iter().skip(1).copied().collect();
+    seg_ends.push(n);
+
+    for (seg_idx, &start) in seg_starts.iter().enumerate() {
+        let end = seg_ends[seg_idx];
+        if alpha.is_empty() {
+            // Whole segment is one unit.
+            let unit: Vec<Row> = rows[start..end].to_vec();
+            env.tracker.move_rows(unit.len() as u64);
+            out.extend(sort_rows(unit, &beta_cmp, env)?);
+        } else {
+            // Walk α-groups within the segment.
+            let mut unit_start = start;
+            let mut i = start + 1;
+            while i <= end {
+                let boundary = if i == end {
+                    true
+                } else {
+                    env.tracker.compare(1);
+                    !alpha_cmp.equal(&rows[i - 1], &rows[i])
+                };
+                if boundary {
+                    let unit: Vec<Row> = rows[unit_start..i].to_vec();
+                    env.tracker.move_rows(unit.len() as u64);
+                    out.extend(sort_rows(unit, &beta_cmp, env)?);
+                    unit_start = i;
+                }
+                i += 1;
+            }
+        }
+    }
+    Ok(SegmentedRows::from_parts(out, seg_starts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::{row, AttrId, OrdElem};
+
+    fn key(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(AttrId::new(i))).collect())
+    }
+
+    /// Input sorted on (a): α=(a), sort α-groups on (b).
+    #[test]
+    fn sorts_alpha_groups_on_beta() {
+        let rows = vec![
+            row![1, 9],
+            row![1, 3],
+            row![1, 5],
+            row![2, 2],
+            row![2, 1],
+            row![3, 7],
+        ];
+        let env = OpEnv::with_memory_blocks(8);
+        let out = segmented_sort(
+            SegmentedRows::single_segment(rows),
+            &key(&[0]),
+            &key(&[1]),
+            &env,
+        )
+        .unwrap();
+        let pairs: Vec<(i64, i64)> = out
+            .rows()
+            .iter()
+            .map(|r| {
+                (r.get(AttrId::new(0)).as_int().unwrap(), r.get(AttrId::new(1)).as_int().unwrap())
+            })
+            .collect();
+        assert_eq!(pairs, vec![(1, 3), (1, 5), (1, 9), (2, 1), (2, 2), (3, 7)]);
+        assert_eq!(out.segment_count(), 1);
+        // No I/O: units are tiny.
+        assert_eq!(env.tracker.snapshot().io_blocks(), 0);
+    }
+
+    /// α empty: sort whole segments on β, preserving boundaries.
+    #[test]
+    fn empty_alpha_sorts_whole_segments() {
+        let rows = vec![row![5], row![1], row![3], row![9], row![2]];
+        let segs = SegmentedRows::from_parts(rows, vec![0, 3]);
+        let env = OpEnv::with_memory_blocks(8);
+        let out = segmented_sort(segs, &SortSpec::empty(), &key(&[0]), &env).unwrap();
+        let vals: Vec<i64> =
+            out.rows().iter().map(|r| r.get(AttrId::new(0)).as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 3, 5, 2, 9]);
+        assert_eq!(out.seg_starts(), &[0, 3]);
+    }
+
+    /// Units never cross segment boundaries even when α values repeat
+    /// across adjacent segments.
+    #[test]
+    fn units_stop_at_segment_boundaries() {
+        // Two segments, both with α-value a=1; b values must be sorted
+        // within each segment only.
+        let rows = vec![row![1, 9, 100], row![1, 5, 100], row![1, 8, 200], row![1, 2, 200]];
+        let segs = SegmentedRows::from_parts(rows, vec![0, 2]);
+        let env = OpEnv::with_memory_blocks(8);
+        let out = segmented_sort(segs, &key(&[0]), &key(&[1]), &env).unwrap();
+        let b: Vec<i64> =
+            out.rows().iter().map(|r| r.get(AttrId::new(1)).as_int().unwrap()).collect();
+        assert_eq!(b, vec![5, 9, 2, 8]);
+        // Segment membership (column c) untouched.
+        let c: Vec<i64> =
+            out.rows().iter().map(|r| r.get(AttrId::new(2)).as_int().unwrap()).collect();
+        assert_eq!(c, vec![100, 100, 200, 200]);
+    }
+
+    /// Oversized units fall back to external sort and stay correct.
+    #[test]
+    fn oversized_unit_spills() {
+        let rows: Vec<Row> = (0..3000)
+            .map(|i| row![1i64, ((i * 7919) % 3000) as i64, "padding-padding-padding-pad"])
+            .collect();
+        let env = OpEnv::with_memory_blocks(2);
+        let out =
+            segmented_sort(SegmentedRows::single_segment(rows), &key(&[0]), &key(&[1]), &env)
+                .unwrap();
+        assert_eq!(out.len(), 3000);
+        assert!(out.segments_sorted_by(&RowComparator::new(&key(&[0, 1]))));
+        assert!(env.tracker.snapshot().io_blocks() > 0);
+    }
+
+    #[test]
+    fn multi_alpha_groups_multi_segments() {
+        // Segments: [a=1, a=2], [a=2, a=3]; α=(a); β=(b).
+        let rows = vec![
+            row![1, 4],
+            row![1, 2],
+            row![2, 8],
+            row![2, 6],
+            // -- new segment
+            row![2, 3],
+            row![2, 1],
+            row![3, 5],
+        ];
+        let segs = SegmentedRows::from_parts(rows, vec![0, 4]);
+        let env = OpEnv::with_memory_blocks(8);
+        let out = segmented_sort(segs, &key(&[0]), &key(&[1]), &env).unwrap();
+        let pairs: Vec<(i64, i64)> = out
+            .rows()
+            .iter()
+            .map(|r| {
+                (r.get(AttrId::new(0)).as_int().unwrap(), r.get(AttrId::new(1)).as_int().unwrap())
+            })
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![(1, 2), (1, 4), (2, 6), (2, 8), (2, 1), (2, 3), (3, 5)]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let env = OpEnv::with_memory_blocks(2);
+        let out =
+            segmented_sort(SegmentedRows::empty(), &key(&[0]), &key(&[1]), &env).unwrap();
+        assert!(out.is_empty());
+    }
+
+    /// SS must do far less comparison work than a full sort when the input
+    /// is already segmented into many small units (the paper's
+    /// O(n log(n/k)) vs O(n log n) argument).
+    #[test]
+    fn cheaper_than_full_sort_on_many_units() {
+        let rows: Vec<Row> = (0..4000)
+            .map(|i| row![(i / 10) as i64, ((i * 31) % 97) as i64, "pad-pad-pad-pad"]) // 400 α-groups
+            .collect();
+        let env_ss = OpEnv::with_memory_blocks(4);
+        segmented_sort(
+            SegmentedRows::single_segment(rows.clone()),
+            &key(&[0]),
+            &key(&[1]),
+            &env_ss,
+        )
+        .unwrap();
+        let env_fs = OpEnv::with_memory_blocks(4);
+        crate::full_sort::full_sort(SegmentedRows::single_segment(rows), &key(&[0, 1]), &env_fs)
+            .unwrap();
+        let ss = env_ss.tracker.snapshot();
+        let fs = env_fs.tracker.snapshot();
+        assert!(ss.io_blocks() == 0, "small units should not spill");
+        assert!(fs.io_blocks() > 0, "full sort at tiny M must spill");
+        assert!(ss.comparisons < fs.comparisons);
+    }
+}

@@ -1,0 +1,194 @@
+//! Small executor utilities: a comparator-driven binary heap with
+//! comparison counting, and a hash helper for partition keys.
+
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+use wf_common::{AttrSet, Row};
+
+/// A binary min-heap ordered by an explicit comparator. `std`'s
+/// `BinaryHeap` requires `Ord`, which rows don't have for arbitrary sort
+/// specs; this heap also counts every comparison it performs so executors
+/// can charge CPU work faithfully (replacement selection's comparison count
+/// grows with heap size — the effect behind Fig. 3(c)).
+pub struct HeapBy<T, F> {
+    items: Vec<T>,
+    cmp: F,
+    comparisons: u64,
+}
+
+impl<T, F: FnMut(&T, &T) -> Ordering> HeapBy<T, F> {
+    /// Empty heap with the comparator.
+    pub fn new(cmp: F) -> Self {
+        HeapBy { items: Vec::new(), cmp, comparisons: 0 }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Comparisons performed since construction (drain with
+    /// [`Self::take_comparisons`]).
+    pub fn take_comparisons(&mut self) -> u64 {
+        std::mem::take(&mut self.comparisons)
+    }
+
+    /// Smallest item, if any.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.first()
+    }
+
+    /// Insert an item.
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+        self.sift_up(self.items.len() - 1);
+    }
+
+    /// Remove and return the smallest item.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let out = self.items.pop();
+        if !self.items.is_empty() {
+            self.sift_down(0);
+        }
+        out
+    }
+
+    /// Pop the smallest and push a replacement in one pass (the inner loop
+    /// of replacement selection and k-way merge).
+    pub fn replace_top(&mut self, item: T) -> Option<T> {
+        if self.items.is_empty() {
+            self.items.push(item);
+            return None;
+        }
+        let out = std::mem::replace(&mut self.items[0], item);
+        self.sift_down(0);
+        Some(out)
+    }
+
+    #[inline]
+    fn less(&mut self, a: usize, b: usize) -> bool {
+        self.comparisons += 1;
+        // Safety: indices come from the sift loops, always in range.
+        (self.cmp)(&self.items[a], &self.items[b]) == Ordering::Less
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(i, parent) {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.items.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < n && self.less(l, smallest) {
+                smallest = l;
+            }
+            if r < n && self.less(r, smallest) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.items.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+/// Hash a row's values on the given attributes (order-insensitive key set:
+/// attributes are hashed in their canonical sorted order). Used by Hashed
+/// Sort's partitioning phase and by parallel execution.
+pub fn hash_row_on(row: &Row, attrs: &AttrSet) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for a in attrs.iter() {
+        row.get(a).hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::{row, AttrId};
+
+    #[test]
+    fn heap_sorts_ints() {
+        let mut h = HeapBy::new(|a: &i32, b: &i32| a.cmp(b));
+        for v in [5, 3, 8, 1, 9, 2, 2] {
+            h.push(v);
+        }
+        let mut out = Vec::new();
+        while let Some(v) = h.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 2, 2, 3, 5, 8, 9]);
+    }
+
+    #[test]
+    fn heap_counts_comparisons() {
+        let mut h = HeapBy::new(|a: &i32, b: &i32| a.cmp(b));
+        h.push(1);
+        assert_eq!(h.take_comparisons(), 0);
+        h.push(2);
+        assert!(h.take_comparisons() > 0);
+        assert_eq!(h.take_comparisons(), 0);
+    }
+
+    #[test]
+    fn replace_top_keeps_heap_property() {
+        let mut h = HeapBy::new(|a: &i32, b: &i32| a.cmp(b));
+        for v in [4, 7, 9] {
+            h.push(v);
+        }
+        assert_eq!(h.replace_top(1), Some(4));
+        assert_eq!(h.peek(), Some(&1));
+        assert_eq!(h.replace_top(100), Some(1));
+        assert_eq!(h.pop(), Some(7));
+        assert_eq!(h.pop(), Some(9));
+        assert_eq!(h.pop(), Some(100));
+        assert_eq!(h.pop(), None);
+        // replace_top on empty pushes.
+        assert_eq!(h.replace_top(5), None);
+        assert_eq!(h.peek(), Some(&5));
+    }
+
+    #[test]
+    fn heap_with_reverse_comparator_is_max_heap() {
+        let mut h = HeapBy::new(|a: &i32, b: &i32| b.cmp(a));
+        for v in [1, 5, 3] {
+            h.push(v);
+        }
+        assert_eq!(h.pop(), Some(5));
+    }
+
+    #[test]
+    fn hash_row_on_is_stable_and_key_sensitive() {
+        let attrs01 = AttrSet::from_iter([AttrId::new(0), AttrId::new(1)]);
+        let attrs0 = AttrSet::from_iter([AttrId::new(0)]);
+        let r1 = row![1, "x"];
+        let r2 = row![1, "y"];
+        assert_eq!(hash_row_on(&r1, &attrs01), hash_row_on(&r1, &attrs01));
+        assert_eq!(hash_row_on(&r1, &attrs0), hash_row_on(&r2, &attrs0));
+        assert_ne!(hash_row_on(&r1, &attrs01), hash_row_on(&r2, &attrs01));
+    }
+}

@@ -1,0 +1,1103 @@
+//! The window-function operator: sequentially scans a matched (reordered)
+//! input and appends one derived column (paper §1's evaluation model).
+//!
+//! Partition boundaries are detected by a change in the `WPK` values or a
+//! segment boundary — sound because a matched input delivers every
+//! `WPK`-group contiguously and adjacent segments are disjoint on a subset
+//! of `WPK`. Within a partition the rows are ordered on `WOK`, which is how
+//! peers (ties) are detected.
+//!
+//! Functions implemented: the ranking family (`row_number`, `rank`,
+//! `dense_rank`, `ntile`), the distribution family (`percent_rank`,
+//! `cume_dist`), the reference family (`lag`, `lead`, `first_value`,
+//! `last_value`, `nth_value`) and frame-aware aggregates (`count`, `sum`,
+//! `avg`, `min`, `max`) with ROWS and RANGE frames.
+
+use crate::env::OpEnv;
+use crate::segment::SegmentedRows;
+use wf_common::{
+    AttrId, AttrSet, DataType, Error, Result, Row, RowComparator, Schema, SortSpec, Value,
+};
+
+/// A window function. `WPK`/`WOK`/frames live in the enclosing spec
+/// (`wf-core`); this enum is the computation per partition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowFunction {
+    /// 1-based position within the partition.
+    RowNumber,
+    /// Rank with gaps.
+    Rank,
+    /// Rank without gaps.
+    DenseRank,
+    /// `(rank - 1) / (rows - 1)`, 0 for a single-row partition.
+    PercentRank,
+    /// `peers_end / rows`.
+    CumeDist,
+    /// Bucket number 1..=n, larger buckets first.
+    Ntile(u64),
+    /// Value of `col` `offset` rows before the current row.
+    Lag { col: AttrId, offset: u64, default: Option<Value> },
+    /// Value of `col` `offset` rows after the current row.
+    Lead { col: AttrId, offset: u64, default: Option<Value> },
+    /// First value of `col` in the frame.
+    FirstValue(AttrId),
+    /// Last value of `col` in the frame.
+    LastValue(AttrId),
+    /// `n`-th (1-based) value of `col` in the frame.
+    NthValue(AttrId, u64),
+    /// `count(*)` (None) or `count(col)` (non-null) over the frame.
+    Count(Option<AttrId>),
+    /// Sum over the frame (NULLs skipped; NULL for an all-null frame).
+    Sum(AttrId),
+    /// Average over the frame.
+    Avg(AttrId),
+    /// Minimum over the frame.
+    Min(AttrId),
+    /// Maximum over the frame.
+    Max(AttrId),
+    /// Population variance over the frame (NULL for an empty frame).
+    VarPop(AttrId),
+    /// Sample variance over the frame (NULL when fewer than two rows).
+    VarSamp(AttrId),
+    /// Population standard deviation.
+    StddevPop(AttrId),
+    /// Sample standard deviation.
+    StddevSamp(AttrId),
+}
+
+impl WindowFunction {
+    /// Result column type given the input schema.
+    pub fn result_type(&self, schema: &Schema) -> DataType {
+        match self {
+            WindowFunction::RowNumber
+            | WindowFunction::Rank
+            | WindowFunction::DenseRank
+            | WindowFunction::Ntile(_)
+            | WindowFunction::Count(_) => DataType::Int,
+            WindowFunction::PercentRank
+            | WindowFunction::CumeDist
+            | WindowFunction::Avg(_)
+            | WindowFunction::VarPop(_)
+            | WindowFunction::VarSamp(_)
+            | WindowFunction::StddevPop(_)
+            | WindowFunction::StddevSamp(_) => DataType::Float,
+            WindowFunction::Lag { col, .. }
+            | WindowFunction::Lead { col, .. }
+            | WindowFunction::FirstValue(col)
+            | WindowFunction::LastValue(col)
+            | WindowFunction::NthValue(col, _)
+            | WindowFunction::Min(col)
+            | WindowFunction::Max(col) => schema.field(*col).data_type,
+            WindowFunction::Sum(col) => schema.field(*col).data_type,
+        }
+    }
+
+    /// True for functions that read a frame (aggregates and value
+    /// functions); ranking and row-reference functions ignore frames.
+    pub fn uses_frame(&self) -> bool {
+        matches!(
+            self,
+            WindowFunction::FirstValue(_)
+                | WindowFunction::LastValue(_)
+                | WindowFunction::NthValue(..)
+                | WindowFunction::Count(_)
+                | WindowFunction::Sum(_)
+                | WindowFunction::Avg(_)
+                | WindowFunction::Min(_)
+                | WindowFunction::Max(_)
+                | WindowFunction::VarPop(_)
+                | WindowFunction::VarSamp(_)
+                | WindowFunction::StddevPop(_)
+                | WindowFunction::StddevSamp(_)
+        )
+    }
+}
+
+/// ROWS counts physical rows; RANGE works on peer groups / key distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameUnits {
+    Rows,
+    Range,
+}
+
+/// One frame bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    UnboundedPreceding,
+    /// ROWS: row offset; RANGE: key distance (numeric WOK required).
+    Preceding(i64),
+    CurrentRow,
+    Following(i64),
+    UnboundedFollowing,
+}
+
+/// A window frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSpec {
+    pub units: FrameUnits,
+    pub start: Bound,
+    pub end: Bound,
+}
+
+impl FrameSpec {
+    /// SQL's default frame: `RANGE UNBOUNDED PRECEDING .. CURRENT ROW` when
+    /// an ORDER BY is present, else the whole partition.
+    pub fn default_for(has_order: bool) -> FrameSpec {
+        if has_order {
+            FrameSpec {
+                units: FrameUnits::Range,
+                start: Bound::UnboundedPreceding,
+                end: Bound::CurrentRow,
+            }
+        } else {
+            FrameSpec {
+                units: FrameUnits::Range,
+                start: Bound::UnboundedPreceding,
+                end: Bound::UnboundedFollowing,
+            }
+        }
+    }
+
+    /// Whole-partition frame.
+    pub fn whole_partition() -> FrameSpec {
+        FrameSpec::default_for(false)
+    }
+}
+
+/// Evaluate `func` over a matched input: appends one column to every row and
+/// preserves row order and segmentation. `frame` defaults per SQL when
+/// `None`.
+pub fn evaluate_window(
+    input: SegmentedRows,
+    wpk: &AttrSet,
+    wok: &SortSpec,
+    func: &WindowFunction,
+    frame: Option<FrameSpec>,
+    env: &OpEnv,
+) -> Result<SegmentedRows> {
+    let frame = frame.unwrap_or_else(|| FrameSpec::default_for(!wok.is_empty()));
+    let wok_cmp = RowComparator::new(wok);
+    let seg_starts = input.seg_starts().to_vec();
+    let n_total = input.len();
+    let mut rows = input.into_rows();
+
+    // Locate partitions: boundaries at segment starts and WPK changes.
+    let mut part_starts: Vec<usize> = Vec::new();
+    {
+        let mut next_seg = 0usize;
+        for i in 0..n_total {
+            let seg_boundary = next_seg < seg_starts.len() && seg_starts[next_seg] == i;
+            if seg_boundary {
+                next_seg += 1;
+            }
+            let is_start = i == 0
+                || seg_boundary
+                || {
+                    env.tracker.compare(1);
+                    !wpk.iter().all(|a| rows[i - 1].get(a) == rows[i].get(a))
+                };
+            if is_start {
+                part_starts.push(i);
+            }
+        }
+    }
+
+    // Evaluate per partition.
+    for (pi, &start) in part_starts.iter().enumerate() {
+        let end = part_starts.get(pi + 1).copied().unwrap_or(n_total);
+        let values = eval_partition(&rows[start..end], &wok_cmp, wok, func, &frame, env)?;
+        for (off, v) in values.into_iter().enumerate() {
+            rows[start + off].push(v);
+        }
+    }
+    env.tracker.move_rows(n_total as u64);
+    Ok(SegmentedRows::from_parts(rows, seg_starts))
+}
+
+/// Peer-group (tie) boundaries under the WOK comparator: returns for each
+/// row the start and end (exclusive) of its peer group.
+fn peer_bounds(part: &[Row], cmp: &RowComparator, env: &OpEnv) -> (Vec<usize>, Vec<usize>) {
+    let n = part.len();
+    let mut group_start = vec![0usize; n];
+    for i in 1..n {
+        env.tracker.compare(1);
+        group_start[i] = if cmp.equal(&part[i - 1], &part[i]) { group_start[i - 1] } else { i };
+    }
+    let mut group_end = vec![n; n];
+    for i in (0..n.saturating_sub(1)).rev() {
+        group_end[i] = if group_start[i + 1] == group_start[i] { group_end[i + 1] } else { i + 1 };
+    }
+    (group_start, group_end)
+}
+
+fn eval_partition(
+    part: &[Row],
+    wok_cmp: &RowComparator,
+    wok: &SortSpec,
+    func: &WindowFunction,
+    frame: &FrameSpec,
+    env: &OpEnv,
+) -> Result<Vec<Value>> {
+    let n = part.len();
+    match func {
+        WindowFunction::RowNumber => Ok((1..=n as i64).map(Value::Int).collect()),
+        WindowFunction::Rank => {
+            let (gs, _) = peer_bounds(part, wok_cmp, env);
+            Ok(gs.iter().map(|&s| Value::Int(s as i64 + 1)).collect())
+        }
+        WindowFunction::DenseRank => {
+            let (gs, _) = peer_bounds(part, wok_cmp, env);
+            let mut dense = 0i64;
+            let mut out = Vec::with_capacity(n);
+            let mut last = usize::MAX;
+            for &s in &gs {
+                if s != last {
+                    dense += 1;
+                    last = s;
+                }
+                out.push(Value::Int(dense));
+            }
+            Ok(out)
+        }
+        WindowFunction::PercentRank => {
+            let (gs, _) = peer_bounds(part, wok_cmp, env);
+            Ok(gs
+                .iter()
+                .map(|&s| {
+                    if n <= 1 {
+                        Value::Float(0.0)
+                    } else {
+                        Value::Float(s as f64 / (n - 1) as f64)
+                    }
+                })
+                .collect())
+        }
+        WindowFunction::CumeDist => {
+            let (_, ge) = peer_bounds(part, wok_cmp, env);
+            Ok(ge.iter().map(|&e| Value::Float(e as f64 / n as f64)).collect())
+        }
+        WindowFunction::Ntile(tiles) => {
+            let t = (*tiles).max(1) as usize;
+            let base = n / t;
+            let extra = n % t;
+            let mut out = Vec::with_capacity(n);
+            for tile in 0..t {
+                let size = base + usize::from(tile < extra);
+                for _ in 0..size {
+                    out.push(Value::Int(tile as i64 + 1));
+                }
+            }
+            // n < t leaves the loop short; n rows always emitted.
+            out.truncate(n);
+            Ok(out)
+        }
+        WindowFunction::Lag { col, offset, default } => {
+            let d = default.clone().unwrap_or(Value::Null);
+            Ok((0..n)
+                .map(|i| {
+                    i.checked_sub(*offset as usize)
+                        .map(|j| part[j].get(*col).clone())
+                        .unwrap_or_else(|| d.clone())
+                })
+                .collect())
+        }
+        WindowFunction::Lead { col, offset, default } => {
+            let d = default.clone().unwrap_or(Value::Null);
+            Ok((0..n)
+                .map(|i| {
+                    let j = i + *offset as usize;
+                    if j < n { part[j].get(*col).clone() } else { d.clone() }
+                })
+                .collect())
+        }
+        _ => eval_framed(part, wok_cmp, wok, func, frame, env),
+    }
+}
+
+/// Resolve the frame of each row as a half-open index range.
+fn frame_ranges(
+    part: &[Row],
+    wok_cmp: &RowComparator,
+    wok: &SortSpec,
+    frame: &FrameSpec,
+    env: &OpEnv,
+) -> Result<Vec<(usize, usize)>> {
+    let n = part.len();
+    match frame.units {
+        FrameUnits::Rows => Ok((0..n)
+            .map(|i| {
+                let s = rows_bound_start(frame.start, i, n);
+                let e = rows_bound_end(frame.end, i, n);
+                (s.min(n), e.max(s).min(n))
+            })
+            .collect()),
+        FrameUnits::Range => {
+            let needs_peers = matches!(frame.start, Bound::CurrentRow)
+                || matches!(frame.end, Bound::CurrentRow);
+            let (gs, ge) = if needs_peers {
+                peer_bounds(part, wok_cmp, env)
+            } else {
+                (vec![], vec![])
+            };
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let s = match frame.start {
+                    Bound::UnboundedPreceding => 0,
+                    Bound::CurrentRow => gs[i],
+                    Bound::Preceding(k) => range_offset_start(part, wok, i, -k)?,
+                    Bound::Following(k) => range_offset_start(part, wok, i, k)?,
+                    Bound::UnboundedFollowing => {
+                        return Err(Error::InvalidQuery(
+                            "frame start cannot be UNBOUNDED FOLLOWING".into(),
+                        ))
+                    }
+                };
+                let e = match frame.end {
+                    Bound::UnboundedFollowing => n,
+                    Bound::CurrentRow => ge[i],
+                    Bound::Preceding(k) => range_offset_end(part, wok, i, -k)?,
+                    Bound::Following(k) => range_offset_end(part, wok, i, k)?,
+                    Bound::UnboundedPreceding => {
+                        return Err(Error::InvalidQuery(
+                            "frame end cannot be UNBOUNDED PRECEDING".into(),
+                        ))
+                    }
+                };
+                out.push((s.min(n), e.max(s).min(n)));
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn rows_bound_start(b: Bound, i: usize, n: usize) -> usize {
+    match b {
+        Bound::UnboundedPreceding => 0,
+        Bound::Preceding(k) => i.saturating_sub(k.max(0) as usize),
+        Bound::CurrentRow => i,
+        Bound::Following(k) => (i + k.max(0) as usize).min(n),
+        Bound::UnboundedFollowing => n,
+    }
+}
+
+fn rows_bound_end(b: Bound, i: usize, n: usize) -> usize {
+    match b {
+        Bound::UnboundedPreceding => 0,
+        Bound::Preceding(k) => (i + 1).saturating_sub(k.max(0) as usize),
+        Bound::CurrentRow => i + 1,
+        Bound::Following(k) => (i + 1 + k.max(0) as usize).min(n),
+        Bound::UnboundedFollowing => n,
+    }
+}
+
+/// RANGE with a numeric offset needs a single numeric ordering key.
+fn range_key(part: &[Row], wok: &SortSpec, i: usize) -> Result<(f64, bool)> {
+    if wok.len() != 1 {
+        return Err(Error::InvalidQuery(
+            "RANGE with offset requires exactly one ORDER BY key".into(),
+        ));
+    }
+    let e = wok.elems()[0];
+    let v = part[i].get(e.attr);
+    if v.is_null() {
+        return Ok((0.0, true));
+    }
+    let f = v.as_f64().ok_or_else(|| Error::InvalidQuery(
+        "RANGE with offset requires a numeric ORDER BY key".into(),
+    ))?;
+    // Normalize to ascending space.
+    Ok((if e.dir == wf_common::Direction::Desc { -f } else { f }, false))
+}
+
+/// First index whose key ≥ key(i) + delta (ascending-normalized); NULLs form
+/// their own peer region at whichever end the sort placed them.
+fn range_offset_start(part: &[Row], wok: &SortSpec, i: usize, delta: i64) -> Result<usize> {
+    let (ki, null) = range_key(part, wok, i)?;
+    if null {
+        // NULL frame = the NULL peer region.
+        return null_region(part, wok, i).map(|(s, _)| s);
+    }
+    let target = ki + delta as f64;
+    // Binary search over non-null ascending keys.
+    let mut lo = 0usize;
+    let mut hi = part.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (km, is_null) = range_key(part, wok, mid)?;
+        if is_null {
+            // NULLs sit at one end; decide side by comparing to i.
+            if mid < i {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        } else if km < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// One past the last index whose key ≤ key(i) + delta.
+fn range_offset_end(part: &[Row], wok: &SortSpec, i: usize, delta: i64) -> Result<usize> {
+    let (ki, null) = range_key(part, wok, i)?;
+    if null {
+        return null_region(part, wok, i).map(|(_, e)| e);
+    }
+    let target = ki + delta as f64;
+    let mut lo = 0usize;
+    let mut hi = part.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (km, is_null) = range_key(part, wok, mid)?;
+        if is_null {
+            if mid < i {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        } else if km <= target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// The contiguous run of NULL-key rows containing `i`.
+fn null_region(part: &[Row], wok: &SortSpec, i: usize) -> Result<(usize, usize)> {
+    let attr = wok.elems()[0].attr;
+    let mut s = i;
+    while s > 0 && part[s - 1].get(attr).is_null() {
+        s -= 1;
+    }
+    let mut e = i + 1;
+    while e < part.len() && part[e].get(attr).is_null() {
+        e += 1;
+    }
+    Ok((s, e))
+}
+
+fn eval_framed(
+    part: &[Row],
+    wok_cmp: &RowComparator,
+    wok: &SortSpec,
+    func: &WindowFunction,
+    frame: &FrameSpec,
+    env: &OpEnv,
+) -> Result<Vec<Value>> {
+    let n = part.len();
+    let ranges = frame_ranges(part, wok_cmp, wok, frame, env)?;
+    match func {
+        WindowFunction::FirstValue(col) => Ok(ranges
+            .iter()
+            .map(|&(s, e)| if s < e { part[s].get(*col).clone() } else { Value::Null })
+            .collect()),
+        WindowFunction::LastValue(col) => Ok(ranges
+            .iter()
+            .map(|&(s, e)| if s < e { part[e - 1].get(*col).clone() } else { Value::Null })
+            .collect()),
+        WindowFunction::NthValue(col, k) => {
+            let k = (*k).max(1) as usize;
+            Ok(ranges
+                .iter()
+                .map(|&(s, e)| {
+                    let idx = s + k - 1;
+                    if idx < e { part[idx].get(*col).clone() } else { Value::Null }
+                })
+                .collect())
+        }
+        WindowFunction::Count(col) => {
+            // Prefix counts of qualifying rows.
+            let mut prefix = vec![0i64; n + 1];
+            for i in 0..n {
+                let q = match col {
+                    None => 1,
+                    Some(c) => i64::from(!part[i].get(*c).is_null()),
+                };
+                prefix[i + 1] = prefix[i] + q;
+            }
+            Ok(ranges.iter().map(|&(s, e)| Value::Int(prefix[e] - prefix[s])).collect())
+        }
+        WindowFunction::Sum(col) | WindowFunction::Avg(col) => {
+            let mut pref_sum = vec![0f64; n + 1];
+            let mut pref_cnt = vec![0i64; n + 1];
+            let mut all_int = true;
+            for i in 0..n {
+                let v = part[i].get(*col);
+                let (add, cnt) = match v {
+                    Value::Int(x) => (*x as f64, 1),
+                    Value::Float(x) => {
+                        all_int = false;
+                        (*x, 1)
+                    }
+                    Value::Null => (0.0, 0),
+                    other => {
+                        return Err(Error::TypeMismatch {
+                            expected: "numeric".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                pref_sum[i + 1] = pref_sum[i] + add;
+                pref_cnt[i + 1] = pref_cnt[i] + cnt;
+            }
+            Ok(ranges
+                .iter()
+                .map(|&(s, e)| {
+                    let cnt = pref_cnt[e] - pref_cnt[s];
+                    if cnt == 0 {
+                        return Value::Null;
+                    }
+                    let sum = pref_sum[e] - pref_sum[s];
+                    match func {
+                        WindowFunction::Sum(_) => {
+                            if all_int {
+                                Value::Int(sum as i64)
+                            } else {
+                                Value::Float(sum)
+                            }
+                        }
+                        _ => Value::Float(sum / cnt as f64),
+                    }
+                })
+                .collect())
+        }
+        WindowFunction::VarPop(col)
+        | WindowFunction::VarSamp(col)
+        | WindowFunction::StddevPop(col)
+        | WindowFunction::StddevSamp(col) => {
+            // Prefix sums of x and x² give every frame's variance in O(1).
+            let mut pref_sum = vec![0f64; n + 1];
+            let mut pref_sq = vec![0f64; n + 1];
+            let mut pref_cnt = vec![0i64; n + 1];
+            for i in 0..n {
+                let v = part[i].get(*col);
+                let (x, cnt) = match v {
+                    Value::Int(x) => (*x as f64, 1),
+                    Value::Float(x) => (*x, 1),
+                    Value::Null => (0.0, 0),
+                    other => {
+                        return Err(Error::TypeMismatch {
+                            expected: "numeric".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                pref_sum[i + 1] = pref_sum[i] + x;
+                pref_sq[i + 1] = pref_sq[i] + x * x;
+                pref_cnt[i + 1] = pref_cnt[i] + cnt;
+            }
+            let sample = matches!(
+                func,
+                WindowFunction::VarSamp(_) | WindowFunction::StddevSamp(_)
+            );
+            let sqrt = matches!(
+                func,
+                WindowFunction::StddevPop(_) | WindowFunction::StddevSamp(_)
+            );
+            Ok(ranges
+                .iter()
+                .map(|&(s, e)| {
+                    let cnt = (pref_cnt[e] - pref_cnt[s]) as f64;
+                    let min_n = if sample { 2.0 } else { 1.0 };
+                    if cnt < min_n {
+                        return Value::Null;
+                    }
+                    let sum = pref_sum[e] - pref_sum[s];
+                    let sq = pref_sq[e] - pref_sq[s];
+                    // Numerically clamped: catastrophic cancellation can
+                    // produce tiny negatives for constant frames.
+                    let ssd = (sq - sum * sum / cnt).max(0.0);
+                    let var = ssd / if sample { cnt - 1.0 } else { cnt };
+                    Value::Float(if sqrt { var.sqrt() } else { var })
+                })
+                .collect())
+        }
+        WindowFunction::Min(col) | WindowFunction::Max(col) => {
+            let want_min = matches!(func, WindowFunction::Min(_));
+            let table = SparseExtrema::build(part, *col, want_min, env);
+            Ok(ranges.iter().map(|&(s, e)| table.query(s, e)).collect())
+        }
+        other => Err(Error::Execution(format!("{other:?} is not a framed function"))),
+    }
+}
+
+/// Sparse table for O(1) min/max over arbitrary frames, skipping NULLs.
+struct SparseExtrema {
+    levels: Vec<Vec<Value>>, // levels[j][i] = extremum of [i, i + 2^j)
+    want_min: bool,
+}
+
+impl SparseExtrema {
+    fn build(part: &[Row], col: AttrId, want_min: bool, env: &OpEnv) -> Self {
+        let n = part.len();
+        let base: Vec<Value> = part.iter().map(|r| r.get(col).clone()).collect();
+        let mut levels = vec![base];
+        let mut width = 1usize;
+        while width * 2 <= n {
+            let prev = levels.last().expect("at least base level");
+            let mut next = Vec::with_capacity(n - width * 2 + 1);
+            for i in 0..=(n - width * 2) {
+                env.tracker.compare(1);
+                next.push(Self::pick(&prev[i], &prev[i + width], want_min));
+            }
+            levels.push(next);
+            width *= 2;
+        }
+        SparseExtrema { levels, want_min }
+    }
+
+    fn pick(a: &Value, b: &Value, want_min: bool) -> Value {
+        match (a.is_null(), b.is_null()) {
+            (true, true) => Value::Null,
+            (true, false) => b.clone(),
+            (false, true) => a.clone(),
+            (false, false) => {
+                let a_wins = if want_min { a <= b } else { a >= b };
+                if a_wins { a.clone() } else { b.clone() }
+            }
+        }
+    }
+
+    fn query(&self, s: usize, e: usize) -> Value {
+        if s >= e {
+            return Value::Null;
+        }
+        let len = e - s;
+        let j = (usize::BITS - 1 - len.leading_zeros()) as usize; // floor(log2)
+        let left = &self.levels[j][s];
+        let right = &self.levels[j][e - (1 << j)];
+        Self::pick(left, right, self.want_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::{row, OrdElem};
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+    fn aset(ids: &[usize]) -> AttrSet {
+        AttrSet::from_iter(ids.iter().map(|&i| a(i)))
+    }
+    fn spec(ids: &[usize]) -> SortSpec {
+        SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+    }
+
+    fn run(
+        rows: Vec<Row>,
+        wpk: &[usize],
+        wok: &SortSpec,
+        func: WindowFunction,
+        frame: Option<FrameSpec>,
+    ) -> Vec<Value> {
+        let env = OpEnv::with_memory_blocks(64);
+        let out = evaluate_window(
+            SegmentedRows::single_segment(rows),
+            &aset(wpk),
+            wok,
+            &func,
+            frame,
+            &env,
+        )
+        .unwrap();
+        let last = out.rows()[0].arity() - 1;
+        out.rows().iter().map(|r| r.get(a(last)).clone()).collect()
+    }
+
+    /// The paper's Example 1: rank over salary desc nulls last, global.
+    #[test]
+    fn example1_globalrank() {
+        // (empnum, salary); sorted by salary desc nulls last already.
+        let rows = vec![
+            row![1, 84000],
+            row![6, 79000],
+            row![4, 78000],
+            row![5, 75000],
+            row![10, 75000],
+            row![8, 55000],
+            row![9, 53000],
+            row![7, 51000],
+            row![3, Value::Null],
+            row![2, Value::Null],
+        ];
+        let wok = SortSpec::new(vec![OrdElem::desc(a(1))]);
+        let vals = run(rows, &[], &wok, WindowFunction::Rank, None);
+        let got: Vec<i64> = vals.iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 4, 6, 7, 8, 9, 9]);
+    }
+
+    #[test]
+    fn rank_within_partitions() {
+        // (dept, salary) grouped by dept, each sorted desc.
+        let rows = vec![
+            row![1, 78000],
+            row![1, 75000],
+            row![1, 53000],
+            row![2, 51000],
+            row![2, Value::Null],
+        ];
+        let wok = SortSpec::new(vec![OrdElem::desc(a(1))]);
+        let vals = run(rows, &[0], &wok, WindowFunction::Rank, None);
+        let got: Vec<i64> = vals.iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn row_number_and_dense_rank() {
+        let rows = vec![row![1, 5], row![1, 5], row![1, 7], row![2, 1]];
+        let wok = spec(&[1]);
+        let rn: Vec<i64> = run(rows.clone(), &[0], &wok, WindowFunction::RowNumber, None)
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(rn, vec![1, 2, 3, 1]);
+        let dr: Vec<i64> = run(rows, &[0], &wok, WindowFunction::DenseRank, None)
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(dr, vec![1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn percent_rank_and_cume_dist() {
+        let rows = vec![row![10], row![20], row![20], row![30]];
+        let wok = spec(&[0]);
+        let pr: Vec<f64> = run(rows.clone(), &[], &wok, WindowFunction::PercentRank, None)
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(pr, vec![0.0, 1.0 / 3.0, 1.0 / 3.0, 1.0]);
+        let cd: Vec<f64> = run(rows, &[], &wok, WindowFunction::CumeDist, None)
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(cd, vec![0.25, 0.75, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn ntile_spreads_remainder() {
+        let rows: Vec<Row> = (0..7).map(|i| row![i as i64]).collect();
+        let tiles: Vec<i64> = run(rows, &[], &spec(&[0]), WindowFunction::Ntile(3), None)
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(tiles, vec![1, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn lag_lead_with_defaults() {
+        let rows: Vec<Row> = (1..=4).map(|i| row![i as i64]).collect();
+        let lag = run(
+            rows.clone(),
+            &[],
+            &spec(&[0]),
+            WindowFunction::Lag { col: a(0), offset: 1, default: Some(Value::Int(-1)) },
+            None,
+        );
+        assert_eq!(
+            lag,
+            vec![Value::Int(-1), Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        let lead = run(
+            rows,
+            &[],
+            &spec(&[0]),
+            WindowFunction::Lead { col: a(0), offset: 2, default: None },
+            None,
+        );
+        assert_eq!(lead, vec![Value::Int(3), Value::Int(4), Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn running_sum_default_frame_respects_peers() {
+        // Default RANGE frame: peers included in the running sum.
+        let rows = vec![row![1, 10], row![1, 20], row![2, 5]];
+        let wok = spec(&[0]);
+        let sums = run(rows, &[], &wok, WindowFunction::Sum(a(1)), None);
+        // Rows 1 and 2 are peers on key=1 → both see 30.
+        assert_eq!(sums, vec![Value::Int(30), Value::Int(30), Value::Int(35)]);
+    }
+
+    #[test]
+    fn rows_frame_moving_average() {
+        let rows: Vec<Row> = [1, 2, 3, 4, 5].iter().map(|&i| row![i as i64]).collect();
+        let frame = FrameSpec {
+            units: FrameUnits::Rows,
+            start: Bound::Preceding(1),
+            end: Bound::CurrentRow,
+        };
+        let avgs: Vec<f64> = run(rows, &[], &spec(&[0]), WindowFunction::Avg(a(0)), Some(frame))
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(avgs, vec![1.0, 1.5, 2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn rows_frame_centered_window_count() {
+        let rows: Vec<Row> = (0..5).map(|i| row![i as i64]).collect();
+        let frame = FrameSpec {
+            units: FrameUnits::Rows,
+            start: Bound::Preceding(1),
+            end: Bound::Following(1),
+        };
+        let counts: Vec<i64> = run(rows, &[], &spec(&[0]), WindowFunction::Count(None), Some(frame))
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(counts, vec![2, 3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn range_numeric_offset_frame() {
+        // Keys 1,2,4,7: RANGE BETWEEN 2 PRECEDING AND CURRENT ROW.
+        let rows = vec![row![1], row![2], row![4], row![7]];
+        let frame = FrameSpec {
+            units: FrameUnits::Range,
+            start: Bound::Preceding(2),
+            end: Bound::CurrentRow,
+        };
+        let counts: Vec<i64> = run(rows, &[], &spec(&[0]), WindowFunction::Count(None), Some(frame))
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(counts, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn min_max_over_frames_with_nulls() {
+        let rows = vec![row![Value::Null], row![3], row![1], row![2]];
+        let frame = FrameSpec {
+            units: FrameUnits::Rows,
+            start: Bound::UnboundedPreceding,
+            end: Bound::CurrentRow,
+        };
+        // Input deliberately unordered on the value column; ROWS frames.
+        let mins = run(rows.clone(), &[], &SortSpec::empty(), WindowFunction::Min(a(0)), Some(frame));
+        assert_eq!(
+            mins,
+            vec![Value::Null, Value::Int(3), Value::Int(1), Value::Int(1)]
+        );
+        let maxs = run(rows, &[], &SortSpec::empty(), WindowFunction::Max(a(0)), Some(frame));
+        assert_eq!(
+            maxs,
+            vec![Value::Null, Value::Int(3), Value::Int(3), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn first_last_nth_value() {
+        let rows = vec![row![10], row![20], row![30]];
+        let whole = FrameSpec::whole_partition();
+        assert_eq!(
+            run(rows.clone(), &[], &spec(&[0]), WindowFunction::FirstValue(a(0)), Some(whole)),
+            vec![Value::Int(10); 3]
+        );
+        assert_eq!(
+            run(rows.clone(), &[], &spec(&[0]), WindowFunction::LastValue(a(0)), Some(whole)),
+            vec![Value::Int(30); 3]
+        );
+        assert_eq!(
+            run(rows.clone(), &[], &spec(&[0]), WindowFunction::NthValue(a(0), 2), Some(whole)),
+            vec![Value::Int(20); 3]
+        );
+        assert_eq!(
+            run(rows, &[], &spec(&[0]), WindowFunction::NthValue(a(0), 9), Some(whole)),
+            vec![Value::Null; 3]
+        );
+    }
+
+    #[test]
+    fn sum_skips_nulls_and_empty_frame_is_null() {
+        let rows = vec![row![Value::Null], row![Value::Null]];
+        let sums = run(rows, &[], &spec(&[0]), WindowFunction::Sum(a(0)), None);
+        assert_eq!(sums, vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn segment_boundary_forces_partition_break() {
+        // Same WPK value in two different segments must be two partitions
+        // (segments are disjoint on X ⊆ WPK, so this cannot happen for valid
+        // inputs, but the operator must not rely on it).
+        let env = OpEnv::with_memory_blocks(8);
+        let segs = SegmentedRows::from_parts(vec![row![1, 1], row![1, 2]], vec![0, 1]);
+        let out = evaluate_window(
+            segs,
+            &aset(&[0]),
+            &spec(&[1]),
+            &WindowFunction::RowNumber,
+            None,
+            &env,
+        )
+        .unwrap();
+        let rn: Vec<i64> =
+            out.rows().iter().map(|r| r.get(a(2)).as_int().unwrap()).collect();
+        assert_eq!(rn, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let env = OpEnv::with_memory_blocks(8);
+        let out = evaluate_window(
+            SegmentedRows::empty(),
+            &aset(&[0]),
+            &spec(&[1]),
+            &WindowFunction::Rank,
+            None,
+            &env,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn variance_and_stddev() {
+        let rows = vec![row![2], row![4], row![4], row![4], row![5], row![5], row![7], row![9]];
+        let whole = FrameSpec::whole_partition();
+        let vp = run(rows.clone(), &[], &SortSpec::empty(), WindowFunction::VarPop(a(0)), Some(whole));
+        assert_eq!(vp[0], Value::Float(4.0));
+        let sp = run(rows.clone(), &[], &SortSpec::empty(), WindowFunction::StddevPop(a(0)), Some(whole));
+        assert_eq!(sp[0], Value::Float(2.0));
+        let vs = run(rows.clone(), &[], &SortSpec::empty(), WindowFunction::VarSamp(a(0)), Some(whole));
+        let v = vs[0].as_f64().unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+        // Sample variance of a single row is NULL.
+        let single = run(vec![row![3]], &[], &SortSpec::empty(), WindowFunction::VarSamp(a(0)), Some(whole));
+        assert_eq!(single, vec![Value::Null]);
+        // Population variance of a constant frame is exactly zero.
+        let consts = run(vec![row![5], row![5], row![5]], &[], &SortSpec::empty(),
+            WindowFunction::VarPop(a(0)), Some(whole));
+        assert!(consts.iter().all(|v| v == &Value::Float(0.0)));
+    }
+
+    #[test]
+    fn variance_skips_nulls() {
+        let rows = vec![row![Value::Null], row![2], row![4]];
+        let whole = FrameSpec::whole_partition();
+        let vp = run(rows, &[], &SortSpec::empty(), WindowFunction::VarPop(a(0)), Some(whole));
+        assert_eq!(vp[0], Value::Float(1.0));
+    }
+
+    #[test]
+    fn sliding_stddev_over_rows_frame() {
+        let rows: Vec<Row> = [1i64, 2, 3, 4].iter().map(|&v| row![v]).collect();
+        let frame = FrameSpec {
+            units: FrameUnits::Rows,
+            start: Bound::Preceding(1),
+            end: Bound::CurrentRow,
+        };
+        let sd = run(rows, &[], &spec(&[0]), WindowFunction::StddevPop(a(0)), Some(frame));
+        assert_eq!(sd[0], Value::Float(0.0));
+        assert_eq!(sd[1], Value::Float(0.5));
+        assert_eq!(sd[2], Value::Float(0.5));
+    }
+
+    #[test]
+    fn range_offset_with_descending_key() {
+        // Keys 9,7,4,1 descending; RANGE BETWEEN 2 PRECEDING AND CURRENT
+        // ROW counts rows whose key is within 2 *above* the current one.
+        let rows = vec![row![9], row![7], row![4], row![1]];
+        let wok = SortSpec::new(vec![OrdElem::desc(a(0))]);
+        let frame = FrameSpec {
+            units: FrameUnits::Range,
+            start: Bound::Preceding(2),
+            end: Bound::CurrentRow,
+        };
+        let counts: Vec<i64> = run(rows, &[], &wok, WindowFunction::Count(None), Some(frame))
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(counts, vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn range_offset_null_rows_form_their_own_frame() {
+        // NULLS LAST ascending: the two NULL rows see only each other.
+        let rows = vec![row![1], row![2], row![Value::Null], row![Value::Null]];
+        let frame = FrameSpec {
+            units: FrameUnits::Range,
+            start: Bound::Preceding(10),
+            end: Bound::CurrentRow,
+        };
+        let counts: Vec<i64> = run(rows, &[], &spec(&[0]), WindowFunction::Count(None), Some(frame))
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(counts, vec![1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn range_offset_requires_single_numeric_key() {
+        let rows = vec![row![1, 2], row![2, 3]];
+        let frame = FrameSpec {
+            units: FrameUnits::Range,
+            start: Bound::Preceding(1),
+            end: Bound::CurrentRow,
+        };
+        let env = OpEnv::with_memory_blocks(8);
+        // Two ORDER BY keys → error.
+        let r = evaluate_window(
+            SegmentedRows::single_segment(rows.clone()),
+            &aset(&[]),
+            &spec(&[0, 1]),
+            &WindowFunction::Sum(a(0)),
+            Some(frame),
+            &env,
+        );
+        assert!(r.is_err());
+        // String key → error.
+        let srows = vec![row!["x"], row!["y"]];
+        let r2 = evaluate_window(
+            SegmentedRows::single_segment(srows),
+            &aset(&[]),
+            &spec(&[0]),
+            &WindowFunction::Sum(a(0)),
+            Some(frame),
+            &env,
+        );
+        assert!(r2.is_err());
+    }
+
+    #[test]
+    fn ntile_more_tiles_than_rows() {
+        let rows: Vec<Row> = (0..3).map(|i| row![i as i64]).collect();
+        let tiles: Vec<i64> = run(rows, &[], &spec(&[0]), WindowFunction::Ntile(10), None)
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(tiles, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_rows_frame_yields_null_aggregates() {
+        // ROWS BETWEEN 3 FOLLOWING AND 2 FOLLOWING is empty for every row.
+        let rows: Vec<Row> = (0..4).map(|i| row![i as i64]).collect();
+        let frame = FrameSpec {
+            units: FrameUnits::Rows,
+            start: Bound::Following(3),
+            end: Bound::Following(2),
+        };
+        let sums = run(rows, &[], &spec(&[0]), WindowFunction::Sum(a(0)), Some(frame));
+        assert!(sums.iter().all(|v| v.is_null()));
+    }
+
+    #[test]
+    fn result_type_mapping() {
+        let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Float)]);
+        assert_eq!(WindowFunction::Rank.result_type(&schema), DataType::Int);
+        assert_eq!(WindowFunction::Avg(a(1)).result_type(&schema), DataType::Float);
+        assert_eq!(WindowFunction::Min(a(1)).result_type(&schema), DataType::Float);
+        assert_eq!(WindowFunction::CumeDist.result_type(&schema), DataType::Float);
+        assert_eq!(
+            WindowFunction::Lag { col: a(0), offset: 1, default: None }.result_type(&schema),
+            DataType::Int
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Abstract syntax for window queries.
+
+/// `SELECT <items> FROM <table> [WINDOW name AS (...), ...] [ORDER BY ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowQueryStmt {
+    pub items: Vec<SelectItem>,
+    pub table: String,
+    /// Named window definitions (`WINDOW w AS (PARTITION BY ...)`).
+    pub windows: Vec<(String, WindowDef)>,
+    pub order_by: Vec<OrderItem>,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all base-table columns.
+    Star,
+    /// A plain column reference.
+    Column(String),
+    /// A window function.
+    Window(WindowItem),
+}
+
+/// A window-function item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowItem {
+    pub func: FuncCall,
+    pub over: OverClause,
+    /// Output alias (`AS name`); required so the appended column has a
+    /// deterministic name.
+    pub alias: String,
+}
+
+/// `OVER (...)` or `OVER name`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OverClause {
+    Inline(WindowDef),
+    Named(String),
+}
+
+/// The body of an OVER clause / WINDOW definition.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowDef {
+    pub partition_by: Vec<String>,
+    pub order_by: Vec<OrderItem>,
+    pub frame: Option<FrameAst>,
+}
+
+/// A function call: name plus literal/column arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncCall {
+    pub name: String,
+    pub args: Vec<Arg>,
+}
+
+/// A function argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    Column(String),
+    Number(i64),
+    Float(f64),
+    Str(String),
+    Star,
+}
+
+/// `<column> [ASC|DESC] [NULLS FIRST|LAST]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub column: String,
+    pub desc: bool,
+    pub nulls_first: Option<bool>,
+}
+
+/// Window frame clause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameAst {
+    pub units: FrameUnitsAst,
+    pub start: FrameBoundAst,
+    pub end: FrameBoundAst,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameUnitsAst {
+    Rows,
+    Range,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameBoundAst {
+    UnboundedPreceding,
+    Preceding(i64),
+    CurrentRow,
+    Following(i64),
+    UnboundedFollowing,
+}

@@ -1,0 +1,460 @@
+//! Name resolution: AST → [`WindowQuery`].
+
+use crate::ast::*;
+use std::collections::HashMap;
+use wf_common::{Direction, Error, NullOrder, OrdElem, Result, Schema, SortSpec, Value};
+use wf_core::query::WindowQuery;
+use wf_core::spec::{Bound, FrameSpec, FrameUnits, WindowFunction, WindowSpec};
+
+/// Table-name → schema registry.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Schema>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&mut self, name: &str, schema: Schema) {
+        self.tables.insert(name.to_ascii_lowercase(), schema);
+    }
+
+    /// Look up a table's schema.
+    pub fn schema(&self, name: &str) -> Result<&Schema> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::InvalidQuery(format!("unknown table `{name}`")))
+    }
+}
+
+fn order_spec(items: &[OrderItem], schema: &Schema) -> Result<SortSpec> {
+    let mut elems = Vec::with_capacity(items.len());
+    for item in items {
+        let attr = schema.resolve(&item.column)?;
+        elems.push(OrdElem {
+            attr,
+            dir: if item.desc { Direction::Desc } else { Direction::Asc },
+            nulls: match item.nulls_first {
+                Some(true) => NullOrder::First,
+                // SQL default: NULLS LAST for ASC, NULLS FIRST for DESC;
+                // PostgreSQL treats NULLs as largest. We follow PostgreSQL:
+                // DESC without an explicit clause puts NULLs first.
+                Some(false) => NullOrder::Last,
+                None => {
+                    if item.desc {
+                        NullOrder::First
+                    } else {
+                        NullOrder::Last
+                    }
+                }
+            },
+        });
+    }
+    Ok(SortSpec::new(elems))
+}
+
+fn arg_column(call: &FuncCall, idx: usize, schema: &Schema) -> Result<wf_common::AttrId> {
+    match call.args.get(idx) {
+        Some(Arg::Column(name)) => schema.resolve(name),
+        other => Err(Error::InvalidQuery(format!(
+            "{}: argument {} must be a column, found {:?}",
+            call.name,
+            idx + 1,
+            other
+        ))),
+    }
+}
+
+fn arg_number(call: &FuncCall, idx: usize) -> Result<i64> {
+    match call.args.get(idx) {
+        Some(Arg::Number(n)) => Ok(*n),
+        other => Err(Error::InvalidQuery(format!(
+            "{}: argument {} must be an integer, found {:?}",
+            call.name,
+            idx + 1,
+            other
+        ))),
+    }
+}
+
+fn expect_arity(call: &FuncCall, allowed: std::ops::RangeInclusive<usize>) -> Result<()> {
+    if allowed.contains(&call.args.len()) {
+        Ok(())
+    } else {
+        Err(Error::InvalidQuery(format!(
+            "{} takes {:?} arguments, got {}",
+            call.name,
+            allowed,
+            call.args.len()
+        )))
+    }
+}
+
+fn bind_function(call: &FuncCall, schema: &Schema) -> Result<WindowFunction> {
+    let name = call.name.to_ascii_lowercase();
+    match name.as_str() {
+        "row_number" => {
+            expect_arity(call, 0..=0)?;
+            Ok(WindowFunction::RowNumber)
+        }
+        "rank" => {
+            expect_arity(call, 0..=0)?;
+            Ok(WindowFunction::Rank)
+        }
+        "dense_rank" => {
+            expect_arity(call, 0..=0)?;
+            Ok(WindowFunction::DenseRank)
+        }
+        "percent_rank" => {
+            expect_arity(call, 0..=0)?;
+            Ok(WindowFunction::PercentRank)
+        }
+        "cume_dist" => {
+            expect_arity(call, 0..=0)?;
+            Ok(WindowFunction::CumeDist)
+        }
+        "ntile" => {
+            expect_arity(call, 1..=1)?;
+            let n = arg_number(call, 0)?;
+            if n <= 0 {
+                return Err(Error::InvalidQuery("ntile requires a positive tile count".into()));
+            }
+            Ok(WindowFunction::Ntile(n as u64))
+        }
+        "lag" | "lead" => {
+            expect_arity(call, 1..=3)?;
+            let col = arg_column(call, 0, schema)?;
+            let offset = if call.args.len() >= 2 { arg_number(call, 1)?.max(0) as u64 } else { 1 };
+            let default = match call.args.get(2) {
+                None => None,
+                Some(Arg::Number(n)) => Some(Value::Int(*n)),
+                Some(Arg::Float(f)) => Some(Value::Float(*f)),
+                Some(Arg::Str(s)) => Some(Value::str(s.clone())),
+                Some(other) => {
+                    return Err(Error::InvalidQuery(format!(
+                        "{}: default must be a literal, found {other:?}",
+                        call.name
+                    )))
+                }
+            };
+            Ok(if name == "lag" {
+                WindowFunction::Lag { col, offset, default }
+            } else {
+                WindowFunction::Lead { col, offset, default }
+            })
+        }
+        "first_value" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::FirstValue(arg_column(call, 0, schema)?))
+        }
+        "last_value" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::LastValue(arg_column(call, 0, schema)?))
+        }
+        "nth_value" => {
+            expect_arity(call, 2..=2)?;
+            let col = arg_column(call, 0, schema)?;
+            let n = arg_number(call, 1)?;
+            if n <= 0 {
+                return Err(Error::InvalidQuery("nth_value requires n ≥ 1".into()));
+            }
+            Ok(WindowFunction::NthValue(col, n as u64))
+        }
+        "count" => {
+            expect_arity(call, 0..=1)?;
+            match call.args.first() {
+                None | Some(Arg::Star) => Ok(WindowFunction::Count(None)),
+                Some(Arg::Column(name)) => Ok(WindowFunction::Count(Some(schema.resolve(name)?))),
+                Some(other) => Err(Error::InvalidQuery(format!(
+                    "count: argument must be `*` or a column, found {other:?}"
+                ))),
+            }
+        }
+        "sum" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::Sum(arg_column(call, 0, schema)?))
+        }
+        "avg" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::Avg(arg_column(call, 0, schema)?))
+        }
+        "min" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::Min(arg_column(call, 0, schema)?))
+        }
+        "max" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::Max(arg_column(call, 0, schema)?))
+        }
+        "var_pop" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::VarPop(arg_column(call, 0, schema)?))
+        }
+        "var_samp" | "variance" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::VarSamp(arg_column(call, 0, schema)?))
+        }
+        "stddev_pop" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::StddevPop(arg_column(call, 0, schema)?))
+        }
+        "stddev_samp" | "stddev" => {
+            expect_arity(call, 1..=1)?;
+            Ok(WindowFunction::StddevSamp(arg_column(call, 0, schema)?))
+        }
+        other => Err(Error::InvalidQuery(format!("unknown window function `{other}`"))),
+    }
+}
+
+fn bind_frame(ast: &FrameAst) -> FrameSpec {
+    let bound = |b: FrameBoundAst| match b {
+        FrameBoundAst::UnboundedPreceding => Bound::UnboundedPreceding,
+        FrameBoundAst::Preceding(n) => Bound::Preceding(n),
+        FrameBoundAst::CurrentRow => Bound::CurrentRow,
+        FrameBoundAst::Following(n) => Bound::Following(n),
+        FrameBoundAst::UnboundedFollowing => Bound::UnboundedFollowing,
+    };
+    FrameSpec {
+        units: match ast.units {
+            FrameUnitsAst::Rows => FrameUnits::Rows,
+            FrameUnitsAst::Range => FrameUnits::Range,
+        },
+        start: bound(ast.start),
+        end: bound(ast.end),
+    }
+}
+
+/// Bind a parsed statement against the catalog.
+pub fn bind(stmt: &WindowQueryStmt, catalog: &Catalog) -> Result<WindowQuery> {
+    let schema = catalog.schema(&stmt.table)?;
+
+    // Named WINDOW definitions (case-insensitive lookup, duplicates
+    // rejected).
+    let mut named: HashMap<String, &WindowDef> = HashMap::new();
+    for (name, def) in &stmt.windows {
+        if named.insert(name.to_ascii_lowercase(), def).is_some() {
+            return Err(Error::InvalidQuery(format!("duplicate WINDOW name `{name}`")));
+        }
+    }
+
+    let mut specs = Vec::new();
+    // Projection plan: remember what each select item contributes. Window
+    // output columns live after the base columns in the output schema.
+    enum Proj {
+        Star,
+        Base(wf_common::AttrId),
+        Window(usize), // index into specs
+    }
+    let mut proj_items: Vec<Proj> = Vec::new();
+    let mut saw_star = false;
+
+    for item in &stmt.items {
+        match item {
+            SelectItem::Star => {
+                saw_star = true;
+                proj_items.push(Proj::Star);
+            }
+            SelectItem::Column(name) => {
+                proj_items.push(Proj::Base(schema.resolve(name)?));
+            }
+            SelectItem::Window(w) => {
+                let def = match &w.over {
+                    OverClause::Inline(def) => def,
+                    OverClause::Named(name) => {
+                        named.get(&name.to_ascii_lowercase()).copied().ok_or_else(|| {
+                            Error::InvalidQuery(format!("unknown window `{name}`"))
+                        })?
+                    }
+                };
+                let func = bind_function(&w.func, schema)?;
+                let mut wpk = Vec::with_capacity(def.partition_by.len());
+                for name in &def.partition_by {
+                    wpk.push(schema.resolve(name)?);
+                }
+                let wok = order_spec(&def.order_by, schema)?;
+                let mut spec = WindowSpec::new(w.alias.clone(), func, wpk, wok);
+                if let Some(frame) = &def.frame {
+                    spec = spec.with_frame(bind_frame(frame));
+                }
+                proj_items.push(Proj::Window(specs.len()));
+                specs.push(spec);
+            }
+        }
+    }
+
+    let mut query = WindowQuery::new(schema.clone(), specs);
+    if !stmt.order_by.is_empty() {
+        // The final ORDER BY may reference window output columns; bind
+        // against the output schema.
+        let out_schema = query.output_schema()?;
+        query.order_by = Some(order_spec(&stmt.order_by, &out_schema)?);
+    }
+
+    // `SELECT *, wf...` (star plus all windows in order) needs no
+    // projection; anything else projects the output schema.
+    let base_len = schema.len();
+    let is_plain_star = saw_star
+        && proj_items.len() == query.specs.len() + 1
+        && matches!(proj_items[0], Proj::Star);
+    if !is_plain_star {
+        let mut cols: Vec<wf_common::AttrId> = Vec::new();
+        for p in &proj_items {
+            match p {
+                Proj::Star => cols.extend((0..base_len).map(wf_common::AttrId::new)),
+                Proj::Base(a) => cols.push(*a),
+                Proj::Window(i) => cols.push(wf_common::AttrId::new(base_len + i)),
+            }
+        }
+        query.projection = Some(cols);
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use wf_common::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "t",
+            Schema::of(&[
+                ("g", DataType::Int),
+                ("v", DataType::Int),
+                ("s", DataType::Str),
+            ]),
+        );
+        c
+    }
+
+    fn bind_sql(sql: &str) -> Result<WindowQuery> {
+        bind(&parse(sql).unwrap(), &catalog())
+    }
+
+    #[test]
+    fn binds_all_function_kinds() {
+        let q = bind_sql(
+            "SELECT *, row_number() OVER (PARTITION BY g ORDER BY v) AS rn, \
+             dense_rank() OVER (ORDER BY v) AS dr, \
+             percent_rank() OVER (ORDER BY v) AS pr, \
+             cume_dist() OVER (ORDER BY v) AS cd, \
+             ntile(4) OVER (ORDER BY v) AS nt, \
+             lag(v, 1, -1) OVER (ORDER BY v) AS lg, \
+             lead(v) OVER (ORDER BY v) AS ld, \
+             first_value(v) OVER (ORDER BY v) AS fv, \
+             last_value(v) OVER (ORDER BY v) AS lv, \
+             nth_value(v, 2) OVER (ORDER BY v) AS nv, \
+             count(*) OVER (PARTITION BY g) AS c1, \
+             count(v) OVER (PARTITION BY g) AS c2, \
+             sum(v) OVER (PARTITION BY g ORDER BY v) AS sm, \
+             avg(v) OVER (PARTITION BY g) AS av, \
+             min(v) OVER (PARTITION BY g) AS mn, \
+             max(v) OVER (PARTITION BY g) AS mx \
+             FROM t",
+        )
+        .unwrap();
+        assert_eq!(q.specs.len(), 16);
+        assert!(matches!(q.specs[5].func, WindowFunction::Lag { offset: 1, .. }));
+        assert!(matches!(q.specs[10].func, WindowFunction::Count(None)));
+        assert!(matches!(q.specs[11].func, WindowFunction::Count(Some(_))));
+    }
+
+    #[test]
+    fn binds_frames() {
+        let q = bind_sql(
+            "SELECT *, sum(v) OVER (ORDER BY v ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) \
+             AS s FROM t",
+        )
+        .unwrap();
+        let f = q.specs[0].frame.unwrap();
+        assert_eq!(f.units, FrameUnits::Rows);
+        assert_eq!(f.start, Bound::Preceding(2));
+        assert_eq!(f.end, Bound::Following(1));
+    }
+
+    #[test]
+    fn desc_defaults_nulls_first_postgres_style() {
+        let q = bind_sql("SELECT *, rank() OVER (ORDER BY v DESC) AS r FROM t").unwrap();
+        assert_eq!(q.specs[0].wok().elems()[0].nulls, NullOrder::First);
+        let q2 =
+            bind_sql("SELECT *, rank() OVER (ORDER BY v DESC NULLS LAST) AS r FROM t").unwrap();
+        assert_eq!(q2.specs[0].wok().elems()[0].nulls, NullOrder::Last);
+    }
+
+    #[test]
+    fn final_order_by_may_use_window_aliases() {
+        let q = bind_sql(
+            "SELECT *, rank() OVER (PARTITION BY g ORDER BY v) AS r FROM t ORDER BY g, r DESC",
+        )
+        .unwrap();
+        let ob = q.order_by.unwrap();
+        assert_eq!(ob.len(), 2);
+        assert_eq!(ob.elems()[1].attr.index(), 3, "alias binds to appended column");
+    }
+
+    #[test]
+    fn binder_errors() {
+        assert!(bind_sql("SELECT *, rank() OVER () AS r FROM unknown_table").is_err());
+        assert!(bind_sql("SELECT *, rank(1) OVER () AS r FROM t").is_err());
+        assert!(bind_sql("SELECT *, nosuch() OVER () AS r FROM t").is_err());
+        assert!(bind_sql("SELECT *, ntile(0) OVER () AS r FROM t").is_err());
+        assert!(bind_sql("SELECT *, sum(zz) OVER () AS r FROM t").is_err());
+        assert!(bind_sql("SELECT *, rank() OVER (PARTITION BY zz) AS r FROM t").is_err());
+        assert!(bind_sql("SELECT *, rank() OVER () AS r FROM t ORDER BY zz").is_err());
+    }
+
+    #[test]
+    fn named_windows_bind_and_share_definition() {
+        let q = bind_sql(
+            "SELECT *, rank() OVER w AS r, sum(v) OVER w AS s FROM t \
+             WINDOW w AS (PARTITION BY g ORDER BY v)",
+        )
+        .unwrap();
+        assert_eq!(q.specs.len(), 2);
+        assert_eq!(q.specs[0].wpk(), q.specs[1].wpk());
+        assert_eq!(q.specs[0].wok(), q.specs[1].wok());
+        assert!(q.projection.is_none(), "star + all windows needs no projection");
+    }
+
+    #[test]
+    fn unknown_or_duplicate_window_name_errors() {
+        assert!(bind_sql("SELECT *, rank() OVER nope AS r FROM t").is_err());
+        assert!(bind_sql(
+            "SELECT *, rank() OVER w AS r FROM t WINDOW w AS (ORDER BY v), w AS (ORDER BY g)"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn projection_built_for_column_lists() {
+        let q = bind_sql("SELECT g, rank() OVER (ORDER BY v) AS r, v FROM t").unwrap();
+        let proj = q.projection.expect("projection required");
+        // Output schema: g,v,s,r → projection g(0), r(3), v(1).
+        let idx: Vec<usize> = proj.iter().map(|a| a.index()).collect();
+        assert_eq!(idx, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn stddev_variance_bind() {
+        let q = bind_sql(
+            "SELECT *, stddev(v) OVER (PARTITION BY g) AS sd, \
+             var_pop(v) OVER (PARTITION BY g) AS vp FROM t",
+        )
+        .unwrap();
+        assert!(matches!(q.specs[0].func, WindowFunction::StddevSamp(_)));
+        assert!(matches!(q.specs[1].func, WindowFunction::VarPop(_)));
+    }
+
+    #[test]
+    fn catalog_lookup_case_insensitive() {
+        let c = catalog();
+        assert!(c.schema("T").is_ok());
+        assert!(c.schema("nope").is_err());
+    }
+}

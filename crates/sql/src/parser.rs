@@ -1,0 +1,430 @@
+//! Recursive-descent parser for the window-query dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query     := SELECT item (',' item)* FROM ident
+//!              [WINDOW ident AS '(' windef ')' (',' ident AS '(' windef ')')*]
+//!              [ORDER BY orderlist]
+//! item      := '*' | call OVER over AS ident | ident
+//! over      := '(' windef ')' | ident
+//! windef    := [PARTITION BY collist] [ORDER BY orderlist] [frame]
+//! call      := ident '(' [args] ')'
+//! args      := arg (',' arg)*      arg := ident | number | string | '*'
+//! orderlist := order (',' order)*
+//! order     := ident [ASC|DESC] [NULLS (FIRST|LAST)]
+//! frame     := (ROWS|RANGE) (BETWEEN bound AND bound | bound)
+//! bound     := UNBOUNDED PRECEDING | n PRECEDING | CURRENT ROW
+//!            | n FOLLOWING | UNBOUNDED FOLLOWING
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use wf_common::{Error, Result};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse one window query.
+pub fn parse(sql: &str) -> Result<WindowQueryStmt> {
+    let mut p = Parser { tokens: tokenize(sql)?, pos: 0 };
+    let stmt = p.query()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(Error::Parse { offset: self.peek().offset, message: message.into() })
+    }
+
+    /// Consume a keyword (case-insensitive) or fail.
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`"))
+        }
+    }
+
+    /// Consume a keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s.eq_ignore_ascii_case(kw) {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn expect_token(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if &self.peek().kind == kind {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+
+    fn query(&mut self) -> Result<WindowQueryStmt> {
+        self.expect_kw("SELECT")?;
+        let mut items = vec![self.select_item()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.advance();
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let table = self.expect_ident()?;
+        let mut windows = Vec::new();
+        if self.eat_kw("WINDOW") {
+            loop {
+                let name = self.expect_ident()?;
+                self.expect_kw("AS")?;
+                self.expect_token(&TokenKind::LParen, "`(` after WINDOW name AS")?;
+                let def = self.window_def()?;
+                self.expect_token(&TokenKind::RParen, "`)` closing WINDOW definition")?;
+                windows.push((name, def));
+                if self.peek().kind != TokenKind::Comma {
+                    break;
+                }
+                self.advance();
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            order_by = self.order_list()?;
+        }
+        if !items.iter().any(|i| matches!(i, SelectItem::Window(_))) {
+            return self.err("expected at least one window function in the select list");
+        }
+        Ok(WindowQueryStmt { items, table, windows, order_by })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.peek().kind == TokenKind::Star {
+            self.advance();
+            return Ok(SelectItem::Star);
+        }
+        // Disambiguate `col` vs `func(...) OVER`: look ahead one token.
+        if let TokenKind::Ident(_) = &self.peek().kind {
+            let is_call = matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::LParen)
+            );
+            if !is_call {
+                let name = self.expect_ident()?;
+                return Ok(SelectItem::Column(name));
+            }
+        }
+        Ok(SelectItem::Window(self.window_item()?))
+    }
+
+    fn window_item(&mut self) -> Result<WindowItem> {
+        let func = self.func_call()?;
+        self.expect_kw("OVER")?;
+        let over = if self.peek().kind == TokenKind::LParen {
+            self.advance();
+            let def = self.window_def()?;
+            self.expect_token(&TokenKind::RParen, "`)` closing OVER")?;
+            OverClause::Inline(def)
+        } else {
+            OverClause::Named(self.expect_ident()?)
+        };
+        self.expect_kw("AS")?;
+        let alias = self.expect_ident()?;
+        Ok(WindowItem { func, over, alias })
+    }
+
+    fn window_def(&mut self) -> Result<WindowDef> {
+        let mut partition_by = Vec::new();
+        if self.eat_kw("PARTITION") {
+            self.expect_kw("BY")?;
+            partition_by.push(self.expect_ident()?);
+            while self.peek().kind == TokenKind::Comma {
+                self.advance();
+                partition_by.push(self.expect_ident()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            order_by = self.order_list()?;
+        }
+        let frame = if self.peek_kw("ROWS") || self.peek_kw("RANGE") {
+            Some(self.frame()?)
+        } else {
+            None
+        };
+        Ok(WindowDef { partition_by, order_by, frame })
+    }
+
+    fn func_call(&mut self) -> Result<FuncCall> {
+        let name = self.expect_ident()?;
+        self.expect_token(&TokenKind::LParen, "`(` after function name")?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            args.push(self.arg()?);
+            while self.peek().kind == TokenKind::Comma {
+                self.advance();
+                args.push(self.arg()?);
+            }
+        }
+        self.expect_token(&TokenKind::RParen, "`)` closing call")?;
+        Ok(FuncCall { name, args })
+    }
+
+    fn arg(&mut self) -> Result<Arg> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Ident(s) => Ok(Arg::Column(s)),
+            TokenKind::Number(n) => Ok(Arg::Number(n)),
+            TokenKind::Float(f) => Ok(Arg::Float(f)),
+            TokenKind::Str(s) => Ok(Arg::Str(s)),
+            TokenKind::Star => Ok(Arg::Star),
+            other => Err(Error::Parse {
+                offset: t.offset,
+                message: format!("expected argument, found {other:?}"),
+            }),
+        }
+    }
+
+    fn order_list(&mut self) -> Result<Vec<OrderItem>> {
+        let mut out = vec![self.order_item()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.advance();
+            out.push(self.order_item()?);
+        }
+        Ok(out)
+    }
+
+    fn order_item(&mut self) -> Result<OrderItem> {
+        let column = self.expect_ident()?;
+        let desc = if self.eat_kw("DESC") {
+            true
+        } else {
+            self.eat_kw("ASC");
+            false
+        };
+        let nulls_first = if self.eat_kw("NULLS") {
+            if self.eat_kw("FIRST") {
+                Some(true)
+            } else {
+                self.expect_kw("LAST")?;
+                Some(false)
+            }
+        } else {
+            None
+        };
+        Ok(OrderItem { column, desc, nulls_first })
+    }
+
+    fn frame(&mut self) -> Result<FrameAst> {
+        let units = if self.eat_kw("ROWS") {
+            FrameUnitsAst::Rows
+        } else {
+            self.expect_kw("RANGE")?;
+            FrameUnitsAst::Range
+        };
+        if self.eat_kw("BETWEEN") {
+            let start = self.bound()?;
+            self.expect_kw("AND")?;
+            let end = self.bound()?;
+            Ok(FrameAst { units, start, end })
+        } else {
+            // Single-bound form: bound .. CURRENT ROW.
+            let start = self.bound()?;
+            Ok(FrameAst { units, start, end: FrameBoundAst::CurrentRow })
+        }
+    }
+
+    fn bound(&mut self) -> Result<FrameBoundAst> {
+        if self.eat_kw("UNBOUNDED") {
+            if self.eat_kw("PRECEDING") {
+                return Ok(FrameBoundAst::UnboundedPreceding);
+            }
+            self.expect_kw("FOLLOWING")?;
+            return Ok(FrameBoundAst::UnboundedFollowing);
+        }
+        if self.eat_kw("CURRENT") {
+            self.expect_kw("ROW")?;
+            return Ok(FrameBoundAst::CurrentRow);
+        }
+        if let TokenKind::Number(n) = self.peek().kind {
+            self.advance();
+            if self.eat_kw("PRECEDING") {
+                return Ok(FrameBoundAst::Preceding(n));
+            }
+            self.expect_kw("FOLLOWING")?;
+            return Ok(FrameBoundAst::Following(n));
+        }
+        self.err("expected frame bound")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example1() {
+        let stmt = parse(
+            "SELECT *, rank() OVER (PARTITION BY dept ORDER BY salary desc nulls last) \
+             as rank_in_dept, rank() OVER (ORDER BY salary desc nulls last) as globalrank \
+             FROM emptab",
+        )
+        .unwrap();
+        assert_eq!(stmt.table, "emptab");
+        assert_eq!(stmt.items.len(), 3); // `*` plus two window items
+        let SelectItem::Window(w1) = &stmt.items[1] else { panic!("expected window item") };
+        assert_eq!(w1.alias, "rank_in_dept");
+        let OverClause::Inline(def) = &w1.over else { panic!("expected inline OVER") };
+        assert_eq!(def.partition_by, vec!["dept"]);
+        assert_eq!(def.order_by[0].column, "salary");
+        assert!(def.order_by[0].desc);
+        assert_eq!(def.order_by[0].nulls_first, Some(false));
+        let SelectItem::Window(w2) = &stmt.items[2] else { panic!("expected window item") };
+        let OverClause::Inline(def2) = &w2.over else { panic!("expected inline OVER") };
+        assert!(def2.partition_by.is_empty());
+    }
+
+    #[test]
+    fn parses_frames() {
+        let stmt = parse(
+            "SELECT *, sum(x) OVER (ORDER BY d ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) \
+             AS s, avg(x) OVER (ORDER BY d RANGE UNBOUNDED PRECEDING) AS a FROM t",
+        )
+        .unwrap();
+        let get_def = |i: usize| -> &WindowDef {
+            match &stmt.items[i] {
+                SelectItem::Window(w) => match &w.over {
+                    OverClause::Inline(d) => d,
+                    _ => panic!("expected inline"),
+                },
+                _ => panic!("expected window item"),
+            }
+        };
+        let f1 = get_def(1).frame.unwrap();
+        assert_eq!(f1.units, FrameUnitsAst::Rows);
+        assert_eq!(f1.start, FrameBoundAst::Preceding(1));
+        assert_eq!(f1.end, FrameBoundAst::CurrentRow);
+        let f2 = get_def(2).frame.unwrap();
+        assert_eq!(f2.units, FrameUnitsAst::Range);
+        assert_eq!(f2.start, FrameBoundAst::UnboundedPreceding);
+        assert_eq!(f2.end, FrameBoundAst::CurrentRow);
+    }
+
+    #[test]
+    fn parses_args_and_final_order_by() {
+        let stmt = parse(
+            "SELECT *, ntile(4) OVER (ORDER BY v) AS t4, \
+             lag(v, 2, 0) OVER (ORDER BY v) AS l, \
+             count(*) OVER (PARTITION BY g) AS c \
+             FROM t ORDER BY g DESC, t4",
+        )
+        .unwrap();
+        let get_w = |i: usize| match &stmt.items[i] {
+            SelectItem::Window(w) => w,
+            _ => panic!("expected window item"),
+        };
+        assert_eq!(get_w(1).func.args, vec![Arg::Number(4)]);
+        assert_eq!(
+            get_w(2).func.args,
+            vec![Arg::Column("v".into()), Arg::Number(2), Arg::Number(0)]
+        );
+        assert_eq!(get_w(3).func.args, vec![Arg::Star]);
+        assert_eq!(stmt.order_by.len(), 2);
+        assert!(stmt.order_by[0].desc);
+    }
+
+    #[test]
+    fn error_positions() {
+        assert!(parse("SELECT *, rank() OVER (PARTITION BY) AS r FROM t").is_err());
+        assert!(parse("SELECT *, rank() OVER () AS r").is_err()); // no FROM
+        assert!(parse("SELECT *, rank() OVER () FROM t").is_err()); // no alias
+        assert!(parse("SELECT * FROM t").is_err()); // no window item
+        assert!(parse("SELECT *, rank() OVER () AS r FROM t garbage").is_err());
+    }
+
+    #[test]
+    fn plain_columns_and_star_mix() {
+        let stmt =
+            parse("SELECT a, b, rank() OVER (ORDER BY a) AS r FROM t").unwrap();
+        assert_eq!(stmt.items.len(), 3);
+        assert_eq!(stmt.items[0], SelectItem::Column("a".into()));
+        assert_eq!(stmt.items[1], SelectItem::Column("b".into()));
+        assert!(matches!(stmt.items[2], SelectItem::Window(_)));
+    }
+
+    #[test]
+    fn named_window_clause() {
+        let stmt = parse(
+            "SELECT *, rank() OVER w AS r, sum(v) OVER w AS s \
+             FROM t WINDOW w AS (PARTITION BY g ORDER BY v)",
+        )
+        .unwrap();
+        assert_eq!(stmt.windows.len(), 1);
+        assert_eq!(stmt.windows[0].0, "w");
+        assert_eq!(stmt.windows[0].1.partition_by, vec!["g"]);
+        let SelectItem::Window(w) = &stmt.items[1] else { panic!() };
+        assert_eq!(w.over, OverClause::Named("w".into()));
+    }
+
+    #[test]
+    fn multiple_named_windows() {
+        let stmt = parse(
+            "SELECT *, rank() OVER w1 AS a, rank() OVER w2 AS b FROM t \
+             WINDOW w1 AS (PARTITION BY x), w2 AS (ORDER BY y DESC) ORDER BY a",
+        )
+        .unwrap();
+        assert_eq!(stmt.windows.len(), 2);
+        assert!(stmt.windows[1].1.order_by[0].desc);
+        assert_eq!(stmt.order_by.len(), 1);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse(
+            "select *, RANK() over (partition by a ORDER by b) As r from T Order BY a"
+        )
+        .is_ok());
+    }
+}

@@ -1,0 +1,29 @@
+//! The block (page) model.
+//!
+//! Everything the cost models in the paper reason about — `B(R)`, `M`, merge
+//! fan-in `F` — is measured in blocks. We fix the block size at 8 KiB
+//! (PostgreSQL's default page size, which the paper's prototype used).
+
+/// Size of one block in bytes (PostgreSQL default page size).
+pub const BLOCK_SIZE: usize = 8192;
+
+/// Number of blocks needed to hold `bytes` bytes (ceiling division); zero
+/// bytes occupy zero blocks.
+#[inline]
+pub fn blocks_for_bytes(bytes: usize) -> u64 {
+    (bytes as u64).div_ceil(BLOCK_SIZE as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_division() {
+        assert_eq!(blocks_for_bytes(0), 0);
+        assert_eq!(blocks_for_bytes(1), 1);
+        assert_eq!(blocks_for_bytes(BLOCK_SIZE), 1);
+        assert_eq!(blocks_for_bytes(BLOCK_SIZE + 1), 2);
+        assert_eq!(blocks_for_bytes(10 * BLOCK_SIZE), 10);
+    }
+}

@@ -1,0 +1,31 @@
+//! # wf-storage
+//!
+//! The storage substrate beneath the wfopt executors:
+//!
+//! * [`block`] — the block (page) model; all I/O is charged in blocks,
+//! * [`cost`] — a thread-safe tracker of block reads/writes, comparisons and
+//!   hashes plus a calibrated time model (the benchmark harness reports the
+//!   modeled time, see DESIGN.md §2),
+//! * [`codec`] — the row serialization format used by spill files,
+//! * [`spill`] — append-only spill files over an in-memory simulated disk or
+//!   a real temporary file,
+//! * [`mem`] — the sort-memory ledger (the paper's `M`),
+//! * [`table`] — an in-memory heap table with block accounting.
+//!
+//! The paper ran on PostgreSQL over SATA disks; this crate substitutes a
+//! simulated block device that *counts* every block transferred, so the
+//! experiments reproduce the paper's I/O behaviour (pass counts, spill
+//! fractions) at laptop scale.
+
+pub mod block;
+pub mod codec;
+pub mod cost;
+pub mod mem;
+pub mod spill;
+pub mod table;
+
+pub use block::{blocks_for_bytes, BLOCK_SIZE};
+pub use cost::{CostSnapshot, CostTracker, CostWeights};
+pub use mem::MemoryLedger;
+pub use spill::{FileStore, SimStore, SpillFile, SpillMedium, SpillReader, SpillStore};
+pub use table::Table;

@@ -1,0 +1,72 @@
+//! The paper's Example 1, through the SQL front end: department and global
+//! salary rankings in one statement.
+//!
+//! ```sh
+//! cargo run --example employee_ranking
+//! ```
+
+use wfopt::prelude::*;
+use wfopt::sql::{parse_window_query, Catalog};
+
+fn main() -> Result<()> {
+    let schema = Schema::of(&[
+        ("empnum", DataType::Int),
+        ("dept", DataType::Int),
+        ("salary", DataType::Int),
+    ]);
+    let mut table = Table::new(schema.clone());
+    let data: &[(i64, Option<i64>, Option<i64>)] = &[
+        (1, None, None),
+        (2, None, Some(84000)),
+        (3, Some(2), None),
+        (4, Some(1), Some(78000)),
+        (5, Some(1), Some(75000)),
+        (6, Some(3), Some(79000)),
+        (7, Some(2), Some(51000)),
+        (8, Some(3), Some(55000)),
+        (9, Some(1), Some(53000)),
+        (10, Some(3), Some(75000)),
+    ];
+    for &(e, d, s) in data {
+        table.push(Row::new(vec![e.into(), d.into(), s.into()]));
+    }
+
+    let mut catalog = Catalog::new();
+    catalog.register("emptab", schema.clone());
+
+    let sql = "SELECT *, \
+               rank() OVER (PARTITION BY dept ORDER BY salary desc nulls last) AS rank_in_dept, \
+               rank() OVER (ORDER BY salary desc nulls last) AS globalrank \
+               FROM emptab \
+               ORDER BY dept, rank_in_dept";
+    println!("{sql}\n");
+
+    let (_, query) = parse_window_query(sql, &catalog)?;
+    let stats = TableStats::from_table(&table);
+    let env = ExecEnv::with_memory_blocks(64);
+
+    let plan = optimize(&query, &stats, Scheme::Cso, &env)?;
+    println!("chain: {}\n", plan.chain_string());
+
+    let report = execute_plan(&plan, &table, &env)?;
+    let sorted = wfopt::core::integrated::apply_final_order(
+        report.table,
+        &plan.final_props,
+        query.order_by.as_ref().expect("query has ORDER BY"),
+        &env,
+    )?;
+
+    println!("EMPNUM  DEPT  SALARY  RANK_IN_DEPT  GLOBALRANK");
+    for row in sorted.rows() {
+        let v = row.values();
+        println!(
+            "{:>6}  {:>4}  {:>6}  {:>12}  {:>10}",
+            v[0].to_string(),
+            v[1].to_string(),
+            v[2].to_string(),
+            v[3].to_string(),
+            v[4].to_string()
+        );
+    }
+    Ok(())
+}

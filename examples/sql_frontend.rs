@@ -1,0 +1,53 @@
+//! The SQL front end with frames and the full function library: moving
+//! averages, running totals, ntile buckets and value references.
+//!
+//! ```sh
+//! cargo run --example sql_frontend
+//! ```
+
+use wfopt::prelude::*;
+use wfopt::sql::{parse_window_query, Catalog};
+
+fn main() -> Result<()> {
+    let schema = Schema::of(&[
+        ("day", DataType::Int),
+        ("store", DataType::Str),
+        ("revenue", DataType::Int),
+    ]);
+    let mut table = Table::new(schema.clone());
+    let revenue = [310, 295, 340, 280, 365, 390, 355, 320, 410, 375];
+    for (i, r) in revenue.iter().enumerate() {
+        let store = if i % 2 == 0 { "downtown" } else { "airport" };
+        table.push(Row::new(vec![(i as i64 / 2 + 1).into(), store.into(), (*r).into()]));
+    }
+
+    let mut catalog = Catalog::new();
+    catalog.register("daily_sales", schema);
+
+    let sql = "SELECT *, \
+        sum(revenue) OVER (PARTITION BY store ORDER BY day) AS running_total, \
+        avg(revenue) OVER (PARTITION BY store ORDER BY day \
+                           ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) AS moving_avg_3d, \
+        ntile(2) OVER (ORDER BY revenue DESC) AS revenue_half, \
+        lag(revenue, 1, 0) OVER (PARTITION BY store ORDER BY day) AS prev_day, \
+        max(revenue) OVER (PARTITION BY store) AS store_best \
+        FROM daily_sales";
+
+    let (tname, query) = parse_window_query(sql, &catalog)?;
+    println!("table: {tname}, {} window functions\n", query.specs.len());
+
+    let stats = TableStats::from_table(&table);
+    let env = ExecEnv::with_memory_blocks(64);
+    let plan = optimize(&query, &stats, Scheme::Cso, &env)?;
+    println!("EXPLAIN:\n{}\n", plan.explain(table.schema()));
+
+    let report = execute_plan(&plan, &table, &env)?;
+    let out = &report.table;
+    let names: Vec<&str> = out.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    println!("{}", names.join(" | "));
+    for row in out.rows() {
+        let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    Ok(())
+}

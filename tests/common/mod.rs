@@ -1,0 +1,68 @@
+//! Shared helpers for integration tests: an *independent* window-function
+//! reference evaluator (hash partitions + per-group stable sort, no engine
+//! code), random tables, and result comparison keyed by a unique id column.
+
+use std::collections::HashMap;
+use wfopt::prelude::*;
+
+/// Compute `rank()` for `spec` over `table` without any engine machinery:
+/// group rows by WPK values, sort each group by WOK, assign ranks with
+/// ties. Returns `unique_key -> rank`.
+pub fn reference_rank(
+    table: &Table,
+    spec: &wfopt::core::spec::WindowSpec,
+    key_col: AttrId,
+) -> HashMap<i64, i64> {
+    let mut groups: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+    for row in table.rows() {
+        let k: Vec<Value> = spec.wpk().iter().map(|a| row.get(a).clone()).collect();
+        groups.entry(k).or_default().push(row);
+    }
+    let cmp = RowComparator::new(spec.wok());
+    let mut out = HashMap::new();
+    for (_, mut rows) in groups {
+        rows.sort_by(|a, b| cmp.compare(a, b));
+        let mut rank = 0i64;
+        for (i, row) in rows.iter().enumerate() {
+            if i == 0 || !cmp.equal(rows[i - 1], row) {
+                rank = i as i64 + 1;
+            }
+            out.insert(row.get(key_col).as_int().expect("int key"), rank);
+        }
+    }
+    out
+}
+
+/// Extract `unique_key -> value` for an output column.
+pub fn column_by_key(table: &Table, key_col: AttrId, val_col: AttrId) -> HashMap<i64, Value> {
+    table
+        .rows()
+        .iter()
+        .map(|r| (r.get(key_col).as_int().expect("int key"), r.get(val_col).clone()))
+        .collect()
+}
+
+/// A small random table: `id` (unique), plus `cols` integer columns with
+/// the given distinct counts; deterministic in `seed`.
+pub fn random_table(rows: usize, distincts: &[u64], seed: u64) -> Table {
+    let mut fields = vec![("id", DataType::Int)];
+    let names: Vec<String> = (0..distincts.len()).map(|i| format!("c{i}")).collect();
+    for name in &names {
+        fields.push((name.as_str(), DataType::Int));
+    }
+    let schema = Schema::of(&fields);
+    let mut table = Table::new(schema);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for id in 0..rows {
+        let mut vals = vec![Value::Int(id as i64)];
+        for &d in distincts {
+            vals.push(Value::Int((next() % d.max(1)) as i64));
+        }
+        table.push(Row::new(vals));
+    }
+    table
+}

@@ -1,0 +1,159 @@
+//! The embedded `Database` façade: SQL in, tables out, with projections,
+//! named windows, final ORDER BY and scheme selection.
+
+use wfopt::prelude::*;
+use wfopt::Database;
+
+fn sales_db() -> Database {
+    let schema = Schema::of(&[
+        ("store", DataType::Str),
+        ("day", DataType::Int),
+        ("revenue", DataType::Int),
+    ]);
+    let mut t = Table::new(schema);
+    let data = [
+        ("a", 1, 100),
+        ("a", 2, 150),
+        ("a", 3, 120),
+        ("b", 1, 80),
+        ("b", 2, 95),
+        ("b", 3, 60),
+    ];
+    for (s, d, r) in data {
+        t.push(Row::new(vec![s.into(), d.into(), r.into()]));
+    }
+    let mut db = Database::new();
+    db.register("sales", t).unwrap();
+    db
+}
+
+#[test]
+fn basic_query_appends_columns() {
+    let db = sales_db();
+    let out = db
+        .query("SELECT *, rank() OVER (PARTITION BY store ORDER BY revenue DESC) AS r FROM sales")
+        .unwrap();
+    assert_eq!(out.schema().len(), 4);
+    assert_eq!(out.row_count(), 6);
+    let r = out.schema().resolve("r").unwrap();
+    let store = out.schema().resolve("store").unwrap();
+    let rev = out.schema().resolve("revenue").unwrap();
+    for row in out.rows() {
+        let is_best = row.get(r).as_int() == Some(1);
+        if is_best && row.get(store).as_str() == Some("a") {
+            assert_eq!(row.get(rev).as_int(), Some(150));
+        }
+        if is_best && row.get(store).as_str() == Some("b") {
+            assert_eq!(row.get(rev).as_int(), Some(95));
+        }
+    }
+}
+
+#[test]
+fn projection_and_order_by() {
+    let db = sales_db();
+    let out = db
+        .query(
+            "SELECT store, rank() OVER (PARTITION BY store ORDER BY revenue DESC) AS r \
+             FROM sales ORDER BY store, r",
+        )
+        .unwrap();
+    assert_eq!(out.schema().len(), 2, "projection keeps only store and r");
+    let names: Vec<&str> = out.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, vec!["store", "r"]);
+    // Sorted by (store, r).
+    let vals: Vec<(String, i64)> = out
+        .rows()
+        .iter()
+        .map(|row| {
+            (
+                row.get(AttrId::new(0)).as_str().unwrap().to_string(),
+                row.get(AttrId::new(1)).as_int().unwrap(),
+            )
+        })
+        .collect();
+    let mut sorted = vals.clone();
+    sorted.sort();
+    assert_eq!(vals, sorted);
+}
+
+#[test]
+fn named_windows_through_database() {
+    let db = sales_db();
+    let out = db
+        .query(
+            "SELECT *, rank() OVER w AS r, sum(revenue) OVER w AS running \
+             FROM sales WINDOW w AS (PARTITION BY store ORDER BY day)",
+        )
+        .unwrap();
+    let running = out.schema().resolve("running").unwrap();
+    let store = out.schema().resolve("store").unwrap();
+    let day = out.schema().resolve("day").unwrap();
+    for row in out.rows() {
+        if row.get(store).as_str() == Some("a") && row.get(day).as_int() == Some(3) {
+            assert_eq!(row.get(running).as_int(), Some(370));
+        }
+    }
+}
+
+#[test]
+fn explain_shows_chain() {
+    let db = sales_db();
+    let text = db
+        .explain(
+            "SELECT *, rank() OVER (PARTITION BY store ORDER BY revenue) AS a, \
+             rank() OVER (PARTITION BY store ORDER BY day) AS b FROM sales",
+        )
+        .unwrap();
+    assert!(text.contains("ws"), "{text}");
+    assert!(text.contains("SS→") || text.contains("FS→") || text.contains("HS→"), "{text}");
+}
+
+#[test]
+fn schemes_configurable_and_equivalent() {
+    let sql = "SELECT *, rank() OVER (PARTITION BY store ORDER BY revenue) AS r FROM sales \
+               ORDER BY store, day";
+    let cso = sales_db().with_scheme(Scheme::Cso).query(sql).unwrap();
+    let psql = sales_db().with_scheme(Scheme::Psql).query(sql).unwrap();
+    assert_eq!(cso.rows(), psql.rows(), "schemes must agree row for row after ORDER BY");
+}
+
+#[test]
+fn order_by_column_dropped_by_projection() {
+    // ORDER BY references `revenue`, which the projection then drops —
+    // ordering must still be applied (order before project).
+    let db = sales_db();
+    let out = db
+        .query(
+            "SELECT store, rank() OVER (ORDER BY revenue) AS r FROM sales              ORDER BY revenue DESC",
+        )
+        .unwrap();
+    assert_eq!(out.schema().len(), 2);
+    // Highest revenue (150, store a, global rank 6) first.
+    let r = out.schema().resolve("r").unwrap();
+    let ranks: Vec<i64> = out.rows().iter().map(|row| row.get(r).as_int().unwrap()).collect();
+    assert_eq!(ranks, vec![6, 5, 4, 3, 2, 1]);
+}
+
+#[test]
+fn errors_are_reported() {
+    let db = sales_db();
+    assert!(db.query("SELECT *, rank() OVER () AS r FROM nope").is_err());
+    assert!(db.query("SELECT *, nosuch() OVER () AS r FROM sales").is_err());
+    assert!(db.query("not sql at all").is_err());
+    assert!(db.table("missing").is_err());
+}
+
+#[test]
+fn tiny_memory_database_still_correct() {
+    let db = sales_db().with_memory_blocks(1);
+    // Memory of one block: the ledger floor still allows execution.
+    let out = db
+        .query("SELECT *, rank() OVER (ORDER BY revenue) AS r FROM sales")
+        .unwrap();
+    let r = out.schema().resolve("r").unwrap();
+    let ranks: Vec<i64> = out.rows().iter().map(|row| row.get(r).as_int().unwrap()).collect();
+    let mut sorted = ranks.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![1, 2, 3, 4, 5, 6]);
+}

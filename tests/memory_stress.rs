@@ -1,0 +1,100 @@
+//! Heavy-spill stress: every scheme on a larger table with the minimum
+//! possible sort memory (2 blocks), where every operator exercises its
+//! external path, plus determinism checks.
+
+mod common;
+
+use common::{column_by_key, random_table, reference_rank};
+use wfopt::core::spec::WindowSpec;
+use wfopt::prelude::*;
+
+fn rank_spec(name: &str, wpk: &[usize], wok: &[usize]) -> WindowSpec {
+    WindowSpec::rank(
+        name,
+        wpk.iter().map(|&i| AttrId::new(i)).collect(),
+        SortSpec::new(wok.iter().map(|&i| OrdElem::asc(AttrId::new(i))).collect()),
+    )
+}
+
+#[test]
+fn all_schemes_at_two_blocks_on_10k_rows() {
+    let table = random_table(10_000, &[25, 60, 90], 42);
+    let specs = vec![
+        rank_spec("wf1", &[1], &[2]),
+        rank_spec("wf2", &[1], &[3]),
+        rank_spec("wf3", &[], &[2, 3]),
+    ];
+    let query = WindowQuery::new(table.schema().clone(), specs.clone());
+    let stats = TableStats::from_table(&table);
+
+    for scheme in [Scheme::Cso, Scheme::Bfo, Scheme::Orcl, Scheme::Psql] {
+        let env = ExecEnv::with_memory_blocks(2);
+        let plan = optimize(&query, &stats, scheme, &env).unwrap();
+        let report = execute_plan(&plan, &table, &env).unwrap();
+        assert!(
+            report.work.blocks_written > 0,
+            "{scheme}: two blocks of memory must force spilling"
+        );
+        for (i, spec) in specs.iter().enumerate() {
+            let got = column_by_key(&report.table, AttrId::new(0), AttrId::new(4 + i));
+            let expected = reference_rank(&table, spec, AttrId::new(0));
+            for (id, rank) in &expected {
+                assert_eq!(
+                    got[id].as_int(),
+                    Some(*rank),
+                    "{scheme}/{}: id {id}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn execution_is_deterministic() {
+    let table = random_table(3_000, &[13, 40], 7);
+    let query = WindowQuery::new(
+        table.schema().clone(),
+        vec![rank_spec("a", &[1], &[2]), rank_spec("b", &[2], &[1])],
+    );
+    let stats = TableStats::from_table(&table);
+    let run = || {
+        let env = ExecEnv::with_memory_blocks(3);
+        let plan = optimize(&query, &stats, Scheme::Cso, &env).unwrap();
+        let report = execute_plan(&plan, &table, &env).unwrap();
+        (plan.chain_string(), report.table.rows().to_vec(), report.work)
+    };
+    let (c1, r1, w1) = run();
+    let (c2, r2, w2) = run();
+    assert_eq!(c1, c2, "plans must be deterministic");
+    assert_eq!(r1, r2, "row output must be deterministic");
+    assert_eq!(w1, w2, "work counters must be deterministic");
+}
+
+#[test]
+fn modeled_cost_tracks_measured_io_ordering() {
+    // The planner's estimate must order FS-heavy vs shared plans the same
+    // way measured I/O does (cost-model sanity at the plan level).
+    let table = random_table(8_000, &[20, 50], 11);
+    let query = WindowQuery::new(
+        table.schema().clone(),
+        vec![rank_spec("a", &[1], &[2]), rank_spec("b", &[1], &[0])],
+    );
+    let stats = TableStats::from_table(&table);
+    let env_cso = ExecEnv::with_memory_blocks(4);
+    let cso = optimize(&query, &stats, Scheme::Cso, &env_cso).unwrap();
+    let cso_report = execute_plan(&cso, &table, &env_cso).unwrap();
+
+    let env_psql = ExecEnv::with_memory_blocks(4);
+    let psql = optimize(&query, &stats, Scheme::Psql, &env_psql).unwrap();
+    let psql_report = execute_plan(&psql, &table, &env_psql).unwrap();
+
+    let w = env_cso.weights();
+    assert!(cso.est_cost.ms(&w) < psql.est_cost.ms(&w), "estimate ordering");
+    assert!(
+        cso_report.work.io_blocks() < psql_report.work.io_blocks(),
+        "measured ordering: cso {} vs psql {}",
+        cso_report.work.io_blocks(),
+        psql_report.work.io_blocks()
+    );
+}

@@ -1,0 +1,139 @@
+//! The paper's Tables 4/6/8/10, asserted through the public facade: CSO's
+//! chains at the 50/75 and 150 paper-MB equivalents (block budgets 37/111
+//! against a ~10.6k-block table, preserving the paper's B/M ratios).
+
+use wfopt::prelude::*;
+
+/// web_sales-shaped statistics (attrs: date=0, time=1, ship=2, item=3,
+/// bill=4) at the DESIGN.md scale.
+fn stats() -> TableStats {
+    TableStats::synthetic(
+        400_000,
+        10_600 * wfopt::storage::BLOCK_SIZE as u64,
+        vec![
+            (AttrId::new(0), 1_800),
+            (AttrId::new(1), 86_400),
+            (AttrId::new(2), 1_800),
+            (AttrId::new(3), 20_000),
+            (AttrId::new(4), 40_000),
+        ],
+    )
+}
+
+fn schema() -> Schema {
+    Schema::of(&[
+        ("date", DataType::Int),
+        ("time", DataType::Int),
+        ("ship", DataType::Int),
+        ("item", DataType::Int),
+        ("bill", DataType::Int),
+    ])
+}
+
+fn plan_chain(query: &WindowQuery, scheme: Scheme, m_blocks: u64) -> String {
+    let s = stats();
+    let env = ExecEnv::with_memory_blocks(m_blocks);
+    let plan = optimize(query, &s, scheme, &env).expect("planning");
+    assert_eq!(plan.repairs, 0, "paper queries must plan without repairs");
+    plan.chain_string()
+}
+
+const M50: u64 = 37;
+const M150: u64 = 111;
+
+#[test]
+fn table4_q6() {
+    let s = schema();
+    let q = QueryBuilder::new(&s)
+        .rank("wf1", &["item"], &[("date", false)])
+        .rank("wf2", &["item"], &[("bill", false)])
+        .build()
+        .unwrap();
+    assert_eq!(plan_chain(&q, Scheme::Cso, M50), "ws HS→ wf1 SS→ wf2");
+    assert_eq!(plan_chain(&q, Scheme::Cso, M150), "ws FS→ wf1 SS→ wf2");
+    assert_eq!(plan_chain(&q, Scheme::CsoNoHs, M50), "ws FS→ wf1 SS→ wf2");
+    assert_eq!(plan_chain(&q, Scheme::CsoNoSs, M50), "ws HS→ wf1 HS→ wf2");
+    assert_eq!(plan_chain(&q, Scheme::Psql, M50), "ws FS→ wf1 FS→ wf2");
+    assert_eq!(plan_chain(&q, Scheme::Orcl, M50), "ws FS→ wf1 FS→ wf2");
+}
+
+fn q7() -> WindowQuery {
+    let s = schema();
+    QueryBuilder::new(&s)
+        .rank("wf1", &["date", "time", "ship"], &[])
+        .rank("wf2", &["time", "date"], &[])
+        .rank("wf3", &["item"], &[])
+        .rank("wf4", &[], &[("item", false), ("bill", false)])
+        .rank("wf5", &["date", "time", "item", "bill"], &[("ship", false)])
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn table6_q7() {
+    let q = q7();
+    assert_eq!(
+        plan_chain(&q, Scheme::Cso, M50),
+        "ws FS→ wf5 → wf4 → wf3 HS→ wf1 → wf2"
+    );
+    assert_eq!(
+        plan_chain(&q, Scheme::Cso, M150),
+        "ws FS→ wf5 → wf4 → wf3 FS→ wf1 → wf2"
+    );
+    assert_eq!(
+        plan_chain(&q, Scheme::Orcl, M50),
+        "ws FS→ wf5 → wf4 → wf3 FS→ wf1 → wf2"
+    );
+    // PSQL: one FS per function — the positional matcher cannot share
+    // wf1's sort with wf2 (paper Table 6).
+    assert_eq!(
+        plan_chain(&q, Scheme::Psql, M50),
+        "ws FS→ wf1 FS→ wf2 FS→ wf3 FS→ wf4 FS→ wf5"
+    );
+}
+
+#[test]
+fn table10_q9_structure() {
+    let s = schema();
+    let q = QueryBuilder::new(&s)
+        .rank("wf1", &["item"], &[("bill", false), ("date", false)])
+        .rank("wf2", &["item", "time"], &[("date", false)])
+        .rank("wf3", &["item"], &[("time", false)])
+        .rank("wf4", &[], &[("item", false), ("date", false)])
+        .rank("wf5", &["bill", "date"], &[("time", false)])
+        .rank("wf6", &["bill"], &[("time", false)])
+        .rank("wf7", &["date", "time"], &[])
+        .rank("wf8", &[], &[("time", false)])
+        .build()
+        .unwrap();
+    let chain50 = plan_chain(&q, Scheme::Cso, M50);
+    // Paper structure: the time-subset leads with FS, the bill-subset uses
+    // HS then SS, the item-subset one FS plus two SS — 6 reorders total.
+    assert!(chain50.starts_with("ws FS→ wf7 → wf8"), "{chain50}");
+    assert!(chain50.contains("HS→ wf6 SS→ wf5"), "{chain50}");
+    assert_eq!(chain50.matches("SS→").count(), 3, "{chain50}");
+    assert_eq!(chain50.matches("FS→").count() + chain50.matches("HS→").count(), 3);
+    // At 150 the bill-subset's HS flips to FS (paper Table 10).
+    let chain150 = plan_chain(&q, Scheme::Cso, M150);
+    assert!(chain150.contains("FS→ wf6 SS→ wf5"), "{chain150}");
+
+    // PSQL shares exactly one sort (wf2 → wf3), paper Table 10.
+    let psql = plan_chain(&q, Scheme::Psql, M50);
+    assert_eq!(psql, "ws FS→ wf1 FS→ wf2 → wf3 FS→ wf4 FS→ wf5 FS→ wf6 FS→ wf7 FS→ wf8");
+}
+
+#[test]
+fn bfo_matches_cso_cost_on_paper_queries() {
+    let q = q7();
+    let s = stats();
+    let env = ExecEnv::with_memory_blocks(M50);
+    let bfo = optimize(&q, &s, Scheme::Bfo, &env).unwrap();
+    let cso = optimize(&q, &s, Scheme::Cso, &env).unwrap();
+    let w = env.weights();
+    assert!(
+        (bfo.est_cost.ms(&w) - cso.est_cost.ms(&w)).abs() < 1e-6,
+        "CSO must be optimal on Q7: bfo={} cso={}",
+        bfo.est_cost.ms(&w),
+        cso.est_cost.ms(&w)
+    );
+}

@@ -1,0 +1,169 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * every scheme's output equals the reference on arbitrary data/queries,
+//! * covering permutations really cover every member,
+//! * SS's α/β split always reconstructs a valid `perm(WPK) ∘ WOK` and its
+//!   output properties match the target,
+//! * FS/HS/SS executor outputs are valid segmented relations.
+
+mod common;
+
+use common::{column_by_key, random_table, reference_rank};
+use proptest::prelude::*;
+use wfopt::core::cover::try_cover_set;
+use wfopt::core::spec::WindowSpec;
+use wfopt::core::SegProps;
+use wfopt::exec::{full_sort, hashed_sort, segmented_sort, HsOptions, OpEnv, SegmentedRows};
+use wfopt::prelude::*;
+
+/// Strategy: a window spec over attrs 1..=3 of `random_table` (attr 0 is
+/// the unique id).
+fn arb_spec(name: &'static str) -> impl Strategy<Value = WindowSpec> {
+    (
+        proptest::sample::subsequence(vec![1usize, 2, 3], 0..=2),
+        proptest::sample::subsequence(vec![1usize, 2, 3], 0..=2),
+        proptest::bool::ANY,
+    )
+        .prop_filter_map("empty key", move |(wpk, wok, desc)| {
+            if wpk.is_empty() && wok.is_empty() {
+                return None;
+            }
+            let wok_spec = SortSpec::new(
+                wok.iter()
+                    .map(|&i| {
+                        if desc {
+                            OrdElem::desc(AttrId::new(i))
+                        } else {
+                            OrdElem::asc(AttrId::new(i))
+                        }
+                    })
+                    .collect(),
+            );
+            Some(WindowSpec::rank(
+                name,
+                wpk.into_iter().map(AttrId::new).collect(),
+                wok_spec,
+            ))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// End-to-end: random pair of specs, random data, three memory sizes,
+    /// all schemes agree with the reference.
+    #[test]
+    fn schemes_agree_with_reference(
+        spec_a in arb_spec("a"),
+        spec_b in arb_spec("b"),
+        rows in 50usize..400,
+        seed in 0u64..1000,
+        mem in prop::sample::select(vec![2u64, 8, 64]),
+    ) {
+        let table = random_table(rows, &[7, 13, 23], seed);
+        let specs = vec![spec_a, spec_b];
+        let query = WindowQuery::new(table.schema().clone(), specs.clone());
+        let stats = TableStats::from_table(&table);
+        for scheme in [Scheme::Cso, Scheme::Bfo, Scheme::Psql] {
+            let env = ExecEnv::with_memory_blocks(mem);
+            let plan = optimize(&query, &stats, scheme, &env).unwrap();
+            let report = execute_plan(&plan, &table, &env).unwrap();
+            for (i, spec) in specs.iter().enumerate() {
+                let got = column_by_key(&report.table, AttrId::new(0),
+                    AttrId::new(table.schema().len() + i));
+                let expected = reference_rank(&table, spec, AttrId::new(0));
+                for (id, rank) in &expected {
+                    prop_assert_eq!(
+                        got.get(id).and_then(|v| v.as_int()),
+                        Some(*rank),
+                        "{} / {} (plan {})", scheme, spec.name, plan.chain_string()
+                    );
+                }
+            }
+        }
+    }
+
+    /// A successful cover-set proof yields a γ that covers every member:
+    /// γ's prefix realizes each member's WPK-set then WOK-sequence.
+    #[test]
+    fn covering_permutation_covers_members(
+        a in arb_spec("a"),
+        b in arb_spec("b"),
+        c in arb_spec("c"),
+    ) {
+        let specs = vec![a, b, c];
+        if let Some(cs) = try_cover_set(&specs, &[0, 1, 2], None) {
+            let gamma = cs.key();
+            for &m in &cs.members {
+                let s = &specs[m];
+                let p = s.wpk().len();
+                let n = s.key_len();
+                prop_assert!(gamma.len() >= n);
+                let head: AttrSet = gamma.elems()[..p].iter().map(|e| e.attr).collect();
+                prop_assert_eq!(&head, s.wpk());
+                prop_assert_eq!(&gamma.elems()[p..n], s.wok().elems());
+            }
+        }
+    }
+
+    /// α∘β from alpha_split is a valid perm(WPK)∘WOK and after_ss matches.
+    #[test]
+    fn alpha_split_reconstructs_key(
+        spec in arb_spec("t"),
+        y in proptest::sample::subsequence(vec![1usize, 2, 3], 0..=3),
+        grouped_x in proptest::sample::subsequence(vec![1usize, 2, 3], 0..=1),
+    ) {
+        let x = AttrSet::from_iter(grouped_x.iter().map(|&i| AttrId::new(i)));
+        let y_spec = SortSpec::new(y.iter().map(|&i| OrdElem::asc(AttrId::new(i))).collect());
+        let props = SegProps::new(x, y_spec, true);
+        let split = props.alpha_split(&spec);
+        let full = split.full_key();
+        // attr multiset check: full key = WPK ∪ WOK exactly once each.
+        prop_assert_eq!(full.len(), spec.key_len());
+        let head: AttrSet = full.elems()[..spec.wpk().len()].iter().map(|e| e.attr).collect();
+        prop_assert_eq!(&head, spec.wpk());
+        prop_assert_eq!(&full.elems()[spec.wpk().len()..], spec.wok().elems());
+        // And the declared output property must match the spec.
+        if props.x().is_subset(spec.wpk()) {
+            prop_assert!(props.after_ss(&split).matches(&spec));
+        }
+    }
+
+    /// Executor outputs really are the segmented relations the property
+    /// algebra claims: FS → one sorted segment; HS → segments disjoint on
+    /// WHK, each sorted; SS on sorted input → segments sorted on α∘β.
+    #[test]
+    fn operators_produce_claimed_segmented_relations(
+        rows in 30usize..200,
+        seed in 0u64..500,
+        mem in prop::sample::select(vec![2u64, 16]),
+    ) {
+        let table = random_table(rows, &[5, 11], seed);
+        let key = SortSpec::new(vec![OrdElem::asc(AttrId::new(1)), OrdElem::asc(AttrId::new(2))]);
+        let whk = AttrSet::from_iter([AttrId::new(1)]);
+
+        let env = OpEnv::with_memory_blocks(mem);
+        let fs = full_sort(SegmentedRows::single_segment(table.rows().to_vec()), &key, &env)
+            .unwrap();
+        prop_assert!(fs.segment_count() <= 1);
+        prop_assert!(fs.segments_sorted_by(&RowComparator::new(&key)));
+
+        let hs = hashed_sort(
+            SegmentedRows::single_segment(table.rows().to_vec()),
+            &whk,
+            &key,
+            &HsOptions::with_buckets(8),
+            &env,
+        ).unwrap();
+        prop_assert!(hs.segments_disjoint_on(&whk));
+        prop_assert!(hs.segments_sorted_by(&RowComparator::new(&key)));
+        prop_assert_eq!(hs.len(), rows);
+
+        // SS over the FS output: sort c1-groups on c2 descending.
+        let alpha = SortSpec::new(vec![OrdElem::asc(AttrId::new(1))]);
+        let beta = SortSpec::new(vec![OrdElem::desc(AttrId::new(2))]);
+        let ss = segmented_sort(fs, &alpha, &beta, &env).unwrap();
+        prop_assert_eq!(ss.len(), rows);
+        prop_assert!(ss.segments_sorted_by(&RowComparator::new(&alpha.concat(&beta))));
+    }
+}

@@ -1,0 +1,186 @@
+//! The load-bearing correctness property: **every optimization scheme, at
+//! every memory budget, produces exactly the same window columns** — and
+//! those columns agree with an independent reference evaluator.
+//!
+//! This is what makes the optimizer trustworthy: CSO/BFO may pick wildly
+//! different chains (HS vs FS vs SS, different evaluation orders), but the
+//! derived values must be identical to PSQL's naive plan and to a
+//! from-scratch hash-and-sort reference.
+
+mod common;
+
+use common::{column_by_key, random_table, reference_rank};
+use wfopt::core::spec::WindowSpec;
+use wfopt::prelude::*;
+
+fn check_query(table: &Table, specs: Vec<WindowSpec>, mem_blocks: u64) {
+    let key_col = AttrId::new(0); // unique id
+    let query = WindowQuery::new(table.schema().clone(), specs.clone());
+    let stats = TableStats::from_table(table);
+
+    for scheme in [Scheme::Cso, Scheme::CsoNoHs, Scheme::CsoNoSs, Scheme::Bfo, Scheme::Orcl,
+        Scheme::Psql]
+    {
+        let env = ExecEnv::with_memory_blocks(mem_blocks);
+        let plan = optimize(&query, &stats, scheme, &env)
+            .unwrap_or_else(|e| panic!("{scheme} failed to plan: {e}"));
+        let report = execute_plan(&plan, table, &env)
+            .unwrap_or_else(|e| panic!("{scheme} failed to execute: {e}"));
+        let out = &report.table;
+        assert_eq!(out.row_count(), table.row_count(), "{scheme}: row count");
+
+        for (i, spec) in specs.iter().enumerate() {
+            let val_col = AttrId::new(table.schema().len() + i);
+            let got = column_by_key(out, key_col, val_col);
+            let expected = reference_rank(table, spec, key_col);
+            for (id, rank) in &expected {
+                assert_eq!(
+                    got.get(id).and_then(|v| v.as_int()),
+                    Some(*rank),
+                    "{scheme} M={mem_blocks}: {} disagrees with reference for id {id} \
+                     (plan: {})",
+                    spec.name,
+                    plan.chain_string(),
+                );
+            }
+        }
+    }
+}
+
+fn rank_spec(name: &str, wpk: &[usize], wok: &[usize]) -> WindowSpec {
+    WindowSpec::rank(
+        name,
+        wpk.iter().map(|&i| AttrId::new(i)).collect(),
+        SortSpec::new(wok.iter().map(|&i| OrdElem::asc(AttrId::new(i))).collect()),
+    )
+}
+
+#[test]
+fn two_functions_shared_partition_key() {
+    let table = random_table(2_000, &[20, 50, 50], 1);
+    check_query(&table, vec![rank_spec("a", &[1], &[2]), rank_spec("b", &[1], &[3])], 64);
+}
+
+#[test]
+fn paper_q7_shape_all_schemes_agree() {
+    let table = random_table(3_000, &[8, 9, 10, 25, 40], 2);
+    let specs = vec![
+        rank_spec("wf1", &[1, 2, 3], &[]),
+        rank_spec("wf2", &[2, 1], &[]),
+        rank_spec("wf3", &[4], &[]),
+        rank_spec("wf4", &[], &[4, 5]),
+        rank_spec("wf5", &[1, 2, 4, 5], &[3]),
+    ];
+    check_query(&table, specs, 32);
+}
+
+#[test]
+fn tiny_memory_heavy_spilling() {
+    // Two blocks of sort memory force every operator down its external
+    // path; results must be unchanged.
+    let table = random_table(4_000, &[15, 30], 3);
+    check_query(&table, vec![rank_spec("a", &[1], &[2]), rank_spec("b", &[2], &[1])], 2);
+}
+
+#[test]
+fn global_and_partitioned_ranks() {
+    let table = random_table(1_500, &[12, 70], 4);
+    check_query(
+        &table,
+        vec![rank_spec("global", &[], &[2]), rank_spec("local", &[1], &[2])],
+        16,
+    );
+}
+
+#[test]
+fn descending_and_null_ordering() {
+    // Column with NULLs: ids divisible by 7 get NULL in c1.
+    let mut table = random_table(800, &[10, 40], 5);
+    let schema = table.schema().clone();
+    let rows: Vec<Row> = table
+        .rows()
+        .iter()
+        .map(|r| {
+            let mut vals = r.values().to_vec();
+            if vals[0].as_int().unwrap() % 7 == 0 {
+                vals[2] = Value::Null;
+            }
+            Row::new(vals)
+        })
+        .collect();
+    table = Table::from_rows(schema, rows).unwrap();
+
+    let desc_wok = SortSpec::new(vec![OrdElem::desc(AttrId::new(2))]);
+    let specs = vec![
+        WindowSpec::rank("desc_rank", vec![AttrId::new(1)], desc_wok),
+        rank_spec("asc_rank", &[1], &[2]),
+    ];
+    check_query(&table, specs, 8);
+}
+
+#[test]
+fn eight_functions_q9_shape() {
+    // date=1, item=2, time=3, bill=4 over random data.
+    let table = random_table(2_500, &[18, 25, 24, 35], 6);
+    let specs = vec![
+        rank_spec("wf1", &[2], &[4, 1]),
+        rank_spec("wf2", &[2, 3], &[1]),
+        rank_spec("wf3", &[2], &[3]),
+        rank_spec("wf4", &[], &[2, 1]),
+        rank_spec("wf5", &[4, 1], &[3]),
+        rank_spec("wf6", &[4], &[3]),
+        rank_spec("wf7", &[1, 3], &[]),
+        rank_spec("wf8", &[], &[3]),
+    ];
+    check_query(&table, specs, 24);
+}
+
+#[test]
+fn single_row_and_empty_tables() {
+    for rows in [0usize, 1] {
+        let table = random_table(rows, &[3, 3], 7);
+        let query = WindowQuery::new(
+            table.schema().clone(),
+            vec![rank_spec("r", &[1], &[2])],
+        );
+        let stats = TableStats::from_table(&table);
+        for scheme in [Scheme::Cso, Scheme::Psql] {
+            let env = ExecEnv::with_memory_blocks(4);
+            let plan = optimize(&query, &stats, scheme, &env).unwrap();
+            let report = execute_plan(&plan, &table, &env).unwrap();
+            assert_eq!(report.table.row_count(), rows);
+        }
+    }
+}
+
+#[test]
+fn pre_sorted_input_uses_c0_and_matches_reference() {
+    // Input sorted on (c0, c1): a spec over exactly that key is matched
+    // (C0) and the whole chain must still be correct.
+    let table = random_table(1_200, &[9, 33], 8);
+    let schema = table.schema().clone();
+    let mut rows = table.rows().to_vec();
+    let key = SortSpec::new(vec![OrdElem::asc(AttrId::new(1)), OrdElem::asc(AttrId::new(2))]);
+    let cmp = RowComparator::new(&key);
+    rows.sort_by(|a, b| cmp.compare(a, b));
+    let sorted_table = Table::from_rows(schema, rows).unwrap();
+
+    let specs = vec![rank_spec("matched", &[1], &[2]), rank_spec("other", &[2], &[1])];
+    let mut query = WindowQuery::new(sorted_table.schema().clone(), specs.clone());
+    query.input_props = wfopt::core::SegProps::sorted(key);
+    let stats = TableStats::from_table(&sorted_table);
+    let env = ExecEnv::with_memory_blocks(16);
+    let plan = optimize(&query, &stats, Scheme::Cso, &env).unwrap();
+    // First evaluated function must be the matched one, reorder-free.
+    assert_eq!(plan.steps[0].wf, 0);
+    assert_eq!(plan.steps[0].reorder, wfopt::core::ReorderOp::None);
+
+    let report = execute_plan(&plan, &sorted_table, &env).unwrap();
+    for (i, spec) in specs.iter().enumerate() {
+        let got = column_by_key(&report.table, AttrId::new(0), AttrId::new(3 + i));
+        let expected = reference_rank(&sorted_table, spec, AttrId::new(0));
+        for (id, rank) in &expected {
+            assert_eq!(got.get(id).and_then(|v| v.as_int()), Some(*rank));
+        }
+    }
+}
