@@ -1,8 +1,8 @@
-//! Criterion bench behind Fig. 4: SS vs FS on an input already sorted on
-//! the partition key (Q4 on `web_sales_s`).
+//! Bench behind Fig. 4: SS vs FS on an input already sorted on the
+//! partition key (Q4 on `web_sales_s`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wf_bench::experiments::Harness;
+use wf_bench::microbench::BenchGroup;
 use wf_bench::{paper_mb_to_blocks, queries};
 use wf_common::{OrdElem, SortSpec};
 use wf_core::plan::default_fs_key;
@@ -10,37 +10,28 @@ use wf_core::props::SegProps;
 use wf_datagen::WsColumn;
 use wf_exec::{full_sort, segmented_sort, OpEnv, SegmentedRows};
 
-fn bench_fig4(c: &mut Criterion) {
+fn main() {
     let h = Harness { rows: 30_000 };
     let table = h.ws_config().generate_sorted_on(WsColumn::Quantity);
     let b = table.block_count();
     let spec = queries::q4_q5();
-    let props =
-        SegProps::sorted(SortSpec::new(vec![OrdElem::asc(WsColumn::Quantity.attr())]));
+    let props = SegProps::sorted(SortSpec::new(vec![OrdElem::asc(WsColumn::Quantity.attr())]));
     let split = props.alpha_split(&spec);
     let key = default_fs_key(&spec);
 
-    let mut group = c.benchmark_group("fig4_ss");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig4_ss");
     for m_mb in [10.0, 150.0] {
         let m = paper_mb_to_blocks(m_mb, b);
-        group.bench_with_input(BenchmarkId::new("ss", m_mb as u64), &m, |bench, &m| {
-            bench.iter(|| {
-                let env = OpEnv::with_memory_blocks(m);
-                let input = SegmentedRows::single_segment(table.rows().to_vec());
-                segmented_sort(input, &split.alpha, &split.beta, &env).unwrap()
-            })
+        group.bench(&format!("ss/{}", m_mb as u64), || {
+            let env = OpEnv::with_memory_blocks(m);
+            let input = SegmentedRows::single_segment(table.rows().to_vec());
+            segmented_sort(input, &split.alpha, &split.beta, &env).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("fs", m_mb as u64), &m, |bench, &m| {
-            bench.iter(|| {
-                let env = OpEnv::with_memory_blocks(m);
-                let input = SegmentedRows::single_segment(table.rows().to_vec());
-                full_sort(input, &key, &env).unwrap()
-            })
+        group.bench(&format!("fs/{}", m_mb as u64), || {
+            let env = OpEnv::with_memory_blocks(m);
+            let input = SegmentedRows::single_segment(table.rows().to_vec());
+            full_sort(input, &key, &env).unwrap();
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

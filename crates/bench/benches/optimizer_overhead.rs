@@ -1,7 +1,7 @@
-//! Criterion bench behind Table 11: pure planning time per scheme as the
-//! number of window functions grows.
+//! Bench behind Table 11: pure planning time per scheme as the number of
+//! window functions grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wf_bench::microbench::BenchGroup;
 use wf_bench::queries::table11_pool;
 use wf_core::cost::TableStats;
 use wf_core::plan::PlanContext;
@@ -9,36 +9,32 @@ use wf_core::planner::{plan_bfo, plan_cso, plan_orcl, plan_psql, BfoOptions};
 use wf_core::query::WindowQuery;
 use wf_datagen::{random_specs, WsConfig};
 
-fn bench_optimizers(c: &mut Criterion) {
+fn main() {
     let cfg = WsConfig::default();
     let stats = TableStats::synthetic(
         400_000,
         400_000 * 214,
         table11_pool().into_iter().map(|a| (a, 10_000)).collect(),
     );
-    let mut group = c.benchmark_group("table11_optimizer_overhead");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("table11_optimizer_overhead");
     for n in [6usize, 8, 10] {
         let specs = random_specs(n, &table11_pool(), 1244 + n as u64);
         let query = WindowQuery::new(cfg.schema(), specs);
         let ctx = PlanContext::new(&stats, 37);
-        group.bench_with_input(BenchmarkId::new("cso", n), &n, |b, _| {
-            b.iter(|| plan_cso(&query, &ctx).unwrap())
+        group.bench(&format!("cso/{n}"), || {
+            let _ = plan_cso(&query, &ctx);
         });
-        group.bench_with_input(BenchmarkId::new("orcl", n), &n, |b, _| {
-            b.iter(|| plan_orcl(&query, &ctx).unwrap())
+        group.bench(&format!("orcl/{n}"), || {
+            let _ = plan_orcl(&query, &ctx);
         });
-        group.bench_with_input(BenchmarkId::new("psql", n), &n, |b, _| {
-            b.iter(|| plan_psql(&query, &ctx).unwrap())
+        group.bench(&format!("psql/{n}"), || {
+            let _ = plan_psql(&query, &ctx);
         });
         if n <= 8 {
-            group.bench_with_input(BenchmarkId::new("bfo", n), &n, |b, _| {
-                b.iter(|| plan_bfo(&query, &ctx, &BfoOptions::default()).unwrap())
+            group.bench(&format!("bfo/{n}"), || {
+                let _ = plan_bfo(&query, &ctx, &BfoOptions::default());
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_optimizers);
-criterion_main!(benches);

@@ -1,14 +1,14 @@
-//! Criterion bench behind Figs. 5–8: end-to-end plan execution of Q7 under
-//! each optimization scheme.
+//! Bench behind Figs. 5–8: end-to-end plan execution of Q7 under each
+//! optimization scheme.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wf_bench::experiments::Harness;
+use wf_bench::microbench::BenchGroup;
 use wf_bench::{paper_mb_to_blocks, queries};
 use wf_core::cost::TableStats;
 use wf_core::planner::{optimize, Scheme};
 use wf_core::runtime::{execute_plan, ExecEnv};
 
-fn bench_schemes(c: &mut Criterion) {
+fn main() {
     let h = Harness { rows: 20_000 };
     let cfg = h.ws_config();
     let table = cfg.generate();
@@ -16,23 +16,13 @@ fn bench_schemes(c: &mut Criterion) {
     let query = queries::q7(&cfg);
     let m = paper_mb_to_blocks(50.0, table.block_count());
 
-    let mut group = c.benchmark_group("q7_schemes");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("q7_schemes");
     for scheme in [Scheme::Cso, Scheme::Bfo, Scheme::Orcl, Scheme::Psql] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.name()),
-            &scheme,
-            |bench, &scheme| {
-                bench.iter(|| {
-                    let env = ExecEnv::with_memory_blocks(m);
-                    let plan = optimize(&query, &stats, scheme, &env).unwrap();
-                    execute_plan(&plan, &table, &env).unwrap()
-                })
-            },
-        );
+        group.bench(scheme.name(), || {
+            let env = ExecEnv::with_memory_blocks(m);
+            let plan = optimize(&query, &stats, scheme, &env).unwrap();
+            execute_plan(&plan, &table, &env).unwrap();
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

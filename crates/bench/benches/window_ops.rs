@@ -1,10 +1,12 @@
 //! Micro-benchmarks of the window-function operator itself: ranking,
 //! frame-based aggregates and sliding frames over a matched input.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wf_common::{row, AttrId, OrdElem, Row, SortSpec};
+use wf_bench::microbench::BenchGroup;
 use wf_common::AttrSet;
-use wf_exec::{evaluate_window, Bound, FrameSpec, FrameUnits, OpEnv, SegmentedRows, WindowFunction};
+use wf_common::{row, AttrId, OrdElem, Row, SortSpec};
+use wf_exec::{
+    evaluate_window, Bound, FrameSpec, FrameUnits, OpEnv, SegmentedRows, WindowFunction,
+};
 
 fn matched_input(n: usize) -> SegmentedRows {
     // Sorted on (g, v): 100 partitions.
@@ -12,12 +14,15 @@ fn matched_input(n: usize) -> SegmentedRows {
         .map(|i| row![(i % 100) as i64, ((i * 7919) % 100_000) as i64])
         .collect();
     rows.sort_by_key(|r| {
-        (r.get(AttrId::new(0)).as_int().unwrap(), r.get(AttrId::new(1)).as_int().unwrap())
+        (
+            r.get(AttrId::new(0)).as_int().unwrap(),
+            r.get(AttrId::new(1)).as_int().unwrap(),
+        )
     });
     SegmentedRows::single_segment(rows)
 }
 
-fn bench_window_ops(c: &mut Criterion) {
+fn main() {
     let n = 50_000;
     let input = matched_input(n);
     let wpk = AttrSet::from_iter([AttrId::new(0)]);
@@ -36,21 +41,23 @@ fn bench_window_ops(c: &mut Criterion) {
         ("running_sum", WindowFunction::Sum(val), None),
         ("sliding_avg", WindowFunction::Avg(val), Some(sliding)),
         ("sliding_min", WindowFunction::Min(val), Some(sliding)),
-        ("lag", WindowFunction::Lag { col: val, offset: 3, default: None }, None),
+        (
+            "lag",
+            WindowFunction::Lag {
+                col: val,
+                offset: 3,
+                default: None,
+            },
+            None,
+        ),
     ];
 
-    let mut group = c.benchmark_group("window_ops");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("window_ops");
     for (name, func, frame) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &func, |b, func| {
-            b.iter(|| {
-                let env = OpEnv::with_memory_blocks(1024);
-                evaluate_window(input.clone(), &wpk, &wok, func, frame, &env).unwrap()
-            })
+        group.bench(name, || {
+            let env = OpEnv::with_memory_blocks(1024);
+            evaluate_window(input.clone(), &wpk, &wok, &func, frame, &env).unwrap();
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_window_ops);
-criterion_main!(benches);

@@ -9,8 +9,8 @@
 //! Results print as aligned tables and are written as CSV under `results/`.
 
 use wf_bench::experiments::{
-    run_ablate_hs, run_ablate_ss, run_fig3, run_fig4, run_integrated, run_parallel,
-    run_queries, run_query_experiment, run_table11, Harness,
+    run_ablate_hs, run_ablate_ss, run_fig3, run_fig4, run_integrated, run_parallel, run_queries,
+    run_query_experiment, run_table11, Harness,
 };
 use wf_bench::queries;
 

@@ -63,11 +63,17 @@ fn run_single_op(
         &ctx,
     );
     let report = execute_plan(&plan, table, &env).expect("micro-benchmark step");
-    (report.modeled_ms, report.work.io_blocks(), report.wall.as_secs_f64() * 1000.0)
+    (
+        report.modeled_ms,
+        report.work.io_blocks(),
+        report.wall.as_secs_f64() * 1000.0,
+    )
 }
 
 fn fs_op(spec: &WindowSpec) -> ReorderOp {
-    ReorderOp::Fs { key: wf_core::plan::default_fs_key(spec) }
+    ReorderOp::Fs {
+        key: wf_core::plan::default_fs_key(spec),
+    }
 }
 
 fn hs_op(spec: &WindowSpec, stats: &TableStats) -> ReorderOp {
@@ -98,7 +104,16 @@ pub fn run_fig3(h: &Harness) {
     ] {
         let mut t = ReportTable::new(
             &format!("{fig}: plan execution, FS vs HS (modeled ms | io blocks)"),
-            &["M(paper MB)", "M(blocks)", "FS ms", "HS ms", "FS io", "HS io", "FS wall", "HS wall"],
+            &[
+                "M(paper MB)",
+                "M(blocks)",
+                "FS ms",
+                "HS ms",
+                "FS io",
+                "HS io",
+                "FS wall",
+                "HS wall",
+            ],
         );
         for &m_mb in &FIG3_MEMORIES_MB {
             let m = paper_mb_to_blocks(m_mb, b);
@@ -159,18 +174,27 @@ pub fn run_fig4(h: &Harness) {
         let stats = TableStats::from_table(&table);
         let b = table.block_count();
         let split = props.alpha_split(&spec);
-        let ss = ReorderOp::Ss { alpha: split.alpha.clone(), beta: split.beta.clone() };
+        let ss = ReorderOp::Ss {
+            alpha: split.alpha.clone(),
+            beta: split.beta.clone(),
+        };
         let mut t = ReportTable::new(
             &format!("{fig}: FS vs HS vs SS (modeled ms)"),
-            &["M(paper MB)", "M(blocks)", "FS ms", "HS ms", "SS ms", "SS io"],
+            &[
+                "M(paper MB)",
+                "M(blocks)",
+                "FS ms",
+                "HS ms",
+                "SS ms",
+                "SS io",
+            ],
         );
         for &m_mb in &FIG3_MEMORIES_MB {
             let m = paper_mb_to_blocks(m_mb, b);
             let (fs_ms, _, _) = run_single_op(&table, &props, &spec, fs_op(&spec), &stats, m);
             let (hs_ms, _, _) =
                 run_single_op(&table, &props, &spec, hs_op(&spec, &stats), &stats, m);
-            let (ss_ms, ss_io, _) =
-                run_single_op(&table, &props, &spec, ss.clone(), &stats, m);
+            let (ss_ms, ss_io, _) = run_single_op(&table, &props, &spec, ss.clone(), &stats, m);
             t.row(vec![
                 format!("{m_mb}"),
                 format!("{m}"),
@@ -343,8 +367,15 @@ pub fn run_ablate_hs(h: &Harness) {
             env.op_env(),
         )
         .unwrap();
-        let _ = evaluate_window(sorted, spec.wpk(), spec.wok(), &spec.func, None, env.op_env())
-            .unwrap();
+        let _ = evaluate_window(
+            sorted,
+            spec.wpk(),
+            spec.wok(),
+            &spec.func,
+            None,
+            env.op_env(),
+        )
+        .unwrap();
         let _wall = t0.elapsed();
         let work = env.tracker().snapshot();
         let m_ms = env.weights().modeled_ms(&work);
@@ -367,17 +398,21 @@ pub fn run_ablate_ss(h: &Harness) {
         &["segments (D(quantity))", "SS ms", "FS ms", "SS/FS"],
     );
     for d_qty in [10u64, 100, 1_000, 10_000] {
-        let cfg = WsConfig { d_quantity: d_qty, ..h.ws_config() };
+        let cfg = WsConfig {
+            d_quantity: d_qty,
+            ..h.ws_config()
+        };
         let table = cfg.generate_sorted_on(WsColumn::Quantity);
         let stats = TableStats::from_table(&table);
         let b = table.block_count();
         let m = paper_mb_to_blocks(50.0, b);
         let spec = queries::q4_q5();
-        let props = SegProps::sorted(SortSpec::new(vec![OrdElem::asc(
-            WsColumn::Quantity.attr(),
-        )]));
+        let props = SegProps::sorted(SortSpec::new(vec![OrdElem::asc(WsColumn::Quantity.attr())]));
         let split = props.alpha_split(&spec);
-        let ss = ReorderOp::Ss { alpha: split.alpha, beta: split.beta };
+        let ss = ReorderOp::Ss {
+            alpha: split.alpha,
+            beta: split.beta,
+        };
         let (ss_ms, _, _) = run_single_op(&table, &props, &spec, ss, &stats, m);
         let (fs_ms, _, _) = run_single_op(&table, &props, &spec, fs_op(&spec), &stats, m);
         t.row(vec![
@@ -396,7 +431,9 @@ pub fn run_parallel(h: &Harness) {
     let table = cfg.generate();
     let spec = queries::q1();
     let key = wf_core::plan::default_fs_key(&spec);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut t = ReportTable::new(
         &format!(
             "parallel: single window function, hash-partitioned workers (§3.5) — host has \
@@ -415,7 +452,14 @@ pub fn run_parallel(h: &Harness) {
             env.op_env(),
             |_, part| {
                 let sorted = full_sort(part, &key, env.op_env())?;
-                evaluate_window(sorted, spec.wpk(), spec.wok(), &spec.func, None, env.op_env())
+                evaluate_window(
+                    sorted,
+                    spec.wpk(),
+                    spec.wok(),
+                    &spec.func,
+                    None,
+                    env.op_env(),
+                )
             },
         )
         .unwrap();
@@ -448,17 +492,27 @@ pub fn run_integrated(h: &Harness) {
 
     let mut t = ReportTable::new(
         "integrated (§5): window chain over hash vs sort GROUP BY variants",
-        &["M(paper MB)", "hash total ms", "sort total ms", "chosen", "chain"],
+        &[
+            "M(paper MB)",
+            "hash total ms",
+            "sort total ms",
+            "chosen",
+            "chain",
+        ],
     );
     for &m_mb in &QUERY_MEMORIES_MB {
         let m = paper_mb_to_blocks(m_mb, base.block_count());
 
         let env_hash = ExecEnv::with_memory_blocks(m);
         let by_hash = group_by_hash(&base, &keys, &aggs, env_hash.op_env()).unwrap();
-        let hash_cost = env_hash.weights().modeled_ms(&env_hash.tracker().snapshot());
+        let hash_cost = env_hash
+            .weights()
+            .modeled_ms(&env_hash.tracker().snapshot());
         let env_sort = ExecEnv::with_memory_blocks(m);
         let _by_sort = group_by_sort(&base, &keys, &aggs, env_sort.op_env()).unwrap();
-        let sort_cost = env_sort.weights().modeled_ms(&env_sort.tracker().snapshot());
+        let sort_cost = env_sort
+            .weights()
+            .modeled_ms(&env_sort.tracker().snapshot());
 
         let schema = by_hash.schema().clone();
         let key_attr = schema.resolve("ws_item_sk").unwrap();
@@ -466,7 +520,9 @@ pub fn run_integrated(h: &Harness) {
             WindowSpec::rank(
                 "r1",
                 vec![key_attr],
-                SortSpec::new(vec![OrdElem::desc(schema.resolve("sum_ws_quantity").unwrap())]),
+                SortSpec::new(vec![OrdElem::desc(
+                    schema.resolve("sum_ws_quantity").unwrap(),
+                )]),
             ),
             WindowSpec::rank(
                 "r2",
@@ -499,14 +555,9 @@ pub fn run_integrated(h: &Harness) {
         // Per-variant totals for the table.
         let mut totals = Vec::new();
         for v in &variants {
-            let one = optimize_integrated(
-                &query,
-                std::slice::from_ref(v),
-                &stats,
-                Scheme::Cso,
-                &env,
-            )
-            .unwrap();
+            let one =
+                optimize_integrated(&query, std::slice::from_ref(v), &stats, Scheme::Cso, &env)
+                    .unwrap();
             totals.push(one.total_ms);
         }
         t.row(vec![

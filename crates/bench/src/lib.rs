@@ -11,6 +11,7 @@
 //! counters next to wall time.
 
 pub mod experiments;
+pub mod microbench;
 pub mod queries;
 pub mod report;
 
@@ -20,7 +21,9 @@ pub const PAPER_TABLE_MB: f64 = 14_300.0;
 /// Map a paper memory size (MB against 14.3 GB) to a block budget against
 /// a table of `table_blocks` blocks, preserving `B/M`.
 pub fn paper_mb_to_blocks(m_mb: f64, table_blocks: u64) -> u64 {
-    ((m_mb / PAPER_TABLE_MB) * table_blocks as f64).round().max(2.0) as u64
+    ((m_mb / PAPER_TABLE_MB) * table_blocks as f64)
+        .round()
+        .max(2.0) as u64
 }
 
 /// The `M` axis of Fig. 3/4 (paper MB).

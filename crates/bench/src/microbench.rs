@@ -1,0 +1,91 @@
+//! A tiny fixed-iteration benchmark runner used by the `cargo bench`
+//! targets (`harness = false`).
+//!
+//! The original targets used Criterion; the workspace builds without
+//! external dependencies, so this runner keeps the same shape — named
+//! groups, named cases, warm-up plus timed iterations — and reports
+//! best/mean wall time per case. Set `WF_BENCH_ITERS` to change the
+//! iteration count (default 5; CI smoke runs can use 1).
+
+use std::time::Instant;
+
+/// Number of timed iterations per case.
+pub fn iterations() -> usize {
+    std::env::var("WF_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5)
+}
+
+/// A named group of benchmark cases printing aligned results.
+pub struct BenchGroup {
+    name: String,
+    iters: usize,
+    results: Vec<(String, f64, f64)>, // (case, best ms, mean ms)
+}
+
+impl BenchGroup {
+    /// Start a group with the iteration count from `WF_BENCH_ITERS`.
+    pub fn new(name: &str) -> Self {
+        Self::with_iterations(name, iterations())
+    }
+
+    /// Start a group with an explicit iteration count (the env var is read
+    /// once, at construction).
+    pub fn with_iterations(name: &str, iters: usize) -> Self {
+        eprintln!("group {name} ({iters} iterations per case)");
+        BenchGroup {
+            name: name.to_string(),
+            iters: iters.max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Run one case: warm up once, then time the configured iterations.
+    pub fn bench<F: FnMut()>(&mut self, id: &str, mut f: F) {
+        f(); // warm-up
+        let mut total = 0.0f64;
+        let mut best = f64::INFINITY;
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            f();
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            total += ms;
+            best = best.min(ms);
+        }
+        self.results
+            .push((id.to_string(), best, total / self.iters as f64));
+    }
+
+    /// Print the group's results table.
+    pub fn finish(self) {
+        let width = self
+            .results
+            .iter()
+            .map(|(id, ..)| id.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        println!("\n== {} ==", self.name);
+        println!("{:width$}  {:>10}  {:>10}", "case", "best ms", "mean ms");
+        for (id, best, mean) in &self.results {
+            println!("{id:width$}  {best:>10.2}  {mean:>10.2}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut g = BenchGroup::with_iterations("t", 2);
+        let mut count = 0u32;
+        g.bench("case", || count += 1);
+        assert_eq!(count, 3, "one warm-up plus two timed iterations");
+        assert_eq!(g.results.len(), 1);
+        g.finish();
+    }
+}

@@ -20,8 +20,9 @@ fn spec(name: &str, wpk: &[WsColumn], wok: &[WsColumn]) -> WindowSpec {
     )
 }
 
-use WsColumn::{Bill, Item, Quantity, ShipDate as Ship, SoldDate as Date, SoldTime as Time,
-    Warehouse};
+use WsColumn::{
+    Bill, Item, Quantity, ShipDate as Ship, SoldDate as Date, SoldTime as Time, Warehouse,
+};
 
 /// Q1 (Table 1): WPK = {item}, WOK = (time) — "medium" partition count.
 pub fn q1() -> WindowSpec {
@@ -100,7 +101,13 @@ pub fn q9(cfg: &WsConfig) -> WindowQuery {
 
 /// The attribute pool for Table 11's random queries (Table 2's columns).
 pub fn table11_pool() -> Vec<wf_common::AttrId> {
-    vec![Date.attr(), Time.attr(), Ship.attr(), Item.attr(), Bill.attr()]
+    vec![
+        Date.attr(),
+        Time.attr(),
+        Ship.attr(),
+        Item.attr(),
+        Bill.attr(),
+    ]
 }
 
 #[cfg(test)]

@@ -172,7 +172,13 @@ impl AttrSeq {
 
     /// Concatenation `self ∘ other`.
     pub fn concat(&self, other: &AttrSeq) -> AttrSeq {
-        AttrSeq::new(self.elems.iter().chain(other.elems.iter()).copied().collect())
+        AttrSeq::new(
+            self.elems
+                .iter()
+                .chain(other.elems.iter())
+                .copied()
+                .collect(),
+        )
     }
 
     /// Longest common prefix `self ∧ other`.
@@ -199,7 +205,13 @@ impl AttrSeq {
     /// Sequence with all attributes in `drop` removed (used when constants
     /// are deleted from an ordering).
     pub fn without(&self, drop: &AttrSet) -> AttrSeq {
-        AttrSeq::new(self.elems.iter().copied().filter(|a| !drop.contains(*a)).collect())
+        AttrSeq::new(
+            self.elems
+                .iter()
+                .copied()
+                .filter(|a| !drop.contains(*a))
+                .collect(),
+        )
     }
 
     /// Sequence with later duplicates removed (a second occurrence of an
@@ -308,7 +320,10 @@ mod tests {
 
     #[test]
     fn seq_common_prefix() {
-        assert_eq!(seq(&[1, 2, 3]).common_prefix(&seq(&[1, 2, 4])), seq(&[1, 2]));
+        assert_eq!(
+            seq(&[1, 2, 3]).common_prefix(&seq(&[1, 2, 4])),
+            seq(&[1, 2])
+        );
         assert_eq!(seq(&[1]).common_prefix(&seq(&[2])), AttrSeq::empty());
         assert_eq!(seq(&[1, 2]).common_prefix(&seq(&[1, 2])), seq(&[1, 2]));
     }

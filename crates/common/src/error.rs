@@ -62,11 +62,19 @@ mod tests {
             "unknown attribute `x`"
         );
         assert_eq!(
-            Error::TypeMismatch { expected: "Int".into(), found: "Str".into() }.to_string(),
+            Error::TypeMismatch {
+                expected: "Int".into(),
+                found: "Str".into()
+            }
+            .to_string(),
             "type mismatch: expected Int, found Str"
         );
         assert_eq!(
-            Error::Parse { offset: 3, message: "bad token".into() }.to_string(),
+            Error::Parse {
+                offset: 3,
+                message: "bad token".into()
+            }
+            .to_string(),
             "parse error at byte 3: bad token"
         );
     }

@@ -41,12 +41,20 @@ impl OrdElem {
     /// Ascending, NULLS LAST — the canonical element used for partition-key
     /// regions, where any consistent direction produces valid partitions.
     pub fn asc(attr: AttrId) -> Self {
-        OrdElem { attr, dir: Direction::Asc, nulls: NullOrder::Last }
+        OrdElem {
+            attr,
+            dir: Direction::Asc,
+            nulls: NullOrder::Last,
+        }
     }
 
     /// Descending, NULLS LAST (the paper's Example 1).
     pub fn desc(attr: AttrId) -> Self {
-        OrdElem { attr, dir: Direction::Desc, nulls: NullOrder::Last }
+        OrdElem {
+            attr,
+            dir: Direction::Desc,
+            nulls: NullOrder::Last,
+        }
     }
 
     /// Compare two rows on just this element.
@@ -137,7 +145,13 @@ impl SortSpec {
 
     /// Concatenation.
     pub fn concat(&self, other: &SortSpec) -> SortSpec {
-        SortSpec::new(self.elems.iter().chain(other.elems.iter()).copied().collect())
+        SortSpec::new(
+            self.elems
+                .iter()
+                .chain(other.elems.iter())
+                .copied()
+                .collect(),
+        )
     }
 
     /// Exact-element prefix test (`self ≤ other`): every element must match
@@ -149,7 +163,13 @@ impl SortSpec {
     /// Drop elements whose attribute is in `drop` (deleting constants from an
     /// ordering preserves it).
     pub fn without_attrs(&self, drop: &AttrSet) -> SortSpec {
-        SortSpec::new(self.elems.iter().copied().filter(|e| !drop.contains(e.attr)).collect())
+        SortSpec::new(
+            self.elems
+                .iter()
+                .copied()
+                .filter(|e| !drop.contains(e.attr))
+                .collect(),
+        )
     }
 
     /// Keep only the first occurrence of each attribute (later occurrences
@@ -206,7 +226,9 @@ pub struct RowComparator {
 impl RowComparator {
     /// Build from a specification.
     pub fn new(spec: &SortSpec) -> Self {
-        RowComparator { elems: spec.elems().to_vec() }
+        RowComparator {
+            elems: spec.elems().to_vec(),
+        }
     }
 
     /// Compare two rows element by element.
@@ -256,14 +278,26 @@ mod tests {
     fn null_placement() {
         let null_row = row![Value::Null];
         let int_row = row![5];
-        let last = OrdElem { attr: a(0), dir: Direction::Asc, nulls: NullOrder::Last };
-        let first = OrdElem { attr: a(0), dir: Direction::Asc, nulls: NullOrder::First };
+        let last = OrdElem {
+            attr: a(0),
+            dir: Direction::Asc,
+            nulls: NullOrder::Last,
+        };
+        let first = OrdElem {
+            attr: a(0),
+            dir: Direction::Asc,
+            nulls: NullOrder::First,
+        };
         assert_eq!(last.compare(&null_row, &int_row), Ordering::Greater);
         assert_eq!(first.compare(&null_row, &int_row), Ordering::Less);
         assert_eq!(last.compare(&null_row, &null_row), Ordering::Equal);
         // Desc does not flip NULL placement (SQL semantics: placement is
         // explicit, not direction-relative).
-        let desc_last = OrdElem { attr: a(0), dir: Direction::Desc, nulls: NullOrder::Last };
+        let desc_last = OrdElem {
+            attr: a(0),
+            dir: Direction::Desc,
+            nulls: NullOrder::Last,
+        };
         assert_eq!(desc_last.compare(&null_row, &int_row), Ordering::Greater);
     }
 
@@ -288,7 +322,11 @@ mod tests {
 
     #[test]
     fn spec_without_and_dedup() {
-        let s = SortSpec::new(vec![OrdElem::asc(a(0)), OrdElem::desc(a(1)), OrdElem::asc(a(0))]);
+        let s = SortSpec::new(vec![
+            OrdElem::asc(a(0)),
+            OrdElem::desc(a(1)),
+            OrdElem::asc(a(0)),
+        ]);
         assert_eq!(s.dedup_attrs().len(), 2);
         let dropped = s.without_attrs(&AttrSet::from_iter([a(0)]));
         assert_eq!(dropped.len(), 1);
@@ -297,7 +335,11 @@ mod tests {
 
     #[test]
     fn spec_prefix_suffix_concat() {
-        let s = SortSpec::new(vec![OrdElem::asc(a(0)), OrdElem::asc(a(1)), OrdElem::asc(a(2))]);
+        let s = SortSpec::new(vec![
+            OrdElem::asc(a(0)),
+            OrdElem::asc(a(1)),
+            OrdElem::asc(a(2)),
+        ]);
         assert_eq!(s.prefix(2).attr_seq().as_slice(), &[a(0), a(1)]);
         assert_eq!(s.suffix(2).attr_seq().as_slice(), &[a(2)]);
         assert_eq!(s.prefix(9).len(), 3);

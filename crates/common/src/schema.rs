@@ -33,7 +33,10 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type }
+        Field {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -60,7 +63,9 @@ impl Schema {
                 }
             }
         }
-        Ok(Schema { fields: fields.into() })
+        Ok(Schema {
+            fields: fields.into(),
+        })
     }
 
     /// Convenience constructor from `(name, type)` pairs; panics on duplicate
@@ -131,7 +136,11 @@ mod tests {
     use super::*;
 
     fn abc() -> Schema {
-        Schema::of(&[("a", DataType::Int), ("b", DataType::Str), ("c", DataType::Float)])
+        Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Str),
+            ("c", DataType::Float),
+        ])
     }
 
     #[test]

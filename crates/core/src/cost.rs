@@ -60,7 +60,12 @@ impl TableStats {
 
     /// Synthetic statistics (for planning without data).
     pub fn synthetic(rows: u64, bytes: u64, distinct: Vec<(AttrId, u64)>) -> Self {
-        TableStats { rows, bytes, distinct: distinct.into_iter().collect(), hot: HashMap::new() }
+        TableStats {
+            rows,
+            bytes,
+            distinct: distinct.into_iter().collect(),
+            hot: HashMap::new(),
+        }
     }
 
     /// Declare hot values for a column (synthetic histograms).
@@ -108,7 +113,11 @@ impl TableStats {
 
     /// `D(attr)`; defaults to `rows` (unique) when unknown.
     pub fn distinct(&self, attr: AttrId) -> u64 {
-        self.distinct.get(&attr).copied().unwrap_or(self.rows).max(1)
+        self.distinct
+            .get(&attr)
+            .copied()
+            .unwrap_or(self.rows)
+            .max(1)
     }
 
     /// `D(attrs)` under independence: capped product of per-attribute
@@ -181,17 +190,29 @@ fn sort_cost(b: f64, t: f64, m: u64) -> Cost {
     let mf = m as f64;
     if b <= mf {
         // Internal sort: no I/O.
-        return Cost { io_blocks: 0.0, comparisons: t * log2(t), hashes: 0.0 };
+        return Cost {
+            io_blocks: 0.0,
+            comparisons: t * log2(t),
+            hashes: 0.0,
+        };
     }
     let runs0 = (b / (2.0 * mf)).ceil().max(1.0);
     let f = fan_in(m);
-    let passes = if runs0 <= 1.0 { 1.0 } else { runs0.log(f).ceil().max(1.0) };
+    let passes = if runs0 <= 1.0 {
+        1.0
+    } else {
+        runs0.log(f).ceil().max(1.0)
+    };
     let io = 2.0 * b * passes;
     // Run formation comparisons grow with the heap (rows in M), plus one
     // heap comparison chain per row per merge pass.
     let rows_in_m = (t * mf / b).max(2.0);
     let cmp = t * log2(rows_in_m) + t * passes * log2(f.min(runs0) + 1.0);
-    Cost { io_blocks: io, comparisons: cmp, hashes: 0.0 }
+    Cost {
+        io_blocks: io,
+        comparisons: cmp,
+        hashes: 0.0,
+    }
 }
 
 /// HS partition traffic is scattered across all open bucket buffers rather
@@ -262,12 +283,19 @@ pub fn hs_bucket_count(stats: &TableStats, whk: &AttrSet) -> usize {
 /// Estimated number of segments produced by each operator, tracked along
 /// the plan (the `k` in Eq. 3).
 pub fn hs_segment_estimate(stats: &TableStats, whk: &AttrSet) -> u64 {
-    stats.distinct_set(whk).min(hs_bucket_count(stats, whk) as u64).max(1)
+    stats
+        .distinct_set(whk)
+        .min(hs_bucket_count(stats, whk) as u64)
+        .max(1)
 }
 
 /// Cost of the window-function invocation itself: one streaming pass.
 pub fn window_scan_cost(stats: &TableStats) -> Cost {
-    Cost { io_blocks: 0.0, comparisons: stats.rows() as f64, hashes: 0.0 }
+    Cost {
+        io_blocks: 0.0,
+        comparisons: stats.rows() as f64,
+        hashes: 0.0,
+    }
 }
 
 /// Planner-facing estimate for one SS reorder given input properties.
@@ -311,7 +339,11 @@ mod tests {
         assert_eq!(s.rows(), 10);
         assert_eq!(s.distinct(a(0)), 3);
         assert_eq!(s.distinct(a(1)), 10);
-        assert_eq!(s.distinct_set(&AttrSet::from_iter([a(0), a(1)])), 10, "capped at rows");
+        assert_eq!(
+            s.distinct_set(&AttrSet::from_iter([a(0), a(1)])),
+            10,
+            "capped at rows"
+        );
     }
 
     #[test]
@@ -361,7 +393,12 @@ mod tests {
         let m = 8;
         let hs = hs_cost(&s, &whk, m);
         let fs = fs_cost(&s, m);
-        assert!(hs.io_blocks < fs.io_blocks, "HS {} vs FS {}", hs.io_blocks, fs.io_blocks);
+        assert!(
+            hs.io_blocks < fs.io_blocks,
+            "HS {} vs FS {}",
+            hs.io_blocks,
+            fs.io_blocks
+        );
         // Flatness: HS I/O barely moves across M.
         let hs_big = hs_cost(&s, &whk, 120);
         assert!((hs.io_blocks - hs_big.io_blocks).abs() / hs.io_blocks < 0.2);
@@ -443,7 +480,11 @@ mod tests {
 
     #[test]
     fn cost_arithmetic() {
-        let c1 = Cost { io_blocks: 10.0, comparisons: 5.0, hashes: 1.0 };
+        let c1 = Cost {
+            io_blocks: 10.0,
+            comparisons: 5.0,
+            hashes: 1.0,
+        };
         let c2 = c1.plus(&Cost::zero());
         assert_eq!(c1, c2);
         let w = CostWeights::default();

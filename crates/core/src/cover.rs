@@ -67,7 +67,10 @@ impl ThetaElem {
 
     /// Direction-pinned element.
     pub fn fixed(e: OrdElem) -> Self {
-        ThetaElem { attr: e.attr, elem: Some(e) }
+        ThetaElem {
+            attr: e.attr,
+            elem: Some(e),
+        }
     }
 }
 
@@ -101,7 +104,9 @@ impl KeyPattern {
         let mut budget = wpk.clone();
         let mut i = 0usize;
         while !budget.is_empty() {
-            let Some(slot) = self.slots.get_mut(i) else { return false };
+            let Some(slot) = self.slots.get_mut(i) else {
+                return false;
+            };
             match slot {
                 Slot::Fixed(e) => {
                     if !budget.remove(e.attr) {
@@ -142,7 +147,9 @@ impl KeyPattern {
         }
         // Phase B: WOK follows element-wise.
         for e in wok {
-            let Some(slot) = self.slots.get_mut(i) else { return false };
+            let Some(slot) = self.slots.get_mut(i) else {
+                return false;
+            };
             match slot {
                 Slot::Fixed(have) => {
                     if *have != *e {
@@ -179,7 +186,9 @@ impl KeyPattern {
     pub fn constrain_theta(&mut self, theta: &[ThetaElem]) -> bool {
         let mut i = 0usize;
         for t in theta {
-            let Some(slot) = self.slots.get_mut(i) else { return false };
+            let Some(slot) = self.slots.get_mut(i) else {
+                return false;
+            };
             match slot {
                 Slot::Fixed(have) => {
                     if have.attr != t.attr {
@@ -267,7 +276,11 @@ pub fn try_cover_set(
     if members.is_empty() {
         return None;
     }
-    let max_len = members.iter().map(|&i| specs[i].key_len()).max().unwrap_or(0);
+    let max_len = members
+        .iter()
+        .map(|&i| specs[i].key_len())
+        .max()
+        .unwrap_or(0);
     // Covered functions merge in ascending key length for determinism.
     let mut by_len: Vec<usize> = members.to_vec();
     by_len.sort_by_key(|&i| (specs[i].key_len(), i));
@@ -288,7 +301,11 @@ pub fn try_cover_set(
             rest.sort_by_key(|&i| (std::cmp::Reverse(specs[i].key_len()), i));
             let mut ordered = vec![cand];
             ordered.extend(rest);
-            return Some(CoverSet { members: ordered, covering: cand, pattern });
+            return Some(CoverSet {
+                members: ordered,
+                covering: cand,
+                pattern,
+            });
         }
     }
     None
@@ -356,7 +373,10 @@ mod tests {
             let s = &specs[m];
             let n = s.key_len();
             assert!(gamma.len() >= n, "γ shorter than member key");
-            let head: AttrSet = gamma.elems()[..s.wpk().len()].iter().map(|e| e.attr).collect();
+            let head: AttrSet = gamma.elems()[..s.wpk().len()]
+                .iter()
+                .map(|e| e.attr)
+                .collect();
             assert_eq!(&head, s.wpk(), "γ prefix must be member's WPK");
             assert_eq!(
                 &gamma.elems()[s.wpk().len()..n],
@@ -370,7 +390,11 @@ mod tests {
     /// wf3=({a,b},(c))} is a cover set (covering functions wf1 and wf2).
     #[test]
     fn example8_cover_set() {
-        let specs = vec![wf(&[0, 1, 2], &[3]), wf(&[0, 1], &[2, 3]), wf(&[0, 1], &[2])];
+        let specs = vec![
+            wf(&[0, 1, 2], &[3]),
+            wf(&[0, 1], &[2, 3]),
+            wf(&[0, 1], &[2]),
+        ];
         let cs = try_cover_set(&specs, &[0, 1, 2], None).expect("must be a cover set");
         assert_covers(&specs, &cs);
         assert_eq!(specs[cs.covering].key_len(), 4);
@@ -400,11 +424,7 @@ mod tests {
 
     #[test]
     fn directions_must_agree_in_wok_region() {
-        let desc_spec = WindowSpec::rank(
-            "d",
-            vec![a(0)],
-            SortSpec::new(vec![OrdElem::desc(a(1))]),
-        );
+        let desc_spec = WindowSpec::rank("d", vec![a(0)], SortSpec::new(vec![OrdElem::desc(a(1))]));
         let asc_spec = wf(&[0], &[1]);
         let specs = vec![desc_spec, asc_spec];
         assert!(try_cover_set(&specs, &[0, 1], None).is_none());
@@ -435,9 +455,9 @@ mod tests {
     #[test]
     fn q7_item_group_single_cover_set() {
         let specs = vec![
-            wf(&[3], &[]),          // wf3 = ({item}, ε)
-            wf(&[], &[3, 4]),       // wf4 = (∅, (item,bill))
-            wf(&[0, 1, 3, 4], &[2]) // wf5 = ({date,time,item,bill}, (ship))
+            wf(&[3], &[]),           // wf3 = ({item}, ε)
+            wf(&[], &[3, 4]),        // wf4 = (∅, (item,bill))
+            wf(&[0, 1, 3, 4], &[2]), // wf5 = ({date,time,item,bill}, (ship))
         ];
         let cs = try_cover_set(&specs, &[0, 1, 2], None).expect("cover set");
         assert_covers(&specs, &cs);
@@ -456,10 +476,10 @@ mod tests {
     #[test]
     fn q9_item_group_partition() {
         let specs = vec![
-            wf(&[1], &[3, 0]),    // wf1 = ({item},(bill,date))
-            wf(&[1, 2], &[0]),    // wf2 = ({item,time},(date))
-            wf(&[1], &[2]),       // wf3 = ({item},(time))
-            wf(&[], &[1, 0]),     // wf4 = (∅,(item,date))
+            wf(&[1], &[3, 0]), // wf1 = ({item},(bill,date))
+            wf(&[1, 2], &[0]), // wf2 = ({item,time},(date))
+            wf(&[1], &[2]),    // wf3 = ({item},(time))
+            wf(&[], &[1, 0]),  // wf4 = (∅,(item,date))
         ];
         let sets = partition_into_cover_sets(&specs, &[0, 1, 2, 3], None);
         assert_eq!(sets.len(), 3);
@@ -484,14 +504,17 @@ mod tests {
     #[test]
     fn q8_min_slack_join() {
         let specs = vec![
-            wf(&[0, 1, 2], &[]),    // wf1 = ({date,time,ship}, ε)
-            wf(&[1, 0], &[]),       // wf2 = ({time,date}, ε)
-            wf(&[0, 1, 3], &[4, 2]) // wf5 = ({date,time,item},(bill,ship))
+            wf(&[0, 1, 2], &[]),     // wf1 = ({date,time,ship}, ε)
+            wf(&[1, 0], &[]),        // wf2 = ({time,date}, ε)
+            wf(&[0, 1, 3], &[4, 2]), // wf5 = ({date,time,item},(bill,ship))
         ];
         let sets = partition_into_cover_sets(&specs, &[0, 1, 2], None);
         assert_eq!(sets.len(), 2);
         let with_wf2 = sets.iter().find(|cs| cs.members.contains(&1)).unwrap();
-        assert!(with_wf2.members.contains(&0), "wf2 must join wf1, the tighter cover");
+        assert!(
+            with_wf2.members.contains(&0),
+            "wf2 must join wf1, the tighter cover"
+        );
         for cs in &sets {
             assert_covers(&specs, cs);
         }

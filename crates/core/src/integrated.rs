@@ -87,7 +87,10 @@ fn order_by_cost(
         // Partial sort: the satisfied prefix segments the work like SS.
         let alpha = order.prefix(prefix);
         let u = ss_units(stats, props.x(), &alpha, 1);
-        return (FinalOrder::PartialSort { prefix_len: prefix }, ss_cost(stats, mem_blocks, 1, u));
+        return (
+            FinalOrder::PartialSort { prefix_len: prefix },
+            ss_cost(stats, mem_blocks, 1, u),
+        );
     }
     (FinalOrder::FullSort, fs_cost(stats, mem_blocks))
 }
@@ -109,12 +112,15 @@ pub fn optimize_integrated(
         q.input_props = variant.props.clone();
         q.input_segments = variant.segments;
         let plan = optimize(&q, stats, scheme, env)?;
-        let (final_order, oc) =
-            order_by_cost(&plan.final_props, &order, stats, env.mem_blocks());
-        let total_ms =
-            variant.setup_cost_ms + plan.est_cost.ms(&weights) + oc.ms(&weights);
+        let (final_order, oc) = order_by_cost(&plan.final_props, &order, stats, env.mem_blocks());
+        let total_ms = variant.setup_cost_ms + plan.est_cost.ms(&weights) + oc.ms(&weights);
         if best.as_ref().is_none_or(|b| total_ms < b.total_ms) {
-            best = Some(IntegratedPlan { variant: vi, plan, final_order, total_ms });
+            best = Some(IntegratedPlan {
+                variant: vi,
+                plan,
+                final_order,
+                total_ms,
+            });
         }
     }
     best.ok_or_else(|| wf_common::Error::Planning("no input variants supplied".into()))
@@ -135,7 +141,12 @@ pub fn apply_final_order(
     let rows = SegmentedRows::single_segment(table.into_rows());
     let prefix = final_props.satisfied_order_prefix(order);
     let sorted = if prefix > 0 {
-        segmented_sort(rows, &order.prefix(prefix), &order.suffix(prefix), env.op_env())?
+        segmented_sort(
+            rows,
+            &order.prefix(prefix),
+            &order.suffix(prefix),
+            env.op_env(),
+        )?
     } else {
         full_sort(rows, order, env.op_env())?
     };
@@ -155,7 +166,11 @@ mod tests {
         SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
     }
     fn schema() -> Schema {
-        Schema::of(&[("g", DataType::Int), ("v", DataType::Int), ("w", DataType::Int)])
+        Schema::of(&[
+            ("g", DataType::Int),
+            ("v", DataType::Int),
+            ("w", DataType::Int),
+        ])
     }
     fn stats() -> TableStats {
         TableStats::synthetic(
@@ -170,7 +185,10 @@ mod tests {
     #[test]
     fn sorted_variant_wins_when_cheap_enough() {
         let s = schema();
-        let q = QueryBuilder::new(&s).rank("r", &["g"], &[("v", false)]).build().unwrap();
+        let q = QueryBuilder::new(&s)
+            .rank("r", &["g"], &[("v", false)])
+            .build()
+            .unwrap();
         let st = stats();
         let env = ExecEnv::with_memory_blocks(37);
         let variants = vec![
@@ -251,15 +269,21 @@ mod tests {
         let env = ExecEnv::with_memory_blocks(64);
         let order = key(&[0]);
         let sorted = apply_final_order(t, &SegProps::unordered(), &order, &env).unwrap();
-        let vals: Vec<i64> =
-            sorted.rows().iter().map(|r| r.get(a(0)).as_int().unwrap()).collect();
+        let vals: Vec<i64> = sorted
+            .rows()
+            .iter()
+            .map(|r| r.get(a(0)).as_int().unwrap())
+            .collect();
         assert!(vals.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
     fn no_variants_is_an_error() {
         let s = schema();
-        let q = QueryBuilder::new(&s).rank("r", &["g"], &[]).build().unwrap();
+        let q = QueryBuilder::new(&s)
+            .rank("r", &["g"], &[])
+            .build()
+            .unwrap();
         let st = stats();
         let env = ExecEnv::with_memory_blocks(37);
         assert!(optimize_integrated(&q, &[], &st, Scheme::Cso, &env).is_err());

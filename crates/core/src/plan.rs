@@ -29,7 +29,12 @@ pub enum ReorderOp {
     /// Hashed Sort: hash on `whk`, sort buckets on `key`. `mfv` lists
     /// hash-key values pipelined straight to the first sort (§3.2's MFV
     /// optimization, chosen from the statistics' hot values).
-    Hs { whk: AttrSet, key: SortSpec, n_buckets: usize, mfv: Vec<Vec<wf_common::Value>> },
+    Hs {
+        whk: AttrSet,
+        key: SortSpec,
+        n_buckets: usize,
+        mfv: Vec<Vec<wf_common::Value>>,
+    },
     /// Segmented Sort: `α`-groups sorted on `β`.
     Ss { alpha: SortSpec, beta: SortSpec },
 }
@@ -73,7 +78,10 @@ pub struct Plan {
 impl Plan {
     /// Number of FS/HS/SS reorders in the chain.
     pub fn reorder_count(&self) -> usize {
-        self.steps.iter().filter(|s| s.reorder != ReorderOp::None).count()
+        self.steps
+            .iter()
+            .filter(|s| s.reorder != ReorderOp::None)
+            .count()
     }
 
     /// Paper-notation chain, e.g. `ws FS→ wf5 → wf4 → wf3 HS→ wf1 → wf2`.
@@ -99,12 +107,24 @@ impl Plan {
                 ReorderOp::Fs { key } => {
                     out.push_str(&format!("  ── FullSort key={}\n", names(key, schema)))
                 }
-                ReorderOp::Hs { whk, key, n_buckets, mfv } => out.push_str(&format!(
+                ReorderOp::Hs {
+                    whk,
+                    key,
+                    n_buckets,
+                    mfv,
+                } => out.push_str(&format!(
                     "  ── HashedSort whk={{{}}} key={} buckets={}{}\n",
-                    whk.iter().map(|a| schema.name(a).to_string()).collect::<Vec<_>>().join(","),
+                    whk.iter()
+                        .map(|a| schema.name(a).to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
                     names(key, schema),
                     n_buckets,
-                    if mfv.is_empty() { String::new() } else { format!(" mfv={}", mfv.len()) }
+                    if mfv.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" mfv={}", mfv.len())
+                    }
                 )),
                 ReorderOp::Ss { alpha, beta } => out.push_str(&format!(
                     "  ── SegmentedSort α={} β={}\n",
@@ -187,16 +207,33 @@ pub fn cheapest_reorder(
     if ctx.allow_ss && props.ss_reorderable(spec) {
         let split = props.alpha_split(spec);
         let cost = ss_reorder_cost(ctx.stats, props, segments, spec, ctx.mem_blocks);
-        consider(ReorderOp::Ss { alpha: split.alpha.clone(), beta: split.beta.clone() }, cost);
+        consider(
+            ReorderOp::Ss {
+                alpha: split.alpha.clone(),
+                beta: split.beta.clone(),
+            },
+            cost,
+        );
     }
     let key = default_fs_key(spec);
-    consider(ReorderOp::Fs { key: key.clone() }, fs_cost(ctx.stats, ctx.mem_blocks));
+    consider(
+        ReorderOp::Fs { key: key.clone() },
+        fs_cost(ctx.stats, ctx.mem_blocks),
+    );
     if ctx.allow_hs && !spec.wpk().is_empty() {
         let whk = spec.wpk().clone();
         let cost = hs_cost(ctx.stats, &whk, ctx.mem_blocks);
         let n_buckets = hs_bucket_count(ctx.stats, &whk);
         let mfv = ctx.stats.mfv_for(&whk, ctx.mem_blocks);
-        consider(ReorderOp::Hs { whk, key, n_buckets, mfv }, cost);
+        consider(
+            ReorderOp::Hs {
+                whk,
+                key,
+                n_buckets,
+                mfv,
+            },
+            cost,
+        );
     }
     best.expect("FS is always applicable")
 }
@@ -212,9 +249,10 @@ pub fn apply_reorder(
     match op {
         ReorderOp::None => (props.clone(), segments),
         ReorderOp::Fs { key } => (SegProps::after_fs(key.clone()), 1),
-        ReorderOp::Hs { whk, key, .. } => {
-            (SegProps::after_hs(whk.clone(), key.clone()), hs_segment_estimate(stats, whk))
-        }
+        ReorderOp::Hs { whk, key, .. } => (
+            SegProps::after_hs(whk.clone(), key.clone()),
+            hs_segment_estimate(stats, whk),
+        ),
         ReorderOp::Ss { alpha, beta } => {
             let _ = spec;
             (
@@ -273,8 +311,7 @@ pub fn finalize_chain(
                 // The declared α must really be satisfied by the input —
                 // the executor detects unit boundaries on α values.
                 ReorderOp::Ss { alpha, .. } => {
-                    props.ss_reorderable(spec)
-                        && props.satisfied_prefix_of(alpha) >= alpha.len()
+                    props.ss_reorderable(spec) && props.satisfied_prefix_of(alpha) >= alpha.len()
                 }
             };
             applicable && p2.matches(spec)
@@ -291,7 +328,10 @@ pub fn finalize_chain(
         props = p2;
         segments = s2;
         total = total.plus(&window_scan_cost(ctx.stats));
-        steps.push(PlanStep { wf: step.wf, reorder });
+        steps.push(PlanStep {
+            wf: step.wf,
+            reorder,
+        });
     }
 
     Plan {
@@ -346,7 +386,13 @@ mod tests {
                     mfv: vec![],
                 },
             },
-            PlanStep { wf: 1, reorder: ReorderOp::Ss { alpha: key(&[0]), beta: key(&[2]) } },
+            PlanStep {
+                wf: 1,
+                reorder: ReorderOp::Ss {
+                    alpha: key(&[0]),
+                    beta: key(&[2]),
+                },
+            },
         ];
         let plan = finalize_chain("test", &specs, &SegProps::unordered(), 1, raw, &ctx);
         assert_eq!(plan.repairs, 0);
@@ -360,7 +406,10 @@ mod tests {
         let specs = vec![wf(&[0], &[1])];
         let s = stats();
         let ctx = PlanContext::new(&s, 37);
-        let raw = vec![PlanStep { wf: 0, reorder: ReorderOp::None }];
+        let raw = vec![PlanStep {
+            wf: 0,
+            reorder: ReorderOp::None,
+        }];
         let plan = finalize_chain("test", &specs, &SegProps::unordered(), 1, raw, &ctx);
         assert_eq!(plan.repairs, 1);
         assert_ne!(plan.steps[0].reorder, ReorderOp::None);
@@ -375,7 +424,10 @@ mod tests {
         let ctx = PlanContext::new(&s, 37);
         let raw = vec![PlanStep {
             wf: 0,
-            reorder: ReorderOp::Ss { alpha: key(&[0]), beta: key(&[1]) },
+            reorder: ReorderOp::Ss {
+                alpha: key(&[0]),
+                beta: key(&[1]),
+            },
         }];
         let plan = finalize_chain("test", &specs, &SegProps::unordered(), 1, raw, &ctx);
         assert_eq!(plan.repairs, 1);
@@ -386,9 +438,18 @@ mod tests {
         let specs = vec![wf(&[0], &[1])];
         let s = stats();
         let ctx = PlanContext::new(&s, 37);
-        let raw = vec![PlanStep { wf: 0, reorder: ReorderOp::None }];
-        let plan =
-            finalize_chain("test", &specs, &SegProps::sorted(key(&[0, 1])), 1, raw, &ctx);
+        let raw = vec![PlanStep {
+            wf: 0,
+            reorder: ReorderOp::None,
+        }];
+        let plan = finalize_chain(
+            "test",
+            &specs,
+            &SegProps::sorted(key(&[0, 1])),
+            1,
+            raw,
+            &ctx,
+        );
         assert_eq!(plan.repairs, 0);
         assert_eq!(plan.reorder_count(), 0);
     }
@@ -437,8 +498,14 @@ mod tests {
             scheme: "CSO".into(),
             specs: specs.clone(),
             steps: vec![
-                PlanStep { wf: 0, reorder: ReorderOp::Fs { key: key(&[0, 1]) } },
-                PlanStep { wf: 1, reorder: ReorderOp::None },
+                PlanStep {
+                    wf: 0,
+                    reorder: ReorderOp::Fs { key: key(&[0, 1]) },
+                },
+                PlanStep {
+                    wf: 1,
+                    reorder: ReorderOp::None,
+                },
             ],
             input_props: SegProps::unordered(),
             final_props: SegProps::unordered(),

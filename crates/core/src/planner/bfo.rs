@@ -9,11 +9,11 @@
 //! hardware). A node budget bounds runaway enumerations; hitting it marks
 //! the plan as truncated (best found so far).
 
+use crate::cost::{hs_bucket_count, window_scan_cost};
 use crate::plan::{
     apply_reorder, default_fs_key, finalize_chain, reorder_cost, Plan, PlanContext, PlanStep,
     ReorderOp,
 };
-use crate::cost::{hs_bucket_count, window_scan_cost};
 use crate::props::SegProps;
 use crate::query::WindowQuery;
 use crate::spec::WindowSpec;
@@ -34,7 +34,11 @@ pub struct BfoOptions {
 
 impl Default for BfoOptions {
     fn default() -> Self {
-        BfoOptions { perm_limit: 4, memoize: true, node_budget: 50_000_000 }
+        BfoOptions {
+            perm_limit: 4,
+            memoize: true,
+            node_budget: 50_000_000,
+        }
     }
 }
 
@@ -83,7 +87,11 @@ fn subsets(attrs: &AttrSet) -> Vec<AttrSet> {
     let mut out = Vec::new();
     for mask in 1u32..(1 << items.len()) {
         out.push(AttrSet::from_iter(
-            items.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &a)| a),
+            items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &a)| a),
         ));
     }
     out
@@ -113,7 +121,10 @@ impl<'a> Search<'a> {
             for key in &keys {
                 let n = props.satisfied_prefix_of(key);
                 if n > 0 || !props.x().is_empty() {
-                    let op = ReorderOp::Ss { alpha: key.prefix(n), beta: key.suffix(n) };
+                    let op = ReorderOp::Ss {
+                        alpha: key.prefix(n),
+                        beta: key.suffix(n),
+                    };
                     if !out.contains(&op) {
                         out.push(op);
                     }
@@ -121,7 +132,10 @@ impl<'a> Search<'a> {
             }
             if out.is_empty() {
                 let split = props.alpha_split(spec);
-                out.push(ReorderOp::Ss { alpha: split.alpha, beta: split.beta });
+                out.push(ReorderOp::Ss {
+                    alpha: split.alpha,
+                    beta: split.beta,
+                });
             }
         }
         for key in &keys {
@@ -214,7 +228,8 @@ impl<'a> Search<'a> {
         }
         let best = best.expect("FS is always applicable, some option must match");
         if self.opts.memoize {
-            self.memo.insert((mask, props.clone(), segments), best.clone());
+            self.memo
+                .insert((mask, props.clone(), segments), best.clone());
         }
         best
     }
@@ -228,11 +243,21 @@ pub fn plan_bfo(query: &WindowQuery, ctx: &PlanContext<'_>, opts: &BfoOptions) -
             query.specs.len()
         )));
     }
-    let mut search = Search { specs: &query.specs, ctx, opts, memo: HashMap::new(), nodes: 0,
-        truncated: false };
+    let mut search = Search {
+        specs: &query.specs,
+        ctx,
+        opts,
+        memo: HashMap::new(),
+        nodes: 0,
+        truncated: false,
+    };
     let (_, steps) = search.solve(0, &query.input_props, query.input_segments);
     let mut plan = finalize_chain(
-        if search.truncated { "BFO(truncated)" } else { "BFO" },
+        if search.truncated {
+            "BFO(truncated)"
+        } else {
+            "BFO"
+        },
         &query.specs,
         &query.input_props,
         query.input_segments,
@@ -265,7 +290,13 @@ mod tests {
         TableStats::synthetic(
             400_000,
             10_600 * wf_storage::BLOCK_SIZE as u64,
-            vec![(a(0), 1_800), (a(1), 86_400), (a(2), 1_800), (a(3), 20_000), (a(4), 40_000)],
+            vec![
+                (a(0), 1_800),
+                (a(1), 86_400),
+                (a(2), 1_800),
+                (a(3), 20_000),
+                (a(4), 40_000),
+            ],
         )
     }
     fn schema5() -> Schema {
@@ -297,7 +328,10 @@ mod tests {
         let plan = plan_bfo(&q, &ctx, &BfoOptions::default()).unwrap();
         assert_eq!(plan.repairs, 0);
         let chain = plan.chain_string();
-        assert!(chain == "ws HS→ wf1 SS→ wf2" || chain == "ws HS→ wf2 SS→ wf1", "{chain}");
+        assert!(
+            chain == "ws HS→ wf1 SS→ wf2" || chain == "ws HS→ wf2 SS→ wf1",
+            "{chain}"
+        );
     }
 
     /// BFO is never worse than CSO or PSQL under the same cost model.
@@ -365,11 +399,16 @@ mod tests {
         );
         let s = stats();
         let ctx = PlanContext::new(&s, 37);
-        let opts = BfoOptions { node_budget: 3, ..Default::default() };
+        let opts = BfoOptions {
+            node_budget: 3,
+            ..Default::default()
+        };
         let plan = plan_bfo(&q, &ctx, &opts).unwrap();
         assert_eq!(plan.scheme, "BFO(truncated)");
         assert_eq!(plan.steps.len(), 4);
-        assert!(plan.final_props.matches(&q.specs[plan.steps.last().unwrap().wf]));
+        assert!(plan
+            .final_props
+            .matches(&q.specs[plan.steps.last().unwrap().wf]));
     }
 
     #[test]

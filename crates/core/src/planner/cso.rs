@@ -18,8 +18,8 @@
 //! the covering function runs first. Every produced chain passes the
 //! finalizer, so a heuristic miss can only cost, never corrupt.
 
-use crate::cover::{partition_into_cover_sets, CoverSet, ThetaElem};
 use crate::cost::{fs_cost, hs_bucket_count, hs_cost};
+use crate::cover::{partition_into_cover_sets, CoverSet, ThetaElem};
 use crate::plan::{apply_reorder, finalize_chain, Plan, PlanContext, PlanStep, ReorderOp};
 use crate::prefixable::{partition_into_prefixable, theta, theta_prime};
 use crate::props::SegProps;
@@ -38,7 +38,10 @@ pub fn plan_cso(query: &WindowQuery, ctx: &PlanContext<'_>) -> Result<Plan> {
     let mut rest: Vec<usize> = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
         if props.matches(spec) {
-            steps.push(PlanStep { wf: i, reorder: ReorderOp::None });
+            steps.push(PlanStep {
+                wf: i,
+                reorder: ReorderOp::None,
+            });
         } else {
             rest.push(i);
         }
@@ -70,7 +73,12 @@ pub fn plan_cso(query: &WindowQuery, ctx: &PlanContext<'_>) -> Result<Plan> {
             let mut sets = partition_into_cover_sets(specs, &idxs, theta_opt(&th));
             sort_cover_sets(specs, &mut sets);
             let min_idx = idxs.iter().copied().min().unwrap_or(usize::MAX);
-            PlannedPart { idxs, theta: th, sets, min_idx }
+            PlannedPart {
+                idxs,
+                theta: th,
+                sets,
+                min_idx,
+            }
         })
         .collect();
     // Evaluation order of the P_i.
@@ -80,8 +88,16 @@ pub fn plan_cso(query: &WindowQuery, ctx: &PlanContext<'_>) -> Result<Plan> {
         for (j, cs) in part.sets.iter().enumerate() {
             if j == 0 || !ctx.allow_ss {
                 // Without SS (CSO(v2)), every cover set pays its own FS/HS.
-                emit_fs_hs_cover_set(specs, part.idxs.as_slice(), &part.theta, cs, &mut props,
-                    &mut segments, &mut steps, ctx);
+                emit_fs_hs_cover_set(
+                    specs,
+                    part.idxs.as_slice(),
+                    &part.theta,
+                    cs,
+                    &mut props,
+                    &mut segments,
+                    &mut steps,
+                    ctx,
+                );
             } else {
                 emit_ss_cover_set(specs, cs, &mut props, &mut segments, &mut steps, ctx);
             }
@@ -108,7 +124,11 @@ fn scheme_name(ctx: &PlanContext<'_>) -> &'static str {
 }
 
 fn theta_opt(theta: &[ThetaElem]) -> Option<&[ThetaElem]> {
-    if theta.is_empty() { None } else { Some(theta) }
+    if theta.is_empty() {
+        None
+    } else {
+        Some(theta)
+    }
 }
 
 /// Within-group evaluation order: size asc, covering key length asc,
@@ -159,7 +179,10 @@ fn emit_ss_cover_set(
     let reorder = if props.matches_all(cs.members.iter().map(|&m| &specs[m])) {
         ReorderOp::None
     } else {
-        ReorderOp::Ss { alpha: gamma.prefix(n_alpha), beta: gamma.suffix(n_alpha) }
+        ReorderOp::Ss {
+            alpha: gamma.prefix(n_alpha),
+            beta: gamma.suffix(n_alpha),
+        }
     };
     push_cover_set(specs, cs, reorder, props, segments, steps, ctx);
 }
@@ -194,7 +217,12 @@ fn emit_fs_hs_cover_set(
     let reorder = if use_hs {
         let n_buckets = hs_bucket_count(ctx.stats, &whk);
         let mfv = ctx.stats.mfv_for(&whk, ctx.mem_blocks);
-        ReorderOp::Hs { whk, key: gamma, n_buckets, mfv }
+        ReorderOp::Hs {
+            whk,
+            key: gamma,
+            n_buckets,
+            mfv,
+        }
     } else {
         ReorderOp::Fs { key: gamma }
     };
@@ -211,7 +239,11 @@ fn push_cover_set(
     ctx: &PlanContext<'_>,
 ) {
     for (j, &wf) in cs.members.iter().enumerate() {
-        let op = if j == 0 { reorder.clone() } else { ReorderOp::None };
+        let op = if j == 0 {
+            reorder.clone()
+        } else {
+            ReorderOp::None
+        };
         let (p2, s2) = apply_reorder(&op, props, *segments, &specs[wf], ctx.stats);
         *props = p2;
         *segments = s2;
@@ -416,8 +448,7 @@ mod tests {
     /// (the Fig. 4 scenario: web_sales_s sorted on quantity).
     #[test]
     fn c1_uses_ss_from_input() {
-        let mut q =
-            WindowQuery::new(schema5(), vec![wf("w", &[0], &[3])]); // ({date},(item))
+        let mut q = WindowQuery::new(schema5(), vec![wf("w", &[0], &[3])]); // ({date},(item))
         q.input_props = SegProps::sorted(key(&[0])); // sorted on date
         let s = stats();
         let plan = plan_cso(&q, &PlanContext::new(&s, M50)).unwrap();

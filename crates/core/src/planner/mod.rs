@@ -11,10 +11,10 @@ pub use cso::plan_cso;
 pub use orcl::plan_orcl;
 pub use psql::plan_psql;
 
+use crate::cost::TableStats;
 use crate::plan::{Plan, PlanContext};
 use crate::query::WindowQuery;
 use crate::runtime::ExecEnv;
-use crate::cost::TableStats;
 use wf_common::Result;
 
 /// Which optimizer to run.
@@ -38,7 +38,14 @@ pub enum Scheme {
 impl Scheme {
     /// All schemes, in the order the paper's figures list them.
     pub fn all() -> [Scheme; 6] {
-        [Scheme::Bfo, Scheme::Cso, Scheme::CsoNoHs, Scheme::CsoNoSs, Scheme::Orcl, Scheme::Psql]
+        [
+            Scheme::Bfo,
+            Scheme::Cso,
+            Scheme::CsoNoHs,
+            Scheme::CsoNoSs,
+            Scheme::Orcl,
+            Scheme::Psql,
+        ]
     }
 
     /// Display name matching the paper.

@@ -40,7 +40,10 @@ pub fn plan_orcl(query: &WindowQuery, ctx: &PlanContext<'_>) -> Result<Plan> {
 
     // Evaluation order: size desc, then smallest member index.
     groups.sort_by_key(|g| {
-        (std::cmp::Reverse(g.len()), g.iter().copied().min().unwrap_or(usize::MAX))
+        (
+            std::cmp::Reverse(g.len()),
+            g.iter().copied().min().unwrap_or(usize::MAX),
+        )
     });
 
     let mut props = query.input_props.clone();
@@ -65,7 +68,14 @@ pub fn plan_orcl(query: &WindowQuery, ctx: &PlanContext<'_>) -> Result<Plan> {
             steps.push(PlanStep { wf, reorder });
         }
     }
-    Ok(finalize_chain("ORCL", specs, &query.input_props, query.input_segments, steps, ctx))
+    Ok(finalize_chain(
+        "ORCL",
+        specs,
+        &query.input_props,
+        query.input_segments,
+        steps,
+        ctx,
+    ))
 }
 
 #[cfg(test)]
@@ -88,7 +98,13 @@ mod tests {
         TableStats::synthetic(
             400_000,
             10_600 * wf_storage::BLOCK_SIZE as u64,
-            vec![(a(0), 1800), (a(1), 80_000), (a(2), 200), (a(3), 20_000), (a(4), 40_000)],
+            vec![
+                (a(0), 1800),
+                (a(1), 80_000),
+                (a(2), 200),
+                (a(3), 20_000),
+                (a(4), 40_000),
+            ],
         )
     }
     /// Attrs: date=0, time=1, ship=2, item=3, bill=4.

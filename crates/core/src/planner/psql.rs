@@ -32,14 +32,23 @@ pub fn plan_psql(query: &WindowQuery, ctx: &PlanContext<'_>) -> Result<Plan> {
         let reorder = if psql_matches(&props, spec) {
             ReorderOp::None
         } else {
-            ReorderOp::Fs { key: spec.written_key() }
+            ReorderOp::Fs {
+                key: spec.written_key(),
+            }
         };
         let (p2, s2) = apply_reorder(&reorder, &props, segments, spec, ctx.stats);
         props = p2;
         segments = s2;
         steps.push(PlanStep { wf: i, reorder });
     }
-    Ok(finalize_chain("PSQL", specs, &query.input_props, query.input_segments, steps, ctx))
+    Ok(finalize_chain(
+        "PSQL",
+        specs,
+        &query.input_props,
+        query.input_segments,
+        steps,
+        ctx,
+    ))
 }
 
 #[cfg(test)]

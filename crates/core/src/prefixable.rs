@@ -50,7 +50,10 @@ pub fn theta(specs: &[WindowSpec], idxs: &[usize]) -> Vec<ThetaElem> {
     }
     let mut states: Vec<State> = idxs
         .iter()
-        .map(|&i| State { remaining_wpk: specs[i].wpk().clone(), wok_pos: 0 })
+        .map(|&i| State {
+            remaining_wpk: specs[i].wpk().clone(),
+            wok_pos: 0,
+        })
         .collect();
     if states.is_empty() {
         return vec![];
@@ -161,8 +164,11 @@ pub fn partition_into_prefixable(specs: &[WindowSpec], idxs: &[usize]) -> Vec<Ve
         let best_count = counts.iter().map(|&(_, c)| c).max().unwrap_or(0);
         let mut best_attr = None;
         let mut best_sets = usize::MAX;
-        let mut tied: Vec<wf_common::AttrId> =
-            counts.iter().filter(|&&(_, c)| c == best_count).map(|&(a, _)| a).collect();
+        let mut tied: Vec<wf_common::AttrId> = counts
+            .iter()
+            .filter(|&&(_, c)| c == best_count)
+            .map(|&(a, _)| a)
+            .collect();
         tied.sort();
         for a in tied {
             let subset: Vec<usize> = remaining
@@ -177,8 +183,9 @@ pub fn partition_into_prefixable(specs: &[WindowSpec], idxs: &[usize]) -> Vec<Ve
             }
         }
         let attr = best_attr.expect("counts non-empty");
-        let (subset, rest): (Vec<usize>, Vec<usize>) =
-            remaining.into_iter().partition(|&i| first_attrs(&specs[i]).contains(attr));
+        let (subset, rest): (Vec<usize>, Vec<usize>) = remaining
+            .into_iter()
+            .partition(|&i| first_attrs(&specs[i]).contains(attr));
         out.push(subset);
         remaining = rest;
     }
@@ -217,7 +224,10 @@ mod tests {
 
     #[test]
     fn first_attrs_rules() {
-        assert_eq!(first_attrs(&wf(&[0, 1], &[2])), AttrSet::from_iter([a(0), a(1)]));
+        assert_eq!(
+            first_attrs(&wf(&[0, 1], &[2])),
+            AttrSet::from_iter([a(0), a(1)])
+        );
         assert_eq!(first_attrs(&wf(&[], &[2, 0])), AttrSet::from_iter([a(2)]));
         assert!(first_attrs(&wf(&[], &[])).is_empty());
     }
@@ -240,7 +250,11 @@ mod tests {
     /// ship=2, item=3, bill=4.
     #[test]
     fn q8_theta_two_attrs() {
-        let specs = vec![wf(&[0, 1, 2], &[]), wf(&[1, 0], &[]), wf(&[0, 1, 3], &[4, 2])];
+        let specs = vec![
+            wf(&[0, 1, 2], &[]),
+            wf(&[1, 0], &[]),
+            wf(&[0, 1, 3], &[4, 2]),
+        ];
         let t = theta(&specs, &[0, 1, 2]);
         let attrs: Vec<AttrId> = t.iter().map(|e| e.attr).collect();
         assert_eq!(attrs, vec![a(0), a(1)]);
@@ -257,11 +271,7 @@ mod tests {
     /// θ can extend into WOK positions, adopting the fixed direction.
     #[test]
     fn theta_extends_into_wok() {
-        let d = WindowSpec::rank(
-            "d",
-            vec![a(0)],
-            SortSpec::new(vec![OrdElem::desc(a(1))]),
-        );
+        let d = WindowSpec::rank("d", vec![a(0)], SortSpec::new(vec![OrdElem::desc(a(1))]));
         let e = wf(&[0, 1], &[]); // b direction free
         let specs = vec![d, e];
         let t = theta(&specs, &[0, 1]);
@@ -315,14 +325,14 @@ mod tests {
     #[test]
     fn q9_partition() {
         let specs = vec![
-            wf(&[1], &[3, 0]),  // wf1
-            wf(&[1, 2], &[0]),  // wf2
-            wf(&[1], &[2]),     // wf3
-            wf(&[], &[1, 0]),   // wf4
-            wf(&[3, 0], &[2]),  // wf5
-            wf(&[3], &[2]),     // wf6
-            wf(&[0, 2], &[]),   // wf7
-            wf(&[], &[2]),      // wf8
+            wf(&[1], &[3, 0]), // wf1
+            wf(&[1, 2], &[0]), // wf2
+            wf(&[1], &[2]),    // wf3
+            wf(&[], &[1, 0]),  // wf4
+            wf(&[3, 0], &[2]), // wf5
+            wf(&[3], &[2]),    // wf6
+            wf(&[0, 2], &[]),  // wf7
+            wf(&[], &[2]),     // wf8
         ];
         let parts = partition_into_prefixable(&specs, &[0, 1, 2, 3, 4, 5, 6, 7]);
         assert_eq!(parts.len(), 3);
@@ -334,7 +344,11 @@ mod tests {
                 v
             })
             .collect();
-        assert_eq!(normalized[0], vec![0, 1, 2, 3], "item-led subset is largest");
+        assert_eq!(
+            normalized[0],
+            vec![0, 1, 2, 3],
+            "item-led subset is largest"
+        );
         assert!(normalized.contains(&vec![4, 5]), "bill-led subset");
         assert!(normalized.contains(&vec![6, 7]), "time-led subset");
     }

@@ -36,7 +36,11 @@ impl SegProps {
     /// A totally unordered relation (`X = ∅`, `Y = ε`): one segment, no
     /// known order.
     pub fn unordered() -> Self {
-        SegProps { x: AttrSet::empty(), y: SortSpec::empty(), grouped: false }
+        SegProps {
+            x: AttrSet::empty(),
+            y: SortSpec::empty(),
+            grouped: false,
+        }
     }
 
     /// A totally ordered relation `R_{∅,key}` (FS output).
@@ -61,7 +65,11 @@ impl SegProps {
 
     /// Attributes constant within each segment (`X` when grouped, else ∅).
     pub fn constants(&self) -> AttrSet {
-        if self.grouped { self.x.clone() } else { AttrSet::empty() }
+        if self.grouped {
+            self.x.clone()
+        } else {
+            AttrSet::empty()
+        }
     }
 
     // ------------------------------------------------------------------
@@ -162,7 +170,11 @@ impl SegProps {
         let mut beta: Vec<OrdElem> = remaining_d.iter().map(OrdElem::asc).collect();
         beta.extend_from_slice(&wf.wok().elems()[wok_consumed..]);
 
-        AlphaSplit { alpha: SortSpec::new(alpha), beta: SortSpec::new(beta), consumed_y: pos }
+        AlphaSplit {
+            alpha: SortSpec::new(alpha),
+            beta: SortSpec::new(beta),
+            consumed_y: pos,
+        }
     }
 
     /// Longest prefix of `key` that each segment already satisfies:
@@ -248,7 +260,13 @@ impl std::fmt::Display for SegProps {
         if self.x.is_empty() && self.y.is_empty() {
             return write!(f, "R(unordered)");
         }
-        write!(f, "R{}{},{}", if self.grouped { "g" } else { "" }, self.x, self.y)
+        write!(
+            f,
+            "R{}{},{}",
+            if self.grouped { "g" } else { "" },
+            self.x,
+            self.y
+        )
     }
 }
 
@@ -437,7 +455,11 @@ mod tests {
         assert!(p.satisfies_order(&key(&[0, 1])));
         assert_eq!(p.satisfied_order_prefix(&key(&[0, 2])), 1);
         let seg = SegProps::new(aset(&[0]), key(&[0, 1]), false);
-        assert_eq!(seg.satisfied_order_prefix(&key(&[0])), 0, "multi-segment ⇒ no global order");
+        assert_eq!(
+            seg.satisfied_order_prefix(&key(&[0])),
+            0,
+            "multi-segment ⇒ no global order"
+        );
         assert!(SegProps::sorted(key(&[0])).satisfies_order(&SortSpec::empty()));
     }
 
@@ -482,7 +504,11 @@ mod tests {
 
     #[test]
     fn canonicalization_dedups_y() {
-        let y = SortSpec::new(vec![OrdElem::asc(a(0)), OrdElem::asc(a(0)), OrdElem::asc(a(1))]);
+        let y = SortSpec::new(vec![
+            OrdElem::asc(a(0)),
+            OrdElem::asc(a(0)),
+            OrdElem::asc(a(1)),
+        ]);
         let p = SegProps::new(AttrSet::empty(), y, false);
         assert_eq!(p.y().len(), 2);
     }

@@ -79,7 +79,11 @@ impl<'a> QueryBuilder<'a> {
             match self.schema.resolve(name) {
                 Ok(attr) => elems.push(OrdElem {
                     attr,
-                    dir: if *desc { Direction::Desc } else { Direction::Asc },
+                    dir: if *desc {
+                        Direction::Desc
+                    } else {
+                        Direction::Asc
+                    },
                     nulls: NullOrder::Last,
                 }),
                 Err(e) => {
@@ -110,7 +114,9 @@ impl<'a> QueryBuilder<'a> {
                 }
             }
         }
-        let Some(wok) = self.resolve_order(order_by) else { return self };
+        let Some(wok) = self.resolve_order(order_by) else {
+            return self;
+        };
         self.specs.push(WindowSpec::new(name, func, wpk, wok));
         self
     }
@@ -142,7 +148,9 @@ impl<'a> QueryBuilder<'a> {
             return Err(e);
         }
         if self.specs.is_empty() {
-            return Err(Error::InvalidQuery("a window query needs at least one function".into()));
+            return Err(Error::InvalidQuery(
+                "a window query needs at least one function".into(),
+            ));
         }
         // Duplicate output names collide with the appended schema.
         for (i, s) in self.specs.iter().enumerate() {
@@ -172,7 +180,11 @@ mod tests {
     use wf_common::DataType;
 
     fn schema() -> Schema {
-        Schema::of(&[("a", DataType::Int), ("b", DataType::Int), ("c", DataType::Str)])
+        Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Str),
+        ])
     }
 
     #[test]
@@ -193,8 +205,14 @@ mod tests {
     #[test]
     fn unknown_name_errors() {
         let s = schema();
-        assert!(QueryBuilder::new(&s).rank("r", &["zz"], &[]).build().is_err());
-        assert!(QueryBuilder::new(&s).rank("r", &[], &[("zz", false)]).build().is_err());
+        assert!(QueryBuilder::new(&s)
+            .rank("r", &["zz"], &[])
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new(&s)
+            .rank("r", &[], &[("zz", false)])
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -206,7 +224,10 @@ mod tests {
     #[test]
     fn duplicate_output_names_rejected() {
         let s = schema();
-        let r = QueryBuilder::new(&s).rank("r", &["a"], &[]).rank("R", &["b"], &[]).build();
+        let r = QueryBuilder::new(&s)
+            .rank("r", &["a"], &[])
+            .rank("R", &["b"], &[])
+            .build();
         assert!(r.is_err());
     }
 
@@ -220,7 +241,13 @@ mod tests {
             .unwrap();
         let out = q.output_schema().unwrap();
         assert_eq!(out.len(), 5);
-        assert_eq!(out.field(wf_common::AttrId::new(3)).data_type, DataType::Int);
-        assert_eq!(out.field(wf_common::AttrId::new(4)).data_type, DataType::Float);
+        assert_eq!(
+            out.field(wf_common::AttrId::new(3)).data_type,
+            DataType::Int
+        );
+        assert_eq!(
+            out.field(wf_common::AttrId::new(4)).data_type,
+            DataType::Float
+        );
     }
 }

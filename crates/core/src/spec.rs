@@ -47,7 +47,14 @@ impl WindowSpec {
             }
         }
         let wok = order_by.dedup_attrs().without_attrs(&wpk_set);
-        WindowSpec { name: name.into(), func, frame: None, wpk_written, wpk_set, wok }
+        WindowSpec {
+            name: name.into(),
+            func,
+            frame: None,
+            wpk_written,
+            wpk_set,
+            wok,
+        }
     }
 
     /// Rank over the given keys — the function used throughout the paper's

@@ -14,6 +14,7 @@
 //! All generators are deterministic in their seed.
 
 pub mod queries;
+pub mod rng;
 pub mod web_sales;
 
 pub use queries::random_specs;

@@ -4,30 +4,34 @@
 //! number of attributes as well as the attributes themselves for both WPK
 //! and WOK." Attributes are drawn from the five columns of Table 2.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use wf_common::{AttrId, OrdElem, SortSpec};
 use wf_core::spec::WindowSpec;
 
 /// Generate `n` random window specifications over `attr_pool` (distinct
 /// attributes; WPK up to 3 attributes, WOK up to 2, never both empty).
 pub fn random_specs(n: usize, attr_pool: &[AttrId], seed: u64) -> Vec<WindowSpec> {
-    assert!(attr_pool.len() >= 3, "need at least 3 attributes to draw from");
-    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(
+        attr_pool.len() >= 3,
+        "need at least 3 attributes to draw from"
+    );
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut specs = Vec::with_capacity(n);
     for i in 0..n {
         loop {
             let mut pool: Vec<AttrId> = attr_pool.to_vec();
-            pool.shuffle(&mut rng);
-            let n_wpk = rng.random_range(0..=3usize.min(pool.len()));
-            let n_wok = rng.random_range(0..=2usize.min(pool.len() - n_wpk));
+            rng.shuffle(&mut pool);
+            let n_wpk = rng.random_inclusive_usize(0, 3usize.min(pool.len()));
+            let n_wok = rng.random_inclusive_usize(0, 2usize.min(pool.len() - n_wpk));
             if n_wpk + n_wok == 0 {
                 continue;
             }
             let wpk: Vec<AttrId> = pool[..n_wpk].to_vec();
             let wok = SortSpec::new(
-                pool[n_wpk..n_wpk + n_wok].iter().map(|&a| OrdElem::asc(a)).collect(),
+                pool[n_wpk..n_wpk + n_wok]
+                    .iter()
+                    .map(|&a| OrdElem::asc(a))
+                    .collect(),
             );
             specs.push(WindowSpec::rank(format!("wf{}", i + 1), wpk, wok));
             break;

@@ -1,0 +1,102 @@
+//! A tiny deterministic PRNG (SplitMix64) standing in for the `rand` crate,
+//! so the generators are reproducible and the workspace builds without
+//! external dependencies.
+//!
+//! Statistical quality is far beyond what uniform synthetic tables need;
+//! determinism in the seed is the property the benchmarks rely on.
+
+/// SplitMix64 generator. Distinct seeds give independent streams.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    /// (Modulo bias is negligible for the small domains used here and keeps
+    /// the generator branch-free and reproducible.)
+    pub fn random_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "random_below requires a non-zero bound");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from `[0, bound)` as `usize`.
+    pub fn random_below_usize(&mut self, bound: usize) -> usize {
+        self.random_below(bound as u64) as usize
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub fn random_inclusive_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.random_below_usize(hi - lo + 1)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.random_below_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        let mut c = SplitMix64::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn random_below_stays_in_range_and_covers() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.random_below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "1000 draws should cover all 10 values"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..20).collect::<Vec<_>>(),
+            "20 elements should not stay in place"
+        );
+    }
+}

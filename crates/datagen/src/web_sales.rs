@@ -6,8 +6,7 @@
 //! chosen so each experiment stays in the paper's regime (see DESIGN.md
 //! §5's scaling notes), and a padding column for realistic row width.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use wf_common::{AttrId, DataType, Row, Schema, Value};
 use wf_storage::Table;
 
@@ -34,11 +33,11 @@ impl WsColumn {
     /// Column name (paper Table 2 abbreviations in comments).
     pub fn name(self) -> &'static str {
         match self {
-            WsColumn::SoldDate => "ws_sold_date_sk",     // date
-            WsColumn::SoldTime => "ws_sold_time_sk",     // time
-            WsColumn::ShipDate => "ws_ship_date_sk",     // ship
-            WsColumn::Item => "ws_item_sk",              // item
-            WsColumn::Bill => "ws_bill_customer_sk",     // bill
+            WsColumn::SoldDate => "ws_sold_date_sk", // date
+            WsColumn::SoldTime => "ws_sold_time_sk", // time
+            WsColumn::ShipDate => "ws_ship_date_sk", // ship
+            WsColumn::Item => "ws_item_sk",          // item
+            WsColumn::Bill => "ws_bill_customer_sk", // bill
             WsColumn::Warehouse => "ws_warehouse_sk",
             WsColumn::Quantity => "ws_quantity",
             WsColumn::OrderNumber => "ws_order_number",
@@ -113,18 +112,18 @@ impl WsConfig {
 
     /// Generate the base (unordered) table.
     pub fn generate(&self) -> Table {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
         let mut table = Table::new(self.schema());
         let pad: std::sync::Arc<str> = "x".repeat(self.padding).into();
         for order in 0..self.rows {
             let row = Row::new(vec![
-                Value::Int(rng.random_range(0..self.d_date) as i64),
-                Value::Int(rng.random_range(0..self.d_time) as i64),
-                Value::Int(rng.random_range(0..self.d_ship) as i64),
-                Value::Int(rng.random_range(0..self.d_item) as i64),
-                Value::Int(rng.random_range(0..self.d_bill) as i64),
-                Value::Int(rng.random_range(0..self.d_warehouse) as i64),
-                Value::Int(1 + rng.random_range(0..self.d_quantity) as i64),
+                Value::Int(rng.random_below(self.d_date) as i64),
+                Value::Int(rng.random_below(self.d_time) as i64),
+                Value::Int(rng.random_below(self.d_ship) as i64),
+                Value::Int(rng.random_below(self.d_item) as i64),
+                Value::Int(rng.random_below(self.d_bill) as i64),
+                Value::Int(rng.random_below(self.d_warehouse) as i64),
+                Value::Int(1 + rng.random_below(self.d_quantity) as i64),
                 Value::Int(order as i64),
                 Value::Str(pad.clone()),
             ]);
@@ -188,7 +187,11 @@ mod tests {
         let t1 = cfg.generate();
         let t2 = cfg.generate();
         assert_eq!(t1.rows(), t2.rows());
-        let t3 = WsConfig { seed: 7, ..WsConfig::small(500) }.generate();
+        let t3 = WsConfig {
+            seed: 7,
+            ..WsConfig::small(500)
+        }
+        .generate();
         assert_ne!(t1.rows(), t3.rows());
     }
 
@@ -216,9 +219,16 @@ mod tests {
 
     #[test]
     fn row_width_near_paper() {
-        let t = WsConfig { rows: 10, ..WsConfig::default() }.generate();
+        let t = WsConfig {
+            rows: 10,
+            ..WsConfig::default()
+        }
+        .generate();
         let w = t.avg_row_bytes();
-        assert!((200..=228).contains(&w), "avg width {w} should approximate 214 B");
+        assert!(
+            (200..=228).contains(&w),
+            "avg width {w} should approximate 214 B"
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl OpEnv {
 
     /// Same environment with a different memory budget.
     pub fn with_blocks(&self, mem_blocks: u64) -> Self {
-        OpEnv { tracker: Arc::clone(&self.tracker), medium: self.medium, mem_blocks }
+        OpEnv {
+            tracker: Arc::clone(&self.tracker),
+            medium: self.medium,
+            mem_blocks,
+        }
     }
 }
 

@@ -5,15 +5,56 @@
 //! on the sort key (`R_{∅, key}` in the paper's notation).
 
 use crate::env::OpEnv;
+use crate::operator::{drain, Operator, SegmentSource};
 use crate::segment::SegmentedRows;
 use crate::sorter::sort_rows;
-use wf_common::{Result, RowComparator, SortSpec};
+use wf_common::{Result, Row, RowComparator, SortSpec};
 
-/// Sort all rows on `key`; returns one totally ordered segment.
+/// The FS operator: drains its input on the first pull (a total sort is
+/// blocking by nature), sorts within the memory budget, and emits the
+/// result as one totally ordered segment.
+pub struct FullSortOp<I> {
+    input: I,
+    key: SortSpec,
+    env: OpEnv,
+    done: bool,
+}
+
+impl<I: Operator> FullSortOp<I> {
+    /// Sort everything `input` yields on `key`.
+    pub fn new(input: I, key: SortSpec, env: OpEnv) -> Self {
+        FullSortOp {
+            input,
+            key,
+            env,
+            done: false,
+        }
+    }
+}
+
+impl<I: Operator> Operator for FullSortOp<I> {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut rows: Vec<Row> = Vec::new();
+        while let Some(seg) = self.input.next_segment()? {
+            rows.extend(seg);
+        }
+        if rows.is_empty() {
+            return Ok(None);
+        }
+        let cmp = RowComparator::new(&self.key);
+        Ok(Some(sort_rows(rows, &cmp, &self.env)?))
+    }
+}
+
+/// Sort all rows on `key`; returns one totally ordered segment. Thin wrapper
+/// over [`FullSortOp`] for batch callers.
 pub fn full_sort(input: SegmentedRows, key: &SortSpec, env: &OpEnv) -> Result<SegmentedRows> {
-    let cmp = RowComparator::new(key);
-    let rows = sort_rows(input.into_rows(), &cmp, env)?;
-    Ok(SegmentedRows::single_segment(rows))
+    let mut op = FullSortOp::new(SegmentSource::new(input), key.clone(), env.clone());
+    drain(&mut op)
 }
 
 #[cfg(test)]
@@ -29,7 +70,13 @@ mod tests {
     fn produces_single_totally_ordered_segment() {
         let env = OpEnv::with_memory_blocks(2);
         let rows: Vec<Row> = (0..2000)
-            .map(|i| row![(i * 37 % 101) as i64, (i * 13 % 7) as i64, "padding-padding"])
+            .map(|i| {
+                row![
+                    (i * 37 % 101) as i64,
+                    (i * 13 % 7) as i64,
+                    "padding-padding"
+                ]
+            })
             .collect();
         let out = full_sort(SegmentedRows::single_segment(rows), &key(&[0, 1]), &env).unwrap();
         assert_eq!(out.segment_count(), 1);
@@ -63,7 +110,11 @@ mod tests {
         let s = SegmentedRows::from_parts(vec![row![3], row![1], row![2]], vec![0, 1, 2]);
         let out = full_sort(s, &key(&[0]), &env).unwrap();
         assert_eq!(out.segment_count(), 1);
-        let vals: Vec<i64> = out.rows().iter().map(|r| r.get(AttrId::new(0)).as_int().unwrap()).collect();
+        let vals: Vec<i64> = out
+            .rows()
+            .iter()
+            .map(|r| r.get(AttrId::new(0)).as_int().unwrap())
+            .collect();
         assert_eq!(vals, vec![1, 2, 3]);
     }
 }

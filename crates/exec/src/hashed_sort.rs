@@ -19,10 +19,11 @@
 //! the segmented relation `R_{WHK, key}`.
 
 use crate::env::OpEnv;
+use crate::operator::{drain, Operator, SegmentSource};
 use crate::segment::SegmentedRows;
 use crate::sorter::{sort_in_memory, sort_rows};
 use crate::util::hash_row_on;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use wf_common::{AttrSet, Error, Result, Row, RowComparator, SortSpec, Value};
 use wf_storage::{MemoryLedger, SpillFile};
 
@@ -42,7 +43,10 @@ pub struct HsOptions {
 impl HsOptions {
     /// `n` buckets, no MFV optimization.
     pub fn with_buckets(n_buckets: usize) -> Self {
-        HsOptions { n_buckets, mfv_values: Vec::new() }
+        HsOptions {
+            n_buckets,
+            mfv_values: Vec::new(),
+        }
     }
 }
 
@@ -51,7 +55,168 @@ enum Bucket {
     Spilled { file: SpillFile },
 }
 
-/// Hash-partition `input` on `whk` and sort each bucket on `key`.
+/// One bucket awaiting emission. The sort happens lazily, at the moment the
+/// downstream pulls the bucket — that is what makes HS a *per-segment*
+/// streaming operator: bucket `k` flows through window evaluation while
+/// buckets `k+1..n` still sit unsorted in memory or on disk.
+enum PendingBucket {
+    /// §3.2's MFV rows: pipelined past partitioning, sorted before any
+    /// bucket (externally if needed).
+    Mfv(Vec<Row>),
+    /// Memory-resident bucket: internal sort at emission.
+    Mem(Vec<Row>),
+    /// Spilled bucket: read back, then sort within the budget.
+    Disk(SpillFile),
+}
+
+/// The HS operator: hash-partitions its whole input on the first pull
+/// (partitioning is blocking), then emits **one sorted bucket per pull** —
+/// MFV rows first, then memory-resident buckets, then spilled buckets,
+/// exactly the emission order §3.2 prescribes.
+pub struct HashedSortOp<I> {
+    input: Option<I>,
+    whk: AttrSet,
+    key: SortSpec,
+    options: HsOptions,
+    env: OpEnv,
+    queue: VecDeque<PendingBucket>,
+}
+
+impl<I: Operator> HashedSortOp<I> {
+    /// Hash-partition everything `input` yields on `whk`, sorting each
+    /// bucket on `key`.
+    pub fn new(input: I, whk: AttrSet, key: SortSpec, options: HsOptions, env: OpEnv) -> Self {
+        HashedSortOp {
+            input: Some(input),
+            whk,
+            key,
+            options,
+            env,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The blocking partitioning phase (run on first pull): scatter rows
+    /// into buckets with victim spilling, then queue non-empty buckets for
+    /// lazy emission.
+    fn partition_phase(&mut self, mut input: I) -> Result<()> {
+        if self.whk.is_empty() {
+            return Err(Error::Execution(
+                "hashed sort requires a non-empty hash key".into(),
+            ));
+        }
+        if self.options.n_buckets == 0 {
+            return Err(Error::Execution(
+                "hashed sort requires at least one bucket".into(),
+            ));
+        }
+        let env = &self.env;
+        let mut ledger = env.ledger()?;
+        let n = self.options.n_buckets;
+
+        let mfv: HashSet<Vec<Value>> = self.options.mfv_values.iter().cloned().collect();
+        let mut mfv_rows: Vec<Row> = Vec::new();
+
+        let mut buckets: Vec<Bucket> = (0..n)
+            .map(|_| Bucket::Mem {
+                rows: Vec::new(),
+                bytes: 0,
+            })
+            .collect();
+
+        while let Some(seg) = input.next_segment()? {
+            for row in seg {
+                env.tracker.hash(1);
+                if !mfv.is_empty() {
+                    let key_val: Vec<Value> = self.whk.iter().map(|a| row.get(a).clone()).collect();
+                    if mfv.contains(&key_val) {
+                        // Pipelined straight to the (first) sort: no
+                        // partition I/O, no ledger charge — the sort owns
+                        // its memory.
+                        mfv_rows.push(row);
+                        continue;
+                    }
+                }
+                let idx = (hash_row_on(&row, &self.whk) % n as u64) as usize;
+                let bytes = row.encoded_len();
+                match &mut buckets[idx] {
+                    Bucket::Spilled { file } => {
+                        file.push(&row)?;
+                        env.tracker.move_rows(1);
+                    }
+                    Bucket::Mem { .. } => {
+                        while !ledger.fits(bytes) {
+                            if !spill_victim(&mut buckets, &mut ledger, env, idx)? {
+                                break; // nothing left to evict; force-charge below
+                            }
+                        }
+                        match &mut buckets[idx] {
+                            Bucket::Mem { rows, bytes: b } => {
+                                ledger.charge(bytes);
+                                *b += bytes;
+                                rows.push(row);
+                                env.tracker.move_rows(1);
+                            }
+                            Bucket::Spilled { file } => {
+                                // The current bucket itself became the victim.
+                                file.push(&row)?;
+                                env.tracker.move_rows(1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Emission order: MFV, then memory-resident, then spilled.
+        if !mfv_rows.is_empty() {
+            self.queue.push_back(PendingBucket::Mfv(mfv_rows));
+        }
+        let (mem_buckets, disk_buckets): (Vec<Bucket>, Vec<Bucket>) = buckets
+            .into_iter()
+            .partition(|b| matches!(b, Bucket::Mem { .. }));
+        for bucket in mem_buckets {
+            if let Bucket::Mem { rows, .. } = bucket {
+                if !rows.is_empty() {
+                    self.queue.push_back(PendingBucket::Mem(rows));
+                }
+            }
+        }
+        for bucket in disk_buckets {
+            if let Bucket::Spilled { file } = bucket {
+                if file.row_count() > 0 {
+                    self.queue.push_back(PendingBucket::Disk(file));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<I: Operator> Operator for HashedSortOp<I> {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        if let Some(input) = self.input.take() {
+            self.partition_phase(input)?;
+        }
+        let cmp = RowComparator::new(&self.key);
+        match self.queue.pop_front() {
+            None => Ok(None),
+            Some(PendingBucket::Mfv(rows)) => Ok(Some(sort_rows(rows, &cmp, &self.env)?)),
+            Some(PendingBucket::Mem(mut rows)) => {
+                sort_in_memory(&mut rows, &cmp, &self.env);
+                Ok(Some(rows))
+            }
+            Some(PendingBucket::Disk(file)) => {
+                let mut reader = file.into_reader()?;
+                let rows = reader.read_all()?; // charges the read-back
+                Ok(Some(sort_rows(rows, &cmp, &self.env)?))
+            }
+        }
+    }
+}
+
+/// Hash-partition `input` on `whk` and sort each bucket on `key`. Thin
+/// wrapper over [`HashedSortOp`] for batch callers.
 pub fn hashed_sort(
     input: SegmentedRows,
     whk: &AttrSet,
@@ -59,105 +224,14 @@ pub fn hashed_sort(
     options: &HsOptions,
     env: &OpEnv,
 ) -> Result<SegmentedRows> {
-    if whk.is_empty() {
-        return Err(Error::Execution("hashed sort requires a non-empty hash key".into()));
-    }
-    if options.n_buckets == 0 {
-        return Err(Error::Execution("hashed sort requires at least one bucket".into()));
-    }
-    let cmp = RowComparator::new(key);
-    let mut ledger = env.ledger()?;
-    let n = options.n_buckets;
-
-    let mfv: HashSet<Vec<Value>> = options.mfv_values.iter().cloned().collect();
-    let mut mfv_rows: Vec<Row> = Vec::new();
-
-    let mut buckets: Vec<Bucket> = (0..n).map(|_| Bucket::Mem { rows: Vec::new(), bytes: 0 }).collect();
-
-    // --- Partitioning phase -------------------------------------------------
-    for row in input.into_rows() {
-        env.tracker.hash(1);
-        if !mfv.is_empty() {
-            let key_val: Vec<Value> = whk.iter().map(|a| row.get(a).clone()).collect();
-            if mfv.contains(&key_val) {
-                // Pipelined straight to the (first) sort: no partition I/O,
-                // no ledger charge — the sort owns its memory.
-                mfv_rows.push(row);
-                continue;
-            }
-        }
-        let idx = (hash_row_on(&row, whk) % n as u64) as usize;
-        let bytes = row.encoded_len();
-        match &mut buckets[idx] {
-            Bucket::Spilled { file } => {
-                file.push(&row)?;
-                env.tracker.move_rows(1);
-            }
-            Bucket::Mem { .. } => {
-                while !ledger.fits(bytes) {
-                    if !spill_victim(&mut buckets, &mut ledger, env, idx)? {
-                        break; // nothing left to evict; force-charge below
-                    }
-                }
-                match &mut buckets[idx] {
-                    Bucket::Mem { rows, bytes: b } => {
-                        ledger.charge(bytes);
-                        *b += bytes;
-                        rows.push(row);
-                        env.tracker.move_rows(1);
-                    }
-                    Bucket::Spilled { file } => {
-                        // The current bucket itself became the victim.
-                        file.push(&row)?;
-                        env.tracker.move_rows(1);
-                    }
-                }
-            }
-        }
-    }
-
-    // --- Sort phase ----------------------------------------------------------
-    let mut out_rows: Vec<Row> = Vec::new();
-    let mut seg_starts: Vec<usize> = Vec::new();
-
-    // 1. The MFV bucket is sorted before any other bucket.
-    if !mfv_rows.is_empty() {
-        ledger.release_all();
-        let sorted = sort_rows(mfv_rows, &cmp, env)?;
-        seg_starts.push(out_rows.len());
-        out_rows.extend(sorted);
-    }
-
-    // 2. Memory-resident buckets (internal sorts), then 3. spilled buckets.
-    let (mem_buckets, disk_buckets): (Vec<Bucket>, Vec<Bucket>) =
-        buckets.into_iter().partition(|b| matches!(b, Bucket::Mem { .. }));
-
-    for bucket in mem_buckets {
-        if let Bucket::Mem { mut rows, bytes } = bucket {
-            if rows.is_empty() {
-                continue;
-            }
-            sort_in_memory(&mut rows, &cmp, env);
-            ledger.release(bytes.min(ledger.used_bytes()));
-            seg_starts.push(out_rows.len());
-            out_rows.extend(rows);
-        }
-    }
-
-    for bucket in disk_buckets {
-        if let Bucket::Spilled { file } = bucket {
-            if file.row_count() == 0 {
-                continue;
-            }
-            let mut reader = file.into_reader()?;
-            let rows = reader.read_all()?; // charges the read-back
-            let sorted = sort_rows(rows, &cmp, env)?;
-            seg_starts.push(out_rows.len());
-            out_rows.extend(sorted);
-        }
-    }
-
-    Ok(SegmentedRows::from_parts(out_rows, seg_starts))
+    let mut op = HashedSortOp::new(
+        SegmentSource::new(input),
+        whk.clone(),
+        key.clone(),
+        options.clone(),
+        env.clone(),
+    );
+    drain(&mut op)
 }
 
 /// Flush the largest memory-resident bucket to disk. Returns false when no
@@ -192,7 +266,9 @@ fn spill_victim(
             }
         }
     }
-    let Some((idx, bytes)) = victim else { return Ok(false) };
+    let Some((idx, bytes)) = victim else {
+        return Ok(false);
+    };
     let mut file = SpillFile::create(env.medium, env.tracker.clone())?;
     if let Bucket::Mem { rows, .. } = &mut buckets[idx] {
         for row in rows.drain(..) {
@@ -228,8 +304,14 @@ mod tests {
 
     fn check_valid_output(out: &SegmentedRows, whk: &AttrSet, sort: &SortSpec, n: usize) {
         assert_eq!(out.len(), n);
-        assert!(out.segments_disjoint_on(whk), "buckets must be disjoint on WHK");
-        assert!(out.segments_sorted_by(&RowComparator::new(sort)), "buckets must be sorted");
+        assert!(
+            out.segments_disjoint_on(whk),
+            "buckets must be disjoint on WHK"
+        );
+        assert!(
+            out.segments_sorted_by(&RowComparator::new(sort)),
+            "buckets must be sorted"
+        );
     }
 
     #[test]
@@ -260,7 +342,10 @@ mod tests {
         )
         .unwrap();
         check_valid_output(&out, &aset(&[0]), &key(&[0, 1]), 3000);
-        assert!(env.tracker.snapshot().blocks_written > 0, "tiny M must spill");
+        assert!(
+            env.tracker.snapshot().blocks_written > 0,
+            "tiny M must spill"
+        );
     }
 
     #[test]
@@ -302,7 +387,9 @@ mod tests {
         check_valid_output(&out, &aset(&[0]), &key(&[0, 1]), 400);
         // First segment must be exactly the MFV value's rows.
         let first = out.segment(0);
-        assert!(first.iter().all(|r| r.get(AttrId::new(0)).as_int() == Some(0)));
+        assert!(first
+            .iter()
+            .all(|r| r.get(AttrId::new(0)).as_int() == Some(0)));
         assert_eq!(first.len(), 100);
     }
 
@@ -343,12 +430,27 @@ mod tests {
         let base = input(12000, 64);
         let env_small = OpEnv::with_memory_blocks(4);
         let env_large = OpEnv::with_memory_blocks(16);
-        hashed_sort(base.clone(), &aset(&[0]), &key(&[0, 1]), &HsOptions::with_buckets(64), &env_small)
-            .unwrap();
-        hashed_sort(base, &aset(&[0]), &key(&[0, 1]), &HsOptions::with_buckets(64), &env_large)
-            .unwrap();
+        hashed_sort(
+            base.clone(),
+            &aset(&[0]),
+            &key(&[0, 1]),
+            &HsOptions::with_buckets(64),
+            &env_small,
+        )
+        .unwrap();
+        hashed_sort(
+            base,
+            &aset(&[0]),
+            &key(&[0, 1]),
+            &HsOptions::with_buckets(64),
+            &env_large,
+        )
+        .unwrap();
         let small = env_small.tracker.snapshot().io_blocks() as f64;
         let large = (env_large.tracker.snapshot().io_blocks() as f64).max(1.0);
-        assert!(small / large < 3.0, "HS I/O should be roughly flat: {small} vs {large}");
+        assert!(
+            small / large < 3.0,
+            "HS I/O should be roughly flat: {small} vs {large}"
+        );
     }
 }

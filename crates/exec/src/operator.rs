@@ -1,0 +1,194 @@
+//! The pull-based, segment-at-a-time operator interface.
+//!
+//! The paper's operators (§3) pipeline **complete window partitions**
+//! between Segmented Sort and window evaluation: a reorder operator emits a
+//! *segment* — a bucket (HS), a sorted run of complete partitions (FS), or a
+//! refined unit run (SS) — and the window operator consumes it without ever
+//! needing to see the rest of the relation. [`Operator`] is the physical
+//! realization of that contract:
+//!
+//! ```text
+//! trait Operator { fn next_segment(&mut self) -> Result<Option<Vec<Row>>>; }
+//! ```
+//!
+//! Every physical operator implements it:
+//!
+//! * [`TableScan`] — leaf over a [`wf_storage::Table`]; one segment (a heap
+//!   table is trivially `R_{∅,ε}`), scan I/O charged on first pull,
+//! * [`crate::full_sort::FullSortOp`] — blocking; one totally ordered
+//!   segment,
+//! * [`crate::hashed_sort::HashedSortOp`] — partition phase on first pull,
+//!   then **one bucket per pull**, each sorted lazily at emission (the
+//!   streaming refinement of §3.2: downstream sees bucket *k* while buckets
+//!   *k+1..n* are still unsorted),
+//! * [`crate::segmented_sort::SegmentedSortOp`] — fully streaming; pulls one
+//!   upstream segment, sorts its α-groups, emits it,
+//! * [`crate::window::WindowOp`] — fully streaming; pulls one segment,
+//!   appends the derived column partition by partition, emits it,
+//! * [`crate::relational::FilterOp`], [`crate::relational::GroupByHashOp`],
+//!   [`crate::relational::GroupBySortOp`] — the upstream relational ops,
+//! * [`crate::parallel::ParallelOp`] — scatter on first pull, then worker
+//!   outputs segment by segment.
+//!
+//! Memory behaviour follows: once a blocking reorder has formed segments,
+//! everything downstream holds **one segment at a time** (bounded by the
+//! largest bucket / unit), instead of the whole relation. The free functions
+//! (`full_sort`, `hashed_sort`, …) remain as thin wrappers that build the
+//! operator over a [`SegmentSource`] and [`drain`] it, so batch callers and
+//! the old-vs-new equivalence tests keep working unchanged.
+//!
+//! Cost accounting is unchanged by construction: operators charge the same
+//! [`wf_storage::CostTracker`] counters at the same granularity as the
+//! batch implementations did — the tests in `tests/pipeline_equivalence.rs`
+//! assert exact equality of outputs *and* work counters.
+
+use crate::env::OpEnv;
+use crate::segment::SegmentedRows;
+use std::collections::VecDeque;
+use wf_common::{Result, Row};
+use wf_storage::Table;
+
+/// A pull-based operator yielding one segment of complete window partitions
+/// at a time. `Ok(None)` signals exhaustion; implementations need not be
+/// fused (behaviour after exhaustion is `Ok(None)` for all in-tree
+/// operators).
+pub trait Operator {
+    /// Pull the next segment. Segments are non-empty unless documented
+    /// otherwise; [`drain`] skips empty ones defensively.
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>>;
+}
+
+// Box<dyn Operator> chains need the trait on the box itself.
+impl<O: Operator + ?Sized> Operator for Box<O> {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        (**self).next_segment()
+    }
+}
+
+/// Drain an operator into a materialized [`SegmentedRows`], preserving the
+/// segment boundaries it emitted.
+pub fn drain(op: &mut dyn Operator) -> Result<SegmentedRows> {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut seg_starts: Vec<usize> = Vec::new();
+    while let Some(seg) = op.next_segment()? {
+        if seg.is_empty() {
+            continue;
+        }
+        seg_starts.push(rows.len());
+        rows.extend(seg);
+    }
+    Ok(SegmentedRows::from_parts(rows, seg_starts))
+}
+
+/// Leaf operator over an already-materialized segmented relation: yields its
+/// segments in order. The adapter behind every free-function wrapper.
+pub struct SegmentSource {
+    segments: VecDeque<Vec<Row>>,
+}
+
+impl SegmentSource {
+    /// Split a segmented relation into its segments.
+    pub fn new(input: SegmentedRows) -> Self {
+        let seg_starts = input.seg_starts().to_vec();
+        let mut rows = input.into_rows();
+        let mut segments = VecDeque::with_capacity(seg_starts.len());
+        // Split back to front so each split_off is O(segment).
+        for &start in seg_starts.iter().rev() {
+            segments.push_front(rows.split_off(start));
+        }
+        debug_assert!(rows.is_empty());
+        SegmentSource { segments }
+    }
+}
+
+impl Operator for SegmentSource {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        Ok(self.segments.pop_front())
+    }
+}
+
+/// Leaf operator scanning a heap table: charges one sequential scan on the
+/// first pull and emits all rows as a single segment (an unordered table is
+/// the trivial segmented relation `R_{∅,ε}`).
+pub struct TableScan<'a> {
+    table: &'a Table,
+    env: OpEnv,
+    done: bool,
+}
+
+impl<'a> TableScan<'a> {
+    /// Scan over `table` charging `env`'s tracker.
+    pub fn new(table: &'a Table, env: OpEnv) -> Self {
+        TableScan {
+            table,
+            env,
+            done: false,
+        }
+    }
+}
+
+impl Operator for TableScan<'_> {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        self.table.charge_scan(&self.env.tracker);
+        if self.table.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(self.table.rows().to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::{row, DataType, Schema};
+
+    #[test]
+    fn segment_source_yields_segments_in_order() {
+        let s = SegmentedRows::from_parts(vec![row![1], row![2], row![3], row![4]], vec![0, 2, 3]);
+        let mut src = SegmentSource::new(s.clone());
+        assert_eq!(src.next_segment().unwrap(), Some(vec![row![1], row![2]]));
+        assert_eq!(src.next_segment().unwrap(), Some(vec![row![3]]));
+        assert_eq!(src.next_segment().unwrap(), Some(vec![row![4]]));
+        assert_eq!(src.next_segment().unwrap(), None);
+        // Round trip through drain.
+        let mut src2 = SegmentSource::new(s.clone());
+        assert_eq!(drain(&mut src2).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_source_drains_empty() {
+        let mut src = SegmentSource::new(SegmentedRows::empty());
+        assert_eq!(drain(&mut src).unwrap(), SegmentedRows::empty());
+    }
+
+    #[test]
+    fn table_scan_charges_once_and_is_fused() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let mut t = Table::new(schema);
+        t.push(row![1]);
+        t.push(row![2]);
+        let env = OpEnv::with_memory_blocks(4);
+        let mut scan = TableScan::new(&t, env.clone());
+        let seg = scan.next_segment().unwrap().unwrap();
+        assert_eq!(seg.len(), 2);
+        assert_eq!(scan.next_segment().unwrap(), None);
+        assert_eq!(scan.next_segment().unwrap(), None);
+        let s = env.tracker.snapshot();
+        assert_eq!(s.blocks_read, t.block_count());
+        assert_eq!(s.rows_moved, 2);
+    }
+
+    #[test]
+    fn empty_table_scan_still_charges_scan() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let t = Table::new(schema);
+        let env = OpEnv::with_memory_blocks(4);
+        let mut scan = TableScan::new(&t, env.clone());
+        assert_eq!(scan.next_segment().unwrap(), None);
+        assert_eq!(env.tracker.snapshot().blocks_read, 0);
+    }
+}

@@ -10,9 +10,10 @@
 //! partitioning attributes.
 
 use crate::env::OpEnv;
+use crate::operator::{drain, Operator, SegmentSource};
 use crate::segment::SegmentedRows;
 use crate::util::hash_row_on;
-use wf_common::{AttrSet, Error, Result};
+use wf_common::{AttrSet, Error, Result, Row};
 
 /// Hash-partition `input` on `attrs` into `workers` parts, run `work` on
 /// each part concurrently, and concatenate the results in worker order.
@@ -47,28 +48,79 @@ where
         parts[idx].push(row);
     }
 
-    // Run each partition on its own thread.
+    // Run each partition on its own scoped thread.
     let work = &work;
-    let results: Vec<Result<SegmentedRows>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<SegmentedRows>> = std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .into_iter()
             .enumerate()
-            .map(|(i, rows)| {
-                scope.spawn(move |_| work(i, SegmentedRows::single_segment(rows)))
-            })
+            .map(|(i, rows)| scope.spawn(move || work(i, SegmentedRows::single_segment(rows))))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|_| Err(Error::Execution("worker panicked".into()))))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::Execution("worker panicked".into())))
+            })
             .collect()
-    })
-    .map_err(|_| Error::Execution("parallel scope panicked".into()))?;
+    });
 
     let mut outputs = Vec::with_capacity(workers);
     for r in results {
         outputs.push(r?);
     }
     Ok(SegmentedRows::concat(outputs))
+}
+
+/// Parallel evaluation as a pipeline stage: on the first pull it drains its
+/// input, hash-scatters the rows on `attrs`, runs `work` on every partition
+/// concurrently (each worker typically builds its own reorder → window
+/// operator chain), and then yields the stitched worker outputs **one
+/// segment at a time** in worker order.
+pub struct ParallelOp<I, F> {
+    input: Option<I>,
+    attrs: AttrSet,
+    workers: usize,
+    env: OpEnv,
+    work: F,
+    output: Option<SegmentSource>,
+}
+
+impl<I, F> ParallelOp<I, F>
+where
+    I: Operator,
+    F: Fn(usize, SegmentedRows) -> Result<SegmentedRows> + Sync,
+{
+    /// Partition on `attrs` into `workers` parts and run `work` on each.
+    pub fn new(input: I, attrs: AttrSet, workers: usize, env: OpEnv, work: F) -> Self {
+        ParallelOp {
+            input: Some(input),
+            attrs,
+            workers,
+            env,
+            work,
+            output: None,
+        }
+    }
+}
+
+impl<I, F> Operator for ParallelOp<I, F>
+where
+    I: Operator,
+    F: Fn(usize, SegmentedRows) -> Result<SegmentedRows> + Sync,
+{
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        if let Some(mut input) = self.input.take() {
+            let gathered = drain(&mut input)?;
+            let out =
+                parallel_partitioned(gathered, &self.attrs, self.workers, &self.env, &self.work)?;
+            self.output = Some(SegmentSource::new(out));
+        }
+        match &mut self.output {
+            Some(src) => src.next_segment(),
+            None => Ok(None),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,7 +138,9 @@ mod tests {
     }
 
     fn sample(n: usize) -> Vec<Row> {
-        (0..n).map(|i| row![(i % 17) as i64, ((i * 31) % 101) as i64, i as i64]).collect()
+        (0..n)
+            .map(|i| row![(i % 17) as i64, ((i * 31) % 101) as i64, i as i64])
+            .collect()
     }
 
     /// Parallel rank equals sequential rank for every input row (keyed by
@@ -121,7 +175,10 @@ mod tests {
                 .rows()
                 .iter()
                 .map(|r| {
-                    (r.get(AttrId::new(2)).as_int().unwrap(), r.get(AttrId::new(3)).as_int().unwrap())
+                    (
+                        r.get(AttrId::new(2)).as_int().unwrap(),
+                        r.get(AttrId::new(3)).as_int().unwrap(),
+                    )
                 })
                 .collect();
             v.sort_unstable();

@@ -15,10 +15,10 @@
 //! "sort GROUP BY + even cheaper chain" exactly as §5 describes.
 
 use crate::env::OpEnv;
-use crate::full_sort::full_sort;
-use crate::segment::SegmentedRows;
+use crate::operator::{Operator, TableScan};
+use crate::sorter::sort_rows;
 use crate::util::hash_row_on;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use wf_common::{
     AttrId, AttrSet, DataType, Error, Field, Result, Row, RowComparator, Schema, SortSpec, Value,
 };
@@ -68,15 +68,55 @@ impl Predicate {
     }
 }
 
-/// Filter a table; charges one scan plus the output rows moved.
+/// The filter operator: streams segments through the predicate, preserving
+/// segmentation (a subset of a segment of complete partitions is still a
+/// run of complete partitions of the filtered relation). Charges one
+/// comparison per input row and one row move per surviving row; segments
+/// filtered down to nothing are skipped.
+pub struct FilterOp<I> {
+    input: I,
+    pred: Predicate,
+    env: OpEnv,
+}
+
+impl<I: Operator> FilterOp<I> {
+    /// Keep only rows matching `pred`.
+    pub fn new(input: I, pred: Predicate, env: OpEnv) -> Self {
+        FilterOp { input, pred, env }
+    }
+}
+
+impl<I: Operator> Operator for FilterOp<I> {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        while let Some(seg) = self.input.next_segment()? {
+            let mut out = Vec::new();
+            for row in seg {
+                self.env.tracker.compare(1);
+                if self.pred.matches(&row) {
+                    self.env.tracker.move_rows(1);
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Filter a table; charges one scan plus the output rows moved. Thin
+/// wrapper over [`TableScan`] → [`FilterOp`] for batch callers.
 pub fn filter(table: &Table, pred: &Predicate, env: &OpEnv) -> Result<Table> {
-    table.charge_scan(&env.tracker);
+    let mut op = FilterOp::new(
+        TableScan::new(table, env.clone()),
+        pred.clone(),
+        env.clone(),
+    );
     let mut out = Table::new(table.schema().clone());
-    for row in table.rows() {
-        env.tracker.compare(1);
-        if pred.matches(row) {
-            out.push(row.clone());
-            env.tracker.move_rows(1);
+    while let Some(seg) = op.next_segment()? {
+        for row in seg {
+            out.push(row);
         }
     }
     Ok(out)
@@ -109,9 +149,7 @@ impl GroupAgg {
         match self {
             GroupAgg::CountStar | GroupAgg::Count(_) => DataType::Int,
             GroupAgg::Avg(_) => DataType::Float,
-            GroupAgg::Sum(a) | GroupAgg::Min(a) | GroupAgg::Max(a) => {
-                schema.field(*a).data_type
-            }
+            GroupAgg::Sum(a) | GroupAgg::Min(a) | GroupAgg::Max(a) => schema.field(*a).data_type,
         }
     }
 }
@@ -128,7 +166,13 @@ struct AggState {
 
 impl AggState {
     fn new() -> Self {
-        AggState { count: 0, sum: 0.0, all_int: true, min: None, max: None }
+        AggState {
+            count: 0,
+            sum: 0.0,
+            all_int: true,
+            min: None,
+            max: None,
+        }
     }
 
     fn update(&mut self, agg: &GroupAgg, row: &Row) -> Result<()> {
@@ -199,104 +243,215 @@ impl AggState {
 /// Output schema of a GROUP BY: key columns (in given order) then one
 /// column per aggregate.
 pub fn group_by_schema(schema: &Schema, keys: &[AttrId], aggs: &[GroupAgg]) -> Result<Schema> {
-    let mut fields: Vec<Field> =
-        keys.iter().map(|&a| schema.field(a).clone()).collect();
+    let mut fields: Vec<Field> = keys.iter().map(|&a| schema.field(a).clone()).collect();
     for agg in aggs {
         fields.push(Field::new(agg.name(schema), agg.data_type(schema)));
     }
     Schema::new(fields)
 }
 
-/// Hash-based GROUP BY. Output rows are *grouped* on the keys: each group
-/// is one row here, so the result is trivially `R^g_{keys, ε}` with one
-/// segment per group — the "interesting grouping" variant of §5.
+/// Hash-based GROUP BY as an operator. The output relation is *grouped* on
+/// the keys with every output row its own group, so it is emitted as **one
+/// segment per group row** — the physical form of `R^g_{keys, ε}`, §5's
+/// "interesting grouping" variant. The aggregation itself is blocking (runs
+/// on the first pull); emission is row-at-a-time.
+pub struct GroupByHashOp<I> {
+    input: Option<I>,
+    keys: Vec<AttrId>,
+    aggs: Vec<GroupAgg>,
+    env: OpEnv,
+    out: VecDeque<Row>,
+}
+
+impl<I: Operator> GroupByHashOp<I> {
+    /// Aggregate `aggs` grouped on `keys`.
+    pub fn new(input: I, keys: Vec<AttrId>, aggs: Vec<GroupAgg>, env: OpEnv) -> Self {
+        GroupByHashOp {
+            input: Some(input),
+            keys,
+            aggs,
+            env,
+            out: VecDeque::new(),
+        }
+    }
+
+    fn aggregate(&mut self, mut input: I) -> Result<()> {
+        let env = &self.env;
+        let key_set = AttrSet::from_iter(self.keys.iter().copied());
+        // Hash → collided groups, each (key values, aggregate states).
+        type GroupBucket = Vec<(Vec<Value>, Vec<AggState>)>;
+        let mut groups: HashMap<u64, GroupBucket> = HashMap::new();
+        while let Some(seg) = input.next_segment()? {
+            for row in &seg {
+                env.tracker.hash(1);
+                let h = hash_row_on(row, &key_set);
+                let key_vals: Vec<Value> = self.keys.iter().map(|&a| row.get(a).clone()).collect();
+                let bucket = groups.entry(h).or_default();
+                let state = match bucket.iter_mut().find(|(k, _)| *k == key_vals) {
+                    Some((_, s)) => s,
+                    None => {
+                        bucket.push((key_vals.clone(), vec![AggState::new(); self.aggs.len()]));
+                        &mut bucket.last_mut().expect("just pushed").1
+                    }
+                };
+                for (agg, st) in self.aggs.iter().zip(state.iter_mut()) {
+                    st.update(agg, row)?;
+                }
+            }
+        }
+        let mut hashes: Vec<u64> = groups.keys().copied().collect();
+        hashes.sort_unstable(); // deterministic (but not key-ordered) output
+        for h in hashes {
+            for (key_vals, states) in &groups[&h] {
+                let mut vals = key_vals.clone();
+                for (agg, st) in self.aggs.iter().zip(states) {
+                    vals.push(st.finish(agg));
+                }
+                self.out.push_back(Row::new(vals));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<I: Operator> Operator for GroupByHashOp<I> {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        if let Some(input) = self.input.take() {
+            self.aggregate(input)?;
+        }
+        match self.out.pop_front() {
+            None => Ok(None),
+            Some(row) => {
+                self.env.tracker.move_rows(1);
+                Ok(Some(vec![row]))
+            }
+        }
+    }
+}
+
+/// Hash-based GROUP BY over a table. Thin wrapper over [`TableScan`] →
+/// [`GroupByHashOp`] for batch callers; the table output flattens the
+/// one-segment-per-group structure.
 pub fn group_by_hash(
     table: &Table,
     keys: &[AttrId],
     aggs: &[GroupAgg],
     env: &OpEnv,
 ) -> Result<Table> {
-    table.charge_scan(&env.tracker);
-    let key_set = AttrSet::from_iter(keys.iter().copied());
-    // Hash → collided groups, each (key values, aggregate states).
-    type GroupBucket = Vec<(Vec<Value>, Vec<AggState>)>;
-    let mut groups: HashMap<u64, GroupBucket> = HashMap::new();
-    for row in table.rows() {
-        env.tracker.hash(1);
-        let h = hash_row_on(row, &key_set);
-        let key_vals: Vec<Value> = keys.iter().map(|&a| row.get(a).clone()).collect();
-        let bucket = groups.entry(h).or_default();
-        let state = match bucket.iter_mut().find(|(k, _)| *k == key_vals) {
-            Some((_, s)) => s,
-            None => {
-                bucket.push((key_vals.clone(), vec![AggState::new(); aggs.len()]));
-                &mut bucket.last_mut().expect("just pushed").1
-            }
-        };
-        for (agg, st) in aggs.iter().zip(state.iter_mut()) {
-            st.update(agg, row)?;
-        }
-    }
     let schema = group_by_schema(table.schema(), keys, aggs)?;
+    let mut op = GroupByHashOp::new(
+        TableScan::new(table, env.clone()),
+        keys.to_vec(),
+        aggs.to_vec(),
+        env.clone(),
+    );
     let mut out = Table::new(schema);
-    let mut hashes: Vec<u64> = groups.keys().copied().collect();
-    hashes.sort_unstable(); // deterministic (but not key-ordered) output
-    for h in hashes {
-        for (key_vals, states) in &groups[&h] {
-            let mut vals = key_vals.clone();
-            for (agg, st) in aggs.iter().zip(states) {
-                vals.push(st.finish(agg));
-            }
-            out.push(Row::new(vals));
-            env.tracker.move_rows(1);
+    while let Some(seg) = op.next_segment()? {
+        for row in seg {
+            out.push(row);
         }
     }
     Ok(out)
 }
 
-/// Sort-based GROUP BY: sorts on the keys (through the FS operator, so the
-/// sort is charged like any reorder), then aggregates adjacent runs. Output
-/// is `R_{∅, keys}` — totally sorted on the group-by keys, §5's
-/// "interesting order" variant.
+/// Sort-based GROUP BY as an operator: sorts the drained input on the keys
+/// (charged like any reorder), aggregates adjacent runs, and emits a single
+/// totally ordered segment — `R_{∅, keys}`, §5's "interesting order"
+/// variant.
+pub struct GroupBySortOp<I> {
+    input: Option<I>,
+    keys: Vec<AttrId>,
+    aggs: Vec<GroupAgg>,
+    env: OpEnv,
+}
+
+impl<I: Operator> GroupBySortOp<I> {
+    /// Aggregate `aggs` grouped on `keys`, output sorted on `keys`.
+    pub fn new(input: I, keys: Vec<AttrId>, aggs: Vec<GroupAgg>, env: OpEnv) -> Self {
+        GroupBySortOp {
+            input: Some(input),
+            keys,
+            aggs,
+            env,
+        }
+    }
+}
+
+impl<I: Operator> Operator for GroupBySortOp<I> {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        let Some(mut input) = self.input.take() else {
+            return Ok(None);
+        };
+        let env = &self.env;
+        let mut rows: Vec<Row> = Vec::new();
+        while let Some(seg) = input.next_segment()? {
+            rows.extend(seg);
+        }
+        let key_spec = SortSpec::new(
+            self.keys
+                .iter()
+                .map(|&a| wf_common::OrdElem::asc(a))
+                .collect(),
+        );
+        let cmp = RowComparator::new(&key_spec);
+        let rows = sort_rows(rows, &cmp, env)?;
+
+        let mut out: Vec<Row> = Vec::new();
+        let mut i = 0;
+        while i < rows.len() {
+            let mut states = vec![AggState::new(); self.aggs.len()];
+            let start = i;
+            while i < rows.len() && {
+                if i == start {
+                    true
+                } else {
+                    env.tracker.compare(1);
+                    cmp.equal(&rows[start], &rows[i])
+                }
+            } {
+                for (agg, st) in self.aggs.iter().zip(states.iter_mut()) {
+                    st.update(agg, &rows[i])?;
+                }
+                i += 1;
+            }
+            let mut vals: Vec<Value> = self
+                .keys
+                .iter()
+                .map(|&a| rows[start].get(a).clone())
+                .collect();
+            for (agg, st) in self.aggs.iter().zip(&states) {
+                vals.push(st.finish(agg));
+            }
+            out.push(Row::new(vals));
+            env.tracker.move_rows(1);
+        }
+        if out.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(out))
+    }
+}
+
+/// Sort-based GROUP BY over a table. Thin wrapper over [`TableScan`] →
+/// [`GroupBySortOp`] for batch callers.
 pub fn group_by_sort(
     table: &Table,
     keys: &[AttrId],
     aggs: &[GroupAgg],
     env: &OpEnv,
 ) -> Result<Table> {
-    table.charge_scan(&env.tracker);
-    let key_spec =
-        SortSpec::new(keys.iter().map(|&a| wf_common::OrdElem::asc(a)).collect());
-    let sorted =
-        full_sort(SegmentedRows::single_segment(table.rows().to_vec()), &key_spec, env)?;
-    let cmp = RowComparator::new(&key_spec);
-
     let schema = group_by_schema(table.schema(), keys, aggs)?;
+    let mut op = GroupBySortOp::new(
+        TableScan::new(table, env.clone()),
+        keys.to_vec(),
+        aggs.to_vec(),
+        env.clone(),
+    );
     let mut out = Table::new(schema);
-    let rows = sorted.rows();
-    let mut i = 0;
-    while i < rows.len() {
-        let mut states = vec![AggState::new(); aggs.len()];
-        let start = i;
-        while i < rows.len() && {
-            if i == start {
-                true
-            } else {
-                env.tracker.compare(1);
-                cmp.equal(&rows[start], &rows[i])
-            }
-        } {
-            for (agg, st) in aggs.iter().zip(states.iter_mut()) {
-                st.update(agg, &rows[i])?;
-            }
-            i += 1;
+    while let Some(seg) = op.next_segment()? {
+        for row in seg {
+            out.push(row);
         }
-        let mut vals: Vec<Value> = keys.iter().map(|&a| rows[start].get(a).clone()).collect();
-        for (agg, st) in aggs.iter().zip(&states) {
-            vals.push(st.finish(agg));
-        }
-        out.push(Row::new(vals));
-        env.tracker.move_rows(1);
     }
     Ok(out)
 }
@@ -396,8 +551,11 @@ mod tests {
         let sorted = group_by_sort(&t, &[a(0)], &aggs(), &env).unwrap();
         check_groups(&sorted);
         // Sort-based output is ordered on the key.
-        let gs: Vec<i64> =
-            sorted.rows().iter().map(|r| r.get(a(0)).as_int().unwrap()).collect();
+        let gs: Vec<i64> = sorted
+            .rows()
+            .iter()
+            .map(|r| r.get(a(0)).as_int().unwrap())
+            .collect();
         assert_eq!(gs, vec![1, 2, 3]);
     }
 
@@ -442,7 +600,11 @@ mod tests {
     fn empty_input_empty_output() {
         let t = Table::new(sample().schema().clone());
         let env = OpEnv::with_memory_blocks(8);
-        assert!(group_by_hash(&t, &[a(0)], &aggs(), &env).unwrap().is_empty());
-        assert!(group_by_sort(&t, &[a(0)], &aggs(), &env).unwrap().is_empty());
+        assert!(group_by_hash(&t, &[a(0)], &aggs(), &env)
+            .unwrap()
+            .is_empty());
+        assert!(group_by_sort(&t, &[a(0)], &aggs(), &env)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -41,7 +41,10 @@ impl SegmentedRows {
 
     /// Empty relation.
     pub fn empty() -> Self {
-        SegmentedRows { rows: vec![], seg_starts: vec![] }
+        SegmentedRows {
+            rows: vec![],
+            seg_starts: vec![],
+        }
     }
 
     /// All rows in physical order.
@@ -86,7 +89,11 @@ impl SegmentedRows {
     /// Slice of one segment by index.
     pub fn segment(&self, i: usize) -> &[Row] {
         let start = self.seg_starts[i];
-        let end = self.seg_starts.get(i + 1).copied().unwrap_or(self.rows.len());
+        let end = self
+            .seg_starts
+            .get(i + 1)
+            .copied()
+            .unwrap_or(self.rows.len());
         &self.rows[start..end]
     }
 
@@ -94,7 +101,9 @@ impl SegmentedRows {
     /// not charge comparisons).
     pub fn segments_sorted_by(&self, cmp: &RowComparator) -> bool {
         self.segment_ranges().all(|(s, e)| {
-            self.rows[s..e].windows(2).all(|w| cmp.compare(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+            self.rows[s..e]
+                .windows(2)
+                .all(|w| cmp.compare(&w[0], &w[1]) != std::cmp::Ordering::Greater)
         })
     }
 
@@ -106,8 +115,7 @@ impl SegmentedRows {
         for (s, e) in self.segment_ranges() {
             let mut local: HashSet<Vec<wf_common::Value>> = HashSet::new();
             for row in &self.rows[s..e] {
-                let key: Vec<wf_common::Value> =
-                    attrs.iter().map(|a| row.get(a).clone()).collect();
+                let key: Vec<wf_common::Value> = attrs.iter().map(|a| row.get(a).clone()).collect();
                 local.insert(key);
             }
             for key in local {
@@ -154,10 +162,7 @@ mod tests {
 
     #[test]
     fn segment_ranges_cover_rows() {
-        let s = SegmentedRows::from_parts(
-            vec![row![1], row![2], row![3], row![4]],
-            vec![0, 2, 3],
-        );
+        let s = SegmentedRows::from_parts(vec![row![1], row![2], row![3], row![4]], vec![0, 2, 3]);
         let ranges: Vec<_> = s.segment_ranges().collect();
         assert_eq!(ranges, vec![(0, 2), (2, 3), (3, 4)]);
         assert_eq!(s.segment(1), &[row![3]]);
@@ -175,15 +180,10 @@ mod tests {
 
     #[test]
     fn disjointness_check() {
-        let s = SegmentedRows::from_parts(
-            vec![row![1, 9], row![1, 8], row![2, 7]],
-            vec![0, 2],
-        );
+        let s = SegmentedRows::from_parts(vec![row![1, 9], row![1, 8], row![2, 7]], vec![0, 2]);
         assert!(s.segments_disjoint_on(&aset(&[0])));
-        let overlapping = SegmentedRows::from_parts(
-            vec![row![1, 9], row![2, 8], row![2, 7]],
-            vec![0, 2],
-        );
+        let overlapping =
+            SegmentedRows::from_parts(vec![row![1, 9], row![2, 8], row![2, 7]], vec![0, 2]);
         assert!(!overlapping.segments_disjoint_on(&aset(&[0])));
         // Disjoint on (a,b) pairs even though `a` overlaps.
         assert!(overlapping.segments_disjoint_on(&aset(&[0, 1])));

@@ -15,62 +15,97 @@
 //! advantage); oversized units fall back to the shared external sort.
 
 use crate::env::OpEnv;
+use crate::operator::{drain, Operator, SegmentSource};
 use crate::segment::SegmentedRows;
 use crate::sorter::sort_rows;
 use wf_common::{Result, Row, RowComparator, SortSpec};
+
+/// The SS operator — the one the paper's pipelining argument is really
+/// about: it is **fully streaming**. Each pull takes exactly one upstream
+/// segment, sorts the `α`-groups inside it, and emits it; memory is bounded
+/// by the largest segment, never the relation.
+pub struct SegmentedSortOp<I> {
+    input: I,
+    alpha: SortSpec,
+    beta: SortSpec,
+    env: OpEnv,
+}
+
+impl<I: Operator> SegmentedSortOp<I> {
+    /// Sort each `α`-group (or each whole segment when `alpha` is empty) on
+    /// `beta`.
+    pub fn new(input: I, alpha: SortSpec, beta: SortSpec, env: OpEnv) -> Self {
+        SegmentedSortOp {
+            input,
+            alpha,
+            beta,
+            env,
+        }
+    }
+
+    /// Sort one segment's units, preserving the segment as a whole.
+    fn sort_segment(&self, rows: Vec<Row>) -> Result<Vec<Row>> {
+        let alpha_cmp = RowComparator::new(&self.alpha);
+        let beta_cmp = RowComparator::new(&self.beta);
+        let env = &self.env;
+        let end = rows.len();
+        if self.alpha.is_empty() {
+            // Whole segment is one unit.
+            env.tracker.move_rows(rows.len() as u64);
+            return sort_rows(rows, &beta_cmp, env);
+        }
+        // Walk α-groups within the segment.
+        let mut out: Vec<Row> = Vec::with_capacity(end);
+        let mut unit_start = 0usize;
+        let mut i = 1usize;
+        while i <= end {
+            let boundary = if i == end {
+                true
+            } else {
+                env.tracker.compare(1);
+                !alpha_cmp.equal(&rows[i - 1], &rows[i])
+            };
+            if boundary {
+                let unit: Vec<Row> = rows[unit_start..i].to_vec();
+                env.tracker.move_rows(unit.len() as u64);
+                out.extend(sort_rows(unit, &beta_cmp, env)?);
+                unit_start = i;
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+}
+
+impl<I: Operator> Operator for SegmentedSortOp<I> {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        match self.input.next_segment()? {
+            None => Ok(None),
+            Some(seg) => Ok(Some(self.sort_segment(seg)?)),
+        }
+    }
+}
 
 /// Sort each `α`-group (or each segment when `alpha` is empty) on `beta`.
 ///
 /// `alpha` must be a prefix the input already satisfies; this operator does
 /// not re-verify it (the planner's property algebra guarantees it), but unit
 /// detection only relies on equality of `alpha` values, so a violated
-/// precondition degrades to smaller sorted pieces rather than UB.
+/// precondition degrades to smaller sorted pieces rather than UB. Thin
+/// wrapper over [`SegmentedSortOp`] for batch callers.
 pub fn segmented_sort(
     input: SegmentedRows,
     alpha: &SortSpec,
     beta: &SortSpec,
     env: &OpEnv,
 ) -> Result<SegmentedRows> {
-    let alpha_cmp = RowComparator::new(alpha);
-    let beta_cmp = RowComparator::new(beta);
-
-    let seg_starts = input.seg_starts().to_vec();
-    let n = input.len();
-    let rows = input.into_rows();
-
-    let mut out: Vec<Row> = Vec::with_capacity(n);
-    let mut seg_ends: Vec<usize> = seg_starts.iter().skip(1).copied().collect();
-    seg_ends.push(n);
-
-    for (seg_idx, &start) in seg_starts.iter().enumerate() {
-        let end = seg_ends[seg_idx];
-        if alpha.is_empty() {
-            // Whole segment is one unit.
-            let unit: Vec<Row> = rows[start..end].to_vec();
-            env.tracker.move_rows(unit.len() as u64);
-            out.extend(sort_rows(unit, &beta_cmp, env)?);
-        } else {
-            // Walk α-groups within the segment.
-            let mut unit_start = start;
-            let mut i = start + 1;
-            while i <= end {
-                let boundary = if i == end {
-                    true
-                } else {
-                    env.tracker.compare(1);
-                    !alpha_cmp.equal(&rows[i - 1], &rows[i])
-                };
-                if boundary {
-                    let unit: Vec<Row> = rows[unit_start..i].to_vec();
-                    env.tracker.move_rows(unit.len() as u64);
-                    out.extend(sort_rows(unit, &beta_cmp, env)?);
-                    unit_start = i;
-                }
-                i += 1;
-            }
-        }
-    }
-    Ok(SegmentedRows::from_parts(out, seg_starts))
+    let mut op = SegmentedSortOp::new(
+        SegmentSource::new(input),
+        alpha.clone(),
+        beta.clone(),
+        env.clone(),
+    );
+    drain(&mut op)
 }
 
 #[cfg(test)]
@@ -105,7 +140,10 @@ mod tests {
             .rows()
             .iter()
             .map(|r| {
-                (r.get(AttrId::new(0)).as_int().unwrap(), r.get(AttrId::new(1)).as_int().unwrap())
+                (
+                    r.get(AttrId::new(0)).as_int().unwrap(),
+                    r.get(AttrId::new(1)).as_int().unwrap(),
+                )
             })
             .collect();
         assert_eq!(pairs, vec![(1, 3), (1, 5), (1, 9), (2, 1), (2, 2), (3, 7)]);
@@ -121,8 +159,11 @@ mod tests {
         let segs = SegmentedRows::from_parts(rows, vec![0, 3]);
         let env = OpEnv::with_memory_blocks(8);
         let out = segmented_sort(segs, &SortSpec::empty(), &key(&[0]), &env).unwrap();
-        let vals: Vec<i64> =
-            out.rows().iter().map(|r| r.get(AttrId::new(0)).as_int().unwrap()).collect();
+        let vals: Vec<i64> = out
+            .rows()
+            .iter()
+            .map(|r| r.get(AttrId::new(0)).as_int().unwrap())
+            .collect();
         assert_eq!(vals, vec![1, 3, 5, 2, 9]);
         assert_eq!(out.seg_starts(), &[0, 3]);
     }
@@ -133,16 +174,27 @@ mod tests {
     fn units_stop_at_segment_boundaries() {
         // Two segments, both with α-value a=1; b values must be sorted
         // within each segment only.
-        let rows = vec![row![1, 9, 100], row![1, 5, 100], row![1, 8, 200], row![1, 2, 200]];
+        let rows = vec![
+            row![1, 9, 100],
+            row![1, 5, 100],
+            row![1, 8, 200],
+            row![1, 2, 200],
+        ];
         let segs = SegmentedRows::from_parts(rows, vec![0, 2]);
         let env = OpEnv::with_memory_blocks(8);
         let out = segmented_sort(segs, &key(&[0]), &key(&[1]), &env).unwrap();
-        let b: Vec<i64> =
-            out.rows().iter().map(|r| r.get(AttrId::new(1)).as_int().unwrap()).collect();
+        let b: Vec<i64> = out
+            .rows()
+            .iter()
+            .map(|r| r.get(AttrId::new(1)).as_int().unwrap())
+            .collect();
         assert_eq!(b, vec![5, 9, 2, 8]);
         // Segment membership (column c) untouched.
-        let c: Vec<i64> =
-            out.rows().iter().map(|r| r.get(AttrId::new(2)).as_int().unwrap()).collect();
+        let c: Vec<i64> = out
+            .rows()
+            .iter()
+            .map(|r| r.get(AttrId::new(2)).as_int().unwrap())
+            .collect();
         assert_eq!(c, vec![100, 100, 200, 200]);
     }
 
@@ -150,12 +202,22 @@ mod tests {
     #[test]
     fn oversized_unit_spills() {
         let rows: Vec<Row> = (0..3000)
-            .map(|i| row![1i64, ((i * 7919) % 3000) as i64, "padding-padding-padding-pad"])
+            .map(|i| {
+                row![
+                    1i64,
+                    ((i * 7919) % 3000) as i64,
+                    "padding-padding-padding-pad"
+                ]
+            })
             .collect();
         let env = OpEnv::with_memory_blocks(2);
-        let out =
-            segmented_sort(SegmentedRows::single_segment(rows), &key(&[0]), &key(&[1]), &env)
-                .unwrap();
+        let out = segmented_sort(
+            SegmentedRows::single_segment(rows),
+            &key(&[0]),
+            &key(&[1]),
+            &env,
+        )
+        .unwrap();
         assert_eq!(out.len(), 3000);
         assert!(out.segments_sorted_by(&RowComparator::new(&key(&[0, 1]))));
         assert!(env.tracker.snapshot().io_blocks() > 0);
@@ -181,7 +243,10 @@ mod tests {
             .rows()
             .iter()
             .map(|r| {
-                (r.get(AttrId::new(0)).as_int().unwrap(), r.get(AttrId::new(1)).as_int().unwrap())
+                (
+                    r.get(AttrId::new(0)).as_int().unwrap(),
+                    r.get(AttrId::new(1)).as_int().unwrap(),
+                )
             })
             .collect();
         assert_eq!(
@@ -193,8 +258,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let env = OpEnv::with_memory_blocks(2);
-        let out =
-            segmented_sort(SegmentedRows::empty(), &key(&[0]), &key(&[1]), &env).unwrap();
+        let out = segmented_sort(SegmentedRows::empty(), &key(&[0]), &key(&[1]), &env).unwrap();
         assert!(out.is_empty());
     }
 

@@ -115,7 +115,9 @@ fn drain_heap_with_input(
         ledger.release(row.encoded_len());
         if tag != current_tag || current_file.is_none() {
             if let Some(f) = current_file.take() {
-                runs.push(Run { reader: f.into_reader()? });
+                runs.push(Run {
+                    reader: f.into_reader()?,
+                });
             }
             current_file = Some(SpillFile::create(env.medium, env.tracker.clone())?);
             current_tag = tag;
@@ -148,10 +150,13 @@ fn drain_heap_with_input(
                 break;
             }
         }
-        env.tracker.compare(heap.take_comparisons() + std::mem::take(&mut extra_cmp));
+        env.tracker
+            .compare(heap.take_comparisons() + std::mem::take(&mut extra_cmp));
     }
     if let Some(f) = current_file.take() {
-        runs.push(Run { reader: f.into_reader()? });
+        runs.push(Run {
+            reader: f.into_reader()?,
+        });
     }
     env.tracker.compare(heap.take_comparisons() + extra_cmp);
     Ok(runs)
@@ -174,7 +179,9 @@ fn merge_runs(mut runs: Vec<Run>, cmp: &RowComparator, env: &OpEnv) -> Result<Ve
             out.push(row)?;
             Ok(())
         })?;
-        runs.push(Run { reader: out.into_reader()? });
+        runs.push(Run {
+            reader: out.into_reader()?,
+        });
     }
     // Final pass.
     let mut result = Vec::new();
@@ -242,7 +249,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 row![(state >> 33) as i64 % 10_000, "padding-padding-padding"]
             })
             .collect()
@@ -250,7 +259,11 @@ mod tests {
 
     fn assert_sorted(rows: &[Row], cmp: &RowComparator) {
         for w in rows.windows(2) {
-            assert_ne!(cmp.compare(&w[0], &w[1]), Ordering::Greater, "rows out of order");
+            assert_ne!(
+                cmp.compare(&w[0], &w[1]),
+                Ordering::Greater,
+                "rows out of order"
+            );
         }
     }
 
@@ -276,19 +289,26 @@ mod tests {
         assert_sorted(&sorted, &cmp_on0());
         let s = env.tracker.snapshot();
         assert!(s.blocks_written > 0);
-        assert!(s.blocks_read >= s.blocks_written, "every written block is read back");
+        assert!(
+            s.blocks_read >= s.blocks_written,
+            "every written block is read back"
+        );
     }
 
     #[test]
     fn external_sort_is_multiset_preserving() {
         let env = OpEnv::with_memory_blocks(2);
         let rows = make_rows(1500, 3);
-        let mut expected: Vec<i64> =
-            rows.iter().map(|r| r.get(AttrId::new(0)).as_int().unwrap()).collect();
+        let mut expected: Vec<i64> = rows
+            .iter()
+            .map(|r| r.get(AttrId::new(0)).as_int().unwrap())
+            .collect();
         expected.sort_unstable();
         let sorted = sort_rows(rows, &cmp_on0(), &env).unwrap();
-        let got: Vec<i64> =
-            sorted.iter().map(|r| r.get(AttrId::new(0)).as_int().unwrap()).collect();
+        let got: Vec<i64> = sorted
+            .iter()
+            .map(|r| r.get(AttrId::new(0)).as_int().unwrap())
+            .collect();
         assert_eq!(got, expected);
     }
 
@@ -318,7 +338,11 @@ mod tests {
         rows.sort_by(|a, b| cmp_on0().compare(a, b));
         let mut ledger = env.ledger().unwrap();
         let runs = form_runs(rows, &cmp_on0(), &env, &mut ledger).unwrap();
-        assert_eq!(runs.len(), 1, "replacement selection turns sorted input into one run");
+        assert_eq!(
+            runs.len(),
+            1,
+            "replacement selection turns sorted input into one run"
+        );
     }
 
     #[test]
@@ -341,10 +365,15 @@ mod tests {
     #[test]
     fn duplicates_preserved() {
         let env = OpEnv::with_memory_blocks(1);
-        let rows: Vec<Row> = (0..1000).map(|i| row![i % 3, "padpadpadpadpadpad"]).collect();
+        let rows: Vec<Row> = (0..1000)
+            .map(|i| row![i % 3, "padpadpadpadpadpad"])
+            .collect();
         let sorted = sort_rows(rows, &cmp_on0(), &env).unwrap();
         assert_eq!(sorted.len(), 1000);
-        let zeros = sorted.iter().filter(|r| r.get(AttrId::new(0)).as_int() == Some(0)).count();
+        let zeros = sorted
+            .iter()
+            .filter(|r| r.get(AttrId::new(0)).as_int() == Some(0))
+            .count();
         assert!((333..=334).contains(&zeros));
         assert_sorted(&sorted, &cmp_on0());
     }
@@ -366,6 +395,9 @@ mod tests {
         sort_rows(rows, &cmp_on0(), &env_large).unwrap();
         let small = env_small.tracker.snapshot().io_blocks();
         let large = env_large.tracker.snapshot().io_blocks();
-        assert!(large <= small, "large-M I/O ({large}) must not exceed small-M I/O ({small})");
+        assert!(
+            large <= small,
+            "large-M I/O ({large}) must not exceed small-M I/O ({small})"
+        );
     }
 }

@@ -19,7 +19,11 @@ pub struct HeapBy<T, F> {
 impl<T, F: FnMut(&T, &T) -> Ordering> HeapBy<T, F> {
     /// Empty heap with the comparator.
     pub fn new(cmp: F) -> Self {
-        HeapBy { items: Vec::new(), cmp, comparisons: 0 }
+        HeapBy {
+            items: Vec::new(),
+            cmp,
+            comparisons: 0,
+        }
     }
 
     /// Number of items.

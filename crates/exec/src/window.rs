@@ -14,6 +14,7 @@
 //! `avg`, `min`, `max`) with ROWS and RANGE frames.
 
 use crate::env::OpEnv;
+use crate::operator::{drain, Operator, SegmentSource};
 use crate::segment::SegmentedRows;
 use wf_common::{
     AttrId, AttrSet, DataType, Error, Result, Row, RowComparator, Schema, SortSpec, Value,
@@ -36,9 +37,17 @@ pub enum WindowFunction {
     /// Bucket number 1..=n, larger buckets first.
     Ntile(u64),
     /// Value of `col` `offset` rows before the current row.
-    Lag { col: AttrId, offset: u64, default: Option<Value> },
+    Lag {
+        col: AttrId,
+        offset: u64,
+        default: Option<Value>,
+    },
     /// Value of `col` `offset` rows after the current row.
-    Lead { col: AttrId, offset: u64, default: Option<Value> },
+    Lead {
+        col: AttrId,
+        offset: u64,
+        default: Option<Value>,
+    },
     /// First value of `col` in the frame.
     FirstValue(AttrId),
     /// Last value of `col` in the frame.
@@ -164,9 +173,93 @@ impl FrameSpec {
     }
 }
 
+/// The window-function operator as a pull-based pipeline stage — **fully
+/// streaming**: each pull takes one upstream segment (which contains only
+/// complete window partitions by the segmented-relation contract), appends
+/// the derived column partition by partition, and emits the segment with
+/// row order and boundaries untouched.
+pub struct WindowOp<I> {
+    input: I,
+    wpk: AttrSet,
+    wok: SortSpec,
+    func: WindowFunction,
+    frame: FrameSpec,
+    env: OpEnv,
+}
+
+impl<I: Operator> WindowOp<I> {
+    /// Evaluate `func` over a matched input. `frame` defaults per SQL when
+    /// `None` (see [`FrameSpec::default_for`]).
+    pub fn new(
+        input: I,
+        wpk: AttrSet,
+        wok: SortSpec,
+        func: WindowFunction,
+        frame: Option<FrameSpec>,
+        env: OpEnv,
+    ) -> Self {
+        let frame = frame.unwrap_or_else(|| FrameSpec::default_for(!wok.is_empty()));
+        WindowOp {
+            input,
+            wpk,
+            wok,
+            func,
+            frame,
+            env,
+        }
+    }
+
+    /// Append the derived column to one segment. A segment boundary always
+    /// starts a new partition (adjacent segments are disjoint on a subset of
+    /// `WPK`); within the segment partitions break on `WPK`-value changes.
+    fn eval_segment(&self, mut rows: Vec<Row>) -> Result<Vec<Row>> {
+        let env = &self.env;
+        let wok_cmp = RowComparator::new(&self.wok);
+        let n = rows.len();
+        let mut part_starts: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let is_start = i == 0 || {
+                env.tracker.compare(1);
+                !self
+                    .wpk
+                    .iter()
+                    .all(|a| rows[i - 1].get(a) == rows[i].get(a))
+            };
+            if is_start {
+                part_starts.push(i);
+            }
+        }
+        for (pi, &start) in part_starts.iter().enumerate() {
+            let end = part_starts.get(pi + 1).copied().unwrap_or(n);
+            let values = eval_partition(
+                &rows[start..end],
+                &wok_cmp,
+                &self.wok,
+                &self.func,
+                &self.frame,
+                env,
+            )?;
+            for (off, v) in values.into_iter().enumerate() {
+                rows[start + off].push(v);
+            }
+        }
+        env.tracker.move_rows(n as u64);
+        Ok(rows)
+    }
+}
+
+impl<I: Operator> Operator for WindowOp<I> {
+    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+        match self.input.next_segment()? {
+            None => Ok(None),
+            Some(seg) => Ok(Some(self.eval_segment(seg)?)),
+        }
+    }
+}
+
 /// Evaluate `func` over a matched input: appends one column to every row and
 /// preserves row order and segmentation. `frame` defaults per SQL when
-/// `None`.
+/// `None`. Thin wrapper over [`WindowOp`] for batch callers.
 pub fn evaluate_window(
     input: SegmentedRows,
     wpk: &AttrSet,
@@ -175,43 +268,15 @@ pub fn evaluate_window(
     frame: Option<FrameSpec>,
     env: &OpEnv,
 ) -> Result<SegmentedRows> {
-    let frame = frame.unwrap_or_else(|| FrameSpec::default_for(!wok.is_empty()));
-    let wok_cmp = RowComparator::new(wok);
-    let seg_starts = input.seg_starts().to_vec();
-    let n_total = input.len();
-    let mut rows = input.into_rows();
-
-    // Locate partitions: boundaries at segment starts and WPK changes.
-    let mut part_starts: Vec<usize> = Vec::new();
-    {
-        let mut next_seg = 0usize;
-        for i in 0..n_total {
-            let seg_boundary = next_seg < seg_starts.len() && seg_starts[next_seg] == i;
-            if seg_boundary {
-                next_seg += 1;
-            }
-            let is_start = i == 0
-                || seg_boundary
-                || {
-                    env.tracker.compare(1);
-                    !wpk.iter().all(|a| rows[i - 1].get(a) == rows[i].get(a))
-                };
-            if is_start {
-                part_starts.push(i);
-            }
-        }
-    }
-
-    // Evaluate per partition.
-    for (pi, &start) in part_starts.iter().enumerate() {
-        let end = part_starts.get(pi + 1).copied().unwrap_or(n_total);
-        let values = eval_partition(&rows[start..end], &wok_cmp, wok, func, &frame, env)?;
-        for (off, v) in values.into_iter().enumerate() {
-            rows[start + off].push(v);
-        }
-    }
-    env.tracker.move_rows(n_total as u64);
-    Ok(SegmentedRows::from_parts(rows, seg_starts))
+    let mut op = WindowOp::new(
+        SegmentSource::new(input),
+        wpk.clone(),
+        wok.clone(),
+        func.clone(),
+        frame,
+        env.clone(),
+    );
+    drain(&mut op)
 }
 
 /// Peer-group (tie) boundaries under the WOK comparator: returns for each
@@ -221,11 +286,19 @@ fn peer_bounds(part: &[Row], cmp: &RowComparator, env: &OpEnv) -> (Vec<usize>, V
     let mut group_start = vec![0usize; n];
     for i in 1..n {
         env.tracker.compare(1);
-        group_start[i] = if cmp.equal(&part[i - 1], &part[i]) { group_start[i - 1] } else { i };
+        group_start[i] = if cmp.equal(&part[i - 1], &part[i]) {
+            group_start[i - 1]
+        } else {
+            i
+        };
     }
     let mut group_end = vec![n; n];
     for i in (0..n.saturating_sub(1)).rev() {
-        group_end[i] = if group_start[i + 1] == group_start[i] { group_end[i + 1] } else { i + 1 };
+        group_end[i] = if group_start[i + 1] == group_start[i] {
+            group_end[i + 1]
+        } else {
+            i + 1
+        };
     }
     (group_start, group_end)
 }
@@ -274,7 +347,10 @@ fn eval_partition(
         }
         WindowFunction::CumeDist => {
             let (_, ge) = peer_bounds(part, wok_cmp, env);
-            Ok(ge.iter().map(|&e| Value::Float(e as f64 / n as f64)).collect())
+            Ok(ge
+                .iter()
+                .map(|&e| Value::Float(e as f64 / n as f64))
+                .collect())
         }
         WindowFunction::Ntile(tiles) => {
             let t = (*tiles).max(1) as usize;
@@ -291,7 +367,11 @@ fn eval_partition(
             out.truncate(n);
             Ok(out)
         }
-        WindowFunction::Lag { col, offset, default } => {
+        WindowFunction::Lag {
+            col,
+            offset,
+            default,
+        } => {
             let d = default.clone().unwrap_or(Value::Null);
             Ok((0..n)
                 .map(|i| {
@@ -301,12 +381,20 @@ fn eval_partition(
                 })
                 .collect())
         }
-        WindowFunction::Lead { col, offset, default } => {
+        WindowFunction::Lead {
+            col,
+            offset,
+            default,
+        } => {
             let d = default.clone().unwrap_or(Value::Null);
             Ok((0..n)
                 .map(|i| {
                     let j = i + *offset as usize;
-                    if j < n { part[j].get(*col).clone() } else { d.clone() }
+                    if j < n {
+                        part[j].get(*col).clone()
+                    } else {
+                        d.clone()
+                    }
                 })
                 .collect())
         }
@@ -322,6 +410,17 @@ fn frame_ranges(
     frame: &FrameSpec,
     env: &OpEnv,
 ) -> Result<Vec<(usize, usize)>> {
+    // SQL: "frame offset must not be negative" — reject rather than clamp
+    // (ROWS) or flip direction (RANGE).
+    for b in [frame.start, frame.end] {
+        if let Bound::Preceding(k) | Bound::Following(k) = b {
+            if k < 0 {
+                return Err(Error::InvalidQuery(
+                    "frame offset must not be negative".into(),
+                ));
+            }
+        }
+    }
     let n = part.len();
     match frame.units {
         FrameUnits::Rows => Ok((0..n)
@@ -332,8 +431,8 @@ fn frame_ranges(
             })
             .collect()),
         FrameUnits::Range => {
-            let needs_peers = matches!(frame.start, Bound::CurrentRow)
-                || matches!(frame.end, Bound::CurrentRow);
+            let needs_peers =
+                matches!(frame.start, Bound::CurrentRow) || matches!(frame.end, Bound::CurrentRow);
             let (gs, ge) = if needs_peers {
                 peer_bounds(part, wok_cmp, env)
             } else {
@@ -402,11 +501,18 @@ fn range_key(part: &[Row], wok: &SortSpec, i: usize) -> Result<(f64, bool)> {
     if v.is_null() {
         return Ok((0.0, true));
     }
-    let f = v.as_f64().ok_or_else(|| Error::InvalidQuery(
-        "RANGE with offset requires a numeric ORDER BY key".into(),
-    ))?;
+    let f = v.as_f64().ok_or_else(|| {
+        Error::InvalidQuery("RANGE with offset requires a numeric ORDER BY key".into())
+    })?;
     // Normalize to ascending space.
-    Ok((if e.dir == wf_common::Direction::Desc { -f } else { f }, false))
+    Ok((
+        if e.dir == wf_common::Direction::Desc {
+            -f
+        } else {
+            f
+        },
+        false,
+    ))
 }
 
 /// First index whose key ≥ key(i) + delta (ascending-normalized); NULLs form
@@ -481,6 +587,43 @@ fn null_region(part: &[Row], wok: &SortSpec, i: usize) -> Result<(usize, usize)>
     Ok((s, e))
 }
 
+/// Drive an incremental running aggregate over monotone (ROWS-frame) ranges
+/// with two pointers: `update(state, row_index, add)` is called exactly once
+/// per row entering (`add = true`) and leaving (`add = false`) the sliding
+/// window, and the state is snapshotted per frame — O(n) total instead of
+/// O(n·frame) recomputation. Degenerate empty frames that jump past the
+/// current window restart it.
+fn sliding_rows_agg<S: Clone>(
+    ranges: &[(usize, usize)],
+    init: S,
+    mut update: impl FnMut(&mut S, usize, bool),
+) -> Vec<S> {
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    let mut state = init.clone();
+    let mut out = Vec::with_capacity(ranges.len());
+    for &(s, e) in ranges {
+        debug_assert!(s <= e);
+        if s >= hi {
+            // Disjoint jump: restart the window rather than draining
+            // row-by-row through rows the frame never contained.
+            lo = s;
+            hi = s;
+            state = init.clone();
+        }
+        while hi < e {
+            update(&mut state, hi, true);
+            hi += 1;
+        }
+        while lo < s {
+            update(&mut state, lo, false);
+            lo += 1;
+        }
+        out.push(state.clone());
+    }
+    out
+}
+
 fn eval_framed(
     part: &[Row],
     wok_cmp: &RowComparator,
@@ -494,11 +637,23 @@ fn eval_framed(
     match func {
         WindowFunction::FirstValue(col) => Ok(ranges
             .iter()
-            .map(|&(s, e)| if s < e { part[s].get(*col).clone() } else { Value::Null })
+            .map(|&(s, e)| {
+                if s < e {
+                    part[s].get(*col).clone()
+                } else {
+                    Value::Null
+                }
+            })
             .collect()),
         WindowFunction::LastValue(col) => Ok(ranges
             .iter()
-            .map(|&(s, e)| if s < e { part[e - 1].get(*col).clone() } else { Value::Null })
+            .map(|&(s, e)| {
+                if s < e {
+                    part[e - 1].get(*col).clone()
+                } else {
+                    Value::Null
+                }
+            })
             .collect()),
         WindowFunction::NthValue(col, k) => {
             let k = (*k).max(1) as usize;
@@ -506,41 +661,129 @@ fn eval_framed(
                 .iter()
                 .map(|&(s, e)| {
                     let idx = s + k - 1;
-                    if idx < e { part[idx].get(*col).clone() } else { Value::Null }
+                    if idx < e {
+                        part[idx].get(*col).clone()
+                    } else {
+                        Value::Null
+                    }
                 })
                 .collect())
         }
         WindowFunction::Count(col) => {
-            // Prefix counts of qualifying rows.
-            let mut prefix = vec![0i64; n + 1];
-            for i in 0..n {
-                let q = match col {
+            let qualifies = |i: usize| -> i64 {
+                match col {
                     None => 1,
                     Some(c) => i64::from(!part[i].get(*c).is_null()),
-                };
-                prefix[i + 1] = prefix[i] + q;
+                }
+            };
+            if frame.units == FrameUnits::Rows {
+                // Incremental two-pointer count: ROWS-frame bounds are
+                // monotone in the row index, so the window slides — each
+                // row is added and removed exactly once, O(n) total with no
+                // prefix array.
+                return Ok(sliding_rows_agg(&ranges, 0i64, |cnt, i, add| {
+                    if add {
+                        *cnt += qualifies(i);
+                    } else {
+                        *cnt -= qualifies(i);
+                    }
+                })
+                .into_iter()
+                .map(Value::Int)
+                .collect());
             }
-            Ok(ranges.iter().map(|&(s, e)| Value::Int(prefix[e] - prefix[s])).collect())
+            // RANGE bounds come from peer groups / binary searches; answer
+            // from prefix counts instead.
+            let mut prefix = vec![0i64; n + 1];
+            for i in 0..n {
+                prefix[i + 1] = prefix[i] + qualifies(i);
+            }
+            Ok(ranges
+                .iter()
+                .map(|&(s, e)| Value::Int(prefix[e] - prefix[s]))
+                .collect())
         }
         WindowFunction::Sum(col) | WindowFunction::Avg(col) => {
-            let mut pref_sum = vec![0f64; n + 1];
-            let mut pref_cnt = vec![0i64; n + 1];
+            // Classify the column once: integer columns take the exact
+            // incremental path; any float falls back to prefix sums (see
+            // below).
             let mut all_int = true;
-            for i in 0..n {
-                let v = part[i].get(*col);
-                let (add, cnt) = match v {
-                    Value::Int(x) => (*x as f64, 1),
-                    Value::Float(x) => {
-                        all_int = false;
-                        (*x, 1)
-                    }
-                    Value::Null => (0.0, 0),
+            for row in part {
+                match row.get(*col) {
+                    Value::Int(_) | Value::Null => {}
+                    Value::Float(_) => all_int = false,
                     other => {
                         return Err(Error::TypeMismatch {
                             expected: "numeric".into(),
                             found: other.type_name().into(),
                         })
                     }
+                }
+            }
+            let want_avg = matches!(func, WindowFunction::Avg(_));
+            let finish = |sum: i128, cnt: i64| -> Value {
+                if cnt == 0 {
+                    Value::Null
+                } else if want_avg {
+                    Value::Float(sum as f64 / cnt as f64)
+                } else {
+                    // The i128 accumulator cannot overflow, but the i64
+                    // result type can; saturate rather than wrap.
+                    Value::Int(sum.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+                }
+            };
+            if all_int && frame.units == FrameUnits::Rows {
+                // Incremental two-pointer running aggregate with *exact*
+                // integer accumulation (i128 — the frame-internal running
+                // sum cannot overflow): each row enters and leaves the
+                // running sum once, O(n) total and no f64 rounding on the
+                // int path.
+                let val = |i: usize| -> Option<i64> { part[i].get(*col).as_int() };
+                return Ok(
+                    sliding_rows_agg(&ranges, (0i128, 0i64), |(sum, cnt), i, add| {
+                        if let Some(x) = val(i) {
+                            if add {
+                                *sum += x as i128;
+                                *cnt += 1;
+                            } else {
+                                *sum -= x as i128;
+                                *cnt -= 1;
+                            }
+                        }
+                    })
+                    .into_iter()
+                    .map(|(sum, cnt)| finish(sum, cnt))
+                    .collect(),
+                );
+            }
+            if all_int {
+                // RANGE over an integer column: exact i128 prefix sums.
+                let mut pref_sum = vec![0i128; n + 1];
+                let mut pref_cnt = vec![0i64; n + 1];
+                for i in 0..n {
+                    let (add, cnt) = match part[i].get(*col).as_int() {
+                        Some(x) => (x as i128, 1),
+                        None => (0, 0),
+                    };
+                    pref_sum[i + 1] = pref_sum[i] + add;
+                    pref_cnt[i + 1] = pref_cnt[i] + cnt;
+                }
+                return Ok(ranges
+                    .iter()
+                    .map(|&(s, e)| finish(pref_sum[e] - pref_sum[s], pref_cnt[e] - pref_cnt[s]))
+                    .collect());
+            }
+            // Numeric-safety fallback for floats: incremental add/remove
+            // drifts under cancellation, so float frames are answered from
+            // prefix sums (two reads per frame, no row revisits).
+            let mut pref_sum = vec![0f64; n + 1];
+            let mut pref_cnt = vec![0i64; n + 1];
+            for i in 0..n {
+                let (add, cnt) = match part[i].get(*col) {
+                    Value::Int(x) => (*x as f64, 1),
+                    Value::Float(x) => (*x, 1),
+                    Value::Null => (0.0, 0),
+                    _ => unreachable!("non-numeric rejected above"),
                 };
                 pref_sum[i + 1] = pref_sum[i] + add;
                 pref_cnt[i + 1] = pref_cnt[i] + cnt;
@@ -553,15 +796,10 @@ fn eval_framed(
                         return Value::Null;
                     }
                     let sum = pref_sum[e] - pref_sum[s];
-                    match func {
-                        WindowFunction::Sum(_) => {
-                            if all_int {
-                                Value::Int(sum as i64)
-                            } else {
-                                Value::Float(sum)
-                            }
-                        }
-                        _ => Value::Float(sum / cnt as f64),
+                    if want_avg {
+                        Value::Float(sum / cnt as f64)
+                    } else {
+                        Value::Float(sum)
                     }
                 })
                 .collect())
@@ -622,7 +860,9 @@ fn eval_framed(
             let table = SparseExtrema::build(part, *col, want_min, env);
             Ok(ranges.iter().map(|&(s, e)| table.query(s, e)).collect())
         }
-        other => Err(Error::Execution(format!("{other:?} is not a framed function"))),
+        other => Err(Error::Execution(format!(
+            "{other:?} is not a framed function"
+        ))),
     }
 }
 
@@ -658,7 +898,11 @@ impl SparseExtrema {
             (false, true) => a.clone(),
             (false, false) => {
                 let a_wins = if want_min { a <= b } else { a >= b };
-                if a_wins { a.clone() } else { b.clone() }
+                if a_wins {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
             }
         }
     }
@@ -798,7 +1042,11 @@ mod tests {
             rows.clone(),
             &[],
             &spec(&[0]),
-            WindowFunction::Lag { col: a(0), offset: 1, default: Some(Value::Int(-1)) },
+            WindowFunction::Lag {
+                col: a(0),
+                offset: 1,
+                default: Some(Value::Int(-1)),
+            },
             None,
         );
         assert_eq!(
@@ -809,10 +1057,17 @@ mod tests {
             rows,
             &[],
             &spec(&[0]),
-            WindowFunction::Lead { col: a(0), offset: 2, default: None },
+            WindowFunction::Lead {
+                col: a(0),
+                offset: 2,
+                default: None,
+            },
             None,
         );
-        assert_eq!(lead, vec![Value::Int(3), Value::Int(4), Value::Null, Value::Null]);
+        assert_eq!(
+            lead,
+            vec![Value::Int(3), Value::Int(4), Value::Null, Value::Null]
+        );
     }
 
     #[test]
@@ -833,10 +1088,16 @@ mod tests {
             start: Bound::Preceding(1),
             end: Bound::CurrentRow,
         };
-        let avgs: Vec<f64> = run(rows, &[], &spec(&[0]), WindowFunction::Avg(a(0)), Some(frame))
-            .iter()
-            .map(|v| v.as_f64().unwrap())
-            .collect();
+        let avgs: Vec<f64> = run(
+            rows,
+            &[],
+            &spec(&[0]),
+            WindowFunction::Avg(a(0)),
+            Some(frame),
+        )
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
         assert_eq!(avgs, vec![1.0, 1.5, 2.5, 3.5, 4.5]);
     }
 
@@ -848,10 +1109,16 @@ mod tests {
             start: Bound::Preceding(1),
             end: Bound::Following(1),
         };
-        let counts: Vec<i64> = run(rows, &[], &spec(&[0]), WindowFunction::Count(None), Some(frame))
-            .iter()
-            .map(|v| v.as_int().unwrap())
-            .collect();
+        let counts: Vec<i64> = run(
+            rows,
+            &[],
+            &spec(&[0]),
+            WindowFunction::Count(None),
+            Some(frame),
+        )
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
         assert_eq!(counts, vec![2, 3, 3, 3, 2]);
     }
 
@@ -864,10 +1131,16 @@ mod tests {
             start: Bound::Preceding(2),
             end: Bound::CurrentRow,
         };
-        let counts: Vec<i64> = run(rows, &[], &spec(&[0]), WindowFunction::Count(None), Some(frame))
-            .iter()
-            .map(|v| v.as_int().unwrap())
-            .collect();
+        let counts: Vec<i64> = run(
+            rows,
+            &[],
+            &spec(&[0]),
+            WindowFunction::Count(None),
+            Some(frame),
+        )
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
         assert_eq!(counts, vec![1, 2, 2, 1]);
     }
 
@@ -880,12 +1153,24 @@ mod tests {
             end: Bound::CurrentRow,
         };
         // Input deliberately unordered on the value column; ROWS frames.
-        let mins = run(rows.clone(), &[], &SortSpec::empty(), WindowFunction::Min(a(0)), Some(frame));
+        let mins = run(
+            rows.clone(),
+            &[],
+            &SortSpec::empty(),
+            WindowFunction::Min(a(0)),
+            Some(frame),
+        );
         assert_eq!(
             mins,
             vec![Value::Null, Value::Int(3), Value::Int(1), Value::Int(1)]
         );
-        let maxs = run(rows, &[], &SortSpec::empty(), WindowFunction::Max(a(0)), Some(frame));
+        let maxs = run(
+            rows,
+            &[],
+            &SortSpec::empty(),
+            WindowFunction::Max(a(0)),
+            Some(frame),
+        );
         assert_eq!(
             maxs,
             vec![Value::Null, Value::Int(3), Value::Int(3), Value::Int(3)]
@@ -897,19 +1182,43 @@ mod tests {
         let rows = vec![row![10], row![20], row![30]];
         let whole = FrameSpec::whole_partition();
         assert_eq!(
-            run(rows.clone(), &[], &spec(&[0]), WindowFunction::FirstValue(a(0)), Some(whole)),
+            run(
+                rows.clone(),
+                &[],
+                &spec(&[0]),
+                WindowFunction::FirstValue(a(0)),
+                Some(whole)
+            ),
             vec![Value::Int(10); 3]
         );
         assert_eq!(
-            run(rows.clone(), &[], &spec(&[0]), WindowFunction::LastValue(a(0)), Some(whole)),
+            run(
+                rows.clone(),
+                &[],
+                &spec(&[0]),
+                WindowFunction::LastValue(a(0)),
+                Some(whole)
+            ),
             vec![Value::Int(30); 3]
         );
         assert_eq!(
-            run(rows.clone(), &[], &spec(&[0]), WindowFunction::NthValue(a(0), 2), Some(whole)),
+            run(
+                rows.clone(),
+                &[],
+                &spec(&[0]),
+                WindowFunction::NthValue(a(0), 2),
+                Some(whole)
+            ),
             vec![Value::Int(20); 3]
         );
         assert_eq!(
-            run(rows, &[], &spec(&[0]), WindowFunction::NthValue(a(0), 9), Some(whole)),
+            run(
+                rows,
+                &[],
+                &spec(&[0]),
+                WindowFunction::NthValue(a(0), 9),
+                Some(whole)
+            ),
             vec![Value::Null; 3]
         );
     }
@@ -937,8 +1246,11 @@ mod tests {
             &env,
         )
         .unwrap();
-        let rn: Vec<i64> =
-            out.rows().iter().map(|r| r.get(a(2)).as_int().unwrap()).collect();
+        let rn: Vec<i64> = out
+            .rows()
+            .iter()
+            .map(|r| r.get(a(2)).as_int().unwrap())
+            .collect();
         assert_eq!(rn, vec![1, 1]);
     }
 
@@ -959,21 +1271,59 @@ mod tests {
 
     #[test]
     fn variance_and_stddev() {
-        let rows = vec![row![2], row![4], row![4], row![4], row![5], row![5], row![7], row![9]];
+        let rows = vec![
+            row![2],
+            row![4],
+            row![4],
+            row![4],
+            row![5],
+            row![5],
+            row![7],
+            row![9],
+        ];
         let whole = FrameSpec::whole_partition();
-        let vp = run(rows.clone(), &[], &SortSpec::empty(), WindowFunction::VarPop(a(0)), Some(whole));
+        let vp = run(
+            rows.clone(),
+            &[],
+            &SortSpec::empty(),
+            WindowFunction::VarPop(a(0)),
+            Some(whole),
+        );
         assert_eq!(vp[0], Value::Float(4.0));
-        let sp = run(rows.clone(), &[], &SortSpec::empty(), WindowFunction::StddevPop(a(0)), Some(whole));
+        let sp = run(
+            rows.clone(),
+            &[],
+            &SortSpec::empty(),
+            WindowFunction::StddevPop(a(0)),
+            Some(whole),
+        );
         assert_eq!(sp[0], Value::Float(2.0));
-        let vs = run(rows.clone(), &[], &SortSpec::empty(), WindowFunction::VarSamp(a(0)), Some(whole));
+        let vs = run(
+            rows.clone(),
+            &[],
+            &SortSpec::empty(),
+            WindowFunction::VarSamp(a(0)),
+            Some(whole),
+        );
         let v = vs[0].as_f64().unwrap();
         assert!((v - 32.0 / 7.0).abs() < 1e-12);
         // Sample variance of a single row is NULL.
-        let single = run(vec![row![3]], &[], &SortSpec::empty(), WindowFunction::VarSamp(a(0)), Some(whole));
+        let single = run(
+            vec![row![3]],
+            &[],
+            &SortSpec::empty(),
+            WindowFunction::VarSamp(a(0)),
+            Some(whole),
+        );
         assert_eq!(single, vec![Value::Null]);
         // Population variance of a constant frame is exactly zero.
-        let consts = run(vec![row![5], row![5], row![5]], &[], &SortSpec::empty(),
-            WindowFunction::VarPop(a(0)), Some(whole));
+        let consts = run(
+            vec![row![5], row![5], row![5]],
+            &[],
+            &SortSpec::empty(),
+            WindowFunction::VarPop(a(0)),
+            Some(whole),
+        );
         assert!(consts.iter().all(|v| v == &Value::Float(0.0)));
     }
 
@@ -981,7 +1331,13 @@ mod tests {
     fn variance_skips_nulls() {
         let rows = vec![row![Value::Null], row![2], row![4]];
         let whole = FrameSpec::whole_partition();
-        let vp = run(rows, &[], &SortSpec::empty(), WindowFunction::VarPop(a(0)), Some(whole));
+        let vp = run(
+            rows,
+            &[],
+            &SortSpec::empty(),
+            WindowFunction::VarPop(a(0)),
+            Some(whole),
+        );
         assert_eq!(vp[0], Value::Float(1.0));
     }
 
@@ -993,7 +1349,13 @@ mod tests {
             start: Bound::Preceding(1),
             end: Bound::CurrentRow,
         };
-        let sd = run(rows, &[], &spec(&[0]), WindowFunction::StddevPop(a(0)), Some(frame));
+        let sd = run(
+            rows,
+            &[],
+            &spec(&[0]),
+            WindowFunction::StddevPop(a(0)),
+            Some(frame),
+        );
         assert_eq!(sd[0], Value::Float(0.0));
         assert_eq!(sd[1], Value::Float(0.5));
         assert_eq!(sd[2], Value::Float(0.5));
@@ -1026,10 +1388,16 @@ mod tests {
             start: Bound::Preceding(10),
             end: Bound::CurrentRow,
         };
-        let counts: Vec<i64> = run(rows, &[], &spec(&[0]), WindowFunction::Count(None), Some(frame))
-            .iter()
-            .map(|v| v.as_int().unwrap())
-            .collect();
+        let counts: Vec<i64> = run(
+            rows,
+            &[],
+            &spec(&[0]),
+            WindowFunction::Count(None),
+            Some(frame),
+        )
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
         assert_eq!(counts, vec![1, 2, 2, 2]);
     }
 
@@ -1084,7 +1452,13 @@ mod tests {
             start: Bound::Following(3),
             end: Bound::Following(2),
         };
-        let sums = run(rows, &[], &spec(&[0]), WindowFunction::Sum(a(0)), Some(frame));
+        let sums = run(
+            rows,
+            &[],
+            &spec(&[0]),
+            WindowFunction::Sum(a(0)),
+            Some(frame),
+        );
         assert!(sums.iter().all(|v| v.is_null()));
     }
 
@@ -1092,11 +1466,25 @@ mod tests {
     fn result_type_mapping() {
         let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Float)]);
         assert_eq!(WindowFunction::Rank.result_type(&schema), DataType::Int);
-        assert_eq!(WindowFunction::Avg(a(1)).result_type(&schema), DataType::Float);
-        assert_eq!(WindowFunction::Min(a(1)).result_type(&schema), DataType::Float);
-        assert_eq!(WindowFunction::CumeDist.result_type(&schema), DataType::Float);
         assert_eq!(
-            WindowFunction::Lag { col: a(0), offset: 1, default: None }.result_type(&schema),
+            WindowFunction::Avg(a(1)).result_type(&schema),
+            DataType::Float
+        );
+        assert_eq!(
+            WindowFunction::Min(a(1)).result_type(&schema),
+            DataType::Float
+        );
+        assert_eq!(
+            WindowFunction::CumeDist.result_type(&schema),
+            DataType::Float
+        );
+        assert_eq!(
+            WindowFunction::Lag {
+                col: a(0),
+                offset: 1,
+                default: None
+            }
+            .result_type(&schema),
             DataType::Int
         );
     }

@@ -37,7 +37,11 @@ fn order_spec(items: &[OrderItem], schema: &Schema) -> Result<SortSpec> {
         let attr = schema.resolve(&item.column)?;
         elems.push(OrdElem {
             attr,
-            dir: if item.desc { Direction::Desc } else { Direction::Asc },
+            dir: if item.desc {
+                Direction::Desc
+            } else {
+                Direction::Asc
+            },
             nulls: match item.nulls_first {
                 Some(true) => NullOrder::First,
                 // SQL default: NULLS LAST for ASC, NULLS FIRST for DESC;
@@ -121,14 +125,20 @@ fn bind_function(call: &FuncCall, schema: &Schema) -> Result<WindowFunction> {
             expect_arity(call, 1..=1)?;
             let n = arg_number(call, 0)?;
             if n <= 0 {
-                return Err(Error::InvalidQuery("ntile requires a positive tile count".into()));
+                return Err(Error::InvalidQuery(
+                    "ntile requires a positive tile count".into(),
+                ));
             }
             Ok(WindowFunction::Ntile(n as u64))
         }
         "lag" | "lead" => {
             expect_arity(call, 1..=3)?;
             let col = arg_column(call, 0, schema)?;
-            let offset = if call.args.len() >= 2 { arg_number(call, 1)?.max(0) as u64 } else { 1 };
+            let offset = if call.args.len() >= 2 {
+                arg_number(call, 1)?.max(0) as u64
+            } else {
+                1
+            };
             let default = match call.args.get(2) {
                 None => None,
                 Some(Arg::Number(n)) => Some(Value::Int(*n)),
@@ -142,9 +152,17 @@ fn bind_function(call: &FuncCall, schema: &Schema) -> Result<WindowFunction> {
                 }
             };
             Ok(if name == "lag" {
-                WindowFunction::Lag { col, offset, default }
+                WindowFunction::Lag {
+                    col,
+                    offset,
+                    default,
+                }
             } else {
-                WindowFunction::Lead { col, offset, default }
+                WindowFunction::Lead {
+                    col,
+                    offset,
+                    default,
+                }
             })
         }
         "first_value" => {
@@ -206,7 +224,9 @@ fn bind_function(call: &FuncCall, schema: &Schema) -> Result<WindowFunction> {
             expect_arity(call, 1..=1)?;
             Ok(WindowFunction::StddevSamp(arg_column(call, 0, schema)?))
         }
-        other => Err(Error::InvalidQuery(format!("unknown window function `{other}`"))),
+        other => Err(Error::InvalidQuery(format!(
+            "unknown window function `{other}`"
+        ))),
     }
 }
 
@@ -237,7 +257,9 @@ pub fn bind(stmt: &WindowQueryStmt, catalog: &Catalog) -> Result<WindowQuery> {
     let mut named: HashMap<String, &WindowDef> = HashMap::new();
     for (name, def) in &stmt.windows {
         if named.insert(name.to_ascii_lowercase(), def).is_some() {
-            return Err(Error::InvalidQuery(format!("duplicate WINDOW name `{name}`")));
+            return Err(Error::InvalidQuery(format!(
+                "duplicate WINDOW name `{name}`"
+            )));
         }
     }
 
@@ -264,11 +286,10 @@ pub fn bind(stmt: &WindowQueryStmt, catalog: &Catalog) -> Result<WindowQuery> {
             SelectItem::Window(w) => {
                 let def = match &w.over {
                     OverClause::Inline(def) => def,
-                    OverClause::Named(name) => {
-                        named.get(&name.to_ascii_lowercase()).copied().ok_or_else(|| {
-                            Error::InvalidQuery(format!("unknown window `{name}`"))
-                        })?
-                    }
+                    OverClause::Named(name) => named
+                        .get(&name.to_ascii_lowercase())
+                        .copied()
+                        .ok_or_else(|| Error::InvalidQuery(format!("unknown window `{name}`")))?,
                 };
                 let func = bind_function(&w.func, schema)?;
                 let mut wpk = Vec::with_capacity(def.partition_by.len());
@@ -360,7 +381,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.specs.len(), 16);
-        assert!(matches!(q.specs[5].func, WindowFunction::Lag { offset: 1, .. }));
+        assert!(matches!(
+            q.specs[5].func,
+            WindowFunction::Lag { offset: 1, .. }
+        ));
         assert!(matches!(q.specs[10].func, WindowFunction::Count(None)));
         assert!(matches!(q.specs[11].func, WindowFunction::Count(Some(_))));
     }
@@ -395,7 +419,11 @@ mod tests {
         .unwrap();
         let ob = q.order_by.unwrap();
         assert_eq!(ob.len(), 2);
-        assert_eq!(ob.elems()[1].attr.index(), 3, "alias binds to appended column");
+        assert_eq!(
+            ob.elems()[1].attr.index(),
+            3,
+            "alias binds to appended column"
+        );
     }
 
     #[test]
@@ -419,7 +447,10 @@ mod tests {
         assert_eq!(q.specs.len(), 2);
         assert_eq!(q.specs[0].wpk(), q.specs[1].wpk());
         assert_eq!(q.specs[0].wok(), q.specs[1].wok());
-        assert!(q.projection.is_none(), "star + all windows needs no projection");
+        assert!(
+            q.projection.is_none(),
+            "star + all windows needs no projection"
+        );
     }
 
     #[test]

@@ -34,19 +34,31 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
         match c {
             c if c.is_whitespace() => i += 1,
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '\'' => {
@@ -74,7 +86,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         i += 1;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             c if c.is_ascii_digit() || (c == '-' && peek_digit(bytes, i + 1)) => {
                 let start = i;
@@ -104,7 +119,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         message: format!("invalid integer `{text}`"),
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -126,7 +144,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
@@ -190,6 +211,9 @@ mod tests {
 
     #[test]
     fn unknown_char_errors() {
-        assert!(matches!(tokenize("a ; b"), Err(Error::Parse { offset: 2, .. })));
+        assert!(matches!(
+            tokenize("a ; b"),
+            Err(Error::Parse { offset: 2, .. })
+        ));
     }
 }

@@ -29,7 +29,10 @@ struct Parser {
 
 /// Parse one window query.
 pub fn parse(sql: &str) -> Result<WindowQueryStmt> {
-    let mut p = Parser { tokens: tokenize(sql)?, pos: 0 };
+    let mut p = Parser {
+        tokens: tokenize(sql)?,
+        pos: 0,
+    };
     let stmt = p.query()?;
     p.expect_eof()?;
     Ok(stmt)
@@ -49,7 +52,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(Error::Parse { offset: self.peek().offset, message: message.into() })
+        Err(Error::Parse {
+            offset: self.peek().offset,
+            message: message.into(),
+        })
     }
 
     /// Consume a keyword (case-insensitive) or fail.
@@ -136,7 +142,12 @@ impl Parser {
         if !items.iter().any(|i| matches!(i, SelectItem::Window(_))) {
             return self.err("expected at least one window function in the select list");
         }
-        Ok(WindowQueryStmt { items, table, windows, order_by })
+        Ok(WindowQueryStmt {
+            items,
+            table,
+            windows,
+            order_by,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -194,7 +205,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(WindowDef { partition_by, order_by, frame })
+        Ok(WindowDef {
+            partition_by,
+            order_by,
+            frame,
+        })
     }
 
     fn func_call(&mut self) -> Result<FuncCall> {
@@ -254,7 +269,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(OrderItem { column, desc, nulls_first })
+        Ok(OrderItem {
+            column,
+            desc,
+            nulls_first,
+        })
     }
 
     fn frame(&mut self) -> Result<FrameAst> {
@@ -272,7 +291,11 @@ impl Parser {
         } else {
             // Single-bound form: bound .. CURRENT ROW.
             let start = self.bound()?;
-            Ok(FrameAst { units, start, end: FrameBoundAst::CurrentRow })
+            Ok(FrameAst {
+                units,
+                start,
+                end: FrameBoundAst::CurrentRow,
+            })
         }
     }
 
@@ -314,15 +337,23 @@ mod tests {
         .unwrap();
         assert_eq!(stmt.table, "emptab");
         assert_eq!(stmt.items.len(), 3); // `*` plus two window items
-        let SelectItem::Window(w1) = &stmt.items[1] else { panic!("expected window item") };
+        let SelectItem::Window(w1) = &stmt.items[1] else {
+            panic!("expected window item")
+        };
         assert_eq!(w1.alias, "rank_in_dept");
-        let OverClause::Inline(def) = &w1.over else { panic!("expected inline OVER") };
+        let OverClause::Inline(def) = &w1.over else {
+            panic!("expected inline OVER")
+        };
         assert_eq!(def.partition_by, vec!["dept"]);
         assert_eq!(def.order_by[0].column, "salary");
         assert!(def.order_by[0].desc);
         assert_eq!(def.order_by[0].nulls_first, Some(false));
-        let SelectItem::Window(w2) = &stmt.items[2] else { panic!("expected window item") };
-        let OverClause::Inline(def2) = &w2.over else { panic!("expected inline OVER") };
+        let SelectItem::Window(w2) = &stmt.items[2] else {
+            panic!("expected window item")
+        };
+        let OverClause::Inline(def2) = &w2.over else {
+            panic!("expected inline OVER")
+        };
         assert!(def2.partition_by.is_empty());
     }
 
@@ -386,8 +417,7 @@ mod tests {
 
     #[test]
     fn plain_columns_and_star_mix() {
-        let stmt =
-            parse("SELECT a, b, rank() OVER (ORDER BY a) AS r FROM t").unwrap();
+        let stmt = parse("SELECT a, b, rank() OVER (ORDER BY a) AS r FROM t").unwrap();
         assert_eq!(stmt.items.len(), 3);
         assert_eq!(stmt.items[0], SelectItem::Column("a".into()));
         assert_eq!(stmt.items[1], SelectItem::Column("b".into()));
@@ -404,7 +434,9 @@ mod tests {
         assert_eq!(stmt.windows.len(), 1);
         assert_eq!(stmt.windows[0].0, "w");
         assert_eq!(stmt.windows[0].1.partition_by, vec!["g"]);
-        let SelectItem::Window(w) = &stmt.items[1] else { panic!() };
+        let SelectItem::Window(w) = &stmt.items[1] else {
+            panic!()
+        };
         assert_eq!(w.over, OverClause::Named("w".into()));
     }
 
@@ -422,9 +454,9 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert!(parse(
-            "select *, RANK() over (partition by a ORDER by b) As r from T Order BY a"
-        )
-        .is_ok());
+        assert!(
+            parse("select *, RANK() over (partition by a ORDER by b) As r from T Order BY a")
+                .is_ok()
+        );
     }
 }

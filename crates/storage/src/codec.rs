@@ -12,8 +12,12 @@
 //!
 //! [`wf_common::Value::encoded_len`] mirrors these sizes so block accounting
 //! can be computed without serializing.
+//!
+//! Decoding reads from a `&mut &[u8]` cursor: on success the slice is
+//! advanced past the row; on error the cursor state is unspecified and the
+//! caller should treat the buffer as truncated.
 
-use bytes::{Buf, BufMut, BytesMut};
+use crate::bytebuf::ByteBuf;
 use wf_common::{Error, Result, Row, Value};
 
 const TAG_NULL: u8 = 0x00;
@@ -22,7 +26,7 @@ const TAG_FLOAT: u8 = 0x02;
 const TAG_STR: u8 = 0x03;
 
 /// Append the encoding of `row` to `buf`.
-pub fn encode_row(row: &Row, buf: &mut BytesMut) {
+pub fn encode_row(row: &Row, buf: &mut ByteBuf) {
     buf.put_u16_le(row.arity() as u16);
     for v in row.values() {
         match v {
@@ -44,46 +48,42 @@ pub fn encode_row(row: &Row, buf: &mut BytesMut) {
     }
 }
 
-/// Decode one row from the front of `buf`, advancing it. Returns an error on
-/// truncated or corrupt input.
-pub fn decode_row(buf: &mut impl Buf) -> Result<Row> {
-    if buf.remaining() < 2 {
-        return Err(corrupt("truncated arity"));
+fn take<'a>(cursor: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8]> {
+    if cursor.len() < n {
+        return Err(corrupt(&format!("truncated {what}")));
     }
-    let arity = buf.get_u16_le() as usize;
+    let (head, tail) = cursor.split_at(n);
+    *cursor = tail;
+    Ok(head)
+}
+
+/// Decode one row from the front of `cursor`, advancing it. Returns an error
+/// on truncated or corrupt input.
+pub fn decode_row(cursor: &mut &[u8]) -> Result<Row> {
+    let arity_bytes = take(cursor, 2, "arity")?;
+    let arity = u16::from_le_bytes([arity_bytes[0], arity_bytes[1]]) as usize;
     let mut values = Vec::with_capacity(arity);
     for _ in 0..arity {
-        if buf.remaining() < 1 {
-            return Err(corrupt("truncated value tag"));
-        }
-        let tag = buf.get_u8();
+        let tag = take(cursor, 1, "value tag")?[0];
         let v = match tag {
             TAG_NULL => Value::Null,
             TAG_INT => {
-                if buf.remaining() < 8 {
-                    return Err(corrupt("truncated int"));
-                }
-                Value::Int(buf.get_i64_le())
+                let b = take(cursor, 8, "int")?;
+                Value::Int(i64::from_le_bytes(b.try_into().expect("8 bytes")))
             }
             TAG_FLOAT => {
-                if buf.remaining() < 8 {
-                    return Err(corrupt("truncated float"));
-                }
-                Value::Float(f64::from_bits(buf.get_u64_le()))
+                let b = take(cursor, 8, "float")?;
+                Value::Float(f64::from_bits(u64::from_le_bytes(
+                    b.try_into().expect("8 bytes"),
+                )))
             }
             TAG_STR => {
-                if buf.remaining() < 4 {
-                    return Err(corrupt("truncated string length"));
-                }
-                let len = buf.get_u32_le() as usize;
-                if buf.remaining() < len {
-                    return Err(corrupt("truncated string body"));
-                }
-                let mut bytes = vec![0u8; len];
-                buf.copy_to_slice(&mut bytes);
-                let s = String::from_utf8(bytes)
+                let b = take(cursor, 4, "string length")?;
+                let len = u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize;
+                let body = take(cursor, len, "string body")?;
+                let s = std::str::from_utf8(body)
                     .map_err(|_| corrupt("invalid utf-8 in string value"))?;
-                Value::str(s)
+                Value::str(s.to_string())
             }
             other => return Err(corrupt(&format!("unknown value tag {other:#x}"))),
         };
@@ -102,12 +102,12 @@ mod tests {
     use wf_common::row;
 
     fn round_trip(r: &Row) -> Row {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         encode_row(r, &mut buf);
         assert_eq!(buf.len(), r.encoded_len(), "encoded_len must match codec");
-        let mut cursor = buf.freeze();
+        let mut cursor = buf.as_slice();
         let back = decode_row(&mut cursor).unwrap();
-        assert_eq!(cursor.remaining(), 0);
+        assert!(cursor.is_empty());
         back
     }
 
@@ -135,33 +135,34 @@ mod tests {
     #[test]
     fn multiple_rows_stream() {
         let rows = vec![row![1], row![2, "x"], row![Value::Null]];
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         for r in &rows {
             encode_row(r, &mut buf);
         }
-        let mut cursor = buf.freeze();
+        let mut cursor = buf.as_slice();
         for r in &rows {
             assert_eq!(&decode_row(&mut cursor).unwrap(), r);
         }
-        assert_eq!(cursor.remaining(), 0);
+        assert!(cursor.is_empty());
     }
 
     #[test]
     fn truncated_input_errors() {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         encode_row(&row![123, "abcdef"], &mut buf);
         for cut in [1, 3, 10] {
-            let mut short = buf.clone().freeze();
-            short.truncate(buf.len() - cut);
+            let full = buf.as_slice();
+            let mut short = &full[..full.len() - cut];
             assert!(decode_row(&mut short).is_err());
         }
     }
 
     #[test]
     fn unknown_tag_errors() {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         buf.put_u16_le(1);
         buf.put_u8(0x7f);
-        assert!(decode_row(&mut buf.freeze()).is_err());
+        let mut cursor = buf.as_slice();
+        assert!(decode_row(&mut cursor).is_err());
     }
 }

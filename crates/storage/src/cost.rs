@@ -211,8 +211,14 @@ mod tests {
     #[test]
     fn modeled_time_weighs_io_heavier_than_cpu() {
         let w = CostWeights::default();
-        let io = CostSnapshot { blocks_read: 1000, ..Default::default() };
-        let cpu = CostSnapshot { comparisons: 1000, ..Default::default() };
+        let io = CostSnapshot {
+            blocks_read: 1000,
+            ..Default::default()
+        };
+        let cpu = CostSnapshot {
+            comparisons: 1000,
+            ..Default::default()
+        };
         assert!(w.modeled_ms(&io) > 1000.0 * w.modeled_ms(&cpu));
     }
 

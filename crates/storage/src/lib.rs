@@ -18,6 +18,7 @@
 //! fractions) at laptop scale.
 
 pub mod block;
+pub mod bytebuf;
 pub mod codec;
 pub mod cost;
 pub mod mem;

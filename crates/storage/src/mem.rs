@@ -22,7 +22,9 @@ impl MemoryLedger {
     /// required — an external sort cannot make progress with zero memory.
     pub fn with_blocks(blocks: u64) -> Result<Self> {
         if blocks == 0 {
-            return Err(Error::Resource("sort memory must be at least one block".into()));
+            return Err(Error::Resource(
+                "sort memory must be at least one block".into(),
+            ));
         }
         Ok(MemoryLedger {
             budget: blocks as usize * BLOCK_SIZE,

@@ -12,9 +12,9 @@
 //! exercise the OS path).
 
 use crate::block::BLOCK_SIZE;
+use crate::bytebuf::ByteBuf;
 use crate::codec::{decode_row, encode_row};
 use crate::cost::CostTracker;
-use bytes::{Buf, BytesMut};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
@@ -84,11 +84,8 @@ impl FileStore {
     /// Create a fresh temp file under the OS temp dir.
     pub fn new() -> Result<Self> {
         let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "wfopt-spill-{}-{}.tmp",
-            std::process::id(),
-            n
-        ));
+        let path =
+            std::env::temp_dir().join(format!("wfopt-spill-{}-{}.tmp", std::process::id(), n));
         let file = OpenOptions::new()
             .create_new(true)
             .read(true)
@@ -159,7 +156,7 @@ fn make_store(medium: SpillMedium) -> Result<Box<dyn SpillStore>> {
 /// written out block by block; every block write is charged to the tracker.
 pub struct SpillFile {
     store: Box<dyn SpillStore>,
-    buffer: BytesMut,
+    buffer: ByteBuf,
     tracker: Arc<CostTracker>,
     rows: u64,
     bytes: u64,
@@ -170,7 +167,7 @@ impl SpillFile {
     pub fn create(medium: SpillMedium, tracker: Arc<CostTracker>) -> Result<Self> {
         Ok(SpillFile {
             store: make_store(medium)?,
-            buffer: BytesMut::with_capacity(2 * BLOCK_SIZE),
+            buffer: ByteBuf::with_capacity(2 * BLOCK_SIZE),
             tracker,
             rows: 0,
             bytes: 0,
@@ -199,7 +196,7 @@ impl SpillFile {
     /// reader positioned at the start.
     pub fn into_reader(mut self) -> Result<SpillReader> {
         if !self.buffer.is_empty() {
-            self.store.append(&self.buffer)?;
+            self.store.append(self.buffer.as_slice())?;
             self.tracker.write_blocks(1);
             self.bytes += self.buffer.len() as u64;
             self.buffer.clear();
@@ -209,7 +206,7 @@ impl SpillFile {
             tracker: self.tracker,
             offset: 0,
             total: self.bytes,
-            pending: BytesMut::new(),
+            pending: ByteBuf::new(),
             remaining_rows: self.rows,
         })
     }
@@ -221,7 +218,7 @@ pub struct SpillReader {
     tracker: Arc<CostTracker>,
     offset: u64,
     total: u64,
-    pending: BytesMut,
+    pending: ByteBuf,
     remaining_rows: u64,
 }
 
@@ -266,10 +263,10 @@ impl SpillReader {
             return Ok(None);
         }
         // Peek: decode against a cursor; only commit if a full row decodes.
-        let mut cursor: &[u8] = &self.pending;
+        let mut cursor: &[u8] = self.pending.as_slice();
         match decode_row(&mut cursor) {
             Ok(row) => {
-                let used = self.pending.len() - cursor.remaining();
+                let used = self.pending.len() - cursor.len();
                 self.pending.advance(used);
                 Ok(Some(row))
             }
@@ -295,8 +292,9 @@ mod tests {
     fn spill_round_trip(medium: SpillMedium, n: usize) {
         let tracker = Arc::new(CostTracker::new());
         let mut f = SpillFile::create(medium, Arc::clone(&tracker)).unwrap();
-        let rows: Vec<Row> =
-            (0..n).map(|i| row![i as i64, format!("value-{i}"), (i as f64) * 0.5]).collect();
+        let rows: Vec<Row> = (0..n)
+            .map(|i| row![i as i64, format!("value-{i}"), (i as f64) * 0.5])
+            .collect();
         for r in &rows {
             f.push(r).unwrap();
         }
@@ -309,7 +307,10 @@ mod tests {
         let s = tracker.snapshot();
         let bytes: usize = rows.iter().map(|r| r.encoded_len()).sum();
         let expected_blocks = crate::block::blocks_for_bytes(bytes);
-        assert_eq!(s.blocks_written, expected_blocks.max(if n > 0 { 1 } else { 0 }));
+        assert_eq!(
+            s.blocks_written,
+            expected_blocks.max(if n > 0 { 1 } else { 0 })
+        );
         assert_eq!(s.blocks_read, s.blocks_written);
     }
 

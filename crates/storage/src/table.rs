@@ -21,7 +21,11 @@ pub struct Table {
 impl Table {
     /// Empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new(), bytes: 0 }
+        Table {
+            schema,
+            rows: Vec::new(),
+            bytes: 0,
+        }
     }
 
     /// Build from parts, validating arity.

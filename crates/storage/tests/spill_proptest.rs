@@ -1,43 +1,84 @@
-//! Property-based tests for the storage layer: codec round-trips on
-//! arbitrary rows and spill files preserving arbitrary row sequences with
-//! exact block accounting.
+//! Randomized (deterministic-seed) tests for the storage layer: codec
+//! round-trips on arbitrary rows and spill files preserving arbitrary row
+//! sequences with exact block accounting.
+//!
+//! These were originally `proptest` properties; the workspace builds without
+//! external dependencies, so they now enumerate a fixed seeded sample of the
+//! same input space (mixed-type rows, empty rows, long strings, extremes).
 
-use bytes::BytesMut;
-use proptest::prelude::*;
 use std::sync::Arc;
 use wf_common::{Row, Value};
+use wf_storage::bytebuf::ByteBuf;
 use wf_storage::codec::{decode_row, encode_row};
 use wf_storage::spill::SpillMedium;
 use wf_storage::{blocks_for_bytes, CostTracker, SpillFile};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_map(Value::Float),
-        ".{0,40}".prop_map(Value::str),
-    ]
-}
+/// SplitMix64 — the same tiny deterministic generator the test helpers use.
+struct Rng(u64);
 
-fn arb_row() -> impl Strategy<Value = Row> {
-    proptest::collection::vec(arb_value(), 0..8).prop_map(Row::new)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn codec_round_trips_and_encoded_len_is_exact(row in arb_row()) {
-        let mut buf = BytesMut::new();
-        encode_row(&row, &mut buf);
-        prop_assert_eq!(buf.len(), row.encoded_len());
-        let mut cursor = buf.freeze();
-        let back = decode_row(&mut cursor).unwrap();
-        prop_assert_eq!(back, row);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn spill_files_preserve_sequences(rows in proptest::collection::vec(arb_row(), 0..120)) {
+    fn value(&mut self) -> Value {
+        match self.next() % 4 {
+            0 => Value::Null,
+            1 => Value::Int(self.next() as i64),
+            2 => Value::Float(f64::from_bits(self.next() % (1 << 62))),
+            _ => {
+                let len = (self.next() % 41) as usize;
+                let s: String = (0..len)
+                    .map(|_| char::from_u32(32 + (self.next() % 95) as u32).unwrap())
+                    .collect();
+                Value::str(s)
+            }
+        }
+    }
+
+    fn row(&mut self) -> Row {
+        let arity = (self.next() % 8) as usize;
+        Row::new((0..arity).map(|_| self.value()).collect())
+    }
+}
+
+#[test]
+fn codec_round_trips_and_encoded_len_is_exact() {
+    let mut rng = Rng(1);
+    let mut cases: Vec<Row> = (0..64).map(|_| rng.row()).collect();
+    cases.push(Row::new(vec![]));
+    cases.push(Row::new(vec![
+        Value::Int(i64::MIN),
+        Value::Int(i64::MAX),
+        Value::Float(f64::NEG_INFINITY),
+        Value::Float(f64::NAN),
+        Value::str(String::new()),
+    ]));
+    for row in cases {
+        let mut buf = ByteBuf::new();
+        encode_row(&row, &mut buf);
+        assert_eq!(
+            buf.len(),
+            row.encoded_len(),
+            "encoded_len must match codec: {row:?}"
+        );
+        let mut cursor = buf.as_slice();
+        let back = decode_row(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, row);
+    }
+}
+
+#[test]
+fn spill_files_preserve_sequences() {
+    let mut rng = Rng(2);
+    for case in 0..32 {
+        let n = (rng.next() % 120) as usize;
+        let rows: Vec<Row> = (0..n).map(|_| rng.row()).collect();
         let tracker = Arc::new(CostTracker::new());
         let mut f = SpillFile::create(SpillMedium::Simulated, Arc::clone(&tracker)).unwrap();
         for r in &rows {
@@ -45,13 +86,16 @@ proptest! {
         }
         let mut reader = f.into_reader().unwrap();
         let back = reader.read_all().unwrap();
-        prop_assert_eq!(&back, &rows);
+        assert_eq!(back, rows, "case {case}");
 
         let bytes: usize = rows.iter().map(Row::encoded_len).sum();
         let s = tracker.snapshot();
         let min_blocks = blocks_for_bytes(bytes);
-        prop_assert!(s.blocks_written >= min_blocks);
-        prop_assert!(s.blocks_written <= min_blocks + 1, "at most one trailing partial block");
-        prop_assert_eq!(s.blocks_read, s.blocks_written);
+        assert!(s.blocks_written >= min_blocks, "case {case}");
+        assert!(
+            s.blocks_written <= min_blocks + 1,
+            "case {case}: at most one trailing partial block"
+        );
+        assert_eq!(s.blocks_read, s.blocks_written, "case {case}");
     }
 }

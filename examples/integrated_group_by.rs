@@ -18,14 +18,22 @@ fn main() -> Result<()> {
     // SELECT item, count(*), sum(quantity),
     //        rank() OVER (PARTITION BY item_group ORDER BY sales) ...
     // FROM web_sales WHERE quantity <= 50 GROUP BY item_group, item
-    let cfg = WsConfig { rows: 60_000, d_item: 3_000, ..WsConfig::default() };
+    let cfg = WsConfig {
+        rows: 60_000,
+        d_item: 3_000,
+        ..WsConfig::default()
+    };
     let base = cfg.generate();
     let item = WsColumn::Item.attr();
     let qty = WsColumn::Quantity.attr();
 
     let env = ExecEnv::with_memory_blocks(32);
     let filtered = filter(&base, &Predicate::Le(qty, Value::Int(50)), env.op_env())?;
-    println!("filtered: {} of {} rows", filtered.row_count(), base.row_count());
+    println!(
+        "filtered: {} of {} rows",
+        filtered.row_count(),
+        base.row_count()
+    );
 
     // The windowed table: per-item sales summary. Two upstream plans:
     let keys = [item];
@@ -33,20 +41,36 @@ fn main() -> Result<()> {
 
     let env_hash = ExecEnv::with_memory_blocks(32);
     let by_hash = group_by_hash(&filtered, &keys, &aggs, env_hash.op_env())?;
-    let hash_cost = env_hash.weights().modeled_ms(&env_hash.tracker().snapshot());
+    let hash_cost = env_hash
+        .weights()
+        .modeled_ms(&env_hash.tracker().snapshot());
 
     let env_sort = ExecEnv::with_memory_blocks(32);
     let by_sort = group_by_sort(&filtered, &keys, &aggs, env_sort.op_env())?;
-    let sort_cost = env_sort.weights().modeled_ms(&env_sort.tracker().snapshot());
+    let sort_cost = env_sort
+        .weights()
+        .modeled_ms(&env_sort.tracker().snapshot());
 
-    println!("group_by_hash: {} groups, {:.1} modeled ms (grouped output)", by_hash.row_count(), hash_cost);
-    println!("group_by_sort: {} groups, {:.1} modeled ms (sorted output)\n", by_sort.row_count(), sort_cost);
+    println!(
+        "group_by_hash: {} groups, {:.1} modeled ms (grouped output)",
+        by_hash.row_count(),
+        hash_cost
+    );
+    println!(
+        "group_by_sort: {} groups, {:.1} modeled ms (sorted output)\n",
+        by_sort.row_count(),
+        sort_cost
+    );
 
     // Window functions over the summary: rank items by total quantity,
     // and a global rank by order count.
     let schema = by_hash.schema().clone();
     let query = QueryBuilder::new(&schema)
-        .rank("rank_by_volume", &["ws_item_sk"], &[("sum_ws_quantity", true)])
+        .rank(
+            "rank_by_volume",
+            &["ws_item_sk"],
+            &[("sum_ws_quantity", true)],
+        )
         .rank("global_by_count", &[], &[("count", true)])
         .build()?;
 
@@ -78,7 +102,11 @@ fn main() -> Result<()> {
     );
 
     // Execute the chosen combination end to end.
-    let table = if best.variant == 0 { &by_hash } else { &by_sort };
+    let table = if best.variant == 0 {
+        &by_hash
+    } else {
+        &by_sort
+    };
     let report = execute_plan(&best.plan, table, &env)?;
     println!("\ntop items by volume:");
     let rank_col = report.table.schema().resolve("rank_by_volume")?;

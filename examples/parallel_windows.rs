@@ -8,11 +8,15 @@
 use std::time::Instant;
 use wfopt::datagen::{WsColumn, WsConfig};
 use wfopt::exec::window::WindowFunction;
-use wfopt::exec::{evaluate_window, full_sort, parallel::parallel_partitioned, SegmentedRows};
+use wfopt::exec::{drain, evaluate_window, full_sort, ParallelOp, SegmentedRows, TableScan};
 use wfopt::prelude::*;
 
 fn main() -> Result<()> {
-    let cfg = WsConfig { rows: 120_000, d_item: 6_000, ..WsConfig::default() };
+    let cfg = WsConfig {
+        rows: 120_000,
+        d_item: 6_000,
+        ..WsConfig::default()
+    };
     let table = cfg.generate();
     let wpk = AttrSet::from_iter([WsColumn::Item.attr()]);
     let wok = SortSpec::new(vec![OrdElem::asc(WsColumn::SoldTime.attr())]);
@@ -29,26 +33,34 @@ fn main() -> Result<()> {
     // Sequential.
     let env_seq = ExecEnv::with_memory_blocks(256);
     let t0 = Instant::now();
-    let seq = chain(SegmentedRows::single_segment(table.rows().to_vec()), env_seq.op_env())?;
+    let seq = chain(
+        SegmentedRows::single_segment(table.rows().to_vec()),
+        env_seq.op_env(),
+    )?;
     let seq_wall = t0.elapsed();
 
-    // Parallel over 4 workers, each with its own quarter of the memory.
+    // Parallel over 4 workers, each with its own quarter of the memory —
+    // expressed as a pipeline stage: TableScan feeds the ParallelOp, which
+    // scatters, runs the per-worker chains, and re-emits segments.
     let env_par = ExecEnv::with_memory_blocks(64);
     let t1 = Instant::now();
-    let par = parallel_partitioned(
-        SegmentedRows::single_segment(table.rows().to_vec()),
-        &wpk,
+    let mut par_op = ParallelOp::new(
+        TableScan::new(&table, env_par.op_env().clone()),
+        wpk.clone(),
         4,
-        env_par.op_env(),
+        env_par.op_env().clone(),
         |_, part| chain(part, env_par.op_env()),
-    )?;
+    );
+    let par = drain(&mut par_op)?;
     let par_wall = t1.elapsed();
 
     assert_eq!(seq.len(), par.len());
     println!("rows: {}", table.row_count());
     println!("sequential: {seq_wall:?}");
-    println!("parallel(4): {par_wall:?}  ({:.2}x)",
-        seq_wall.as_secs_f64() / par_wall.as_secs_f64());
+    println!(
+        "parallel(4): {par_wall:?}  ({:.2}x)",
+        seq_wall.as_secs_f64() / par_wall.as_secs_f64()
+    );
 
     // Verify identical ranks by order number.
     let order_attr = WsColumn::OrderNumber.attr();
@@ -58,7 +70,10 @@ fn main() -> Result<()> {
             .rows()
             .iter()
             .map(|r| {
-                (r.get(order_attr).as_int().unwrap(), r.get(rank_attr).as_int().unwrap())
+                (
+                    r.get(order_attr).as_int().unwrap(),
+                    r.get(rank_attr).as_int().unwrap(),
+                )
             })
             .collect();
         v.sort_unstable();

@@ -30,7 +30,12 @@ fn main() -> Result<()> {
     // evaluates them with a single expensive reorder plus one cheap
     // segmented sort.
     let query = QueryBuilder::new(&schema)
-        .window("rank_in_region", WindowFunction::Rank, &["region"], &[("amount", true)])
+        .window(
+            "rank_in_region",
+            WindowFunction::Rank,
+            &["region"],
+            &[("amount", true)],
+        )
         .window(
             "running_total",
             WindowFunction::Sum(schema.resolve("amount")?),

@@ -11,7 +11,12 @@ use wfopt::prelude::*;
 
 fn main() -> Result<()> {
     // Keep the example fast: a 40k-row slice of the benchmark table.
-    let cfg = WsConfig { rows: 40_000, d_item: 2_000, d_bill: 4_000, ..WsConfig::default() };
+    let cfg = WsConfig {
+        rows: 40_000,
+        d_item: 2_000,
+        d_bill: 4_000,
+        ..WsConfig::default()
+    };
     let table = cfg.generate();
     let schema = table.schema().clone();
     println!(
@@ -23,13 +28,26 @@ fn main() -> Result<()> {
 
     // The paper's Q7: five rank() functions over different keys.
     let query = QueryBuilder::new(&schema)
-        .rank("wf1", &["ws_sold_date_sk", "ws_sold_time_sk", "ws_ship_date_sk"], &[])
+        .rank(
+            "wf1",
+            &["ws_sold_date_sk", "ws_sold_time_sk", "ws_ship_date_sk"],
+            &[],
+        )
         .rank("wf2", &["ws_sold_time_sk", "ws_sold_date_sk"], &[])
         .rank("wf3", &["ws_item_sk"], &[])
-        .rank("wf4", &[], &[("ws_item_sk", false), ("ws_bill_customer_sk", false)])
+        .rank(
+            "wf4",
+            &[],
+            &[("ws_item_sk", false), ("ws_bill_customer_sk", false)],
+        )
         .rank(
             "wf5",
-            &["ws_sold_date_sk", "ws_sold_time_sk", "ws_item_sk", "ws_bill_customer_sk"],
+            &[
+                "ws_sold_date_sk",
+                "ws_sold_time_sk",
+                "ws_item_sk",
+                "ws_bill_customer_sk",
+            ],
             &[("ws_ship_date_sk", false)],
         )
         .build()?;
@@ -38,7 +56,10 @@ fn main() -> Result<()> {
     // ~4 MB of sort memory against a ~9 MB table: the small-M regime.
     let mem_blocks = 16;
 
-    println!("{:<8} {:<55} {:>10} {:>12}", "scheme", "chain", "reorders", "modeled ms");
+    println!(
+        "{:<8} {:<55} {:>10} {:>12}",
+        "scheme", "chain", "reorders", "modeled ms"
+    );
     let mut baseline = 0.0;
     for scheme in [Scheme::Bfo, Scheme::Cso, Scheme::Orcl, Scheme::Psql] {
         let env = ExecEnv::with_memory_blocks(mem_blocks);
@@ -56,7 +77,9 @@ fn main() -> Result<()> {
             report.modeled_ms / baseline
         );
     }
-    println!("\n(The cover-set schemes share one expensive reorder across wf5/wf4/wf3\n\
-              and another across wf1/wf2; PSQL pays one full sort per function.)");
+    println!(
+        "\n(The cover-set schemes share one expensive reorder across wf5/wf4/wf3\n\
+              and another across wf1/wf2; PSQL pays one full sort per function.)"
+    );
     Ok(())
 }

@@ -18,7 +18,11 @@ fn main() -> Result<()> {
     let revenue = [310, 295, 340, 280, 365, 390, 355, 320, 410, 375];
     for (i, r) in revenue.iter().enumerate() {
         let store = if i % 2 == 0 { "downtown" } else { "airport" };
-        table.push(Row::new(vec![(i as i64 / 2 + 1).into(), store.into(), (*r).into()]));
+        table.push(Row::new(vec![
+            (i as i64 / 2 + 1).into(),
+            store.into(),
+            (*r).into(),
+        ]));
     }
 
     let mut catalog = Catalog::new();
@@ -43,7 +47,12 @@ fn main() -> Result<()> {
 
     let report = execute_plan(&plan, &table, &env)?;
     let out = &report.table;
-    let names: Vec<&str> = out.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    let names: Vec<&str> = out
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
     println!("{}", names.join(" | "));
     for row in out.rows() {
         let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();

@@ -1,0 +1,79 @@
+//! The segment-at-a-time operator pipeline, driven by hand.
+//!
+//! Builds the chain `TableScan → HashedSortOp → WindowOp` and pulls one
+//! segment (= one bucket of complete window partitions) at a time — the
+//! downstream consumer sees ranked rows for bucket `k` while buckets
+//! `k+1..n` are still sitting unsorted in the Hashed Sort. The peak number
+//! of rows held by the consumer at once is the largest bucket, not the
+//! relation.
+//!
+//! ```sh
+//! cargo run --release --example streaming_pipeline
+//! ```
+
+use wfopt::datagen::{WsColumn, WsConfig};
+use wfopt::exec::window::WindowFunction;
+use wfopt::exec::{HashedSortOp, HsOptions, Operator, TableScan, WindowOp};
+use wfopt::prelude::*;
+
+fn main() -> Result<()> {
+    let cfg = WsConfig {
+        rows: 50_000,
+        d_item: 2_000,
+        ..WsConfig::default()
+    };
+    let table = cfg.generate();
+    let env = ExecEnv::with_memory_blocks(64);
+
+    // rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk)
+    let wpk = AttrSet::from_iter([WsColumn::Item.attr()]);
+    let wok = SortSpec::new(vec![OrdElem::asc(WsColumn::SoldTime.attr())]);
+    let key = SortSpec::new(vec![
+        OrdElem::asc(WsColumn::Item.attr()),
+        OrdElem::asc(WsColumn::SoldTime.attr()),
+    ]);
+
+    let scan = TableScan::new(&table, env.op_env().clone());
+    let hs = HashedSortOp::new(
+        scan,
+        wpk.clone(),
+        key,
+        HsOptions::with_buckets(64),
+        env.op_env().clone(),
+    );
+    let mut chain = WindowOp::new(
+        hs,
+        wpk,
+        wok,
+        WindowFunction::Rank,
+        None,
+        env.op_env().clone(),
+    );
+
+    let mut segments = 0usize;
+    let mut rows_seen = 0usize;
+    let mut peak_segment = 0usize;
+    while let Some(segment) = chain.next_segment()? {
+        segments += 1;
+        peak_segment = peak_segment.max(segment.len());
+        rows_seen += segment.len();
+        // A real consumer would stream each segment onward (to a client, a
+        // writer, the next window function…) and drop it here.
+    }
+
+    println!("rows:          {}", rows_seen);
+    println!("segments:      {segments}");
+    println!(
+        "peak segment:  {peak_segment} rows ({:.1}% of the relation)",
+        100.0 * peak_segment as f64 / rows_seen as f64
+    );
+    let work = env.tracker().snapshot();
+    println!(
+        "work:          {} block I/Os, {} comparisons, {} hashes",
+        work.io_blocks(),
+        work.comparisons,
+        work.hashes
+    );
+    assert_eq!(rows_seen, table.row_count());
+    Ok(())
+}

@@ -72,7 +72,8 @@ impl Database {
     /// Register a table; statistics are computed eagerly.
     pub fn register(&mut self, name: &str, table: Table) -> Result<()> {
         self.catalog.register(name, table.schema().clone());
-        self.stats.insert(name.to_ascii_lowercase(), TableStats::from_table(&table));
+        self.stats
+            .insert(name.to_ascii_lowercase(), TableStats::from_table(&table));
         self.tables.insert(name.to_ascii_lowercase(), table);
         Ok(())
     }

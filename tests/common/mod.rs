@@ -2,6 +2,9 @@
 //! reference evaluator (hash partitions + per-group stable sort, no engine
 //! code), random tables, and result comparison keyed by a unique id column.
 
+// Not every integration-test binary uses every helper.
+#![allow(dead_code)]
+
 use std::collections::HashMap;
 use wfopt::prelude::*;
 
@@ -38,7 +41,12 @@ pub fn column_by_key(table: &Table, key_col: AttrId, val_col: AttrId) -> HashMap
     table
         .rows()
         .iter()
-        .map(|r| (r.get(key_col).as_int().expect("int key"), r.get(val_col).clone()))
+        .map(|r| {
+            (
+                r.get(key_col).as_int().expect("int key"),
+                r.get(val_col).clone(),
+            )
+        })
         .collect()
 }
 
@@ -54,7 +62,9 @@ pub fn random_table(rows: usize, distincts: &[u64], seed: u64) -> Table {
     let mut table = Table::new(schema);
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     for id in 0..rows {

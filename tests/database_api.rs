@@ -59,7 +59,12 @@ fn projection_and_order_by() {
         )
         .unwrap();
     assert_eq!(out.schema().len(), 2, "projection keeps only store and r");
-    let names: Vec<&str> = out.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    let names: Vec<&str> = out
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
     assert_eq!(names, vec!["store", "r"]);
     // Sorted by (store, r).
     let vals: Vec<(String, i64)> = out
@@ -106,7 +111,10 @@ fn explain_shows_chain() {
         )
         .unwrap();
     assert!(text.contains("ws"), "{text}");
-    assert!(text.contains("SS→") || text.contains("FS→") || text.contains("HS→"), "{text}");
+    assert!(
+        text.contains("SS→") || text.contains("FS→") || text.contains("HS→"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -115,7 +123,11 @@ fn schemes_configurable_and_equivalent() {
                ORDER BY store, day";
     let cso = sales_db().with_scheme(Scheme::Cso).query(sql).unwrap();
     let psql = sales_db().with_scheme(Scheme::Psql).query(sql).unwrap();
-    assert_eq!(cso.rows(), psql.rows(), "schemes must agree row for row after ORDER BY");
+    assert_eq!(
+        cso.rows(),
+        psql.rows(),
+        "schemes must agree row for row after ORDER BY"
+    );
 }
 
 #[test]
@@ -131,7 +143,11 @@ fn order_by_column_dropped_by_projection() {
     assert_eq!(out.schema().len(), 2);
     // Highest revenue (150, store a, global rank 6) first.
     let r = out.schema().resolve("r").unwrap();
-    let ranks: Vec<i64> = out.rows().iter().map(|row| row.get(r).as_int().unwrap()).collect();
+    let ranks: Vec<i64> = out
+        .rows()
+        .iter()
+        .map(|row| row.get(r).as_int().unwrap())
+        .collect();
     assert_eq!(ranks, vec![6, 5, 4, 3, 2, 1]);
 }
 
@@ -139,7 +155,9 @@ fn order_by_column_dropped_by_projection() {
 fn errors_are_reported() {
     let db = sales_db();
     assert!(db.query("SELECT *, rank() OVER () AS r FROM nope").is_err());
-    assert!(db.query("SELECT *, nosuch() OVER () AS r FROM sales").is_err());
+    assert!(db
+        .query("SELECT *, nosuch() OVER () AS r FROM sales")
+        .is_err());
     assert!(db.query("not sql at all").is_err());
     assert!(db.table("missing").is_err());
 }
@@ -152,7 +170,11 @@ fn tiny_memory_database_still_correct() {
         .query("SELECT *, rank() OVER (ORDER BY revenue) AS r FROM sales")
         .unwrap();
     let r = out.schema().resolve("r").unwrap();
-    let ranks: Vec<i64> = out.rows().iter().map(|row| row.get(r).as_int().unwrap()).collect();
+    let ranks: Vec<i64> = out
+        .rows()
+        .iter()
+        .map(|row| row.get(r).as_int().unwrap())
+        .collect();
     let mut sorted = ranks.clone();
     sorted.sort_unstable();
     assert_eq!(sorted, vec![1, 2, 3, 4, 5, 6]);

@@ -62,7 +62,11 @@ fn execution_is_deterministic() {
         let env = ExecEnv::with_memory_blocks(3);
         let plan = optimize(&query, &stats, Scheme::Cso, &env).unwrap();
         let report = execute_plan(&plan, &table, &env).unwrap();
-        (plan.chain_string(), report.table.rows().to_vec(), report.work)
+        (
+            plan.chain_string(),
+            report.table.rows().to_vec(),
+            report.work,
+        )
     };
     let (c1, r1, w1) = run();
     let (c2, r2, w2) = run();
@@ -90,7 +94,10 @@ fn modeled_cost_tracks_measured_io_ordering() {
     let psql_report = execute_plan(&psql, &table, &env_psql).unwrap();
 
     let w = env_cso.weights();
-    assert!(cso.est_cost.ms(&w) < psql.est_cost.ms(&w), "estimate ordering");
+    assert!(
+        cso.est_cost.ms(&w) < psql.est_cost.ms(&w),
+        "estimate ordering"
+    );
     assert!(
         cso_report.work.io_blocks() < psql_report.work.io_blocks(),
         "measured ordering: cso {} vs psql {}",

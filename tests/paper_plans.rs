@@ -112,14 +112,20 @@ fn table10_q9_structure() {
     assert!(chain50.starts_with("ws FS→ wf7 → wf8"), "{chain50}");
     assert!(chain50.contains("HS→ wf6 SS→ wf5"), "{chain50}");
     assert_eq!(chain50.matches("SS→").count(), 3, "{chain50}");
-    assert_eq!(chain50.matches("FS→").count() + chain50.matches("HS→").count(), 3);
+    assert_eq!(
+        chain50.matches("FS→").count() + chain50.matches("HS→").count(),
+        3
+    );
     // At 150 the bill-subset's HS flips to FS (paper Table 10).
     let chain150 = plan_chain(&q, Scheme::Cso, M150);
     assert!(chain150.contains("FS→ wf6 SS→ wf5"), "{chain150}");
 
     // PSQL shares exactly one sort (wf2 → wf3), paper Table 10.
     let psql = plan_chain(&q, Scheme::Psql, M50);
-    assert_eq!(psql, "ws FS→ wf1 FS→ wf2 → wf3 FS→ wf4 FS→ wf5 FS→ wf6 FS→ wf7 FS→ wf8");
+    assert_eq!(
+        psql,
+        "ws FS→ wf1 FS→ wf2 → wf3 FS→ wf4 FS→ wf5 FS→ wf6 FS→ wf7 FS→ wf8"
+    );
 }
 
 #[test]

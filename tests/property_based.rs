@@ -1,65 +1,77 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized (deterministic-seed) tests over the core invariants:
 //!
 //! * every scheme's output equals the reference on arbitrary data/queries,
 //! * covering permutations really cover every member,
 //! * SS's α/β split always reconstructs a valid `perm(WPK) ∘ WOK` and its
 //!   output properties match the target,
 //! * FS/HS/SS executor outputs are valid segmented relations.
+//!
+//! Originally `proptest` properties; the workspace builds without external
+//! dependencies, so the same input spaces are now sampled with a seeded
+//! generator (random WPK/WOK subsets, row counts, memory budgets).
 
 mod common;
 
 use common::{column_by_key, random_table, reference_rank};
-use proptest::prelude::*;
 use wfopt::core::cover::try_cover_set;
 use wfopt::core::spec::WindowSpec;
 use wfopt::core::SegProps;
+use wfopt::datagen::rng::SplitMix64;
 use wfopt::exec::{full_sort, hashed_sort, segmented_sort, HsOptions, OpEnv, SegmentedRows};
 use wfopt::prelude::*;
 
-/// Strategy: a window spec over attrs 1..=3 of `random_table` (attr 0 is
-/// the unique id).
-fn arb_spec(name: &'static str) -> impl Strategy<Value = WindowSpec> {
-    (
-        proptest::sample::subsequence(vec![1usize, 2, 3], 0..=2),
-        proptest::sample::subsequence(vec![1usize, 2, 3], 0..=2),
-        proptest::bool::ANY,
-    )
-        .prop_filter_map("empty key", move |(wpk, wok, desc)| {
-            if wpk.is_empty() && wok.is_empty() {
-                return None;
-            }
-            let wok_spec = SortSpec::new(
-                wok.iter()
-                    .map(|&i| {
-                        if desc {
-                            OrdElem::desc(AttrId::new(i))
-                        } else {
-                            OrdElem::asc(AttrId::new(i))
-                        }
-                    })
-                    .collect(),
-            );
-            Some(WindowSpec::rank(
-                name,
-                wpk.into_iter().map(AttrId::new).collect(),
-                wok_spec,
-            ))
-        })
+/// Random subsequence of `pool` with at most `max` elements (proptest's
+/// `subsequence` stand-in, driven by the shared [`SplitMix64`]).
+fn subsequence(rng: &mut SplitMix64, pool: &[usize], max: usize) -> Vec<usize> {
+    pool.iter()
+        .copied()
+        .filter(|_| rng.random_below(2) == 1)
+        .take(max)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// A random window spec over attrs 1..=3 of `random_table` (attr 0 is the
+/// unique id). Never returns an empty-key spec.
+fn arb_spec(rng: &mut SplitMix64, name: &'static str) -> WindowSpec {
+    loop {
+        let wpk = subsequence(rng, &[1, 2, 3], 2);
+        let remaining: Vec<usize> = [1usize, 2, 3]
+            .iter()
+            .copied()
+            .filter(|i| !wpk.contains(i))
+            .collect();
+        let wok = subsequence(rng, &remaining, 2);
+        if wpk.is_empty() && wok.is_empty() {
+            continue;
+        }
+        let desc = rng.random_below(2) == 1;
+        let wok_spec = SortSpec::new(
+            wok.iter()
+                .map(|&i| {
+                    if desc {
+                        OrdElem::desc(AttrId::new(i))
+                    } else {
+                        OrdElem::asc(AttrId::new(i))
+                    }
+                })
+                .collect(),
+        );
+        return WindowSpec::rank(name, wpk.into_iter().map(AttrId::new).collect(), wok_spec);
+    }
+}
 
-    /// End-to-end: random pair of specs, random data, three memory sizes,
-    /// all schemes agree with the reference.
-    #[test]
-    fn schemes_agree_with_reference(
-        spec_a in arb_spec("a"),
-        spec_b in arb_spec("b"),
-        rows in 50usize..400,
-        seed in 0u64..1000,
-        mem in prop::sample::select(vec![2u64, 8, 64]),
-    ) {
+/// End-to-end: random pair of specs, random data, three memory sizes, all
+/// schemes agree with the reference.
+#[test]
+fn schemes_agree_with_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0xA11CE);
+    for case in 0..24 {
+        let spec_a = arb_spec(&mut rng, "a");
+        let spec_b = arb_spec(&mut rng, "b");
+        let rows = 50 + rng.random_below(350) as usize;
+        let seed = rng.random_below(1000);
+        let mem = [2u64, 8, 64][rng.random_below(3) as usize];
+
         let table = random_table(rows, &[7, 13, 23], seed);
         let specs = vec![spec_a, spec_b];
         let query = WindowQuery::new(table.schema().clone(), specs.clone());
@@ -69,84 +81,108 @@ proptest! {
             let plan = optimize(&query, &stats, scheme, &env).unwrap();
             let report = execute_plan(&plan, &table, &env).unwrap();
             for (i, spec) in specs.iter().enumerate() {
-                let got = column_by_key(&report.table, AttrId::new(0),
-                    AttrId::new(table.schema().len() + i));
+                let got = column_by_key(
+                    &report.table,
+                    AttrId::new(0),
+                    AttrId::new(table.schema().len() + i),
+                );
                 let expected = reference_rank(&table, spec, AttrId::new(0));
                 for (id, rank) in &expected {
-                    prop_assert_eq!(
+                    assert_eq!(
                         got.get(id).and_then(|v| v.as_int()),
                         Some(*rank),
-                        "{} / {} (plan {})", scheme, spec.name, plan.chain_string()
+                        "case {case}: {} / {} (plan {})",
+                        scheme,
+                        spec.name,
+                        plan.chain_string()
                     );
                 }
             }
         }
     }
+}
 
-    /// A successful cover-set proof yields a γ that covers every member:
-    /// γ's prefix realizes each member's WPK-set then WOK-sequence.
-    #[test]
-    fn covering_permutation_covers_members(
-        a in arb_spec("a"),
-        b in arb_spec("b"),
-        c in arb_spec("c"),
-    ) {
-        let specs = vec![a, b, c];
+/// A successful cover-set proof yields a γ that covers every member: γ's
+/// prefix realizes each member's WPK-set then WOK-sequence.
+#[test]
+fn covering_permutation_covers_members() {
+    let mut rng = SplitMix64::seed_from_u64(0xB0B);
+    for _ in 0..48 {
+        let specs = vec![
+            arb_spec(&mut rng, "a"),
+            arb_spec(&mut rng, "b"),
+            arb_spec(&mut rng, "c"),
+        ];
         if let Some(cs) = try_cover_set(&specs, &[0, 1, 2], None) {
             let gamma = cs.key();
             for &m in &cs.members {
                 let s = &specs[m];
                 let p = s.wpk().len();
                 let n = s.key_len();
-                prop_assert!(gamma.len() >= n);
+                assert!(gamma.len() >= n);
                 let head: AttrSet = gamma.elems()[..p].iter().map(|e| e.attr).collect();
-                prop_assert_eq!(&head, s.wpk());
-                prop_assert_eq!(&gamma.elems()[p..n], s.wok().elems());
+                assert_eq!(&head, s.wpk());
+                assert_eq!(&gamma.elems()[p..n], s.wok().elems());
             }
         }
     }
+}
 
-    /// α∘β from alpha_split is a valid perm(WPK)∘WOK and after_ss matches.
-    #[test]
-    fn alpha_split_reconstructs_key(
-        spec in arb_spec("t"),
-        y in proptest::sample::subsequence(vec![1usize, 2, 3], 0..=3),
-        grouped_x in proptest::sample::subsequence(vec![1usize, 2, 3], 0..=1),
-    ) {
+/// α∘β from alpha_split is a valid perm(WPK)∘WOK and after_ss matches.
+#[test]
+fn alpha_split_reconstructs_key() {
+    let mut rng = SplitMix64::seed_from_u64(0xCAFE);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut rng, "t");
+        let y = subsequence(&mut rng, &[1, 2, 3], 3);
+        let grouped_x = subsequence(&mut rng, &[1, 2, 3], 1);
         let x = AttrSet::from_iter(grouped_x.iter().map(|&i| AttrId::new(i)));
         let y_spec = SortSpec::new(y.iter().map(|&i| OrdElem::asc(AttrId::new(i))).collect());
         let props = SegProps::new(x, y_spec, true);
         let split = props.alpha_split(&spec);
         let full = split.full_key();
         // attr multiset check: full key = WPK ∪ WOK exactly once each.
-        prop_assert_eq!(full.len(), spec.key_len());
-        let head: AttrSet = full.elems()[..spec.wpk().len()].iter().map(|e| e.attr).collect();
-        prop_assert_eq!(&head, spec.wpk());
-        prop_assert_eq!(&full.elems()[spec.wpk().len()..], spec.wok().elems());
+        assert_eq!(full.len(), spec.key_len());
+        let head: AttrSet = full.elems()[..spec.wpk().len()]
+            .iter()
+            .map(|e| e.attr)
+            .collect();
+        assert_eq!(&head, spec.wpk());
+        assert_eq!(&full.elems()[spec.wpk().len()..], spec.wok().elems());
         // And the declared output property must match the spec.
         if props.x().is_subset(spec.wpk()) {
-            prop_assert!(props.after_ss(&split).matches(&spec));
+            assert!(props.after_ss(&split).matches(&spec));
         }
     }
+}
 
-    /// Executor outputs really are the segmented relations the property
-    /// algebra claims: FS → one sorted segment; HS → segments disjoint on
-    /// WHK, each sorted; SS on sorted input → segments sorted on α∘β.
-    #[test]
-    fn operators_produce_claimed_segmented_relations(
-        rows in 30usize..200,
-        seed in 0u64..500,
-        mem in prop::sample::select(vec![2u64, 16]),
-    ) {
+/// Executor outputs really are the segmented relations the property algebra
+/// claims: FS → one sorted segment; HS → segments disjoint on WHK, each
+/// sorted; SS on sorted input → segments sorted on α∘β.
+#[test]
+fn operators_produce_claimed_segmented_relations() {
+    let mut rng = SplitMix64::seed_from_u64(0xD00D);
+    for _ in 0..24 {
+        let rows = 30 + rng.random_below(170) as usize;
+        let seed = rng.random_below(500);
+        let mem = [2u64, 16][rng.random_below(2) as usize];
+
         let table = random_table(rows, &[5, 11], seed);
-        let key = SortSpec::new(vec![OrdElem::asc(AttrId::new(1)), OrdElem::asc(AttrId::new(2))]);
+        let key = SortSpec::new(vec![
+            OrdElem::asc(AttrId::new(1)),
+            OrdElem::asc(AttrId::new(2)),
+        ]);
         let whk = AttrSet::from_iter([AttrId::new(1)]);
 
         let env = OpEnv::with_memory_blocks(mem);
-        let fs = full_sort(SegmentedRows::single_segment(table.rows().to_vec()), &key, &env)
-            .unwrap();
-        prop_assert!(fs.segment_count() <= 1);
-        prop_assert!(fs.segments_sorted_by(&RowComparator::new(&key)));
+        let fs = full_sort(
+            SegmentedRows::single_segment(table.rows().to_vec()),
+            &key,
+            &env,
+        )
+        .unwrap();
+        assert!(fs.segment_count() <= 1);
+        assert!(fs.segments_sorted_by(&RowComparator::new(&key)));
 
         let hs = hashed_sort(
             SegmentedRows::single_segment(table.rows().to_vec()),
@@ -154,16 +190,17 @@ proptest! {
             &key,
             &HsOptions::with_buckets(8),
             &env,
-        ).unwrap();
-        prop_assert!(hs.segments_disjoint_on(&whk));
-        prop_assert!(hs.segments_sorted_by(&RowComparator::new(&key)));
-        prop_assert_eq!(hs.len(), rows);
+        )
+        .unwrap();
+        assert!(hs.segments_disjoint_on(&whk));
+        assert!(hs.segments_sorted_by(&RowComparator::new(&key)));
+        assert_eq!(hs.len(), rows);
 
         // SS over the FS output: sort c1-groups on c2 descending.
         let alpha = SortSpec::new(vec![OrdElem::asc(AttrId::new(1))]);
         let beta = SortSpec::new(vec![OrdElem::desc(AttrId::new(2))]);
         let ss = segmented_sort(fs, &alpha, &beta, &env).unwrap();
-        prop_assert_eq!(ss.len(), rows);
-        prop_assert!(ss.segments_sorted_by(&RowComparator::new(&alpha.concat(&beta))));
+        assert_eq!(ss.len(), rows);
+        assert!(ss.segments_sorted_by(&RowComparator::new(&alpha.concat(&beta))));
     }
 }

@@ -18,9 +18,14 @@ fn check_query(table: &Table, specs: Vec<WindowSpec>, mem_blocks: u64) {
     let query = WindowQuery::new(table.schema().clone(), specs.clone());
     let stats = TableStats::from_table(table);
 
-    for scheme in [Scheme::Cso, Scheme::CsoNoHs, Scheme::CsoNoSs, Scheme::Bfo, Scheme::Orcl,
-        Scheme::Psql]
-    {
+    for scheme in [
+        Scheme::Cso,
+        Scheme::CsoNoHs,
+        Scheme::CsoNoSs,
+        Scheme::Bfo,
+        Scheme::Orcl,
+        Scheme::Psql,
+    ] {
         let env = ExecEnv::with_memory_blocks(mem_blocks);
         let plan = optimize(&query, &stats, scheme, &env)
             .unwrap_or_else(|e| panic!("{scheme} failed to plan: {e}"));
@@ -58,7 +63,11 @@ fn rank_spec(name: &str, wpk: &[usize], wok: &[usize]) -> WindowSpec {
 #[test]
 fn two_functions_shared_partition_key() {
     let table = random_table(2_000, &[20, 50, 50], 1);
-    check_query(&table, vec![rank_spec("a", &[1], &[2]), rank_spec("b", &[1], &[3])], 64);
+    check_query(
+        &table,
+        vec![rank_spec("a", &[1], &[2]), rank_spec("b", &[1], &[3])],
+        64,
+    );
 }
 
 #[test]
@@ -79,7 +88,11 @@ fn tiny_memory_heavy_spilling() {
     // Two blocks of sort memory force every operator down its external
     // path; results must be unchanged.
     let table = random_table(4_000, &[15, 30], 3);
-    check_query(&table, vec![rank_spec("a", &[1], &[2]), rank_spec("b", &[2], &[1])], 2);
+    check_query(
+        &table,
+        vec![rank_spec("a", &[1], &[2]), rank_spec("b", &[2], &[1])],
+        2,
+    );
 }
 
 #[test]
@@ -87,7 +100,10 @@ fn global_and_partitioned_ranks() {
     let table = random_table(1_500, &[12, 70], 4);
     check_query(
         &table,
-        vec![rank_spec("global", &[], &[2]), rank_spec("local", &[1], &[2])],
+        vec![
+            rank_spec("global", &[], &[2]),
+            rank_spec("local", &[1], &[2]),
+        ],
         16,
     );
 }
@@ -139,10 +155,7 @@ fn eight_functions_q9_shape() {
 fn single_row_and_empty_tables() {
     for rows in [0usize, 1] {
         let table = random_table(rows, &[3, 3], 7);
-        let query = WindowQuery::new(
-            table.schema().clone(),
-            vec![rank_spec("r", &[1], &[2])],
-        );
+        let query = WindowQuery::new(table.schema().clone(), vec![rank_spec("r", &[1], &[2])]);
         let stats = TableStats::from_table(&table);
         for scheme in [Scheme::Cso, Scheme::Psql] {
             let env = ExecEnv::with_memory_blocks(4);
@@ -160,12 +173,18 @@ fn pre_sorted_input_uses_c0_and_matches_reference() {
     let table = random_table(1_200, &[9, 33], 8);
     let schema = table.schema().clone();
     let mut rows = table.rows().to_vec();
-    let key = SortSpec::new(vec![OrdElem::asc(AttrId::new(1)), OrdElem::asc(AttrId::new(2))]);
+    let key = SortSpec::new(vec![
+        OrdElem::asc(AttrId::new(1)),
+        OrdElem::asc(AttrId::new(2)),
+    ]);
     let cmp = RowComparator::new(&key);
     rows.sort_by(|a, b| cmp.compare(a, b));
     let sorted_table = Table::from_rows(schema, rows).unwrap();
 
-    let specs = vec![rank_spec("matched", &[1], &[2]), rank_spec("other", &[2], &[1])];
+    let specs = vec![
+        rank_spec("matched", &[1], &[2]),
+        rank_spec("other", &[2], &[1]),
+    ];
     let mut query = WindowQuery::new(sorted_table.schema().clone(), specs.clone());
     query.input_props = wfopt::core::SegProps::sorted(key);
     let stats = TableStats::from_table(&sorted_table);

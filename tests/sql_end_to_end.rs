@@ -52,9 +52,18 @@ fn order_by_is_applied() {
     let c0 = AttrId::new(1);
     let r = AttrId::new(3);
     for w in out.rows().windows(2) {
-        let a = (w[0].get(c0).as_int().unwrap(), w[0].get(r).as_int().unwrap());
-        let b = (w[1].get(c0).as_int().unwrap(), w[1].get(r).as_int().unwrap());
-        assert!(a.0 > b.0 || (a.0 == b.0 && a.1 <= b.1), "ordering violated: {a:?} then {b:?}");
+        let a = (
+            w[0].get(c0).as_int().unwrap(),
+            w[0].get(r).as_int().unwrap(),
+        );
+        let b = (
+            w[1].get(c0).as_int().unwrap(),
+            w[1].get(r).as_int().unwrap(),
+        );
+        assert!(
+            a.0 > b.0 || (a.0 == b.0 && a.1 <= b.1),
+            "ordering violated: {a:?} then {b:?}"
+        );
     }
 }
 
