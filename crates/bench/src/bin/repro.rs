@@ -27,7 +27,9 @@ fn usage() -> ! {
            ablate-ss SS unit-count ablation\n\
            parallel  §3.5 parallel speedup\n\
            integrated  §5 GROUP-BY-variant integration\n\
-           all       everything above\n\
+           regress   fixed workloads → results/BENCH_2.json; exits 1 on a\n\
+                     >2x modeled-cost regression vs BENCH_2.baseline.json\n\
+           all       everything above (except regress)\n\
          options:\n\
            --rows N  table size (default 200000; paper ratio-preserving)"
     );
@@ -72,6 +74,14 @@ fn main() {
         Some("ablate-ss") => run_ablate_ss(&h),
         Some("parallel") => run_parallel(&h),
         Some("integrated") => run_integrated(&h),
+        Some("regress") => {
+            // Row count is pinned inside the module so the checked-in
+            // baseline stays comparable across machines and invocations.
+            if !wf_bench::regress::run_regress() {
+                eprintln!("\n(total harness time: {:.1?})", started.elapsed());
+                std::process::exit(1);
+            }
+        }
         Some("all") => {
             run_fig3(&h);
             run_fig4(&h);

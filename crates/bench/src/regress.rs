@@ -1,0 +1,369 @@
+//! `repro regress` — machine-readable bench regression tracking.
+//!
+//! Runs a small, fixed, fully deterministic workload set (row count pinned
+//! regardless of `--rows` so the checked-in baseline stays comparable),
+//! writes `results/BENCH_2.json`, and — when `results/BENCH_2.baseline.json`
+//! exists — fails with a non-zero exit if any workload's **modeled cost**
+//! regressed by more than 2× against the baseline. Modeled cost is computed
+//! from deterministic counters, so the gate is machine-independent; wall
+//! clock is recorded for trend inspection but never gated (CI noise).
+//!
+//! The set also measures the two PR-2 fast paths directly:
+//! * `fs_sort_*` / `hs_sort_*` — the fig3 FS-vs-HS sort-dominated
+//!   workloads with normalized byte keys on vs. the `RowComparator`
+//!   reference (wall-clock speedup printed),
+//! * `chain_shared_wpk_*` — the two-window shared-partition-key chain with
+//!   boundary reuse on vs. off (comparison reduction printed).
+
+use crate::paper_mb_to_blocks;
+use crate::queries;
+use crate::report::ReportTable;
+use std::fmt::Write as _;
+use wf_core::cost::TableStats;
+use wf_core::plan::{finalize_chain, PlanContext, PlanStep, ReorderOp};
+use wf_core::planner::{optimize, Scheme};
+use wf_core::props::SegProps;
+use wf_core::query::WindowQuery;
+use wf_core::runtime::{execute_plan, ExecEnv};
+use wf_core::spec::WindowSpec;
+use wf_datagen::WsConfig;
+use wf_storage::Table;
+
+/// Pinned size of the regression workloads (see module docs).
+pub const REGRESS_ROWS: usize = 40_000;
+/// Modeled-cost regression threshold.
+pub const REGRESS_FACTOR: f64 = 2.0;
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct RegressEntry {
+    pub name: String,
+    pub modeled_ms: f64,
+    pub wall_ms: f64,
+    pub comparisons: u64,
+    pub io_blocks: u64,
+    pub key_encodes: u64,
+}
+
+fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str) -> RegressEntry {
+    let report = execute_plan(plan, table, env).expect("regress workload");
+    RegressEntry {
+        name: name.to_string(),
+        modeled_ms: report.modeled_ms,
+        wall_ms: report.wall.as_secs_f64() * 1000.0,
+        comparisons: report.work.comparisons,
+        io_blocks: report.work.io_blocks(),
+        key_encodes: report.work.key_encodes,
+    }
+}
+
+fn single_op_plan(
+    spec: &WindowSpec,
+    op: ReorderOp,
+    stats: &TableStats,
+    m_blocks: u64,
+) -> wf_core::plan::Plan {
+    let ctx = PlanContext::new(stats, m_blocks);
+    finalize_chain(
+        "regress",
+        std::slice::from_ref(spec),
+        &SegProps::unordered(),
+        1,
+        vec![PlanStep { wf: 0, reorder: op }],
+        &ctx,
+    )
+}
+
+/// Run the workload set. Returns the entries (deterministic order).
+pub fn run_workloads() -> Vec<RegressEntry> {
+    let cfg = WsConfig {
+        rows: REGRESS_ROWS,
+        d_item: (REGRESS_ROWS as u64 / 20).max(64),
+        d_bill: (REGRESS_ROWS as u64 / 10).max(64),
+        ..WsConfig::default()
+    };
+    let table = cfg.generate();
+    let stats = TableStats::from_table(&table);
+    let blocks = table.block_count();
+    let mut out = Vec::new();
+
+    // fig3 FS-vs-HS at a spill-heavy and an in-memory-ish budget, with the
+    // byte-key path (default) and the comparator reference.
+    let spec = queries::q1();
+    for &m_mb in &[25.0, 500.0] {
+        let m = paper_mb_to_blocks(m_mb, blocks);
+        let fs = ReorderOp::Fs {
+            key: wf_core::plan::default_fs_key(&spec),
+        };
+        let hs = ReorderOp::Hs {
+            whk: spec.wpk().clone(),
+            key: wf_core::plan::default_fs_key(&spec),
+            n_buckets: wf_core::cost::hs_bucket_count(&stats, spec.wpk()),
+            mfv: vec![],
+        };
+        for (op, op_name) in [(fs, "fs"), (hs, "hs")] {
+            let plan = single_op_plan(&spec, op, &stats, m);
+            for (norm, key_name) in [(true, "normkeys"), (false, "comparator")] {
+                let env = ExecEnv::with_memory_blocks(m).with_toggles(norm, true);
+                // Best of 3 for a stabler wall reading; counters identical
+                // across repetitions (execute_plan reports tracker deltas).
+                let mut best: Option<RegressEntry> = None;
+                for _ in 0..3 {
+                    let e = run_plan(
+                        &plan,
+                        &table,
+                        &env,
+                        &format!("{op_name}_sort_m{m_mb:.0}_{key_name}"),
+                    );
+                    if best.as_ref().is_none_or(|b| e.wall_ms < b.wall_ms) {
+                        best = Some(e);
+                    }
+                }
+                out.push(best.expect("three runs"));
+            }
+        }
+    }
+
+    // Sort-only microbench: the fig3 FS sort key over the same table with
+    // an in-memory budget — wall clock is comparison-dominated here (no
+    // spill traffic, no window evaluation), which is where the normalized
+    // byte keys show their raw speedup.
+    let fs_key = wf_core::plan::default_fs_key(&spec);
+    for (norm, key_name) in [(true, "normkeys"), (false, "comparator")] {
+        let mut best: Option<RegressEntry> = None;
+        for _ in 0..5 {
+            let env = wf_exec::OpEnv::with_memory_blocks(blocks * 4).with_toggles(norm, true);
+            let rows = table.rows().to_vec();
+            let sort_key = wf_exec::SortKey::new(&fs_key);
+            let t = std::time::Instant::now();
+            let sorted = wf_exec::sorter::sort_rows(rows, &sort_key, &env).expect("sort");
+            let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
+            assert_eq!(sorted.len(), table.row_count());
+            let s = env.tracker.snapshot();
+            let e = RegressEntry {
+                name: format!("fig3_sortonly_{key_name}"),
+                modeled_ms: wf_storage::CostWeights::default().modeled_ms(&s),
+                wall_ms,
+                comparisons: s.comparisons,
+                io_blocks: s.io_blocks(),
+                key_encodes: s.key_encodes,
+            };
+            if best.as_ref().is_none_or(|b| e.wall_ms < b.wall_ms) {
+                best = Some(e);
+            }
+        }
+        out.push(best.expect("five runs"));
+    }
+
+    // Two-window shared-WPK chain: boundary reuse on vs. off.
+    let chain_query = chain_query(&table);
+    for (reuse, name) in [
+        (true, "chain_shared_wpk_reuse"),
+        (false, "chain_shared_wpk_noreuse"),
+    ] {
+        let env =
+            ExecEnv::with_memory_blocks(paper_mb_to_blocks(75.0, blocks)).with_toggles(true, reuse);
+        let plan = optimize(&chain_query, &stats, Scheme::Cso, &env).expect("plan");
+        out.push(run_plan(&plan, &table, &env, name));
+    }
+    out
+}
+
+fn chain_query(table: &Table) -> WindowQuery {
+    use wf_datagen::WsColumn::{Item, SoldTime, Warehouse};
+    let specs = vec![
+        WindowSpec::rank(
+            "r1",
+            vec![Item.attr()],
+            wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(SoldTime.attr())]),
+        ),
+        WindowSpec::rank(
+            "r2",
+            vec![Item.attr()],
+            wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(Warehouse.attr())]),
+        ),
+    ];
+    WindowQuery::new(table.schema().clone(), specs)
+}
+
+/// Serialize entries as `BENCH_2.json`.
+pub fn to_json(entries: &[RegressEntry]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": \"bench2-v1\",");
+    let _ = writeln!(s, "  \"rows\": {REGRESS_ROWS},");
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"modeled_ms\": {:.4}, \"wall_ms\": {:.3}, \
+             \"comparisons\": {}, \"io_blocks\": {}, \"key_encodes\": {}}}",
+            e.name, e.modeled_ms, e.wall_ms, e.comparisons, e.io_blocks, e.key_encodes
+        );
+        s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Minimal extraction of `(name, modeled_ms)` pairs from a BENCH_2-shaped
+/// JSON file (flat entry objects; no nesting — the format we write).
+pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for obj in json.split('{').skip(2) {
+        let obj = obj.split('}').next().unwrap_or("");
+        let field = |key: &str| -> Option<&str> {
+            let pos = obj.find(&format!("\"{key}\""))?;
+            let rest = obj[pos..].split(':').nth(1)?;
+            Some(rest.split(',').next()?.trim())
+        };
+        let (Some(name), Some(ms)) = (field("name"), field("modeled_ms")) else {
+            continue;
+        };
+        let name = name.trim_matches(['"', ' ']).to_string();
+        if let Ok(ms) = ms.parse::<f64>() {
+            out.push((name, ms));
+        }
+    }
+    out
+}
+
+/// Run the regression suite: write `results/BENCH_2.json`, print the table
+/// and the fast-path headline numbers, compare against the checked-in
+/// baseline. Returns `false` when a >2× modeled-cost regression was found.
+pub fn run_regress() -> bool {
+    let entries = run_workloads();
+
+    let mut t = ReportTable::new(
+        "BENCH_2: regression workloads (modeled ms | wall ms | comparisons)",
+        &[
+            "workload",
+            "modeled ms",
+            "wall ms",
+            "comparisons",
+            "io",
+            "key encodes",
+        ],
+    );
+    for e in &entries {
+        t.row(vec![
+            e.name.clone(),
+            format!("{:.2}", e.modeled_ms),
+            format!("{:.2}", e.wall_ms),
+            format!("{}", e.comparisons),
+            format!("{}", e.io_blocks),
+            format!("{}", e.key_encodes),
+        ]);
+    }
+    t.emit("BENCH_2_table");
+
+    // Headline: byte-key wall speedup on the sort-dominated workloads.
+    let wall = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.wall_ms)
+            .unwrap_or(f64::NAN)
+    };
+    for (cmp_name, norm_name) in [
+        ("fig3_sortonly_comparator", "fig3_sortonly_normkeys"),
+        ("fs_sort_m25_comparator", "fs_sort_m25_normkeys"),
+        ("fs_sort_m500_comparator", "fs_sort_m500_normkeys"),
+        ("hs_sort_m25_comparator", "hs_sort_m25_normkeys"),
+        ("hs_sort_m500_comparator", "hs_sort_m500_normkeys"),
+    ] {
+        println!(
+            "normalized-key wall speedup {}: {:.2}x",
+            norm_name,
+            wall(cmp_name) / wall(norm_name)
+        );
+    }
+    let find = |name: &str| entries.iter().find(|e| e.name == name);
+    if let (Some(on), Some(off)) = (
+        find("chain_shared_wpk_reuse"),
+        find("chain_shared_wpk_noreuse"),
+    ) {
+        println!(
+            "boundary reuse: {} → {} comparisons ({:.1}% fewer)",
+            off.comparisons,
+            on.comparisons,
+            100.0 * (off.comparisons.saturating_sub(on.comparisons)) as f64
+                / off.comparisons.max(1) as f64
+        );
+    }
+
+    let json = to_json(&entries);
+    std::fs::create_dir_all("results").ok();
+    if let Err(e) = std::fs::write("results/BENCH_2.json", &json) {
+        eprintln!("(could not write results/BENCH_2.json: {e})");
+    }
+
+    // Gate against the checked-in baseline. A missing baseline is fatal in
+    // CI (the gate must never silently disarm there) and a friendly skip
+    // locally.
+    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_2.baseline.json") else {
+        if std::env::var_os("CI").is_some() {
+            println!("\nresults/BENCH_2.baseline.json missing in CI — failing the gate");
+            return false;
+        }
+        println!("\n(no results/BENCH_2.baseline.json — baseline gate skipped)");
+        return true;
+    };
+    let baseline = parse_baseline(&baseline_raw);
+    let mut ok = true;
+    for (name, base_ms) in baseline {
+        let Some(e) = entries.iter().find(|e| e.name == name) else {
+            // A vanished workload silently disarms its gate — fail so the
+            // baseline must be regenerated in the same change.
+            println!(
+                "REGRESSION {name}: baseline entry no longer measured \
+                 (renamed/removed? regenerate results/BENCH_2.baseline.json)"
+            );
+            ok = false;
+            continue;
+        };
+        if base_ms > 0.0 && e.modeled_ms > REGRESS_FACTOR * base_ms {
+            println!(
+                "REGRESSION {}: modeled {:.2} ms vs baseline {:.2} ms (> {REGRESS_FACTOR}x)",
+                name, e.modeled_ms, base_ms
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("\nbaseline gate: OK (no workload exceeded {REGRESS_FACTOR}x modeled cost)");
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrip() {
+        let entries = vec![
+            RegressEntry {
+                name: "w1".into(),
+                modeled_ms: 1.25,
+                wall_ms: 3.0,
+                comparisons: 10,
+                io_blocks: 2,
+                key_encodes: 5,
+            },
+            RegressEntry {
+                name: "w2".into(),
+                modeled_ms: 0.5,
+                wall_ms: 1.0,
+                comparisons: 7,
+                io_blocks: 0,
+                key_encodes: 0,
+            },
+        ];
+        let json = to_json(&entries);
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "w1");
+        assert!((parsed[0].1 - 1.25).abs() < 1e-9);
+        assert!((parsed[1].1 - 0.5).abs() < 1e-9);
+    }
+}

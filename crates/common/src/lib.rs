@@ -15,6 +15,7 @@
 
 pub mod attrs;
 pub mod error;
+pub mod normkey;
 pub mod ord;
 pub mod row;
 pub mod schema;
@@ -22,6 +23,7 @@ pub mod value;
 
 pub use attrs::{AttrId, AttrSeq, AttrSet};
 pub use error::{Error, Result};
+pub use normkey::KeyNormalizer;
 pub use ord::{Direction, NullOrder, OrdElem, RowComparator, SortSpec};
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};

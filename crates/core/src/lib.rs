@@ -37,3 +37,4 @@ pub use props::SegProps;
 pub use query::{QueryBuilder, WindowQuery};
 pub use runtime::{execute_plan, ExecEnv, ExecReport};
 pub use spec::WindowSpec;
+pub use wf_exec::Predicate;

@@ -73,6 +73,10 @@ pub struct Plan {
     /// Number of reorders the finalizer had to insert (0 for a planner
     /// whose chain was already consistent).
     pub repairs: usize,
+    /// WHERE predicate pushed below the chain (the runtime inserts a
+    /// `FilterOp` directly after the table scan). Set by
+    /// [`crate::planner::optimize`] from the query.
+    pub filter: Option<wf_exec::Predicate>,
 }
 
 impl Plan {
@@ -100,6 +104,9 @@ impl Plan {
     pub fn explain(&self, schema: &Schema) -> String {
         let specs = &self.specs;
         let mut out = format!("input: {}\n", self.input_props);
+        if let Some(pred) = &self.filter {
+            out.push_str(&format!("  ── Filter {pred:?}\n"));
+        }
         for step in &self.steps {
             let spec = &specs[step.wf];
             match &step.reorder {
@@ -342,6 +349,7 @@ pub fn finalize_chain(
         final_props: props,
         est_cost: total,
         repairs,
+        filter: None,
     }
 }
 
@@ -511,6 +519,7 @@ mod tests {
             final_props: SegProps::unordered(),
             est_cost: Cost::zero(),
             repairs: 0,
+            filter: None,
         };
         assert_eq!(plan.chain_string(), "ws FS→ wf0 → wf0");
     }

@@ -77,7 +77,7 @@ pub fn optimize(
 ) -> Result<Plan> {
     let mut ctx = PlanContext::new(stats, env.mem_blocks());
     ctx.weights = env.weights();
-    match scheme {
+    let mut plan = match scheme {
         Scheme::Cso => plan_cso(query, &ctx),
         Scheme::CsoNoHs => {
             ctx.allow_hs = false;
@@ -90,7 +90,11 @@ pub fn optimize(
         Scheme::Bfo => plan_bfo(query, &ctx, &BfoOptions::default()),
         Scheme::Orcl => plan_orcl(query, &ctx),
         Scheme::Psql => plan_psql(query, &ctx),
-    }
+    }?;
+    // The WHERE predicate (if any) rides on the plan: the runtime inserts a
+    // FilterOp between the table scan and the first reorder.
+    plan.filter = query.filter.clone();
+    Ok(plan)
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@ pub struct WindowQuery {
     /// one column per window function). `None` keeps every column
     /// (`SELECT *` semantics, the paper's setting).
     pub projection: Option<Vec<wf_common::AttrId>>,
+    /// WHERE predicate over the base table, applied by a streaming
+    /// `FilterOp` before the first reorder.
+    pub filter: Option<wf_exec::Predicate>,
 }
 
 impl WindowQuery {
@@ -36,6 +39,7 @@ impl WindowQuery {
             input_segments: 1,
             order_by: None,
             projection: None,
+            filter: None,
         }
     }
 
@@ -170,6 +174,7 @@ impl<'a> QueryBuilder<'a> {
             input_segments: self.input_segments,
             order_by: self.order_by,
             projection: None,
+            filter: None,
         })
     }
 }

@@ -27,7 +27,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wf_common::{Field, Result, Row};
 use wf_exec::{
-    FullSortOp, HashedSortOp, HsOptions, OpEnv, Operator, SegmentedSortOp, TableScan, WindowOp,
+    FilterOp, FullSortOp, HashedSortOp, HsOptions, OpEnv, Operator, Segment, SegmentedSortOp,
+    TableScan, WindowOp,
 };
 use wf_storage::{CostSnapshot, CostTracker, CostWeights, Table};
 
@@ -73,6 +74,16 @@ impl ExecEnv {
     pub fn with_blocks(&self, blocks: u64) -> Self {
         ExecEnv {
             op_env: self.op_env.with_blocks(blocks),
+            weights: self.weights,
+        }
+    }
+
+    /// Same environment with the executor fast paths toggled (normalized
+    /// byte keys; boundary-layer reuse). Reference configuration for the
+    /// equivalence suite and ablation benchmarks.
+    pub fn with_toggles(&self, norm_keys: bool, reuse_bounds: bool) -> Self {
+        ExecEnv {
+            op_env: self.op_env.with_toggles(norm_keys, reuse_bounds),
             weights: self.weights,
         }
     }
@@ -137,7 +148,7 @@ impl<O> Metered<O> {
 }
 
 impl<O: Operator> Operator for Metered<O> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         let upstream_before = self.upstream_sum();
         let before = self.tracker.snapshot();
         let result = self.inner.next_segment();
@@ -163,8 +174,15 @@ fn build_chain<'a>(
 ) -> (Box<dyn Operator + 'a>, Vec<usize>) {
     let tracker = Arc::clone(env.tracker());
     let op_env = env.op_env().clone();
+    // Slot 0 is the scan plus the WHERE filter (when the plan carries one):
+    // filtering streams through the scan's segments before any reorder.
+    let scan = TableScan::new(table, op_env.clone());
+    let source: Box<dyn Operator + 'a> = match &plan.filter {
+        Some(pred) => Box::new(FilterOp::new(scan, pred.clone(), op_env.clone())),
+        None => Box::new(scan),
+    };
     let mut op: Box<dyn Operator + 'a> = Box::new(Metered::new(
-        TableScan::new(table, op_env.clone()),
+        source,
         Arc::clone(&tracker),
         Rc::clone(cells),
         0,
@@ -240,7 +258,7 @@ pub fn execute_plan_with_specs(
     let (mut op, eval_order) = build_chain(plan, specs, table, env, &cells);
     let mut rows: Vec<Row> = Vec::new();
     while let Some(seg) = op.next_segment()? {
-        rows.extend(seg);
+        rows.extend(seg.rows);
     }
     drop(op);
 

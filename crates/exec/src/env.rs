@@ -16,6 +16,15 @@ pub struct OpEnv {
     pub medium: SpillMedium,
     /// Unit reorder memory in blocks.
     pub mem_blocks: u64,
+    /// Compare byte-comparable normalized sort keys instead of dispatching
+    /// through `RowComparator` (on by default; the comparator path remains
+    /// as the reference for equivalence tests and as the fallback for
+    /// non-normalizable values).
+    pub norm_keys: bool,
+    /// Let downstream operators reuse partition/peer boundary layers
+    /// carried on segments instead of re-running equality comparisons
+    /// (paper §3.3/§3.5 matched-prefix pipelining; on by default).
+    pub reuse_bounds: bool,
 }
 
 impl OpEnv {
@@ -26,6 +35,8 @@ impl OpEnv {
             tracker: Arc::new(CostTracker::new()),
             medium: SpillMedium::Simulated,
             mem_blocks,
+            norm_keys: true,
+            reuse_bounds: true,
         }
     }
 
@@ -37,9 +48,18 @@ impl OpEnv {
     /// Same environment with a different memory budget.
     pub fn with_blocks(&self, mem_blocks: u64) -> Self {
         OpEnv {
-            tracker: Arc::clone(&self.tracker),
-            medium: self.medium,
             mem_blocks,
+            ..self.clone()
+        }
+    }
+
+    /// Same environment with the fast paths toggled (reference/ablation
+    /// configuration for equivalence tests and benchmarks).
+    pub fn with_toggles(&self, norm_keys: bool, reuse_bounds: bool) -> Self {
+        OpEnv {
+            norm_keys,
+            reuse_bounds,
+            ..self.clone()
         }
     }
 }

@@ -5,17 +5,18 @@
 //! on the sort key (`R_{∅, key}` in the paper's notation).
 
 use crate::env::OpEnv;
-use crate::operator::{drain, Operator, SegmentSource};
+use crate::operator::{drain, Operator, Segment, SegmentSource};
 use crate::segment::SegmentedRows;
-use crate::sorter::sort_rows;
-use wf_common::{Result, Row, RowComparator, SortSpec};
+use crate::sorter::{sort_rows, SortKey};
+use wf_common::{Result, Row, SortSpec};
 
 /// The FS operator: drains its input on the first pull (a total sort is
 /// blocking by nature), sorts within the memory budget, and emits the
-/// result as one totally ordered segment.
+/// result as one totally ordered segment. A total reorder invalidates any
+/// upstream boundary metadata, so the output segment carries none.
 pub struct FullSortOp<I> {
     input: I,
-    key: SortSpec,
+    key: SortKey,
     env: OpEnv,
     done: bool,
 }
@@ -25,7 +26,7 @@ impl<I: Operator> FullSortOp<I> {
     pub fn new(input: I, key: SortSpec, env: OpEnv) -> Self {
         FullSortOp {
             input,
-            key,
+            key: SortKey::new(&key),
             env,
             done: false,
         }
@@ -33,20 +34,19 @@ impl<I: Operator> FullSortOp<I> {
 }
 
 impl<I: Operator> Operator for FullSortOp<I> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         if self.done {
             return Ok(None);
         }
         self.done = true;
         let mut rows: Vec<Row> = Vec::new();
         while let Some(seg) = self.input.next_segment()? {
-            rows.extend(seg);
+            rows.extend(seg.rows);
         }
         if rows.is_empty() {
             return Ok(None);
         }
-        let cmp = RowComparator::new(&self.key);
-        Ok(Some(sort_rows(rows, &cmp, &self.env)?))
+        Ok(Some(Segment::plain(sort_rows(rows, &self.key, &self.env)?)))
     }
 }
 
@@ -60,7 +60,7 @@ pub fn full_sort(input: SegmentedRows, key: &SortSpec, env: &OpEnv) -> Result<Se
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wf_common::{row, AttrId, OrdElem, Row};
+    use wf_common::{row, AttrId, OrdElem, Row, RowComparator};
 
     fn key(ids: &[usize]) -> SortSpec {
         SortSpec::new(ids.iter().map(|&i| OrdElem::asc(AttrId::new(i))).collect())

@@ -19,12 +19,12 @@
 //! the segmented relation `R_{WHK, key}`.
 
 use crate::env::OpEnv;
-use crate::operator::{drain, Operator, SegmentSource};
+use crate::operator::{drain, Operator, Segment, SegmentSource};
 use crate::segment::SegmentedRows;
-use crate::sorter::{sort_in_memory, sort_rows};
+use crate::sorter::{sort_in_memory, sort_rows, SortKey};
 use crate::util::hash_row_on;
 use std::collections::{HashSet, VecDeque};
-use wf_common::{AttrSet, Error, Result, Row, RowComparator, SortSpec, Value};
+use wf_common::{AttrSet, Error, Result, Row, SortSpec, Value};
 use wf_storage::{MemoryLedger, SpillFile};
 
 /// Tuning knobs for Hashed Sort.
@@ -76,7 +76,7 @@ enum PendingBucket {
 pub struct HashedSortOp<I> {
     input: Option<I>,
     whk: AttrSet,
-    key: SortSpec,
+    key: SortKey,
     options: HsOptions,
     env: OpEnv,
     queue: VecDeque<PendingBucket>,
@@ -89,7 +89,7 @@ impl<I: Operator> HashedSortOp<I> {
         HashedSortOp {
             input: Some(input),
             whk,
-            key,
+            key: SortKey::new(&key),
             options,
             env,
             queue: VecDeque::new(),
@@ -125,7 +125,7 @@ impl<I: Operator> HashedSortOp<I> {
             .collect();
 
         while let Some(seg) = input.next_segment()? {
-            for row in seg {
+            for row in seg.rows {
                 env.tracker.hash(1);
                 if !mfv.is_empty() {
                     let key_val: Vec<Value> = self.whk.iter().map(|a| row.get(a).clone()).collect();
@@ -194,22 +194,23 @@ impl<I: Operator> HashedSortOp<I> {
 }
 
 impl<I: Operator> Operator for HashedSortOp<I> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         if let Some(input) = self.input.take() {
             self.partition_phase(input)?;
         }
-        let cmp = RowComparator::new(&self.key);
         match self.queue.pop_front() {
             None => Ok(None),
-            Some(PendingBucket::Mfv(rows)) => Ok(Some(sort_rows(rows, &cmp, &self.env)?)),
+            Some(PendingBucket::Mfv(rows)) => {
+                Ok(Some(Segment::plain(sort_rows(rows, &self.key, &self.env)?)))
+            }
             Some(PendingBucket::Mem(mut rows)) => {
-                sort_in_memory(&mut rows, &cmp, &self.env);
-                Ok(Some(rows))
+                sort_in_memory(&mut rows, &self.key, &self.env);
+                Ok(Some(Segment::plain(rows)))
             }
             Some(PendingBucket::Disk(file)) => {
                 let mut reader = file.into_reader()?;
                 let rows = reader.read_all()?; // charges the read-back
-                Ok(Some(sort_rows(rows, &cmp, &self.env)?))
+                Ok(Some(Segment::plain(sort_rows(rows, &self.key, &self.env)?)))
             }
         }
     }
@@ -283,7 +284,7 @@ fn spill_victim(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wf_common::{row, AttrId, OrdElem};
+    use wf_common::{row, AttrId, OrdElem, RowComparator};
 
     fn aset(ids: &[usize]) -> AttrSet {
         AttrSet::from_iter(ids.iter().map(|&i| AttrId::new(i)))

@@ -43,10 +43,45 @@
 //! assert exact equality of outputs *and* work counters.
 
 use crate::env::OpEnv;
-use crate::segment::SegmentedRows;
+use crate::segment::{SegmentBounds, SegmentedRows};
 use std::collections::VecDeque;
 use wf_common::{Result, Row};
 use wf_storage::Table;
+
+/// One segment flowing between operators: rows in order plus the boundary
+/// layers the chain has already proven over them (see [`SegmentBounds`]).
+/// Operators that reorder rows must drop or filter the bounds; operators
+/// that preserve row order pass them through and may add layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    pub rows: Vec<Row>,
+    pub bounds: SegmentBounds,
+}
+
+impl Segment {
+    /// A segment with no boundary metadata.
+    pub fn plain(rows: Vec<Row>) -> Self {
+        Segment {
+            rows,
+            bounds: SegmentBounds::none(),
+        }
+    }
+
+    /// A segment carrying boundary layers.
+    pub fn with_bounds(rows: Vec<Row>, bounds: SegmentBounds) -> Self {
+        Segment { rows, bounds }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
 
 /// A pull-based operator yielding one segment of complete window partitions
 /// at a time. `Ok(None)` signals exhaustion; implementations need not be
@@ -55,54 +90,57 @@ use wf_storage::Table;
 pub trait Operator {
     /// Pull the next segment. Segments are non-empty unless documented
     /// otherwise; [`drain`] skips empty ones defensively.
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>>;
+    fn next_segment(&mut self) -> Result<Option<Segment>>;
 }
 
 // Box<dyn Operator> chains need the trait on the box itself.
 impl<O: Operator + ?Sized> Operator for Box<O> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         (**self).next_segment()
     }
 }
 
 /// Drain an operator into a materialized [`SegmentedRows`], preserving the
-/// segment boundaries it emitted.
+/// segment boundaries and bounds metadata it emitted.
 pub fn drain(op: &mut dyn Operator) -> Result<SegmentedRows> {
     let mut rows: Vec<Row> = Vec::new();
     let mut seg_starts: Vec<usize> = Vec::new();
+    let mut bounds: Vec<SegmentBounds> = Vec::new();
     while let Some(seg) = op.next_segment()? {
         if seg.is_empty() {
             continue;
         }
         seg_starts.push(rows.len());
-        rows.extend(seg);
+        bounds.push(seg.bounds);
+        rows.extend(seg.rows);
     }
-    Ok(SegmentedRows::from_parts(rows, seg_starts))
+    Ok(SegmentedRows::from_parts_with_bounds(
+        rows, seg_starts, bounds,
+    ))
 }
 
 /// Leaf operator over an already-materialized segmented relation: yields its
-/// segments in order. The adapter behind every free-function wrapper.
+/// segments (with any carried bounds) in order. The adapter behind every
+/// free-function wrapper.
 pub struct SegmentSource {
-    segments: VecDeque<Vec<Row>>,
+    segments: VecDeque<Segment>,
 }
 
 impl SegmentSource {
     /// Split a segmented relation into its segments.
     pub fn new(input: SegmentedRows) -> Self {
-        let seg_starts = input.seg_starts().to_vec();
-        let mut rows = input.into_rows();
-        let mut segments = VecDeque::with_capacity(seg_starts.len());
-        // Split back to front so each split_off is O(segment).
-        for &start in seg_starts.iter().rev() {
-            segments.push_front(rows.split_off(start));
+        SegmentSource {
+            segments: input
+                .into_segments()
+                .into_iter()
+                .map(|(rows, bounds)| Segment::with_bounds(rows, bounds))
+                .collect(),
         }
-        debug_assert!(rows.is_empty());
-        SegmentSource { segments }
     }
 }
 
 impl Operator for SegmentSource {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         Ok(self.segments.pop_front())
     }
 }
@@ -128,7 +166,7 @@ impl<'a> TableScan<'a> {
 }
 
 impl Operator for TableScan<'_> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         if self.done {
             return Ok(None);
         }
@@ -137,7 +175,7 @@ impl Operator for TableScan<'_> {
         if self.table.is_empty() {
             return Ok(None);
         }
-        Ok(Some(self.table.rows().to_vec()))
+        Ok(Some(Segment::plain(self.table.rows().to_vec())))
     }
 }
 
@@ -150,9 +188,13 @@ mod tests {
     fn segment_source_yields_segments_in_order() {
         let s = SegmentedRows::from_parts(vec![row![1], row![2], row![3], row![4]], vec![0, 2, 3]);
         let mut src = SegmentSource::new(s.clone());
-        assert_eq!(src.next_segment().unwrap(), Some(vec![row![1], row![2]]));
-        assert_eq!(src.next_segment().unwrap(), Some(vec![row![3]]));
-        assert_eq!(src.next_segment().unwrap(), Some(vec![row![4]]));
+        let rows = |o: Option<Segment>| o.map(|s| s.rows);
+        assert_eq!(
+            rows(src.next_segment().unwrap()),
+            Some(vec![row![1], row![2]])
+        );
+        assert_eq!(rows(src.next_segment().unwrap()), Some(vec![row![3]]));
+        assert_eq!(rows(src.next_segment().unwrap()), Some(vec![row![4]]));
         assert_eq!(src.next_segment().unwrap(), None);
         // Round trip through drain.
         let mut src2 = SegmentSource::new(s.clone());

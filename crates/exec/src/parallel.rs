@@ -10,10 +10,10 @@
 //! partitioning attributes.
 
 use crate::env::OpEnv;
-use crate::operator::{drain, Operator, SegmentSource};
+use crate::operator::{drain, Operator, Segment, SegmentSource};
 use crate::segment::SegmentedRows;
 use crate::util::hash_row_on;
-use wf_common::{AttrSet, Error, Result, Row};
+use wf_common::{AttrSet, Error, Result};
 
 /// Hash-partition `input` on `attrs` into `workers` parts, run `work` on
 /// each part concurrently, and concatenate the results in worker order.
@@ -109,7 +109,7 @@ where
     I: Operator,
     F: Fn(usize, SegmentedRows) -> Result<SegmentedRows> + Sync,
 {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         if let Some(mut input) = self.input.take() {
             let gathered = drain(&mut input)?;
             let out =

@@ -15,13 +15,11 @@
 //! "sort GROUP BY + even cheaper chain" exactly as §5 describes.
 
 use crate::env::OpEnv;
-use crate::operator::{Operator, TableScan};
-use crate::sorter::sort_rows;
+use crate::operator::{Operator, Segment, TableScan};
+use crate::sorter::{sort_rows, SortKey};
 use crate::util::hash_row_on;
 use std::collections::{HashMap, VecDeque};
-use wf_common::{
-    AttrId, AttrSet, DataType, Error, Field, Result, Row, RowComparator, Schema, SortSpec, Value,
-};
+use wf_common::{AttrId, AttrSet, DataType, Error, Field, Result, Row, Schema, SortSpec, Value};
 use wf_storage::Table;
 
 /// A simple column-vs-literal predicate.
@@ -87,10 +85,10 @@ impl<I: Operator> FilterOp<I> {
 }
 
 impl<I: Operator> Operator for FilterOp<I> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         while let Some(seg) = self.input.next_segment()? {
             let mut out = Vec::new();
-            for row in seg {
+            for row in seg.rows {
                 self.env.tracker.compare(1);
                 if self.pred.matches(&row) {
                     self.env.tracker.move_rows(1);
@@ -98,7 +96,9 @@ impl<I: Operator> Operator for FilterOp<I> {
                 }
             }
             if !out.is_empty() {
-                return Ok(Some(out));
+                // Dropping rows shifts indices, so carried boundary layers
+                // are invalidated; downstream re-detects what it needs.
+                return Ok(Some(Segment::plain(out)));
             }
         }
         Ok(None)
@@ -115,7 +115,7 @@ pub fn filter(table: &Table, pred: &Predicate, env: &OpEnv) -> Result<Table> {
     );
     let mut out = Table::new(table.schema().clone());
     while let Some(seg) = op.next_segment()? {
-        for row in seg {
+        for row in seg.rows {
             out.push(row);
         }
     }
@@ -282,7 +282,7 @@ impl<I: Operator> GroupByHashOp<I> {
         type GroupBucket = Vec<(Vec<Value>, Vec<AggState>)>;
         let mut groups: HashMap<u64, GroupBucket> = HashMap::new();
         while let Some(seg) = input.next_segment()? {
-            for row in &seg {
+            for row in &seg.rows {
                 env.tracker.hash(1);
                 let h = hash_row_on(row, &key_set);
                 let key_vals: Vec<Value> = self.keys.iter().map(|&a| row.get(a).clone()).collect();
@@ -315,7 +315,7 @@ impl<I: Operator> GroupByHashOp<I> {
 }
 
 impl<I: Operator> Operator for GroupByHashOp<I> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         if let Some(input) = self.input.take() {
             self.aggregate(input)?;
         }
@@ -323,7 +323,7 @@ impl<I: Operator> Operator for GroupByHashOp<I> {
             None => Ok(None),
             Some(row) => {
                 self.env.tracker.move_rows(1);
-                Ok(Some(vec![row]))
+                Ok(Some(Segment::plain(vec![row])))
             }
         }
     }
@@ -347,7 +347,7 @@ pub fn group_by_hash(
     );
     let mut out = Table::new(schema);
     while let Some(seg) = op.next_segment()? {
-        for row in seg {
+        for row in seg.rows {
             out.push(row);
         }
     }
@@ -378,14 +378,14 @@ impl<I: Operator> GroupBySortOp<I> {
 }
 
 impl<I: Operator> Operator for GroupBySortOp<I> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         let Some(mut input) = self.input.take() else {
             return Ok(None);
         };
         let env = &self.env;
         let mut rows: Vec<Row> = Vec::new();
         while let Some(seg) = input.next_segment()? {
-            rows.extend(seg);
+            rows.extend(seg.rows);
         }
         let key_spec = SortSpec::new(
             self.keys
@@ -393,8 +393,9 @@ impl<I: Operator> Operator for GroupBySortOp<I> {
                 .map(|&a| wf_common::OrdElem::asc(a))
                 .collect(),
         );
-        let cmp = RowComparator::new(&key_spec);
-        let rows = sort_rows(rows, &cmp, env)?;
+        let key = SortKey::new(&key_spec);
+        let cmp = key.comparator();
+        let rows = sort_rows(rows, &key, env)?;
 
         let mut out: Vec<Row> = Vec::new();
         let mut i = 0;
@@ -428,7 +429,7 @@ impl<I: Operator> Operator for GroupBySortOp<I> {
         if out.is_empty() {
             return Ok(None);
         }
-        Ok(Some(out))
+        Ok(Some(Segment::plain(out)))
     }
 }
 
@@ -449,7 +450,7 @@ pub fn group_by_sort(
     );
     let mut out = Table::new(schema);
     while let Some(seg) = op.next_segment()? {
-        for row in seg {
+        for row in seg.rows {
             out.push(row);
         }
     }

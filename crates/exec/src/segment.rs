@@ -10,14 +10,164 @@
 //! guessing boundaries from values.
 
 use wf_common::{AttrSet, Row, RowComparator};
+use wf_storage::CostTracker;
+
+/// One boundary layer: the invariant is that `starts` are exactly the
+/// start indices of the **maximal runs** of segment rows that are equal on
+/// every attribute in `attrs` (`starts[0] == 0` for a non-empty segment).
+/// Layers are produced where the equality comparisons are paid anyway —
+/// window partition/peer detection, SS unit detection — and reused
+/// downstream instead of re-deriving the same boundaries (§3.3/§3.5
+/// matched-prefix pipelining).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryLayer {
+    /// Attribute set the runs are equal on.
+    pub attrs: AttrSet,
+    /// Start index of each maximal run, strictly increasing from 0.
+    pub starts: Vec<usize>,
+}
+
+/// Boundary metadata carried on one segment: a small set of layers keyed by
+/// attribute set. Valid only while the segment's row *order* is unchanged
+/// (appending columns is fine — layers address attributes by stable index).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SegmentBounds {
+    layers: Vec<BoundaryLayer>,
+}
+
+impl SegmentBounds {
+    /// No layers.
+    pub fn none() -> Self {
+        SegmentBounds::default()
+    }
+
+    /// True when no layer is carried.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer view.
+    pub fn layers(&self) -> &[BoundaryLayer] {
+        &self.layers
+    }
+
+    /// Record a layer. Empty attribute sets carry no information and are
+    /// skipped; a layer for an already-known attribute set is replaced.
+    pub fn add_layer(&mut self, attrs: AttrSet, starts: Vec<usize>) {
+        if attrs.is_empty() {
+            return;
+        }
+        debug_assert!(starts.first().is_none_or(|&s| s == 0));
+        debug_assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        if let Some(existing) = self.layers.iter_mut().find(|l| l.attrs == attrs) {
+            existing.starts = starts;
+        } else {
+            self.layers.push(BoundaryLayer { attrs, starts });
+        }
+    }
+
+    /// Keep only layers whose attribute set is a subset of `keep` — the
+    /// layers that stay valid when rows are permuted only *within* runs of
+    /// equal `keep` values (SS unit sorts).
+    pub fn retain_subsets_of(&mut self, keep: &AttrSet) {
+        self.layers.retain(|l| l.attrs.is_subset(keep));
+    }
+
+    /// Start indices of the maximal runs of `rows[lo..hi]` equal on
+    /// `target`, derived from the carried layers; `None` when no layer
+    /// applies (the caller falls back to a scan).
+    ///
+    /// * A layer with `attrs == target` answers with **zero** comparisons:
+    ///   its starts *are* the run boundaries.
+    /// * A layer with `attrs ⊇ target` has finer runs (rows equal on a
+    ///   superset are equal on the subset), so target boundaries can only
+    ///   occur at layer starts: one `eq` check per candidate start instead
+    ///   of one per row. The cheapest (fewest-starts) superset layer wins.
+    ///
+    /// `eq` must implement equality on exactly `target`'s attributes; each
+    /// invocation charges one comparison to `tracker`.
+    pub fn runs_equal_on(
+        &self,
+        target: &AttrSet,
+        rows: &[Row],
+        lo: usize,
+        hi: usize,
+        mut eq: impl FnMut(&Row, &Row) -> bool,
+        tracker: &CostTracker,
+    ) -> Option<Vec<usize>> {
+        debug_assert!(lo <= hi && hi <= rows.len());
+        if lo >= hi {
+            return Some(Vec::new());
+        }
+        if let Some(layer) = self.layers.iter().find(|l| l.attrs == *target) {
+            let mut out = vec![lo];
+            out.extend(layer.starts.iter().copied().filter(|&s| s > lo && s < hi));
+            return Some(out);
+        }
+        let layer = self
+            .layers
+            .iter()
+            .filter(|l| target.is_subset(&l.attrs))
+            .min_by_key(|l| l.starts.len())?;
+        let mut out = vec![lo];
+        let mut checks = 0u64;
+        for &s in layer.starts.iter().filter(|&&s| s > lo && s < hi) {
+            checks += 1;
+            if !eq(&rows[s - 1], &rows[s]) {
+                out.push(s);
+            }
+        }
+        tracker.compare(checks);
+        Some(out)
+    }
+}
+
+/// Start indices of the maximal runs of `rows[lo..hi]` equal under `eq`,
+/// found by scanning adjacent pairs — one comparison charged per pair.
+/// The scan fallback behind [`SegmentBounds::runs_equal_on`]: operators
+/// call this when no carried layer applies, so run detection and its
+/// counter accounting live in one place.
+pub fn scan_runs(
+    rows: &[Row],
+    lo: usize,
+    hi: usize,
+    mut eq: impl FnMut(&Row, &Row) -> bool,
+    tracker: &CostTracker,
+) -> Vec<usize> {
+    debug_assert!(lo <= hi && hi <= rows.len());
+    if lo >= hi {
+        return Vec::new();
+    }
+    let mut starts = vec![lo];
+    let mut checks = 0u64;
+    for i in lo + 1..hi {
+        checks += 1;
+        if !eq(&rows[i - 1], &rows[i]) {
+            starts.push(i);
+        }
+    }
+    tracker.compare(checks);
+    starts
+}
 
 /// Rows plus segment boundaries. Invariant: `seg_starts` is strictly
 /// increasing, starts with 0 when non-empty, and every entry is a valid row
-/// index. An empty relation has no segments.
-#[derive(Debug, Clone, PartialEq)]
+/// index. An empty relation has no segments. Each segment may carry
+/// [`SegmentBounds`] (boundary layers proven upstream); `bounds` is either
+/// empty (no metadata) or exactly one entry per segment.
+#[derive(Debug, Clone)]
 pub struct SegmentedRows {
     rows: Vec<Row>,
     seg_starts: Vec<usize>,
+    bounds: Vec<SegmentBounds>,
+}
+
+impl PartialEq for SegmentedRows {
+    /// Equality is over the physical relation (rows + boundaries); carried
+    /// bounds metadata is derived state and never affects row output.
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.seg_starts == other.seg_starts
+    }
 }
 
 impl SegmentedRows {
@@ -25,7 +175,11 @@ impl SegmentedRows {
     /// input, which is trivially one segment).
     pub fn single_segment(rows: Vec<Row>) -> Self {
         let seg_starts = if rows.is_empty() { vec![] } else { vec![0] };
-        SegmentedRows { rows, seg_starts }
+        SegmentedRows {
+            rows,
+            seg_starts,
+            bounds: Vec::new(),
+        }
     }
 
     /// Build from explicit parts; debug-asserts the invariant.
@@ -36,7 +190,24 @@ impl SegmentedRows {
         );
         debug_assert!(rows.is_empty() && seg_starts.is_empty() || seg_starts.first() == Some(&0));
         debug_assert!(seg_starts.iter().all(|&s| s < rows.len().max(1)));
-        SegmentedRows { rows, seg_starts }
+        SegmentedRows {
+            rows,
+            seg_starts,
+            bounds: Vec::new(),
+        }
+    }
+
+    /// Like [`SegmentedRows::from_parts`] with per-segment boundary
+    /// metadata (`bounds.len()` must be `seg_starts.len()` or 0).
+    pub fn from_parts_with_bounds(
+        rows: Vec<Row>,
+        seg_starts: Vec<usize>,
+        bounds: Vec<SegmentBounds>,
+    ) -> Self {
+        debug_assert!(bounds.is_empty() || bounds.len() == seg_starts.len());
+        let mut out = SegmentedRows::from_parts(rows, seg_starts);
+        out.bounds = bounds;
+        out
     }
 
     /// Empty relation.
@@ -44,6 +215,7 @@ impl SegmentedRows {
         SegmentedRows {
             rows: vec![],
             seg_starts: vec![],
+            bounds: vec![],
         }
     }
 
@@ -75,6 +247,31 @@ impl SegmentedRows {
     /// Segment start indices.
     pub fn seg_starts(&self) -> &[usize] {
         &self.seg_starts
+    }
+
+    /// Boundary metadata of segment `i` (empty when none was carried).
+    pub fn segment_bounds(&self, i: usize) -> SegmentBounds {
+        self.bounds.get(i).cloned().unwrap_or_default()
+    }
+
+    /// Consume into per-segment `(rows, bounds)` pairs, front to back.
+    pub fn into_segments(self) -> Vec<(Vec<Row>, SegmentBounds)> {
+        let SegmentedRows {
+            mut rows,
+            seg_starts,
+            mut bounds,
+        } = self;
+        if bounds.is_empty() {
+            bounds = vec![SegmentBounds::none(); seg_starts.len()];
+        }
+        let mut out: Vec<(Vec<Row>, SegmentBounds)> = Vec::with_capacity(seg_starts.len());
+        // Split back to front so each split_off is O(segment).
+        for (&start, b) in seg_starts.iter().zip(bounds).rev() {
+            out.push((rows.split_off(start), b));
+        }
+        debug_assert!(rows.is_empty());
+        out.reverse();
+        out
     }
 
     /// Iterate `(start, end)` half-open ranges of segments.
@@ -132,12 +329,26 @@ impl SegmentedRows {
     pub fn concat(parts: Vec<SegmentedRows>) -> SegmentedRows {
         let mut rows = Vec::new();
         let mut seg_starts = Vec::new();
+        let mut bounds: Vec<SegmentBounds> = Vec::new();
+        let any_bounds = parts.iter().any(|p| !p.bounds.is_empty());
         for part in parts {
             let offset = rows.len();
             seg_starts.extend(part.seg_starts.iter().map(|s| s + offset));
+            if any_bounds {
+                let n = part.seg_starts.len();
+                if part.bounds.is_empty() {
+                    bounds.extend((0..n).map(|_| SegmentBounds::none()));
+                } else {
+                    bounds.extend(part.bounds);
+                }
+            }
             rows.extend(part.rows);
         }
-        SegmentedRows { rows, seg_starts }
+        SegmentedRows {
+            rows,
+            seg_starts,
+            bounds,
+        }
     }
 }
 

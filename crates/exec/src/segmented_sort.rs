@@ -15,19 +15,29 @@
 //! advantage); oversized units fall back to the shared external sort.
 
 use crate::env::OpEnv;
-use crate::operator::{drain, Operator, SegmentSource};
+use crate::operator::{drain, Operator, Segment, SegmentSource};
 use crate::segment::SegmentedRows;
-use crate::sorter::sort_rows;
-use wf_common::{Result, Row, RowComparator, SortSpec};
+use crate::sorter::{sort_rows, SortKey};
+use wf_common::{AttrSet, Result, Row, RowComparator, SortSpec};
 
 /// The SS operator — the one the paper's pipelining argument is really
 /// about: it is **fully streaming**. Each pull takes exactly one upstream
 /// segment, sorts the `α`-groups inside it, and emits it; memory is bounded
 /// by the largest segment, never the relation.
+///
+/// Boundary reuse (§3.3/§3.5): when the segment carries a boundary layer
+/// covering `α`'s attributes — e.g. the partition layer a preceding window
+/// step proved — unit boundaries are taken from it instead of comparing
+/// every adjacent row pair. The emitted segment keeps the incoming layers
+/// that survive within-unit permutation (attribute sets ⊆ `attr(α)`) and
+/// adds the `α` layer itself, so the *next* window step detects its
+/// partitions for free.
 pub struct SegmentedSortOp<I> {
     input: I,
     alpha: SortSpec,
-    beta: SortSpec,
+    alpha_cmp: RowComparator,
+    alpha_attrs: AttrSet,
+    beta: SortKey,
     env: OpEnv,
 }
 
@@ -36,49 +46,67 @@ impl<I: Operator> SegmentedSortOp<I> {
     /// `beta`.
     pub fn new(input: I, alpha: SortSpec, beta: SortSpec, env: OpEnv) -> Self {
         SegmentedSortOp {
-            input,
+            alpha_cmp: RowComparator::new(&alpha),
+            alpha_attrs: alpha.attr_set(),
             alpha,
-            beta,
+            input,
+            beta: SortKey::new(&beta),
             env,
         }
     }
 
     /// Sort one segment's units, preserving the segment as a whole.
-    fn sort_segment(&self, rows: Vec<Row>) -> Result<Vec<Row>> {
-        let alpha_cmp = RowComparator::new(&self.alpha);
-        let beta_cmp = RowComparator::new(&self.beta);
+    fn sort_segment(&self, seg: Segment) -> Result<Segment> {
+        let Segment { rows, mut bounds } = seg;
         let env = &self.env;
         let end = rows.len();
         if self.alpha.is_empty() {
-            // Whole segment is one unit.
+            // Whole segment is one unit; the full reorder invalidates any
+            // carried layers.
             env.tracker.move_rows(rows.len() as u64);
-            return sort_rows(rows, &beta_cmp, env);
+            return Ok(Segment::plain(sort_rows(rows, &self.beta, env)?));
         }
-        // Walk α-groups within the segment.
+        // Unit starts: reuse a carried boundary layer when one covers α's
+        // attributes, else walk the segment comparing adjacent α values.
+        let unit_starts: Vec<usize> = if env.reuse_bounds {
+            bounds.runs_equal_on(
+                &self.alpha_attrs,
+                &rows,
+                0,
+                end,
+                |a, b| self.alpha_cmp.equal(a, b),
+                &env.tracker,
+            )
+        } else {
+            None
+        }
+        .unwrap_or_else(|| {
+            crate::segment::scan_runs(
+                &rows,
+                0,
+                end,
+                |a, b| self.alpha_cmp.equal(a, b),
+                &env.tracker,
+            )
+        });
+
         let mut out: Vec<Row> = Vec::with_capacity(end);
-        let mut unit_start = 0usize;
-        let mut i = 1usize;
-        while i <= end {
-            let boundary = if i == end {
-                true
-            } else {
-                env.tracker.compare(1);
-                !alpha_cmp.equal(&rows[i - 1], &rows[i])
-            };
-            if boundary {
-                let unit: Vec<Row> = rows[unit_start..i].to_vec();
-                env.tracker.move_rows(unit.len() as u64);
-                out.extend(sort_rows(unit, &beta_cmp, env)?);
-                unit_start = i;
-            }
-            i += 1;
+        for (k, &start) in unit_starts.iter().enumerate() {
+            let stop = unit_starts.get(k + 1).copied().unwrap_or(end);
+            let unit: Vec<Row> = rows[start..stop].to_vec();
+            env.tracker.move_rows(unit.len() as u64);
+            out.extend(sort_rows(unit, &self.beta, env)?);
         }
-        Ok(out)
+        // Within-unit permutation preserves exactly the layers whose runs
+        // are unions of units.
+        bounds.retain_subsets_of(&self.alpha_attrs);
+        bounds.add_layer(self.alpha_attrs.clone(), unit_starts);
+        Ok(Segment::with_bounds(out, bounds))
     }
 }
 
 impl<I: Operator> Operator for SegmentedSortOp<I> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         match self.input.next_segment()? {
             None => Ok(None),
             Some(seg) => Ok(Some(self.sort_segment(seg)?)),

@@ -8,37 +8,199 @@
 //! until a single run remains. The final merge streams its output without
 //! writing it back, which is why Eq. 1 charges `2·B·(⌈log_F(B/2M)⌉ + 1)`
 //! including the output but not the input read.
+//!
+//! **Normalized keys.** Every sort path compares rows through a
+//! [`SortKey`], which pairs the [`RowComparator`] with a
+//! [`wf_common::KeyNormalizer`]. When the environment enables
+//! `norm_keys` (the default), each row's sort key is encoded once into a
+//! byte-comparable buffer and every subsequent comparison is a `memcmp` —
+//! the byte order is proven equal to the comparator order, so outputs,
+//! comparison *counts* and spill I/O are bit-identical to the comparator
+//! path (a row whose key cannot be normalized simply falls back to the
+//! comparator for its comparisons). The in-memory sort runs
+//! `sort_unstable_by` over `(key, row-index)` with the index as the final
+//! tie-break, which preserves the stable-sort semantics the operators rely
+//! on while avoiding the merge sort's allocation.
 
 use crate::env::OpEnv;
 use crate::util::HeapBy;
 use std::cmp::Ordering;
-use wf_common::{Result, Row, RowComparator};
+use wf_common::{KeyNormalizer, Result, Row, RowComparator, SortSpec};
 use wf_storage::{MemoryLedger, SpillFile, SpillReader};
 
-/// Sort a slice in memory, charging one comparison per comparator call.
-pub fn sort_in_memory(rows: &mut [Row], cmp: &RowComparator, env: &OpEnv) {
-    let mut count: u64 = 0;
-    rows.sort_by(|a, b| {
-        count += 1;
-        cmp.compare(a, b)
-    });
-    env.tracker.compare(count);
+/// A sort key: the comparator plus the normalized-key encoder for the same
+/// specification. Build once per operator, share across segments.
+#[derive(Clone)]
+pub struct SortKey {
+    cmp: RowComparator,
+    norm: KeyNormalizer,
 }
 
-/// Sort `rows` under `cmp` within the environment's memory budget.
+impl SortKey {
+    /// Key machinery for `spec`.
+    pub fn new(spec: &SortSpec) -> Self {
+        SortKey {
+            cmp: RowComparator::new(spec),
+            norm: KeyNormalizer::new(spec),
+        }
+    }
+
+    /// The underlying comparator (boundary detection, tests).
+    pub fn comparator(&self) -> &RowComparator {
+        &self.cmp
+    }
+
+    /// Encode `row`'s normalized key, charging the encode to the tracker.
+    /// `None` when normalization is disabled in `env` or the row holds a
+    /// non-normalizable value — comparisons then dispatch through the
+    /// comparator, which is order-consistent with the byte keys.
+    fn encode(&self, row: &Row, env: &OpEnv) -> Option<Vec<u8>> {
+        if !env.norm_keys {
+            return None;
+        }
+        let key = self.norm.encode(row)?;
+        env.tracker.encode_keys(1);
+        Some(key)
+    }
+}
+
+/// A row with its (optional) normalized key, as carried through the
+/// external-sort heaps.
+struct KeyedRow {
+    key: Option<Vec<u8>>,
+    row: Row,
+}
+
+impl KeyedRow {
+    fn new(row: Row, sk: &SortKey, env: &OpEnv) -> Self {
+        KeyedRow {
+            key: sk.encode(&row, env),
+            row,
+        }
+    }
+
+    /// Byte comparison when both sides are normalized, comparator
+    /// otherwise. Both define the same total order, so mixing is sound.
+    #[inline]
+    fn compare(&self, other: &KeyedRow, cmp: &RowComparator) -> Ordering {
+        match (&self.key, &other.key) {
+            (Some(a), Some(b)) => a.cmp(b),
+            _ => cmp.compare(&self.row, &other.row),
+        }
+    }
+}
+
+/// Sort a slice in memory, charging one comparison per key comparison.
+///
+/// The sort is `sort_unstable_by` over a permutation of row indices with
+/// the original index as the final tie-break — stable output, no merge
+/// buffer. Normalized keys live in one arena; rows whose keys failed to
+/// normalize compare through the comparator (same order, so the sequence of
+/// orderings — and therefore the comparison count — is identical whether
+/// normalization is on, off, or partial).
+pub fn sort_in_memory(rows: &mut [Row], key: &SortKey, env: &OpEnv) {
+    let n = rows.len();
+    if n <= 1 {
+        return;
+    }
+    // Encode all keys into a shared arena; spans[i] = None → fallback row.
+    let (arena, spans) = if env.norm_keys {
+        let mut arena: Vec<u8> = Vec::with_capacity(n * 12);
+        let mut spans: Vec<Option<(u32, u32)>> = Vec::with_capacity(n);
+        let mut encoded = 0u64;
+        for row in rows.iter() {
+            let start = arena.len() as u32;
+            if key.norm.encode_into(row, &mut arena) {
+                spans.push(Some((start, arena.len() as u32)));
+                encoded += 1;
+            } else {
+                spans.push(None);
+            }
+        }
+        env.tracker.encode_keys(encoded);
+        (arena, spans)
+    } else {
+        (Vec::new(), vec![None; n])
+    };
+
+    // Decorate each index with the key's first 8 bytes (zero-padded,
+    // big-endian) so most comparisons resolve on a register compare; ties
+    // fall through to the full arena slices. Zero padding is sound: two
+    // distinct keys of one spec differ at a byte before either ends, so a
+    // padded prefix never contradicts the full comparison — it can only
+    // tie. When any row lacks a key (normalization off or a lossy value),
+    // every prefix is 0 and all pairs fall through — the decorated element
+    // type stays identical across configurations, which keeps the standard
+    // library's size-specialized sort making the *same* comparison
+    // sequence, so comparison counters match the reference path exactly.
+    let all_encoded = spans.iter().all(Option::is_some);
+    let mut perm: Vec<(u64, u32)> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let p = match s {
+                Some((start, end)) if all_encoded => {
+                    let k = &arena[*start as usize..*end as usize];
+                    let mut p = [0u8; 8];
+                    let take = k.len().min(8);
+                    p[..take].copy_from_slice(&k[..take]);
+                    u64::from_be_bytes(p)
+                }
+                _ => 0,
+            };
+            (p, i as u32)
+        })
+        .collect();
+    let mut count: u64 = 0;
+    perm.sort_unstable_by(|&(pa, ia), &(pb, ib)| {
+        count += 1;
+        pa.cmp(&pb)
+            .then_with(|| match (spans[ia as usize], spans[ib as usize]) {
+                (Some((sa, ea)), Some((sb, eb))) => {
+                    arena[sa as usize..ea as usize].cmp(&arena[sb as usize..eb as usize])
+                }
+                _ => key.cmp.compare(&rows[ia as usize], &rows[ib as usize]),
+            })
+            .then(ia.cmp(&ib))
+    });
+    env.tracker.compare(count);
+    apply_permutation(rows, perm.into_iter().map(|(_, i)| i).collect());
+}
+
+/// Rearrange `rows` so that position `i` holds the row previously at
+/// `perm[i]` (in-place cycle walk; consumes the permutation).
+fn apply_permutation(rows: &mut [Row], mut perm: Vec<u32>) {
+    for i in 0..rows.len() {
+        if perm[i] as usize == i {
+            continue;
+        }
+        let mut cur = i;
+        loop {
+            let src = perm[cur] as usize;
+            perm[cur] = cur as u32;
+            if src == i {
+                break;
+            }
+            rows.swap(cur, src);
+            cur = src;
+        }
+    }
+}
+
+/// Sort `rows` under `key` within the environment's memory budget.
 ///
 /// If the rows fit in `M` they are sorted in place with no I/O; otherwise
 /// the external path (replacement selection + F-way merge) runs, charging
 /// block reads/writes to the tracker. The result is fully sorted either way.
-pub fn sort_rows(rows: Vec<Row>, cmp: &RowComparator, env: &OpEnv) -> Result<Vec<Row>> {
+pub fn sort_rows(rows: Vec<Row>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>> {
     let mut ledger = env.ledger()?;
     let total_bytes: usize = rows.iter().map(Row::encoded_len).sum();
     if ledger.fits(total_bytes) {
         let mut rows = rows;
-        sort_in_memory(&mut rows, cmp, env);
+        sort_in_memory(&mut rows, key, env);
         return Ok(rows);
     }
-    external_sort(rows, cmp, env, &mut ledger)
+    external_sort(rows, key, env, &mut ledger)
 }
 
 /// One sorted run on the spill device.
@@ -52,18 +214,23 @@ struct Run {
 /// the current run, and an incoming row joins the current run if it does not
 /// precede the last row written, otherwise it is tagged for the next run.
 /// Random input therefore yields runs of about `2M` (Knuth), matching Eq. 1.
+/// Rows are normalized once on entry; heap comparisons are then `memcmp`s.
 fn form_runs(
     rows: Vec<Row>,
-    cmp: &RowComparator,
+    key: &SortKey,
     env: &OpEnv,
     ledger: &mut MemoryLedger,
 ) -> Result<Vec<Run>> {
     let mut input = rows.into_iter();
-    // (run_tag, row) ordered by tag then key.
-    let mut heap = HeapBy::new(|a: &(u64, Row), b: &(u64, Row)| match a.0.cmp(&b.0) {
-        Ordering::Equal => cmp.compare(&a.1, &b.1),
-        other => other,
-    });
+    let cmp = key.cmp.clone();
+    // (run_tag, keyed row) ordered by tag then key.
+    let mut heap =
+        HeapBy::new(
+            move |a: &(u64, KeyedRow), b: &(u64, KeyedRow)| match a.0.cmp(&b.0) {
+                Ordering::Equal => a.1.compare(&b.1, &cmp),
+                other => other,
+            },
+        );
 
     // Fill the heap up to the budget (a single oversized row is force-charged
     // so progress is always possible).
@@ -71,38 +238,26 @@ fn form_runs(
         let bytes = row.encoded_len();
         if heap.is_empty() || ledger.fits(bytes) {
             ledger.charge(bytes);
-            heap.push((0, row));
+            heap.push((0, KeyedRow::new(row, key, env)));
             if !ledger.fits(0) {
                 break;
             }
         } else {
             // Put it back conceptually: handle below by chaining.
-            return drain_with_pending(row, input, heap, cmp, env, ledger);
+            return drain_heap_with_input(Some(row), input, heap, key, env, ledger);
         }
         if ledger.used_bytes() >= ledger.budget_bytes() {
             break;
         }
     }
-    drain_heap_with_input(None, input, heap, cmp, env, ledger)
-}
-
-/// Continue run formation when a row arrived that did not fit the heap.
-fn drain_with_pending(
-    pending: Row,
-    input: std::vec::IntoIter<Row>,
-    heap: HeapBy<(u64, Row), impl FnMut(&(u64, Row), &(u64, Row)) -> Ordering>,
-    cmp: &RowComparator,
-    env: &OpEnv,
-    ledger: &mut MemoryLedger,
-) -> Result<Vec<Run>> {
-    drain_heap_with_input(Some(pending), input, heap, cmp, env, ledger)
+    drain_heap_with_input(None, input, heap, key, env, ledger)
 }
 
 fn drain_heap_with_input(
     mut pending: Option<Row>,
     mut input: std::vec::IntoIter<Row>,
-    mut heap: HeapBy<(u64, Row), impl FnMut(&(u64, Row), &(u64, Row)) -> Ordering>,
-    cmp: &RowComparator,
+    mut heap: HeapBy<(u64, KeyedRow), impl FnMut(&(u64, KeyedRow), &(u64, KeyedRow)) -> Ordering>,
+    key: &SortKey,
     env: &OpEnv,
     ledger: &mut MemoryLedger,
 ) -> Result<Vec<Run>> {
@@ -111,8 +266,8 @@ fn drain_heap_with_input(
     let mut current_file: Option<SpillFile> = None;
     let mut extra_cmp: u64 = 0;
 
-    while let Some((tag, row)) = heap.pop() {
-        ledger.release(row.encoded_len());
+    while let Some((tag, keyed)) = heap.pop() {
+        ledger.release(keyed.row.encoded_len());
         if tag != current_tag || current_file.is_none() {
             if let Some(f) = current_file.take() {
                 runs.push(Run {
@@ -123,9 +278,9 @@ fn drain_heap_with_input(
             current_tag = tag;
         }
         let file = current_file.as_mut().expect("file just ensured");
-        file.push(&row)?;
+        file.push(&keyed.row)?;
         env.tracker.move_rows(1);
-        // `row` is now the last tuple written to the current run; incoming
+        // `keyed` is now the last tuple written to the current run; incoming
         // tuples that precede it must wait for the next run.
         loop {
             let next = match pending.take() {
@@ -140,7 +295,8 @@ fn drain_heap_with_input(
             }
             ledger.charge(bytes);
             extra_cmp += 1;
-            let tag_for_next = if cmp.compare(&next, &row) == Ordering::Less {
+            let next = KeyedRow::new(next, key, env);
+            let tag_for_next = if next.compare(&keyed, &key.cmp) == Ordering::Less {
                 current_tag + 1
             } else {
                 current_tag
@@ -169,13 +325,13 @@ pub fn merge_fan_in(mem_blocks: u64) -> usize {
 
 /// Merge runs down to a single stream; intermediate passes write new runs,
 /// the final pass emits rows directly.
-fn merge_runs(mut runs: Vec<Run>, cmp: &RowComparator, env: &OpEnv) -> Result<Vec<Row>> {
+fn merge_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>> {
     let f = merge_fan_in(env.mem_blocks);
     // Intermediate passes.
     while runs.len() > f {
         let batch: Vec<Run> = runs.drain(..f).collect();
         let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
-        merge_into(batch, cmp, env, |row| {
+        merge_into(batch, key, env, |row| {
             out.push(row)?;
             Ok(())
         })?;
@@ -185,32 +341,36 @@ fn merge_runs(mut runs: Vec<Run>, cmp: &RowComparator, env: &OpEnv) -> Result<Ve
     }
     // Final pass.
     let mut result = Vec::new();
-    merge_into(runs, cmp, env, |row| {
+    merge_into(runs, key, env, |row| {
         result.push(row.clone());
         Ok(())
     })?;
     Ok(result)
 }
 
-/// Core k-way merge over run readers; `emit` receives rows in order.
+/// Core k-way merge over run readers; `emit` receives rows in order. Each
+/// row is re-normalized as it is read back (spilled runs store rows, not
+/// keys, so block counts are identical to the comparator path).
 fn merge_into(
     runs: Vec<Run>,
-    cmp: &RowComparator,
+    key: &SortKey,
     env: &OpEnv,
     mut emit: impl FnMut(&Row) -> Result<()>,
 ) -> Result<()> {
     let mut readers: Vec<SpillReader> = runs.into_iter().map(|r| r.reader).collect();
-    let mut heap = HeapBy::new(|a: &(Row, usize), b: &(Row, usize)| cmp.compare(&a.0, &b.0));
+    let cmp = key.cmp.clone();
+    let mut heap =
+        HeapBy::new(move |a: &(KeyedRow, usize), b: &(KeyedRow, usize)| a.0.compare(&b.0, &cmp));
     for (i, r) in readers.iter_mut().enumerate() {
         if let Some(row) = r.next_row()? {
-            heap.push((row, i));
+            heap.push((KeyedRow::new(row, key, env), i));
         }
     }
-    while let Some((row, i)) = heap.pop() {
-        emit(&row)?;
+    while let Some((keyed, i)) = heap.pop() {
+        emit(&keyed.row)?;
         env.tracker.move_rows(1);
         if let Some(next) = readers[i].next_row()? {
-            heap.push((next, i));
+            heap.push((KeyedRow::new(next, key, env), i));
         }
     }
     env.tracker.compare(heap.take_comparisons());
@@ -221,7 +381,7 @@ fn merge_into(
 /// sort spilled buckets through the same code path.
 pub fn external_sort(
     rows: Vec<Row>,
-    cmp: &RowComparator,
+    key: &SortKey,
     env: &OpEnv,
     ledger: &mut MemoryLedger,
 ) -> Result<Vec<Row>> {
@@ -229,9 +389,9 @@ pub fn external_sort(
         return Ok(rows);
     }
     ledger.release_all();
-    let runs = form_runs(rows, cmp, env, ledger)?;
+    let runs = form_runs(rows, key, env, ledger)?;
     ledger.release_all();
-    merge_runs(runs, cmp, env)
+    merge_runs(runs, key, env)
 }
 
 #[cfg(test)]
@@ -240,8 +400,8 @@ mod tests {
     use wf_common::{row, AttrId, OrdElem, SortSpec};
     use wf_storage::BLOCK_SIZE;
 
-    fn cmp_on0() -> RowComparator {
-        RowComparator::new(&SortSpec::new(vec![OrdElem::asc(AttrId::new(0))]))
+    fn cmp_on0() -> SortKey {
+        SortKey::new(&SortSpec::new(vec![OrdElem::asc(AttrId::new(0))]))
     }
 
     fn make_rows(n: usize, seed: u64) -> Vec<Row> {
@@ -257,10 +417,10 @@ mod tests {
             .collect()
     }
 
-    fn assert_sorted(rows: &[Row], cmp: &RowComparator) {
+    fn assert_sorted(rows: &[Row], key: &SortKey) {
         for w in rows.windows(2) {
             assert_ne!(
-                cmp.compare(&w[0], &w[1]),
+                key.comparator().compare(&w[0], &w[1]),
                 Ordering::Greater,
                 "rows out of order"
             );
@@ -335,7 +495,7 @@ mod tests {
     fn presorted_input_forms_single_run() {
         let env = OpEnv::with_memory_blocks(4);
         let mut rows = make_rows(3000, 5);
-        rows.sort_by(|a, b| cmp_on0().compare(a, b));
+        rows.sort_by(|a, b| cmp_on0().comparator().compare(a, b));
         let mut ledger = env.ledger().unwrap();
         let runs = form_runs(rows, &cmp_on0(), &env, &mut ledger).unwrap();
         assert_eq!(

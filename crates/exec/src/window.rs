@@ -7,15 +7,27 @@
 //! of `WPK`. Within a partition the rows are ordered on `WOK`, which is how
 //! peers (ties) are detected.
 //!
+//! **Boundary reuse (§3.3/§3.5).** When the incoming segment carries a
+//! [`SegmentBounds`] layer covering `WPK` (or `WPK ∪ attr(WOK)` for peers)
+//! — proven by an upstream window step over a shared key prefix, or by SS
+//! unit detection — the operator takes the boundaries from the layer
+//! instead of re-running equality comparisons over every adjacent row
+//! pair. Symmetrically, the boundaries this step *does* establish are
+//! attached to the outgoing segment, so the next step of the chain pays
+//! for them at most once.
+//!
 //! Functions implemented: the ranking family (`row_number`, `rank`,
 //! `dense_rank`, `ntile`), the distribution family (`percent_rank`,
 //! `cume_dist`), the reference family (`lag`, `lead`, `first_value`,
 //! `last_value`, `nth_value`) and frame-aware aggregates (`count`, `sum`,
-//! `avg`, `min`, `max`) with ROWS and RANGE frames.
+//! `avg`, `min`, `max`, variance/stddev) with ROWS and RANGE frames. The
+//! SQL-default frame `RANGE UNBOUNDED PRECEDING..CURRENT ROW` takes a
+//! running-accumulator fast path: one forward pass per partition, no
+//! prefix arrays.
 
 use crate::env::OpEnv;
-use crate::operator::{drain, Operator, SegmentSource};
-use crate::segment::SegmentedRows;
+use crate::operator::{drain, Operator, Segment, SegmentSource};
+use crate::segment::{SegmentBounds, SegmentedRows};
 use wf_common::{
     AttrId, AttrSet, DataType, Error, Result, Row, RowComparator, Schema, SortSpec, Value,
 };
@@ -182,6 +194,10 @@ pub struct WindowOp<I> {
     input: I,
     wpk: AttrSet,
     wok: SortSpec,
+    wok_cmp: RowComparator,
+    /// `WPK ∪ attr(WOK)` — peer groups are exactly the maximal runs equal
+    /// on this set (the `WPK` part never changes within a partition).
+    union_attrs: AttrSet,
     func: WindowFunction,
     frame: FrameSpec,
     env: OpEnv,
@@ -201,6 +217,8 @@ impl<I: Operator> WindowOp<I> {
         let frame = frame.unwrap_or_else(|| FrameSpec::default_for(!wok.is_empty()));
         WindowOp {
             input,
+            wok_cmp: RowComparator::new(&wok),
+            union_attrs: wpk.union(&wok.attr_set()),
             wpk,
             wok,
             func,
@@ -211,45 +229,63 @@ impl<I: Operator> WindowOp<I> {
 
     /// Append the derived column to one segment. A segment boundary always
     /// starts a new partition (adjacent segments are disjoint on a subset of
-    /// `WPK`); within the segment partitions break on `WPK`-value changes.
-    fn eval_segment(&self, mut rows: Vec<Row>) -> Result<Vec<Row>> {
+    /// `WPK`); within the segment partitions break on `WPK`-value changes —
+    /// taken from a carried boundary layer when the chain already proved
+    /// them, detected by scanning otherwise.
+    fn eval_segment(&self, seg: Segment) -> Result<Segment> {
+        let Segment {
+            mut rows,
+            mut bounds,
+        } = seg;
         let env = &self.env;
-        let wok_cmp = RowComparator::new(&self.wok);
         let n = rows.len();
-        let mut part_starts: Vec<usize> = Vec::new();
-        for i in 0..n {
-            let is_start = i == 0 || {
-                env.tracker.compare(1);
-                !self
-                    .wpk
-                    .iter()
-                    .all(|a| rows[i - 1].get(a) == rows[i].get(a))
-            };
-            if is_start {
-                part_starts.push(i);
+        let wpk_eq = |a: &Row, b: &Row| self.wpk.iter().all(|attr| a.get(attr) == b.get(attr));
+        let part_starts: Vec<usize> = (if env.reuse_bounds {
+            bounds.runs_equal_on(&self.wpk, &rows, 0, n, wpk_eq, &env.tracker)
+        } else {
+            None
+        })
+        .unwrap_or_else(|| crate::segment::scan_runs(&rows, 0, n, wpk_eq, &env.tracker));
+        let (peer_starts, peers_complete) = {
+            let mut peers = PeerResolver::new(&bounds, &self.union_attrs, env.reuse_bounds);
+            for (pi, &start) in part_starts.iter().enumerate() {
+                let end = part_starts.get(pi + 1).copied().unwrap_or(n);
+                let values = eval_partition(
+                    &rows,
+                    start,
+                    end,
+                    &self.wok_cmp,
+                    &self.wok,
+                    &self.func,
+                    &self.frame,
+                    env,
+                    &mut peers,
+                )?;
+                for (off, v) in values.into_iter().enumerate() {
+                    rows[start + off].push(v);
+                }
             }
-        }
-        for (pi, &start) in part_starts.iter().enumerate() {
-            let end = part_starts.get(pi + 1).copied().unwrap_or(n);
-            let values = eval_partition(
-                &rows[start..end],
-                &wok_cmp,
-                &self.wok,
-                &self.func,
-                &self.frame,
-                env,
-            )?;
-            for (off, v) in values.into_iter().enumerate() {
-                rows[start + off].push(v);
-            }
-        }
+            (
+                peers.collected,
+                peers.partitions_resolved == part_starts.len(),
+            )
+        };
         env.tracker.move_rows(n as u64);
-        Ok(rows)
+        // Hand the boundaries this step established to the next one. The
+        // union (peer) layer is only sound when every partition actually
+        // resolved its peer groups.
+        if n > 0 {
+            if peers_complete {
+                bounds.add_layer(self.union_attrs.clone(), peer_starts);
+            }
+            bounds.add_layer(self.wpk.clone(), part_starts);
+        }
+        Ok(Segment::with_bounds(rows, bounds))
     }
 }
 
 impl<I: Operator> Operator for WindowOp<I> {
-    fn next_segment(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
         match self.input.next_segment()? {
             None => Ok(None),
             Some(seg) => Ok(Some(self.eval_segment(seg)?)),
@@ -279,47 +315,100 @@ pub fn evaluate_window(
     drain(&mut op)
 }
 
-/// Peer-group (tie) boundaries under the WOK comparator: returns for each
-/// row the start and end (exclusive) of its peer group.
-fn peer_bounds(part: &[Row], cmp: &RowComparator, env: &OpEnv) -> (Vec<usize>, Vec<usize>) {
-    let n = part.len();
-    let mut group_start = vec![0usize; n];
-    for i in 1..n {
-        env.tracker.compare(1);
-        group_start[i] = if cmp.equal(&part[i - 1], &part[i]) {
-            group_start[i - 1]
-        } else {
-            i
-        };
-    }
-    let mut group_end = vec![n; n];
-    for i in (0..n.saturating_sub(1)).rev() {
-        group_end[i] = if group_start[i + 1] == group_start[i] {
-            group_end[i + 1]
-        } else {
-            i + 1
-        };
-    }
-    (group_start, group_end)
+/// Resolves peer-group (tie) boundaries per partition, reusing a carried
+/// boundary layer over `WPK ∪ attr(WOK)` when the chain already proved one
+/// and collecting the resolved starts so the operator can emit them as a
+/// layer for the *next* step.
+struct PeerResolver<'a> {
+    bounds: &'a SegmentBounds,
+    union_attrs: &'a AttrSet,
+    reuse: bool,
+    /// Absolute peer-group starts across resolved partitions, in order.
+    collected: Vec<usize>,
+    /// Number of partitions that resolved their peers (the union layer is
+    /// emitted only when every partition did).
+    partitions_resolved: usize,
 }
 
+impl<'a> PeerResolver<'a> {
+    fn new(bounds: &'a SegmentBounds, union_attrs: &'a AttrSet, reuse: bool) -> Self {
+        PeerResolver {
+            bounds,
+            union_attrs,
+            reuse,
+            collected: Vec::new(),
+            partitions_resolved: 0,
+        }
+    }
+
+    /// Peer bounds of partition `rows[lo..hi]`: for each row (relative
+    /// index) the start and end (exclusive, relative) of its peer group.
+    ///
+    /// Peer groups are maximal runs equal under the WOK comparator; since
+    /// `WPK` values are constant within a partition, they coincide with the
+    /// maximal runs equal on `WPK ∪ attr(WOK)` — which is what a carried
+    /// union layer proves, making reuse sound.
+    fn peer_bounds(
+        &mut self,
+        rows: &[Row],
+        lo: usize,
+        hi: usize,
+        cmp: &RowComparator,
+        env: &OpEnv,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let n = hi - lo;
+        let starts = if self.reuse {
+            self.bounds.runs_equal_on(
+                self.union_attrs,
+                rows,
+                lo,
+                hi,
+                |a, b| cmp.equal(a, b),
+                &env.tracker,
+            )
+        } else {
+            None
+        }
+        .unwrap_or_else(|| {
+            crate::segment::scan_runs(rows, lo, hi, |a, b| cmp.equal(a, b), &env.tracker)
+        });
+        let mut gs = vec![0usize; n];
+        let mut ge = vec![n; n];
+        for (k, &s) in starts.iter().enumerate() {
+            let e = starts.get(k + 1).copied().unwrap_or(hi);
+            for i in s..e {
+                gs[i - lo] = s - lo;
+                ge[i - lo] = e - lo;
+            }
+        }
+        self.partitions_resolved += 1;
+        self.collected.extend(starts);
+        (gs, ge)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn eval_partition(
-    part: &[Row],
+    rows: &[Row],
+    lo: usize,
+    hi: usize,
     wok_cmp: &RowComparator,
     wok: &SortSpec,
     func: &WindowFunction,
     frame: &FrameSpec,
     env: &OpEnv,
+    peers: &mut PeerResolver<'_>,
 ) -> Result<Vec<Value>> {
+    let part = &rows[lo..hi];
     let n = part.len();
     match func {
         WindowFunction::RowNumber => Ok((1..=n as i64).map(Value::Int).collect()),
         WindowFunction::Rank => {
-            let (gs, _) = peer_bounds(part, wok_cmp, env);
+            let (gs, _) = peers.peer_bounds(rows, lo, hi, wok_cmp, env);
             Ok(gs.iter().map(|&s| Value::Int(s as i64 + 1)).collect())
         }
         WindowFunction::DenseRank => {
-            let (gs, _) = peer_bounds(part, wok_cmp, env);
+            let (gs, _) = peers.peer_bounds(rows, lo, hi, wok_cmp, env);
             let mut dense = 0i64;
             let mut out = Vec::with_capacity(n);
             let mut last = usize::MAX;
@@ -333,7 +422,7 @@ fn eval_partition(
             Ok(out)
         }
         WindowFunction::PercentRank => {
-            let (gs, _) = peer_bounds(part, wok_cmp, env);
+            let (gs, _) = peers.peer_bounds(rows, lo, hi, wok_cmp, env);
             Ok(gs
                 .iter()
                 .map(|&s| {
@@ -346,7 +435,7 @@ fn eval_partition(
                 .collect())
         }
         WindowFunction::CumeDist => {
-            let (_, ge) = peer_bounds(part, wok_cmp, env);
+            let (_, ge) = peers.peer_bounds(rows, lo, hi, wok_cmp, env);
             Ok(ge
                 .iter()
                 .map(|&e| Value::Float(e as f64 / n as f64))
@@ -398,18 +487,23 @@ fn eval_partition(
                 })
                 .collect())
         }
-        _ => eval_framed(part, wok_cmp, wok, func, frame, env),
+        _ => eval_framed(rows, lo, hi, wok_cmp, wok, func, frame, env, peers),
     }
 }
 
 /// Resolve the frame of each row as a half-open index range.
+#[allow(clippy::too_many_arguments)]
 fn frame_ranges(
-    part: &[Row],
+    rows: &[Row],
+    lo: usize,
+    hi: usize,
     wok_cmp: &RowComparator,
     wok: &SortSpec,
     frame: &FrameSpec,
     env: &OpEnv,
+    peers: &mut PeerResolver<'_>,
 ) -> Result<Vec<(usize, usize)>> {
+    let part = &rows[lo..hi];
     // SQL: "frame offset must not be negative" — reject rather than clamp
     // (ROWS) or flip direction (RANGE).
     for b in [frame.start, frame.end] {
@@ -434,7 +528,7 @@ fn frame_ranges(
             let needs_peers =
                 matches!(frame.start, Bound::CurrentRow) || matches!(frame.end, Bound::CurrentRow);
             let (gs, ge) = if needs_peers {
-                peer_bounds(part, wok_cmp, env)
+                peers.peer_bounds(rows, lo, hi, wok_cmp, env)
             } else {
                 (vec![], vec![])
             };
@@ -624,16 +718,154 @@ fn sliding_rows_agg<S: Clone>(
     out
 }
 
+/// The SQL-default frame `RANGE UNBOUNDED PRECEDING .. CURRENT ROW`
+/// evaluated as a **running accumulator**: every frame is `[0, peer_end)`,
+/// so one forward pass per partition answers every row — no prefix arrays,
+/// no sparse table, no per-frame allocation. Returns `None` for functions
+/// the generic frame machinery must handle.
+///
+/// Outputs are bit-identical to the generic path: integer sums accumulate
+/// exactly in `i128`; float sums add the same values in the same order the
+/// prefix arrays did.
+fn running_default_frame(
+    rows: &[Row],
+    lo: usize,
+    hi: usize,
+    wok_cmp: &RowComparator,
+    func: &WindowFunction,
+    env: &OpEnv,
+    peers: &mut PeerResolver<'_>,
+) -> Result<Option<Vec<Value>>> {
+    use WindowFunction::*;
+    if !matches!(func, Count(_) | Sum(_) | Avg(_) | Min(_) | Max(_)) {
+        return Ok(None);
+    }
+    let part = &rows[lo..hi];
+    let n = part.len();
+    let (_, ge) = peers.peer_bounds(rows, lo, hi, wok_cmp, env);
+    let mut out = Vec::with_capacity(n);
+    match func {
+        Count(col) => {
+            let qualifies = |i: usize| -> i64 {
+                match col {
+                    None => 1,
+                    Some(c) => i64::from(!part[i].get(*c).is_null()),
+                }
+            };
+            let mut cnt = 0i64;
+            let mut consumed = 0usize;
+            for &e in &ge {
+                while consumed < e {
+                    cnt += qualifies(consumed);
+                    consumed += 1;
+                }
+                out.push(Value::Int(cnt));
+            }
+        }
+        Sum(col) | Avg(col) => {
+            // Classify the column once (same rule as the generic path): any
+            // float anywhere makes the whole partition float-typed.
+            let mut all_int = true;
+            for row in part {
+                match row.get(*col) {
+                    Value::Int(_) | Value::Null => {}
+                    Value::Float(_) => all_int = false,
+                    other => {
+                        return Err(Error::TypeMismatch {
+                            expected: "numeric".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                }
+            }
+            let want_avg = matches!(func, Avg(_));
+            let mut sum_i = 0i128;
+            let mut sum_f = 0f64;
+            let mut cnt = 0i64;
+            let mut consumed = 0usize;
+            for &e in &ge {
+                while consumed < e {
+                    match part[consumed].get(*col) {
+                        Value::Int(x) => {
+                            sum_i += *x as i128;
+                            sum_f += *x as f64;
+                            cnt += 1;
+                        }
+                        Value::Float(x) => {
+                            sum_f += *x;
+                            cnt += 1;
+                        }
+                        _ => {}
+                    }
+                    consumed += 1;
+                }
+                out.push(if cnt == 0 {
+                    Value::Null
+                } else if want_avg {
+                    if all_int {
+                        Value::Float(sum_i as f64 / cnt as f64)
+                    } else {
+                        Value::Float(sum_f / cnt as f64)
+                    }
+                } else if all_int {
+                    Value::Int(sum_i.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+                } else {
+                    Value::Float(sum_f)
+                });
+            }
+        }
+        Min(col) | Max(col) => {
+            let want_min = matches!(func, Min(_));
+            let mut cur: Option<Value> = None;
+            let mut consumed = 0usize;
+            for &e in &ge {
+                while consumed < e {
+                    let v = part[consumed].get(*col);
+                    if !v.is_null() {
+                        match &cur {
+                            None => cur = Some(v.clone()),
+                            Some(c) => {
+                                env.tracker.compare(1);
+                                if (want_min && v < c) || (!want_min && v > c) {
+                                    cur = Some(v.clone());
+                                }
+                            }
+                        }
+                    }
+                    consumed += 1;
+                }
+                out.push(cur.clone().unwrap_or(Value::Null));
+            }
+        }
+        _ => unreachable!("gated above"),
+    }
+    Ok(Some(out))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn eval_framed(
-    part: &[Row],
+    rows: &[Row],
+    lo: usize,
+    hi: usize,
     wok_cmp: &RowComparator,
     wok: &SortSpec,
     func: &WindowFunction,
     frame: &FrameSpec,
     env: &OpEnv,
+    peers: &mut PeerResolver<'_>,
 ) -> Result<Vec<Value>> {
+    // Running-accumulator fast path for the SQL-default frame.
+    if frame.units == FrameUnits::Range
+        && frame.start == Bound::UnboundedPreceding
+        && frame.end == Bound::CurrentRow
+    {
+        if let Some(vals) = running_default_frame(rows, lo, hi, wok_cmp, func, env, peers)? {
+            return Ok(vals);
+        }
+    }
+    let part = &rows[lo..hi];
     let n = part.len();
-    let ranges = frame_ranges(part, wok_cmp, wok, frame, env)?;
+    let ranges = frame_ranges(rows, lo, hi, wok_cmp, wok, frame, env, peers)?;
     match func {
         WindowFunction::FirstValue(col) => Ok(ranges
             .iter()
@@ -1460,6 +1692,119 @@ mod tests {
             Some(frame),
         );
         assert!(sums.iter().all(|v| v.is_null()));
+    }
+
+    /// The running-accumulator fast path for the SQL-default frame must
+    /// match a brute-force per-row aggregation over `[0, peer_end)` —
+    /// including the i64 clamp on huge integer sums, NULL skipping, float
+    /// partitions and value-function tie handling. This is the pin against
+    /// the generic prefix-array policy drifting from the fast path.
+    #[test]
+    fn running_default_frame_matches_brute_force() {
+        // (key, value): peers on key; values mix ints (incl. near-overflow),
+        // floats and NULLs across separate partitions per type class.
+        let int_rows = vec![
+            row![1, 5],
+            row![1, Value::Null],
+            row![2, i64::MAX - 1],
+            row![2, i64::MAX - 2],
+            row![3, -7],
+        ];
+        let float_rows = vec![
+            row![1, 0.25],
+            row![1, -0.25],
+            row![2, Value::Null],
+            row![2, 3.5],
+            row![3, 0.125],
+        ];
+        let wok = spec(&[0]);
+        let cmp = RowComparator::new(&wok);
+        let peer_end = |rows: &[Row], i: usize| {
+            let mut e = i + 1;
+            while e < rows.len() && cmp.equal(&rows[e - 1], &rows[e]) {
+                e += 1;
+            }
+            let mut s = i;
+            while s > 0 && cmp.equal(&rows[s - 1], &rows[s]) {
+                s -= 1;
+            }
+            let mut e2 = s + 1;
+            while e2 < rows.len() && cmp.equal(&rows[e2 - 1], &rows[e2]) {
+                e2 += 1;
+            }
+            e.max(e2)
+        };
+        for rows in [int_rows, float_rows] {
+            // Brute force: aggregate part[0..peer_end) per row.
+            let frame_vals = |i: usize| -> Vec<&Value> {
+                (0..peer_end(&rows, i))
+                    .map(|j| rows[j].get(a(1)))
+                    .filter(|v| !v.is_null())
+                    .collect()
+            };
+            let expect_sum: Vec<Value> = (0..rows.len())
+                .map(|i| {
+                    let vals = frame_vals(i);
+                    if vals.is_empty() {
+                        return Value::Null;
+                    }
+                    if vals.iter().all(|v| v.as_int().is_some()) {
+                        let s: i128 = vals.iter().map(|v| v.as_int().unwrap() as i128).sum();
+                        Value::Int(s.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+                    } else {
+                        Value::Float(vals.iter().map(|v| v.as_f64().unwrap()).sum())
+                    }
+                })
+                .collect();
+            let got_sum = run(rows.clone(), &[], &wok, WindowFunction::Sum(a(1)), None);
+            assert_eq!(got_sum, expect_sum, "sum over {rows:?}");
+
+            let expect_cnt: Vec<Value> = (0..rows.len())
+                .map(|i| Value::Int(frame_vals(i).len() as i64))
+                .collect();
+            let got_cnt = run(
+                rows.clone(),
+                &[],
+                &wok,
+                WindowFunction::Count(Some(a(1))),
+                None,
+            );
+            assert_eq!(got_cnt, expect_cnt, "count over {rows:?}");
+
+            let expect_min: Vec<Value> = (0..rows.len())
+                .map(|i| {
+                    frame_vals(i)
+                        .into_iter()
+                        .min()
+                        .cloned()
+                        .unwrap_or(Value::Null)
+                })
+                .collect();
+            let got_min = run(rows.clone(), &[], &wok, WindowFunction::Min(a(1)), None);
+            assert_eq!(got_min, expect_min, "min over {rows:?}");
+
+            let expect_max: Vec<Value> = (0..rows.len())
+                .map(|i| {
+                    frame_vals(i)
+                        .into_iter()
+                        .max()
+                        .cloned()
+                        .unwrap_or(Value::Null)
+                })
+                .collect();
+            let got_max = run(rows.clone(), &[], &wok, WindowFunction::Max(a(1)), None);
+            assert_eq!(got_max, expect_max, "max over {rows:?}");
+        }
+    }
+
+    /// The fast path clamps an overflowing running integer sum exactly like
+    /// the generic path: saturate at the i64 boundary, never wrap.
+    #[test]
+    fn running_default_frame_sum_saturates() {
+        let rows = vec![row![1, i64::MAX], row![2, i64::MAX], row![3, 1]];
+        let sums = run(rows, &[], &spec(&[0]), WindowFunction::Sum(a(1)), None);
+        assert_eq!(sums[1], Value::Int(i64::MAX));
+        assert_eq!(sums[2], Value::Int(i64::MAX));
     }
 
     #[test]

@@ -1,13 +1,44 @@
 //! Abstract syntax for window queries.
 
-/// `SELECT <items> FROM <table> [WINDOW name AS (...), ...] [ORDER BY ...]`.
+/// `SELECT <items> FROM <table> [WHERE ...] [WINDOW name AS (...), ...]
+/// [ORDER BY ...]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowQueryStmt {
     pub items: Vec<SelectItem>,
     pub table: String,
+    /// WHERE predicate over base-table columns, if any.
+    pub where_clause: Option<WhereExpr>,
     /// Named window definitions (`WINDOW w AS (PARTITION BY ...)`).
     pub windows: Vec<(String, WindowDef)>,
     pub order_by: Vec<OrderItem>,
+}
+
+/// A WHERE predicate: column-vs-literal comparisons, `BETWEEN`, and `AND`
+/// conjunctions (the shape `wf_exec::Predicate` executes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereExpr {
+    Cmp {
+        column: String,
+        op: CmpOp,
+        value: Arg,
+    },
+    Between {
+        column: String,
+        lo: Arg,
+        hi: Arg,
+    },
+    And(Box<WhereExpr>, Box<WhereExpr>),
+}
+
+/// Comparison operator of a WHERE condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
 }
 
 /// One item of the SELECT list.

@@ -230,6 +230,45 @@ fn bind_function(call: &FuncCall, schema: &Schema) -> Result<WindowFunction> {
     }
 }
 
+fn literal_value(arg: &Arg) -> Result<Value> {
+    match arg {
+        Arg::Number(n) => Ok(Value::Int(*n)),
+        Arg::Float(f) => Ok(Value::Float(*f)),
+        Arg::Str(s) => Ok(Value::str(s.clone())),
+        other => Err(Error::InvalidQuery(format!(
+            "WHERE operand must be a literal, found {other:?}"
+        ))),
+    }
+}
+
+/// Resolve a WHERE expression to the executable [`wf_core::Predicate`].
+fn bind_where(expr: &WhereExpr, schema: &Schema) -> Result<wf_core::Predicate> {
+    use wf_core::Predicate as P;
+    match expr {
+        WhereExpr::Cmp { column, op, value } => {
+            let attr = schema.resolve(column)?;
+            let v = literal_value(value)?;
+            Ok(match op {
+                CmpOp::Eq => P::Eq(attr, v),
+                CmpOp::Ne => P::Ne(attr, v),
+                CmpOp::Lt => P::Lt(attr, v),
+                CmpOp::Le => P::Le(attr, v),
+                CmpOp::Gt => P::Gt(attr, v),
+                CmpOp::Ge => P::Ge(attr, v),
+            })
+        }
+        WhereExpr::Between { column, lo, hi } => Ok(P::Between(
+            schema.resolve(column)?,
+            literal_value(lo)?,
+            literal_value(hi)?,
+        )),
+        WhereExpr::And(l, r) => Ok(P::And(
+            Box::new(bind_where(l, schema)?),
+            Box::new(bind_where(r, schema)?),
+        )),
+    }
+}
+
 fn bind_frame(ast: &FrameAst) -> FrameSpec {
     let bound = |b: FrameBoundAst| match b {
         FrameBoundAst::UnboundedPreceding => Bound::UnboundedPreceding,
@@ -308,6 +347,11 @@ pub fn bind(stmt: &WindowQueryStmt, catalog: &Catalog) -> Result<WindowQuery> {
     }
 
     let mut query = WindowQuery::new(schema.clone(), specs);
+    if let Some(wc) = &stmt.where_clause {
+        // WHERE binds against the base table only (window aliases are not
+        // in scope under SQL semantics — windows evaluate after WHERE).
+        query.filter = Some(bind_where(wc, schema)?);
+    }
     if !stmt.order_by.is_empty() {
         // The final ORDER BY may reference window output columns; bind
         // against the output schema.
@@ -435,6 +479,26 @@ mod tests {
         assert!(bind_sql("SELECT *, sum(zz) OVER () AS r FROM t").is_err());
         assert!(bind_sql("SELECT *, rank() OVER (PARTITION BY zz) AS r FROM t").is_err());
         assert!(bind_sql("SELECT *, rank() OVER () AS r FROM t ORDER BY zz").is_err());
+    }
+
+    #[test]
+    fn where_clause_binds_to_predicate() {
+        let q = bind_sql(
+            "SELECT *, rank() OVER (ORDER BY v) AS r FROM t \
+             WHERE g >= 1 AND v BETWEEN 2 AND 9 AND s = 'x'",
+        )
+        .unwrap();
+        let p = q.filter.expect("filter bound");
+        // Smoke the executable shape: a row matching all conditions.
+        let hit = wf_common::Row::new(vec![Value::Int(1), Value::Int(5), Value::str("x")]);
+        let miss = wf_common::Row::new(vec![Value::Int(0), Value::Int(5), Value::str("x")]);
+        assert!(p.matches(&hit));
+        assert!(!p.matches(&miss));
+    }
+
+    #[test]
+    fn where_unknown_column_errors() {
+        assert!(bind_sql("SELECT *, rank() OVER () AS r FROM t WHERE zz = 1").is_err());
     }
 
     #[test]

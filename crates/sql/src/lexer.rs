@@ -21,6 +21,18 @@ pub enum TokenKind {
     LParen,
     RParen,
     Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
     Eof,
 }
 
@@ -60,6 +72,37 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     offset: i,
                 });
                 i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    offset: i,
+                });
+                i += 2;
+            }
+            '<' => {
+                let (kind, width) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Le, 2),
+                    Some(b'>') => (TokenKind::Ne, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                tokens.push(Token { kind, offset: i });
+                i += width;
+            }
+            '>' => {
+                let (kind, width) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Ge, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                tokens.push(Token { kind, offset: i });
+                i += width;
             }
             '\'' => {
                 let start = i;
@@ -201,6 +244,23 @@ mod tests {
             vec![TokenKind::Str("it's".into()), TokenKind::Eof]
         );
         assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! query     := SELECT item (',' item)* FROM ident
+//! query     := SELECT item (',' item)* FROM ident [WHERE conj]
 //!              [WINDOW ident AS '(' windef ')' (',' ident AS '(' windef ')')*]
 //!              [ORDER BY orderlist]
 //! item      := '*' | call OVER over AS ident | ident
@@ -11,6 +11,9 @@
 //! windef    := [PARTITION BY collist] [ORDER BY orderlist] [frame]
 //! call      := ident '(' [args] ')'
 //! args      := arg (',' arg)*      arg := ident | number | string | '*'
+//! conj      := cond (AND cond)*
+//! cond      := ident cmpop literal | ident BETWEEN literal AND literal
+//! cmpop     := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
 //! orderlist := order (',' order)*
 //! order     := ident [ASC|DESC] [NULLS (FIRST|LAST)]
 //! frame     := (ROWS|RANGE) (BETWEEN bound AND bound | bound)
@@ -119,6 +122,11 @@ impl Parser {
         }
         self.expect_kw("FROM")?;
         let table = self.expect_ident()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.where_conjunction()?)
+        } else {
+            None
+        };
         let mut windows = Vec::new();
         if self.eat_kw("WINDOW") {
             loop {
@@ -145,9 +153,60 @@ impl Parser {
         Ok(WindowQueryStmt {
             items,
             table,
+            where_clause,
             windows,
             order_by,
         })
+    }
+
+    fn where_conjunction(&mut self) -> Result<WhereExpr> {
+        let mut expr = self.where_condition()?;
+        while self.eat_kw("AND") {
+            let rhs = self.where_condition()?;
+            expr = WhereExpr::And(Box::new(expr), Box::new(rhs));
+        }
+        Ok(expr)
+    }
+
+    fn where_condition(&mut self) -> Result<WhereExpr> {
+        let column = self.expect_ident()?;
+        if self.eat_kw("BETWEEN") {
+            let lo = self.literal()?;
+            self.expect_kw("AND")?;
+            let hi = self.literal()?;
+            return Ok(WhereExpr::Between { column, lo, hi });
+        }
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return self.err("expected comparison operator"),
+        };
+        self.advance();
+        let value = self.literal()?;
+        Ok(WhereExpr::Cmp { column, op, value })
+    }
+
+    /// A literal WHERE operand (no columns on the right-hand side).
+    fn literal(&mut self) -> Result<Arg> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(Arg::Number(n))
+            }
+            TokenKind::Float(f) => {
+                self.advance();
+                Ok(Arg::Float(f))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Arg::Str(s))
+            }
+            _ => self.err("expected literal"),
+        }
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -413,6 +472,50 @@ mod tests {
         assert!(parse("SELECT *, rank() OVER () FROM t").is_err()); // no alias
         assert!(parse("SELECT * FROM t").is_err()); // no window item
         assert!(parse("SELECT *, rank() OVER () AS r FROM t garbage").is_err());
+    }
+
+    #[test]
+    fn parses_where_clause() {
+        let stmt = parse(
+            "SELECT *, rank() OVER (ORDER BY v) AS r FROM t \
+             WHERE g = 1 AND v BETWEEN 2 AND 9 AND s <> 'x' ORDER BY r",
+        )
+        .unwrap();
+        let wc = stmt.where_clause.unwrap();
+        // ((g = 1 AND v BETWEEN 2 AND 9) AND s <> 'x') — left-assoc AND.
+        let WhereExpr::And(left, right) = wc else {
+            panic!("expected AND");
+        };
+        assert_eq!(
+            *right,
+            WhereExpr::Cmp {
+                column: "s".into(),
+                op: CmpOp::Ne,
+                value: Arg::Str("x".into())
+            }
+        );
+        let WhereExpr::And(gl, between) = *left else {
+            panic!("expected nested AND");
+        };
+        assert_eq!(
+            *gl,
+            WhereExpr::Cmp {
+                column: "g".into(),
+                op: CmpOp::Eq,
+                value: Arg::Number(1)
+            }
+        );
+        assert!(matches!(*between, WhereExpr::Between { .. }));
+        assert_eq!(stmt.order_by.len(), 1);
+    }
+
+    #[test]
+    fn where_errors() {
+        // Missing operator / operand / column on rhs.
+        assert!(parse("SELECT *, rank() OVER () AS r FROM t WHERE g").is_err());
+        assert!(parse("SELECT *, rank() OVER () AS r FROM t WHERE g =").is_err());
+        assert!(parse("SELECT *, rank() OVER () AS r FROM t WHERE g = h").is_err());
+        assert!(parse("SELECT *, rank() OVER () AS r FROM t WHERE BETWEEN 1 AND 2").is_err());
     }
 
     #[test]

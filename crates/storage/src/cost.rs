@@ -26,6 +26,7 @@ pub struct CostTracker {
     comparisons: AtomicU64,
     hashes: AtomicU64,
     rows_moved: AtomicU64,
+    key_encodes: AtomicU64,
 }
 
 impl CostTracker {
@@ -65,6 +66,15 @@ impl CostTracker {
         self.rows_moved.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Charge `n` normalized-key encodings (byte-comparable sort keys).
+    /// Informational: the paper's cost model does not price encoding, so
+    /// this counter never enters modeled time — the work shows up in wall
+    /// clock and is reported for transparency.
+    #[inline]
+    pub fn encode_keys(&self, n: u64) {
+        self.key_encodes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current totals.
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
@@ -73,6 +83,7 @@ impl CostTracker {
             comparisons: self.comparisons.load(Ordering::Relaxed),
             hashes: self.hashes.load(Ordering::Relaxed),
             rows_moved: self.rows_moved.load(Ordering::Relaxed),
+            key_encodes: self.key_encodes.load(Ordering::Relaxed),
         }
     }
 
@@ -83,6 +94,7 @@ impl CostTracker {
         self.comparisons.store(0, Ordering::Relaxed);
         self.hashes.store(0, Ordering::Relaxed);
         self.rows_moved.store(0, Ordering::Relaxed);
+        self.key_encodes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -95,12 +107,29 @@ pub struct CostSnapshot {
     pub comparisons: u64,
     pub hashes: u64,
     pub rows_moved: u64,
+    /// Normalized-key encodings (informational; zero-weighted in modeled
+    /// time — see [`CostTracker::encode_keys`]).
+    pub key_encodes: u64,
 }
 
 impl CostSnapshot {
     /// Total blocks transferred in either direction.
     pub fn io_blocks(&self) -> u64 {
         self.blocks_read + self.blocks_written
+    }
+
+    /// The counters the paper's cost model prices (everything except the
+    /// informational `key_encodes`). Equivalence tests compare these: the
+    /// byte-key and comparator sort paths must charge identical modeled
+    /// work even though only the former encodes keys.
+    pub fn modeled_counters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.blocks_read,
+            self.blocks_written,
+            self.comparisons,
+            self.hashes,
+            self.rows_moved,
+        )
     }
 
     /// Work performed since `earlier` (saturating).
@@ -111,6 +140,7 @@ impl CostSnapshot {
             comparisons: self.comparisons.saturating_sub(earlier.comparisons),
             hashes: self.hashes.saturating_sub(earlier.hashes),
             rows_moved: self.rows_moved.saturating_sub(earlier.rows_moved),
+            key_encodes: self.key_encodes.saturating_sub(earlier.key_encodes),
         }
     }
 
@@ -122,6 +152,7 @@ impl CostSnapshot {
             comparisons: self.comparisons + other.comparisons,
             hashes: self.hashes + other.hashes,
             rows_moved: self.rows_moved + other.rows_moved,
+            key_encodes: self.key_encodes + other.key_encodes,
         }
     }
 }

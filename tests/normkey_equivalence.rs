@@ -1,0 +1,274 @@
+//! Equivalence suite for the two PR-2 fast paths:
+//!
+//! * **Normalized byte keys** — FS/HS/SS sorts with `norm_keys` on must
+//!   produce row-for-row identical output *and* identical modeled cost
+//!   counters (comparisons, I/O, hashes, rows moved) as the
+//!   `RowComparator` reference path; only the informational `key_encodes`
+//!   counter may differ.
+//! * **Boundary reuse** — chains with `reuse_bounds` on must produce
+//!   identical rows while charging *strictly fewer* comparisons whenever a
+//!   downstream step's partition key is covered by an upstream boundary
+//!   layer (shared `WPK` between window steps, SS unit boundaries).
+
+mod common;
+
+use common::random_table;
+use wfopt::core::plan::{finalize_chain, PlanContext, PlanStep, ReorderOp};
+use wfopt::core::spec::WindowSpec;
+use wfopt::core::SegProps;
+use wfopt::datagen::rng::SplitMix64;
+use wfopt::exec::{full_sort, hashed_sort, segmented_sort, HsOptions, SegmentedRows};
+use wfopt::prelude::*;
+
+fn a(i: usize) -> AttrId {
+    AttrId::new(i)
+}
+
+fn asc(ids: &[usize]) -> SortSpec {
+    SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+}
+
+fn aset(ids: &[usize]) -> AttrSet {
+    AttrSet::from_iter(ids.iter().map(|&i| a(i)))
+}
+
+/// Table with int, string and float/NULL-bearing key columns so the byte
+/// encoder's every lane is exercised by the sorts.
+fn mixed_table(rows: usize, seed: u64) -> Table {
+    let schema = Schema::of(&[
+        ("id", DataType::Int),
+        ("g", DataType::Int),
+        ("s", DataType::Str),
+        ("v", DataType::Float),
+    ]);
+    let mut t = Table::new(schema);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    for id in 0..rows {
+        let g = rng.random_below(23) as i64;
+        let s = format!("cat-{}", rng.random_below(7));
+        let v = match rng.random_below(10) {
+            0 => Value::Null,
+            1 => Value::Float(-0.0),
+            2 => Value::Float(f64::NAN),
+            _ => Value::Float(rng.random_below(1_000) as f64 / 8.0 - 40.0),
+        };
+        t.push(Row::new(vec![
+            Value::Int(id as i64),
+            Value::Int(g),
+            Value::str(s),
+            v,
+        ]));
+    }
+    t
+}
+
+/// Run `f` under both key paths (reuse off in both) and assert identical
+/// relations and identical modeled counters.
+fn assert_key_path_equivalence(
+    table: &Table,
+    f: impl Fn(&Table, &OpEnv) -> SegmentedRows,
+    mem: u64,
+) {
+    let base = OpEnv::with_memory_blocks(mem);
+    let env_norm = base.with_toggles(true, false);
+    let norm_out = f(table, &env_norm);
+    let norm_work = env_norm.tracker.snapshot();
+
+    let base2 = OpEnv::with_memory_blocks(mem);
+    let env_cmp = base2.with_toggles(false, false);
+    let cmp_out = f(table, &env_cmp);
+    let cmp_work = env_cmp.tracker.snapshot();
+
+    assert_eq!(norm_out, cmp_out, "rows and boundaries must be identical");
+    assert_eq!(
+        norm_work.modeled_counters(),
+        cmp_work.modeled_counters(),
+        "modeled cost counters must be identical"
+    );
+    assert!(norm_work.key_encodes > 0, "byte path must actually encode");
+    assert_eq!(cmp_work.key_encodes, 0, "reference path must not encode");
+}
+
+use wfopt::exec::OpEnv;
+
+#[test]
+fn fs_byte_keys_equal_comparator_path() {
+    let table = mixed_table(3_000, 21);
+    // Key spans int, string (desc) and float-with-NULLs columns.
+    let key = SortSpec::new(vec![
+        OrdElem::asc(a(1)),
+        OrdElem::desc(a(2)),
+        OrdElem::asc(a(3)),
+    ]);
+    for mem in [2u64, 64] {
+        assert_key_path_equivalence(
+            &table,
+            |t, env| {
+                full_sort(SegmentedRows::single_segment(t.rows().to_vec()), &key, env).unwrap()
+            },
+            mem,
+        );
+    }
+}
+
+#[test]
+fn hs_byte_keys_equal_comparator_path() {
+    let table = mixed_table(4_000, 22);
+    let whk = aset(&[1]);
+    let key = SortSpec::new(vec![OrdElem::asc(a(1)), OrdElem::desc(a(3))]);
+    for mem in [2u64, 64] {
+        assert_key_path_equivalence(
+            &table,
+            |t, env| {
+                hashed_sort(
+                    SegmentedRows::single_segment(t.rows().to_vec()),
+                    &whk,
+                    &key,
+                    &HsOptions::with_buckets(16),
+                    env,
+                )
+                .unwrap()
+            },
+            mem,
+        );
+    }
+}
+
+#[test]
+fn ss_byte_keys_equal_comparator_path() {
+    let table = mixed_table(2_500, 23);
+    for mem in [2u64, 32] {
+        assert_key_path_equivalence(
+            &table,
+            |t, env| {
+                // Segment the input first (same work on both sides), then SS.
+                let segmented = hashed_sort(
+                    SegmentedRows::single_segment(t.rows().to_vec()),
+                    &aset(&[1]),
+                    &asc(&[1]),
+                    &HsOptions::with_buckets(8),
+                    env,
+                )
+                .unwrap();
+                segmented_sort(segmented, &asc(&[1]), &asc(&[2, 3]), env).unwrap()
+            },
+            mem,
+        );
+    }
+}
+
+/// Two window functions over the *same* partition key: the second step's
+/// partition and peer detection must reuse the first step's boundary
+/// layers — identical output, strictly fewer comparisons.
+#[test]
+fn shared_wpk_chain_reuses_boundaries() {
+    let table = random_table(4_000, &[25, 60], 31);
+    let query = QueryBuilder::new(table.schema())
+        .rank("r1", &["c0"], &[("c1", false)])
+        .rank("r2", &["c0"], &[("c1", false)])
+        .build()
+        .unwrap();
+    let stats = TableStats::from_table(&table);
+    for scheme in [Scheme::Cso, Scheme::Psql] {
+        for mem in [4u64, 64] {
+            let env_on = ExecEnv::with_memory_blocks(mem).with_toggles(true, true);
+            let plan = optimize(&query, &stats, scheme, &env_on).unwrap();
+            let on = execute_plan(&plan, &table, &env_on).unwrap();
+
+            let env_off = ExecEnv::with_memory_blocks(mem).with_toggles(true, false);
+            let plan_off = optimize(&query, &stats, scheme, &env_off).unwrap();
+            let off = execute_plan(&plan_off, &table, &env_off).unwrap();
+
+            assert_eq!(on.table.rows(), off.table.rows(), "{scheme} M={mem}");
+            assert!(
+                on.work.comparisons < off.work.comparisons,
+                "{scheme} M={mem}: reuse must cut comparisons ({} vs {})",
+                on.work.comparisons,
+                off.work.comparisons
+            );
+            // I/O and data movement are untouched by reuse.
+            assert_eq!(on.work.io_blocks(), off.work.io_blocks());
+            assert_eq!(on.work.rows_moved, off.work.rows_moved);
+        }
+    }
+}
+
+/// SS unit detection feeds the window operator's partition detection: an
+/// HS → wf → SS → wf chain re-derives no boundary the chain already knows.
+#[test]
+fn ss_chain_reuses_unit_boundaries() {
+    let table = random_table(3_000, &[18, 40, 40], 32);
+    let specs = vec![
+        WindowSpec::rank("r1", vec![a(1)], asc(&[2])),
+        WindowSpec::rank("r2", vec![a(1)], asc(&[3])),
+    ];
+    let stats = TableStats::from_table(&table);
+    let ctx = PlanContext::new(&stats, 16);
+    let raw = vec![
+        PlanStep {
+            wf: 0,
+            reorder: ReorderOp::Hs {
+                whk: aset(&[1]),
+                key: asc(&[1, 2]),
+                n_buckets: 16,
+                mfv: vec![],
+            },
+        },
+        PlanStep {
+            wf: 1,
+            reorder: ReorderOp::Ss {
+                alpha: asc(&[1]),
+                beta: asc(&[3]),
+            },
+        },
+    ];
+    let plan = finalize_chain("test", &specs, &SegProps::unordered(), 1, raw, &ctx);
+    assert_eq!(plan.repairs, 0, "hand-built chain must be valid");
+
+    let env_on = ExecEnv::with_memory_blocks(16).with_toggles(true, true);
+    let on = execute_plan(&plan, &table, &env_on).unwrap();
+    let env_off = ExecEnv::with_memory_blocks(16).with_toggles(true, false);
+    let off = execute_plan(&plan, &table, &env_off).unwrap();
+
+    assert_eq!(on.table.rows(), off.table.rows());
+    assert!(
+        on.work.comparisons < off.work.comparisons,
+        "SS + window boundary reuse must cut comparisons ({} vs {})",
+        on.work.comparisons,
+        off.work.comparisons
+    );
+}
+
+/// Every toggle combination produces identical query results across
+/// schemes — the fast paths are pure optimizations.
+#[test]
+fn all_toggle_combinations_agree_end_to_end() {
+    let table = mixed_table(1_500, 33);
+    let query = QueryBuilder::new(table.schema())
+        .rank("r", &["g"], &[("v", true)])
+        .window(
+            "sum_id",
+            wfopt::core::spec::WindowFunction::Sum(a(0)),
+            &["g"],
+            &[("s", false)],
+        )
+        .build()
+        .unwrap();
+    let stats = TableStats::from_table(&table);
+    for scheme in [Scheme::Cso, Scheme::Bfo, Scheme::Psql, Scheme::Orcl] {
+        let mut reference: Option<Vec<Row>> = None;
+        for (norm, reuse) in [(false, false), (true, false), (false, true), (true, true)] {
+            let env = ExecEnv::with_memory_blocks(8).with_toggles(norm, reuse);
+            let plan = optimize(&query, &stats, scheme, &env).unwrap();
+            let report = execute_plan(&plan, &table, &env).unwrap();
+            match &reference {
+                None => reference = Some(report.table.rows().to_vec()),
+                Some(want) => assert_eq!(
+                    report.table.rows(),
+                    want.as_slice(),
+                    "{scheme} norm={norm} reuse={reuse}"
+                ),
+            }
+        }
+    }
+}

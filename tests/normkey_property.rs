@@ -1,0 +1,124 @@
+//! Seeded property tests (SplitMix64, PR-1 convention) for the normalized
+//! byte-comparable key encoding: on arbitrary rows — NULLs, NaN/±0.0
+//! floats, empty strings, embedded-NUL strings, multi-column keys, every
+//! direction × null-placement combination — byte order must agree exactly
+//! with [`RowComparator`], and a row is either faithfully encoded or
+//! reported as non-normalizable (never silently mis-ordered).
+
+use wfopt::common::{
+    Direction, KeyNormalizer, NullOrder, OrdElem, Row, RowComparator, SortSpec, Value,
+};
+use wfopt::datagen::rng::SplitMix64;
+use wfopt::prelude::AttrId;
+
+/// A random value biased toward edge cases.
+fn arb_value(rng: &mut SplitMix64) -> Value {
+    match rng.random_below(12) {
+        0 => Value::Null,
+        1 => Value::Int(rng.next_u64() as i64), // often outside ±2^53
+        2 => Value::Int((rng.next_u64() % 2001) as i64 - 1000),
+        3 => Value::Int(i64::from(rng.next_u64() as i32)),
+        4 => Value::Float(f64::from_bits(rng.next_u64())), // any bits incl. NaNs
+        5 => Value::Float((rng.next_u64() % 2001) as f64 - 1000.0),
+        6 => Value::Float(
+            *[-0.0, 0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN]
+                .get(rng.random_below_usize(5))
+                .unwrap(),
+        ),
+        7 => Value::str(""),
+        8 => Value::str("a\u{0}b"),
+        _ => {
+            let len = rng.random_below_usize(6);
+            let s: String = (0..len)
+                .map(|_| (b'a' + (rng.random_below(4) as u8)) as char)
+                .collect();
+            Value::str(s)
+        }
+    }
+}
+
+fn arb_spec(rng: &mut SplitMix64, arity: usize) -> SortSpec {
+    SortSpec::new(
+        (0..arity)
+            .map(|i| OrdElem {
+                attr: AttrId::new(i),
+                dir: if rng.random_below(2) == 0 {
+                    Direction::Asc
+                } else {
+                    Direction::Desc
+                },
+                nulls: if rng.random_below(2) == 0 {
+                    NullOrder::First
+                } else {
+                    NullOrder::Last
+                },
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn byte_order_agrees_with_comparator_on_random_rows() {
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF_CAFE);
+    let mut compared = 0u64;
+    for _ in 0..200 {
+        let arity = rng.random_inclusive_usize(1, 4);
+        let spec = arb_spec(&mut rng, arity);
+        let norm = KeyNormalizer::new(&spec);
+        let cmp = RowComparator::new(&spec);
+        let rows: Vec<Row> = (0..20)
+            .map(|_| Row::new((0..arity).map(|_| arb_value(&mut rng)).collect()))
+            .collect();
+        let keys: Vec<Option<Vec<u8>>> = rows.iter().map(|r| norm.encode(r)).collect();
+        for (i, a) in rows.iter().enumerate() {
+            for (j, b) in rows.iter().enumerate() {
+                let (Some(ka), Some(kb)) = (&keys[i], &keys[j]) else {
+                    continue;
+                };
+                compared += 1;
+                assert_eq!(ka.cmp(kb), cmp.compare(a, b), "spec {spec}: row {a} vs {b}");
+            }
+        }
+    }
+    assert!(compared > 30_000, "property exercised ({compared} pairs)");
+}
+
+#[test]
+fn non_normalizable_is_exactly_the_lossy_ints() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED);
+    let spec = SortSpec::new(vec![OrdElem::asc(AttrId::new(0))]);
+    let norm = KeyNormalizer::new(&spec);
+    for _ in 0..5_000 {
+        let v = arb_value(&mut rng);
+        let row = Row::new(vec![v.clone()]);
+        let lossy = matches!(&v, Value::Int(i) if (*i as f64) as i128 != *i as i128);
+        assert_eq!(
+            norm.encode(&row).is_none(),
+            lossy,
+            "value {v:?}: only lossy ints may fail to normalize"
+        );
+    }
+}
+
+#[test]
+fn byte_equality_iff_comparator_equality() {
+    // Peer detection relies on: equal keys ⟺ comparator-equal rows.
+    let mut rng = SplitMix64::seed_from_u64(0xE0_0E);
+    let spec = SortSpec::new(vec![
+        OrdElem::asc(AttrId::new(0)),
+        OrdElem::desc(AttrId::new(1)),
+    ]);
+    let norm = KeyNormalizer::new(&spec);
+    let cmp = RowComparator::new(&spec);
+    let rows: Vec<Row> = (0..400)
+        .map(|_| Row::new(vec![arb_value(&mut rng), arb_value(&mut rng)]))
+        .collect();
+    for a in &rows {
+        for b in &rows {
+            let (Some(ka), Some(kb)) = (norm.encode(a), norm.encode(b)) else {
+                continue;
+            };
+            assert_eq!(ka == kb, cmp.equal(a, b), "{a} vs {b}");
+        }
+    }
+}

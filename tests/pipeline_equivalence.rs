@@ -202,7 +202,7 @@ fn hashed_sort_op_streams_buckets_in_batch_order() {
     );
     for i in 0..batch.segment_count() {
         let seg = op.next_segment().unwrap().expect("bucket per pull");
-        assert_eq!(seg.as_slice(), batch.segment(i), "bucket {i}");
+        assert_eq!(seg.rows.as_slice(), batch.segment(i), "bucket {i}");
     }
     assert!(op.next_segment().unwrap().is_none());
 }

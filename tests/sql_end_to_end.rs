@@ -39,6 +39,45 @@ fn rank_via_sql_matches_reference() {
 }
 
 #[test]
+fn where_clause_filters_before_windows() {
+    let table = random_table(500, &[8, 40], 19);
+    let (out, query) = run_sql(
+        "SELECT *, rank() OVER (PARTITION BY c0 ORDER BY c1) AS r FROM t \
+         WHERE c1 >= 10 AND c0 <> 3",
+        &table,
+        Scheme::Cso,
+        8,
+    );
+    assert!(query.filter.is_some());
+    let c0 = AttrId::new(1);
+    let c1 = AttrId::new(2);
+    let expected_rows = table
+        .rows()
+        .iter()
+        .filter(|r| r.get(c1).as_int().unwrap() >= 10 && r.get(c0).as_int().unwrap() != 3)
+        .count();
+    assert!(expected_rows > 0 && expected_rows < table.row_count());
+    assert_eq!(out.row_count(), expected_rows);
+    assert!(out
+        .rows()
+        .iter()
+        .all(|r| r.get(c1).as_int().unwrap() >= 10 && r.get(c0).as_int().unwrap() != 3));
+    // Ranks are computed over the *filtered* relation: build the reference
+    // on a pre-filtered table.
+    let mut filtered = Table::new(table.schema().clone());
+    for row in table.rows() {
+        if row.get(c1).as_int().unwrap() >= 10 && row.get(c0).as_int().unwrap() != 3 {
+            filtered.push(row.clone());
+        }
+    }
+    let expected = reference_rank(&filtered, &query.specs[0], AttrId::new(0));
+    let got = column_by_key(&out, AttrId::new(0), AttrId::new(3));
+    for (id, rank) in expected {
+        assert_eq!(got[&id].as_int(), Some(rank), "id {id}");
+    }
+}
+
+#[test]
 fn order_by_is_applied() {
     let table = random_table(300, &[7, 50], 12);
     let (out, _) = run_sql(
