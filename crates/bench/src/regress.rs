@@ -2,11 +2,13 @@
 //!
 //! Runs a small, fixed, fully deterministic workload set (row count pinned
 //! regardless of `--rows` so the checked-in baseline stays comparable),
-//! writes `results/BENCH_2.json`, and — when `results/BENCH_2.baseline.json`
+//! writes `results/BENCH_3.json`, and — when `results/BENCH_3.baseline.json`
 //! exists — fails with a non-zero exit if any workload's **modeled cost**
-//! regressed by more than 2× against the baseline. Modeled cost is computed
-//! from deterministic counters, so the gate is machine-independent; wall
-//! clock is recorded for trend inspection but never gated (CI noise).
+//! or **peak resident memory** regressed by more than 2× against the
+//! baseline. Modeled cost comes from deterministic counters and peak
+//! residency from the segment store's high-water mark, so both gates are
+//! machine-independent; wall clock is recorded for trend inspection but
+//! never gated (CI noise).
 //!
 //! The set also measures the two PR-2 fast paths directly:
 //! * `fs_sort_*` / `hs_sort_*` — the fig3 FS-vs-HS sort-dominated
@@ -43,6 +45,10 @@ pub struct RegressEntry {
     pub comparisons: u64,
     pub io_blocks: u64,
     pub key_encodes: u64,
+    /// Peak tracked residency of the chain's segment store, in blocks —
+    /// the `O(M + largest unit)` bound made measurable (0 for the
+    /// sort-only microbenches, which move no segments).
+    pub peak_resident_blocks: u64,
 }
 
 fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str) -> RegressEntry {
@@ -54,6 +60,7 @@ fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str
         comparisons: report.work.comparisons,
         io_blocks: report.work.io_blocks(),
         key_encodes: report.work.key_encodes,
+        peak_resident_blocks: report.store.peak_resident_blocks(),
     }
 }
 
@@ -147,6 +154,7 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                 comparisons: s.comparisons,
                 io_blocks: s.io_blocks(),
                 key_encodes: s.key_encodes,
+                peak_resident_blocks: env.store.snapshot().peak_resident_blocks(),
             };
             if best.as_ref().is_none_or(|b| e.wall_ms < b.wall_ms) {
                 best = Some(e);
@@ -186,18 +194,25 @@ fn chain_query(table: &Table) -> WindowQuery {
     WindowQuery::new(table.schema().clone(), specs)
 }
 
-/// Serialize entries as `BENCH_2.json`.
+/// Serialize entries as `BENCH_3.json`.
 pub fn to_json(entries: &[RegressEntry]) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench2-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench3-v1\",");
     let _ = writeln!(s, "  \"rows\": {REGRESS_ROWS},");
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             s,
             "    {{\"name\": \"{}\", \"modeled_ms\": {:.4}, \"wall_ms\": {:.3}, \
-             \"comparisons\": {}, \"io_blocks\": {}, \"key_encodes\": {}}}",
-            e.name, e.modeled_ms, e.wall_ms, e.comparisons, e.io_blocks, e.key_encodes
+             \"comparisons\": {}, \"io_blocks\": {}, \"key_encodes\": {}, \
+             \"peak_resident_blocks\": {}}}",
+            e.name,
+            e.modeled_ms,
+            e.wall_ms,
+            e.comparisons,
+            e.io_blocks,
+            e.key_encodes,
+            e.peak_resident_blocks
         );
         s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -205,9 +220,11 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
     s
 }
 
-/// Minimal extraction of `(name, modeled_ms)` pairs from a BENCH_2-shaped
-/// JSON file (flat entry objects; no nesting — the format we write).
-pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+/// Minimal extraction of `(name, modeled_ms, peak_resident_blocks)` tuples
+/// from a BENCH_3-shaped JSON file (flat entry objects; no nesting — the
+/// format we write). Files without the peak column (the BENCH_2 era)
+/// parse with peak 0, which disarms only the peak gate.
+pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
     let mut out = Vec::new();
     for obj in json.split('{').skip(2) {
         let obj = obj.split('}').next().unwrap_or("");
@@ -220,21 +237,25 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
             continue;
         };
         let name = name.trim_matches(['"', ' ']).to_string();
+        let peak = field("peak_resident_blocks")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
         if let Ok(ms) = ms.parse::<f64>() {
-            out.push((name, ms));
+            out.push((name, ms, peak));
         }
     }
     out
 }
 
-/// Run the regression suite: write `results/BENCH_2.json`, print the table
+/// Run the regression suite: write `results/BENCH_3.json`, print the table
 /// and the fast-path headline numbers, compare against the checked-in
-/// baseline. Returns `false` when a >2× modeled-cost regression was found.
+/// baseline. Returns `false` when a >2× modeled-cost or peak-residency
+/// regression was found.
 pub fn run_regress() -> bool {
     let entries = run_workloads();
 
     let mut t = ReportTable::new(
-        "BENCH_2: regression workloads (modeled ms | wall ms | comparisons)",
+        "BENCH_3: regression workloads (modeled ms | wall ms | comparisons | peak resident)",
         &[
             "workload",
             "modeled ms",
@@ -242,6 +263,7 @@ pub fn run_regress() -> bool {
             "comparisons",
             "io",
             "key encodes",
+            "peak res blk",
         ],
     );
     for e in &entries {
@@ -252,9 +274,10 @@ pub fn run_regress() -> bool {
             format!("{}", e.comparisons),
             format!("{}", e.io_blocks),
             format!("{}", e.key_encodes),
+            format!("{}", e.peak_resident_blocks),
         ]);
     }
-    t.emit("BENCH_2_table");
+    t.emit("BENCH_3_table");
 
     // Headline: byte-key wall speedup on the sort-dominated workloads.
     let wall = |name: &str| {
@@ -293,30 +316,30 @@ pub fn run_regress() -> bool {
 
     let json = to_json(&entries);
     std::fs::create_dir_all("results").ok();
-    if let Err(e) = std::fs::write("results/BENCH_2.json", &json) {
-        eprintln!("(could not write results/BENCH_2.json: {e})");
+    if let Err(e) = std::fs::write("results/BENCH_3.json", &json) {
+        eprintln!("(could not write results/BENCH_3.json: {e})");
     }
 
     // Gate against the checked-in baseline. A missing baseline is fatal in
     // CI (the gate must never silently disarm there) and a friendly skip
     // locally.
-    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_2.baseline.json") else {
+    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_3.baseline.json") else {
         if std::env::var_os("CI").is_some() {
-            println!("\nresults/BENCH_2.baseline.json missing in CI — failing the gate");
+            println!("\nresults/BENCH_3.baseline.json missing in CI — failing the gate");
             return false;
         }
-        println!("\n(no results/BENCH_2.baseline.json — baseline gate skipped)");
+        println!("\n(no results/BENCH_3.baseline.json — baseline gate skipped)");
         return true;
     };
     let baseline = parse_baseline(&baseline_raw);
     let mut ok = true;
-    for (name, base_ms) in baseline {
+    for (name, base_ms, base_peak) in baseline {
         let Some(e) = entries.iter().find(|e| e.name == name) else {
             // A vanished workload silently disarms its gate — fail so the
             // baseline must be regenerated in the same change.
             println!(
                 "REGRESSION {name}: baseline entry no longer measured \
-                 (renamed/removed? regenerate results/BENCH_2.baseline.json)"
+                 (renamed/removed? regenerate results/BENCH_3.baseline.json)"
             );
             ok = false;
             continue;
@@ -328,9 +351,19 @@ pub fn run_regress() -> bool {
             );
             ok = false;
         }
+        if base_peak > 0 && e.peak_resident_blocks as f64 > REGRESS_FACTOR * base_peak as f64 {
+            println!(
+                "REGRESSION {}: peak resident {} blocks vs baseline {} (> {REGRESS_FACTOR}x)",
+                name, e.peak_resident_blocks, base_peak
+            );
+            ok = false;
+        }
     }
     if ok {
-        println!("\nbaseline gate: OK (no workload exceeded {REGRESS_FACTOR}x modeled cost)");
+        println!(
+            "\nbaseline gate: OK (no workload exceeded {REGRESS_FACTOR}x \
+             modeled cost or peak residency)"
+        );
     }
     ok
 }
@@ -349,6 +382,7 @@ mod tests {
                 comparisons: 10,
                 io_blocks: 2,
                 key_encodes: 5,
+                peak_resident_blocks: 17,
             },
             RegressEntry {
                 name: "w2".into(),
@@ -357,6 +391,7 @@ mod tests {
                 comparisons: 7,
                 io_blocks: 0,
                 key_encodes: 0,
+                peak_resident_blocks: 0,
             },
         ];
         let json = to_json(&entries);
@@ -364,6 +399,8 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].0, "w1");
         assert!((parsed[0].1 - 1.25).abs() < 1e-9);
+        assert_eq!(parsed[0].2, 17);
         assert!((parsed[1].1 - 0.5).abs() < 1e-9);
+        assert_eq!(parsed[1].2, 0);
     }
 }

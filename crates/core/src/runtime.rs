@@ -30,7 +30,7 @@ use wf_exec::{
     FilterOp, FullSortOp, HashedSortOp, HsOptions, OpEnv, Operator, Segment, SegmentedSortOp,
     TableScan, WindowOp,
 };
-use wf_storage::{CostSnapshot, CostTracker, CostWeights, Table};
+use wf_storage::{CostSnapshot, CostTracker, CostWeights, StoreSnapshot, Table};
 
 /// Execution environment: unit reorder memory, spill medium, cost weights.
 #[derive(Clone)]
@@ -87,6 +87,22 @@ impl ExecEnv {
             weights: self.weights,
         }
     }
+
+    /// Same environment with an unbounded segment pool — the pre-store
+    /// pipeline's residency behaviour, used as the reference side of the
+    /// residency equivalence suite.
+    pub fn with_unbounded_pool(&self) -> Self {
+        ExecEnv {
+            op_env: self.op_env.with_unbounded_pool(),
+            weights: self.weights,
+        }
+    }
+
+    /// Residency and pool-spill statistics of this environment's segment
+    /// store.
+    pub fn store_snapshot(&self) -> StoreSnapshot {
+        self.op_env.store.snapshot()
+    }
 }
 
 /// Result of executing a plan.
@@ -103,6 +119,11 @@ pub struct ExecReport {
     pub wall: Duration,
     /// Per-step `(label, work)` breakdown.
     pub steps: Vec<(String, CostSnapshot)>,
+    /// Segment-store residency and pool-spill statistics for this
+    /// execution (peak resident bytes/rows, pool blocks moved). Pool
+    /// traffic never enters `work` or `modeled_ms` — see
+    /// `wf_storage::segstore`.
+    pub store: StoreSnapshot,
 }
 
 /// Execute a finalized plan over `table`.
@@ -190,9 +211,23 @@ fn build_chain<'a>(
     let mut eval_order: Vec<usize> = Vec::with_capacity(plan.steps.len());
     for (k, step) in plan.steps.iter().enumerate() {
         let spec = &specs[step.wf];
+        // Sort-key prefixes whose boundary layers FS/HS record for free
+        // during their final merge: the partition key and the partition ∪
+        // order key (peer groups) — exactly what this step's window
+        // evaluation (and any matched-prefix successor) starts from.
+        let mut record = Vec::new();
+        if !spec.wpk().is_empty() {
+            record.push(spec.wpk().clone());
+        }
+        let union = spec.wpk().union(&spec.wok().attr_set());
+        if !union.is_empty() && Some(&union) != record.first() {
+            record.push(union);
+        }
         op = match &step.reorder {
             ReorderOp::None => op,
-            ReorderOp::Fs { key } => Box::new(FullSortOp::new(op, key.clone(), op_env.clone())),
+            ReorderOp::Fs { key } => Box::new(
+                FullSortOp::new(op, key.clone(), op_env.clone()).with_recorded_prefixes(record),
+            ),
             ReorderOp::Hs {
                 whk,
                 key,
@@ -203,13 +238,10 @@ fn build_chain<'a>(
                     n_buckets: *n_buckets,
                     mfv_values: mfv.clone(),
                 };
-                Box::new(HashedSortOp::new(
-                    op,
-                    whk.clone(),
-                    key.clone(),
-                    opts,
-                    op_env.clone(),
-                ))
+                Box::new(
+                    HashedSortOp::new(op, whk.clone(), key.clone(), opts, op_env.clone())
+                        .with_recorded_prefixes(record),
+                )
             }
             ReorderOp::Ss { alpha, beta } => Box::new(SegmentedSortOp::new(
                 op,
@@ -258,7 +290,7 @@ pub fn execute_plan_with_specs(
     let (mut op, eval_order) = build_chain(plan, specs, table, env, &cells);
     let mut rows: Vec<Row> = Vec::new();
     while let Some(seg) = op.next_segment()? {
-        rows.extend(seg.rows);
+        rows.extend(seg.into_rows()?);
     }
     drop(op);
 
@@ -306,6 +338,7 @@ pub fn execute_plan_with_specs(
         work,
         wall: start.elapsed(),
         steps: steps_report,
+        store: env.store_snapshot(),
     })
 }
 

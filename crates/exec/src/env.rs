@@ -3,11 +3,12 @@
 use std::sync::Arc;
 use wf_common::Result;
 use wf_storage::spill::SpillMedium;
-use wf_storage::{CostTracker, MemoryLedger};
+use wf_storage::{CostTracker, MemoryLedger, SegmentStore};
 
 /// Everything a reordering operator needs: the shared cost tracker, the
-/// spill medium, and the size of its unit reorder memory (the paper's `M`,
-/// in blocks).
+/// spill medium, the size of its unit reorder memory (the paper's `M`,
+/// in blocks), and the shared segment store governing inter-operator
+/// segment residency.
 #[derive(Clone)]
 pub struct OpEnv {
     /// Shared work counters.
@@ -25,15 +26,22 @@ pub struct OpEnv {
     /// carried on segments instead of re-running equality comparisons
     /// (paper §3.3/§3.5 matched-prefix pipelining; on by default).
     pub reuse_bounds: bool,
+    /// The chain's segment store: every segment an operator emits lives in
+    /// it, resident while the pool budget allows and spilled past it. The
+    /// default pool budget equals `mem_blocks`; an unbounded pool
+    /// ([`OpEnv::with_unbounded_pool`]) reproduces the pre-store pipeline
+    /// (everything resident) with bit-identical modeled counters.
+    pub store: Arc<SegmentStore>,
 }
 
 impl OpEnv {
-    /// Environment with a fresh tracker, simulated spill device and the
-    /// given memory budget.
+    /// Environment with a fresh tracker, simulated spill device, the given
+    /// memory budget, and a segment pool of the same size.
     pub fn with_memory_blocks(mem_blocks: u64) -> Self {
         OpEnv {
             tracker: Arc::new(CostTracker::new()),
             medium: SpillMedium::Simulated,
+            store: SegmentStore::new(Some(mem_blocks.max(1)), SpillMedium::Simulated),
             mem_blocks,
             norm_keys: true,
             reuse_bounds: true,
@@ -45,10 +53,12 @@ impl OpEnv {
         MemoryLedger::with_blocks(self.mem_blocks)
     }
 
-    /// Same environment with a different memory budget.
+    /// Same environment with a different memory budget (and a fresh segment
+    /// pool of the same size; the tracker stays shared).
     pub fn with_blocks(&self, mem_blocks: u64) -> Self {
         OpEnv {
             mem_blocks,
+            store: SegmentStore::new(Some(mem_blocks.max(1)), self.medium),
             ..self.clone()
         }
     }
@@ -59,6 +69,17 @@ impl OpEnv {
         OpEnv {
             norm_keys,
             reuse_bounds,
+            ..self.clone()
+        }
+    }
+
+    /// Same environment with an unbounded segment pool — the pre-store
+    /// pipeline's residency behaviour (every inter-operator segment stays
+    /// in memory, nothing pool-spills). The reference configuration for the
+    /// residency equivalence suite.
+    pub fn with_unbounded_pool(&self) -> Self {
+        OpEnv {
+            store: SegmentStore::new(None, self.medium),
             ..self.clone()
         }
     }

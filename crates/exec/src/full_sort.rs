@@ -3,20 +3,69 @@
 //! Sorts the entire input on `perm(WPK) ∘ WOK` with the external merge sort
 //! from [`crate::sorter`]. The output is a single segment, totally ordered
 //! on the sort key (`R_{∅, key}` in the paper's notation).
+//!
+//! The input is consumed as a **row stream** — upstream segments are read
+//! block at a time straight into replacement-selection run formation, never
+//! buffered as a whole — and the output goes through the environment's
+//! segment store, so FS holds `M` during the sort and the pool budget for
+//! its output. When asked ([`FullSortOp::with_recorded_prefixes`]) it
+//! records partition-boundary layers for free during the final merge: the
+//! positions where a leading key prefix changes are known from rows the
+//! merge already visits, so downstream window steps start with a boundary
+//! layer even after a total reorder.
 
 use crate::env::OpEnv;
-use crate::operator::{drain, Operator, Segment, SegmentSource};
+use crate::operator::{drain, Operator, SegStream, Segment, SegmentSource};
 use crate::segment::SegmentedRows;
-use crate::sorter::{sort_rows, SortKey};
-use wf_common::{Result, Row, SortSpec};
+use crate::sorter::{sort_stream_to_handle, SortKey};
+use wf_common::{AttrSet, Result, Row, SortSpec};
 
-/// The FS operator: drains its input on the first pull (a total sort is
-/// blocking by nature), sorts within the memory budget, and emits the
-/// result as one totally ordered segment. A total reorder invalidates any
-/// upstream boundary metadata, so the output segment carries none.
+/// Iterator over every row an upstream operator yields, pulling segments
+/// lazily so only one segment's stream is open at a time.
+pub(crate) struct UpstreamRows<'a, I: Operator> {
+    op: &'a mut I,
+    cur: Option<SegStream>,
+}
+
+impl<'a, I: Operator> UpstreamRows<'a, I> {
+    pub(crate) fn new(op: &'a mut I) -> Self {
+        UpstreamRows { op, cur: None }
+    }
+}
+
+impl<I: Operator> Iterator for UpstreamRows<'_, I> {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Result<Row>> {
+        loop {
+            if let Some(stream) = &mut self.cur {
+                match stream.next_row() {
+                    Ok(Some(row)) => return Some(Ok(row)),
+                    Ok(None) => self.cur = None,
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            match self.op.next_segment() {
+                Ok(Some(seg)) => {
+                    let (_, stream, _) = seg.into_stream();
+                    self.cur = Some(stream);
+                }
+                Ok(None) => return None,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// The FS operator: consumes its input as a row stream on the first pull (a
+/// total sort is blocking by nature), sorts within the memory budget, and
+/// emits the result as one totally ordered, store-managed segment. A total
+/// reorder invalidates any upstream boundary metadata; the output carries
+/// only the layers FS itself recorded during the final merge.
 pub struct FullSortOp<I> {
     input: I,
     key: SortKey,
+    record: Vec<AttrSet>,
     env: OpEnv,
     done: bool,
 }
@@ -27,9 +76,19 @@ impl<I: Operator> FullSortOp<I> {
         FullSortOp {
             input,
             key: SortKey::new(&key),
+            record: Vec::new(),
             env,
             done: false,
         }
+    }
+
+    /// Record boundary layers for these attribute-set prefixes of the sort
+    /// key during the final merge (free — the merge visits every adjacent
+    /// output pair anyway). The sets must be prefixes of the sort key's
+    /// attribute sequence for the layers to be maximal runs.
+    pub fn with_recorded_prefixes(mut self, sets: Vec<AttrSet>) -> Self {
+        self.record = sets;
+        self
     }
 }
 
@@ -39,14 +98,16 @@ impl<I: Operator> Operator for FullSortOp<I> {
             return Ok(None);
         }
         self.done = true;
-        let mut rows: Vec<Row> = Vec::new();
-        while let Some(seg) = self.input.next_segment()? {
-            rows.extend(seg.rows);
-        }
-        if rows.is_empty() {
+        let (handle, bounds, n) = sort_stream_to_handle(
+            UpstreamRows::new(&mut self.input),
+            &self.key,
+            &self.env,
+            &self.record,
+        )?;
+        if n == 0 {
             return Ok(None);
         }
-        Ok(Some(Segment::plain(sort_rows(rows, &self.key, &self.env)?)))
+        Ok(Some(Segment::from_handle(handle, bounds)))
     }
 }
 
@@ -116,5 +177,56 @@ mod tests {
             .map(|r| r.get(AttrId::new(0)).as_int().unwrap())
             .collect();
         assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    /// At a tiny pool the FS output is a spilled segment, and its resident
+    /// footprint never approaches the relation.
+    #[test]
+    fn output_spills_at_tiny_pool() {
+        let env = OpEnv::with_memory_blocks(2);
+        let rows: Vec<Row> = (0..3000)
+            .map(|i| row![(i * 37 % 101) as i64, "padding-padding-padding"])
+            .collect();
+        let total_bytes: usize = rows.iter().map(Row::encoded_len).sum();
+        let mut op = FullSortOp::new(
+            SegmentSource::new(SegmentedRows::single_segment(rows)),
+            key(&[0]),
+            env.clone(),
+        );
+        let seg = op.next_segment().unwrap().unwrap();
+        assert!(seg.is_spilled());
+        assert_eq!(seg.len(), 3000);
+        let snap = env.store.snapshot();
+        assert!(snap.spill_blocks_written > 0);
+        assert!(
+            snap.peak_resident_bytes < total_bytes / 4,
+            "peak {} vs total {}",
+            snap.peak_resident_bytes,
+            total_bytes
+        );
+    }
+
+    /// Recorded prefix layers ride on the output segment.
+    #[test]
+    fn records_prefix_layers_when_asked() {
+        let env = OpEnv::with_memory_blocks(4);
+        let rows: Vec<Row> = (0..500)
+            .map(|i| row![(i % 5) as i64, (i % 17) as i64, "pad-pad-pad-pad-pad"])
+            .collect();
+        let wpk = AttrSet::from_iter([AttrId::new(0)]);
+        let mut op = FullSortOp::new(
+            SegmentSource::new(SegmentedRows::single_segment(rows)),
+            key(&[0, 1]),
+            env.clone(),
+        )
+        .with_recorded_prefixes(vec![wpk.clone()]);
+        let seg = op.next_segment().unwrap().unwrap();
+        let layer = seg
+            .bounds
+            .layers()
+            .iter()
+            .find(|l| l.attrs == wpk)
+            .expect("recorded layer");
+        assert_eq!(layer.starts.len(), 5, "one run per distinct WPK value");
     }
 }

@@ -2,26 +2,32 @@
 //! (paper §3.2).
 //!
 //! The partitioning phase hashes every row on the hash key `WHK ⊆ WPK` into
-//! one of `n_buckets` buckets. Buckets stay memory-resident while the unit
-//! reorder memory `M` allows; when memory fills, the largest in-memory
-//! bucket is chosen as the victim and flushed to a spill file, and any
-//! subsequent tuple for a spilled bucket goes straight to its file. At the
-//! end of the phase, memory-resident buckets are sorted (internally) before
-//! the disk-resident ones, exactly as §3.2 prescribes.
+//! one of `n_buckets` buckets, consuming the upstream segments as row
+//! streams (never materializing the input). Buckets stay memory-resident
+//! while the unit reorder memory `M` allows; when memory fills, the largest
+//! in-memory bucket is chosen as the victim and flushed to a spill file, and
+//! any subsequent tuple for a spilled bucket goes straight to its file. At
+//! the end of the phase, memory-resident buckets are sorted (internally)
+//! before the disk-resident ones, exactly as §3.2 prescribes.
 //!
 //! The **MFV optimization**: rows whose hash-key value is declared "most
 //! frequent" (its partition alone would overflow `M`) bypass partitioning
 //! and are pipelined directly into a sort that runs before any bucket,
 //! saving up to one round-trip of I/O for them.
 //!
-//! Output: one segment per non-empty bucket. Buckets are disjoint on `WHK`
-//! by construction, and each is sorted on the sort key, so the output is
-//! the segmented relation `R_{WHK, key}`.
+//! Output: one segment per non-empty bucket, each handed to the segment
+//! store (resident within the pool budget, spilled past it). Spilled
+//! buckets are *streamed* from their file into the sorter — never
+//! materialized first — so HS's resident set stays `O(M)` even when a
+//! bucket is far larger. Buckets are disjoint on `WHK` by construction, and
+//! each is sorted on the sort key, so the output is the segmented relation
+//! `R_{WHK, key}`. Like FS, the per-bucket sorts record partition-boundary
+//! layers for free when asked ([`HashedSortOp::with_recorded_prefixes`]).
 
 use crate::env::OpEnv;
 use crate::operator::{drain, Operator, Segment, SegmentSource};
 use crate::segment::SegmentedRows;
-use crate::sorter::{sort_in_memory, sort_rows, SortKey};
+use crate::sorter::{record_prefix_layers, sort_in_memory, sort_stream_to_handle, SortKey};
 use crate::util::hash_row_on;
 use std::collections::{HashSet, VecDeque};
 use wf_common::{AttrSet, Error, Result, Row, SortSpec, Value};
@@ -65,7 +71,7 @@ enum PendingBucket {
     Mfv(Vec<Row>),
     /// Memory-resident bucket: internal sort at emission.
     Mem(Vec<Row>),
-    /// Spilled bucket: read back, then sort within the budget.
+    /// Spilled bucket: streamed from its file into the sorter.
     Disk(SpillFile),
 }
 
@@ -78,6 +84,7 @@ pub struct HashedSortOp<I> {
     whk: AttrSet,
     key: SortKey,
     options: HsOptions,
+    record: Vec<AttrSet>,
     env: OpEnv,
     queue: VecDeque<PendingBucket>,
 }
@@ -91,9 +98,17 @@ impl<I: Operator> HashedSortOp<I> {
             whk,
             key: SortKey::new(&key),
             options,
+            record: Vec::new(),
             env,
             queue: VecDeque::new(),
         }
+    }
+
+    /// Record boundary layers for these sort-key prefixes on every emitted
+    /// bucket (see [`crate::full_sort::FullSortOp::with_recorded_prefixes`]).
+    pub fn with_recorded_prefixes(mut self, sets: Vec<AttrSet>) -> Self {
+        self.record = sets;
+        self
     }
 
     /// The blocking partitioning phase (run on first pull): scatter rows
@@ -125,7 +140,8 @@ impl<I: Operator> HashedSortOp<I> {
             .collect();
 
         while let Some(seg) = input.next_segment()? {
-            for row in seg.rows {
+            let (_, mut stream, _) = seg.into_stream();
+            while let Some(row) = stream.next_row()? {
                 env.tracker.hash(1);
                 if !mfv.is_empty() {
                     let key_val: Vec<Value> = self.whk.iter().map(|a| row.get(a).clone()).collect();
@@ -191,6 +207,13 @@ impl<I: Operator> HashedSortOp<I> {
         }
         Ok(())
     }
+
+    /// Sort a materialized bucket and hand it to the store.
+    fn emit_rows(&self, rows: Vec<Row>) -> Result<Segment> {
+        let (handle, bounds, _) =
+            sort_stream_to_handle(rows.into_iter().map(Ok), &self.key, &self.env, &self.record)?;
+        Ok(Segment::from_handle(handle, bounds))
+    }
 }
 
 impl<I: Operator> Operator for HashedSortOp<I> {
@@ -200,17 +223,28 @@ impl<I: Operator> Operator for HashedSortOp<I> {
         }
         match self.queue.pop_front() {
             None => Ok(None),
-            Some(PendingBucket::Mfv(rows)) => {
-                Ok(Some(Segment::plain(sort_rows(rows, &self.key, &self.env)?)))
-            }
+            Some(PendingBucket::Mfv(rows)) => Ok(Some(self.emit_rows(rows)?)),
             Some(PendingBucket::Mem(mut rows)) => {
                 sort_in_memory(&mut rows, &self.key, &self.env);
-                Ok(Some(Segment::plain(rows)))
+                let bounds = record_prefix_layers(&rows, &self.record, &self.env);
+                Ok(Some(Segment::from_handle(
+                    self.env.store.admit(rows)?,
+                    bounds,
+                )))
             }
             Some(PendingBucket::Disk(file)) => {
+                // Stream the spilled bucket straight into the sorter: the
+                // read-back charges the same blocks the old materialize-
+                // then-sort path did, but at most `M` of the bucket is ever
+                // resident.
                 let mut reader = file.into_reader()?;
-                let rows = reader.read_all()?; // charges the read-back
-                Ok(Some(Segment::plain(sort_rows(rows, &self.key, &self.env)?)))
+                let (handle, bounds, _) = sort_stream_to_handle(
+                    std::iter::from_fn(move || reader.next_row().transpose()),
+                    &self.key,
+                    &self.env,
+                    &self.record,
+                )?;
+                Ok(Some(Segment::from_handle(handle, bounds)))
             }
         }
     }
@@ -453,5 +487,31 @@ mod tests {
             small / large < 3.0,
             "HS I/O should be roughly flat: {small} vs {large}"
         );
+    }
+
+    /// Emitted buckets carry recorded WHK layers when asked.
+    #[test]
+    fn buckets_record_prefix_layers() {
+        let env = OpEnv::with_memory_blocks(64);
+        let mut op = HashedSortOp::new(
+            SegmentSource::new(input(600, 12)),
+            aset(&[0]),
+            key(&[0, 1]),
+            HsOptions::with_buckets(4),
+            env.clone(),
+        )
+        .with_recorded_prefixes(vec![aset(&[0])]);
+        let mut buckets = 0;
+        while let Some(seg) = op.next_segment().unwrap() {
+            let layer = seg
+                .bounds
+                .layers()
+                .iter()
+                .find(|l| l.attrs == aset(&[0]))
+                .expect("whk layer");
+            assert!(!layer.starts.is_empty());
+            buckets += 1;
+        }
+        assert!(buckets > 1);
     }
 }

@@ -47,13 +47,13 @@ pub mod window;
 pub use env::OpEnv;
 pub use full_sort::{full_sort, FullSortOp};
 pub use hashed_sort::{hashed_sort, HashedSortOp, HsOptions};
-pub use operator::{drain, Operator, Segment, SegmentSource, TableScan};
+pub use operator::{drain, Operator, SegStream, Segment, SegmentSource, TableScan};
 pub use parallel::ParallelOp;
 pub use relational::{
     filter, group_by_hash, group_by_sort, FilterOp, GroupAgg, GroupByHashOp, GroupBySortOp,
     Predicate,
 };
-pub use segment::{BoundaryLayer, SegmentBounds, SegmentedRows};
+pub use segment::{BoundaryLayer, RunSplitter, SegmentBounds, SegmentedRows};
 pub use segmented_sort::{segmented_sort, SegmentedSortOp};
 pub use sorter::SortKey;
 pub use window::{evaluate_window, Bound, FrameSpec, FrameUnits, WindowFunction, WindowOp};

@@ -8,78 +8,170 @@
 //! realization of that contract:
 //!
 //! ```text
-//! trait Operator { fn next_segment(&mut self) -> Result<Option<Vec<Row>>>; }
+//! trait Operator { fn next_segment(&mut self) -> Result<Option<Segment>>; }
 //! ```
+//!
+//! A [`Segment`] pairs boundary metadata ([`SegmentBounds`]) with its rows,
+//! which live either inline (`Vec<Row>`, the batch wrappers' form) or in a
+//! [`wf_storage::SegmentHandle`] managed by the environment's
+//! [`wf_storage::SegmentStore`] — transparently memory-resident or spilled.
+//! Operators *consume* segments as streaming block iterators
+//! ([`Segment::into_stream`]) or materialize them ([`Segment::into_parts`])
+//! when an algorithm genuinely needs random access; they *produce* segments
+//! through the store, so a chain's physical resident set is bounded by the
+//! pool budget plus the largest unit any single operator must hold.
 //!
 //! Every physical operator implements it:
 //!
-//! * [`TableScan`] — leaf over a [`wf_storage::Table`]; one segment (a heap
-//!   table is trivially `R_{∅,ε}`), scan I/O charged on first pull,
+//! * [`TableScan`] — leaf over a [`wf_storage::Table`]; one segment backed
+//!   by a zero-copy shared handle (a heap table is trivially `R_{∅,ε}`);
+//!   downstream operators stream it block-at-a-time instead of receiving a
+//!   clone of the relation. Scan I/O is charged on the first pull,
 //! * [`crate::full_sort::FullSortOp`] — blocking; one totally ordered
-//!   segment,
+//!   segment, fed to the external sorter as a row stream,
 //! * [`crate::hashed_sort::HashedSortOp`] — partition phase on first pull,
-//!   then **one bucket per pull**, each sorted lazily at emission (the
-//!   streaming refinement of §3.2: downstream sees bucket *k* while buckets
-//!   *k+1..n* are still unsorted),
-//! * [`crate::segmented_sort::SegmentedSortOp`] — fully streaming; pulls one
-//!   upstream segment, sorts its α-groups, emits it,
-//! * [`crate::window::WindowOp`] — fully streaming; pulls one segment,
-//!   appends the derived column partition by partition, emits it,
+//!   then **one bucket per pull**, each sorted lazily at emission,
+//! * [`crate::segmented_sort::SegmentedSortOp`] — fully streaming; holds
+//!   one unit at a time even for spilled segments,
+//! * [`crate::window::WindowOp`] — fully streaming; spilled segments are
+//!   evaluated partition-at-a-time (Shi & Wang-style spilling aggregation
+//!   for the SQL-default frame) instead of materialized,
 //! * [`crate::relational::FilterOp`], [`crate::relational::GroupByHashOp`],
 //!   [`crate::relational::GroupBySortOp`] — the upstream relational ops,
 //! * [`crate::parallel::ParallelOp`] — scatter on first pull, then worker
 //!   outputs segment by segment.
 //!
-//! Memory behaviour follows: once a blocking reorder has formed segments,
-//! everything downstream holds **one segment at a time** (bounded by the
-//! largest bucket / unit), instead of the whole relation. The free functions
-//! (`full_sort`, `hashed_sort`, …) remain as thin wrappers that build the
-//! operator over a [`SegmentSource`] and [`drain`] it, so batch callers and
-//! the old-vs-new equivalence tests keep working unchanged.
-//!
 //! Cost accounting is unchanged by construction: operators charge the same
 //! [`wf_storage::CostTracker`] counters at the same granularity as the
-//! batch implementations did — the tests in `tests/pipeline_equivalence.rs`
-//! assert exact equality of outputs *and* work counters.
+//! materialized implementations, and the segment store's pool traffic is
+//! metered separately (see `wf_storage::segstore`) — the tests in
+//! `tests/pipeline_equivalence.rs` and `tests/memory_stress.rs` assert
+//! exact equality of outputs *and* work counters across both the
+//! batch/streaming and the bounded/unbounded-pool axes.
 
 use crate::env::OpEnv;
 use crate::segment::{SegmentBounds, SegmentedRows};
 use std::collections::VecDeque;
 use wf_common::{Result, Row};
-use wf_storage::Table;
+use wf_storage::{SegmentHandle, SegmentReader, SegmentStore, Table};
 
 /// One segment flowing between operators: rows in order plus the boundary
 /// layers the chain has already proven over them (see [`SegmentBounds`]).
 /// Operators that reorder rows must drop or filter the bounds; operators
 /// that preserve row order pass them through and may add layers.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Segment {
-    pub rows: Vec<Row>,
+    data: SegData,
     pub bounds: SegmentBounds,
+}
+
+#[derive(Debug)]
+enum SegData {
+    /// Inline rows (batch wrappers, tiny segments).
+    Rows(Vec<Row>),
+    /// Store-managed rows — resident in the pool or spilled.
+    Handle(SegmentHandle),
+}
+
+/// Streaming row iterator over a consumed segment.
+pub enum SegStream {
+    Rows(std::vec::IntoIter<Row>),
+    Handle(SegmentReader),
+}
+
+impl SegStream {
+    /// Next row, or `None` at the end.
+    pub fn next_row(&mut self) -> Result<Option<Row>> {
+        match self {
+            SegStream::Rows(it) => Ok(it.next()),
+            SegStream::Handle(r) => r.next_row(),
+        }
+    }
+}
+
+impl Iterator for SegStream {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Result<Row>> {
+        self.next_row().transpose()
+    }
 }
 
 impl Segment {
     /// A segment with no boundary metadata.
     pub fn plain(rows: Vec<Row>) -> Self {
         Segment {
-            rows,
+            data: SegData::Rows(rows),
             bounds: SegmentBounds::none(),
         }
     }
 
     /// A segment carrying boundary layers.
     pub fn with_bounds(rows: Vec<Row>, bounds: SegmentBounds) -> Self {
-        Segment { rows, bounds }
+        Segment {
+            data: SegData::Rows(rows),
+            bounds,
+        }
+    }
+
+    /// A store-managed segment.
+    pub fn from_handle(handle: SegmentHandle, bounds: SegmentBounds) -> Self {
+        Segment {
+            data: SegData::Handle(handle),
+            bounds,
+        }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.data {
+            SegData::Rows(r) => r.len(),
+            SegData::Handle(h) => h.len(),
+        }
     }
 
     /// True when no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// True when the rows live on the spill device (streaming consumption
+    /// is then the only way to stay within the residency bound).
+    pub fn is_spilled(&self) -> bool {
+        matches!(&self.data, SegData::Handle(h) if h.is_spilled())
+    }
+
+    /// True when the segment is managed by the store (operators mirror this
+    /// on their outputs so batch wrappers stay pool-free while streaming
+    /// chains stay residency-tracked).
+    pub fn is_store_backed(&self) -> bool {
+        matches!(&self.data, SegData::Handle(_))
+    }
+
+    /// Materialize into rows plus bounds (charges pool reads for a spilled
+    /// segment; releases the pool charge of a resident one).
+    pub fn into_parts(self) -> Result<(Vec<Row>, SegmentBounds)> {
+        let rows = match self.data {
+            SegData::Rows(r) => r,
+            SegData::Handle(h) => h.into_rows()?,
+        };
+        Ok((rows, self.bounds))
+    }
+
+    /// Materialize into rows, discarding bounds.
+    pub fn into_rows(self) -> Result<Vec<Row>> {
+        Ok(self.into_parts()?.0)
+    }
+
+    /// Consume as a streaming row iterator; returns `(row count, stream,
+    /// bounds)`.
+    pub fn into_stream(self) -> (usize, SegStream, SegmentBounds) {
+        let n = self.len();
+        let stream = match self.data {
+            SegData::Rows(r) => SegStream::Rows(r.into_iter()),
+            SegData::Handle(h) => SegStream::Handle(h.read()),
+        };
+        (n, stream, self.bounds)
     }
 }
 
@@ -111,8 +203,9 @@ pub fn drain(op: &mut dyn Operator) -> Result<SegmentedRows> {
             continue;
         }
         seg_starts.push(rows.len());
-        bounds.push(seg.bounds);
-        rows.extend(seg.rows);
+        let (seg_rows, seg_bounds) = seg.into_parts()?;
+        bounds.push(seg_bounds);
+        rows.extend(seg_rows);
     }
     Ok(SegmentedRows::from_parts_with_bounds(
         rows, seg_starts, bounds,
@@ -147,7 +240,11 @@ impl Operator for SegmentSource {
 
 /// Leaf operator scanning a heap table: charges one sequential scan on the
 /// first pull and emits all rows as a single segment (an unordered table is
-/// the trivial segmented relation `R_{∅,ε}`).
+/// the trivial segmented relation `R_{∅,ε}`). The segment is backed by a
+/// **zero-copy shared handle** over the table's rows — the heap table is
+/// modeled as on-disk, so it never counts toward pipeline residency, and
+/// downstream operators stream it block-at-a-time instead of receiving a
+/// clone of the whole relation.
 pub struct TableScan<'a> {
     table: &'a Table,
     env: OpEnv,
@@ -175,7 +272,10 @@ impl Operator for TableScan<'_> {
         if self.table.is_empty() {
             return Ok(None);
         }
-        Ok(Some(Segment::plain(self.table.rows().to_vec())))
+        Ok(Some(Segment::from_handle(
+            SegmentStore::shared(self.table.shared_rows()),
+            SegmentBounds::none(),
+        )))
     }
 }
 
@@ -188,14 +288,14 @@ mod tests {
     fn segment_source_yields_segments_in_order() {
         let s = SegmentedRows::from_parts(vec![row![1], row![2], row![3], row![4]], vec![0, 2, 3]);
         let mut src = SegmentSource::new(s.clone());
-        let rows = |o: Option<Segment>| o.map(|s| s.rows);
+        let rows = |o: Option<Segment>| o.map(|s| s.into_rows().unwrap());
         assert_eq!(
             rows(src.next_segment().unwrap()),
             Some(vec![row![1], row![2]])
         );
         assert_eq!(rows(src.next_segment().unwrap()), Some(vec![row![3]]));
         assert_eq!(rows(src.next_segment().unwrap()), Some(vec![row![4]]));
-        assert_eq!(src.next_segment().unwrap(), None);
+        assert!(src.next_segment().unwrap().is_none());
         // Round trip through drain.
         let mut src2 = SegmentSource::new(s.clone());
         assert_eq!(drain(&mut src2).unwrap(), s);
@@ -217,11 +317,30 @@ mod tests {
         let mut scan = TableScan::new(&t, env.clone());
         let seg = scan.next_segment().unwrap().unwrap();
         assert_eq!(seg.len(), 2);
-        assert_eq!(scan.next_segment().unwrap(), None);
-        assert_eq!(scan.next_segment().unwrap(), None);
+        // The scan's segment is a zero-copy view, never pool-charged.
+        assert!(seg.is_store_backed() && !seg.is_spilled());
+        assert_eq!(env.store.snapshot().resident_bytes, 0);
+        assert!(scan.next_segment().unwrap().is_none());
+        assert!(scan.next_segment().unwrap().is_none());
         let s = env.tracker.snapshot();
         assert_eq!(s.blocks_read, t.block_count());
         assert_eq!(s.rows_moved, 2);
+    }
+
+    #[test]
+    fn table_scan_segment_streams_rows() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let mut t = Table::new(schema);
+        for i in 0..5 {
+            t.push(row![i]);
+        }
+        let env = OpEnv::with_memory_blocks(4);
+        let mut scan = TableScan::new(&t, env.clone());
+        let seg = scan.next_segment().unwrap().unwrap();
+        let (n, stream, _) = seg.into_stream();
+        assert_eq!(n, 5);
+        let got: Vec<Row> = stream.map(|r| r.unwrap()).collect();
+        assert_eq!(got, t.rows());
     }
 
     #[test]
@@ -230,7 +349,7 @@ mod tests {
         let t = Table::new(schema);
         let env = OpEnv::with_memory_blocks(4);
         let mut scan = TableScan::new(&t, env.clone());
-        assert_eq!(scan.next_segment().unwrap(), None);
+        assert!(scan.next_segment().unwrap().is_none());
         assert_eq!(env.tracker.snapshot().blocks_read, 0);
     }
 }

@@ -16,7 +16,8 @@
 
 use crate::env::OpEnv;
 use crate::operator::{Operator, Segment, TableScan};
-use crate::sorter::{sort_rows, SortKey};
+use crate::segment::SegmentBounds;
+use crate::sorter::SortKey;
 use crate::util::hash_row_on;
 use std::collections::{HashMap, VecDeque};
 use wf_common::{AttrId, AttrSet, DataType, Error, Field, Result, Row, Schema, SortSpec, Value};
@@ -71,6 +72,13 @@ impl Predicate {
 /// run of complete partitions of the filtered relation). Charges one
 /// comparison per input row and one row move per surviving row; segments
 /// filtered down to nothing are skipped.
+///
+/// Carried boundary layers are **remapped** through the kept-row mapping
+/// instead of dropped: deleting rows inside a run keeps the remaining rows
+/// equal on the layer's attributes, so each surviving run's boundary moves
+/// to the count of rows kept before it. A layer is only discarded when one
+/// of its runs is filtered out entirely — the two newly adjacent runs could
+/// then hold equal values, which would break the maximal-runs invariant.
 pub struct FilterOp<I> {
     input: I,
     pred: Predicate,
@@ -84,24 +92,91 @@ impl<I: Operator> FilterOp<I> {
     }
 }
 
+/// One carried layer being remapped through the kept-row mapping.
+struct LayerRemap {
+    attrs: AttrSet,
+    old_starts: Vec<usize>,
+    pos: usize,
+    /// Kept-row count at each old boundary, in order.
+    new_starts: Vec<usize>,
+}
+
+impl LayerRemap {
+    /// Note that input row `idx` is about to be processed with `kept` rows
+    /// already emitted.
+    fn observe(&mut self, idx: usize, kept: usize) {
+        if self.pos < self.old_starts.len() && self.old_starts[self.pos] == idx {
+            self.pos += 1;
+            self.new_starts.push(kept);
+        }
+    }
+
+    /// Finish: `Some(starts)` when every run kept at least one row (the
+    /// remap is then exact), `None` otherwise.
+    fn finish(self, kept: usize) -> Option<Vec<usize>> {
+        if kept == 0 {
+            return None;
+        }
+        // A run emptied ⇔ two boundaries map to the same kept count, or the
+        // last run kept nothing.
+        let distinct = self.new_starts.windows(2).all(|w| w[0] < w[1]);
+        let last_nonempty = self.new_starts.last().is_none_or(|&s| s < kept);
+        (distinct && last_nonempty).then_some(self.new_starts)
+    }
+}
+
 impl<I: Operator> Operator for FilterOp<I> {
     fn next_segment(&mut self) -> Result<Option<Segment>> {
-        while let Some(seg) = self.input.next_segment()? {
-            let mut out = Vec::new();
-            for row in seg.rows {
+        loop {
+            let Some(seg) = self.input.next_segment()? else {
+                return Ok(None);
+            };
+            let store_backed = seg.is_store_backed();
+            let (_, mut stream, bounds) = seg.into_stream();
+            let mut remaps: Vec<LayerRemap> = bounds
+                .layers()
+                .iter()
+                .map(|l| LayerRemap {
+                    attrs: l.attrs.clone(),
+                    old_starts: l.starts.clone(),
+                    pos: 0,
+                    new_starts: Vec::new(),
+                })
+                .collect();
+            let mut builder = store_backed.then(|| self.env.store.builder());
+            let mut rows: Vec<Row> = Vec::new();
+            let mut kept = 0usize;
+            let mut idx = 0usize;
+            while let Some(row) = stream.next_row()? {
+                for r in &mut remaps {
+                    r.observe(idx, kept);
+                }
+                idx += 1;
                 self.env.tracker.compare(1);
                 if self.pred.matches(&row) {
                     self.env.tracker.move_rows(1);
-                    out.push(row);
+                    kept += 1;
+                    match &mut builder {
+                        Some(b) => b.push(row)?,
+                        None => rows.push(row),
+                    }
                 }
             }
-            if !out.is_empty() {
-                // Dropping rows shifts indices, so carried boundary layers
-                // are invalidated; downstream re-detects what it needs.
-                return Ok(Some(Segment::plain(out)));
+            if kept == 0 {
+                continue;
             }
+            let mut out_bounds = SegmentBounds::none();
+            for r in remaps {
+                let attrs = r.attrs.clone();
+                if let Some(starts) = r.finish(kept) {
+                    out_bounds.add_layer(attrs, starts);
+                }
+            }
+            return Ok(Some(match builder {
+                Some(b) => Segment::from_handle(b.finish()?, out_bounds),
+                None => Segment::with_bounds(rows, out_bounds),
+            }));
         }
-        Ok(None)
     }
 }
 
@@ -115,7 +190,7 @@ pub fn filter(table: &Table, pred: &Predicate, env: &OpEnv) -> Result<Table> {
     );
     let mut out = Table::new(table.schema().clone());
     while let Some(seg) = op.next_segment()? {
-        for row in seg.rows {
+        for row in seg.into_rows()? {
             out.push(row);
         }
     }
@@ -282,9 +357,10 @@ impl<I: Operator> GroupByHashOp<I> {
         type GroupBucket = Vec<(Vec<Value>, Vec<AggState>)>;
         let mut groups: HashMap<u64, GroupBucket> = HashMap::new();
         while let Some(seg) = input.next_segment()? {
-            for row in &seg.rows {
+            let (_, mut stream, _) = seg.into_stream();
+            while let Some(row) = stream.next_row()? {
                 env.tracker.hash(1);
-                let h = hash_row_on(row, &key_set);
+                let h = hash_row_on(&row, &key_set);
                 let key_vals: Vec<Value> = self.keys.iter().map(|&a| row.get(a).clone()).collect();
                 let bucket = groups.entry(h).or_default();
                 let state = match bucket.iter_mut().find(|(k, _)| *k == key_vals) {
@@ -295,7 +371,7 @@ impl<I: Operator> GroupByHashOp<I> {
                     }
                 };
                 for (agg, st) in self.aggs.iter().zip(state.iter_mut()) {
-                    st.update(agg, row)?;
+                    st.update(agg, &row)?;
                 }
             }
         }
@@ -347,17 +423,18 @@ pub fn group_by_hash(
     );
     let mut out = Table::new(schema);
     while let Some(seg) = op.next_segment()? {
-        for row in seg.rows {
+        for row in seg.into_rows()? {
             out.push(row);
         }
     }
     Ok(out)
 }
 
-/// Sort-based GROUP BY as an operator: sorts the drained input on the keys
-/// (charged like any reorder), aggregates adjacent runs, and emits a single
-/// totally ordered segment — `R_{∅, keys}`, §5's "interesting order"
-/// variant.
+/// Sort-based GROUP BY as an operator: sorts its input on the keys
+/// (streamed through the shared external sorter, charged like any
+/// reorder), aggregates adjacent runs off the sorted stream — holding one
+/// group's state, never the sorted relation — and emits a single totally
+/// ordered segment — `R_{∅, keys}`, §5's "interesting order" variant.
 pub struct GroupBySortOp<I> {
     input: Option<I>,
     keys: Vec<AttrId>,
@@ -383,10 +460,6 @@ impl<I: Operator> Operator for GroupBySortOp<I> {
             return Ok(None);
         };
         let env = &self.env;
-        let mut rows: Vec<Row> = Vec::new();
-        while let Some(seg) = input.next_segment()? {
-            rows.extend(seg.rows);
-        }
         let key_spec = SortSpec::new(
             self.keys
                 .iter()
@@ -395,36 +468,47 @@ impl<I: Operator> Operator for GroupBySortOp<I> {
         );
         let key = SortKey::new(&key_spec);
         let cmp = key.comparator();
-        let rows = sort_rows(rows, &key, env)?;
+        let (sorted, _, _) = crate::sorter::sort_stream_to_handle(
+            crate::full_sort::UpstreamRows::new(&mut input),
+            &key,
+            env,
+            &[],
+        )?;
 
         let mut out: Vec<Row> = Vec::new();
-        let mut i = 0;
-        while i < rows.len() {
-            let mut states = vec![AggState::new(); self.aggs.len()];
-            let start = i;
-            while i < rows.len() && {
-                if i == start {
-                    true
-                } else {
-                    env.tracker.compare(1);
-                    cmp.equal(&rows[start], &rows[i])
-                }
-            } {
-                for (agg, st) in self.aggs.iter().zip(states.iter_mut()) {
-                    st.update(agg, &rows[i])?;
-                }
-                i += 1;
-            }
-            let mut vals: Vec<Value> = self
-                .keys
-                .iter()
-                .map(|&a| rows[start].get(a).clone())
-                .collect();
-            for (agg, st) in self.aggs.iter().zip(&states) {
+        let mut reader = sorted.read();
+        let mut run_start: Option<Row> = None;
+        let mut states = vec![AggState::new(); self.aggs.len()];
+        let finish_group = |start: &Row, states: &mut Vec<AggState>, out: &mut Vec<Row>| {
+            let mut vals: Vec<Value> = self.keys.iter().map(|&a| start.get(a).clone()).collect();
+            for (agg, st) in self.aggs.iter().zip(states.iter()) {
                 vals.push(st.finish(agg));
             }
             out.push(Row::new(vals));
             env.tracker.move_rows(1);
+            *states = vec![AggState::new(); self.aggs.len()];
+        };
+        while let Some(row) = reader.next_row()? {
+            let same_group = match &run_start {
+                None => true,
+                Some(start) => {
+                    env.tracker.compare(1);
+                    cmp.equal(start, &row)
+                }
+            };
+            if !same_group {
+                let start = run_start.take().expect("open run");
+                finish_group(&start, &mut states, &mut out);
+            }
+            if run_start.is_none() {
+                run_start = Some(row.clone());
+            }
+            for (agg, st) in self.aggs.iter().zip(states.iter_mut()) {
+                st.update(agg, &row)?;
+            }
+        }
+        if let Some(start) = run_start {
+            finish_group(&start, &mut states, &mut out);
         }
         if out.is_empty() {
             return Ok(None);
@@ -450,7 +534,7 @@ pub fn group_by_sort(
     );
     let mut out = Table::new(schema);
     while let Some(seg) = op.next_segment()? {
-        for row in seg.rows {
+        for row in seg.into_rows()? {
             out.push(row);
         }
     }

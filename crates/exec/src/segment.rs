@@ -82,7 +82,12 @@ impl SegmentBounds {
     /// * A layer with `attrs ⊇ target` has finer runs (rows equal on a
     ///   superset are equal on the subset), so target boundaries can only
     ///   occur at layer starts: one `eq` check per candidate start instead
-    ///   of one per row. The cheapest (fewest-starts) superset layer wins.
+    ///   of one per row. The cheapest superset layer — fewest candidate
+    ///   starts strictly inside `(lo, hi)` — wins; counting *in range*
+    ///   keeps the choice identical whether a caller sees the full segment
+    ///   or a [`SegmentBounds::window`] of it, which is what makes the
+    ///   streaming (spill-backed) operator paths charge exactly the
+    ///   comparisons the materialized paths do.
     ///
     /// `eq` must implement equality on exactly `target`'s attributes; each
     /// invocation charges one comparison to `tracker`.
@@ -99,16 +104,22 @@ impl SegmentBounds {
         if lo >= hi {
             return Some(Vec::new());
         }
+        if target.is_empty() {
+            // Every row is trivially equal on the empty attribute set: one
+            // run, no comparisons (a global window's partition detection).
+            return Some(vec![lo]);
+        }
         if let Some(layer) = self.layers.iter().find(|l| l.attrs == *target) {
             let mut out = vec![lo];
             out.extend(layer.starts.iter().copied().filter(|&s| s > lo && s < hi));
             return Some(out);
         }
+        let in_range = |l: &BoundaryLayer| l.starts.iter().filter(|&&s| s > lo && s < hi).count();
         let layer = self
             .layers
             .iter()
             .filter(|l| target.is_subset(&l.attrs))
-            .min_by_key(|l| l.starts.len())?;
+            .min_by_key(|l| in_range(l))?;
         let mut out = vec![lo];
         let mut checks = 0u64;
         for &s in layer.starts.iter().filter(|&&s| s > lo && s < hi) {
@@ -119,6 +130,139 @@ impl SegmentBounds {
         }
         tracker.compare(checks);
         Some(out)
+    }
+
+    /// A view of these bounds restricted to the row window `[lo, hi)`, with
+    /// starts re-based to the window (`lo` becomes 0). Layers stay valid
+    /// because a window of maximal runs is still a set of maximal runs
+    /// (split at most at the window edges). Used by the streaming operator
+    /// paths, which buffer one partition/unit at a time: calling
+    /// [`SegmentBounds::runs_equal_on`] on the window with relative indices
+    /// yields the same boundaries and charges the same comparisons as
+    /// calling it on the full segment with `(lo, hi)`.
+    pub fn window(&self, lo: usize, hi: usize) -> SegmentBounds {
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| BoundaryLayer {
+                attrs: l.attrs.clone(),
+                starts: std::iter::once(0)
+                    .chain(
+                        l.starts
+                            .iter()
+                            .filter(|&&s| s > lo && s < hi)
+                            .map(|&s| s - lo),
+                    )
+                    .collect(),
+            })
+            .collect();
+        SegmentBounds { layers }
+    }
+}
+
+/// Streaming run detection with the exact charging of
+/// [`SegmentBounds::runs_equal_on`] / [`scan_runs`]: built once per segment
+/// from the carried layers, then asked row by row whether index `idx`
+/// starts a new run. The spill-backed operator paths (window partitions, SS
+/// units, peer groups) use this so their comparison counters stay
+/// bit-identical to the materialized paths.
+pub struct RunSplitter {
+    mode: SplitMode,
+}
+
+enum SplitMode {
+    /// An exact layer: boundaries are its starts, zero comparisons.
+    Exact { starts: Vec<usize>, pos: usize },
+    /// A superset layer: boundaries only at its starts, one charged `eq`
+    /// per candidate.
+    Candidates { starts: Vec<usize>, pos: usize },
+    /// No applicable layer: one charged `eq` per adjacent pair.
+    Scan,
+}
+
+impl RunSplitter {
+    /// Splitter for runs equal on `target` over a segment of `n` rows with
+    /// the given carried bounds (ignored when `reuse` is off).
+    pub fn new(bounds: &SegmentBounds, target: &AttrSet, n: usize, reuse: bool) -> Self {
+        if reuse && target.is_empty() {
+            // Trivially one run (see `runs_equal_on`): no boundaries, no
+            // comparisons.
+            return RunSplitter {
+                mode: SplitMode::Exact {
+                    starts: Vec::new(),
+                    pos: 0,
+                },
+            };
+        }
+        if reuse {
+            if let Some(layer) = bounds.layers.iter().find(|l| l.attrs == *target) {
+                return RunSplitter {
+                    mode: SplitMode::Exact {
+                        starts: layer.starts.iter().copied().filter(|&s| s < n).collect(),
+                        pos: 0,
+                    },
+                };
+            }
+            let in_range = |l: &BoundaryLayer| l.starts.iter().filter(|&&s| s > 0 && s < n).count();
+            if let Some(layer) = bounds
+                .layers
+                .iter()
+                .filter(|l| target.is_subset(&l.attrs))
+                .min_by_key(|l| in_range(l))
+            {
+                return RunSplitter {
+                    mode: SplitMode::Candidates {
+                        starts: layer.starts.iter().copied().filter(|&s| s < n).collect(),
+                        pos: 0,
+                    },
+                };
+            }
+        }
+        RunSplitter {
+            mode: SplitMode::Scan,
+        }
+    }
+
+    /// Does row `idx` (≥ 1) start a new run? `prev`/`cur` are the adjacent
+    /// rows `idx - 1` and `idx`. When `forced` the caller has already
+    /// proven a boundary at `idx` (e.g. a partition start forcing a peer
+    /// boundary): the splitter records it without charging — mirroring the
+    /// materialized paths, which never compare across such boundaries.
+    pub fn is_boundary(
+        &mut self,
+        idx: usize,
+        prev: &Row,
+        cur: &Row,
+        mut eq: impl FnMut(&Row, &Row) -> bool,
+        forced: bool,
+        tracker: &CostTracker,
+    ) -> bool {
+        let candidate = match &mut self.mode {
+            SplitMode::Exact { starts, pos } | SplitMode::Candidates { starts, pos } => {
+                while *pos < starts.len() && starts[*pos] < idx {
+                    *pos += 1;
+                }
+                let hit = *pos < starts.len() && starts[*pos] == idx;
+                if hit {
+                    *pos += 1;
+                }
+                hit
+            }
+            SplitMode::Scan => true,
+        };
+        if forced {
+            return true;
+        }
+        match self.mode {
+            SplitMode::Exact { .. } => candidate,
+            SplitMode::Candidates { .. } | SplitMode::Scan => {
+                if !candidate {
+                    return false;
+                }
+                tracker.compare(1);
+                !eq(prev, cur)
+            }
+        }
     }
 }
 

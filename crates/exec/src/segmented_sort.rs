@@ -16,8 +16,8 @@
 
 use crate::env::OpEnv;
 use crate::operator::{drain, Operator, Segment, SegmentSource};
-use crate::segment::SegmentedRows;
-use crate::sorter::{sort_rows, SortKey};
+use crate::segment::{RunSplitter, SegmentedRows};
+use crate::sorter::{sort_rows, sort_stream_to_handle, SortKey};
 use wf_common::{AttrSet, Result, Row, RowComparator, SortSpec};
 
 /// The SS operator — the one the paper's pipelining argument is really
@@ -55,16 +55,26 @@ impl<I: Operator> SegmentedSortOp<I> {
         }
     }
 
-    /// Sort one segment's units, preserving the segment as a whole.
+    /// Sort one segment's units, preserving the segment as a whole. The
+    /// materialized path — used when the segment is already in memory.
     fn sort_segment(&self, seg: Segment) -> Result<Segment> {
-        let Segment { rows, mut bounds } = seg;
+        let store_backed = seg.is_store_backed();
+        let (rows, mut bounds) = seg.into_parts()?;
         let env = &self.env;
         let end = rows.len();
         if self.alpha.is_empty() {
             // Whole segment is one unit; the full reorder invalidates any
             // carried layers.
             env.tracker.move_rows(rows.len() as u64);
-            return Ok(Segment::plain(sort_rows(rows, &self.beta, env)?));
+            let sorted = sort_rows(rows, &self.beta, env)?;
+            return if store_backed {
+                Ok(Segment::from_handle(
+                    env.store.admit(sorted)?,
+                    crate::segment::SegmentBounds::none(),
+                ))
+            } else {
+                Ok(Segment::plain(sorted))
+            };
         }
         // Unit starts: reuse a carried boundary layer when one covers α's
         // attributes, else walk the segment comparing adjacent α values.
@@ -101,7 +111,74 @@ impl<I: Operator> SegmentedSortOp<I> {
         // are unions of units.
         bounds.retain_subsets_of(&self.alpha_attrs);
         bounds.add_layer(self.alpha_attrs.clone(), unit_starts);
-        Ok(Segment::with_bounds(out, bounds))
+        if store_backed {
+            Ok(Segment::from_handle(self.env.store.admit(out)?, bounds))
+        } else {
+            Ok(Segment::with_bounds(out, bounds))
+        }
+    }
+
+    /// The streaming path for spilled segments: detect unit boundaries on
+    /// the fly (reusing carried layers with the exact charging of the
+    /// materialized path), hold **one unit at a time** — registered with
+    /// the store's residency ledger — sort it, and stream the output
+    /// through a store builder. Residency: `O(M + largest unit)`.
+    fn sort_segment_streaming(&self, seg: Segment) -> Result<Segment> {
+        let env = &self.env;
+        let (n, mut stream, mut bounds) = seg.into_stream();
+        if self.alpha.is_empty() {
+            // Whole segment is one unit sorted on β; stream it straight
+            // into the external sorter.
+            env.tracker.move_rows(n as u64);
+            let (handle, _, _) = sort_stream_to_handle(stream, &self.beta, env, &[])?;
+            return Ok(Segment::from_handle(
+                handle,
+                crate::segment::SegmentBounds::none(),
+            ));
+        }
+        let mut splitter = RunSplitter::new(&bounds, &self.alpha_attrs, n, env.reuse_bounds);
+        let mut out = env.store.builder();
+        let mut unit_starts: Vec<usize> = Vec::new();
+        let mut unit: Vec<Row> = Vec::new();
+        let mut hold = env.store.hold(0, 0);
+        let mut lo = 0usize;
+        let mut idx = 0usize;
+        while let Some(row) = stream.next_row()? {
+            let boundary = match unit.last() {
+                None => true,
+                Some(prev) => splitter.is_boundary(
+                    idx,
+                    prev,
+                    &row,
+                    |a, b| self.alpha_cmp.equal(a, b),
+                    false,
+                    &env.tracker,
+                ),
+            };
+            if boundary && !unit.is_empty() {
+                env.tracker.move_rows(unit.len() as u64);
+                unit_starts.push(lo);
+                for r in sort_rows(std::mem::take(&mut unit), &self.beta, env)? {
+                    out.push(r)?;
+                }
+                hold = env.store.hold(0, 0);
+                lo = idx;
+            }
+            hold.grow(row.encoded_len(), 1);
+            unit.push(row);
+            idx += 1;
+        }
+        if !unit.is_empty() {
+            env.tracker.move_rows(unit.len() as u64);
+            unit_starts.push(lo);
+            for r in sort_rows(unit, &self.beta, env)? {
+                out.push(r)?;
+            }
+        }
+        drop(hold);
+        bounds.retain_subsets_of(&self.alpha_attrs);
+        bounds.add_layer(self.alpha_attrs.clone(), unit_starts);
+        Ok(Segment::from_handle(out.finish()?, bounds))
     }
 }
 
@@ -109,6 +186,7 @@ impl<I: Operator> Operator for SegmentedSortOp<I> {
     fn next_segment(&mut self) -> Result<Option<Segment>> {
         match self.input.next_segment()? {
             None => Ok(None),
+            Some(seg) if seg.is_spilled() => Ok(Some(self.sort_segment_streaming(seg)?)),
             Some(seg) => Ok(Some(self.sort_segment(seg)?)),
         }
     }

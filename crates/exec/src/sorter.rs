@@ -9,6 +9,16 @@
 //! writing it back, which is why Eq. 1 charges `2·B·(⌈log_F(B/2M)⌉ + 1)`
 //! including the output but not the input read.
 //!
+//! **Streaming inputs.** Run formation consumes a row *iterator*, not a
+//! buffered `Vec<Row>`: [`sort_stream_to_handle`] feeds rows straight from
+//! upstream segment readers into the replacement-selection heap and emits
+//! the final merge into a [`wf_storage::SegmentStore`] builder, so a
+//! blocking sort's resident set is `M` plus the pool budget — never the
+//! relation. The `Vec` entry point [`sort_rows`] remains for unit sorts and
+//! makes the identical in-memory/external decision (accumulating rows
+//! against the ledger overflows exactly when the total exceeds `M`), so
+//! both paths charge bit-identical counters on the same input.
+//!
 //! **Normalized keys.** Every sort path compares rows through a
 //! [`SortKey`], which pairs the [`RowComparator`] with a
 //! [`wf_common::KeyNormalizer`]. When the environment enables
@@ -17,16 +27,30 @@
 //! the byte order is proven equal to the comparator order, so outputs,
 //! comparison *counts* and spill I/O are bit-identical to the comparator
 //! path (a row whose key cannot be normalized simply falls back to the
-//! comparator for its comparisons). The in-memory sort runs
-//! `sort_unstable_by` over `(key, row-index)` with the index as the final
-//! tie-break, which preserves the stable-sort semantics the operators rely
-//! on while avoiding the merge sort's allocation.
+//! comparator for its comparisons). Keys carried through the external-sort
+//! heaps are stored in a **fixed-width inline buffer** ([`InlineKey`]) when
+//! they fit (the common case: a handful of numeric key columns), so keying
+//! a row costs zero heap allocations; only oversized keys spill to a
+//! `Vec<u8>`. The in-memory sort runs `sort_unstable_by` over
+//! `(key, row-index)` with the index as the final tie-break, which
+//! preserves the stable-sort semantics the operators rely on while
+//! avoiding the merge sort's allocation.
+//!
+//! **Boundary recording.** The sorted output visits every adjacent row pair
+//! anyway, so FS/HS record partition-boundary layers *for free* during the
+//! final merge (or the in-memory output scan): [`sort_stream_to_handle`]
+//! takes the attribute-set prefixes to watch and returns a
+//! [`SegmentBounds`] with one layer per prefix — the §3.3/§3.5 matched-
+//! prefix layers a downstream window step starts from without re-deriving.
+//! The equality checks are metadata derivation piggybacked on rows the
+//! merge already moved; like key encoding they never enter modeled time.
 
 use crate::env::OpEnv;
+use crate::segment::SegmentBounds;
 use crate::util::HeapBy;
 use std::cmp::Ordering;
-use wf_common::{KeyNormalizer, Result, Row, RowComparator, SortSpec};
-use wf_storage::{MemoryLedger, SpillFile, SpillReader};
+use wf_common::{AttrSet, KeyNormalizer, Result, Row, RowComparator, SortSpec};
+use wf_storage::{MemoryLedger, SegmentHandle, SpillFile, SpillReader};
 
 /// A sort key: the comparator plus the normalized-key encoder for the same
 /// specification. Build once per operator, share across segments.
@@ -49,34 +73,69 @@ impl SortKey {
     pub fn comparator(&self) -> &RowComparator {
         &self.cmp
     }
+}
 
-    /// Encode `row`'s normalized key, charging the encode to the tracker.
-    /// `None` when normalization is disabled in `env` or the row holds a
-    /// non-normalizable value — comparisons then dispatch through the
-    /// comparator, which is order-consistent with the byte keys.
-    fn encode(&self, row: &Row, env: &OpEnv) -> Option<Vec<u8>> {
-        if !env.norm_keys {
-            return None;
+/// Inline capacity of a carried normalized key. 23 bytes + 1 length byte
+/// keeps the enum at 24 bytes and covers two numeric key columns (9 bytes
+/// each) with room to spare; longer keys (strings, wide composites) fall
+/// back to one heap allocation.
+const INLINE_KEY_CAP: usize = 23;
+
+/// A normalized sort key as carried through the external-sort heaps:
+/// fixed-width inline storage for small keys, heap fallback for large ones.
+/// Replaces the one-`Vec<u8>`-per-keyed-row allocation the heaps used to
+/// make (see the fig3 microbench's allocation counts).
+pub(crate) enum InlineKey {
+    Inline { len: u8, buf: [u8; INLINE_KEY_CAP] },
+    Heap(Vec<u8>),
+}
+
+impl InlineKey {
+    fn from_slice(s: &[u8]) -> Self {
+        if s.len() <= INLINE_KEY_CAP {
+            let mut buf = [0u8; INLINE_KEY_CAP];
+            buf[..s.len()].copy_from_slice(s);
+            InlineKey::Inline {
+                len: s.len() as u8,
+                buf,
+            }
+        } else {
+            InlineKey::Heap(s.to_vec())
         }
-        let key = self.norm.encode(row)?;
-        env.tracker.encode_keys(1);
-        Some(key)
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            InlineKey::Inline { len, buf } => &buf[..*len as usize],
+            InlineKey::Heap(v) => v,
+        }
     }
 }
 
 /// A row with its (optional) normalized key, as carried through the
 /// external-sort heaps.
 struct KeyedRow {
-    key: Option<Vec<u8>>,
+    key: Option<InlineKey>,
     row: Row,
 }
 
 impl KeyedRow {
-    fn new(row: Row, sk: &SortKey, env: &OpEnv) -> Self {
-        KeyedRow {
-            key: sk.encode(&row, env),
-            row,
-        }
+    /// Key `row`, encoding through `scratch` (reused across rows so small
+    /// keys never allocate).
+    fn new(row: Row, sk: &SortKey, env: &OpEnv, scratch: &mut Vec<u8>) -> Self {
+        let key = if env.norm_keys {
+            scratch.clear();
+            if sk.norm.encode_into(&row, scratch) {
+                env.tracker.encode_keys(1);
+                Some(InlineKey::from_slice(scratch))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        KeyedRow { key, row }
     }
 
     /// Byte comparison when both sides are normalized, comparator
@@ -84,7 +143,7 @@ impl KeyedRow {
     #[inline]
     fn compare(&self, other: &KeyedRow, cmp: &RowComparator) -> Ordering {
         match (&self.key, &other.key) {
-            (Some(a), Some(b)) => a.cmp(b),
+            (Some(a), Some(b)) => a.as_slice().cmp(b.as_slice()),
             _ => cmp.compare(&self.row, &other.row),
         }
     }
@@ -203,26 +262,153 @@ pub fn sort_rows(rows: Vec<Row>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>>
     external_sort(rows, key, env, &mut ledger)
 }
 
+/// Sort a row *stream* under `key` into a store-managed segment handle,
+/// never holding more than `M` (sort working memory) plus the pool budget.
+///
+/// Rows are accumulated against a fresh ledger; if the stream ends within
+/// budget the buffered rows are sorted in memory (the identical decision
+/// [`sort_rows`] makes from the total byte count), otherwise run formation
+/// takes over the not-yet-consumed remainder of the stream. The sorted
+/// output goes through the environment's segment store — resident when it
+/// fits the pool, spilled when it does not — and `record` names the
+/// attribute-set prefixes whose change positions are recorded as boundary
+/// layers on the way out (gated on `env.reuse_bounds`; see module docs).
+///
+/// Returns `(handle, bounds, row count)`.
+pub fn sort_stream_to_handle(
+    mut rows: impl Iterator<Item = Result<Row>>,
+    key: &SortKey,
+    env: &OpEnv,
+    record: &[AttrSet],
+) -> Result<(SegmentHandle, SegmentBounds, usize)> {
+    let mut ledger = env.ledger()?;
+    let mut buf: Vec<Row> = Vec::new();
+    let mut overflow: Option<Row> = None;
+    for r in rows.by_ref() {
+        let row = r?;
+        let bytes = row.encoded_len();
+        if ledger.fits(bytes) {
+            ledger.charge(bytes);
+            buf.push(row);
+        } else {
+            overflow = Some(row);
+            break;
+        }
+    }
+    if overflow.is_none() {
+        // Everything fits `M`: in-memory sort, then hand to the store.
+        sort_in_memory(&mut buf, key, env);
+        let n = buf.len();
+        let bounds = record_prefix_layers(&buf, record, env);
+        return Ok((env.store.admit(buf)?, bounds, n));
+    }
+    // External path — the same decision point as `sort_rows`: the total
+    // exceeds the budget exactly when accumulation overflowed.
+    ledger.release_all();
+    let chained = buf.into_iter().chain(overflow).map(Ok).chain(rows.by_ref());
+    let runs = form_runs_from(chained, key, env, &mut ledger)?;
+    ledger.release_all();
+    merge_runs_to_handle(runs, key, env, record)
+}
+
+/// Scan `rows` once and record, for every attribute set in `record`, the
+/// start positions of its maximal equal runs — the boundary layers a sort
+/// can emit for free. Uncharged metadata derivation (see module docs);
+/// disabled when boundary reuse is off.
+pub(crate) fn record_prefix_layers(rows: &[Row], record: &[AttrSet], env: &OpEnv) -> SegmentBounds {
+    let mut bounds = SegmentBounds::none();
+    if !env.reuse_bounds || rows.is_empty() {
+        return bounds;
+    }
+    for attrs in record {
+        if attrs.is_empty() {
+            continue;
+        }
+        let mut starts = vec![0usize];
+        for i in 1..rows.len() {
+            if !attrs.iter().all(|a| rows[i - 1].get(a) == rows[i].get(a)) {
+                starts.push(i);
+            }
+        }
+        bounds.add_layer(attrs.clone(), starts);
+    }
+    bounds
+}
+
+/// Streaming equivalent of [`record_prefix_layers`] for the final merge:
+/// observes rows in output order and accumulates one layer per prefix.
+struct PrefixRecorder {
+    sets: Vec<(AttrSet, Vec<usize>)>,
+    prev: Option<Row>,
+    idx: usize,
+}
+
+impl PrefixRecorder {
+    fn new(record: &[AttrSet], env: &OpEnv) -> Self {
+        let sets = if env.reuse_bounds {
+            record
+                .iter()
+                .filter(|a| !a.is_empty())
+                .map(|a| (a.clone(), Vec::new()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        PrefixRecorder {
+            sets,
+            prev: None,
+            idx: 0,
+        }
+    }
+
+    fn observe(&mut self, row: &Row) {
+        if self.sets.is_empty() {
+            return;
+        }
+        for (attrs, starts) in &mut self.sets {
+            let boundary = match &self.prev {
+                None => true,
+                Some(p) => !attrs.iter().all(|a| p.get(a) == row.get(a)),
+            };
+            if boundary {
+                starts.push(self.idx);
+            }
+        }
+        self.prev = Some(row.clone());
+        self.idx += 1;
+    }
+
+    fn finish(self) -> SegmentBounds {
+        let mut bounds = SegmentBounds::none();
+        for (attrs, starts) in self.sets {
+            if !starts.is_empty() {
+                bounds.add_layer(attrs, starts);
+            }
+        }
+        bounds
+    }
+}
+
 /// One sorted run on the spill device.
 struct Run {
     reader: SpillReader,
 }
 
-/// Replacement-selection run formation.
+/// Replacement-selection run formation over a row stream.
 ///
 /// The heap holds as many rows as fit in `M`; each output row is appended to
 /// the current run, and an incoming row joins the current run if it does not
 /// precede the last row written, otherwise it is tagged for the next run.
 /// Random input therefore yields runs of about `2M` (Knuth), matching Eq. 1.
 /// Rows are normalized once on entry; heap comparisons are then `memcmp`s.
-fn form_runs(
-    rows: Vec<Row>,
+fn form_runs_from(
+    mut input: impl Iterator<Item = Result<Row>>,
     key: &SortKey,
     env: &OpEnv,
     ledger: &mut MemoryLedger,
 ) -> Result<Vec<Run>> {
-    let mut input = rows.into_iter();
     let cmp = key.cmp.clone();
+    let mut scratch: Vec<u8> = Vec::new();
     // (run_tag, keyed row) ordered by tag then key.
     let mut heap =
         HeapBy::new(
@@ -234,32 +420,36 @@ fn form_runs(
 
     // Fill the heap up to the budget (a single oversized row is force-charged
     // so progress is always possible).
-    for row in input.by_ref() {
+    let mut pending: Option<Row> = None;
+    for r in input.by_ref() {
+        let row = r?;
         let bytes = row.encoded_len();
         if heap.is_empty() || ledger.fits(bytes) {
             ledger.charge(bytes);
-            heap.push((0, KeyedRow::new(row, key, env)));
+            heap.push((0, KeyedRow::new(row, key, env, &mut scratch)));
             if !ledger.fits(0) {
                 break;
             }
         } else {
-            // Put it back conceptually: handle below by chaining.
-            return drain_heap_with_input(Some(row), input, heap, key, env, ledger);
+            pending = Some(row);
+            break;
         }
         if ledger.used_bytes() >= ledger.budget_bytes() {
             break;
         }
     }
-    drain_heap_with_input(None, input, heap, key, env, ledger)
+    drain_heap_with_input(pending, input, heap, key, env, ledger, &mut scratch)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drain_heap_with_input(
     mut pending: Option<Row>,
-    mut input: std::vec::IntoIter<Row>,
+    mut input: impl Iterator<Item = Result<Row>>,
     mut heap: HeapBy<(u64, KeyedRow), impl FnMut(&(u64, KeyedRow), &(u64, KeyedRow)) -> Ordering>,
     key: &SortKey,
     env: &OpEnv,
     ledger: &mut MemoryLedger,
+    scratch: &mut Vec<u8>,
 ) -> Result<Vec<Run>> {
     let mut runs: Vec<Run> = Vec::new();
     let mut current_tag = 0u64;
@@ -285,7 +475,7 @@ fn drain_heap_with_input(
         loop {
             let next = match pending.take() {
                 Some(r) => Some(r),
-                None => input.next(),
+                None => input.next().transpose()?,
             };
             let Some(next) = next else { break };
             let bytes = next.encoded_len();
@@ -295,7 +485,7 @@ fn drain_heap_with_input(
             }
             ledger.charge(bytes);
             extra_cmp += 1;
-            let next = KeyedRow::new(next, key, env);
+            let next = KeyedRow::new(next, key, env, scratch);
             let tag_for_next = if next.compare(&keyed, &key.cmp) == Ordering::Less {
                 current_tag + 1
             } else {
@@ -323,8 +513,8 @@ pub fn merge_fan_in(mem_blocks: u64) -> usize {
     (mem_blocks.saturating_sub(1)).max(2) as usize
 }
 
-/// Merge runs down to a single stream; intermediate passes write new runs,
-/// the final pass emits rows directly.
+/// Merge runs down to a single materialized stream; intermediate passes
+/// write new runs, the final pass emits rows directly.
 fn merge_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>> {
     let f = merge_fan_in(env.mem_blocks);
     // Intermediate passes.
@@ -348,6 +538,38 @@ fn merge_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>
     Ok(result)
 }
 
+/// Like [`merge_runs`] but the final pass streams into a segment-store
+/// builder (bounded residency) and records boundary layers on the way.
+fn merge_runs_to_handle(
+    mut runs: Vec<Run>,
+    key: &SortKey,
+    env: &OpEnv,
+    record: &[AttrSet],
+) -> Result<(SegmentHandle, SegmentBounds, usize)> {
+    let f = merge_fan_in(env.mem_blocks);
+    while runs.len() > f {
+        let batch: Vec<Run> = runs.drain(..f).collect();
+        let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
+        merge_into(batch, key, env, |row| {
+            out.push(row)?;
+            Ok(())
+        })?;
+        runs.push(Run {
+            reader: out.into_reader()?,
+        });
+    }
+    let mut builder = env.store.builder();
+    let mut recorder = PrefixRecorder::new(record, env);
+    let mut n = 0usize;
+    merge_into(runs, key, env, |row| {
+        recorder.observe(row);
+        builder.push(row.clone())?;
+        n += 1;
+        Ok(())
+    })?;
+    Ok((builder.finish()?, recorder.finish(), n))
+}
+
 /// Core k-way merge over run readers; `emit` receives rows in order. Each
 /// row is re-normalized as it is read back (spilled runs store rows, not
 /// keys, so block counts are identical to the comparator path).
@@ -359,18 +581,19 @@ fn merge_into(
 ) -> Result<()> {
     let mut readers: Vec<SpillReader> = runs.into_iter().map(|r| r.reader).collect();
     let cmp = key.cmp.clone();
+    let mut scratch: Vec<u8> = Vec::new();
     let mut heap =
         HeapBy::new(move |a: &(KeyedRow, usize), b: &(KeyedRow, usize)| a.0.compare(&b.0, &cmp));
     for (i, r) in readers.iter_mut().enumerate() {
         if let Some(row) = r.next_row()? {
-            heap.push((KeyedRow::new(row, key, env), i));
+            heap.push((KeyedRow::new(row, key, env, &mut scratch), i));
         }
     }
     while let Some((keyed, i)) = heap.pop() {
         emit(&keyed.row)?;
         env.tracker.move_rows(1);
         if let Some(next) = readers[i].next_row()? {
-            heap.push((KeyedRow::new(next, key, env), i));
+            heap.push((KeyedRow::new(next, key, env, &mut scratch), i));
         }
     }
     env.tracker.compare(heap.take_comparisons());
@@ -389,7 +612,7 @@ pub fn external_sort(
         return Ok(rows);
     }
     ledger.release_all();
-    let runs = form_runs(rows, key, env, ledger)?;
+    let runs = form_runs_from(rows.into_iter().map(Ok), key, env, ledger)?;
     ledger.release_all();
     merge_runs(runs, key, env)
 }
@@ -425,6 +648,15 @@ mod tests {
                 "rows out of order"
             );
         }
+    }
+
+    fn form_runs(
+        rows: Vec<Row>,
+        key: &SortKey,
+        env: &OpEnv,
+        ledger: &mut MemoryLedger,
+    ) -> Result<Vec<Run>> {
+        form_runs_from(rows.into_iter().map(Ok), key, env, ledger)
     }
 
     #[test]
@@ -559,5 +791,81 @@ mod tests {
             large <= small,
             "large-M I/O ({large}) must not exceed small-M I/O ({small})"
         );
+    }
+
+    /// The streaming entry point makes the same in-memory/external decision
+    /// and charges the same modeled counters as the `Vec` entry point.
+    #[test]
+    fn stream_and_vec_sorts_charge_identical_counters() {
+        for (n, mem) in [(400usize, 1024u64), (4000, 4), (1500, 2)] {
+            let rows = make_rows(n, 8);
+            let env_vec = OpEnv::with_memory_blocks(mem);
+            let sorted_vec = sort_rows(rows.clone(), &cmp_on0(), &env_vec).unwrap();
+
+            let env_stream = OpEnv::with_memory_blocks(mem);
+            let (handle, _, count) =
+                sort_stream_to_handle(rows.into_iter().map(Ok), &cmp_on0(), &env_stream, &[])
+                    .unwrap();
+            assert_eq!(count, n);
+            let sorted_stream = handle.into_rows().unwrap();
+            assert_eq!(sorted_vec, sorted_stream, "n={n} M={mem}");
+            assert_eq!(
+                env_vec.tracker.snapshot().modeled_counters(),
+                env_stream.tracker.snapshot().modeled_counters(),
+                "n={n} M={mem}"
+            );
+        }
+    }
+
+    /// Boundary recording marks exactly the prefix-change positions of the
+    /// sorted output, on both the in-memory and external paths.
+    #[test]
+    fn recorded_layers_match_output_runs() {
+        let spec = SortSpec::new(vec![
+            OrdElem::asc(AttrId::new(0)),
+            OrdElem::asc(AttrId::new(1)),
+        ]);
+        let sk = SortKey::new(&spec);
+        let wpk = AttrSet::from_iter([AttrId::new(0)]);
+        for mem in [1024u64, 2] {
+            let rows: Vec<Row> = (0..1000)
+                .map(|i| row![(i % 7) as i64, ((i * 31) % 11) as i64, "pad-pad-pad-pad"])
+                .collect();
+            let env = OpEnv::with_memory_blocks(mem);
+            let (handle, bounds, _) = sort_stream_to_handle(
+                rows.into_iter().map(Ok),
+                &sk,
+                &env,
+                std::slice::from_ref(&wpk),
+            )
+            .unwrap();
+            let sorted = handle.into_rows().unwrap();
+            let layer = bounds
+                .layers()
+                .iter()
+                .find(|l| l.attrs == wpk)
+                .expect("wpk layer recorded");
+            let mut expect = vec![0usize];
+            for i in 1..sorted.len() {
+                if sorted[i - 1].get(AttrId::new(0)) != sorted[i].get(AttrId::new(0)) {
+                    expect.push(i);
+                }
+            }
+            assert_eq!(layer.starts, expect, "M={mem}");
+        }
+    }
+
+    #[test]
+    fn inline_key_round_trips() {
+        let small = InlineKey::from_slice(&[1, 2, 3]);
+        assert_eq!(small.as_slice(), &[1, 2, 3]);
+        assert!(matches!(small, InlineKey::Inline { .. }));
+        let big_bytes: Vec<u8> = (0..100).collect();
+        let big = InlineKey::from_slice(&big_bytes);
+        assert_eq!(big.as_slice(), big_bytes.as_slice());
+        assert!(matches!(big, InlineKey::Heap(_)));
+        // Boundary: exactly the inline capacity stays inline.
+        let edge = InlineKey::from_slice(&[7u8; INLINE_KEY_CAP]);
+        assert!(matches!(edge, InlineKey::Inline { .. }));
     }
 }

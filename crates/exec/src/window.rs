@@ -9,12 +9,26 @@
 //!
 //! **Boundary reuse (§3.3/§3.5).** When the incoming segment carries a
 //! [`SegmentBounds`] layer covering `WPK` (or `WPK ∪ attr(WOK)` for peers)
-//! — proven by an upstream window step over a shared key prefix, or by SS
-//! unit detection — the operator takes the boundaries from the layer
-//! instead of re-running equality comparisons over every adjacent row
-//! pair. Symmetrically, the boundaries this step *does* establish are
-//! attached to the outgoing segment, so the next step of the chain pays
-//! for them at most once.
+//! — proven by an upstream window step over a shared key prefix, by SS
+//! unit detection, or recorded for free by an FS/HS final merge — the
+//! operator takes the boundaries from the layer instead of re-running
+//! equality comparisons over every adjacent row pair. Symmetrically, the
+//! boundaries this step *does* establish are attached to the outgoing
+//! segment, so the next step of the chain pays for them at most once.
+//!
+//! **Spilled segments (Shi & Wang, arXiv:2007.10385).** A segment that the
+//! store spilled is *streamed*, never materialized: partitions are split
+//! off on the fly (with the exact comparison charging of the materialized
+//! path). For the SQL-default frame with `count`/`sum`/`avg`/`min`/`max`
+//! the operator runs a one-pass spilling aggregation — rows flow through a
+//! store-managed staging segment while a running accumulator snapshots one
+//! value per peer group, then rows and values are zipped back out — so even
+//! a partition far larger than the pool budget is evaluated in `O(M)`
+//! memory. Other functions/frames buffer **one partition at a time**
+//! (registered with the store's residency ledger: the `largest unit` term
+//! of the bound) and reuse the materialized evaluation code verbatim, which
+//! is what keeps outputs and modeled counters bit-identical across the
+//! resident and spilled paths.
 //!
 //! Functions implemented: the ranking family (`row_number`, `rank`,
 //! `dense_rank`, `ntile`), the distribution family (`percent_rank`,
@@ -27,7 +41,7 @@
 
 use crate::env::OpEnv;
 use crate::operator::{drain, Operator, Segment, SegmentSource};
-use crate::segment::{SegmentBounds, SegmentedRows};
+use crate::segment::{RunSplitter, SegmentBounds, SegmentedRows};
 use wf_common::{
     AttrId, AttrSet, DataType, Error, Result, Row, RowComparator, Schema, SortSpec, Value,
 };
@@ -231,12 +245,11 @@ impl<I: Operator> WindowOp<I> {
     /// starts a new partition (adjacent segments are disjoint on a subset of
     /// `WPK`); within the segment partitions break on `WPK`-value changes —
     /// taken from a carried boundary layer when the chain already proved
-    /// them, detected by scanning otherwise.
+    /// them, detected by scanning otherwise. The materialized path, used
+    /// for segments already in memory.
     fn eval_segment(&self, seg: Segment) -> Result<Segment> {
-        let Segment {
-            mut rows,
-            mut bounds,
-        } = seg;
+        let store_backed = seg.is_store_backed();
+        let (mut rows, mut bounds) = seg.into_parts()?;
         let env = &self.env;
         let n = rows.len();
         let wpk_eq = |a: &Row, b: &Row| self.wpk.iter().all(|attr| a.get(attr) == b.get(attr));
@@ -280,7 +293,257 @@ impl<I: Operator> WindowOp<I> {
             }
             bounds.add_layer(self.wpk.clone(), part_starts);
         }
-        Ok(Segment::with_bounds(rows, bounds))
+        if store_backed {
+            Ok(Segment::from_handle(env.store.admit(rows)?, bounds))
+        } else {
+            Ok(Segment::with_bounds(rows, bounds))
+        }
+    }
+
+    /// True when the SQL-default frame + aggregate combination supports the
+    /// one-pass streaming (spilling) aggregation.
+    fn streamable_default_agg(&self) -> bool {
+        use WindowFunction::*;
+        self.frame.units == FrameUnits::Range
+            && self.frame.start == Bound::UnboundedPreceding
+            && self.frame.end == Bound::CurrentRow
+            && matches!(self.func, Count(_) | Sum(_) | Avg(_) | Min(_) | Max(_))
+    }
+
+    /// The streaming path for spilled segments: split partitions on the
+    /// fly, evaluate each within the residency bound, and stream the output
+    /// through a store builder. Outputs — rows, boundary layers, modeled
+    /// counters — are bit-identical to [`WindowOp::eval_segment`].
+    fn eval_spilled(&self, seg: Segment) -> Result<Segment> {
+        let env = &self.env;
+        let (n, stream, bounds) = seg.into_stream();
+        let mut out = env.store.builder();
+        let mut part_starts: Vec<usize> = Vec::new();
+        let mut peer_starts: Vec<usize> = Vec::new();
+        let mut resolved = 0usize;
+        let mut nparts = 0usize;
+        if self.streamable_default_agg() {
+            self.stream_default_agg(
+                n,
+                stream,
+                &bounds,
+                &mut out,
+                &mut part_starts,
+                &mut peer_starts,
+                &mut resolved,
+                &mut nparts,
+            )?;
+        } else {
+            self.stream_buffered_partitions(
+                n,
+                stream,
+                &bounds,
+                &mut out,
+                &mut part_starts,
+                &mut peer_starts,
+                &mut resolved,
+                &mut nparts,
+            )?;
+        }
+        env.tracker.move_rows(n as u64);
+        let mut out_bounds = bounds;
+        if n > 0 {
+            if resolved == nparts && nparts == part_starts.len() {
+                out_bounds.add_layer(self.union_attrs.clone(), peer_starts);
+            }
+            out_bounds.add_layer(self.wpk.clone(), part_starts);
+        }
+        Ok(Segment::from_handle(out.finish()?, out_bounds))
+    }
+
+    /// Generic spilled evaluation: buffer one partition at a time (the
+    /// `largest unit` term of the residency bound, registered with the
+    /// store) and reuse the materialized per-partition evaluator.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_buffered_partitions(
+        &self,
+        n: usize,
+        mut stream: crate::operator::SegStream,
+        bounds: &SegmentBounds,
+        out: &mut wf_storage::SegmentBuilder,
+        part_starts: &mut Vec<usize>,
+        peer_starts: &mut Vec<usize>,
+        resolved: &mut usize,
+        nparts: &mut usize,
+    ) -> Result<()> {
+        let env = &self.env;
+        let wpk_eq = |a: &Row, b: &Row| self.wpk.iter().all(|attr| a.get(attr) == b.get(attr));
+        let mut splitter = RunSplitter::new(bounds, &self.wpk, n, env.reuse_bounds);
+        let mut cur: Vec<Row> = Vec::new();
+        let mut hold = env.store.hold(0, 0);
+        let mut lo = 0usize;
+        let mut idx = 0usize;
+        while let Some(row) = stream.next_row()? {
+            let boundary = match cur.last() {
+                None => true,
+                Some(prev) => splitter.is_boundary(idx, prev, &row, wpk_eq, false, &env.tracker),
+            };
+            if boundary && !cur.is_empty() {
+                self.flush_partition(
+                    std::mem::take(&mut cur),
+                    lo,
+                    bounds,
+                    out,
+                    part_starts,
+                    peer_starts,
+                    resolved,
+                    nparts,
+                )?;
+                hold = env.store.hold(0, 0);
+                lo = idx;
+            }
+            hold.grow(row.encoded_len(), 1);
+            cur.push(row);
+            idx += 1;
+        }
+        if !cur.is_empty() {
+            self.flush_partition(
+                cur,
+                lo,
+                bounds,
+                out,
+                part_starts,
+                peer_starts,
+                resolved,
+                nparts,
+            )?;
+        }
+        drop(hold);
+        Ok(())
+    }
+
+    /// Evaluate one buffered partition (rows relative, `lo` absolute) and
+    /// stream it out with its derived column.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_partition(
+        &self,
+        mut rows: Vec<Row>,
+        lo: usize,
+        bounds: &SegmentBounds,
+        out: &mut wf_storage::SegmentBuilder,
+        part_starts: &mut Vec<usize>,
+        peer_starts: &mut Vec<usize>,
+        resolved: &mut usize,
+        nparts: &mut usize,
+    ) -> Result<()> {
+        let env = &self.env;
+        let len = rows.len();
+        part_starts.push(lo);
+        // A window of the carried bounds answers peer queries with the
+        // exact boundaries and comparison charges of the absolute view.
+        let wbounds = bounds.window(lo, lo + len);
+        let mut peers = PeerResolver::new(&wbounds, &self.union_attrs, env.reuse_bounds);
+        let values = eval_partition(
+            &rows,
+            0,
+            len,
+            &self.wok_cmp,
+            &self.wok,
+            &self.func,
+            &self.frame,
+            env,
+            &mut peers,
+        )?;
+        for (row, v) in rows.iter_mut().zip(values) {
+            row.push(v);
+        }
+        if peers.partitions_resolved > 0 {
+            *resolved += 1;
+            peer_starts.extend(peers.collected.iter().map(|s| s + lo));
+        }
+        *nparts += 1;
+        for row in rows {
+            out.push(row)?;
+        }
+        Ok(())
+    }
+
+    /// Shi & Wang-style one-pass spilling aggregation for the SQL-default
+    /// frame: partition rows are staged through the store while a running
+    /// accumulator snapshots one value per peer group; at partition end the
+    /// staged rows are read back and zipped with their group's value. Never
+    /// holds more than the pool budget, even for partitions ≫ `M`.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_default_agg(
+        &self,
+        n: usize,
+        mut stream: crate::operator::SegStream,
+        bounds: &SegmentBounds,
+        out: &mut wf_storage::SegmentBuilder,
+        part_starts: &mut Vec<usize>,
+        peer_starts: &mut Vec<usize>,
+        resolved: &mut usize,
+        nparts: &mut usize,
+    ) -> Result<()> {
+        let env = &self.env;
+        let wpk_eq = |a: &Row, b: &Row| self.wpk.iter().all(|attr| a.get(attr) == b.get(attr));
+        let mut part_split = RunSplitter::new(bounds, &self.wpk, n, env.reuse_bounds);
+        let mut peer_split = RunSplitter::new(bounds, &self.union_attrs, n, env.reuse_bounds);
+        let mut agg = RunningAgg::new(&self.func, env);
+        // Boundary checks only read `WPK ∪ attr(WOK)`; keep a projection of
+        // the previous row (other columns as NULL placeholders) instead of
+        // cloning whole rows through the one-pass hot loop.
+        let key_shadow = |row: &Row| -> Row {
+            Row::new(
+                (0..row.arity())
+                    .map(|i| {
+                        let id = wf_common::AttrId::new(i);
+                        if self.union_attrs.contains(id) {
+                            row.get(id).clone()
+                        } else {
+                            Value::Null
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let mut prev: Option<Row> = None;
+        let mut lo = 0usize;
+        let mut idx = 0usize;
+        while let Some(row) = stream.next_row()? {
+            let part_boundary = match &prev {
+                None => true,
+                Some(p) => part_split.is_boundary(idx, p, &row, wpk_eq, false, &env.tracker),
+            };
+            if part_boundary && idx > 0 {
+                agg.finish_partition(env, out, lo, peer_starts)?;
+                *resolved += 1;
+                *nparts += 1;
+                lo = idx;
+            }
+            if part_boundary {
+                part_starts.push(idx);
+            }
+            let peer_boundary = match &prev {
+                None => true,
+                Some(p) => peer_split.is_boundary(
+                    idx,
+                    p,
+                    &row,
+                    |a, b| self.wok_cmp.equal(a, b),
+                    part_boundary,
+                    &env.tracker,
+                ),
+            };
+            if peer_boundary {
+                agg.close_group();
+            }
+            agg.consume(&row, env)?;
+            prev = Some(key_shadow(&row));
+            agg.stage(row)?;
+            idx += 1;
+        }
+        if idx > 0 {
+            agg.finish_partition(env, out, lo, peer_starts)?;
+            *resolved += 1;
+            *nparts += 1;
+        }
+        Ok(())
     }
 }
 
@@ -288,8 +551,194 @@ impl<I: Operator> Operator for WindowOp<I> {
     fn next_segment(&mut self) -> Result<Option<Segment>> {
         match self.input.next_segment()? {
             None => Ok(None),
+            Some(seg) if seg.is_spilled() => Ok(Some(self.eval_spilled(seg)?)),
             Some(seg) => Ok(Some(self.eval_segment(seg)?)),
         }
+    }
+}
+
+/// Per-partition running state of the streaming default-frame aggregation.
+/// Accumulates exactly like [`running_default_frame`] — integer sums in
+/// `i128`, float classification over the whole partition, min/max charging
+/// one comparison per non-null value after the first — and snapshots the
+/// state at every peer-group close so the staged rows can be zipped with
+/// their group's value at partition end.
+struct RunningAgg {
+    func: WindowFunction,
+    /// Staged partition rows (store-managed; spills past the pool budget).
+    stage: Option<wf_storage::SegmentBuilder>,
+    /// `(rows in group, state snapshot at group end)` per closed group.
+    groups: Vec<(usize, GroupSnap)>,
+    open_rows: usize,
+    cnt: i64,
+    sum_i: i128,
+    sum_f: f64,
+    all_int: bool,
+    extremum: Option<Value>,
+}
+
+/// Accumulator snapshot at a peer-group close.
+struct GroupSnap {
+    cnt: i64,
+    sum_i: i128,
+    sum_f: f64,
+    extremum: Option<Value>,
+}
+
+impl RunningAgg {
+    fn new(func: &WindowFunction, env: &OpEnv) -> Self {
+        RunningAgg {
+            func: func.clone(),
+            stage: Some(env.store.builder()),
+            groups: Vec::new(),
+            open_rows: 0,
+            cnt: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            all_int: true,
+            extremum: None,
+        }
+    }
+
+    /// Close the currently open peer group (no-op when empty).
+    fn close_group(&mut self) {
+        if self.open_rows == 0 {
+            return;
+        }
+        self.groups.push((
+            self.open_rows,
+            GroupSnap {
+                cnt: self.cnt,
+                sum_i: self.sum_i,
+                sum_f: self.sum_f,
+                extremum: self.extremum.clone(),
+            },
+        ));
+        self.open_rows = 0;
+    }
+
+    /// Fold one row's value into the running state.
+    fn consume(&mut self, row: &Row, env: &OpEnv) -> Result<()> {
+        use WindowFunction::*;
+        match &self.func {
+            Count(col) => {
+                self.cnt += match col {
+                    None => 1,
+                    Some(c) => i64::from(!row.get(*c).is_null()),
+                };
+            }
+            Sum(col) | Avg(col) => match row.get(*col) {
+                Value::Int(x) => {
+                    self.sum_i += *x as i128;
+                    self.sum_f += *x as f64;
+                    self.cnt += 1;
+                }
+                Value::Float(x) => {
+                    self.all_int = false;
+                    self.sum_f += *x;
+                    self.cnt += 1;
+                }
+                Value::Null => {}
+                other => {
+                    return Err(Error::TypeMismatch {
+                        expected: "numeric".into(),
+                        found: other.type_name().into(),
+                    })
+                }
+            },
+            Min(col) | Max(col) => {
+                let v = row.get(*col);
+                if !v.is_null() {
+                    let want_min = matches!(self.func, Min(_));
+                    match &self.extremum {
+                        None => self.extremum = Some(v.clone()),
+                        Some(c) => {
+                            env.tracker.compare(1);
+                            if (want_min && v < c) || (!want_min && v > c) {
+                                self.extremum = Some(v.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(Error::Execution(format!(
+                    "{other:?} is not a streamable default-frame aggregate"
+                )))
+            }
+        }
+        self.open_rows += 1;
+        Ok(())
+    }
+
+    /// Stage the row itself for the end-of-partition zip.
+    fn stage(&mut self, row: Row) -> Result<()> {
+        self.stage.as_mut().expect("stage open").push(row)
+    }
+
+    /// Finalize the partition: resolve each group's value (the type
+    /// classification is partition-global, exactly like the materialized
+    /// path), read the staged rows back and emit them with their values.
+    fn finish_partition(
+        &mut self,
+        env: &OpEnv,
+        out: &mut wf_storage::SegmentBuilder,
+        lo: usize,
+        peer_starts: &mut Vec<usize>,
+    ) -> Result<()> {
+        use WindowFunction::*;
+        self.close_group();
+        let values: Vec<Value> = self
+            .groups
+            .iter()
+            .map(|(_, s)| match &self.func {
+                Count(_) => Value::Int(s.cnt),
+                Sum(_) => {
+                    if s.cnt == 0 {
+                        Value::Null
+                    } else if self.all_int {
+                        Value::Int(s.sum_i.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+                    } else {
+                        Value::Float(s.sum_f)
+                    }
+                }
+                Avg(_) => {
+                    if s.cnt == 0 {
+                        Value::Null
+                    } else if self.all_int {
+                        Value::Float(s.sum_i as f64 / s.cnt as f64)
+                    } else {
+                        Value::Float(s.sum_f / s.cnt as f64)
+                    }
+                }
+                Min(_) | Max(_) => s.extremum.clone().unwrap_or(Value::Null),
+                _ => unreachable!("gated in consume"),
+            })
+            .collect();
+        let stage = self.stage.take().expect("stage open").finish()?;
+        let mut reader = stage.read();
+        let mut pos = lo;
+        for ((group_rows, _), value) in self.groups.iter().zip(values) {
+            peer_starts.push(pos);
+            pos += group_rows;
+            for _ in 0..*group_rows {
+                let mut row = reader
+                    .next_row()?
+                    .ok_or_else(|| Error::Execution("staged partition truncated".into()))?;
+                row.push(value.clone());
+                out.push(row)?;
+            }
+        }
+        // Reset for the next partition.
+        self.stage = Some(env.store.builder());
+        self.groups.clear();
+        self.open_rows = 0;
+        self.cnt = 0;
+        self.sum_i = 0;
+        self.sum_f = 0.0;
+        self.all_int = true;
+        self.extremum = None;
+        Ok(())
     }
 }
 

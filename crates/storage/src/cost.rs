@@ -17,6 +17,51 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Thread-safe counters for the segment-store pool's spill traffic.
+///
+/// Pool I/O is deliberately **not** part of [`CostTracker`]'s counters: the
+/// paper's cost model prices reorder I/O (sort runs, hash buckets) but
+/// assumes pipeline buffering between operators is free. The segment store
+/// makes that buffering physically bounded — and the blocks it moves to keep
+/// residency under the pool budget are a physical artifact of the bound,
+/// not modeled work. Keeping them here preserves the invariant that the
+/// modeled counters of a chain are bit-identical whether the pool is
+/// bounded or not (see `wf_storage::segstore`).
+#[derive(Debug, Default)]
+pub struct PoolCounters {
+    blocks_read: AtomicU64,
+    blocks_written: AtomicU64,
+}
+
+impl PoolCounters {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` pool block reads.
+    #[inline]
+    pub fn read_blocks(&self, n: u64) {
+        self.blocks_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charge `n` pool block writes.
+    #[inline]
+    pub fn write_blocks(&self, n: u64) {
+        self.blocks_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total pool blocks read back so far.
+    pub fn blocks_read(&self) -> u64 {
+        self.blocks_read.load(Ordering::Relaxed)
+    }
+
+    /// Total pool blocks written so far.
+    pub fn blocks_written(&self) -> u64 {
+        self.blocks_written.load(Ordering::Relaxed)
+    }
+}
+
 /// Thread-safe accumulation of execution work. Cheap to share (`Arc`), cheap
 /// to update (relaxed atomics).
 #[derive(Debug, Default)]

@@ -10,6 +10,11 @@
 //! * [`spill`] — append-only spill files over an in-memory simulated disk or
 //!   a real temporary file,
 //! * [`mem`] — the sort-memory ledger (the paper's `M`),
+//! * [`segstore`] — the spill-backed segment store: a ledger-governed pool
+//!   of row blocks behind [`segstore::SegmentHandle`]s, which is how
+//!   operator chains keep their physical resident set at
+//!   `O(M + largest unit)` (pool spill traffic is metered separately from
+//!   modeled I/O — see the module docs),
 //! * [`table`] — an in-memory heap table with block accounting.
 //!
 //! The paper ran on PostgreSQL over SATA disks; this crate substitutes a
@@ -22,11 +27,15 @@ pub mod bytebuf;
 pub mod codec;
 pub mod cost;
 pub mod mem;
+pub mod segstore;
 pub mod spill;
 pub mod table;
 
 pub use block::{blocks_for_bytes, BLOCK_SIZE};
-pub use cost::{CostSnapshot, CostTracker, CostWeights};
+pub use cost::{CostSnapshot, CostTracker, CostWeights, PoolCounters};
 pub use mem::MemoryLedger;
-pub use spill::{FileStore, SimStore, SpillFile, SpillMedium, SpillReader, SpillStore};
+pub use segstore::{
+    ResidencyHold, SegmentBuilder, SegmentHandle, SegmentReader, SegmentStore, StoreSnapshot,
+};
+pub use spill::{FileStore, IoMeter, SimStore, SpillFile, SpillMedium, SpillReader, SpillStore};
 pub use table::Table;

@@ -14,7 +14,7 @@
 use crate::block::BLOCK_SIZE;
 use crate::bytebuf::ByteBuf;
 use crate::codec::{decode_row, encode_row};
-use crate::cost::CostTracker;
+use crate::cost::{CostTracker, PoolCounters};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
@@ -152,23 +152,60 @@ fn make_store(medium: SpillMedium) -> Result<Box<dyn SpillStore>> {
     })
 }
 
+/// Where a spill file's block traffic is charged.
+///
+/// Reorder spills (sort runs, hash buckets) are work the paper's cost model
+/// prices and charge the [`CostTracker`]; segment-store pool spills exist
+/// only to bound physical residency and charge the informational
+/// [`PoolCounters`] instead (see [`crate::segstore`]).
+#[derive(Clone)]
+pub enum IoMeter {
+    /// Modeled reorder I/O.
+    Model(Arc<CostTracker>),
+    /// Segment-store pool traffic (never enters modeled time).
+    Pool(Arc<PoolCounters>),
+}
+
+impl IoMeter {
+    #[inline]
+    fn read_blocks(&self, n: u64) {
+        match self {
+            IoMeter::Model(t) => t.read_blocks(n),
+            IoMeter::Pool(p) => p.read_blocks(n),
+        }
+    }
+
+    #[inline]
+    fn write_blocks(&self, n: u64) {
+        match self {
+            IoMeter::Model(t) => t.write_blocks(n),
+            IoMeter::Pool(p) => p.write_blocks(n),
+        }
+    }
+}
+
 /// Writer for one spill file. Rows are encoded into a block-sized buffer and
-/// written out block by block; every block write is charged to the tracker.
+/// written out block by block; every block write is charged to the meter.
 pub struct SpillFile {
     store: Box<dyn SpillStore>,
     buffer: ByteBuf,
-    tracker: Arc<CostTracker>,
+    meter: IoMeter,
     rows: u64,
     bytes: u64,
 }
 
 impl SpillFile {
-    /// Create a spill file on the given medium.
+    /// Create a spill file on the given medium charging modeled I/O.
     pub fn create(medium: SpillMedium, tracker: Arc<CostTracker>) -> Result<Self> {
+        Self::create_metered(medium, IoMeter::Model(tracker))
+    }
+
+    /// Create a spill file charging the given meter.
+    pub fn create_metered(medium: SpillMedium, meter: IoMeter) -> Result<Self> {
         Ok(SpillFile {
             store: make_store(medium)?,
             buffer: ByteBuf::with_capacity(2 * BLOCK_SIZE),
-            tracker,
+            meter,
             rows: 0,
             bytes: 0,
         })
@@ -181,7 +218,7 @@ impl SpillFile {
         while self.buffer.len() >= BLOCK_SIZE {
             let block = self.buffer.split_to(BLOCK_SIZE);
             self.store.append(&block)?;
-            self.tracker.write_blocks(1);
+            self.meter.write_blocks(1);
             self.bytes += BLOCK_SIZE as u64;
         }
         Ok(())
@@ -197,13 +234,13 @@ impl SpillFile {
     pub fn into_reader(mut self) -> Result<SpillReader> {
         if !self.buffer.is_empty() {
             self.store.append(self.buffer.as_slice())?;
-            self.tracker.write_blocks(1);
+            self.meter.write_blocks(1);
             self.bytes += self.buffer.len() as u64;
             self.buffer.clear();
         }
         Ok(SpillReader {
             store: self.store,
-            tracker: self.tracker,
+            meter: self.meter,
             offset: 0,
             total: self.bytes,
             pending: ByteBuf::new(),
@@ -215,7 +252,7 @@ impl SpillFile {
 /// Streaming reader over a finished spill file.
 pub struct SpillReader {
     store: Box<dyn SpillStore>,
-    tracker: Arc<CostTracker>,
+    meter: IoMeter,
     offset: u64,
     total: u64,
     pending: ByteBuf,
@@ -251,7 +288,7 @@ impl SpillReader {
                 return Err(Error::Execution("short read from spill store".into()));
             }
             self.offset += n as u64;
-            self.tracker.read_blocks(1);
+            self.meter.read_blocks(1);
             self.pending.extend_from_slice(&block[..n]);
         }
     }

@@ -8,13 +8,16 @@
 
 use crate::block::blocks_for_bytes;
 use crate::cost::CostTracker;
+use std::sync::Arc;
 use wf_common::{Error, Result, Row, Schema};
 
-/// A schema plus rows. Rows are owned; the executors stream clones or moves.
+/// A schema plus rows. Rows live behind an `Arc` so a table scan can hand
+/// out zero-copy shared views ([`Table::shared_rows`]) instead of cloning
+/// the relation; mutation goes through copy-on-write (`Arc::make_mut`).
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
-    rows: Vec<Row>,
+    rows: Arc<Vec<Row>>,
     bytes: usize,
 }
 
@@ -23,7 +26,7 @@ impl Table {
     pub fn new(schema: Schema) -> Self {
         Table {
             schema,
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
             bytes: 0,
         }
     }
@@ -47,14 +50,21 @@ impl Table {
         &self.rows
     }
 
-    /// Mutable row access (used by in-place sorters in tests).
+    /// Zero-copy shared view of the rows (what a streaming table scan hands
+    /// to the operator chain).
+    pub fn shared_rows(&self) -> Arc<Vec<Row>> {
+        Arc::clone(&self.rows)
+    }
+
+    /// Mutable row access (used by in-place sorters in tests;
+    /// copy-on-write when the rows are shared).
     pub fn rows_mut(&mut self) -> &mut Vec<Row> {
-        &mut self.rows
+        Arc::make_mut(&mut self.rows)
     }
 
     /// Consume into rows.
     pub fn into_rows(self) -> Vec<Row> {
-        self.rows
+        Arc::try_unwrap(self.rows).unwrap_or_else(|a| a.as_ref().clone())
     }
 
     /// Number of tuples — `T(R)`.
@@ -81,7 +91,7 @@ impl Table {
     pub fn push(&mut self, row: Row) {
         debug_assert_eq!(row.arity(), self.schema.len(), "row arity mismatch");
         self.bytes += row.encoded_len();
-        self.rows.push(row);
+        Arc::make_mut(&mut self.rows).push(row);
     }
 
     /// Append a row, checking arity.

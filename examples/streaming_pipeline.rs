@@ -74,6 +74,17 @@ fn main() -> Result<()> {
         work.comparisons,
         work.hashes
     );
+    // The segment store governs how much of the pipeline is ever resident:
+    // segments past the pool budget spill (metered separately from the
+    // modeled work above) and stream back block at a time.
+    let store = env.store_snapshot();
+    println!(
+        "residency:     peak {} rows / {} KiB tracked ({} segments pool-spilled, {} pool blocks moved)",
+        store.peak_resident_rows,
+        store.peak_resident_bytes / 1024,
+        store.spilled_segments,
+        store.spill_blocks_written + store.spill_blocks_read,
+    );
     assert_eq!(rows_seen, table.row_count());
     Ok(())
 }

@@ -50,6 +50,85 @@ fn all_schemes_at_two_blocks_on_10k_rows() {
     }
 }
 
+/// The residency bound the segment store exists for: a chain at minimum
+/// memory over a table many times `M` keeps its *tracked* resident set at
+/// `O(M + largest unit)` — and produces bit-identical rows and modeled
+/// counters to the unbounded-pool (pre-store) pipeline. All specs are
+/// partitioned, so the largest unit a window step must buffer is the
+/// largest WPK partition (a global window's unit would be the relation —
+/// covered by the suite above, bounded only trivially).
+#[test]
+fn peak_residency_is_bounded_and_counters_match_unbounded_pool() {
+    let table = random_table(10_000, &[25, 60, 90], 42);
+    let specs = vec![
+        rank_spec("wf1", &[1], &[2]),
+        rank_spec("wf2", &[1], &[3]),
+        rank_spec("wf3", &[2], &[3]),
+    ];
+    let query = WindowQuery::new(table.schema().clone(), specs);
+    let stats = TableStats::from_table(&table);
+    // Largest unit any operator must hold: the largest partition of either
+    // partition column.
+    let mut largest_unit = 0usize;
+    for col in [1usize, 2] {
+        let mut per_part = std::collections::HashMap::new();
+        for row in table.rows() {
+            *per_part
+                .entry(row.get(AttrId::new(col)).clone())
+                .or_insert(0usize) += row.encoded_len();
+        }
+        largest_unit = largest_unit.max(per_part.values().copied().max().unwrap());
+    }
+
+    for scheme in [Scheme::Cso, Scheme::Bfo, Scheme::Orcl, Scheme::Psql] {
+        let env = ExecEnv::with_memory_blocks(2);
+        let plan = optimize(&query, &stats, scheme, &env).unwrap();
+        let report = execute_plan(&plan, &table, &env).unwrap();
+
+        let snap = report.store;
+        let budget = 2 * wfopt::storage::BLOCK_SIZE;
+        // O(M + largest unit): a small constant covers the handful of
+        // segments in flight between adjacent operators (one draining, one
+        // building) plus rank's buffered partition.
+        assert!(
+            snap.peak_resident_bytes <= 4 * (budget + largest_unit),
+            "{scheme}: peak resident {} exceeds O(M + unit) bound ({} + {})",
+            snap.peak_resident_bytes,
+            budget,
+            largest_unit
+        );
+        assert!(
+            snap.peak_resident_bytes < table.byte_size() / 2,
+            "{scheme}: peak resident {} is relation-sized ({})",
+            snap.peak_resident_bytes,
+            table.byte_size()
+        );
+        assert!(
+            snap.spill_blocks_written > 0,
+            "{scheme}: a 2-block pool over a {}-block table must pool-spill",
+            table.block_count()
+        );
+
+        // Reference: the identical plan with an unbounded pool — the
+        // pre-store pipeline. Rows and modeled counters are bit-identical;
+        // only physical residency differs.
+        let env_ref = ExecEnv::with_memory_blocks(2).with_unbounded_pool();
+        let report_ref = execute_plan(&plan, &table, &env_ref).unwrap();
+        assert_eq!(report.table.rows(), report_ref.table.rows(), "{scheme}");
+        assert_eq!(report.work, report_ref.work, "{scheme}: modeled counters");
+        assert_eq!(report_ref.store.spill_blocks_written, 0);
+        // The unbounded pipeline keeps whole segments (buckets, sorted
+        // runs of partitions) resident; the bounded one only `M` + the
+        // unit it is working on.
+        assert!(
+            snap.peak_resident_rows < report_ref.store.peak_resident_rows,
+            "{scheme}: bounded peak ({} rows) should be below unbounded ({} rows)",
+            snap.peak_resident_rows,
+            report_ref.store.peak_resident_rows
+        );
+    }
+}
+
 #[test]
 fn execution_is_deterministic() {
     let table = random_table(3_000, &[13, 40], 7);

@@ -202,7 +202,8 @@ fn hashed_sort_op_streams_buckets_in_batch_order() {
     );
     for i in 0..batch.segment_count() {
         let seg = op.next_segment().unwrap().expect("bucket per pull");
-        assert_eq!(seg.rows.as_slice(), batch.segment(i), "bucket {i}");
+        let rows = seg.into_rows().unwrap();
+        assert_eq!(rows.as_slice(), batch.segment(i), "bucket {i}");
     }
     assert!(op.next_segment().unwrap().is_none());
 }
@@ -269,31 +270,51 @@ fn execute_plan_matches_batch_composition_of_same_plan() {
     let env_p = ExecEnv::with_memory_blocks(8);
     let report = execute_plan(&plan, &table, &env_p).unwrap();
 
-    // Batch composition.
+    // Batch composition, mirroring the runtime's boundary-layer recording
+    // (FS/HS record WPK / WPK ∪ WOK prefix layers during their merges).
     let env_b = ExecEnv::with_memory_blocks(8);
     table.charge_scan(env_b.tracker());
     let mut current = SegmentedRows::single_segment(table.rows().to_vec());
     for step in &plan.steps {
         let spec = &plan.specs[step.wf];
+        let mut record = Vec::new();
+        if !spec.wpk().is_empty() {
+            record.push(spec.wpk().clone());
+        }
+        let union = spec.wpk().union(&spec.wok().attr_set());
+        if !union.is_empty() && Some(&union) != record.first() {
+            record.push(union);
+        }
         current = match &step.reorder {
             ReorderOp::None => current,
-            ReorderOp::Fs { key } => full_sort(current, key, env_b.op_env()).unwrap(),
+            ReorderOp::Fs { key } => {
+                let mut op = FullSortOp::new(
+                    SegmentSource::new(current),
+                    key.clone(),
+                    env_b.op_env().clone(),
+                )
+                .with_recorded_prefixes(record);
+                drain(&mut op).unwrap()
+            }
             ReorderOp::Hs {
                 whk,
                 key,
                 n_buckets,
                 mfv,
-            } => hashed_sort(
-                current,
-                whk,
-                key,
-                &HsOptions {
-                    n_buckets: *n_buckets,
-                    mfv_values: mfv.clone(),
-                },
-                env_b.op_env(),
-            )
-            .unwrap(),
+            } => {
+                let mut op = HashedSortOp::new(
+                    SegmentSource::new(current),
+                    whk.clone(),
+                    key.clone(),
+                    HsOptions {
+                        n_buckets: *n_buckets,
+                        mfv_values: mfv.clone(),
+                    },
+                    env_b.op_env().clone(),
+                )
+                .with_recorded_prefixes(record);
+                drain(&mut op).unwrap()
+            }
             ReorderOp::Ss { alpha, beta } => {
                 segmented_sort(current, alpha, beta, env_b.op_env()).unwrap()
             }
