@@ -64,7 +64,7 @@ fn main() {
                 full_sort(input, &key, &env).unwrap();
             });
             let whk = spec.wpk().clone();
-            let opts = HsOptions::with_buckets(hs_bucket_count(&stats, &whk));
+            let opts = HsOptions::with_buckets(hs_bucket_count(&stats, &whk, m));
             group.bench(&format!("{qname}_hs/{}", m_mb as u64), || {
                 let env = OpEnv::with_memory_blocks(m);
                 let input = SegmentedRows::single_segment(table.rows().to_vec());

@@ -76,11 +76,11 @@ fn fs_op(spec: &WindowSpec) -> ReorderOp {
     }
 }
 
-fn hs_op(spec: &WindowSpec, stats: &TableStats) -> ReorderOp {
+fn hs_op(spec: &WindowSpec, stats: &TableStats, mem_blocks: u64) -> ReorderOp {
     ReorderOp::Hs {
         whk: spec.wpk().clone(),
         key: wf_core::plan::default_fs_key(spec),
-        n_buckets: hs_bucket_count(stats, spec.wpk()),
+        n_buckets: hs_bucket_count(stats, spec.wpk(), mem_blocks),
         mfv: vec![],
     }
 }
@@ -129,7 +129,7 @@ pub fn run_fig3(h: &Harness) {
                 &table,
                 &SegProps::unordered(),
                 &spec,
-                hs_op(&spec, &stats),
+                hs_op(&spec, &stats, m),
                 &stats,
                 m,
             );
@@ -193,7 +193,7 @@ pub fn run_fig4(h: &Harness) {
             let m = paper_mb_to_blocks(m_mb, b);
             let (fs_ms, _, _) = run_single_op(&table, &props, &spec, fs_op(&spec), &stats, m);
             let (hs_ms, _, _) =
-                run_single_op(&table, &props, &spec, hs_op(&spec, &stats), &stats, m);
+                run_single_op(&table, &props, &spec, hs_op(&spec, &stats, m), &stats, m);
             let (ss_ms, ss_io, _) = run_single_op(&table, &props, &spec, ss.clone(), &stats, m);
             t.row(vec![
                 format!("{m_mb}"),
@@ -348,13 +348,13 @@ pub fn run_ablate_hs(h: &Harness) {
     );
     for &m_mb in &[10.0, 25.0, 50.0] {
         let m = paper_mb_to_blocks(m_mb, b);
-        let plain = hs_op(&spec, &stats);
+        let plain = hs_op(&spec, &stats, m);
         let (p_ms, p_io, _) =
             run_single_op(&table, &SegProps::unordered(), &spec, plain, &stats, m);
         // MFV path: executed directly (the planner API stays cost-based).
         let env = ExecEnv::with_memory_blocks(m);
         let opts = wf_exec::HsOptions {
-            n_buckets: hs_bucket_count(&stats, spec.wpk()),
+            n_buckets: hs_bucket_count(&stats, spec.wpk(), m),
             mfv_values: vec![vec![Value::Int(0)]],
         };
         let t0 = Instant::now();

@@ -49,6 +49,10 @@ pub struct RegressEntry {
     /// the `O(M + largest unit)` bound made measurable (0 for the
     /// sort-only microbenches, which move no segments).
     pub peak_resident_blocks: u64,
+    /// Weakest window-evaluation residency class across the workload's
+    /// chain (`one-pass` / `ring` / `buffered`; `-` for sort-only
+    /// workloads with no window step).
+    pub residency_class: String,
 }
 
 fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str) -> RegressEntry {
@@ -61,6 +65,7 @@ fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str
         io_blocks: report.work.io_blocks(),
         key_encodes: report.work.key_encodes,
         peak_resident_blocks: report.store.peak_resident_blocks(),
+        residency_class: report.weakest_eval_class().label().to_string(),
     }
 }
 
@@ -105,7 +110,7 @@ pub fn run_workloads() -> Vec<RegressEntry> {
         let hs = ReorderOp::Hs {
             whk: spec.wpk().clone(),
             key: wf_core::plan::default_fs_key(&spec),
-            n_buckets: wf_core::cost::hs_bucket_count(&stats, spec.wpk()),
+            n_buckets: wf_core::cost::hs_bucket_count(&stats, spec.wpk(), m),
             mfv: vec![],
         };
         for (op, op_name) in [(fs, "fs"), (hs, "hs")] {
@@ -155,12 +160,70 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                 io_blocks: s.io_blocks(),
                 key_encodes: s.key_encodes,
                 peak_resident_blocks: env.store.snapshot().peak_resident_blocks(),
+                residency_class: "-".to_string(),
             };
             if best.as_ref().is_none_or(|b| e.wall_ms < b.wall_ms) {
                 best = Some(e);
             }
         }
         out.push(best.expect("five runs"));
+    }
+
+    // Window-evaluation residency classes: one workload per streaming
+    // discipline (one-pass / ring / buffered), at a spill-heavy budget so
+    // the spilled evaluation paths actually run — the residency-class
+    // column plus the peak-residency gate watch all three.
+    {
+        use wf_datagen::WsColumn::{Item, Quantity, SoldTime};
+        let m = paper_mb_to_blocks(25.0, blocks);
+        let order = wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(SoldTime.attr())]);
+        let cases: Vec<(&str, WindowSpec)> = vec![
+            (
+                "window_onepass_sum_default",
+                WindowSpec::new(
+                    "s",
+                    wf_core::spec::WindowFunction::Sum(Quantity.attr()),
+                    vec![Item.attr()],
+                    order.clone(),
+                ),
+            ),
+            (
+                "window_ring_avg_rows",
+                WindowSpec::new(
+                    "a",
+                    wf_core::spec::WindowFunction::Avg(Quantity.attr()),
+                    vec![Item.attr()],
+                    order.clone(),
+                )
+                .with_frame(wf_core::spec::FrameSpec {
+                    units: wf_core::spec::FrameUnits::Rows,
+                    start: wf_core::spec::Bound::Preceding(2),
+                    end: wf_core::spec::Bound::CurrentRow,
+                }),
+            ),
+            (
+                "window_buffered_count_range",
+                WindowSpec::new(
+                    "c",
+                    wf_core::spec::WindowFunction::Count(None),
+                    vec![Item.attr()],
+                    order,
+                )
+                .with_frame(wf_core::spec::FrameSpec {
+                    units: wf_core::spec::FrameUnits::Range,
+                    start: wf_core::spec::Bound::Preceding(2),
+                    end: wf_core::spec::Bound::CurrentRow,
+                }),
+            ),
+        ];
+        for (name, spec) in cases {
+            let fs = ReorderOp::Fs {
+                key: wf_core::plan::default_fs_key(&spec),
+            };
+            let plan = single_op_plan(&spec, fs, &stats, m);
+            let env = ExecEnv::with_memory_blocks(m);
+            out.push(run_plan(&plan, &table, &env, name));
+        }
     }
 
     // Two-window shared-WPK chain: boundary reuse on vs. off.
@@ -205,14 +268,15 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
             s,
             "    {{\"name\": \"{}\", \"modeled_ms\": {:.4}, \"wall_ms\": {:.3}, \
              \"comparisons\": {}, \"io_blocks\": {}, \"key_encodes\": {}, \
-             \"peak_resident_blocks\": {}}}",
+             \"peak_resident_blocks\": {}, \"residency_class\": \"{}\"}}",
             e.name,
             e.modeled_ms,
             e.wall_ms,
             e.comparisons,
             e.io_blocks,
             e.key_encodes,
-            e.peak_resident_blocks
+            e.peak_resident_blocks,
+            e.residency_class
         );
         s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -247,6 +311,50 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
     out
 }
 
+/// Markdown table comparing the current run against the baseline —
+/// modeled cost, peak resident blocks and residency class per workload —
+/// emitted into `results/BENCH_3_summary.md` for the CI step summary.
+pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64, u64)]) -> String {
+    let mut md = String::from("### `repro regress` — BENCH_3 comparison\n\n");
+    let _ = writeln!(
+        md,
+        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk |"
+    );
+    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|---:|");
+    for e in entries {
+        let base = baseline.iter().find(|(n, _, _)| *n == e.name);
+        let (base_ms, base_peak, delta) = match base {
+            Some((_, ms, peak)) => (
+                format!("{ms:.2}"),
+                format!("{peak}"),
+                if *ms > 0.0 {
+                    format!("{:+.1}%", 100.0 * (e.modeled_ms - ms) / ms)
+                } else {
+                    "n/a".to_string()
+                },
+            ),
+            None => ("new".to_string(), "new".to_string(), "n/a".to_string()),
+        };
+        let _ = writeln!(
+            md,
+            "| `{}` | {} | {:.2} | {} | {} | {} | {} |",
+            e.name,
+            e.residency_class,
+            e.modeled_ms,
+            base_ms,
+            delta,
+            e.peak_resident_blocks,
+            base_peak
+        );
+    }
+    let _ = writeln!(
+        md,
+        "\nGate: modeled cost and peak residency must stay within {REGRESS_FACTOR}× of \
+         `results/BENCH_3.baseline.json`. Wall clock is informational only."
+    );
+    md
+}
+
 /// Run the regression suite: write `results/BENCH_3.json`, print the table
 /// and the fast-path headline numbers, compare against the checked-in
 /// baseline. Returns `false` when a >2× modeled-cost or peak-residency
@@ -264,6 +372,7 @@ pub fn run_regress() -> bool {
             "io",
             "key encodes",
             "peak res blk",
+            "class",
         ],
     );
     for e in &entries {
@@ -275,6 +384,7 @@ pub fn run_regress() -> bool {
             format!("{}", e.io_blocks),
             format!("{}", e.key_encodes),
             format!("{}", e.peak_resident_blocks),
+            e.residency_class.clone(),
         ]);
     }
     t.emit("BENCH_3_table");
@@ -318,6 +428,18 @@ pub fn run_regress() -> bool {
     std::fs::create_dir_all("results").ok();
     if let Err(e) = std::fs::write("results/BENCH_3.json", &json) {
         eprintln!("(could not write results/BENCH_3.json: {e})");
+    }
+    // Markdown comparison for the CI step summary ($GITHUB_STEP_SUMMARY):
+    // current vs baseline modeled cost + peak residency + residency class,
+    // so bench drift is readable on the PR without downloading artifacts.
+    let baseline_for_md = std::fs::read_to_string("results/BENCH_3.baseline.json")
+        .map(|raw| parse_baseline(&raw))
+        .unwrap_or_default();
+    if let Err(e) = std::fs::write(
+        "results/BENCH_3_summary.md",
+        step_summary_markdown(&entries, &baseline_for_md),
+    ) {
+        eprintln!("(could not write results/BENCH_3_summary.md: {e})");
     }
 
     // Gate against the checked-in baseline. A missing baseline is fatal in
@@ -372,28 +494,22 @@ pub fn run_regress() -> bool {
 mod tests {
     use super::*;
 
+    fn entry(name: &str, ms: f64, peak: u64, class: &str) -> RegressEntry {
+        RegressEntry {
+            name: name.into(),
+            modeled_ms: ms,
+            wall_ms: 1.0,
+            comparisons: 7,
+            io_blocks: 2,
+            key_encodes: 5,
+            peak_resident_blocks: peak,
+            residency_class: class.into(),
+        }
+    }
+
     #[test]
     fn baseline_roundtrip() {
-        let entries = vec![
-            RegressEntry {
-                name: "w1".into(),
-                modeled_ms: 1.25,
-                wall_ms: 3.0,
-                comparisons: 10,
-                io_blocks: 2,
-                key_encodes: 5,
-                peak_resident_blocks: 17,
-            },
-            RegressEntry {
-                name: "w2".into(),
-                modeled_ms: 0.5,
-                wall_ms: 1.0,
-                comparisons: 7,
-                io_blocks: 0,
-                key_encodes: 0,
-                peak_resident_blocks: 0,
-            },
-        ];
+        let entries = vec![entry("w1", 1.25, 17, "ring"), entry("w2", 0.5, 0, "-")];
         let json = to_json(&entries);
         let parsed = parse_baseline(&json);
         assert_eq!(parsed.len(), 2);
@@ -402,5 +518,15 @@ mod tests {
         assert_eq!(parsed[0].2, 17);
         assert!((parsed[1].1 - 0.5).abs() < 1e-9);
         assert_eq!(parsed[1].2, 0);
+    }
+
+    #[test]
+    fn step_summary_compares_against_baseline() {
+        let entries = vec![entry("w1", 2.0, 8, "one-pass"), entry("w3", 1.0, 4, "ring")];
+        let baseline = vec![("w1".to_string(), 1.0, 8u64)];
+        let md = step_summary_markdown(&entries, &baseline);
+        assert!(md.contains("| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 |"));
+        // A workload with no baseline row reads "new", never a bogus delta.
+        assert!(md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new |"));
     }
 }

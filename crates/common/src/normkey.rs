@@ -2,7 +2,7 @@
 //!
 //! A [`KeyNormalizer`] encodes a row's sort key under a [`SortSpec`] into a
 //! single byte buffer such that plain lexicographic `memcmp` of two buffers
-//! produces exactly the ordering of [`RowComparator::compare`]. Sorting then
+//! produces exactly the ordering of [`crate::RowComparator::compare`]. Sorting then
 //! compares `&[u8]` prefixes instead of dispatching on [`Value`] variants per
 //! element — the dominant CPU cost of every reorder in the pipeline.
 //!

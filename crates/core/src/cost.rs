@@ -273,20 +273,22 @@ pub fn ss_cost(stats: &TableStats, m: u64, k: u64, u: u64) -> Cost {
     }
 }
 
-/// Number of physical HS buckets the planner requests: bounded fan-out,
-/// like real systems.
-pub fn hs_bucket_count(stats: &TableStats, whk: &AttrSet) -> usize {
+/// Number of physical HS buckets the planner requests.
+///
+/// Fan-out is bounded (`MAX_BUCKETS`) like real systems, **but never so low
+/// that an average bucket overflows the unit reorder memory**: with `B`
+/// table blocks hashed over `n` buckets the expected bucket is `B/n`
+/// blocks, so the pool budget demands `n ≥ ⌈B/M⌉`. More buckets than
+/// distinct hash-key values cannot shrink buckets further (every value
+/// hashes whole), so the pool-aware floor stops at `D(WHK)` — a single
+/// oversized value is the MFV optimization's territory, not the bucket
+/// count's.
+pub fn hs_bucket_count(stats: &TableStats, whk: &AttrSet, mem_blocks: u64) -> usize {
     const MAX_BUCKETS: u64 = 1024;
-    stats.distinct_set(whk).clamp(1, MAX_BUCKETS) as usize
-}
-
-/// Estimated number of segments produced by each operator, tracked along
-/// the plan (the `k` in Eq. 3).
-pub fn hs_segment_estimate(stats: &TableStats, whk: &AttrSet) -> u64 {
-    stats
-        .distinct_set(whk)
-        .min(hs_bucket_count(stats, whk) as u64)
-        .max(1)
+    let d = stats.distinct_set(whk);
+    let capped = d.clamp(1, MAX_BUCKETS);
+    let pool_floor = stats.blocks().div_ceil(mem_blocks.max(1)).min(d.max(1));
+    capped.max(pool_floor) as usize
 }
 
 /// Cost of the window-function invocation itself: one streaming pass.
@@ -446,8 +448,25 @@ mod tests {
     #[test]
     fn bucket_count_capped() {
         let s = stats(1_000_000, 50_000, &[(0, 5), (1, 900_000)]);
-        assert_eq!(hs_bucket_count(&s, &AttrSet::from_iter([a(0)])), 5);
-        assert_eq!(hs_bucket_count(&s, &AttrSet::from_iter([a(1)])), 1024);
+        // A generous budget leaves the classic clamp: min(D, 1024).
+        let m = s.blocks();
+        assert_eq!(hs_bucket_count(&s, &AttrSet::from_iter([a(0)]), m), 5);
+        assert_eq!(hs_bucket_count(&s, &AttrSet::from_iter([a(1)]), m), 1024);
+    }
+
+    #[test]
+    fn bucket_count_respects_pool_budget() {
+        let s = stats(1_000_000, 50_000, &[(0, 5), (1, 900_000)]);
+        let blocks = s.blocks();
+        // Tiny budget: enough buckets that an expected bucket fits M —
+        // ⌈B/M⌉, above the 1024 fan-out cap when the budget demands it.
+        let m = 4;
+        let n = hs_bucket_count(&s, &AttrSet::from_iter([a(1)]), m) as u64;
+        assert_eq!(n, blocks.div_ceil(m));
+        assert!(blocks.div_ceil(n) <= m, "expected bucket must fit M");
+        // …but never more buckets than distinct values: extra buckets
+        // cannot split a single hash-key value.
+        assert_eq!(hs_bucket_count(&s, &AttrSet::from_iter([a(0)]), 1), 5);
     }
 
     #[test]

@@ -10,8 +10,7 @@
 //! only a more expensive one, which the estimate then reflects honestly.
 
 use crate::cost::{
-    fs_cost, hs_bucket_count, hs_cost, hs_segment_estimate, ss_reorder_cost, window_scan_cost,
-    Cost, TableStats,
+    fs_cost, hs_bucket_count, hs_cost, ss_reorder_cost, window_scan_cost, Cost, TableStats,
 };
 use crate::cover::KeyPattern;
 use crate::props::SegProps;
@@ -77,9 +76,21 @@ pub struct Plan {
     /// `FilterOp` directly after the table scan). Set by
     /// [`crate::planner::optimize`] from the query.
     pub filter: Option<wf_exec::Predicate>,
+    /// Per-step spilled-segment evaluation class (one-pass / ring-buffer /
+    /// buffered), recorded at finalize time — one entry per `steps` entry —
+    /// so EXPLAIN output and `repro regress` can report which residency
+    /// discipline each window call takes.
+    pub eval_classes: Vec<wf_exec::StreamableEval>,
 }
 
 impl Plan {
+    /// The weakest evaluation class across the chain's window calls — a
+    /// mixed-call query's residency is governed by its weakest member
+    /// (`O(M + partition)` dominates `O(M + frame)` dominates `O(M)`).
+    pub fn weakest_eval_class(&self) -> wf_exec::StreamableEval {
+        wf_exec::StreamableEval::weakest(self.eval_classes.iter().copied())
+    }
+
     /// Number of FS/HS/SS reorders in the chain.
     pub fn reorder_count(&self) -> usize {
         self.steps
@@ -139,7 +150,12 @@ impl Plan {
                     names(beta, schema)
                 )),
             }
-            out.push_str(&format!("  {} {}\n", spec.name, spec.describe(schema)));
+            out.push_str(&format!(
+                "  {} {} [{}]\n",
+                spec.name,
+                spec.describe(schema),
+                spec.eval_class()
+            ));
         }
         out.push_str(&format!("output: {}", self.final_props));
         out
@@ -230,7 +246,7 @@ pub fn cheapest_reorder(
     if ctx.allow_hs && !spec.wpk().is_empty() {
         let whk = spec.wpk().clone();
         let cost = hs_cost(ctx.stats, &whk, ctx.mem_blocks);
-        let n_buckets = hs_bucket_count(ctx.stats, &whk);
+        let n_buckets = hs_bucket_count(ctx.stats, &whk, ctx.mem_blocks);
         let mfv = ctx.stats.mfv_for(&whk, ctx.mem_blocks);
         consider(
             ReorderOp::Hs {
@@ -256,9 +272,14 @@ pub fn apply_reorder(
     match op {
         ReorderOp::None => (props.clone(), segments),
         ReorderOp::Fs { key } => (SegProps::after_fs(key.clone()), 1),
-        ReorderOp::Hs { whk, key, .. } => (
+        ReorderOp::Hs {
+            whk,
+            key,
+            n_buckets,
+            ..
+        } => (
             SegProps::after_hs(whk.clone(), key.clone()),
-            hs_segment_estimate(stats, whk),
+            stats.distinct_set(whk).min(*n_buckets as u64).max(1),
         ),
         ReorderOp::Ss { alpha, beta } => {
             let _ = spec;
@@ -341,6 +362,7 @@ pub fn finalize_chain(
         });
     }
 
+    let eval_classes = steps.iter().map(|s| specs[s.wf].eval_class()).collect();
     Plan {
         scheme: scheme.to_string(),
         specs: specs.to_vec(),
@@ -350,6 +372,7 @@ pub fn finalize_chain(
         est_cost: total,
         repairs,
         filter: None,
+        eval_classes,
     }
 }
 
@@ -520,7 +543,9 @@ mod tests {
             est_cost: Cost::zero(),
             repairs: 0,
             filter: None,
+            eval_classes: vec![wf_exec::StreamableEval::Ring; 2],
         };
         assert_eq!(plan.chain_string(), "ws FS→ wf0 → wf0");
+        assert_eq!(plan.weakest_eval_class(), wf_exec::StreamableEval::Ring);
     }
 }

@@ -148,7 +148,7 @@ impl<'a> Search<'a> {
                 vec![spec.wpk().clone()]
             };
             for whk in whks {
-                let n_buckets = hs_bucket_count(self.ctx.stats, &whk);
+                let n_buckets = hs_bucket_count(self.ctx.stats, &whk, self.ctx.mem_blocks);
                 let mfv = self.ctx.stats.mfv_for(&whk, self.ctx.mem_blocks);
                 for key in &keys {
                     out.push(ReorderOp::Hs {

@@ -215,7 +215,7 @@ fn emit_fs_hs_cover_set(
         && hs_cost(ctx.stats, &whk, ctx.mem_blocks).ms(&ctx.weights)
             < fs_cost(ctx.stats, ctx.mem_blocks).ms(&ctx.weights);
     let reorder = if use_hs {
-        let n_buckets = hs_bucket_count(ctx.stats, &whk);
+        let n_buckets = hs_bucket_count(ctx.stats, &whk, ctx.mem_blocks);
         let mfv = ctx.stats.mfv_for(&whk, ctx.mem_blocks);
         ReorderOp::Hs {
             whk,

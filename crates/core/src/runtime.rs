@@ -12,7 +12,7 @@
 //! are still unsorted — the paper's complete-partition pipelining (§3.2/3.3)
 //! rather than fully-materialized hand-offs between steps.
 //!
-//! Cost attribution: every step's operators are wrapped in a [`Metered`]
+//! Cost attribution: every step's operators are wrapped in a `Metered`
 //! shim that charges the shared tracker delta of each pull to its step,
 //! minus whatever nested upstream steps charged during the same pull — so
 //! the per-step breakdown in [`ExecReport::steps`] is exact even though the
@@ -124,6 +124,22 @@ pub struct ExecReport {
     /// traffic never enters `work` or `modeled_ms` — see
     /// `wf_storage::segstore`.
     pub store: StoreSnapshot,
+    /// Per-step residency class of the window evaluation (`(label, class)`
+    /// in chain order): which spilled-segment streaming discipline the
+    /// step's `WindowOp` dispatches to — one-pass (`O(M)`), ring-buffer
+    /// (`O(M + frame)`) or buffered (`O(M + partition)`). Resident
+    /// segments always take the materialized path; the class governs what
+    /// the store's high-water mark may charge to this step.
+    pub eval_classes: Vec<(String, wf_exec::StreamableEval)>,
+}
+
+impl ExecReport {
+    /// The weakest residency class across the chain — what bounds the
+    /// execution's window-evaluation residency when calls of different
+    /// classes mix.
+    pub fn weakest_eval_class(&self) -> wf_exec::StreamableEval {
+        wf_exec::StreamableEval::weakest(self.eval_classes.iter().map(|(_, c)| *c))
+    }
 }
 
 /// Execute a finalized plan over `table`.
@@ -332,6 +348,22 @@ pub fn execute_plan_with_specs(
 
     let work = tracker.snapshot().since(&start_snapshot);
     let table_out = Table::from_rows(schema, rows)?;
+    // The classes were recorded on the plan at finalize time — the single
+    // source of truth; the executed specs must classify identically (the
+    // chain dispatches on the same (function, frame) pairs).
+    debug_assert!(
+        plan.steps
+            .iter()
+            .zip(&plan.eval_classes)
+            .all(|(step, &class)| specs[step.wf].eval_class() == class),
+        "plan eval classes diverged from the executed specs"
+    );
+    let eval_classes = plan
+        .steps
+        .iter()
+        .zip(&plan.eval_classes)
+        .map(|(step, &class)| (specs[step.wf].name.clone(), class))
+        .collect();
     Ok(ExecReport {
         table: table_out,
         modeled_ms: env.weights.modeled_ms(&work),
@@ -339,6 +371,7 @@ pub fn execute_plan_with_specs(
         wall: start.elapsed(),
         steps: steps_report,
         store: env.store_snapshot(),
+        eval_classes,
     })
 }
 
@@ -453,6 +486,28 @@ mod tests {
         assert_eq!(report.steps.len(), 1);
         assert!(report.modeled_ms > 0.0);
         assert!(report.work.rows_moved > 0);
+    }
+
+    /// The report carries one residency class per chain step, and the
+    /// weakest member governs — here a rank (ring class) chain.
+    #[test]
+    fn report_records_eval_classes() {
+        let table = sample_table();
+        let schema = table.schema().clone();
+        let query = QueryBuilder::new(&schema)
+            .rank("r", &["dept"], &[("salary", false)])
+            .build()
+            .unwrap();
+        let stats = TableStats::from_table(&table);
+        let env = ExecEnv::with_memory_blocks(64);
+        let plan = optimize(&query, &stats, Scheme::Cso, &env).unwrap();
+        assert_eq!(plan.eval_classes, vec![wf_exec::StreamableEval::Ring]);
+        assert_eq!(plan.weakest_eval_class(), wf_exec::StreamableEval::Ring);
+        let report = execute_plan_with_specs(&plan, &query.specs, &table, &env).unwrap();
+        assert_eq!(report.eval_classes.len(), 1);
+        assert_eq!(report.eval_classes[0].0, "r");
+        assert_eq!(report.eval_classes[0].1, wf_exec::StreamableEval::Ring);
+        assert_eq!(report.weakest_eval_class(), wf_exec::StreamableEval::Ring);
     }
 
     #[test]

@@ -89,6 +89,20 @@ impl WindowSpec {
         self.wpk_set.len() + self.wok.len()
     }
 
+    /// The frame this call actually evaluates with: the explicit frame, or
+    /// SQL's default (which depends on whether an ORDER BY is present) —
+    /// exactly the substitution the window operator applies.
+    pub fn resolved_frame(&self) -> FrameSpec {
+        self.frame
+            .unwrap_or_else(|| FrameSpec::default_for(!self.wok.is_empty()))
+    }
+
+    /// The spilled-segment evaluation class of this call (one-pass /
+    /// ring-buffer / buffered) — see [`wf_exec::StreamableEval`].
+    pub fn eval_class(&self) -> wf_exec::StreamableEval {
+        wf_exec::StreamableEval::classify(&self.func, &self.resolved_frame())
+    }
+
     /// The sort key `perm(WPK) ∘ WOK` for a *given* permutation of `WPK`
     /// (elements for the permutation region default to ascending).
     pub fn key_with_perm(&self, perm: &[AttrId]) -> SortSpec {

@@ -6,13 +6,13 @@
 //! * [`operator`] — the `Operator` trait itself plus the leaves
 //!   ([`TableScan`], [`SegmentSource`]) and the [`drain`] adapter that
 //!   materializes a chain into a [`SegmentedRows`],
-//! * [`full_sort`] — **FS**: external merge sort (replacement-selection run
+//! * [`full_sort`](mod@full_sort) — **FS**: external merge sort (replacement-selection run
 //!   formation + F-way merge bounded by the memory budget `M`); blocking,
 //!   emits one totally ordered segment,
-//! * [`hashed_sort`] — **HS**: hash partitioning into buckets of complete
+//! * [`hashed_sort`](mod@hashed_sort) — **HS**: hash partitioning into buckets of complete
 //!   window partitions with victim spilling and the MFV optimization
 //!   (paper §3.2); emits **one lazily sorted bucket per pull**,
-//! * [`segmented_sort`] — **SS**: per-unit sorts of `α`-groups inside the
+//! * [`segmented_sort`](mod@segmented_sort) — **SS**: per-unit sorts of `α`-groups inside the
 //!   segments of an already-segmented input (paper §3.3); fully streaming,
 //! * [`window`] — the window-function operator proper: partition and peer
 //!   detection, ranking / distribution / reference / aggregate functions
@@ -56,4 +56,6 @@ pub use relational::{
 pub use segment::{BoundaryLayer, RunSplitter, SegmentBounds, SegmentedRows};
 pub use segmented_sort::{segmented_sort, SegmentedSortOp};
 pub use sorter::SortKey;
-pub use window::{evaluate_window, Bound, FrameSpec, FrameUnits, WindowFunction, WindowOp};
+pub use window::{
+    evaluate_window, Bound, FrameSpec, FrameUnits, StreamableEval, WindowFunction, WindowOp,
+};

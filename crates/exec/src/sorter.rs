@@ -28,7 +28,7 @@
 //! comparison *counts* and spill I/O are bit-identical to the comparator
 //! path (a row whose key cannot be normalized simply falls back to the
 //! comparator for its comparisons). Keys carried through the external-sort
-//! heaps are stored in a **fixed-width inline buffer** ([`InlineKey`]) when
+//! heaps are stored in a **fixed-width inline buffer** (`InlineKey`) when
 //! they fit (the common case: a handful of numeric key columns), so keying
 //! a row costs zero heap allocations; only oversized keys spill to a
 //! `Vec<u8>`. The in-memory sort runs `sort_unstable_by` over

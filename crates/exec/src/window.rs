@@ -19,16 +19,27 @@
 //! **Spilled segments (Shi & Wang, arXiv:2007.10385).** A segment that the
 //! store spilled is *streamed*, never materialized: partitions are split
 //! off on the fly (with the exact comparison charging of the materialized
-//! path). For the SQL-default frame with `count`/`sum`/`avg`/`min`/`max`
-//! the operator runs a one-pass spilling aggregation — rows flow through a
-//! store-managed staging segment while a running accumulator snapshots one
-//! value per peer group, then rows and values are zipped back out — so even
-//! a partition far larger than the pool budget is evaluated in `O(M)`
-//! memory. Other functions/frames buffer **one partition at a time**
-//! (registered with the store's residency ledger: the `largest unit` term
-//! of the bound) and reuse the materialized evaluation code verbatim, which
-//! is what keeps outputs and modeled counters bit-identical across the
-//! resident and spilled paths.
+//! path), and a per-call [`StreamableEval`] class decides the evaluation
+//! discipline:
+//!
+//! * **one-pass** (`O(M)`) — SQL-default-frame `count`/`sum`/`avg`/`min`/
+//!   `max` run the spilling aggregation: rows flow through a store-managed
+//!   staging segment while a running accumulator snapshots one value per
+//!   peer group, then rows and values are zipped back out. `ntile` stages
+//!   the same way (bucket sizes need the partition's cardinality);
+//! * **ring-buffer** (`O(M + frame)`) — `row_number`/`rank`/`dense_rank`,
+//!   `lag`/`lead`, and bounded-ROWS-frame readers (`first_value`/
+//!   `last_value`/`nth_value` and the aggregates) evaluate from a ring of
+//!   at most the frame extent plus per-peer-group rank state (see
+//!   [`RingEval`](StreamableEval::Ring));
+//! * **buffered** (`O(M + partition)`) — everything else buffers **one
+//!   partition at a time** (registered with the store's residency ledger:
+//!   the `largest unit` term of the bound) and reuses the materialized
+//!   evaluation code verbatim.
+//!
+//! Across all three, rows and modeled counters are bit-identical to the
+//! resident (materialized) path — the oversized-partition equivalence
+//! suite is the proof obligation.
 //!
 //! Functions implemented: the ranking family (`row_number`, `rank`,
 //! `dense_rank`, `ntile`), the distribution family (`percent_rank`,
@@ -197,6 +208,114 @@ impl FrameSpec {
     pub fn whole_partition() -> FrameSpec {
         FrameSpec::default_for(false)
     }
+
+    /// True for `RANGE UNBOUNDED PRECEDING .. CURRENT ROW` — SQL's default
+    /// frame under an ORDER BY, the one-pass spilling aggregation's case.
+    pub fn is_sql_default(&self) -> bool {
+        self.units == FrameUnits::Range
+            && self.start == Bound::UnboundedPreceding
+            && self.end == Bound::CurrentRow
+    }
+
+    /// True when both bounds are physical-row offsets (`PRECEDING(k)`,
+    /// `CURRENT ROW`, `FOLLOWING(k)`): the frame spans at most a constant
+    /// number of rows around the current one, which is what makes
+    /// ring-buffer evaluation `O(frame)`.
+    pub fn is_bounded_rows(&self) -> bool {
+        let bounded = |b: Bound| {
+            matches!(
+                b,
+                Bound::Preceding(_) | Bound::CurrentRow | Bound::Following(_)
+            )
+        };
+        self.units == FrameUnits::Rows && bounded(self.start) && bounded(self.end)
+    }
+}
+
+/// How the window operator evaluates **spilled** partitions for one window
+/// call — the per-call dispatch over the three streaming disciplines.
+/// Resident segments always take the materialized path; this class only
+/// governs segments the store spilled, where it decides the tracked
+/// residency of the evaluation:
+///
+/// * [`StreamableEval::OnePass`] — Shi & Wang-style single pass with
+///   store-staged rows (the stage spills past the pool budget): `O(M)`.
+/// * [`StreamableEval::Ring`] — ring buffer of at most the frame extent
+///   plus per-peer-group rank state: `O(M + frame)`.
+/// * [`StreamableEval::Buffered`] — one whole partition buffered:
+///   `O(M + partition)`, the fallback for frames that genuinely need
+///   random access (RANGE offsets, unbounded ROWS lookahead, variance).
+///
+/// Variants are ordered weakest-first so a chain mixing several window
+/// calls is governed by the `min` (weakest) member — see
+/// [`StreamableEval::weakest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StreamableEval {
+    /// One whole partition buffered: `O(M + partition)` residency.
+    Buffered,
+    /// Ring buffer of the frame extent: `O(M + frame)` residency.
+    Ring,
+    /// Single streaming pass with store-staged rows: `O(M)` residency.
+    OnePass,
+}
+
+impl StreamableEval {
+    /// Classify one window call. `frame` must already be resolved (the
+    /// SQL-default substitution applied).
+    pub fn classify(func: &WindowFunction, frame: &FrameSpec) -> Self {
+        use WindowFunction::*;
+        if frame.is_sql_default() && matches!(func, Count(_) | Sum(_) | Avg(_) | Min(_) | Max(_)) {
+            return StreamableEval::OnePass;
+        }
+        match func {
+            // Frame-less: rank state / row counters stream with O(1) state;
+            // ntile stages the partition through the store (it needs the
+            // partition's cardinality before the first bucket is known).
+            RowNumber | Rank | DenseRank => StreamableEval::Ring,
+            Ntile(_) => StreamableEval::OnePass,
+            // Row references: a ring of `offset` rows.
+            Lag { .. } | Lead { .. } => StreamableEval::Ring,
+            // Frame readers over a bounded physical-row window.
+            FirstValue(_) | LastValue(_) | NthValue(..) | Count(_) | Sum(_) | Avg(_) | Min(_)
+            | Max(_)
+                if frame.is_bounded_rows() =>
+            {
+                StreamableEval::Ring
+            }
+            _ => StreamableEval::Buffered,
+        }
+    }
+
+    /// The weakest class among several calls — what governs a chain's
+    /// overall residency when window calls of different classes mix
+    /// (`OnePass` for an empty iterator: no window step holds anything).
+    pub fn weakest(classes: impl IntoIterator<Item = StreamableEval>) -> Self {
+        classes.into_iter().min().unwrap_or(StreamableEval::OnePass)
+    }
+
+    /// Stable lowercase label (reports, plan explain, bench JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamableEval::Buffered => "buffered",
+            StreamableEval::Ring => "ring",
+            StreamableEval::OnePass => "one-pass",
+        }
+    }
+
+    /// Tracked-residency bound of the class, for display.
+    pub fn bound(self) -> &'static str {
+        match self {
+            StreamableEval::Buffered => "O(M + partition)",
+            StreamableEval::Ring => "O(M + frame)",
+            StreamableEval::OnePass => "O(M)",
+        }
+    }
+}
+
+impl std::fmt::Display for StreamableEval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// The window-function operator as a pull-based pipeline stage — **fully
@@ -252,7 +371,7 @@ impl<I: Operator> WindowOp<I> {
         let (mut rows, mut bounds) = seg.into_parts()?;
         let env = &self.env;
         let n = rows.len();
-        let wpk_eq = |a: &Row, b: &Row| self.wpk.iter().all(|attr| a.get(attr) == b.get(attr));
+        let wpk_eq = |a: &Row, b: &Row| self.wpk_eq(a, b);
         let part_starts: Vec<usize> = (if env.reuse_bounds {
             bounds.runs_equal_on(&self.wpk, &rows, 0, n, wpk_eq, &env.tracker)
         } else {
@@ -300,20 +419,18 @@ impl<I: Operator> WindowOp<I> {
         }
     }
 
-    /// True when the SQL-default frame + aggregate combination supports the
-    /// one-pass streaming (spilling) aggregation.
-    fn streamable_default_agg(&self) -> bool {
-        use WindowFunction::*;
-        self.frame.units == FrameUnits::Range
-            && self.frame.start == Bound::UnboundedPreceding
-            && self.frame.end == Bound::CurrentRow
-            && matches!(self.func, Count(_) | Sum(_) | Avg(_) | Min(_) | Max(_))
+    /// The evaluation class of this operator's call (see
+    /// [`StreamableEval::classify`]): which streaming discipline spilled
+    /// segments take, and therefore the operator's tracked residency.
+    pub fn eval_class(&self) -> StreamableEval {
+        StreamableEval::classify(&self.func, &self.frame)
     }
 
     /// The streaming path for spilled segments: split partitions on the
-    /// fly, evaluate each within the residency bound, and stream the output
-    /// through a store builder. Outputs — rows, boundary layers, modeled
-    /// counters — are bit-identical to [`WindowOp::eval_segment`].
+    /// fly, evaluate each within the residency bound of the call's
+    /// [`StreamableEval`] class, and stream the output through a store
+    /// builder. Outputs — rows, boundary layers, modeled counters — are
+    /// bit-identical to [`WindowOp::eval_segment`].
     fn eval_spilled(&self, seg: Segment) -> Result<Segment> {
         let env = &self.env;
         let (n, stream, bounds) = seg.into_stream();
@@ -322,8 +439,11 @@ impl<I: Operator> WindowOp<I> {
         let mut peer_starts: Vec<usize> = Vec::new();
         let mut resolved = 0usize;
         let mut nparts = 0usize;
-        if self.streamable_default_agg() {
-            self.stream_default_agg(
+        match self.eval_class() {
+            StreamableEval::OnePass if matches!(self.func, WindowFunction::Ntile(_)) => {
+                self.stream_ntile(n, stream, &bounds, &mut out, &mut part_starts, &mut nparts)?
+            }
+            StreamableEval::OnePass => self.stream_default_agg(
                 n,
                 stream,
                 &bounds,
@@ -332,9 +452,8 @@ impl<I: Operator> WindowOp<I> {
                 &mut peer_starts,
                 &mut resolved,
                 &mut nparts,
-            )?;
-        } else {
-            self.stream_buffered_partitions(
+            )?,
+            StreamableEval::Ring => self.stream_ring(
                 n,
                 stream,
                 &bounds,
@@ -343,7 +462,17 @@ impl<I: Operator> WindowOp<I> {
                 &mut peer_starts,
                 &mut resolved,
                 &mut nparts,
-            )?;
+            )?,
+            StreamableEval::Buffered => self.stream_buffered_partitions(
+                n,
+                stream,
+                &bounds,
+                &mut out,
+                &mut part_starts,
+                &mut peer_starts,
+                &mut resolved,
+                &mut nparts,
+            )?,
         }
         env.tracker.move_rows(n as u64);
         let mut out_bounds = bounds;
@@ -372,7 +501,7 @@ impl<I: Operator> WindowOp<I> {
         nparts: &mut usize,
     ) -> Result<()> {
         let env = &self.env;
-        let wpk_eq = |a: &Row, b: &Row| self.wpk.iter().all(|attr| a.get(attr) == b.get(attr));
+        let wpk_eq = |a: &Row, b: &Row| self.wpk_eq(a, b);
         let mut splitter = RunSplitter::new(bounds, &self.wpk, n, env.reuse_bounds);
         let mut cur: Vec<Row> = Vec::new();
         let mut hold = env.store.hold(0, 0);
@@ -481,27 +610,10 @@ impl<I: Operator> WindowOp<I> {
         nparts: &mut usize,
     ) -> Result<()> {
         let env = &self.env;
-        let wpk_eq = |a: &Row, b: &Row| self.wpk.iter().all(|attr| a.get(attr) == b.get(attr));
+        let wpk_eq = |a: &Row, b: &Row| self.wpk_eq(a, b);
         let mut part_split = RunSplitter::new(bounds, &self.wpk, n, env.reuse_bounds);
         let mut peer_split = RunSplitter::new(bounds, &self.union_attrs, n, env.reuse_bounds);
         let mut agg = RunningAgg::new(&self.func, env);
-        // Boundary checks only read `WPK ∪ attr(WOK)`; keep a projection of
-        // the previous row (other columns as NULL placeholders) instead of
-        // cloning whole rows through the one-pass hot loop.
-        let key_shadow = |row: &Row| -> Row {
-            Row::new(
-                (0..row.arity())
-                    .map(|i| {
-                        let id = wf_common::AttrId::new(i);
-                        if self.union_attrs.contains(id) {
-                            row.get(id).clone()
-                        } else {
-                            Value::Null
-                        }
-                    })
-                    .collect(),
-            )
-        };
         let mut prev: Option<Row> = None;
         let mut lo = 0usize;
         let mut idx = 0usize;
@@ -534,13 +646,192 @@ impl<I: Operator> WindowOp<I> {
                 agg.close_group();
             }
             agg.consume(&row, env)?;
-            prev = Some(key_shadow(&row));
+            prev = Some(self.key_shadow(&row));
             agg.stage(row)?;
             idx += 1;
         }
         if idx > 0 {
             agg.finish_partition(env, out, lo, peer_starts)?;
             *resolved += 1;
+            *nparts += 1;
+        }
+        Ok(())
+    }
+
+    /// Row equality on exactly the partition key `WPK` — the one
+    /// definition every evaluation path (materialized, one-pass, ring,
+    /// buffered) splits partitions with, so their boundary decisions can
+    /// never drift apart.
+    fn wpk_eq(&self, a: &Row, b: &Row) -> bool {
+        self.wpk.iter().all(|attr| a.get(attr) == b.get(attr))
+    }
+
+    /// Projection of `row` to `WPK ∪ attr(WOK)` (other columns NULL).
+    /// Boundary checks only read those attributes, so the streaming paths
+    /// keep this shadow of the previous row instead of cloning whole rows
+    /// through their hot loops.
+    fn key_shadow(&self, row: &Row) -> Row {
+        Row::new(
+            (0..row.arity())
+                .map(|i| {
+                    let id = wf_common::AttrId::new(i);
+                    if self.union_attrs.contains(id) {
+                        row.get(id).clone()
+                    } else {
+                        Value::Null
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// One-pass `ntile` over spilled partitions: rows are staged through
+    /// the store (the stage spills past the pool budget, so residency stays
+    /// `O(M)` even for partitions ≫ `M`) while a row counter runs; at
+    /// partition end the bucket sizes are known and the staged rows are
+    /// replayed with their tile numbers. No peer resolution and no
+    /// comparison charges — exactly like the materialized `ntile`.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_ntile(
+        &self,
+        n: usize,
+        mut stream: crate::operator::SegStream,
+        bounds: &SegmentBounds,
+        out: &mut wf_storage::SegmentBuilder,
+        part_starts: &mut Vec<usize>,
+        nparts: &mut usize,
+    ) -> Result<()> {
+        let env = &self.env;
+        let tiles = match self.func {
+            WindowFunction::Ntile(t) => t.max(1) as usize,
+            _ => unreachable!("dispatched on Ntile"),
+        };
+        let wpk_eq = |a: &Row, b: &Row| self.wpk_eq(a, b);
+        let mut part_split = RunSplitter::new(bounds, &self.wpk, n, env.reuse_bounds);
+        let mut stage = env.store.builder();
+        let flush = |stage: &mut wf_storage::SegmentBuilder,
+                     out: &mut wf_storage::SegmentBuilder|
+         -> Result<()> {
+            let staged = std::mem::replace(stage, env.store.builder()).finish()?;
+            let len = staged.len();
+            let base = len / tiles;
+            let extra = len % tiles;
+            let mut reader = staged.read();
+            let mut j = 0usize;
+            while let Some(mut row) = reader.next_row()? {
+                // Tiles 0..extra hold base+1 rows, the rest base rows —
+                // the same spread-the-remainder rule as the materialized
+                // path.
+                let tile = if j < extra * (base + 1) {
+                    j / (base + 1)
+                } else {
+                    extra + (j - extra * (base + 1)) / base.max(1)
+                };
+                row.push(Value::Int(tile as i64 + 1));
+                out.push(row)?;
+                j += 1;
+            }
+            Ok(())
+        };
+        let mut prev: Option<Row> = None;
+        let mut idx = 0usize;
+        while let Some(row) = stream.next_row()? {
+            let part_boundary = match &prev {
+                None => true,
+                Some(p) => part_split.is_boundary(idx, p, &row, wpk_eq, false, &env.tracker),
+            };
+            if part_boundary && idx > 0 {
+                flush(&mut stage, out)?;
+                *nparts += 1;
+            }
+            if part_boundary {
+                part_starts.push(idx);
+            }
+            prev = Some(self.key_shadow(&row));
+            stage.push(row)?;
+            idx += 1;
+        }
+        if idx > 0 {
+            flush(&mut stage, out)?;
+            *nparts += 1;
+        }
+        Ok(())
+    }
+
+    /// Ring-buffer streaming for spilled partitions: ranking functions,
+    /// `lag`/`lead`, and bounded-ROWS frame readers evaluate with at most
+    /// `hist + delay + 1` staged rows (the frame extent) plus per-peer-group
+    /// rank state — `O(M + frame)` tracked residency instead of buffering
+    /// the partition. Partition and peer boundaries are detected with the
+    /// exact comparison charges of the materialized path (via
+    /// [`RunSplitter`]); value computation mirrors the materialized
+    /// evaluators bit for bit (see [`RingEval`]).
+    #[allow(clippy::too_many_arguments)]
+    fn stream_ring(
+        &self,
+        n: usize,
+        mut stream: crate::operator::SegStream,
+        bounds: &SegmentBounds,
+        out: &mut wf_storage::SegmentBuilder,
+        part_starts: &mut Vec<usize>,
+        peer_starts: &mut Vec<usize>,
+        resolved: &mut usize,
+        nparts: &mut usize,
+    ) -> Result<()> {
+        let env = &self.env;
+        let wpk_eq = |a: &Row, b: &Row| self.wpk_eq(a, b);
+        let mut part_split = RunSplitter::new(bounds, &self.wpk, n, env.reuse_bounds);
+        // Only the ranking functions resolve peers (the materialized path
+        // calls `peer_bounds` for exactly those) — resolving them for other
+        // functions would charge comparisons the materialized path never
+        // pays.
+        let needs_peers = matches!(self.func, WindowFunction::Rank | WindowFunction::DenseRank);
+        let mut peer_split =
+            needs_peers.then(|| RunSplitter::new(bounds, &self.union_attrs, n, env.reuse_bounds));
+        let mut ring = RingEval::new(&self.func, &self.frame, env)?;
+        let mut prev: Option<Row> = None;
+        let mut idx = 0usize;
+        while let Some(row) = stream.next_row()? {
+            let part_boundary = match &prev {
+                None => true,
+                Some(p) => part_split.is_boundary(idx, p, &row, wpk_eq, false, &env.tracker),
+            };
+            if part_boundary && idx > 0 {
+                ring.finish_partition(env, out)?;
+                if needs_peers {
+                    *resolved += 1;
+                }
+                *nparts += 1;
+            }
+            if part_boundary {
+                part_starts.push(idx);
+            }
+            let peer_boundary = match &mut peer_split {
+                None => false,
+                Some(split) => match &prev {
+                    None => true,
+                    Some(p) => split.is_boundary(
+                        idx,
+                        p,
+                        &row,
+                        |a, b| self.wok_cmp.equal(a, b),
+                        part_boundary,
+                        &env.tracker,
+                    ),
+                },
+            };
+            if peer_boundary {
+                peer_starts.push(idx);
+            }
+            prev = Some(self.key_shadow(&row));
+            ring.push(row, peer_boundary, out)?;
+            idx += 1;
+        }
+        if idx > 0 {
+            ring.finish_partition(env, out)?;
+            if needs_peers {
+                *resolved += 1;
+            }
             *nparts += 1;
         }
         Ok(())
@@ -738,6 +1029,415 @@ impl RunningAgg {
         self.sum_f = 0.0;
         self.all_int = true;
         self.extremum = None;
+        Ok(())
+    }
+}
+
+/// Per-partition state of the ring-buffer streaming path
+/// ([`StreamableEval::Ring`]).
+///
+/// The ring stages at most `hist + delay + 1` rows — the frame extent:
+/// `delay` rows of lookahead (a row is evaluated once the last row its
+/// frame can read has arrived, or the partition ends) plus `hist` rows of
+/// lookback (rows an upcoming frame may still read). Residency is tracked
+/// row by row through a [`wf_storage::RingCharge`], never a unit hold, so
+/// the store's high-water mark shows `O(M + frame)`.
+///
+/// Bit-identity with the materialized evaluators:
+/// * `rank`/`dense_rank` take their values from the peer boundaries the
+///   caller detects (with the materialized path's exact comparison
+///   charges); `row_number` and `lag`/`lead` are pure index arithmetic;
+/// * `sum`/`avg` answer frames from *sequential prefix accumulators* — the
+///   same association order as the materialized prefix arrays, so float
+///   results match bit for bit — and stage provisionally-valued rows until
+///   partition end, when the partition-global int/float classification
+///   (the materialized path's rule) is known;
+/// * `count(col)` answers frames from the same prefix deque (`O(1)` per
+///   row); `min`/`max` run a monotonic deque over the sliding frame —
+///   popping strictly-worse entries keeps the *leftmost* extremum, exactly
+///   the sparse table's tie rule, in `O(n)` total — and charge the sparse
+///   table's deterministic build comparisons at partition end, keeping
+///   modeled counters identical.
+struct RingEval {
+    func: WindowFunction,
+    frame: FrameSpec,
+    /// Rows before the current one that upcoming frames may still read.
+    hist: usize,
+    /// Rows after row `i` that must arrive before `i` can be evaluated.
+    delay: usize,
+    /// Staged rows `[base, received)`, partition-relative.
+    ring: std::collections::VecDeque<Row>,
+    base: usize,
+    next_emit: usize,
+    received: usize,
+    charge: wf_storage::RingCharge,
+    /// Ranking state of the open peer group.
+    rank: i64,
+    dense: i64,
+    /// Sum/Avg/Count(col): prefix accumulators for indexes
+    /// `[pbase, received]` — `(exact int sum, float sum, non-null count)`
+    /// over rows `0..j`.
+    prefixes: std::collections::VecDeque<(i128, f64, i64)>,
+    pbase: usize,
+    all_int: bool,
+    /// Min/Max: monotonic deque of rel indices with non-null values —
+    /// front is the frame's leftmost extremum; `next_add` is the first
+    /// index not yet offered to it. O(n) total over a partition.
+    minmax: std::collections::VecDeque<usize>,
+    next_add: usize,
+    /// Sum/Avg: provisionally valued rows awaiting the partition-global
+    /// type class (store-staged; spills past the pool budget).
+    stage: Option<wf_storage::SegmentBuilder>,
+}
+
+impl RingEval {
+    fn new(func: &WindowFunction, frame: &FrameSpec, env: &OpEnv) -> Result<Self> {
+        use WindowFunction::*;
+        if func.uses_frame() {
+            // Mirror `frame_ranges`' offset validation.
+            for b in [frame.start, frame.end] {
+                if let Bound::Preceding(k) | Bound::Following(k) = b {
+                    if k < 0 {
+                        return Err(Error::InvalidQuery(
+                            "frame offset must not be negative".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        let preceding = |b: Bound| match b {
+            Bound::Preceding(k) => k.max(0) as usize,
+            _ => 0,
+        };
+        let following = |b: Bound| match b {
+            Bound::Following(k) => k.max(0) as usize,
+            _ => 0,
+        };
+        let (hist, delay) = match func {
+            Lag { offset, .. } => (*offset as usize, 0),
+            Lead { offset, .. } => (0, *offset as usize),
+            _ if func.uses_frame() => (
+                preceding(frame.start).max(preceding(frame.end)),
+                following(frame.start).max(following(frame.end)),
+            ),
+            _ => (0, 0),
+        };
+        let stage = matches!(func, Sum(_) | Avg(_)).then(|| env.store.builder());
+        Ok(RingEval {
+            func: func.clone(),
+            frame: *frame,
+            hist,
+            delay,
+            ring: std::collections::VecDeque::new(),
+            base: 0,
+            next_emit: 0,
+            received: 0,
+            charge: env.store.ring_charge(),
+            rank: 0,
+            dense: 0,
+            prefixes: std::collections::VecDeque::from([(0i128, 0f64, 0i64)]),
+            pbase: 0,
+            all_int: true,
+            minmax: std::collections::VecDeque::new(),
+            next_add: 0,
+            stage,
+        })
+    }
+
+    /// One partition row arrived (`peer_boundary`: it starts a new peer
+    /// group — meaningful for the ranking functions only). Emits every row
+    /// whose lookahead is now satisfied.
+    fn push(
+        &mut self,
+        row: Row,
+        peer_boundary: bool,
+        out: &mut wf_storage::SegmentBuilder,
+    ) -> Result<()> {
+        use WindowFunction::*;
+        if peer_boundary {
+            self.rank = self.received as i64 + 1;
+            self.dense += 1;
+        }
+        match &self.func {
+            Sum(col) | Avg(col) => {
+                let &(pi, pf, pc) = self.prefixes.back().expect("prefix seeded");
+                let (di, df, dc) = match row.get(*col) {
+                    Value::Int(x) => (*x as i128, *x as f64, 1),
+                    Value::Float(x) => {
+                        self.all_int = false;
+                        (0, *x, 1)
+                    }
+                    Value::Null => (0, 0.0, 0),
+                    other => {
+                        return Err(Error::TypeMismatch {
+                            expected: "numeric".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                self.prefixes.push_back((pi + di, pf + df, pc + dc));
+            }
+            Count(Some(col)) => {
+                let &(pi, pf, pc) = self.prefixes.back().expect("prefix seeded");
+                self.prefixes
+                    .push_back((pi, pf, pc + i64::from(!row.get(*col).is_null())));
+            }
+            _ => {}
+        }
+        self.charge.enter(row.encoded_len());
+        self.ring.push_back(row);
+        self.received += 1;
+        while self.next_emit + self.delay < self.received {
+            self.emit_next(self.received, out)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate and emit the next pending row. `avail` is the number of
+    /// partition rows known so far — the exact partition length at
+    /// partition end, and large enough mid-stream that the frame clamps
+    /// cannot bite (lookahead guarantees every readable row has arrived).
+    fn emit_next(&mut self, avail: usize, out: &mut wf_storage::SegmentBuilder) -> Result<()> {
+        use WindowFunction::*;
+        let i = self.next_emit;
+        let mut row = self.ring[i - self.base].clone();
+        match &self.func {
+            RowNumber => row.push(Value::Int(i as i64 + 1)),
+            Rank => row.push(Value::Int(self.rank)),
+            DenseRank => row.push(Value::Int(self.dense)),
+            Lag {
+                col,
+                offset,
+                default,
+            } => {
+                let v = i
+                    .checked_sub(*offset as usize)
+                    .map(|j| self.ring[j - self.base].get(*col).clone())
+                    .unwrap_or_else(|| default.clone().unwrap_or(Value::Null));
+                row.push(v);
+            }
+            Lead {
+                col,
+                offset,
+                default,
+            } => {
+                let j = i + *offset as usize;
+                let v = if j < avail {
+                    self.ring[j - self.base].get(*col).clone()
+                } else {
+                    default.clone().unwrap_or(Value::Null)
+                };
+                row.push(v);
+            }
+            _ => {
+                // Bounded-ROWS frame readers: resolve the frame exactly
+                // like `frame_ranges`.
+                let s = rows_bound_start(self.frame.start, i, avail).min(avail);
+                let e = rows_bound_end(self.frame.end, i, avail).max(s).min(avail);
+                if let Sum(_) | Avg(_) = &self.func {
+                    // Provisional value: prefix differences, resolved at
+                    // partition end once the type class is known.
+                    let (si, sf, sc) = self.prefix_diff(s, e);
+                    row.push(Value::Int(sc));
+                    row.push(Value::Int((si >> 64) as i64));
+                    row.push(Value::Int(si as u64 as i64));
+                    row.push(Value::Float(sf));
+                    self.stage.as_mut().expect("sum/avg stage").push(row)?;
+                    self.next_emit += 1;
+                    self.evict();
+                    return Ok(());
+                }
+                if let Min(col) | Max(col) = self.func {
+                    row.push(self.slide_minmax(col, s, e));
+                } else {
+                    row.push(self.frame_value(s, e));
+                }
+            }
+        }
+        out.push(row)?;
+        self.next_emit += 1;
+        self.evict();
+        Ok(())
+    }
+
+    /// Value of a direct-emission frame reader over `[s, e)`.
+    fn frame_value(&self, s: usize, e: usize) -> Value {
+        use WindowFunction::*;
+        let at = |j: usize| &self.ring[j - self.base];
+        match &self.func {
+            FirstValue(col) => {
+                if s < e {
+                    at(s).get(*col).clone()
+                } else {
+                    Value::Null
+                }
+            }
+            LastValue(col) => {
+                if s < e {
+                    at(e - 1).get(*col).clone()
+                } else {
+                    Value::Null
+                }
+            }
+            NthValue(col, k) => {
+                let idx = s + (*k).max(1) as usize - 1;
+                if idx < e {
+                    at(idx).get(*col).clone()
+                } else {
+                    Value::Null
+                }
+            }
+            Count(None) => Value::Int((e - s) as i64),
+            // Non-null count from the prefix deque: O(1), exact integers.
+            Count(Some(_)) => Value::Int(self.prefix_diff(s, e).2),
+            other => unreachable!("{other:?} is not a ring frame reader"),
+        }
+    }
+
+    /// Sliding min/max over `[s, e)` via the monotonic deque: each row is
+    /// offered and evicted at most once across a partition (`O(n)` total).
+    /// Popping only *strictly* worse back entries keeps the earliest of
+    /// equal values, so the front is the frame's **leftmost** extremum —
+    /// exactly the sparse table's tie rule. Actual comparisons here are
+    /// not charged: the sparse table's deterministic build charge is
+    /// mirrored at partition end.
+    fn slide_minmax(&mut self, col: AttrId, s: usize, e: usize) -> Value {
+        let want_min = matches!(self.func, WindowFunction::Min(_));
+        // Evict entries the frame has slid past *first*: they may already
+        // have aged out of the ring (`s ≥ base` holds, indices below `s`
+        // need not), so they must never be dereferenced again.
+        while self.minmax.front().is_some_and(|&f| f < s) {
+            self.minmax.pop_front();
+        }
+        while self.next_add < e {
+            let j = self.next_add;
+            self.next_add += 1;
+            let v = self.ring[j - self.base].get(col);
+            if v.is_null() {
+                continue;
+            }
+            while let Some(&b) = self.minmax.back() {
+                let bv = self.ring[b - self.base].get(col);
+                if (want_min && bv > v) || (!want_min && bv < v) {
+                    self.minmax.pop_back();
+                } else {
+                    break;
+                }
+            }
+            self.minmax.push_back(j);
+        }
+        // Entries offered this round may still precede `s` when the frame
+        // sits ahead of the current row (e.g. both bounds FOLLOWING) —
+        // pop them too before answering; index compares only, no deref.
+        while self.minmax.front().is_some_and(|&f| f < s) {
+            self.minmax.pop_front();
+        }
+        match self.minmax.front() {
+            Some(&f) if f < e => self.ring[f - self.base].get(col).clone(),
+            _ => Value::Null,
+        }
+    }
+
+    /// `prefix[e] - prefix[s]` — the materialized prefix arrays' exact
+    /// arithmetic, including float association order.
+    fn prefix_diff(&self, s: usize, e: usize) -> (i128, f64, i64) {
+        let pe = self.prefixes[e - self.pbase];
+        let ps = self.prefixes[s - self.pbase];
+        (pe.0 - ps.0, pe.1 - ps.1, pe.2 - ps.2)
+    }
+
+    /// Drop ring rows (and prefix entries) no upcoming frame can read.
+    fn evict(&mut self) {
+        let keep = self.next_emit.saturating_sub(self.hist);
+        while self.base < keep {
+            if let Some(row) = self.ring.pop_front() {
+                self.charge.leave(row.encoded_len());
+            }
+            self.base += 1;
+        }
+        while self.pbase < keep {
+            self.prefixes.pop_front();
+            self.pbase += 1;
+        }
+    }
+
+    /// The partition ended: flush pending rows (the partition length is now
+    /// exact), settle the min/max model charge, resolve staged sum/avg
+    /// rows, and reset for the next partition.
+    fn finish_partition(
+        &mut self,
+        env: &OpEnv,
+        out: &mut wf_storage::SegmentBuilder,
+    ) -> Result<()> {
+        use WindowFunction::*;
+        let n = self.received;
+        while self.next_emit < n {
+            self.emit_next(n, out)?;
+        }
+        if matches!(self.func, Min(_) | Max(_)) {
+            // Mirror of the materialized sparse-table build: its comparison
+            // charge is a deterministic function of the partition length,
+            // so charging it here keeps modeled counters bit-identical
+            // across the resident and spilled paths.
+            let mut width = 1usize;
+            let mut total = 0u64;
+            while width * 2 <= n {
+                total += (n - width * 2 + 1) as u64;
+                width *= 2;
+            }
+            env.tracker.compare(total);
+        }
+        if let Some(stage) = self.stage.take() {
+            // Sum/Avg: the partition-global type class is now known —
+            // resolve the provisionally valued rows in order.
+            let want_avg = matches!(self.func, Avg(_));
+            let staged = stage.finish()?;
+            let mut reader = staged.read();
+            while let Some(staged_row) = reader.next_row()? {
+                let mut vals = staged_row.into_values();
+                let (
+                    Some(Value::Float(sf)),
+                    Some(Value::Int(lo)),
+                    Some(Value::Int(hi)),
+                    Some(Value::Int(cnt)),
+                ) = (vals.pop(), vals.pop(), vals.pop(), vals.pop())
+                else {
+                    return Err(Error::Execution("sum/avg stage layout corrupted".into()));
+                };
+                let si = ((hi as i128) << 64) | (lo as u64 as i128);
+                let v = if cnt == 0 {
+                    Value::Null
+                } else if want_avg {
+                    if self.all_int {
+                        Value::Float(si as f64 / cnt as f64)
+                    } else {
+                        Value::Float(sf / cnt as f64)
+                    }
+                } else if self.all_int {
+                    Value::Int(si.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+                } else {
+                    Value::Float(sf)
+                };
+                let mut row = Row::new(vals);
+                row.push(v);
+                out.push(row)?;
+            }
+            self.stage = Some(env.store.builder());
+        }
+        while let Some(row) = self.ring.pop_front() {
+            self.charge.leave(row.encoded_len());
+        }
+        self.base = 0;
+        self.next_emit = 0;
+        self.received = 0;
+        self.rank = 0;
+        self.dense = 0;
+        self.prefixes.clear();
+        self.prefixes.push_back((0, 0.0, 0));
+        self.pbase = 0;
+        self.all_int = true;
+        self.minmax.clear();
+        self.next_add = 0;
         Ok(())
     }
 }
@@ -2254,6 +2954,77 @@ mod tests {
         let sums = run(rows, &[], &spec(&[0]), WindowFunction::Sum(a(1)), None);
         assert_eq!(sums[1], Value::Int(i64::MAX));
         assert_eq!(sums[2], Value::Int(i64::MAX));
+    }
+
+    /// The dispatch table: which (function, frame) pairs stream one-pass,
+    /// which ring-buffer, and which fall back to buffering a partition.
+    #[test]
+    fn streamable_eval_classification() {
+        use StreamableEval::*;
+        let default = FrameSpec::default_for(true);
+        let whole = FrameSpec::whole_partition();
+        let sliding = FrameSpec {
+            units: FrameUnits::Rows,
+            start: Bound::Preceding(2),
+            end: Bound::CurrentRow,
+        };
+        let rows_unbounded = FrameSpec {
+            units: FrameUnits::Rows,
+            start: Bound::UnboundedPreceding,
+            end: Bound::CurrentRow,
+        };
+        let range_offset = FrameSpec {
+            units: FrameUnits::Range,
+            start: Bound::Preceding(2),
+            end: Bound::CurrentRow,
+        };
+        let cases = [
+            // SQL-default-frame aggregates: the Shi & Wang one-pass.
+            (WindowFunction::Sum(AttrId::new(0)), default, OnePass),
+            (WindowFunction::Count(None), default, OnePass),
+            // ntile stages one pass through the store.
+            (WindowFunction::Ntile(4), default, OnePass),
+            // Ranking and navigation stream with ring/rank state.
+            (WindowFunction::RowNumber, default, Ring),
+            (WindowFunction::Rank, default, Ring),
+            (WindowFunction::DenseRank, whole, Ring),
+            (
+                WindowFunction::Lag {
+                    col: AttrId::new(0),
+                    offset: 3,
+                    default: None,
+                },
+                default,
+                Ring,
+            ),
+            // Bounded-ROWS frame readers ring; other frames buffer.
+            (WindowFunction::Sum(AttrId::new(0)), sliding, Ring),
+            (WindowFunction::Min(AttrId::new(0)), sliding, Ring),
+            (WindowFunction::FirstValue(AttrId::new(0)), sliding, Ring),
+            (WindowFunction::NthValue(AttrId::new(0), 2), sliding, Ring),
+            (
+                WindowFunction::Sum(AttrId::new(0)),
+                rows_unbounded,
+                Buffered,
+            ),
+            (WindowFunction::Sum(AttrId::new(0)), range_offset, Buffered),
+            (WindowFunction::LastValue(AttrId::new(0)), whole, Buffered),
+            // Distribution and variance stay buffered.
+            (WindowFunction::PercentRank, default, Buffered),
+            (WindowFunction::CumeDist, default, Buffered),
+            (WindowFunction::VarPop(AttrId::new(0)), sliding, Buffered),
+        ];
+        for (func, frame, expect) in cases {
+            assert_eq!(
+                StreamableEval::classify(&func, &frame),
+                expect,
+                "{func:?} over {frame:?}"
+            );
+        }
+        // Mixed-call chains are governed by the weakest member.
+        assert_eq!(StreamableEval::weakest([OnePass, Ring, Buffered]), Buffered);
+        assert_eq!(StreamableEval::weakest([OnePass, Ring]), Ring);
+        assert_eq!(StreamableEval::weakest([]), OnePass);
     }
 
     #[test]

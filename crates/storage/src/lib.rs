@@ -35,7 +35,8 @@ pub use block::{blocks_for_bytes, BLOCK_SIZE};
 pub use cost::{CostSnapshot, CostTracker, CostWeights, PoolCounters};
 pub use mem::MemoryLedger;
 pub use segstore::{
-    ResidencyHold, SegmentBuilder, SegmentHandle, SegmentReader, SegmentStore, StoreSnapshot,
+    ResidencyHold, RingCharge, SegmentBuilder, SegmentHandle, SegmentReader, SegmentStore,
+    StoreSnapshot,
 };
 pub use spill::{FileStore, IoMeter, SimStore, SpillFile, SpillMedium, SpillReader, SpillStore};
 pub use table::Table;

@@ -185,6 +185,19 @@ impl SegmentStore {
             rows,
         }
     }
+
+    /// Row-granular residency tracking for ring-buffer evaluation: the
+    /// charge grows as rows enter the ring and shrinks as they age out, so
+    /// the ledger follows the live ring occupancy — `O(frame)`, never a
+    /// whole buffered unit (contrast [`SegmentStore::hold`], whose charge
+    /// only grows). Remaining charge is released when the guard drops.
+    pub fn ring_charge(self: &Arc<Self>) -> RingCharge {
+        RingCharge {
+            store: Arc::clone(self),
+            bytes: 0,
+            rows: 0,
+        }
+    }
 }
 
 impl std::fmt::Debug for SegmentStore {
@@ -213,6 +226,38 @@ impl ResidencyHold {
 }
 
 impl Drop for ResidencyHold {
+    fn drop(&mut self) {
+        self.store.release(self.bytes, self.rows);
+    }
+}
+
+/// Shrinkable residency charge backing a ring buffer (see
+/// [`SegmentStore::ring_charge`]).
+pub struct RingCharge {
+    store: Arc<SegmentStore>,
+    bytes: usize,
+    rows: usize,
+}
+
+impl RingCharge {
+    /// A row of `bytes` bytes entered the ring.
+    pub fn enter(&mut self, bytes: usize) {
+        self.store.charge(bytes, 1);
+        self.bytes += bytes;
+        self.rows += 1;
+    }
+
+    /// A row of `bytes` bytes aged out of the ring.
+    pub fn leave(&mut self, bytes: usize) {
+        let bytes = bytes.min(self.bytes);
+        let rows = usize::from(self.rows > 0);
+        self.store.release(bytes, rows);
+        self.bytes -= bytes;
+        self.rows -= rows;
+    }
+}
+
+impl Drop for RingCharge {
     fn drop(&mut self) {
         self.store.release(self.bytes, self.rows);
     }
@@ -536,6 +581,30 @@ mod tests {
         assert_eq!(snap.resident_bytes, 0);
         assert_eq!(snap.peak_resident_bytes, 11 * BLOCK_SIZE);
         assert_eq!(snap.peak_resident_rows, 510);
+    }
+
+    #[test]
+    fn ring_charge_follows_occupancy() {
+        let store = SegmentStore::new(Some(1), SpillMedium::Simulated);
+        {
+            let mut ring = store.ring_charge();
+            for _ in 0..4 {
+                ring.enter(100);
+            }
+            assert_eq!(store.snapshot().resident_bytes, 400);
+            assert_eq!(store.snapshot().resident_rows, 4);
+            ring.leave(100);
+            ring.leave(100);
+            // The ledger tracks the live ring, not its high point …
+            assert_eq!(store.snapshot().resident_bytes, 200);
+            assert_eq!(store.snapshot().resident_rows, 2);
+        }
+        // … and the guard releases the remainder on drop.
+        let snap = store.snapshot();
+        assert_eq!(snap.resident_bytes, 0);
+        assert_eq!(snap.resident_rows, 0);
+        assert_eq!(snap.peak_resident_bytes, 400);
+        assert_eq!(snap.peak_resident_rows, 4);
     }
 
     #[test]

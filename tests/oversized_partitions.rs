@@ -1,8 +1,10 @@
 //! Oversized-partition window evaluation: brute-force equivalence at tiny
 //! `M`, where every partition is far larger than the sort/pool budget and
-//! the window operator must run its spill-backed streaming paths (Shi &
-//! Wang-style one-pass aggregation for the SQL-default frame, one-buffered-
-//! partition evaluation for everything else).
+//! the window operator must run its spill-backed streaming paths — the
+//! one-pass spilling aggregation / staged `ntile` (`O(M)`), the
+//! ring-buffer path for ranking, navigation and bounded-ROWS frame readers
+//! (`O(M + frame)`), and the one-buffered-partition fallback
+//! (`O(M + partition)`).
 //!
 //! Each case is checked three ways:
 //! * engine at tiny `M` (spilled segments, streaming evaluation) vs an
@@ -12,8 +14,13 @@
 //! * tiny-`M` bounded pool vs tiny-`M` **unbounded** pool (the pre-store
 //!   pipeline): identical rows and identical modeled counters — pool spill
 //!   traffic is physical, never modeled.
+//!
+//! The ring-class cases additionally assert the store's high-water mark at
+//! `M = 1` over partitions ≥ 100× the pool: tracked residency must stay
+//! within a small constant of `M + frame`, far below the one-buffered-
+//! partition path's `M + partition`.
 
-use wfopt::exec::window::{Bound, FrameSpec, FrameUnits, WindowFunction};
+use wfopt::exec::window::{Bound, FrameSpec, FrameUnits, StreamableEval, WindowFunction};
 use wfopt::exec::{drain, FullSortOp, TableScan, WindowOp};
 use wfopt::prelude::*;
 
@@ -327,16 +334,21 @@ fn default_frame_streaming_agg_residency_is_o_of_m() {
     assert!(snap.spill_blocks_written > 0);
 }
 
-/// The buffered-partition path holds exactly one partition: peak tracked
+/// The buffered-partition fallback (here: a RANGE-offset frame, which
+/// needs random access) holds exactly one partition: peak tracked
 /// residency is O(M + largest partition) even with many partitions.
 #[test]
 fn buffered_partition_residency_is_o_of_m_plus_unit() {
     let table = build_table(6, 800);
     let frame = FrameSpec {
-        units: FrameUnits::Rows,
+        units: FrameUnits::Range,
         start: Bound::Preceding(2),
         end: Bound::CurrentRow,
     };
+    assert_eq!(
+        StreamableEval::classify(&WindowFunction::Sum(a(2)), &frame),
+        StreamableEval::Buffered
+    );
     let env = ExecEnv::with_memory_blocks(2);
     let _ = run_chain(&table, WindowFunction::Sum(a(2)), Some(frame), &env);
     let snap = env.store_snapshot();
@@ -351,4 +363,347 @@ fn buffered_partition_residency_is_o_of_m_plus_unit() {
     );
     // And it is genuinely partition-sized, not relation-sized.
     assert!(snap.peak_resident_bytes < table.byte_size() / 2);
+    // ... but also genuinely partition-sized from below: the buffered path
+    // must have held (at least most of) one partition, which is what the
+    // ring-class assertions below rule out for the streamed functions.
+    assert!(snap.peak_resident_bytes > partition_bytes / 2);
+}
+
+/// First-principles reference for the ranking / navigation / value
+/// functions the ring and staged paths stream (row_number, rank,
+/// dense_rank, ntile, lag, lead, first_value, last_value, nth_value),
+/// evaluated over the engine's physical row order like [`brute_force`].
+/// Supports bounded-ROWS frames and the SQL-default RANGE frame.
+fn nav_reference(rows: &[Row], func: &WindowFunction, frame: Option<FrameSpec>) -> Vec<Row> {
+    let frame = frame.unwrap_or(FrameSpec {
+        units: FrameUnits::Range,
+        start: Bound::UnboundedPreceding,
+        end: Bound::CurrentRow,
+    });
+    let n = rows.len();
+    let mut out = rows.to_vec();
+    let mut start = 0usize;
+    while start < n {
+        let p = rows[start].get(a(0)).as_int().unwrap();
+        let mut end = start;
+        while end < n && rows[end].get(a(0)).as_int().unwrap() == p {
+            end += 1;
+        }
+        let part = &rows[start..end];
+        let m = part.len();
+        let key = |i: usize| part[i].get(a(1)).as_int().unwrap();
+        // Peer groups: maximal runs of equal order key.
+        let mut gs = vec![0usize; m]; // group start per row
+        let mut ord = vec![0usize; m]; // 0-based group ordinal per row
+        let mut ge = vec![m; m]; // group end per row
+        {
+            let mut g = 0usize;
+            let mut o = 0usize;
+            for i in 0..m {
+                if i > 0 && key(i) != key(i - 1) {
+                    for slot in ge.iter_mut().take(i).skip(g) {
+                        *slot = i;
+                    }
+                    g = i;
+                    o += 1;
+                }
+                gs[i] = g;
+                ord[i] = o;
+            }
+            for slot in ge.iter_mut().skip(g) {
+                *slot = m;
+            }
+        }
+        // Resolve frames as [s, e) (bounded ROWS or the default RANGE).
+        let frame_of = |i: usize| -> (usize, usize) {
+            match frame.units {
+                FrameUnits::Rows => {
+                    let s = match frame.start {
+                        Bound::UnboundedPreceding => 0,
+                        Bound::Preceding(k) => i.saturating_sub(k as usize),
+                        Bound::CurrentRow => i,
+                        Bound::Following(k) => (i + k as usize).min(m),
+                        Bound::UnboundedFollowing => m,
+                    };
+                    let e = match frame.end {
+                        Bound::UnboundedPreceding => 0,
+                        Bound::Preceding(k) => (i + 1).saturating_sub(k as usize),
+                        Bound::CurrentRow => i + 1,
+                        Bound::Following(k) => (i + 1 + k as usize).min(m),
+                        Bound::UnboundedFollowing => m,
+                    };
+                    (s.min(m), e.max(s).min(m))
+                }
+                FrameUnits::Range => (0, ge[i]), // the SQL default
+            }
+        };
+        for i in 0..m {
+            let value = match func {
+                WindowFunction::RowNumber => Value::Int(i as i64 + 1),
+                WindowFunction::Rank => Value::Int(gs[i] as i64 + 1),
+                WindowFunction::DenseRank => Value::Int(ord[i] as i64 + 1),
+                WindowFunction::Ntile(t) => {
+                    let t = (*t).max(1) as usize;
+                    let base = m / t;
+                    let extra = m % t;
+                    let tile = if i < extra * (base + 1) {
+                        i / (base + 1)
+                    } else {
+                        extra + (i - extra * (base + 1)) / base.max(1)
+                    };
+                    Value::Int(tile as i64 + 1)
+                }
+                WindowFunction::Lag {
+                    col,
+                    offset,
+                    default,
+                } => i
+                    .checked_sub(*offset as usize)
+                    .map(|j| part[j].get(*col).clone())
+                    .unwrap_or_else(|| default.clone().unwrap_or(Value::Null)),
+                WindowFunction::Lead {
+                    col,
+                    offset,
+                    default,
+                } => {
+                    let j = i + *offset as usize;
+                    if j < m {
+                        part[j].get(*col).clone()
+                    } else {
+                        default.clone().unwrap_or(Value::Null)
+                    }
+                }
+                WindowFunction::FirstValue(col) => {
+                    let (s, e) = frame_of(i);
+                    if s < e {
+                        part[s].get(*col).clone()
+                    } else {
+                        Value::Null
+                    }
+                }
+                WindowFunction::LastValue(col) => {
+                    let (s, e) = frame_of(i);
+                    if s < e {
+                        part[e - 1].get(*col).clone()
+                    } else {
+                        Value::Null
+                    }
+                }
+                WindowFunction::NthValue(col, k) => {
+                    let (s, e) = frame_of(i);
+                    let idx = s + (*k).max(1) as usize - 1;
+                    if idx < e {
+                        part[idx].get(*col).clone()
+                    } else {
+                        Value::Null
+                    }
+                }
+                other => panic!("not covered by nav_reference: {other:?}"),
+            };
+            out[start + i].push(value);
+        }
+        start = end;
+    }
+    out
+}
+
+fn strip_last(rows: &[Row]) -> Vec<Row> {
+    rows.iter()
+        .map(|r| {
+            let mut v = r.values().to_vec();
+            v.pop();
+            Row::new(v)
+        })
+        .collect()
+}
+
+/// One case of the newly streamed function family: the function, its frame,
+/// the expected spilled-evaluation class, and the frame extent in rows
+/// (`hist + delay + 1`) for the residency bound.
+fn streamed_cases() -> Vec<(&'static str, WindowFunction, Option<FrameSpec>, usize)> {
+    let sliding = FrameSpec {
+        units: FrameUnits::Rows,
+        start: Bound::Preceding(2),
+        end: Bound::CurrentRow,
+    };
+    let centered = FrameSpec {
+        units: FrameUnits::Rows,
+        start: Bound::Preceding(1),
+        end: Bound::Following(3),
+    };
+    vec![
+        ("row_number", WindowFunction::RowNumber, None, 1),
+        ("rank", WindowFunction::Rank, None, 1),
+        ("dense_rank", WindowFunction::DenseRank, None, 1),
+        ("ntile", WindowFunction::Ntile(7), None, 1),
+        (
+            "lag2",
+            WindowFunction::Lag {
+                col: a(2),
+                offset: 2,
+                default: Some(Value::Int(-1)),
+            },
+            None,
+            3,
+        ),
+        (
+            "lead3",
+            WindowFunction::Lead {
+                col: a(2),
+                offset: 3,
+                default: None,
+            },
+            None,
+            4,
+        ),
+        (
+            "first_value",
+            WindowFunction::FirstValue(a(2)),
+            Some(centered),
+            5,
+        ),
+        (
+            "last_value",
+            WindowFunction::LastValue(a(2)),
+            Some(sliding),
+            3,
+        ),
+        (
+            "nth_value2",
+            WindowFunction::NthValue(a(2), 2),
+            Some(centered),
+            5,
+        ),
+        ("count", WindowFunction::Count(Some(a(2))), Some(sliding), 3),
+        ("sum_int", WindowFunction::Sum(a(2)), Some(sliding), 3),
+        ("sum_float", WindowFunction::Sum(a(3)), Some(centered), 5),
+        ("avg_float", WindowFunction::Avg(a(3)), Some(sliding), 3),
+        ("min", WindowFunction::Min(a(2)), Some(centered), 5),
+        ("max", WindowFunction::Max(a(2)), Some(sliding), 3),
+        // Frames sitting entirely ahead of the current row, and frames
+        // that are empty for every row — the monotonic deque's jump and
+        // stale-entry edges.
+        (
+            "min_ahead",
+            WindowFunction::Min(a(2)),
+            Some(FrameSpec {
+                units: FrameUnits::Rows,
+                start: Bound::Following(1),
+                end: Bound::Following(3),
+            }),
+            4,
+        ),
+        (
+            "max_empty",
+            WindowFunction::Max(a(2)),
+            Some(FrameSpec {
+                units: FrameUnits::Rows,
+                start: Bound::Following(3),
+                end: Bound::Following(2),
+            }),
+            4,
+        ),
+    ]
+}
+
+/// Reference values for one case: aggregates go through [`brute_force`],
+/// the ranking/navigation/value functions through [`nav_reference`].
+fn reference_for(rows: &[Row], func: &WindowFunction, frame: Option<FrameSpec>) -> Vec<Row> {
+    match func {
+        WindowFunction::Count(_)
+        | WindowFunction::Sum(_)
+        | WindowFunction::Avg(_)
+        | WindowFunction::Min(_)
+        | WindowFunction::Max(_) => brute_force(rows, func, frame),
+        _ => nav_reference(rows, func, frame),
+    }
+}
+
+/// The acceptance matrix: every newly streamed function at `M = 1` over
+/// partitions ≥ 100× the pool. Rows and modeled counters must be
+/// bit-identical to the unbounded-pool pipeline, and for the ring class
+/// the store's high-water mark must stay `O(M + frame)` — a small constant
+/// times pool-plus-frame, far below the buffered path's partition-sized
+/// footprint.
+#[test]
+fn streamed_functions_at_m1_over_100x_partitions() {
+    // 2 partitions × 24000 rows ≈ 850 KB each ≥ 100 × the 1-block pool.
+    let table = build_table(2, 24_000);
+    let partition_bytes = table.byte_size() / 2;
+    assert!(
+        partition_bytes >= 100 * wfopt::storage::BLOCK_SIZE,
+        "test table must dwarf the pool"
+    );
+    let avg_row = table.byte_size() / table.row_count();
+    for (name, func, frame, extent) in streamed_cases() {
+        let class = StreamableEval::classify(
+            &func,
+            &frame.unwrap_or_else(|| FrameSpec::default_for(true)),
+        );
+        assert_ne!(
+            class,
+            StreamableEval::Buffered,
+            "{name} must be newly streamed"
+        );
+
+        let env = ExecEnv::with_memory_blocks(1);
+        let got = run_chain(&table, func.clone(), frame, &env);
+        let expect = reference_for(&strip_last(&got), &func, frame);
+        assert_eq!(got, expect, "{name}: rows vs first-principles reference");
+        let snap = env.store_snapshot();
+        assert!(
+            snap.spill_blocks_written > 0,
+            "{name}: the tiny pool must actually spill"
+        );
+
+        // Residency: a small constant times (pool + frame), never the
+        // partition. The chain also holds the sort's output builder and
+        // the window's output builder within the same pool budget, hence
+        // the constant.
+        let budget = wfopt::storage::BLOCK_SIZE;
+        let frame_bytes = extent * avg_row;
+        assert!(
+            snap.peak_resident_bytes <= 4 * (budget + frame_bytes),
+            "{name}: peak {} exceeds c·(M + frame) = {}",
+            snap.peak_resident_bytes,
+            4 * (budget + frame_bytes)
+        );
+        assert!(
+            snap.peak_resident_bytes < partition_bytes / 4,
+            "{name}: peak {} is partition-sized ({partition_bytes}) — \
+             the buffered path would have held this much",
+            snap.peak_resident_bytes
+        );
+
+        // Bounded vs unbounded pool: identical rows, identical modeled
+        // counters — pool traffic is physical, never modeled.
+        let env_unbounded = ExecEnv::with_memory_blocks(1).with_unbounded_pool();
+        let legacy = run_chain(&table, func.clone(), frame, &env_unbounded);
+        assert_eq!(got, legacy, "{name}: rows vs unbounded pool");
+        assert_eq!(
+            env.tracker().snapshot(),
+            env_unbounded.tracker().snapshot(),
+            "{name}: modeled counters must not see the pool"
+        );
+        assert_eq!(env_unbounded.store_snapshot().spill_blocks_written, 0);
+    }
+}
+
+/// The same function family at `M = 2` on a smaller many-partition table,
+/// against the first-principles references — breadth over the partition
+/// layout rather than sheer size — plus the resident (large-`M`) twin.
+#[test]
+fn streamed_functions_at_m2_match_references() {
+    let table = build_table(3, 1200);
+    for (name, func, frame, _) in streamed_cases() {
+        let env = ExecEnv::with_memory_blocks(2);
+        let got = run_chain(&table, func.clone(), frame, &env);
+        let expect = reference_for(&strip_last(&got), &func, frame);
+        assert_eq!(got, expect, "{name} at M=2 vs reference");
+
+        let env_big = ExecEnv::with_memory_blocks(1024);
+        let big = run_chain(&table, func.clone(), frame, &env_big);
+        let expect_big = reference_for(&strip_last(&big), &func, frame);
+        assert_eq!(big, expect_big, "{name} at large M vs reference");
+    }
 }
