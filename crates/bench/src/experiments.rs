@@ -450,16 +450,9 @@ pub fn run_parallel(h: &Harness) {
             spec.wpk(),
             workers,
             env.op_env(),
-            |_, part| {
-                let sorted = full_sort(part, &key, env.op_env())?;
-                evaluate_window(
-                    sorted,
-                    spec.wpk(),
-                    spec.wok(),
-                    &spec.func,
-                    None,
-                    env.op_env(),
-                )
+            |_, part, worker_env| {
+                let sorted = full_sort(part, &key, worker_env)?;
+                evaluate_window(sorted, spec.wpk(), spec.wok(), &spec.func, None, worker_env)
             },
         )
         .unwrap();

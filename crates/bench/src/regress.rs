@@ -2,7 +2,7 @@
 //!
 //! Runs a small, fixed, fully deterministic workload set (row count pinned
 //! regardless of `--rows` so the checked-in baseline stays comparable),
-//! writes `results/BENCH_3.json`, and — when `results/BENCH_3.baseline.json`
+//! writes `results/BENCH_4.json`, and — when `results/BENCH_4.baseline.json`
 //! exists — fails with a non-zero exit if any workload's **modeled cost**
 //! or **peak resident memory** regressed by more than 2× against the
 //! baseline. Modeled cost comes from deterministic counters and peak
@@ -15,7 +15,12 @@
 //!   workloads with normalized byte keys on vs. the `RowComparator`
 //!   reference (wall-clock speedup printed),
 //! * `chain_shared_wpk_*` — the two-window shared-partition-key chain with
-//!   boundary reuse on vs. off (comparison reduction printed).
+//!   boundary reuse on vs. off (comparison reduction printed),
+//! * `par_rank_*` — the planner-driven parallel chain: the same
+//!   multi-partition rank planned serially and with a 4-worker budget
+//!   (the planner must emit `ReorderOp::Par`); the parallel entry records
+//!   its wall-clock speedup over the serial twin and asserts governed
+//!   pool residency.
 
 use crate::paper_mb_to_blocks;
 use crate::queries;
@@ -33,6 +38,11 @@ use wf_storage::Table;
 
 /// Pinned size of the regression workloads (see module docs).
 pub const REGRESS_ROWS: usize = 40_000;
+/// Pinned size of the parallel-chain workloads (larger: the wall-clock
+/// speedup headline needs the sort to dominate the serial phases).
+pub const PAR_ROWS: usize = 150_000;
+/// Worker count of the parallel-chain workload.
+pub const PAR_WORKERS: usize = 4;
 /// Modeled-cost regression threshold.
 pub const REGRESS_FACTOR: f64 = 2.0;
 
@@ -53,6 +63,17 @@ pub struct RegressEntry {
     /// chain (`one-pass` / `ring` / `buffered`; `-` for sort-only
     /// workloads with no window step).
     pub residency_class: String,
+    /// Wall-clock speedup of this workload over its serial execution (only
+    /// set on the parallel-chain workloads; 0 = not applicable).
+    /// Informational like all wall numbers — and hardware-dependent: a
+    /// single-core host records ≈ 1.0 by construction (the harness prints
+    /// the core count next to it).
+    pub par_speedup: f64,
+    /// Modeled elapsed speedup of the parallel plan over the serial plan
+    /// for the same query (planned cost ratio under the elapsed model —
+    /// deterministic and machine-independent; only set on the parallel
+    /// workloads).
+    pub par_est_speedup: f64,
 }
 
 fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str) -> RegressEntry {
@@ -66,6 +87,8 @@ fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str
         key_encodes: report.work.key_encodes,
         peak_resident_blocks: report.store.peak_resident_blocks(),
         residency_class: report.weakest_eval_class().label().to_string(),
+        par_speedup: 0.0,
+        par_est_speedup: 0.0,
     }
 }
 
@@ -161,6 +184,8 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                 key_encodes: s.key_encodes,
                 peak_resident_blocks: env.store.snapshot().peak_resident_blocks(),
                 residency_class: "-".to_string(),
+                par_speedup: 0.0,
+                par_est_speedup: 0.0,
             };
             if best.as_ref().is_none_or(|b| e.wall_ms < b.wall_ms) {
                 best = Some(e);
@@ -226,6 +251,121 @@ pub fn run_workloads() -> Vec<RegressEntry> {
         }
     }
 
+    // Parallel-chain workloads: a multi-partition rank over a larger,
+    // sort-dominated table, planned serially (workers = 1, must stay FS)
+    // and with a 4-worker budget (the planner must emit ReorderOp::Par —
+    // the cost model favors splitting the sort at this spill-heavy M).
+    // Wall speedup serial/parallel rides on the parallel entry; residency
+    // must stay governed despite 4 concurrent sorts.
+    {
+        use wf_datagen::WsColumn::{Item, SoldTime};
+        let par_cfg = WsConfig {
+            rows: PAR_ROWS,
+            d_item: (PAR_ROWS as u64 / 100).max(64),
+            d_bill: (PAR_ROWS as u64 / 10).max(64),
+            ..WsConfig::default()
+        };
+        let par_table = par_cfg.generate();
+        let par_stats = TableStats::from_table(&par_table);
+        let par_blocks = par_table.block_count();
+        // 150 paper-MB equivalent: one-pass serial FS no longer beats HS's
+        // flat partition I/O here, but splitting the sort four ways does —
+        // the regime the cost model favors Par in.
+        let m = paper_mb_to_blocks(150.0, par_blocks);
+        let query = WindowQuery::new(
+            par_table.schema().clone(),
+            vec![WindowSpec::rank(
+                "r",
+                vec![Item.attr()],
+                wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(SoldTime.attr())]),
+            )],
+        );
+        // One plan — emitted by the planner under the 4-worker budget —
+        // executed with the scheduler forced serial (1 thread) and at the
+        // full pool (4 threads). The determinism contract makes the two
+        // executions bit-identical in rows and counters; the wall ratio is
+        // the scheduler's parallel speedup.
+        let env_plan = ExecEnv::with_memory_blocks(m).with_par_workers(PAR_WORKERS);
+        let plan = optimize(&query, &par_stats, Scheme::Cso, &env_plan).expect("par plan");
+        assert!(
+            plan.steps
+                .iter()
+                .any(|s| matches!(s.reorder, ReorderOp::Par { .. })),
+            "cost model must favor ReorderOp::Par on this workload: {}",
+            plan.chain_string()
+        );
+        let serial_plan = optimize(
+            &query,
+            &par_stats,
+            Scheme::Cso,
+            &ExecEnv::with_memory_blocks(m).with_par_workers(1),
+        )
+        .expect("serial plan");
+        assert!(
+            serial_plan
+                .steps
+                .iter()
+                .all(|s| !matches!(s.reorder, ReorderOp::Par { .. })),
+            "no worker budget → no Par: {}",
+            serial_plan.chain_string()
+        );
+        let best_for = |threads: usize, name: &str| -> RegressEntry {
+            let mut best: Option<RegressEntry> = None;
+            for _ in 0..3 {
+                let env = ExecEnv::with_memory_blocks(m)
+                    .with_par_workers(PAR_WORKERS)
+                    .with_worker_threads(threads);
+                let e = run_plan(&plan, &par_table, &env, name);
+                // Governed residency: the invariant is chain pool (M) +
+                // Σ_w M_w (≤ M) of worker sub-accounts plus per-worker
+                // slack — asserted with the suite's usual 4× constant
+                // (builders, rounding), which is still far below the
+                // relation (the second assert).
+                assert!(
+                    e.peak_resident_blocks <= 4 * (2 * m + PAR_WORKERS as u64) + 8,
+                    "parallel peak {} blocks vs M={m}",
+                    e.peak_resident_blocks
+                );
+                assert!(
+                    e.peak_resident_blocks < par_blocks / 4,
+                    "parallel peak {} is relation-sized ({par_blocks})",
+                    e.peak_resident_blocks
+                );
+                if best.as_ref().is_none_or(|b| e.wall_ms < b.wall_ms) {
+                    best = Some(e);
+                }
+            }
+            best.expect("three runs")
+        };
+        let serial = best_for(1, "par_rank_serial");
+        let mut par = best_for(PAR_WORKERS, "par_rank_w4");
+        assert_eq!(
+            (
+                serial.comparisons,
+                serial.io_blocks,
+                serial.peak_resident_blocks
+            ),
+            (par.comparisons, par.io_blocks, par.peak_resident_blocks),
+            "parallel chain must be bit-identical to its serial execution"
+        );
+        par.par_speedup = serial.wall_ms / par.wall_ms;
+        // Deterministic headline: the planned elapsed-cost ratio of the
+        // parallel plan over the best serial plan. This is the cost-model
+        // win the planner acts on (machine-independent), and it must be
+        // substantial — wall confirms it on hosts with cores to spare.
+        let w = env_plan.weights();
+        par.par_est_speedup = serial_plan.est_cost.ms(&w) / plan.est_cost.ms(&w);
+        assert!(
+            par.par_est_speedup >= 1.5,
+            "modeled parallel speedup collapsed: {:.2}x (serial {} vs parallel {})",
+            par.par_est_speedup,
+            serial_plan.chain_string(),
+            plan.chain_string()
+        );
+        out.push(serial);
+        out.push(par);
+    }
+
     // Two-window shared-WPK chain: boundary reuse on vs. off.
     let chain_query = chain_query(&table);
     for (reuse, name) in [
@@ -257,18 +397,20 @@ fn chain_query(table: &Table) -> WindowQuery {
     WindowQuery::new(table.schema().clone(), specs)
 }
 
-/// Serialize entries as `BENCH_3.json`.
+/// Serialize entries as `BENCH_4.json`.
 pub fn to_json(entries: &[RegressEntry]) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench3-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench4-v1\",");
     let _ = writeln!(s, "  \"rows\": {REGRESS_ROWS},");
+    let _ = writeln!(s, "  \"par_rows\": {PAR_ROWS},");
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             s,
             "    {{\"name\": \"{}\", \"modeled_ms\": {:.4}, \"wall_ms\": {:.3}, \
              \"comparisons\": {}, \"io_blocks\": {}, \"key_encodes\": {}, \
-             \"peak_resident_blocks\": {}, \"residency_class\": \"{}\"}}",
+             \"peak_resident_blocks\": {}, \"residency_class\": \"{}\", \
+             \"par_speedup\": {:.2}, \"par_est_speedup\": {:.2}}}",
             e.name,
             e.modeled_ms,
             e.wall_ms,
@@ -276,7 +418,9 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
             e.io_blocks,
             e.key_encodes,
             e.peak_resident_blocks,
-            e.residency_class
+            e.residency_class,
+            e.par_speedup,
+            e.par_est_speedup
         );
         s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -285,7 +429,7 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
 }
 
 /// Minimal extraction of `(name, modeled_ms, peak_resident_blocks)` tuples
-/// from a BENCH_3-shaped JSON file (flat entry objects; no nesting — the
+/// from a BENCH_4-shaped JSON file (flat entry objects; no nesting — the
 /// format we write). Files without the peak column (the BENCH_2 era)
 /// parse with peak 0, which disarms only the peak gate.
 pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
@@ -313,14 +457,14 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
 
 /// Markdown table comparing the current run against the baseline —
 /// modeled cost, peak resident blocks and residency class per workload —
-/// emitted into `results/BENCH_3_summary.md` for the CI step summary.
+/// emitted into `results/BENCH_4_summary.md` for the CI step summary.
 pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64, u64)]) -> String {
-    let mut md = String::from("### `repro regress` — BENCH_3 comparison\n\n");
+    let mut md = String::from("### `repro regress` — BENCH_4 comparison\n\n");
     let _ = writeln!(
         md,
-        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk |"
+        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | ∥ speedup |"
     );
-    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|---:|");
+    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|---:|---:|");
     for e in entries {
         let base = baseline.iter().find(|(n, _, _)| *n == e.name);
         let (base_ms, base_peak, delta) = match base {
@@ -335,27 +479,35 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
             ),
             None => ("new".to_string(), "new".to_string(), "n/a".to_string()),
         };
+        let speedup = if e.par_est_speedup > 0.0 {
+            format!("{:.2}x est / {:.2}x wall", e.par_est_speedup, e.par_speedup)
+        } else if e.par_speedup > 0.0 {
+            format!("{:.2}x", e.par_speedup)
+        } else {
+            "–".to_string()
+        };
         let _ = writeln!(
             md,
-            "| `{}` | {} | {:.2} | {} | {} | {} | {} |",
+            "| `{}` | {} | {:.2} | {} | {} | {} | {} | {} |",
             e.name,
             e.residency_class,
             e.modeled_ms,
             base_ms,
             delta,
             e.peak_resident_blocks,
-            base_peak
+            base_peak,
+            speedup
         );
     }
     let _ = writeln!(
         md,
         "\nGate: modeled cost and peak residency must stay within {REGRESS_FACTOR}× of \
-         `results/BENCH_3.baseline.json`. Wall clock is informational only."
+         `results/BENCH_4.baseline.json`. Wall clock is informational only."
     );
     md
 }
 
-/// Run the regression suite: write `results/BENCH_3.json`, print the table
+/// Run the regression suite: write `results/BENCH_4.json`, print the table
 /// and the fast-path headline numbers, compare against the checked-in
 /// baseline. Returns `false` when a >2× modeled-cost or peak-residency
 /// regression was found.
@@ -363,7 +515,7 @@ pub fn run_regress() -> bool {
     let entries = run_workloads();
 
     let mut t = ReportTable::new(
-        "BENCH_3: regression workloads (modeled ms | wall ms | comparisons | peak resident)",
+        "BENCH_4: regression workloads (modeled ms | wall ms | comparisons | peak resident)",
         &[
             "workload",
             "modeled ms",
@@ -373,6 +525,7 @@ pub fn run_regress() -> bool {
             "key encodes",
             "peak res blk",
             "class",
+            "par speedup",
         ],
     );
     for e in &entries {
@@ -385,9 +538,14 @@ pub fn run_regress() -> bool {
             format!("{}", e.key_encodes),
             format!("{}", e.peak_resident_blocks),
             e.residency_class.clone(),
+            if e.par_speedup > 0.0 {
+                format!("{:.2}x", e.par_speedup)
+            } else {
+                "-".to_string()
+            },
         ]);
     }
-    t.emit("BENCH_3_table");
+    t.emit("BENCH_4_table");
 
     // Headline: byte-key wall speedup on the sort-dominated workloads.
     let wall = |name: &str| {
@@ -411,6 +569,17 @@ pub fn run_regress() -> bool {
         );
     }
     let find = |name: &str| entries.iter().find(|e| e.name == name);
+    if let Some(par) = find("par_rank_w4") {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        println!(
+            "parallel chain ({PAR_WORKERS} workers): {:.2}x modeled plan speedup, {:.2}x wall \
+             over its serial execution (host has {cores} core(s); wall speedup requires \
+             cores > 1)",
+            par.par_est_speedup, par.par_speedup
+        );
+    }
     if let (Some(on), Some(off)) = (
         find("chain_shared_wpk_reuse"),
         find("chain_shared_wpk_noreuse"),
@@ -426,31 +595,31 @@ pub fn run_regress() -> bool {
 
     let json = to_json(&entries);
     std::fs::create_dir_all("results").ok();
-    if let Err(e) = std::fs::write("results/BENCH_3.json", &json) {
-        eprintln!("(could not write results/BENCH_3.json: {e})");
+    if let Err(e) = std::fs::write("results/BENCH_4.json", &json) {
+        eprintln!("(could not write results/BENCH_4.json: {e})");
     }
     // Markdown comparison for the CI step summary ($GITHUB_STEP_SUMMARY):
     // current vs baseline modeled cost + peak residency + residency class,
     // so bench drift is readable on the PR without downloading artifacts.
-    let baseline_for_md = std::fs::read_to_string("results/BENCH_3.baseline.json")
+    let baseline_for_md = std::fs::read_to_string("results/BENCH_4.baseline.json")
         .map(|raw| parse_baseline(&raw))
         .unwrap_or_default();
     if let Err(e) = std::fs::write(
-        "results/BENCH_3_summary.md",
+        "results/BENCH_4_summary.md",
         step_summary_markdown(&entries, &baseline_for_md),
     ) {
-        eprintln!("(could not write results/BENCH_3_summary.md: {e})");
+        eprintln!("(could not write results/BENCH_4_summary.md: {e})");
     }
 
     // Gate against the checked-in baseline. A missing baseline is fatal in
     // CI (the gate must never silently disarm there) and a friendly skip
     // locally.
-    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_3.baseline.json") else {
+    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_4.baseline.json") else {
         if std::env::var_os("CI").is_some() {
-            println!("\nresults/BENCH_3.baseline.json missing in CI — failing the gate");
+            println!("\nresults/BENCH_4.baseline.json missing in CI — failing the gate");
             return false;
         }
-        println!("\n(no results/BENCH_3.baseline.json — baseline gate skipped)");
+        println!("\n(no results/BENCH_4.baseline.json — baseline gate skipped)");
         return true;
     };
     let baseline = parse_baseline(&baseline_raw);
@@ -461,7 +630,7 @@ pub fn run_regress() -> bool {
             // baseline must be regenerated in the same change.
             println!(
                 "REGRESSION {name}: baseline entry no longer measured \
-                 (renamed/removed? regenerate results/BENCH_3.baseline.json)"
+                 (renamed/removed? regenerate results/BENCH_4.baseline.json)"
             );
             ok = false;
             continue;
@@ -504,6 +673,8 @@ mod tests {
             key_encodes: 5,
             peak_resident_blocks: peak,
             residency_class: class.into(),
+            par_speedup: 0.0,
+            par_est_speedup: 0.0,
         }
     }
 
@@ -525,8 +696,13 @@ mod tests {
         let entries = vec![entry("w1", 2.0, 8, "one-pass"), entry("w3", 1.0, 4, "ring")];
         let baseline = vec![("w1".to_string(), 1.0, 8u64)];
         let md = step_summary_markdown(&entries, &baseline);
-        assert!(md.contains("| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 |"));
+        assert!(md.contains("| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 | – |"));
         // A workload with no baseline row reads "new", never a bogus delta.
-        assert!(md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new |"));
+        assert!(md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new | – |"));
+        // A parallel workload shows its wall speedup.
+        let mut par = entry("w4", 1.0, 4, "ring");
+        par.par_speedup = 2.5;
+        let md2 = step_summary_markdown(&[par], &[]);
+        assert!(md2.contains("| 2.50x |"), "{md2}");
     }
 }

@@ -101,6 +101,65 @@ impl TableStats {
             .unwrap_or_default()
     }
 
+    /// Statistics for the rows surviving a WHERE predicate, estimated with
+    /// the classic selectivity heuristics (System R): equality selects
+    /// `1/D(attr)`, inequality `1/3`, BETWEEN `1/4`, `<>` leaves
+    /// `1 − 1/D`, AND multiplies. Cardinality and byte size scale by the
+    /// selectivity; per-column distinct counts cap at the surviving row
+    /// count (an equality predicate pins its column to one value); MFV
+    /// counts scale the same way. Planners cost plans on these *post-filter*
+    /// statistics, since every reorder runs downstream of the filter.
+    pub fn with_predicate(&self, pred: &wf_exec::Predicate) -> TableStats {
+        let sel = self.selectivity(pred).clamp(0.0, 1.0);
+        let rows = ((self.rows as f64 * sel).round() as u64).max(1);
+        let bytes = ((self.bytes as f64 * sel).round() as u64).max(1);
+        let mut distinct = self.distinct.clone();
+        for d in distinct.values_mut() {
+            *d = (*d).min(rows);
+        }
+        let pinned = eq_pinned_attrs(pred);
+        for (attr, _) in &pinned {
+            distinct.insert(*attr, 1);
+        }
+        let mut hot: HashMap<AttrId, Vec<(Value, u64)>> = self
+            .hot
+            .iter()
+            .map(|(a, tops)| {
+                (
+                    *a,
+                    tops.iter()
+                        .map(|(v, c)| (v.clone(), ((*c as f64 * sel).round() as u64).max(1)))
+                        .collect(),
+                )
+            })
+            .collect();
+        // An equality-pinned column's histogram is exact: every surviving
+        // row holds the predicate's value (uniform scaling would shrink
+        // that value's count by 1/D and hide an oversized MFV partition
+        // the filter in fact selects).
+        for (attr, value) in pinned {
+            hot.insert(attr, vec![(value, rows)]);
+        }
+        TableStats {
+            rows,
+            bytes,
+            distinct,
+            hot,
+        }
+    }
+
+    /// Estimated fraction of rows satisfying `pred`.
+    fn selectivity(&self, pred: &wf_exec::Predicate) -> f64 {
+        use wf_exec::Predicate::*;
+        match pred {
+            Eq(a, _) => 1.0 / self.distinct(*a) as f64,
+            Ne(a, _) => 1.0 - 1.0 / self.distinct(*a) as f64,
+            Lt(..) | Le(..) | Gt(..) | Ge(..) => 1.0 / 3.0,
+            Between(..) => 1.0 / 4.0,
+            And(l, r) => self.selectivity(l) * self.selectivity(r),
+        }
+    }
+
     /// `T(R)`.
     pub fn rows(&self) -> u64 {
         self.rows
@@ -136,6 +195,21 @@ impl TableStats {
     /// `D` over the attributes of a sort key.
     pub fn distinct_key(&self, key: &SortSpec) -> u64 {
         self.distinct_set(&key.attr_set())
+    }
+}
+
+/// Attributes pinned to a single value by an equality somewhere in the
+/// conjunction (their post-filter distinct count is 1), with the value.
+fn eq_pinned_attrs(pred: &wf_exec::Predicate) -> Vec<(AttrId, Value)> {
+    use wf_exec::Predicate::*;
+    match pred {
+        Eq(a, v) => vec![(*a, v.clone())],
+        And(l, r) => {
+            let mut out = eq_pinned_attrs(l);
+            out.extend(eq_pinned_attrs(r));
+            out
+        }
+        _ => Vec::new(),
     }
 }
 
@@ -224,6 +298,44 @@ const HS_PARTITION_IO_PENALTY: f64 = 1.15;
 /// Eq. 1 — Full Sort of the whole relation.
 pub fn fs_cost(stats: &TableStats, m: u64) -> Cost {
     sort_cost(stats.blocks() as f64, stats.rows() as f64, m)
+}
+
+/// Modeled **elapsed** cost of a partition-parallel Full Sort over `w`
+/// workers (`ReorderOp::Par { inner: Fs }`): the relation is hash-scattered
+/// (one hash per row, serial), every worker sorts `B/w` blocks with
+/// `M_w = ⌊M/w⌋` of the unit reorder memory (`workers × M_w ≤ M`), and the
+/// sorted shards are ordered-merged back serially (one heap comparison per
+/// row over a `w`-ary heap).
+///
+/// Unlike the other operator models, this is a *critical-path* estimate:
+/// the per-worker sort term appears once because the workers run
+/// concurrently, so the value is comparable to the serial operators' costs
+/// as elapsed time, while a parallel execution's *measured* counters sum
+/// all workers' work. The planner trades this estimate against
+/// [`fs_cost`]'s one big sort — the `workers × M_w ≤ M` vs `M` decision.
+pub fn par_fs_cost(stats: &TableStats, m: u64, workers: usize, shard_key: &AttrSet) -> Cost {
+    let w = workers.max(1) as u64;
+    if w == 1 {
+        return fs_cost(stats, m);
+    }
+    let b = stats.blocks() as f64;
+    let t = stats.rows() as f64;
+    // The executor's own formula, so planner and scheduler can never
+    // disagree about a worker's memory grant.
+    let m_w = wf_exec::per_worker_blocks(m, workers);
+    // Rows can only spread over as many shards as the shard key has
+    // distinct values: a low-cardinality WPK leaves workers idle, and the
+    // busy ones still sort with the split memory grant. With one
+    // effective shard the model correctly prices Par worse than the
+    // serial FS (same sort at M/w, plus scatter and merge).
+    let w_eff = w.min(stats.distinct_set(shard_key)).max(1) as f64;
+    let unit = sort_cost(b / w_eff, t / w_eff, m_w);
+    let merge_cmp = t * log2(w as f64 + 1.0);
+    Cost {
+        io_blocks: unit.io_blocks,
+        comparisons: unit.comparisons + merge_cmp,
+        hashes: t,
+    }
 }
 
 /// Eq. 2 — Hashed Sort with hash key `whk`.
@@ -384,6 +496,88 @@ mod tests {
         assert!(hs_cost(&s, &whk, m_50).ms(&w) < fs_cost(&s, m_50).ms(&w));
         assert!(hs_cost(&s, &whk, m_75).ms(&w) < fs_cost(&s, m_75).ms(&w));
         assert!(fs_cost(&s, m_150).ms(&w) < hs_cost(&s, &whk, m_150).ms(&w));
+    }
+
+    /// The parallel FS model: elapsed cost shrinks with workers (shards
+    /// sort concurrently) despite the serial scatter and merge terms, and
+    /// one worker degenerates to the serial model exactly.
+    #[test]
+    fn par_fs_cost_shrinks_with_workers() {
+        let s = stats(400_000, 10_600, &[(0, 20_000), (1, 2)]);
+        let wide = AttrSet::from_iter([a(0)]);
+        let w = CostWeights::default();
+        let m = 37;
+        assert_eq!(par_fs_cost(&s, m, 1, &wide), fs_cost(&s, m));
+        let serial = fs_cost(&s, m).ms(&w);
+        let par4 = par_fs_cost(&s, m, 4, &wide).ms(&w);
+        assert!(par4 < serial, "par {par4} vs serial {serial}");
+        assert!(
+            par_fs_cost(&s, m, 4, &wide).hashes > 0.0,
+            "scatter is priced"
+        );
+        // More workers with the same M keep the memory constraint: the
+        // model never assumes more than M across the pool.
+        let par8 = par_fs_cost(&s, m, 8, &wide).ms(&w);
+        assert!(par8 < serial);
+        // A low-cardinality shard key caps the effective parallelism: one
+        // distinct value means one busy worker sorting everything at the
+        // split grant — priced worse than the serial sort, never better.
+        let narrow = AttrSet::from_iter([a(1)]);
+        let skewed = par_fs_cost(&s, m, 4, &narrow).ms(&w);
+        assert!(
+            par_fs_cost(&s, m, 4, &narrow).comparisons > par_fs_cost(&s, m, 4, &wide).comparisons
+        );
+        let single = stats(400_000, 10_600, &[(1, 1)]);
+        let degenerate = par_fs_cost(&single, m, 4, &narrow).ms(&w);
+        assert!(
+            degenerate > fs_cost(&single, m).ms(&w),
+            "one shard: Par must price worse than serial FS"
+        );
+        let _ = skewed;
+    }
+
+    /// WHERE-selectivity statistics: equality scales cardinality by
+    /// `1/D(attr)` and pins the attribute's distinct count to one; other
+    /// distinct counts cap at the surviving rows; AND multiplies.
+    #[test]
+    fn with_predicate_scales_cardinalities() {
+        use wf_exec::Predicate;
+        let s = stats(400_000, 10_600, &[(0, 1_800), (1, 20_000)]);
+        let eq = s.with_predicate(&Predicate::Eq(a(0), Value::Int(7)));
+        assert_eq!(eq.rows(), (400_000.0_f64 / 1_800.0).round() as u64);
+        assert_eq!(eq.distinct(a(0)), 1, "equality pins the column");
+        assert!(eq.distinct(a(1)) <= eq.rows(), "capped at survivors");
+        assert!(eq.blocks() < s.blocks());
+
+        let range = s.with_predicate(&Predicate::Gt(a(1), Value::Int(0)));
+        assert_eq!(range.rows(), (400_000.0_f64 / 3.0).round() as u64);
+        assert_eq!(range.distinct(a(0)), 1_800, "no pinning without equality");
+
+        // An equality-pinned column's histogram becomes exact: every
+        // surviving row holds the predicate's value, so an oversized MFV
+        // partition the filter selects stays visible to mfv_for.
+        let skewed = s
+            .clone()
+            .with_hot_values(a(0), vec![(Value::Int(7), 399_000)]);
+        let hit = skewed.with_predicate(&Predicate::Eq(a(0), Value::Int(7)));
+        assert_eq!(
+            hit.mfv_for(&AttrSet::from_iter([a(0)]), 4),
+            vec![vec![Value::Int(7)]],
+            "selected hot value keeps its (surviving) mass"
+        );
+
+        let conj = s.with_predicate(&Predicate::And(
+            Box::new(Predicate::Gt(a(1), Value::Int(0))),
+            Box::new(Predicate::Between(a(0), Value::Int(1), Value::Int(9))),
+        ));
+        assert_eq!(conj.rows(), (400_000.0_f64 / 12.0).round() as u64);
+        // Never below one row: planning stays well-defined.
+        let tiny = stats(2, 1, &[(0, 2)]);
+        assert!(
+            tiny.with_predicate(&Predicate::Eq(a(0), Value::Int(0)))
+                .rows()
+                >= 1
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! only a more expensive one, which the estimate then reflects honestly.
 
 use crate::cost::{
-    fs_cost, hs_bucket_count, hs_cost, ss_reorder_cost, window_scan_cost, Cost, TableStats,
+    fs_cost, hs_bucket_count, hs_cost, par_fs_cost, ss_reorder_cost, window_scan_cost, Cost,
+    TableStats,
 };
 use crate::cover::KeyPattern;
 use crate::props::SegProps;
@@ -36,16 +37,44 @@ pub enum ReorderOp {
     },
     /// Segmented Sort: `α`-groups sorted on `β`.
     Ss { alpha: SortSpec, beta: SortSpec },
+    /// Partition-parallel reordering (paper §3.5 made planner-visible):
+    /// shard on (a subset of) the step's `WPK`, run `inner` on every shard
+    /// with one `workers`-th of the unit reorder memory each, and
+    /// ordered-merge the shards back — output rows, boundary layers and
+    /// physical properties are identical to executing `inner` serially
+    /// (see `wf_exec::scheduler`); only the cost differs. `workers` is the
+    /// shard count (the determinism domain), not the thread count.
+    Par {
+        inner: Box<ReorderOp>,
+        workers: usize,
+    },
 }
 
 impl ReorderOp {
-    /// Paper-style arrow label (`→`, `FS→`, `HS→`, `SS→`).
+    /// Paper-style arrow label (`→`, `FS→`, `HS→`, `SS→`, `PAR→`).
     pub fn arrow(&self) -> &'static str {
         match self {
             ReorderOp::None => "→",
             ReorderOp::Fs { .. } => "FS→",
             ReorderOp::Hs { .. } => "HS→",
             ReorderOp::Ss { .. } => "SS→",
+            ReorderOp::Par { .. } => "PAR→",
+        }
+    }
+
+    /// Residency rank of the reorder for the planner's equal-cost tiebreak:
+    /// lower is better — a smaller "largest unit" the chain must keep
+    /// around. `None` reorders nothing; SS holds one unit; HS one expected
+    /// bucket; Par `M/w` of sort memory per worker plus the merge; FS
+    /// streams the whole relation through `M`-bounded machinery but leaves
+    /// the largest downstream segments.
+    pub fn residency_rank(&self) -> u8 {
+        match self {
+            ReorderOp::None => 0,
+            ReorderOp::Ss { .. } => 1,
+            ReorderOp::Hs { .. } => 2,
+            ReorderOp::Par { .. } => 3,
+            ReorderOp::Fs { .. } => 4,
         }
     }
 }
@@ -149,6 +178,20 @@ impl Plan {
                     names(alpha, schema),
                     names(beta, schema)
                 )),
+                ReorderOp::Par { inner, workers } => {
+                    let shard: Vec<&str> =
+                        spec.wpk_written().iter().map(|&a| schema.name(a)).collect();
+                    let inner_desc = match inner.as_ref() {
+                        ReorderOp::Fs { key } => format!("FullSort key={}", names(key, schema)),
+                        other => format!("{other:?}"),
+                    };
+                    out.push_str(&format!(
+                        "  ── Parallel workers={} shard={{{}}} ∘ {}\n",
+                        workers,
+                        shard.join(","),
+                        inner_desc
+                    ));
+                }
             }
             out.push_str(&format!(
                 "  {} {} [{}]\n",
@@ -187,6 +230,12 @@ pub struct PlanContext<'a> {
     /// CSO(v1) disables HS; CSO(v2) disables SS (§6.2's ablations).
     pub allow_hs: bool,
     pub allow_ss: bool,
+    /// Worker budget for parallel reorders: `1` (the default) keeps every
+    /// plan serial; `w > 1` lets the planners weigh `ReorderOp::Par` nodes
+    /// that split the unit reorder memory `w` ways (`workers × M_w ≤ M`)
+    /// against one big sort. Set from `ExecEnv::par_workers` by
+    /// [`crate::planner::optimize`].
+    pub workers: usize,
 }
 
 impl<'a> PlanContext<'a> {
@@ -197,6 +246,7 @@ impl<'a> PlanContext<'a> {
             weights: CostWeights::default(),
             allow_hs: true,
             allow_ss: true,
+            workers: 1,
         }
     }
 }
@@ -207,9 +257,32 @@ pub fn default_fs_key(spec: &WindowSpec) -> SortSpec {
     KeyPattern::for_spec(spec).linearize()
 }
 
+/// At (near-)equal modeled cost, plans should prefer the reorder with the
+/// gentler residency profile (smaller largest unit / stronger streaming
+/// class downstream) — the pool-aware tiebreak. Cost comparisons treat
+/// values within this relative tolerance as ties.
+const COST_TIE_EPS: f64 = 1e-9;
+
+/// True when two modeled costs are equal up to the planner's tolerance —
+/// the single definition every scheme's tiebreak compares with.
+pub fn costs_tie(a: f64, b: f64) -> bool {
+    (a - b).abs() <= COST_TIE_EPS * b.abs().max(1.0)
+}
+
+/// `a` beats `b` under cost-then-residency: strictly cheaper wins; a tie
+/// falls to [`ReorderOp::residency_rank`] (lower wins).
+pub fn better_reorder(a: (&ReorderOp, f64), b: (&ReorderOp, f64)) -> bool {
+    if costs_tie(a.1, b.1) {
+        a.0.residency_rank() < b.0.residency_rank()
+    } else {
+        a.1 < b.1
+    }
+}
+
 /// Choose the cheapest applicable reorder for `spec` given the current
 /// properties (used for repair and by the PSQL/ORCL baselines' forced-FS
-/// variants through the `allow_*` switches).
+/// variants through the `allow_*` switches). Equal-cost candidates fall to
+/// the residency tiebreak ([`better_reorder`]).
 pub fn cheapest_reorder(
     props: &SegProps,
     segments: u64,
@@ -220,7 +293,9 @@ pub fn cheapest_reorder(
     let mut consider = |op: ReorderOp, cost: Cost| {
         let better = match &best {
             None => true,
-            Some((_, c)) => cost.ms(&ctx.weights) < c.ms(&ctx.weights),
+            Some((bop, c)) => {
+                better_reorder((&op, cost.ms(&ctx.weights)), (bop, c.ms(&ctx.weights)))
+            }
         };
         if better {
             best = Some((op, cost));
@@ -251,11 +326,22 @@ pub fn cheapest_reorder(
         consider(
             ReorderOp::Hs {
                 whk,
-                key,
+                key: key.clone(),
                 n_buckets,
                 mfv,
             },
             cost,
+        );
+    }
+    // Partition-parallel Full Sort: only with a worker budget and a
+    // non-empty WPK to shard on (the partition-sharded distribution rule).
+    if ctx.workers > 1 && !spec.wpk().is_empty() {
+        consider(
+            ReorderOp::Par {
+                inner: Box::new(ReorderOp::Fs { key }),
+                workers: ctx.workers,
+            },
+            par_fs_cost(ctx.stats, ctx.mem_blocks, ctx.workers, spec.wpk()),
         );
     }
     best.expect("FS is always applicable")
@@ -288,6 +374,9 @@ pub fn apply_reorder(
                 segments,
             )
         }
+        // The ordered merge restores the inner reorder's exact output: same
+        // physical properties, same segment count.
+        ReorderOp::Par { inner, .. } => apply_reorder(inner, props, segments, spec, stats),
     }
 }
 
@@ -308,6 +397,10 @@ pub fn reorder_cost(
             let u = crate::cost::ss_units(ctx.stats, props.x(), alpha, segments);
             crate::cost::ss_cost(ctx.stats, ctx.mem_blocks, segments, u)
         }
+        ReorderOp::Par { inner, workers } => match inner.as_ref() {
+            ReorderOp::Fs { .. } => par_fs_cost(ctx.stats, ctx.mem_blocks, *workers, spec.wpk()),
+            other => reorder_cost(other, props, segments, spec, ctx),
+        },
     }
 }
 
@@ -340,6 +433,13 @@ pub fn finalize_chain(
                 // the executor detects unit boundaries on α values.
                 ReorderOp::Ss { alpha, .. } => {
                     props.ss_reorderable(spec) && props.satisfied_prefix_of(alpha) >= alpha.len()
+                }
+                // The executor shards on the step's WPK (so window
+                // partitions stay whole) and only runs a Full Sort inner.
+                ReorderOp::Par { inner, workers } => {
+                    *workers >= 1
+                        && !spec.wpk().is_empty()
+                        && matches!(inner.as_ref(), ReorderOp::Fs { .. })
                 }
             };
             applicable && p2.matches(spec)
@@ -520,6 +620,104 @@ mod tests {
         ctx.allow_hs = true;
         let (op2, _) = cheapest_reorder(&props, 1, &specs[0], &ctx);
         assert!(!matches!(op2, ReorderOp::Ss { .. }));
+    }
+
+    /// With a worker budget, the repair/choice path weighs the partition-
+    /// parallel FS and picks it where the elapsed model favors it.
+    #[test]
+    fn cheapest_reorder_emits_par_with_worker_budget() {
+        let specs = [wf(&[0], &[1])];
+        let s = stats();
+        let mut ctx = PlanContext::new(&s, 37);
+        ctx.workers = 4;
+        let (op, _) = cheapest_reorder(&SegProps::unordered(), 1, &specs[0], &ctx);
+        match &op {
+            ReorderOp::Par { inner, workers } => {
+                assert_eq!(*workers, 4);
+                assert!(matches!(inner.as_ref(), ReorderOp::Fs { .. }));
+            }
+            other => panic!("expected Par, got {other:?}"),
+        }
+        // No budget → never Par; empty WPK → nothing to shard on.
+        ctx.workers = 1;
+        let (serial, _) = cheapest_reorder(&SegProps::unordered(), 1, &specs[0], &ctx);
+        assert!(!matches!(serial, ReorderOp::Par { .. }));
+        ctx.workers = 4;
+        let global = wf(&[], &[1]);
+        let (op2, _) = cheapest_reorder(&SegProps::unordered(), 1, &global, &ctx);
+        assert!(!matches!(op2, ReorderOp::Par { .. }));
+    }
+
+    /// The residency tiebreak: when every candidate costs the same (zero
+    /// weights), the reorder with the smaller largest unit wins — SS over
+    /// HS over Par over FS.
+    #[test]
+    fn equal_cost_falls_to_residency_rank() {
+        let s = stats();
+        let mut ctx = PlanContext::new(&s, 37);
+        ctx.weights = wf_storage::CostWeights {
+            us_per_block_io: 0.0,
+            ns_per_comparison: 0.0,
+            ns_per_hash: 0.0,
+            ns_per_row_move: 0.0,
+        };
+        ctx.workers = 4;
+        let spec = wf(&[0], &[1]);
+        // SS applicable → SS wins the tie.
+        let props = SegProps::sorted(key(&[0, 2]));
+        let (op, _) = cheapest_reorder(&props, 1, &spec, &ctx);
+        assert!(matches!(op, ReorderOp::Ss { .. }), "{op:?}");
+        // No SS → HS beats Par beats FS.
+        let (op2, _) = cheapest_reorder(&SegProps::unordered(), 1, &spec, &ctx);
+        assert!(matches!(op2, ReorderOp::Hs { .. }), "{op2:?}");
+        ctx.allow_hs = false;
+        let (op3, _) = cheapest_reorder(&SegProps::unordered(), 1, &spec, &ctx);
+        assert!(matches!(op3, ReorderOp::Par { .. }), "{op3:?}");
+        assert!(ReorderOp::None.residency_rank() < op3.residency_rank());
+    }
+
+    /// The finalizer accepts a well-formed Par step (FS inner, non-empty
+    /// WPK) and repairs malformed ones instead of executing them.
+    #[test]
+    fn finalize_validates_par_nodes() {
+        let s = stats();
+        let ctx = PlanContext::new(&s, 37);
+        let specs = vec![wf(&[0], &[1])];
+        let good = vec![PlanStep {
+            wf: 0,
+            reorder: ReorderOp::Par {
+                inner: Box::new(ReorderOp::Fs { key: key(&[0, 1]) }),
+                workers: 4,
+            },
+        }];
+        let plan = finalize_chain("test", &specs, &SegProps::unordered(), 1, good, &ctx);
+        assert_eq!(plan.repairs, 0);
+        assert!(plan.final_props.matches(&specs[0]));
+        assert_eq!(plan.chain_string(), "ws PAR→ wf0");
+
+        // Non-FS inner → repaired.
+        let bad_inner = vec![PlanStep {
+            wf: 0,
+            reorder: ReorderOp::Par {
+                inner: Box::new(ReorderOp::None),
+                workers: 4,
+            },
+        }];
+        let plan2 = finalize_chain("test", &specs, &SegProps::unordered(), 1, bad_inner, &ctx);
+        assert_eq!(plan2.repairs, 1);
+
+        // Empty WPK → nothing to shard on → repaired.
+        let global = vec![wf(&[], &[1])];
+        let bad_wpk = vec![PlanStep {
+            wf: 0,
+            reorder: ReorderOp::Par {
+                inner: Box::new(ReorderOp::Fs { key: key(&[1]) }),
+                workers: 4,
+            },
+        }];
+        let plan3 = finalize_chain("test", &global, &SegProps::unordered(), 1, bad_wpk, &ctx);
+        assert_eq!(plan3.repairs, 1);
+        assert!(!matches!(plan3.steps[0].reorder, ReorderOp::Par { .. }));
     }
 
     #[test]

@@ -160,6 +160,16 @@ impl<'a> Search<'a> {
                 }
             }
         }
+        // Partition-parallel FS when the context has a worker budget: same
+        // resulting properties as the serial FS on each key, different cost.
+        if self.ctx.workers > 1 && !spec.wpk().is_empty() {
+            for key in &keys {
+                out.push(ReorderOp::Par {
+                    inner: Box::new(ReorderOp::Fs { key: key.clone() }),
+                    workers: self.ctx.workers,
+                });
+            }
+        }
         let _ = segments;
         out
     }
@@ -202,6 +212,11 @@ impl<'a> Search<'a> {
             return (cost, steps);
         }
 
+        // Residency rank of a chain: its weakest (largest-unit) reorder —
+        // the equal-cost tiebreak prefers the chain whose weakest member is
+        // strongest (ROADMAP's pool-aware planning remainder).
+        let worst_rank =
+            |steps: &[PlanStep]| steps.iter().map(|s| s.reorder.residency_rank()).max();
         let mut best: Option<(f64, Vec<PlanStep>)> = None;
         for i in 0..self.specs.len() {
             if mask & (1 << i) != 0 {
@@ -218,7 +233,20 @@ impl<'a> Search<'a> {
                 }
                 let (rest_cost, rest_steps) = self.solve(mask | (1 << i), &p2, s2);
                 let total = step_cost + rest_cost;
-                if best.as_ref().is_none_or(|(c, _)| total < *c) {
+                let better = match &best {
+                    None => true,
+                    Some((c, bsteps)) => {
+                        if crate::plan::costs_tie(total, *c) {
+                            let cand = worst_rank(&rest_steps)
+                                .unwrap_or(0)
+                                .max(op.residency_rank());
+                            cand < worst_rank(bsteps).unwrap_or(0)
+                        } else {
+                            total < *c
+                        }
+                    }
+                };
+                if better {
                     let mut steps = Vec::with_capacity(rest_steps.len() + 1);
                     steps.push(PlanStep { wf: i, reorder: op });
                     steps.extend(rest_steps);

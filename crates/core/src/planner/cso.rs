@@ -18,9 +18,11 @@
 //! the covering function runs first. Every produced chain passes the
 //! finalizer, so a heuristic miss can only cost, never corrupt.
 
-use crate::cost::{fs_cost, hs_bucket_count, hs_cost};
+use crate::cost::{fs_cost, hs_bucket_count, hs_cost, par_fs_cost};
 use crate::cover::{partition_into_cover_sets, CoverSet, ThetaElem};
-use crate::plan::{apply_reorder, finalize_chain, Plan, PlanContext, PlanStep, ReorderOp};
+use crate::plan::{
+    apply_reorder, better_reorder, finalize_chain, Plan, PlanContext, PlanStep, ReorderOp,
+};
 use crate::prefixable::{partition_into_prefixable, theta, theta_prime};
 use crate::props::SegProps;
 use crate::query::WindowQuery;
@@ -205,27 +207,54 @@ fn emit_fs_hs_cover_set(
         push_cover_set(specs, cs, ReorderOp::None, props, segments, steps, ctx);
         return;
     }
+    // Candidates, compared on modeled cost with the residency tiebreak
+    // (prefer the smaller largest unit at equal cost): FS on γ, HS when a
+    // hash key exists, and the partition-parallel FS when the context has a
+    // worker budget and the covering member has a WPK to shard on.
+    let mut candidates: Vec<(ReorderOp, f64)> = vec![(
+        ReorderOp::Fs { key: gamma.clone() },
+        fs_cost(ctx.stats, ctx.mem_blocks).ms(&ctx.weights),
+    )];
     // Hash-key pool: θ' limited to attributes in *every* member of the
     // whole prefixable subset — later cover sets reorder with SS, which
     // requires X ⊆ WPK for each of them.
     let pool = theta_prime(theta, specs, part);
     let whk: AttrSet = AttrSet::from_iter(pool.iter().map(|t| t.attr));
-    let use_hs = ctx.allow_hs
-        && !whk.is_empty()
-        && hs_cost(ctx.stats, &whk, ctx.mem_blocks).ms(&ctx.weights)
-            < fs_cost(ctx.stats, ctx.mem_blocks).ms(&ctx.weights);
-    let reorder = if use_hs {
+    if ctx.allow_hs && !whk.is_empty() {
+        let hs_ms = hs_cost(ctx.stats, &whk, ctx.mem_blocks).ms(&ctx.weights);
         let n_buckets = hs_bucket_count(ctx.stats, &whk, ctx.mem_blocks);
         let mfv = ctx.stats.mfv_for(&whk, ctx.mem_blocks);
-        ReorderOp::Hs {
-            whk,
-            key: gamma,
-            n_buckets,
-            mfv,
-        }
-    } else {
-        ReorderOp::Fs { key: gamma }
-    };
+        candidates.push((
+            ReorderOp::Hs {
+                whk,
+                key: gamma.clone(),
+                n_buckets,
+                mfv,
+            },
+            hs_ms,
+        ));
+    }
+    if ctx.workers > 1 && !specs[cs.members[0]].wpk().is_empty() {
+        let shard = specs[cs.members[0]].wpk();
+        candidates.push((
+            ReorderOp::Par {
+                inner: Box::new(ReorderOp::Fs { key: gamma }),
+                workers: ctx.workers,
+            },
+            par_fs_cost(ctx.stats, ctx.mem_blocks, ctx.workers, shard).ms(&ctx.weights),
+        ));
+    }
+    let reorder = candidates
+        .into_iter()
+        .reduce(|best, cand| {
+            if better_reorder((&cand.0, cand.1), (&best.0, best.1)) {
+                cand
+            } else {
+                best
+            }
+        })
+        .expect("FS candidate always present")
+        .0;
     push_cover_set(specs, cs, reorder, props, segments, steps, ctx);
 }
 

@@ -68,15 +68,32 @@ impl std::fmt::Display for Scheme {
 }
 
 /// Optimize a window query under the given scheme. `env` supplies the unit
-/// reorder memory; `stats` the table statistics the cost models need.
+/// reorder memory and the parallel worker budget; `stats` the table
+/// statistics the cost models need.
+///
+/// When the query carries a WHERE predicate, planning runs on the
+/// **post-filter** statistics (`TableStats::with_predicate`): every reorder
+/// executes downstream of the filter, so pre-filter cardinalities would
+/// overestimate each operator uniformly *except* where they flip a
+/// decision — the FS/HS crossover, HS bucket counts, and the parallel
+/// worker trade all move with the surviving row count.
 pub fn optimize(
     query: &WindowQuery,
     stats: &TableStats,
     scheme: Scheme,
     env: &ExecEnv,
 ) -> Result<Plan> {
+    let filtered;
+    let stats = match &query.filter {
+        Some(pred) => {
+            filtered = stats.with_predicate(pred);
+            &filtered
+        }
+        None => stats,
+    };
     let mut ctx = PlanContext::new(stats, env.mem_blocks());
     ctx.weights = env.weights();
+    ctx.workers = env.par_workers();
     let mut plan = match scheme {
         Scheme::Cso => plan_cso(query, &ctx),
         Scheme::CsoNoHs => {
@@ -100,11 +117,117 @@ pub fn optimize(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::ReorderOp;
+    use crate::spec::WindowSpec;
+    use wf_common::{AttrId, DataType, OrdElem, Schema, SortSpec, Value};
 
     #[test]
     fn scheme_names() {
         assert_eq!(Scheme::Cso.name(), "CSO");
         assert_eq!(Scheme::all().len(), 6);
         assert_eq!(Scheme::CsoNoHs.to_string(), "CSO(v1)");
+    }
+
+    fn a(i: usize) -> AttrId {
+        AttrId::new(i)
+    }
+
+    fn schema5() -> Schema {
+        Schema::of(&[
+            ("date", DataType::Int),
+            ("time", DataType::Int),
+            ("ship", DataType::Int),
+            ("item", DataType::Int),
+            ("bill", DataType::Int),
+        ])
+    }
+
+    fn stats() -> TableStats {
+        TableStats::synthetic(
+            400_000,
+            10_600 * wf_storage::BLOCK_SIZE as u64,
+            vec![
+                (a(0), 1_800),
+                (a(1), 86_400),
+                (a(2), 1_800),
+                (a(3), 20_000),
+                (a(4), 40_000),
+            ],
+        )
+    }
+
+    fn one_rank_query() -> WindowQuery {
+        WindowQuery::new(
+            schema5(),
+            vec![WindowSpec::rank(
+                "w",
+                vec![a(3)],
+                SortSpec::new(vec![OrdElem::asc(a(1))]),
+            )],
+        )
+    }
+
+    /// WHERE selectivity drives the reorder decision: at large `M` the
+    /// unfiltered plan takes FS (the paper's 150 MB regime), but a highly
+    /// selective equality shrinks the post-filter input until HS's
+    /// hash-then-tiny-sorts beats the full n·log n — plans must be costed
+    /// on what actually flows into the reorder.
+    #[test]
+    fn filter_selectivity_flips_reorder_choice() {
+        let s = stats();
+        let env = ExecEnv::with_memory_blocks(111).with_par_workers(1);
+        let unfiltered = optimize(&one_rank_query(), &s, Scheme::Cso, &env).unwrap();
+        assert!(
+            matches!(unfiltered.steps[0].reorder, ReorderOp::Fs { .. }),
+            "{}",
+            unfiltered.chain_string()
+        );
+        let mut q = one_rank_query();
+        q.filter = Some(wf_exec::Predicate::Eq(a(0), Value::Int(7)));
+        let filtered = optimize(&q, &s, Scheme::Cso, &env).unwrap();
+        assert!(
+            matches!(filtered.steps[0].reorder, ReorderOp::Hs { .. }),
+            "{}",
+            filtered.chain_string()
+        );
+        assert!(filtered.filter.is_some(), "predicate still rides the plan");
+        assert!(filtered.est_cost.ms(&env.weights()) < unfiltered.est_cost.ms(&env.weights()));
+    }
+
+    /// With a worker budget, CSO and BFO emit the parallel reorder where
+    /// the elapsed model favors it, and EXPLAIN prints the node with its
+    /// worker count. Without the budget the same query plans serial.
+    #[test]
+    fn planners_emit_par_with_worker_budget() {
+        let s = stats();
+        let q = one_rank_query();
+        for scheme in [Scheme::Cso, Scheme::Bfo] {
+            let env = ExecEnv::with_memory_blocks(37).with_par_workers(4);
+            let plan = optimize(&q, &s, scheme, &env).unwrap();
+            let par_steps = plan
+                .steps
+                .iter()
+                .filter(|st| matches!(st.reorder, ReorderOp::Par { .. }))
+                .count();
+            assert_eq!(par_steps, 1, "{scheme}: {}", plan.chain_string());
+            assert_eq!(plan.repairs, 0, "{scheme}");
+            let explain = plan.explain(&schema5());
+            assert!(
+                explain.contains("Parallel workers=4"),
+                "{scheme}: {explain}"
+            );
+            assert!(explain.contains("shard={item}"), "{scheme}: {explain}");
+
+            let serial_env = ExecEnv::with_memory_blocks(37).with_par_workers(1);
+            let serial = optimize(&q, &s, scheme, &serial_env).unwrap();
+            assert!(
+                serial
+                    .steps
+                    .iter()
+                    .all(|st| !matches!(st.reorder, ReorderOp::Par { .. })),
+                "{scheme}: {}",
+                serial.chain_string()
+            );
+        }
     }
 }

@@ -37,15 +37,46 @@ use wf_storage::{CostSnapshot, CostTracker, CostWeights, StoreSnapshot, Table};
 pub struct ExecEnv {
     op_env: OpEnv,
     weights: CostWeights,
+    /// Worker budget the planners may spend on `ReorderOp::Par` nodes
+    /// (shard count of emitted parallel reorders). `1` keeps plans serial.
+    /// Defaults from the `WF_WORKERS` environment variable (unset → 1) so a
+    /// CI matrix can force parallel planning across a whole suite; pin with
+    /// [`ExecEnv::with_par_workers`] where plans must stay reproducible.
+    par_workers: usize,
 }
 
 impl ExecEnv {
     /// Environment with the given unit reorder memory (in blocks), a fresh
     /// tracker and the simulated spill device.
     pub fn with_memory_blocks(blocks: u64) -> Self {
+        let op_env = OpEnv::with_memory_blocks(blocks);
         ExecEnv {
-            op_env: OpEnv::with_memory_blocks(blocks),
+            par_workers: op_env.worker_threads.max(1),
+            op_env,
             weights: CostWeights::default(),
+        }
+    }
+
+    /// Same environment with the planner worker budget pinned (shares the
+    /// tracker and store).
+    pub fn with_par_workers(&self, workers: usize) -> Self {
+        ExecEnv {
+            par_workers: workers.max(1),
+            ..self.clone()
+        }
+    }
+
+    /// Worker budget for parallel planning (≥ 1).
+    pub fn par_workers(&self) -> usize {
+        self.par_workers
+    }
+
+    /// Same environment with the executor's worker-thread override pinned
+    /// (see `wf_exec::OpEnv::worker_threads`); plan shapes are unaffected.
+    pub fn with_worker_threads(&self, threads: usize) -> Self {
+        ExecEnv {
+            op_env: self.op_env.with_worker_threads(threads),
+            ..self.clone()
         }
     }
 
@@ -74,7 +105,7 @@ impl ExecEnv {
     pub fn with_blocks(&self, blocks: u64) -> Self {
         ExecEnv {
             op_env: self.op_env.with_blocks(blocks),
-            weights: self.weights,
+            ..self.clone()
         }
     }
 
@@ -84,7 +115,7 @@ impl ExecEnv {
     pub fn with_toggles(&self, norm_keys: bool, reuse_bounds: bool) -> Self {
         ExecEnv {
             op_env: self.op_env.with_toggles(norm_keys, reuse_bounds),
-            weights: self.weights,
+            ..self.clone()
         }
     }
 
@@ -94,7 +125,7 @@ impl ExecEnv {
     pub fn with_unbounded_pool(&self) -> Self {
         ExecEnv {
             op_env: self.op_env.with_unbounded_pool(),
-            weights: self.weights,
+            ..self.clone()
         }
     }
 
@@ -265,6 +296,30 @@ fn build_chain<'a>(
                 beta.clone(),
                 op_env.clone(),
             )),
+            // Partition-parallel reorder: shard on the step's WPK, sort
+            // shards on the inner FS key across the worker pool, ordered-
+            // merge back (wf_exec::scheduler). The finalizer guarantees a
+            // Full Sort inner; a hand-built plan with any other inner falls
+            // back to that inner serially rather than mis-executing.
+            ReorderOp::Par { inner, workers } => match inner.as_ref() {
+                ReorderOp::Fs { key } => Box::new(
+                    wf_exec::ParallelSortOp::new(
+                        op,
+                        key.clone(),
+                        spec.wpk().clone(),
+                        *workers,
+                        op_env.clone(),
+                    )
+                    .with_recorded_prefixes(record),
+                ),
+                other => {
+                    debug_assert!(false, "Par node with non-FS inner: {other:?}");
+                    Box::new(
+                        FullSortOp::new(op, crate::plan::default_fs_key(spec), op_env.clone())
+                            .with_recorded_prefixes(record),
+                    )
+                }
+            },
         };
         op = Box::new(WindowOp::new(
             op,

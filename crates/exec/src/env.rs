@@ -32,6 +32,22 @@ pub struct OpEnv {
     /// ([`OpEnv::with_unbounded_pool`]) reproduces the pre-store pipeline
     /// (everything resident) with bit-identical modeled counters.
     pub store: Arc<SegmentStore>,
+    /// Worker-thread override for parallel operators: `0` means "use the
+    /// plan node's worker count"; any other value forces that many OS
+    /// threads without changing the plan's shard count — output rows and
+    /// modeled counters are invariant under this knob (the scheduler's
+    /// determinism contract). Defaults from the `WF_WORKERS` environment
+    /// variable so CI can force a serial or 4-worker execution of the whole
+    /// suite.
+    pub worker_threads: usize,
+}
+
+/// Parse the `WF_WORKERS` environment variable (`0`/unset → no override).
+pub(crate) fn env_worker_threads() -> usize {
+    std::env::var("WF_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0)
 }
 
 impl OpEnv {
@@ -45,6 +61,33 @@ impl OpEnv {
             mem_blocks,
             norm_keys: true,
             reuse_bounds: true,
+            worker_threads: env_worker_threads(),
+        }
+    }
+
+    /// Same environment with the worker-thread override pinned (see
+    /// [`OpEnv::worker_threads`]); tests use this to prove thread-count
+    /// invariance without racing on the process environment.
+    pub fn with_worker_threads(&self, worker_threads: usize) -> Self {
+        OpEnv {
+            worker_threads,
+            ..self.clone()
+        }
+    }
+
+    /// A per-worker environment for one shard of a parallel operator: a
+    /// **fresh tracker** (absorbed into the parent's in shard order when the
+    /// workers finish), a ledger **sub-account** of the parent store sized
+    /// to `mem_blocks`, and the same toggles. The sub-account keeps the
+    /// worker's spill decisions independent of its siblings, which is what
+    /// makes parallel executions bit-identical across thread counts.
+    pub fn shard_env(&self, mem_blocks: u64) -> Self {
+        let mem_blocks = mem_blocks.max(1);
+        OpEnv {
+            tracker: Arc::new(CostTracker::new()),
+            store: self.store.sub_store(Some(mem_blocks)),
+            mem_blocks,
+            ..self.clone()
         }
     }
 
@@ -100,5 +143,29 @@ mod tests {
     fn zero_budget_ledger_errors() {
         let env = OpEnv::with_memory_blocks(0);
         assert!(env.ledger().is_err());
+    }
+
+    #[test]
+    fn shard_env_is_a_sub_account_with_its_own_tracker() {
+        let env = OpEnv::with_memory_blocks(8);
+        env.tracker.compare(3);
+        let shard = env.shard_env(2);
+        assert_eq!(shard.mem_blocks, 2);
+        assert_eq!(shard.tracker.snapshot().comparisons, 0, "fresh tracker");
+        shard.tracker.compare(1);
+        assert_eq!(env.tracker.snapshot().comparisons, 3, "parent untouched");
+        // The shard's store is budgeted independently of the parent's.
+        assert_eq!(shard.store.budget_bytes(), Some(2 * wf_storage::BLOCK_SIZE));
+        // Unbounded parents hand out unbounded shard stores.
+        let unbounded = env.with_unbounded_pool();
+        assert_eq!(unbounded.shard_env(2).store.budget_bytes(), None);
+    }
+
+    #[test]
+    fn worker_thread_override_is_pinned_not_inherited() {
+        let env = OpEnv::with_memory_blocks(4).with_worker_threads(3);
+        assert_eq!(env.worker_threads, 3);
+        assert_eq!(env.with_blocks(8).worker_threads, 3);
+        assert_eq!(env.shard_env(2).worker_threads, 3);
     }
 }

@@ -19,6 +19,9 @@
 //!   with ROWS and RANGE frames; fully streaming,
 //! * [`relational`] — filter and hash/sort GROUP BY upstream operators,
 //! * [`parallel`] — hash-partitioned parallel evaluation (paper §3.5),
+//! * [`scheduler`] — the planner-driven parallel execution subsystem:
+//!   partition-sharded worker pool, per-worker ledger sub-accounts, and the
+//!   deterministic ordered merge behind the `ReorderOp::Par` plan node,
 //! * [`segment`] — the segmented-rows representation flowing between
 //!   operators (segment boundaries are physical metadata, mirroring how the
 //!   paper's PostgreSQL operators pipeline window partitions).
@@ -38,6 +41,7 @@ pub mod hashed_sort;
 pub mod operator;
 pub mod parallel;
 pub mod relational;
+pub mod scheduler;
 pub mod segment;
 pub mod segmented_sort;
 pub mod sorter;
@@ -53,6 +57,7 @@ pub use relational::{
     filter, group_by_hash, group_by_sort, FilterOp, GroupAgg, GroupByHashOp, GroupBySortOp,
     Predicate,
 };
+pub use scheduler::{per_worker_blocks, resolve_threads, ParallelSortOp};
 pub use segment::{BoundaryLayer, RunSplitter, SegmentBounds, SegmentedRows};
 pub use segmented_sort::{segmented_sort, SegmentedSortOp};
 pub use sorter::SortKey;

@@ -3,11 +3,21 @@
 //! A window function over `(WPK, WOK)` parallelizes by hash-partitioning the
 //! input on (a subset of) `WPK`: every window partition lands wholly inside
 //! one data partition, so each worker can reorder and evaluate
-//! independently. Workers get their own memory ledger (each models one
-//! "unit reorder memory") and share the cost tracker; outputs are
+//! independently. Every worker runs against its own environment — a fresh
+//! tracker and a **ledger sub-account** of the chain's segment store (one
+//! unit reorder memory each) — so worker-local spill decisions never depend
+//! on sibling timing. When the workers finish, their trackers are absorbed
+//! into the caller's **in worker order** and their residency high-water
+//! marks folded into the chain store
+//! ([`wf_storage::SegmentStore::absorb_concurrent`]), which makes the
+//! helper's counters deterministic across thread interleavings. Outputs are
 //! concatenated with their segment boundaries preserved — the result is a
 //! valid segmented relation because data partitions are disjoint on the
 //! partitioning attributes.
+//!
+//! This is the batch-shaped §3.5 helper; planned chains use the
+//! [`crate::scheduler`] subsystem, whose ordered merge additionally
+//! restores the serial row order.
 
 use crate::env::OpEnv;
 use crate::operator::{drain, Operator, Segment, SegmentSource};
@@ -18,8 +28,10 @@ use wf_common::{AttrSet, Error, Result};
 /// Hash-partition `input` on `attrs` into `workers` parts, run `work` on
 /// each part concurrently, and concatenate the results in worker order.
 ///
-/// `work` receives `(worker_index, part)` and must be `Sync` — it is shared
-/// across threads; per-call state belongs inside the closure.
+/// `work` receives `(worker_index, part, worker_env)` and must be `Sync` —
+/// it is shared across threads; per-call state belongs inside the closure.
+/// The worker environment is a sub-account of `env` with the same unit
+/// reorder memory (each worker models one unit, following §3.5).
 pub fn parallel_partitioned<F>(
     input: SegmentedRows,
     attrs: &AttrSet,
@@ -28,7 +40,7 @@ pub fn parallel_partitioned<F>(
     work: F,
 ) -> Result<SegmentedRows>
 where
-    F: Fn(usize, SegmentedRows) -> Result<SegmentedRows> + Sync,
+    F: Fn(usize, SegmentedRows, &OpEnv) -> Result<SegmentedRows> + Sync,
 {
     if attrs.is_empty() {
         return Err(Error::Execution(
@@ -37,10 +49,11 @@ where
     }
     let workers = workers.max(1);
     if workers == 1 {
-        return work(0, input);
+        return work(0, input, env);
     }
 
     // Scatter rows by hash; each partition becomes one unordered segment.
+    env.store.begin_concurrent_phase();
     let mut parts: Vec<Vec<wf_common::Row>> = (0..workers).map(|_| Vec::new()).collect();
     for row in input.into_rows() {
         env.tracker.hash(1);
@@ -48,26 +61,38 @@ where
         parts[idx].push(row);
     }
 
-    // Run each partition on its own scoped thread.
-    let work = &work;
-    let results: Vec<Result<SegmentedRows>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .enumerate()
-            .map(|(i, rows)| scope.spawn(move || work(i, SegmentedRows::single_segment(rows))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(Error::Execution("worker panicked".into())))
-            })
-            .collect()
+    // Run the partitions over the worker-thread pool, each in its own
+    // environment. The thread count honors the environment's override
+    // ([`crate::scheduler::resolve_threads`]) with the scheduler's fixed
+    // partition→thread assignment (thread `t` takes partitions
+    // `t, t + threads, …`), so `WF_WORKERS=1` really executes this helper
+    // serially — per-partition results and counters are invariant either
+    // way.
+    let envs: Vec<OpEnv> = (0..workers)
+        .map(|_| env.shard_env(env.mem_blocks))
+        .collect();
+    let threads = crate::scheduler::resolve_threads(env, workers, workers);
+    let jobs: Vec<(usize, Vec<wf_common::Row>)> = parts.into_iter().enumerate().collect();
+    let envs_ref = &envs;
+    let results = crate::scheduler::run_sharded(workers, threads, jobs, |i, rows| {
+        work(i, SegmentedRows::single_segment(rows), &envs_ref[i])
     });
 
+    // Deterministic reassembly: absorb worker trackers and residency peaks
+    // in worker order before surfacing any worker error (worker outputs
+    // are plain rows, so the sub-account peaks are already final here).
+    crate::scheduler::absorb_worker_trackers(env, &envs);
+    crate::scheduler::absorb_worker_stores(env, &envs);
     let mut outputs = Vec::with_capacity(workers);
-    for r in results {
-        outputs.push(r?);
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Some(r) => outputs.push(r?),
+            None => {
+                return Err(Error::Execution(format!(
+                    "a parallel worker thread panicked (partition {i} unaccounted)"
+                )))
+            }
+        }
     }
     Ok(SegmentedRows::concat(outputs))
 }
@@ -75,8 +100,9 @@ where
 /// Parallel evaluation as a pipeline stage: on the first pull it drains its
 /// input, hash-scatters the rows on `attrs`, runs `work` on every partition
 /// concurrently (each worker typically builds its own reorder → window
-/// operator chain), and then yields the stitched worker outputs **one
-/// segment at a time** in worker order.
+/// operator chain against the worker environment it is handed), and then
+/// yields the stitched worker outputs **one segment at a time** in worker
+/// order.
 pub struct ParallelOp<I, F> {
     input: Option<I>,
     attrs: AttrSet,
@@ -89,7 +115,7 @@ pub struct ParallelOp<I, F> {
 impl<I, F> ParallelOp<I, F>
 where
     I: Operator,
-    F: Fn(usize, SegmentedRows) -> Result<SegmentedRows> + Sync,
+    F: Fn(usize, SegmentedRows, &OpEnv) -> Result<SegmentedRows> + Sync,
 {
     /// Partition on `attrs` into `workers` parts and run `work` on each.
     pub fn new(input: I, attrs: AttrSet, workers: usize, env: OpEnv, work: F) -> Self {
@@ -107,7 +133,7 @@ where
 impl<I, F> Operator for ParallelOp<I, F>
 where
     I: Operator,
-    F: Fn(usize, SegmentedRows) -> Result<SegmentedRows> + Sync,
+    F: Fn(usize, SegmentedRows, &OpEnv) -> Result<SegmentedRows> + Sync,
 {
     fn next_segment(&mut self) -> Result<Option<Segment>> {
         if let Some(mut input) = self.input.take() {
@@ -166,7 +192,7 @@ mod tests {
             &wpk,
             4,
             &env_par,
-            |_, part| run_chain(part, &env_par.with_blocks(16)),
+            |_, part, worker_env| run_chain(part, worker_env),
         )
         .unwrap();
 
@@ -187,6 +213,53 @@ mod tests {
         assert_eq!(extract(&seq), extract(&par));
     }
 
+    /// Worker work lands in the caller's tracker (absorbed in worker
+    /// order), so the helper's counters are deterministic.
+    #[test]
+    fn worker_counters_are_absorbed_deterministically() {
+        let rows = sample(600);
+        let snapshot_of = |_run: usize| {
+            let env = OpEnv::with_memory_blocks(8);
+            parallel_partitioned(
+                SegmentedRows::single_segment(rows.clone()),
+                &aset(&[0]),
+                4,
+                &env,
+                |_, part, worker_env| full_sort(part, &spec(&[0, 1]), worker_env),
+            )
+            .unwrap();
+            env.tracker.snapshot()
+        };
+        let first = snapshot_of(0);
+        assert!(first.comparisons > 0, "worker sorts must be visible");
+        for run in 1..4 {
+            assert_eq!(snapshot_of(run), first, "run {run}");
+        }
+    }
+
+    /// The thread override changes nothing but concurrency: a forced
+    /// serial execution of the helper yields the same rows and counters.
+    #[test]
+    fn thread_override_is_invisible_to_results() {
+        let rows = sample(400);
+        let run_with = |threads: usize| {
+            let env = OpEnv::with_memory_blocks(8).with_worker_threads(threads);
+            let out = parallel_partitioned(
+                SegmentedRows::single_segment(rows.clone()),
+                &aset(&[0]),
+                4,
+                &env,
+                |_, part, worker_env| full_sort(part, &spec(&[0, 1]), worker_env),
+            )
+            .unwrap();
+            (out, env.tracker.snapshot())
+        };
+        let (serial, serial_work) = run_with(1);
+        let (pooled, pooled_work) = run_with(4);
+        assert_eq!(serial, pooled);
+        assert_eq!(serial_work, pooled_work);
+    }
+
     #[test]
     fn empty_partition_key_rejected() {
         let env = OpEnv::with_memory_blocks(8);
@@ -195,7 +268,7 @@ mod tests {
             &AttrSet::empty(),
             2,
             &env,
-            |_, p| Ok(p),
+            |_, p, _| Ok(p),
         );
         assert!(r.is_err());
     }
@@ -209,7 +282,7 @@ mod tests {
             &aset(&[0]),
             1,
             &env,
-            |i, p| {
+            |i, p, _| {
                 assert_eq!(i, 0);
                 Ok(p)
             },
@@ -228,7 +301,7 @@ mod tests {
             &aset(&[0]),
             3,
             &env,
-            |i, p| {
+            |i, p, _| {
                 if i == 1 {
                     Err(Error::Execution("boom".into()))
                 } else {
@@ -247,7 +320,7 @@ mod tests {
             &aset(&[0]),
             4,
             &env,
-            |_, p| Ok(p),
+            |_, p, _| Ok(p),
         )
         .unwrap();
         assert_eq!(out.len(), 500);

@@ -36,6 +36,18 @@
 //! preserves the stable-sort semantics the operators rely on while
 //! avoiding the merge sort's allocation.
 //!
+//! **Stability.** Every sort path is **stable**: the in-memory sort breaks
+//! ties on the original index, replacement selection breaks heap ties on
+//! arrival order (tied keys are never demoted to a later run, so runs hold
+//! ties in arrival order and later runs hold later ties), and the merges
+//! break ties on run formation rank. The engine's sorted output is
+//! therefore a deterministic function of the input order alone — the same
+//! rows in the same order at any `M`, which is the property that lets the
+//! parallel scheduler (`crate::scheduler`) sort disjoint shards
+//! independently and reassemble the exact serial output by ordered merge.
+//! The tie-breaks ride on comparisons that were already charged, so
+//! comparison *counts* stay the model's.
+//!
 //! **Boundary recording.** The sorted output visits every adjacent row pair
 //! anyway, so FS/HS record partition-boundary layers *for free* during the
 //! final merge (or the in-memory output scan): [`sort_stream_to_handle`]
@@ -337,14 +349,16 @@ pub(crate) fn record_prefix_layers(rows: &[Row], record: &[AttrSet], env: &OpEnv
 
 /// Streaming equivalent of [`record_prefix_layers`] for the final merge:
 /// observes rows in output order and accumulates one layer per prefix.
-struct PrefixRecorder {
+/// Shared with the parallel scheduler's ordered merge, which records the
+/// same layers at the same (free) price.
+pub(crate) struct PrefixRecorder {
     sets: Vec<(AttrSet, Vec<usize>)>,
     prev: Option<Row>,
     idx: usize,
 }
 
 impl PrefixRecorder {
-    fn new(record: &[AttrSet], env: &OpEnv) -> Self {
+    pub(crate) fn new(record: &[AttrSet], env: &OpEnv) -> Self {
         let sets = if env.reuse_bounds {
             record
                 .iter()
@@ -361,7 +375,7 @@ impl PrefixRecorder {
         }
     }
 
-    fn observe(&mut self, row: &Row) {
+    pub(crate) fn observe(&mut self, row: &Row) {
         if self.sets.is_empty() {
             return;
         }
@@ -378,7 +392,7 @@ impl PrefixRecorder {
         self.idx += 1;
     }
 
-    fn finish(self) -> SegmentBounds {
+    pub(crate) fn finish(self) -> SegmentBounds {
         let mut bounds = SegmentBounds::none();
         for (attrs, starts) in self.sets {
             if !starts.is_empty() {
@@ -389,9 +403,14 @@ impl PrefixRecorder {
     }
 }
 
-/// One sorted run on the spill device.
+/// One sorted run on the spill device. `rank` is the run's formation rank
+/// (arrival precedence): replacement selection emits tied keys into the
+/// earliest-formed run that can take them, so merging ties rank-first
+/// reproduces input arrival order. Intermediate merge passes propagate the
+/// minimum rank of their inputs.
 struct Run {
     reader: SpillReader,
+    rank: u64,
 }
 
 /// Replacement-selection run formation over a row stream.
@@ -409,24 +428,30 @@ fn form_runs_from(
 ) -> Result<Vec<Run>> {
     let cmp = key.cmp.clone();
     let mut scratch: Vec<u8> = Vec::new();
-    // (run_tag, keyed row) ordered by tag then key.
-    let mut heap =
-        HeapBy::new(
-            move |a: &(u64, KeyedRow), b: &(u64, KeyedRow)| match a.0.cmp(&b.0) {
-                Ordering::Equal => a.1.compare(&b.1, &cmp),
-                other => other,
-            },
-        );
+    // (run_tag, arrival seq, keyed row) ordered by tag, then key, then
+    // arrival — the arrival tie-break makes run formation **stable**: tied
+    // keys leave the heap in input order (they are never demoted to the
+    // next run, so stability within a run is stability overall). A
+    // deterministic, M-independent tie order is what lets the parallel
+    // scheduler's sharded sorts reassemble the exact serial output.
+    let mut heap = HeapBy::new(move |a: &(u64, u64, KeyedRow), b: &(u64, u64, KeyedRow)| {
+        match a.0.cmp(&b.0) {
+            Ordering::Equal => a.2.compare(&b.2, &cmp).then(a.1.cmp(&b.1)),
+            other => other,
+        }
+    });
 
     // Fill the heap up to the budget (a single oversized row is force-charged
     // so progress is always possible).
     let mut pending: Option<Row> = None;
+    let mut seq = 0u64;
     for r in input.by_ref() {
         let row = r?;
         let bytes = row.encoded_len();
         if heap.is_empty() || ledger.fits(bytes) {
             ledger.charge(bytes);
-            heap.push((0, KeyedRow::new(row, key, env, &mut scratch)));
+            heap.push((0, seq, KeyedRow::new(row, key, env, &mut scratch)));
+            seq += 1;
             if !ledger.fits(0) {
                 break;
             }
@@ -438,14 +463,18 @@ fn form_runs_from(
             break;
         }
     }
-    drain_heap_with_input(pending, input, heap, key, env, ledger, &mut scratch)
+    drain_heap_with_input(pending, input, heap, seq, key, env, ledger, &mut scratch)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn drain_heap_with_input(
     mut pending: Option<Row>,
     mut input: impl Iterator<Item = Result<Row>>,
-    mut heap: HeapBy<(u64, KeyedRow), impl FnMut(&(u64, KeyedRow), &(u64, KeyedRow)) -> Ordering>,
+    mut heap: HeapBy<
+        (u64, u64, KeyedRow),
+        impl FnMut(&(u64, u64, KeyedRow), &(u64, u64, KeyedRow)) -> Ordering,
+    >,
+    mut seq: u64,
     key: &SortKey,
     env: &OpEnv,
     ledger: &mut MemoryLedger,
@@ -456,12 +485,14 @@ fn drain_heap_with_input(
     let mut current_file: Option<SpillFile> = None;
     let mut extra_cmp: u64 = 0;
 
-    while let Some((tag, keyed)) = heap.pop() {
+    while let Some((tag, _, keyed)) = heap.pop() {
         ledger.release(keyed.row.encoded_len());
         if tag != current_tag || current_file.is_none() {
             if let Some(f) = current_file.take() {
+                let rank = runs.len() as u64;
                 runs.push(Run {
                     reader: f.into_reader()?,
+                    rank,
                 });
             }
             current_file = Some(SpillFile::create(env.medium, env.tracker.clone())?);
@@ -471,7 +502,8 @@ fn drain_heap_with_input(
         file.push(&keyed.row)?;
         env.tracker.move_rows(1);
         // `keyed` is now the last tuple written to the current run; incoming
-        // tuples that precede it must wait for the next run.
+        // tuples that precede it must wait for the next run. Ties join the
+        // current run (preserving stability).
         loop {
             let next = match pending.take() {
                 Some(r) => Some(r),
@@ -491,7 +523,8 @@ fn drain_heap_with_input(
             } else {
                 current_tag
             };
-            heap.push((tag_for_next, next));
+            heap.push((tag_for_next, seq, next));
+            seq += 1;
             if !ledger.fits(0) {
                 break;
             }
@@ -500,8 +533,10 @@ fn drain_heap_with_input(
             .compare(heap.take_comparisons() + std::mem::take(&mut extra_cmp));
     }
     if let Some(f) = current_file.take() {
+        let rank = runs.len() as u64;
         runs.push(Run {
             reader: f.into_reader()?,
+            rank,
         });
     }
     env.tracker.compare(heap.take_comparisons() + extra_cmp);
@@ -520,6 +555,7 @@ fn merge_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>
     // Intermediate passes.
     while runs.len() > f {
         let batch: Vec<Run> = runs.drain(..f).collect();
+        let rank = batch.iter().map(|r| r.rank).min().unwrap_or(0);
         let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
         merge_into(batch, key, env, |row| {
             out.push(row)?;
@@ -527,6 +563,7 @@ fn merge_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>
         })?;
         runs.push(Run {
             reader: out.into_reader()?,
+            rank,
         });
     }
     // Final pass.
@@ -549,6 +586,7 @@ fn merge_runs_to_handle(
     let f = merge_fan_in(env.mem_blocks);
     while runs.len() > f {
         let batch: Vec<Run> = runs.drain(..f).collect();
+        let rank = batch.iter().map(|r| r.rank).min().unwrap_or(0);
         let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
         merge_into(batch, key, env, |row| {
             out.push(row)?;
@@ -556,6 +594,7 @@ fn merge_runs_to_handle(
         })?;
         runs.push(Run {
             reader: out.into_reader()?,
+            rank,
         });
     }
     let mut builder = env.store.builder();
@@ -572,18 +611,23 @@ fn merge_runs_to_handle(
 
 /// Core k-way merge over run readers; `emit` receives rows in order. Each
 /// row is re-normalized as it is read back (spilled runs store rows, not
-/// keys, so block counts are identical to the comparator path).
+/// keys, so block counts are identical to the comparator path). Ties break
+/// by run index: replacement selection puts tied keys into the current run
+/// in arrival order (never a later one), so run-index order *is* arrival
+/// order for ties — the merge preserves the stable total order end to end.
 fn merge_into(
     runs: Vec<Run>,
     key: &SortKey,
     env: &OpEnv,
     mut emit: impl FnMut(&Row) -> Result<()>,
 ) -> Result<()> {
+    let ranks: Vec<u64> = runs.iter().map(|r| r.rank).collect();
     let mut readers: Vec<SpillReader> = runs.into_iter().map(|r| r.reader).collect();
     let cmp = key.cmp.clone();
     let mut scratch: Vec<u8> = Vec::new();
-    let mut heap =
-        HeapBy::new(move |a: &(KeyedRow, usize), b: &(KeyedRow, usize)| a.0.compare(&b.0, &cmp));
+    let mut heap = HeapBy::new(move |a: &(KeyedRow, usize), b: &(KeyedRow, usize)| {
+        a.0.compare(&b.0, &cmp).then(ranks[a.1].cmp(&ranks[b.1]))
+    });
     for (i, r) in readers.iter_mut().enumerate() {
         if let Some(row) = r.next_row()? {
             heap.push((KeyedRow::new(row, key, env, &mut scratch), i));
@@ -598,6 +642,49 @@ fn merge_into(
     }
     env.tracker.compare(heap.take_comparisons());
     Ok(())
+}
+
+/// K-way ordered merge of already-sorted, store-managed segments into one
+/// store-managed segment — the parallel scheduler's reassembly step
+/// (`wf_exec::scheduler`). Charges one comparison per heap comparison and
+/// one row move per emitted row to the *caller's* tracker (the merge is
+/// serial chain work, not worker work), and records boundary layers for
+/// the `record` prefixes exactly like the final merge of a serial sort.
+/// Ties across inputs break by input index; inputs whose key sets include
+/// the shard key never produce such ties, so the merged order equals the
+/// serial sort's.
+pub(crate) fn merge_sorted_handles(
+    handles: Vec<SegmentHandle>,
+    key: &SortKey,
+    env: &OpEnv,
+    record: &[AttrSet],
+) -> Result<(SegmentHandle, SegmentBounds, usize)> {
+    let mut readers: Vec<wf_storage::SegmentReader> =
+        handles.into_iter().map(|h| h.read()).collect();
+    let cmp = key.cmp.clone();
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut heap = HeapBy::new(move |a: &(KeyedRow, usize), b: &(KeyedRow, usize)| {
+        a.0.compare(&b.0, &cmp).then(a.1.cmp(&b.1))
+    });
+    for (i, r) in readers.iter_mut().enumerate() {
+        if let Some(row) = r.next_row()? {
+            heap.push((KeyedRow::new(row, key, env, &mut scratch), i));
+        }
+    }
+    let mut builder = env.store.builder();
+    let mut recorder = PrefixRecorder::new(record, env);
+    let mut n = 0usize;
+    while let Some((keyed, i)) = heap.pop() {
+        recorder.observe(&keyed.row);
+        builder.push(keyed.row)?;
+        env.tracker.move_rows(1);
+        n += 1;
+        if let Some(next) = readers[i].next_row()? {
+            heap.push((KeyedRow::new(next, key, env, &mut scratch), i));
+        }
+    }
+    env.tracker.compare(heap.take_comparisons());
+    Ok((builder.finish()?, recorder.finish(), n))
 }
 
 /// External sort entry point (runs + merge). Public so HS can externally

@@ -26,7 +26,10 @@
 //!   `max` run the spilling aggregation: rows flow through a store-managed
 //!   staging segment while a running accumulator snapshots one value per
 //!   peer group, then rows and values are zipped back out. `ntile` stages
-//!   the same way (bucket sizes need the partition's cardinality);
+//!   the same way (bucket sizes need the partition's cardinality), and so
+//!   do `percent_rank`/`cume_dist` (peer groups resolve on the first pass,
+//!   the cardinality is known at partition end, the staged rows replay
+//!   with their group's value);
 //! * **ring-buffer** (`O(M + frame)`) — `row_number`/`rank`/`dense_rank`,
 //!   `lag`/`lead`, and bounded-ROWS-frame readers (`first_value`/
 //!   `last_value`/`nth_value` and the aggregates) evaluate from a ring of
@@ -270,9 +273,13 @@ impl StreamableEval {
         match func {
             // Frame-less: rank state / row counters stream with O(1) state;
             // ntile stages the partition through the store (it needs the
-            // partition's cardinality before the first bucket is known).
+            // partition's cardinality before the first bucket is known),
+            // and the distribution functions stage the same way — the
+            // staged-replay trick: peer groups resolve on the first pass,
+            // the partition cardinality is known at partition end, and the
+            // staged rows replay with their group's value.
             RowNumber | Rank | DenseRank => StreamableEval::Ring,
-            Ntile(_) => StreamableEval::OnePass,
+            Ntile(_) | PercentRank | CumeDist => StreamableEval::OnePass,
             // Row references: a ring of `offset` rows.
             Lag { .. } | Lead { .. } => StreamableEval::Ring,
             // Frame readers over a bounded physical-row window.
@@ -442,6 +449,23 @@ impl<I: Operator> WindowOp<I> {
         match self.eval_class() {
             StreamableEval::OnePass if matches!(self.func, WindowFunction::Ntile(_)) => {
                 self.stream_ntile(n, stream, &bounds, &mut out, &mut part_starts, &mut nparts)?
+            }
+            StreamableEval::OnePass
+                if matches!(
+                    self.func,
+                    WindowFunction::PercentRank | WindowFunction::CumeDist
+                ) =>
+            {
+                self.stream_distribution(
+                    n,
+                    stream,
+                    &bounds,
+                    &mut out,
+                    &mut part_starts,
+                    &mut peer_starts,
+                    &mut resolved,
+                    &mut nparts,
+                )?
             }
             StreamableEval::OnePass => self.stream_default_agg(
                 n,
@@ -753,6 +777,119 @@ impl<I: Operator> WindowOp<I> {
         }
         if idx > 0 {
             flush(&mut stage, out)?;
+            *nparts += 1;
+        }
+        Ok(())
+    }
+
+    /// One-pass streaming of the distribution functions (`percent_rank`,
+    /// `cume_dist`) over spilled partitions — the staged-replay trick:
+    /// rows are staged through the store (the stage spills past the pool
+    /// budget, keeping residency `O(M)` for partitions ≫ `M`) while peer
+    /// groups resolve on the fly with the exact comparison charges of the
+    /// materialized path; at partition end the cardinality is known, so
+    /// the staged rows replay with their group's value — `gs / (n - 1)`
+    /// for `percent_rank` (0 for a single-row partition), `ge / n` for
+    /// `cume_dist`, in the materialized path's exact float arithmetic.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_distribution(
+        &self,
+        n: usize,
+        mut stream: crate::operator::SegStream,
+        bounds: &SegmentBounds,
+        out: &mut wf_storage::SegmentBuilder,
+        part_starts: &mut Vec<usize>,
+        peer_starts: &mut Vec<usize>,
+        resolved: &mut usize,
+        nparts: &mut usize,
+    ) -> Result<()> {
+        let env = &self.env;
+        let want_pr = matches!(self.func, WindowFunction::PercentRank);
+        let wpk_eq = |a: &Row, b: &Row| self.wpk_eq(a, b);
+        let mut part_split = RunSplitter::new(bounds, &self.wpk, n, env.reuse_bounds);
+        let mut peer_split = RunSplitter::new(bounds, &self.union_attrs, n, env.reuse_bounds);
+        let mut stage = env.store.builder();
+        // Rows per closed peer group of the open partition, plus the open
+        // group's row count — O(groups) state, never the rows themselves.
+        let mut groups: Vec<usize> = Vec::new();
+        let mut open = 0usize;
+        let flush = |stage: &mut wf_storage::SegmentBuilder,
+                     groups: &mut Vec<usize>,
+                     open: &mut usize,
+                     lo: usize,
+                     out: &mut wf_storage::SegmentBuilder,
+                     peer_starts: &mut Vec<usize>|
+         -> Result<()> {
+            if *open > 0 {
+                groups.push(std::mem::take(open));
+            }
+            let staged = std::mem::replace(stage, env.store.builder()).finish()?;
+            let len = staged.len();
+            let mut reader = staged.read();
+            let mut gs = 0usize;
+            for &g in groups.iter() {
+                peer_starts.push(lo + gs);
+                let ge = gs + g;
+                let value = if want_pr {
+                    if len <= 1 {
+                        Value::Float(0.0)
+                    } else {
+                        Value::Float(gs as f64 / (len - 1) as f64)
+                    }
+                } else {
+                    Value::Float(ge as f64 / len as f64)
+                };
+                for _ in 0..g {
+                    let mut row = reader
+                        .next_row()?
+                        .ok_or_else(|| Error::Execution("staged partition truncated".into()))?;
+                    row.push(value.clone());
+                    out.push(row)?;
+                }
+                gs = ge;
+            }
+            groups.clear();
+            Ok(())
+        };
+        let mut prev: Option<Row> = None;
+        let mut lo = 0usize;
+        let mut idx = 0usize;
+        while let Some(row) = stream.next_row()? {
+            let part_boundary = match &prev {
+                None => true,
+                Some(p) => part_split.is_boundary(idx, p, &row, wpk_eq, false, &env.tracker),
+            };
+            if part_boundary && idx > 0 {
+                flush(&mut stage, &mut groups, &mut open, lo, out, peer_starts)?;
+                *resolved += 1;
+                *nparts += 1;
+                lo = idx;
+            }
+            if part_boundary {
+                part_starts.push(idx);
+            }
+            let peer_boundary = match &prev {
+                None => true,
+                Some(p) => peer_split.is_boundary(
+                    idx,
+                    p,
+                    &row,
+                    |a, b| self.wok_cmp.equal(a, b),
+                    part_boundary,
+                    &env.tracker,
+                ),
+            };
+            if peer_boundary && open > 0 {
+                groups.push(std::mem::take(&mut open));
+            }
+            open += 1;
+            prev = Some(self.key_shadow(&row));
+            stage.push(row)?;
+            idx += 1;
+        }
+        if idx > 0 {
+            flush(&mut stage, &mut groups, &mut open, lo, out, peer_starts)?;
+            *resolved += 1;
             *nparts += 1;
         }
         Ok(())
@@ -3009,9 +3146,12 @@ mod tests {
             ),
             (WindowFunction::Sum(AttrId::new(0)), range_offset, Buffered),
             (WindowFunction::LastValue(AttrId::new(0)), whole, Buffered),
-            // Distribution and variance stay buffered.
-            (WindowFunction::PercentRank, default, Buffered),
-            (WindowFunction::CumeDist, default, Buffered),
+            // Distribution functions stage one pass through the store
+            // (staged replay: partition cardinality first); variance stays
+            // buffered.
+            (WindowFunction::PercentRank, default, OnePass),
+            (WindowFunction::CumeDist, default, OnePass),
+            (WindowFunction::PercentRank, whole, OnePass),
             (WindowFunction::VarPop(AttrId::new(0)), sliding, Buffered),
         ];
         for (func, frame, expect) in cases {

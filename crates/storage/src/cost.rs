@@ -120,6 +120,20 @@ impl CostTracker {
         self.key_encodes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Fold a finished snapshot into this tracker — how a parallel
+    /// scheduler merges its workers' private trackers back into the chain's
+    /// shared one. Callers absorb workers in a fixed (shard) order so the
+    /// main tracker's totals are a deterministic function of the shards,
+    /// independent of thread scheduling.
+    pub fn absorb(&self, s: &CostSnapshot) {
+        self.read_blocks(s.blocks_read);
+        self.write_blocks(s.blocks_written);
+        self.compare(s.comparisons);
+        self.hash(s.hashes);
+        self.move_rows(s.rows_moved);
+        self.encode_keys(s.key_encodes);
+    }
+
     /// Current totals.
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
@@ -296,6 +310,26 @@ mod tests {
             ..Default::default()
         };
         assert!(w.modeled_ms(&io) > 1000.0 * w.modeled_ms(&cpu));
+    }
+
+    #[test]
+    fn absorb_adds_every_counter() {
+        let worker = CostTracker::new();
+        worker.read_blocks(3);
+        worker.write_blocks(2);
+        worker.compare(10);
+        worker.hash(4);
+        worker.move_rows(7);
+        worker.encode_keys(5);
+        let main = CostTracker::new();
+        main.compare(1);
+        main.absorb(&worker.snapshot());
+        let s = main.snapshot();
+        assert_eq!(
+            (s.blocks_read, s.blocks_written, s.comparisons, s.hashes),
+            (3, 2, 11, 4)
+        );
+        assert_eq!((s.rows_moved, s.key_encodes), (7, 5));
     }
 
     #[test]

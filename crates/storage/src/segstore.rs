@@ -37,7 +37,22 @@ struct PoolState {
     used_rows: usize,
     peak_bytes: usize,
     peak_rows: usize,
+    /// High-water marks since the last [`SegmentStore::begin_concurrent_phase`]
+    /// — what the parent itself held *while* a parallel phase's workers ran,
+    /// the base the workers' peaks fold onto.
+    phase_peak_bytes: usize,
+    phase_peak_rows: usize,
     spilled_segments: u64,
+}
+
+impl PoolState {
+    #[inline]
+    fn note_peaks(&mut self) {
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+        self.peak_rows = self.peak_rows.max(self.used_rows);
+        self.phase_peak_bytes = self.phase_peak_bytes.max(self.used_bytes);
+        self.phase_peak_rows = self.phase_peak_rows.max(self.used_rows);
+    }
 }
 
 /// A snapshot of the store's residency and spill statistics.
@@ -119,8 +134,7 @@ impl SegmentStore {
         }
         s.used_bytes += bytes;
         s.used_rows += rows;
-        s.peak_bytes = s.peak_bytes.max(s.used_bytes);
-        s.peak_rows = s.peak_rows.max(s.used_rows);
+        s.note_peaks();
         true
     }
 
@@ -129,8 +143,7 @@ impl SegmentStore {
         let mut s = self.state.lock().expect("store lock");
         s.used_bytes += bytes;
         s.used_rows += rows;
-        s.peak_bytes = s.peak_bytes.max(s.used_bytes);
-        s.peak_rows = s.peak_rows.max(s.used_rows);
+        s.note_peaks();
     }
 
     /// Release residency previously charged.
@@ -142,6 +155,73 @@ impl SegmentStore {
 
     fn note_spill(&self) {
         self.state.lock().expect("store lock").spilled_segments += 1;
+    }
+
+    /// A per-worker **ledger sub-account** of this store: an independent
+    /// residency ledger with its own budget of `budget_blocks` (`None` or an
+    /// unbounded parent → unbounded child) that shares the parent's spill
+    /// medium and pool-I/O counters.
+    ///
+    /// Parallel chains give every worker one sub-account so that spill
+    /// decisions depend only on that worker's own deterministic usage —
+    /// never on how the OS interleaved the other workers — which is what
+    /// keeps a parallel execution's pool counters and segment placement
+    /// bit-identical across thread counts. The parent folds the workers'
+    /// high-water marks back in with [`SegmentStore::absorb_concurrent`].
+    pub fn sub_store(self: &Arc<Self>, budget_blocks: Option<u64>) -> Arc<SegmentStore> {
+        let budget = match (self.budget, budget_blocks) {
+            // An unbounded parent is the pre-store reference configuration:
+            // children must not spill either, or bounded-vs-unbounded
+            // equivalence would break for parallel chains.
+            (None, _) => None,
+            (Some(_), None) => None,
+            (Some(_), Some(b)) => Some(b.max(1) as usize * crate::block::BLOCK_SIZE),
+        };
+        Arc::new(SegmentStore {
+            budget,
+            medium: self.medium,
+            pool_io: Arc::clone(&self.pool_io),
+            state: Mutex::new(PoolState::default()),
+        })
+    }
+
+    /// Mark the start of a concurrent (parallel-worker) phase: the phase
+    /// watermark resets to the current residency, so the next
+    /// [`SegmentStore::absorb_concurrent`] folds the workers' peaks onto
+    /// exactly what the parent held *during* this phase — an upper bound
+    /// on the true instantaneous combined peak (parent-in-phase +
+    /// concurrent workers) that neither understates overlap nor compounds
+    /// across sequential parallel phases.
+    pub fn begin_concurrent_phase(&self) {
+        let mut s = self.state.lock().expect("store lock");
+        s.phase_peak_bytes = s.used_bytes;
+        s.phase_peak_rows = s.used_rows;
+    }
+
+    /// Fold the final snapshots of concurrent sub-accounts back into this
+    /// store, **deterministically**: the high-water mark takes
+    /// `max(own peak, in-phase peak + Σ worker peaks)`. Parent residency
+    /// at any instant of the workers' run never exceeded the in-phase
+    /// watermark (see [`SegmentStore::begin_concurrent_phase`]), so the
+    /// fold bounds the true combined peak without depending on how worker
+    /// lifetimes overlapped — and without accumulating across phases.
+    /// Spilled-segment counts are summed; pool block I/O needs no folding
+    /// because sub-accounts share the parent's counters.
+    ///
+    /// Call after the workers' output handles have been consumed (their
+    /// resident charges released), in a fixed worker order.
+    pub fn absorb_concurrent(&self, workers: &[StoreSnapshot]) {
+        let peak_bytes: usize = workers.iter().map(|w| w.peak_resident_bytes).sum();
+        let peak_rows: usize = workers.iter().map(|w| w.peak_resident_rows).sum();
+        let spilled: u64 = workers.iter().map(|w| w.spilled_segments).sum();
+        let mut s = self.state.lock().expect("store lock");
+        s.peak_bytes = s.peak_bytes.max(s.phase_peak_bytes + peak_bytes);
+        s.peak_rows = s.peak_rows.max(s.phase_peak_rows + peak_rows);
+        // The phase is over; rebase so a later phase folds onto its own
+        // watermark, not this one's.
+        s.phase_peak_bytes = s.used_bytes;
+        s.phase_peak_rows = s.used_rows;
+        s.spilled_segments += spilled;
     }
 
     /// Start building a segment: rows pushed stay resident while the pool
@@ -621,6 +701,79 @@ mod tests {
         let snap = store.snapshot();
         assert_eq!(snap.resident_bytes, 0);
         assert_eq!(snap.resident_rows, 0);
+    }
+
+    #[test]
+    fn sub_store_has_independent_budget_and_shared_pool_io() {
+        let parent = SegmentStore::new(Some(64), SpillMedium::Simulated);
+        let child = parent.sub_store(Some(1));
+        // Child spills by its own 1-block budget even though the parent has
+        // plenty of room…
+        let h = child.admit(rows(2000)).unwrap();
+        assert!(h.is_spilled());
+        assert_eq!(parent.snapshot().resident_bytes, 0);
+        // …and its pool traffic shows up in the parent's shared counters.
+        assert!(parent.snapshot().spill_blocks_written > 0);
+        assert_eq!(
+            parent.snapshot().spill_blocks_written,
+            child.snapshot().spill_blocks_written
+        );
+        drop(h);
+        // An unbounded parent hands out unbounded children regardless of the
+        // requested budget (the pre-store reference configuration).
+        let unbounded = SegmentStore::new(None, SpillMedium::Simulated);
+        let uchild = unbounded.sub_store(Some(1));
+        let h2 = uchild.admit(rows(2000)).unwrap();
+        assert!(!h2.is_spilled());
+    }
+
+    #[test]
+    fn absorb_concurrent_sums_worker_peaks() {
+        let parent = SegmentStore::new(Some(64), SpillMedium::Simulated);
+        let a = parent.sub_store(Some(8));
+        let b = parent.sub_store(Some(8));
+        let ha = a.admit(rows(30)).unwrap();
+        let hb = b.admit(rows(50)).unwrap();
+        let (pa, pb) = (a.snapshot(), b.snapshot());
+        drop(ha);
+        drop(hb);
+        // Parent residency that peaked *during* the phase counts toward
+        // the fold even if released before absorb time.
+        parent.begin_concurrent_phase();
+        let own = parent.admit(rows(10)).unwrap();
+        drop(own);
+        parent.absorb_concurrent(&[a.snapshot(), b.snapshot()]);
+        let snap = parent.snapshot();
+        assert_eq!(
+            snap.peak_resident_rows,
+            10 + pa.peak_resident_rows + pb.peak_resident_rows
+        );
+        assert_eq!(parent.snapshot().resident_rows, 0);
+    }
+
+    /// Sequential parallel phases fold onto their own watermarks: the
+    /// reported peak is the max over phases, never their sum.
+    #[test]
+    fn absorb_concurrent_does_not_compound_across_phases() {
+        let parent = SegmentStore::new(Some(64), SpillMedium::Simulated);
+        let run_phase = |n: usize| {
+            parent.begin_concurrent_phase();
+            let w = parent.sub_store(Some(8));
+            let h = w.admit(rows(n)).unwrap();
+            drop(h);
+            parent.absorb_concurrent(&[w.snapshot()]);
+        };
+        run_phase(40);
+        let after_one = parent.snapshot().peak_resident_rows;
+        run_phase(40);
+        assert_eq!(
+            parent.snapshot().peak_resident_rows,
+            after_one,
+            "identical sequential phases must not double the peak"
+        );
+        run_phase(60);
+        assert!(parent.snapshot().peak_resident_rows > after_one);
+        assert_eq!(parent.snapshot().peak_resident_rows, 60);
     }
 
     #[test]

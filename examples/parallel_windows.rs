@@ -39,9 +39,10 @@ fn main() -> Result<()> {
     )?;
     let seq_wall = t0.elapsed();
 
-    // Parallel over 4 workers, each with its own quarter of the memory —
-    // expressed as a pipeline stage: TableScan feeds the ParallelOp, which
-    // scatters, runs the per-worker chains, and re-emits segments.
+    // Parallel over 4 workers — expressed as a pipeline stage: TableScan
+    // feeds the ParallelOp, which scatters, runs the per-worker chains
+    // (each against the ledger sub-account it is handed), and re-emits
+    // segments.
     let env_par = ExecEnv::with_memory_blocks(64);
     let t1 = Instant::now();
     let mut par_op = ParallelOp::new(
@@ -49,7 +50,7 @@ fn main() -> Result<()> {
         wpk.clone(),
         4,
         env_par.op_env().clone(),
-        |_, part| chain(part, env_par.op_env()),
+        |_, part, worker_env| chain(part, worker_env),
     );
     let par = drain(&mut par_op)?;
     let par_wall = t1.elapsed();

@@ -369,11 +369,12 @@ fn buffered_partition_residency_is_o_of_m_plus_unit() {
     assert!(snap.peak_resident_bytes > partition_bytes / 2);
 }
 
-/// First-principles reference for the ranking / navigation / value
-/// functions the ring and staged paths stream (row_number, rank,
-/// dense_rank, ntile, lag, lead, first_value, last_value, nth_value),
-/// evaluated over the engine's physical row order like [`brute_force`].
-/// Supports bounded-ROWS frames and the SQL-default RANGE frame.
+/// First-principles reference for the ranking / distribution / navigation
+/// / value functions the ring and staged paths stream (row_number, rank,
+/// dense_rank, percent_rank, cume_dist, ntile, lag, lead, first_value,
+/// last_value, nth_value), evaluated over the engine's physical row order
+/// like [`brute_force`]. Supports bounded-ROWS frames and the SQL-default
+/// RANGE frame.
 fn nav_reference(rows: &[Row], func: &WindowFunction, frame: Option<FrameSpec>) -> Vec<Row> {
     let frame = frame.unwrap_or(FrameSpec {
         units: FrameUnits::Range,
@@ -442,6 +443,14 @@ fn nav_reference(rows: &[Row], func: &WindowFunction, frame: Option<FrameSpec>) 
                 WindowFunction::RowNumber => Value::Int(i as i64 + 1),
                 WindowFunction::Rank => Value::Int(gs[i] as i64 + 1),
                 WindowFunction::DenseRank => Value::Int(ord[i] as i64 + 1),
+                WindowFunction::PercentRank => {
+                    if m <= 1 {
+                        Value::Float(0.0)
+                    } else {
+                        Value::Float(gs[i] as f64 / (m - 1) as f64)
+                    }
+                }
+                WindowFunction::CumeDist => Value::Float(ge[i] as f64 / m as f64),
                 WindowFunction::Ntile(t) => {
                     let t = (*t).max(1) as usize;
                     let base = m / t;
@@ -536,6 +545,10 @@ fn streamed_cases() -> Vec<(&'static str, WindowFunction, Option<FrameSpec>, usi
         ("rank", WindowFunction::Rank, None, 1),
         ("dense_rank", WindowFunction::DenseRank, None, 1),
         ("ntile", WindowFunction::Ntile(7), None, 1),
+        // The distribution family: staged replay (partition cardinality
+        // first pass), closing the streaming-window story.
+        ("percent_rank", WindowFunction::PercentRank, None, 1),
+        ("cume_dist", WindowFunction::CumeDist, None, 1),
         (
             "lag2",
             WindowFunction::Lag {

@@ -32,7 +32,10 @@ fn schema() -> Schema {
 
 fn plan_chain(query: &WindowQuery, scheme: Scheme, m_blocks: u64) -> String {
     let s = stats();
-    let env = ExecEnv::with_memory_blocks(m_blocks);
+    // Serial planning pinned: these tests reproduce the paper's tables,
+    // which predate the parallel operator (a WF_WORKERS toggle would
+    // otherwise swap FS positions for PAR nodes).
+    let env = ExecEnv::with_memory_blocks(m_blocks).with_par_workers(1);
     let plan = optimize(query, &s, scheme, &env).expect("planning");
     assert_eq!(plan.repairs, 0, "paper queries must plan without repairs");
     plan.chain_string()

@@ -318,6 +318,10 @@ fn execute_plan_matches_batch_composition_of_same_plan() {
             ReorderOp::Ss { alpha, beta } => {
                 segmented_sort(current, alpha, beta, env_b.op_env()).unwrap()
             }
+            // This test plans with a serial context (PlanContext::workers
+            // = 1), so no Par node can appear; parallel-vs-serial identity
+            // has its own suite (tests/parallel_equivalence.rs).
+            ReorderOp::Par { .. } => unreachable!("serial planning context never emits Par"),
         };
         current = evaluate_window(
             current,
