@@ -2,15 +2,22 @@
 //!
 //! Runs a small, fixed, fully deterministic workload set (row count pinned
 //! regardless of `--rows` so the checked-in baseline stays comparable),
-//! writes `results/BENCH_4.json`, and — when `results/BENCH_4.baseline.json`
+//! writes `results/BENCH_5.json`, and — when `results/BENCH_5.baseline.json`
 //! exists — fails with a non-zero exit if any workload's **modeled cost**
 //! or **peak resident memory** regressed by more than 2× against the
 //! baseline. Modeled cost comes from deterministic counters and peak
 //! residency from the segment store's high-water mark, so both gates are
-//! machine-independent; wall clock is recorded for trend inspection but
-//! never gated (CI noise).
+//! machine-independent; wall clock (and the derived `rows_per_sec` column)
+//! is recorded for trend inspection but never gated (CI noise).
 //!
-//! The set also measures the two PR-2 fast paths directly:
+//! The set also measures the fast paths directly:
+//! * `fig3_radix` / `fig3_comparator` — the fig3 sort microbench on the
+//!   LSD-radix backend over normalized key prefixes vs. the
+//!   `RowComparator` reference (wall-clock speedup printed; the radix
+//!   backend is the columnar-era default),
+//! * `filter_vectorized` / `filter_rowwise` — the same WHERE-filtered
+//!   chain with the columnar block path (vectorized predicate masks) on
+//!   vs. off; counters must be bit-identical, wall shows the win,
 //! * `fs_sort_*` / `hs_sort_*` — the fig3 FS-vs-HS sort-dominated
 //!   workloads with normalized byte keys on vs. the `RowComparator`
 //!   reference (wall-clock speedup printed),
@@ -52,6 +59,9 @@ pub struct RegressEntry {
     pub name: String,
     pub modeled_ms: f64,
     pub wall_ms: f64,
+    /// Input rows divided by wall seconds — the throughput reading of the
+    /// wall column (informational like all wall numbers; never gated).
+    pub rows_per_sec: f64,
     pub comparisons: u64,
     pub io_blocks: u64,
     pub key_encodes: u64,
@@ -78,10 +88,12 @@ pub struct RegressEntry {
 
 fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str) -> RegressEntry {
     let report = execute_plan(plan, table, env).expect("regress workload");
+    let wall_ms = report.wall.as_secs_f64() * 1000.0;
     RegressEntry {
         name: name.to_string(),
         modeled_ms: report.modeled_ms,
-        wall_ms: report.wall.as_secs_f64() * 1000.0,
+        wall_ms,
+        rows_per_sec: table.row_count() as f64 / (wall_ms / 1000.0).max(1e-9),
         comparisons: report.work.comparisons,
         io_blocks: report.work.io_blocks(),
         key_encodes: report.work.key_encodes,
@@ -160,11 +172,12 @@ pub fn run_workloads() -> Vec<RegressEntry> {
     }
 
     // Sort-only microbench: the fig3 FS sort key over the same table with
-    // an in-memory budget — wall clock is comparison-dominated here (no
-    // spill traffic, no window evaluation), which is where the normalized
-    // byte keys show their raw speedup.
+    // an in-memory budget — wall clock is sort-dominated here (no spill
+    // traffic, no window evaluation). `fig3_radix` takes the default path:
+    // normalized key prefixes sorted by the LSD-radix backend;
+    // `fig3_comparator` is the `RowComparator` reference it replaced.
     let fs_key = wf_core::plan::default_fs_key(&spec);
-    for (norm, key_name) in [(true, "normkeys"), (false, "comparator")] {
+    for (norm, name) in [(true, "fig3_radix"), (false, "fig3_comparator")] {
         let mut best: Option<RegressEntry> = None;
         for _ in 0..5 {
             let env = wf_exec::OpEnv::with_memory_blocks(blocks * 4).with_toggles(norm, true);
@@ -176,9 +189,10 @@ pub fn run_workloads() -> Vec<RegressEntry> {
             assert_eq!(sorted.len(), table.row_count());
             let s = env.tracker.snapshot();
             let e = RegressEntry {
-                name: format!("fig3_sortonly_{key_name}"),
+                name: name.to_string(),
                 modeled_ms: wf_storage::CostWeights::default().modeled_ms(&s),
                 wall_ms,
+                rows_per_sec: table.row_count() as f64 / (wall_ms / 1000.0).max(1e-9),
                 comparisons: s.comparisons,
                 io_blocks: s.io_blocks(),
                 key_encodes: s.key_encodes,
@@ -227,6 +241,38 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                 }),
             ),
             (
+                // PR 6: the variance family ring-streams bounded ROWS
+                // frames (sum-of-squares prefix lane).
+                "window_ring_stddev_rows",
+                WindowSpec::new(
+                    "sd",
+                    wf_core::spec::WindowFunction::StddevSamp(Quantity.attr()),
+                    vec![Item.attr()],
+                    order.clone(),
+                )
+                .with_frame(wf_core::spec::FrameSpec {
+                    units: wf_core::spec::FrameUnits::Rows,
+                    start: wf_core::spec::Bound::Preceding(4),
+                    end: wf_core::spec::Bound::CurrentRow,
+                }),
+            ),
+            (
+                // PR 6: pure-offset RANGE frames ring-stream via the
+                // monotone two-pointer frame resolver.
+                "window_ring_sum_range_offset",
+                WindowSpec::new(
+                    "sr",
+                    wf_core::spec::WindowFunction::Sum(Quantity.attr()),
+                    vec![Item.attr()],
+                    order.clone(),
+                )
+                .with_frame(wf_core::spec::FrameSpec {
+                    units: wf_core::spec::FrameUnits::Range,
+                    start: wf_core::spec::Bound::Preceding(2),
+                    end: wf_core::spec::Bound::Following(2),
+                }),
+            ),
+            (
                 "window_buffered_count_range",
                 WindowSpec::new(
                     "c",
@@ -247,7 +293,18 @@ pub fn run_workloads() -> Vec<RegressEntry> {
             };
             let plan = single_op_plan(&spec, fs, &stats, m);
             let env = ExecEnv::with_memory_blocks(m);
-            out.push(run_plan(&plan, &table, &env, name));
+            let e = run_plan(&plan, &table, &env, name);
+            // The workload names encode their expected discipline — a
+            // mismatch means a streaming evaluator silently fell back.
+            let expected = if name.contains("onepass") {
+                "one-pass"
+            } else if name.contains("ring") {
+                "ring"
+            } else {
+                "buffered"
+            };
+            assert_eq!(e.residency_class, expected, "{name} evaluation class");
+            out.push(e);
         }
     }
 
@@ -366,6 +423,51 @@ pub fn run_workloads() -> Vec<RegressEntry> {
         out.push(par);
     }
 
+    // Vectorized filter: the same WHERE-filtered rank with the columnar
+    // block path on (predicate evaluated as a lane-wise mask over typed
+    // columns) vs. off (row-at-a-time reference). The toggle must be
+    // invisible to every deterministic counter; wall shows the win.
+    {
+        use wf_datagen::WsColumn::Quantity;
+        let m = paper_mb_to_blocks(75.0, blocks);
+        let fs = ReorderOp::Fs {
+            key: wf_core::plan::default_fs_key(&spec),
+        };
+        let mut plan = single_op_plan(&spec, fs, &stats, m);
+        plan.filter = Some(wf_exec::Predicate::Gt(
+            Quantity.attr(),
+            wf_common::Value::Int(50),
+        ));
+        let mut pair = Vec::new();
+        for (columnar, name) in [(true, "filter_vectorized"), (false, "filter_rowwise")] {
+            let env = ExecEnv::with_memory_blocks(m).with_columnar(columnar);
+            let mut best: Option<RegressEntry> = None;
+            for _ in 0..3 {
+                let e = run_plan(&plan, &table, &env, name);
+                if best.as_ref().is_none_or(|b| e.wall_ms < b.wall_ms) {
+                    best = Some(e);
+                }
+            }
+            pair.push(best.expect("three runs"));
+        }
+        assert_eq!(
+            (
+                pair[0].comparisons,
+                pair[0].io_blocks,
+                pair[0].key_encodes,
+                pair[0].peak_resident_blocks
+            ),
+            (
+                pair[1].comparisons,
+                pair[1].io_blocks,
+                pair[1].key_encodes,
+                pair[1].peak_resident_blocks
+            ),
+            "columnar filter must be bit-identical to the row path"
+        );
+        out.extend(pair);
+    }
+
     // Two-window shared-WPK chain: boundary reuse on vs. off.
     let chain_query = chain_query(&table);
     for (reuse, name) in [
@@ -397,10 +499,10 @@ fn chain_query(table: &Table) -> WindowQuery {
     WindowQuery::new(table.schema().clone(), specs)
 }
 
-/// Serialize entries as `BENCH_4.json`.
+/// Serialize entries as `BENCH_5.json`.
 pub fn to_json(entries: &[RegressEntry]) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench4-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench5-v1\",");
     let _ = writeln!(s, "  \"rows\": {REGRESS_ROWS},");
     let _ = writeln!(s, "  \"par_rows\": {PAR_ROWS},");
     s.push_str("  \"entries\": [\n");
@@ -408,12 +510,14 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
         let _ = write!(
             s,
             "    {{\"name\": \"{}\", \"modeled_ms\": {:.4}, \"wall_ms\": {:.3}, \
+             \"rows_per_sec\": {:.0}, \
              \"comparisons\": {}, \"io_blocks\": {}, \"key_encodes\": {}, \
              \"peak_resident_blocks\": {}, \"residency_class\": \"{}\", \
              \"par_speedup\": {:.2}, \"par_est_speedup\": {:.2}}}",
             e.name,
             e.modeled_ms,
             e.wall_ms,
+            e.rows_per_sec,
             e.comparisons,
             e.io_blocks,
             e.key_encodes,
@@ -429,7 +533,7 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
 }
 
 /// Minimal extraction of `(name, modeled_ms, peak_resident_blocks)` tuples
-/// from a BENCH_4-shaped JSON file (flat entry objects; no nesting — the
+/// from a BENCH_5-shaped JSON file (flat entry objects; no nesting — the
 /// format we write). Files without the peak column (the BENCH_2 era)
 /// parse with peak 0, which disarms only the peak gate.
 pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
@@ -456,15 +560,16 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
 }
 
 /// Markdown table comparing the current run against the baseline —
-/// modeled cost, peak resident blocks and residency class per workload —
-/// emitted into `results/BENCH_4_summary.md` for the CI step summary.
+/// modeled cost, peak resident blocks, residency class and wall
+/// throughput per workload — emitted into `results/BENCH_5_summary.md`
+/// for the CI step summary.
 pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64, u64)]) -> String {
-    let mut md = String::from("### `repro regress` — BENCH_4 comparison\n\n");
+    let mut md = String::from("### `repro regress` — BENCH_5 comparison\n\n");
     let _ = writeln!(
         md,
-        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | ∥ speedup |"
+        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | rows/s | ∥ speedup |"
     );
-    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|---:|---:|");
+    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|---:|---:|---:|");
     for e in entries {
         let base = baseline.iter().find(|(n, _, _)| *n == e.name);
         let (base_ms, base_peak, delta) = match base {
@@ -486,9 +591,14 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
         } else {
             "–".to_string()
         };
+        let rows_s = if e.rows_per_sec > 0.0 {
+            format!("{:.0}k", e.rows_per_sec / 1000.0)
+        } else {
+            "–".to_string()
+        };
         let _ = writeln!(
             md,
-            "| `{}` | {} | {:.2} | {} | {} | {} | {} | {} |",
+            "| `{}` | {} | {:.2} | {} | {} | {} | {} | {} | {} |",
             e.name,
             e.residency_class,
             e.modeled_ms,
@@ -496,18 +606,19 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
             delta,
             e.peak_resident_blocks,
             base_peak,
+            rows_s,
             speedup
         );
     }
     let _ = writeln!(
         md,
         "\nGate: modeled cost and peak residency must stay within {REGRESS_FACTOR}× of \
-         `results/BENCH_4.baseline.json`. Wall clock is informational only."
+         `results/BENCH_5.baseline.json`. Wall clock (and rows/s) is informational only."
     );
     md
 }
 
-/// Run the regression suite: write `results/BENCH_4.json`, print the table
+/// Run the regression suite: write `results/BENCH_5.json`, print the table
 /// and the fast-path headline numbers, compare against the checked-in
 /// baseline. Returns `false` when a >2× modeled-cost or peak-residency
 /// regression was found.
@@ -515,11 +626,12 @@ pub fn run_regress() -> bool {
     let entries = run_workloads();
 
     let mut t = ReportTable::new(
-        "BENCH_4: regression workloads (modeled ms | wall ms | comparisons | peak resident)",
+        "BENCH_5: regression workloads (modeled ms | wall ms | rows/s | comparisons | peak resident)",
         &[
             "workload",
             "modeled ms",
             "wall ms",
+            "rows/s",
             "comparisons",
             "io",
             "key encodes",
@@ -533,6 +645,11 @@ pub fn run_regress() -> bool {
             e.name.clone(),
             format!("{:.2}", e.modeled_ms),
             format!("{:.2}", e.wall_ms),
+            if e.rows_per_sec > 0.0 {
+                format!("{:.0}k", e.rows_per_sec / 1000.0)
+            } else {
+                "-".to_string()
+            },
             format!("{}", e.comparisons),
             format!("{}", e.io_blocks),
             format!("{}", e.key_encodes),
@@ -545,9 +662,10 @@ pub fn run_regress() -> bool {
             },
         ]);
     }
-    t.emit("BENCH_4_table");
+    t.emit("BENCH_5_table");
 
-    // Headline: byte-key wall speedup on the sort-dominated workloads.
+    // Headline: byte-key / radix wall speedup on the sort-dominated
+    // workloads, and the vectorized-filter wall speedup.
     let wall = |name: &str| {
         entries
             .iter()
@@ -555,8 +673,11 @@ pub fn run_regress() -> bool {
             .map(|e| e.wall_ms)
             .unwrap_or(f64::NAN)
     };
+    println!(
+        "fig3 radix sort wall speedup over comparator: {:.2}x",
+        wall("fig3_comparator") / wall("fig3_radix")
+    );
     for (cmp_name, norm_name) in [
-        ("fig3_sortonly_comparator", "fig3_sortonly_normkeys"),
         ("fs_sort_m25_comparator", "fs_sort_m25_normkeys"),
         ("fs_sort_m500_comparator", "fs_sort_m500_normkeys"),
         ("hs_sort_m25_comparator", "hs_sort_m25_normkeys"),
@@ -568,6 +689,10 @@ pub fn run_regress() -> bool {
             wall(cmp_name) / wall(norm_name)
         );
     }
+    println!(
+        "vectorized filter wall speedup over row path: {:.2}x",
+        wall("filter_rowwise") / wall("filter_vectorized")
+    );
     let find = |name: &str| entries.iter().find(|e| e.name == name);
     if let Some(par) = find("par_rank_w4") {
         let cores = std::thread::available_parallelism()
@@ -595,31 +720,31 @@ pub fn run_regress() -> bool {
 
     let json = to_json(&entries);
     std::fs::create_dir_all("results").ok();
-    if let Err(e) = std::fs::write("results/BENCH_4.json", &json) {
-        eprintln!("(could not write results/BENCH_4.json: {e})");
+    if let Err(e) = std::fs::write("results/BENCH_5.json", &json) {
+        eprintln!("(could not write results/BENCH_5.json: {e})");
     }
     // Markdown comparison for the CI step summary ($GITHUB_STEP_SUMMARY):
     // current vs baseline modeled cost + peak residency + residency class,
     // so bench drift is readable on the PR without downloading artifacts.
-    let baseline_for_md = std::fs::read_to_string("results/BENCH_4.baseline.json")
+    let baseline_for_md = std::fs::read_to_string("results/BENCH_5.baseline.json")
         .map(|raw| parse_baseline(&raw))
         .unwrap_or_default();
     if let Err(e) = std::fs::write(
-        "results/BENCH_4_summary.md",
+        "results/BENCH_5_summary.md",
         step_summary_markdown(&entries, &baseline_for_md),
     ) {
-        eprintln!("(could not write results/BENCH_4_summary.md: {e})");
+        eprintln!("(could not write results/BENCH_5_summary.md: {e})");
     }
 
     // Gate against the checked-in baseline. A missing baseline is fatal in
     // CI (the gate must never silently disarm there) and a friendly skip
     // locally.
-    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_4.baseline.json") else {
+    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_5.baseline.json") else {
         if std::env::var_os("CI").is_some() {
-            println!("\nresults/BENCH_4.baseline.json missing in CI — failing the gate");
+            println!("\nresults/BENCH_5.baseline.json missing in CI — failing the gate");
             return false;
         }
-        println!("\n(no results/BENCH_4.baseline.json — baseline gate skipped)");
+        println!("\n(no results/BENCH_5.baseline.json — baseline gate skipped)");
         return true;
     };
     let baseline = parse_baseline(&baseline_raw);
@@ -630,7 +755,7 @@ pub fn run_regress() -> bool {
             // baseline must be regenerated in the same change.
             println!(
                 "REGRESSION {name}: baseline entry no longer measured \
-                 (renamed/removed? regenerate results/BENCH_4.baseline.json)"
+                 (renamed/removed? regenerate results/BENCH_5.baseline.json)"
             );
             ok = false;
             continue;
@@ -668,6 +793,7 @@ mod tests {
             name: name.into(),
             modeled_ms: ms,
             wall_ms: 1.0,
+            rows_per_sec: 8_000.0,
             comparisons: 7,
             io_blocks: 2,
             key_encodes: 5,
@@ -696,9 +822,9 @@ mod tests {
         let entries = vec![entry("w1", 2.0, 8, "one-pass"), entry("w3", 1.0, 4, "ring")];
         let baseline = vec![("w1".to_string(), 1.0, 8u64)];
         let md = step_summary_markdown(&entries, &baseline);
-        assert!(md.contains("| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 | – |"));
+        assert!(md.contains("| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 | 8k | – |"));
         // A workload with no baseline row reads "new", never a bogus delta.
-        assert!(md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new | – |"));
+        assert!(md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new | 8k | – |"));
         // A parallel workload shows its wall speedup.
         let mut par = entry("w4", 1.0, 4, "ring");
         par.par_speedup = 2.5;

@@ -106,13 +106,25 @@ pub fn optimize_integrated(
 ) -> Result<IntegratedPlan> {
     let weights = env.weights();
     let order = query.order_by.clone().unwrap_or_else(SortSpec::empty);
+    // The final ORDER BY runs downstream of any WHERE, like every reorder:
+    // price it on post-filter statistics too (`optimize` applies the same
+    // substitution internally for the chain itself).
+    let filtered;
+    let order_stats = match &query.filter {
+        Some(pred) => {
+            filtered = stats.with_predicate(pred);
+            &filtered
+        }
+        None => stats,
+    };
     let mut best: Option<IntegratedPlan> = None;
     for (vi, variant) in variants.iter().enumerate() {
         let mut q = query.clone();
         q.input_props = variant.props.clone();
         q.input_segments = variant.segments;
         let plan = optimize(&q, stats, scheme, env)?;
-        let (final_order, oc) = order_by_cost(&plan.final_props, &order, stats, env.mem_blocks());
+        let (final_order, oc) =
+            order_by_cost(&plan.final_props, &order, order_stats, env.mem_blocks());
         let total_ms = variant.setup_cost_ms + plan.est_cost.ms(&weights) + oc.ms(&weights);
         if best.as_ref().is_none_or(|b| total_ms < b.total_ms) {
             best = Some(IntegratedPlan {

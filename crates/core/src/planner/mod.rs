@@ -194,6 +194,34 @@ mod tests {
         assert!(filtered.est_cost.ms(&env.weights()) < unfiltered.est_cost.ms(&env.weights()));
     }
 
+    /// The HS fan-out must be provisioned from what survives the WHERE:
+    /// the emitted bucket count equals `hs_bucket_count` over the
+    /// post-filter statistics, strictly below the pre-filter sizing under
+    /// a selective predicate.
+    #[test]
+    fn hs_bucket_count_uses_post_filter_cardinality() {
+        let s = stats();
+        let m = 111u64;
+        let env = ExecEnv::with_memory_blocks(m).with_par_workers(1);
+        let pred = wf_exec::Predicate::Eq(a(0), Value::Int(7));
+        let mut q = one_rank_query();
+        q.filter = Some(pred.clone());
+        let plan = optimize(&q, &s, Scheme::Cso, &env).unwrap();
+        let ReorderOp::Hs { whk, n_buckets, .. } = &plan.steps[0].reorder else {
+            panic!(
+                "expected HS under the selective filter: {}",
+                plan.chain_string()
+            );
+        };
+        let post = crate::cost::hs_bucket_count(&s.with_predicate(&pred), whk, m);
+        let pre = crate::cost::hs_bucket_count(&s, whk, m);
+        assert_eq!(*n_buckets, post, "buckets sized from post-filter stats");
+        assert!(
+            post < pre,
+            "selective WHERE must shrink the fan-out ({post} vs {pre})"
+        );
+    }
+
     /// With a worker budget, CSO and BFO emit the parallel reorder where
     /// the elapsed model favors it, and EXPLAIN prints the node with its
     /// worker count. Without the budget the same query plans serial.

@@ -40,6 +40,11 @@ pub struct OpEnv {
     /// variable so CI can force a serial or 4-worker execution of the whole
     /// suite.
     pub worker_threads: usize,
+    /// Stream columnar batches from table scans and use per-column fast
+    /// paths in filters and scatter hashing (on by default). Off reproduces
+    /// the row-at-a-time pipeline; modeled counters are bit-identical either
+    /// way — vectorization changes wall time, never the cost model.
+    pub columnar: bool,
 }
 
 /// Parse the `WF_WORKERS` environment variable (`0`/unset → no override).
@@ -62,6 +67,17 @@ impl OpEnv {
             norm_keys: true,
             reuse_bounds: true,
             worker_threads: env_worker_threads(),
+            columnar: true,
+        }
+    }
+
+    /// Same environment with the columnar fast paths toggled (the row
+    /// pipeline is the reference configuration for the columnar equivalence
+    /// suite).
+    pub fn with_columnar(&self, columnar: bool) -> Self {
+        OpEnv {
+            columnar,
+            ..self.clone()
         }
     }
 

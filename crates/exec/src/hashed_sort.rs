@@ -140,8 +140,33 @@ impl<I: Operator> HashedSortOp<I> {
             .collect();
 
         while let Some(seg) = input.next_segment()? {
+            let batch = if env.columnar {
+                seg.shared_batch().map(std::sync::Arc::clone)
+            } else {
+                None
+            };
             let (_, mut stream, _) = seg.into_stream();
-            while let Some(row) = stream.next_row()? {
+            let mut next_idx = 0usize;
+            loop {
+                // Batch segments hash per-lane (identical u64s to
+                // `hash_row_on`); everything else streams row-at-a-time.
+                let (row, idx_hint) = match &batch {
+                    Some(b) => {
+                        if next_idx >= b.len() {
+                            break;
+                        }
+                        let i = next_idx;
+                        next_idx += 1;
+                        (
+                            b.row(i),
+                            Some((b.hash_row(i, &self.whk) % n as u64) as usize),
+                        )
+                    }
+                    None => match stream.next_row()? {
+                        Some(r) => (r, None),
+                        None => break,
+                    },
+                };
                 env.tracker.hash(1);
                 if !mfv.is_empty() {
                     let key_val: Vec<Value> = self.whk.iter().map(|a| row.get(a).clone()).collect();
@@ -153,7 +178,8 @@ impl<I: Operator> HashedSortOp<I> {
                         continue;
                     }
                 }
-                let idx = (hash_row_on(&row, &self.whk) % n as u64) as usize;
+                let idx =
+                    idx_hint.unwrap_or_else(|| (hash_row_on(&row, &self.whk) % n as u64) as usize);
                 let bytes = row.encoded_len();
                 match &mut buckets[idx] {
                     Bucket::Spilled { file } => {

@@ -52,8 +52,9 @@
 use crate::env::OpEnv;
 use crate::segment::{SegmentBounds, SegmentedRows};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use wf_common::{Result, Row};
-use wf_storage::{SegmentHandle, SegmentReader, SegmentStore, Table};
+use wf_storage::{RowBatch, SegmentHandle, SegmentReader, SegmentStore, Table};
 
 /// One segment flowing between operators: rows in order plus the boundary
 /// layers the chain has already proven over them (see [`SegmentBounds`]).
@@ -146,6 +147,16 @@ impl Segment {
     /// chains stay residency-tracked).
     pub fn is_store_backed(&self) -> bool {
         matches!(&self.data, SegData::Handle(_))
+    }
+
+    /// The shared columnar batch behind this segment, if it carries one —
+    /// operators with per-column fast paths (filter masks, scatter hashing)
+    /// peek here before falling back to the row stream.
+    pub fn shared_batch(&self) -> Option<&Arc<RowBatch>> {
+        match &self.data {
+            SegData::Handle(h) => h.as_batch(),
+            SegData::Rows(_) => None,
+        }
     }
 
     /// Materialize into rows plus bounds (charges pool reads for a spilled
@@ -272,10 +283,12 @@ impl Operator for TableScan<'_> {
         if self.table.is_empty() {
             return Ok(None);
         }
-        Ok(Some(Segment::from_handle(
-            SegmentStore::shared(self.table.shared_rows()),
-            SegmentBounds::none(),
-        )))
+        let handle = if self.env.columnar {
+            SegmentStore::shared_batch(self.table.shared_batch())
+        } else {
+            SegmentStore::shared(self.table.shared_rows())
+        };
+        Ok(Some(Segment::from_handle(handle, SegmentBounds::none())))
     }
 }
 

@@ -20,8 +20,9 @@ use crate::segment::SegmentBounds;
 use crate::sorter::SortKey;
 use crate::util::hash_row_on;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use wf_common::{AttrId, AttrSet, DataType, Error, Field, Result, Row, Schema, SortSpec, Value};
-use wf_storage::Table;
+use wf_storage::{ColumnVec, RowBatch, Table};
 
 /// A simple column-vs-literal predicate.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +66,98 @@ impl Predicate {
             And(l, r) => l.matches(row) && r.matches(row),
         }
     }
+
+    /// Evaluate against every row of a columnar batch in one pass, with a
+    /// typed per-lane loop per atom. `mask[i]` ⇔ `self.matches(&batch.row(i))`
+    /// — the vectorized and row paths are interchangeable by construction.
+    pub fn eval_mask(&self, batch: &RowBatch) -> Vec<bool> {
+        use std::cmp::Ordering::*;
+        use Predicate::*;
+        match self {
+            Eq(a, v) => atom_mask(batch.column(a.index()), v, |o| o == Equal),
+            Ne(a, v) => atom_mask(batch.column(a.index()), v, |o| o != Equal),
+            Lt(a, v) => atom_mask(batch.column(a.index()), v, |o| o == Less),
+            Le(a, v) => atom_mask(batch.column(a.index()), v, |o| o != Greater),
+            Gt(a, v) => atom_mask(batch.column(a.index()), v, |o| o == Greater),
+            Ge(a, v) => atom_mask(batch.column(a.index()), v, |o| o != Less),
+            Between(a, lo, hi) => {
+                let col = batch.column(a.index());
+                let mut m = atom_mask(col, lo, |o| o != Less);
+                let hi_m = atom_mask(col, hi, |o| o != Greater);
+                for (x, y) in m.iter_mut().zip(hi_m) {
+                    *x = *x && y;
+                }
+                m
+            }
+            And(l, r) => {
+                let mut m = l.eval_mask(batch);
+                let rm = r.eval_mask(batch);
+                for (x, y) in m.iter_mut().zip(rm) {
+                    *x = *x && y;
+                }
+                m
+            }
+        }
+    }
+}
+
+/// Column-vs-literal comparison mask: `ok` maps the ordering to the atom's
+/// truth value; NULL on either side is false (the same three-valued-logic
+/// collapse as `Predicate::matches`). The match hoists type dispatch out of
+/// the row loop — each arm is a tight monomorphic scan over one lane.
+fn atom_mask(col: &ColumnVec, v: &Value, ok: impl Fn(std::cmp::Ordering) -> bool) -> Vec<bool> {
+    use std::cmp::Ordering;
+    let n = col.len();
+    let mut out = vec![false; n];
+    match (col, v) {
+        (_, Value::Null) => {}
+        (ColumnVec::Int { vals, valid }, Value::Int(b)) => {
+            for (i, m) in out.iter_mut().enumerate() {
+                *m = valid.get(i) && ok(vals[i].cmp(b));
+            }
+        }
+        (ColumnVec::Int { vals, valid }, Value::Float(b)) => {
+            for (i, m) in out.iter_mut().enumerate() {
+                *m = valid.get(i) && ok((vals[i] as f64).total_cmp(b));
+            }
+        }
+        (ColumnVec::Float { vals, valid }, Value::Float(b)) => {
+            for (i, m) in out.iter_mut().enumerate() {
+                *m = valid.get(i) && ok(vals[i].total_cmp(b));
+            }
+        }
+        (ColumnVec::Float { vals, valid }, Value::Int(b)) => {
+            let bf = *b as f64;
+            for (i, m) in out.iter_mut().enumerate() {
+                *m = valid.get(i) && ok(vals[i].total_cmp(&bf));
+            }
+        }
+        (ColumnVec::Str { vals, valid }, Value::Str(b)) => {
+            for (i, m) in out.iter_mut().enumerate() {
+                *m = valid.get(i) && ok(vals[i].as_ref().cmp(b.as_ref()));
+            }
+        }
+        // Fixed cross-type rank: numbers < strings (`Value::cmp_nulls_first`).
+        (ColumnVec::Int { valid, .. } | ColumnVec::Float { valid, .. }, Value::Str(_)) => {
+            let hit = ok(Ordering::Less);
+            for (i, m) in out.iter_mut().enumerate() {
+                *m = valid.get(i) && hit;
+            }
+        }
+        (ColumnVec::Str { valid, .. }, Value::Int(_) | Value::Float(_)) => {
+            let hit = ok(Ordering::Greater);
+            for (i, m) in out.iter_mut().enumerate() {
+                *m = valid.get(i) && hit;
+            }
+        }
+        (ColumnVec::Mixed(vals), _) => {
+            for (i, m) in out.iter_mut().enumerate() {
+                let lhs = &vals[i];
+                *m = !lhs.is_null() && ok(lhs.cmp_nulls_first(v));
+            }
+        }
+    }
+    out
 }
 
 /// The filter operator: streams segments through the predicate, preserving
@@ -132,6 +225,11 @@ impl<I: Operator> Operator for FilterOp<I> {
                 return Ok(None);
             };
             let store_backed = seg.is_store_backed();
+            let batch = if self.env.columnar {
+                seg.shared_batch().map(Arc::clone)
+            } else {
+                None
+            };
             let (_, mut stream, bounds) = seg.into_stream();
             let mut remaps: Vec<LayerRemap> = bounds
                 .layers()
@@ -146,19 +244,41 @@ impl<I: Operator> Operator for FilterOp<I> {
             let mut builder = store_backed.then(|| self.env.store.builder());
             let mut rows: Vec<Row> = Vec::new();
             let mut kept = 0usize;
-            let mut idx = 0usize;
-            while let Some(row) = stream.next_row()? {
-                for r in &mut remaps {
-                    r.observe(idx, kept);
+            if let Some(batch) = batch {
+                // Vectorized: one typed mask pass over the lanes, then a
+                // gather of the kept rows. Charges are bulk but identical in
+                // total to the row loop below.
+                let mask = self.pred.eval_mask(&batch);
+                self.env.tracker.compare(batch.len() as u64);
+                for (idx, keep) in mask.iter().enumerate() {
+                    for r in &mut remaps {
+                        r.observe(idx, kept);
+                    }
+                    if *keep {
+                        self.env.tracker.move_rows(1);
+                        kept += 1;
+                        let row = batch.row(idx);
+                        match &mut builder {
+                            Some(b) => b.push(row)?,
+                            None => rows.push(row),
+                        }
+                    }
                 }
-                idx += 1;
-                self.env.tracker.compare(1);
-                if self.pred.matches(&row) {
-                    self.env.tracker.move_rows(1);
-                    kept += 1;
-                    match &mut builder {
-                        Some(b) => b.push(row)?,
-                        None => rows.push(row),
+            } else {
+                let mut idx = 0usize;
+                while let Some(row) = stream.next_row()? {
+                    for r in &mut remaps {
+                        r.observe(idx, kept);
+                    }
+                    idx += 1;
+                    self.env.tracker.compare(1);
+                    if self.pred.matches(&row) {
+                        self.env.tracker.move_rows(1);
+                        kept += 1;
+                        match &mut builder {
+                            Some(b) => b.push(row)?,
+                            None => rows.push(row),
+                        }
                     }
                 }
             }
@@ -586,6 +706,56 @@ mod tests {
             Box::new(Predicate::Lt(a(0), Value::Int(6))),
         );
         assert!(both.matches(&r));
+    }
+
+    #[test]
+    fn eval_mask_agrees_with_row_matches() {
+        let rows = vec![
+            row![1, 2.5, "a"],
+            row![Value::Null, Value::Null, Value::Null],
+            row![5, -0.0, ""],
+            row![-3, f64::NAN, "zz"],
+        ];
+        let batch = RowBatch::from_rows(&rows).unwrap();
+        let preds = vec![
+            Predicate::Eq(a(0), Value::Int(5)),
+            Predicate::Ne(a(0), Value::Int(1)),
+            Predicate::Lt(a(0), Value::Float(2.0)),
+            Predicate::Le(a(1), Value::Int(0)),
+            Predicate::Gt(a(1), Value::Float(0.0)),
+            Predicate::Ge(a(2), Value::str("a")),
+            Predicate::Between(a(0), Value::Int(-3), Value::Int(1)),
+            Predicate::Eq(a(0), Value::Null),
+            Predicate::Lt(a(0), Value::str("x")),
+            Predicate::Gt(a(2), Value::Int(100)),
+            Predicate::And(
+                Box::new(Predicate::Ge(a(0), Value::Int(-3))),
+                Box::new(Predicate::Lt(a(1), Value::Float(3.0))),
+            ),
+        ];
+        for p in preds {
+            let mask = p.eval_mask(&batch);
+            let want: Vec<bool> = rows.iter().map(|r| p.matches(r)).collect();
+            assert_eq!(mask, want, "predicate {p:?}");
+        }
+    }
+
+    #[test]
+    fn vectorized_filter_matches_row_filter_exactly() {
+        let t = sample();
+        let pred = Predicate::And(
+            Box::new(Predicate::Ge(a(1), Value::Int(5))),
+            Box::new(Predicate::Lt(a(2), Value::Float(3.0))),
+        );
+        let col_env = OpEnv::with_memory_blocks(8);
+        let col = filter(&t, &pred, &col_env).unwrap();
+        let row_env = OpEnv::with_memory_blocks(8).with_columnar(false);
+        let row = filter(&t, &pred, &row_env).unwrap();
+        assert_eq!(col.rows(), row.rows());
+        assert_eq!(
+            col_env.tracker.snapshot().modeled_counters(),
+            row_env.tracker.snapshot().modeled_counters()
+        );
     }
 
     #[test]

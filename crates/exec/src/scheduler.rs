@@ -44,10 +44,10 @@
 //! the planner's cost decision weighs).
 
 use crate::env::OpEnv;
-use crate::full_sort::UpstreamRows;
 use crate::operator::{Operator, Segment};
 use crate::sorter::{merge_sorted_handles, sort_stream_to_handle, SortKey};
 use crate::util::hash_row_on;
+use std::sync::Arc;
 use wf_common::{AttrSet, Error, Result, SortSpec};
 use wf_storage::SegmentHandle;
 
@@ -210,11 +210,28 @@ impl<I: Operator> Operator for ParallelSortOp<I> {
         // managed: they spill past the pool budget, so the scatter holds
         // O(pool), never the relation).
         let mut builders: Vec<_> = (0..shards).map(|_| env.store.builder()).collect();
-        for r in UpstreamRows::new(&mut self.input) {
-            let row = r?;
-            env.tracker.hash(1);
-            let idx = (hash_row_on(&row, &self.shard_attrs) % shards as u64) as usize;
-            builders[idx].push(row)?;
+        while let Some(seg) = self.input.next_segment()? {
+            let batch = if env.columnar {
+                seg.shared_batch().map(Arc::clone)
+            } else {
+                None
+            };
+            if let Some(batch) = batch {
+                // Per-lane scatter: hash rows straight off the column lanes
+                // (bit-identical u64s to `hash_row_on` on the row shim).
+                env.tracker.hash(batch.len() as u64);
+                for i in 0..batch.len() {
+                    let idx = (batch.hash_row(i, &self.shard_attrs) % shards as u64) as usize;
+                    builders[idx].push(batch.row(i))?;
+                }
+            } else {
+                let (_, mut stream, _) = seg.into_stream();
+                while let Some(row) = stream.next_row()? {
+                    env.tracker.hash(1);
+                    let idx = (hash_row_on(&row, &self.shard_attrs) % shards as u64) as usize;
+                    builders[idx].push(row)?;
+                }
+            }
         }
         let total: usize = builders.iter().map(|b| b.len()).sum();
         if total == 0 {

@@ -31,10 +31,16 @@
 //! heaps are stored in a **fixed-width inline buffer** (`InlineKey`) when
 //! they fit (the common case: a handful of numeric key columns), so keying
 //! a row costs zero heap allocations; only oversized keys spill to a
-//! `Vec<u8>`. The in-memory sort runs `sort_unstable_by` over
-//! `(key, row-index)` with the index as the final tie-break, which
-//! preserves the stable-sort semantics the operators rely on while
-//! avoiding the merge sort's allocation.
+//! `Vec<u8>`. Run spills **carry their keys** (`SpillFile::push_keyed`):
+//! merge read-back rebuilds each heap entry from the stored bytes instead
+//! of re-normalizing, so a row's key is encoded exactly once per sort, and
+//! the keyed codec's modeled-byte accounting keeps block counters identical
+//! to a plain row file. The in-memory sort is an **LSD radix sort** over
+//! 8-byte big-endian key prefixes (comparator fallback for non-normalizable
+//! inputs, full-key resolution for prefix ties) with the row index as the
+//! final tie-break — stable output, no merge buffer, and in the common case
+//! no comparator dispatch at all. Its comparison charge is the model's
+//! deterministic `n·⌈log₂n⌉` in every configuration.
 //!
 //! **Stability.** Every sort path is **stable**: the in-memory sort breaks
 //! ties on the original index, replacement selection breaks heap ties on
@@ -150,6 +156,17 @@ impl KeyedRow {
         KeyedRow { key, row }
     }
 
+    /// Rebuild a keyed row from a key persisted alongside it in a spilled
+    /// run ("normalized keys, phase 2"): read-back reuses the bytes written
+    /// at run formation, so no re-encode happens and no `encode_keys` is
+    /// charged — each row's key is now encoded exactly once per sort.
+    fn from_stored(key: Option<Vec<u8>>, row: Row) -> Self {
+        KeyedRow {
+            key: key.map(|k| InlineKey::from_slice(&k)),
+            row,
+        }
+    }
+
     /// Byte comparison when both sides are normalized, comparator
     /// otherwise. Both define the same total order, so mixing is sound.
     #[inline]
@@ -161,14 +178,24 @@ impl KeyedRow {
     }
 }
 
-/// Sort a slice in memory, charging one comparison per key comparison.
+/// Sort a slice in memory, charging the model's `n·⌈log₂n⌉` comparisons.
 ///
-/// The sort is `sort_unstable_by` over a permutation of row indices with
-/// the original index as the final tie-break — stable output, no merge
-/// buffer. Normalized keys live in one arena; rows whose keys failed to
-/// normalize compare through the comparator (same order, so the sequence of
-/// orderings — and therefore the comparison count — is identical whether
-/// normalization is on, off, or partial).
+/// Two backends produce the identical stable permutation:
+///
+/// * **LSD radix** (taken whenever every row's key normalized): stable
+///   counting-sort passes over the 8-byte big-endian key prefix, least
+///   significant byte first, skipping bytes that are uniform across the
+///   input; equal-prefix runs (keys longer than the prefix, or genuinely
+///   tied) are resolved by the full arena slices with the original index as
+///   the final tie-break. No comparator callbacks at all in the common case.
+/// * **Comparator fallback** (normalization off, or any lossy value):
+///   `sort_unstable_by` over `(prefix, index)` exactly as before.
+///
+/// Because the radix backend makes no comparator callbacks, the comparison
+/// *charge* is the model's deterministic `n·⌈log₂n⌉` in **every**
+/// configuration — the count is a function of `n` alone, so equivalence
+/// suites that flip `norm_keys`/`columnar` or swap backends still see
+/// bit-identical modeled counters.
 pub fn sort_in_memory(rows: &mut [Row], key: &SortKey, env: &OpEnv) {
     let n = rows.len();
     if n <= 1 {
@@ -195,15 +222,10 @@ pub fn sort_in_memory(rows: &mut [Row], key: &SortKey, env: &OpEnv) {
     };
 
     // Decorate each index with the key's first 8 bytes (zero-padded,
-    // big-endian) so most comparisons resolve on a register compare; ties
-    // fall through to the full arena slices. Zero padding is sound: two
-    // distinct keys of one spec differ at a byte before either ends, so a
-    // padded prefix never contradicts the full comparison — it can only
-    // tie. When any row lacks a key (normalization off or a lossy value),
-    // every prefix is 0 and all pairs fall through — the decorated element
-    // type stays identical across configurations, which keeps the standard
-    // library's size-specialized sort making the *same* comparison
-    // sequence, so comparison counters match the reference path exactly.
+    // big-endian): the radix backend's digit source, and a register compare
+    // for most fallback comparisons. Zero padding is sound: two distinct
+    // keys of one spec differ at a byte before either ends, so a padded
+    // prefix never contradicts the full comparison — it can only tie.
     let all_encoded = spans.iter().all(Option::is_some);
     let mut perm: Vec<(u64, u32)> = spans
         .iter()
@@ -222,20 +244,90 @@ pub fn sort_in_memory(rows: &mut [Row], key: &SortKey, env: &OpEnv) {
             (p, i as u32)
         })
         .collect();
-    let mut count: u64 = 0;
-    perm.sort_unstable_by(|&(pa, ia), &(pb, ib)| {
-        count += 1;
-        pa.cmp(&pb)
-            .then_with(|| match (spans[ia as usize], spans[ib as usize]) {
-                (Some((sa, ea)), Some((sb, eb))) => {
-                    arena[sa as usize..ea as usize].cmp(&arena[sb as usize..eb as usize])
-                }
-                _ => key.cmp.compare(&rows[ia as usize], &rows[ib as usize]),
-            })
-            .then(ia.cmp(&ib))
-    });
-    env.tracker.compare(count);
+    // Model charge: n·⌈log₂n⌉ — deterministic in n so both backends (and
+    // every toggle configuration) charge the same comparisons.
+    let log2_ceil = (usize::BITS - (n - 1).leading_zeros()) as u64;
+    env.tracker.compare(n as u64 * log2_ceil);
+    if all_encoded {
+        radix_sort_prefixes(&mut perm);
+        // Radix is stable and `perm` started in index order, so equal-prefix
+        // runs are already index-ordered; only runs whose *full* keys may
+        // still differ (key longer than the prefix) need the slice compare.
+        let full = |i: u32| {
+            let (s, e) = spans[i as usize].expect("all rows encoded on this path");
+            &arena[s as usize..e as usize]
+        };
+        let mut i = 0usize;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && perm[j].0 == perm[i].0 {
+                j += 1;
+            }
+            if j - i > 1 && full(perm[i].1).len() > 8 {
+                perm[i..j].sort_unstable_by(|&(_, ia), &(_, ib)| {
+                    full(ia).cmp(full(ib)).then(ia.cmp(&ib))
+                });
+            }
+            i = j;
+        }
+    } else {
+        perm.sort_unstable_by(|&(pa, ia), &(pb, ib)| {
+            pa.cmp(&pb)
+                .then_with(|| match (spans[ia as usize], spans[ib as usize]) {
+                    (Some((sa, ea)), Some((sb, eb))) => {
+                        arena[sa as usize..ea as usize].cmp(&arena[sb as usize..eb as usize])
+                    }
+                    _ => key.cmp.compare(&rows[ia as usize], &rows[ib as usize]),
+                })
+                .then(ia.cmp(&ib))
+        });
+    }
     apply_permutation(rows, perm.into_iter().map(|(_, i)| i).collect());
+}
+
+/// LSD radix sort of `(prefix, index)` pairs on the 8 prefix bytes: one
+/// stable counting-sort pass per byte, least significant first, skipping
+/// bytes that are uniform across the input (sorted data's high bytes, short
+/// keys' padding). Ping-pongs between two buffers; O(n) per pass.
+fn radix_sort_prefixes(perm: &mut [(u64, u32)]) {
+    let n = perm.len();
+    let mut aux: Vec<(u64, u32)> = vec![(0, 0); n];
+    let mut in_perm = true; // which buffer currently holds the data
+    for byte in 0..8u32 {
+        let shift = byte * 8;
+        let src: &[(u64, u32)] = if in_perm { perm } else { &aux };
+        let mut counts = [0usize; 256];
+        for &(p, _) in src {
+            counts[((p >> shift) & 0xFF) as usize] += 1;
+        }
+        if counts.contains(&n) {
+            continue; // every key shares this byte — the pass is a no-op
+        }
+        let mut sum = 0usize;
+        for c in counts.iter_mut() {
+            let here = *c;
+            *c = sum;
+            sum += here;
+        }
+        // Split borrows: counting-scatter from one buffer into the other.
+        if in_perm {
+            for &e in perm.iter() {
+                let b = ((e.0 >> shift) & 0xFF) as usize;
+                aux[counts[b]] = e;
+                counts[b] += 1;
+            }
+        } else {
+            for &e in aux.iter() {
+                let b = ((e.0 >> shift) & 0xFF) as usize;
+                perm[counts[b]] = e;
+                counts[b] += 1;
+            }
+        }
+        in_perm = !in_perm;
+    }
+    if !in_perm {
+        perm.copy_from_slice(&aux);
+    }
 }
 
 /// Rearrange `rows` so that position `i` holds the row previously at
@@ -499,7 +591,7 @@ fn drain_heap_with_input(
             current_tag = tag;
         }
         let file = current_file.as_mut().expect("file just ensured");
-        file.push(&keyed.row)?;
+        file.push_keyed(keyed.key.as_ref().map(InlineKey::as_slice), &keyed.row)?;
         env.tracker.move_rows(1);
         // `keyed` is now the last tuple written to the current run; incoming
         // tuples that precede it must wait for the next run. Ties join the
@@ -557,8 +649,8 @@ fn merge_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>
         let batch: Vec<Run> = runs.drain(..f).collect();
         let rank = batch.iter().map(|r| r.rank).min().unwrap_or(0);
         let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
-        merge_into(batch, key, env, |row| {
-            out.push(row)?;
+        merge_into(batch, key, env, |key, row| {
+            out.push_keyed(key, row)?;
             Ok(())
         })?;
         runs.push(Run {
@@ -568,7 +660,7 @@ fn merge_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>
     }
     // Final pass.
     let mut result = Vec::new();
-    merge_into(runs, key, env, |row| {
+    merge_into(runs, key, env, |_, row| {
         result.push(row.clone());
         Ok(())
     })?;
@@ -588,8 +680,8 @@ fn merge_runs_to_handle(
         let batch: Vec<Run> = runs.drain(..f).collect();
         let rank = batch.iter().map(|r| r.rank).min().unwrap_or(0);
         let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
-        merge_into(batch, key, env, |row| {
-            out.push(row)?;
+        merge_into(batch, key, env, |key, row| {
+            out.push_keyed(key, row)?;
             Ok(())
         })?;
         runs.push(Run {
@@ -600,7 +692,7 @@ fn merge_runs_to_handle(
     let mut builder = env.store.builder();
     let mut recorder = PrefixRecorder::new(record, env);
     let mut n = 0usize;
-    merge_into(runs, key, env, |row| {
+    merge_into(runs, key, env, |_, row| {
         recorder.observe(row);
         builder.push(row.clone())?;
         n += 1;
@@ -609,35 +701,37 @@ fn merge_runs_to_handle(
     Ok((builder.finish()?, recorder.finish(), n))
 }
 
-/// Core k-way merge over run readers; `emit` receives rows in order. Each
-/// row is re-normalized as it is read back (spilled runs store rows, not
-/// keys, so block counts are identical to the comparator path). Ties break
-/// by run index: replacement selection puts tied keys into the current run
-/// in arrival order (never a later one), so run-index order *is* arrival
+/// Core k-way merge over run readers; `emit` receives each row in order
+/// together with its stored normalized key (so intermediate passes can
+/// re-spill the key without re-encoding). Runs carry their keys on the
+/// spill device — read-back rebuilds each `KeyedRow` from the stored bytes
+/// instead of re-normalizing, and the keyed codec's modeled-byte accounting
+/// keeps block counts identical to a plain row file. Ties break by run
+/// formation rank: replacement selection puts tied keys into the current
+/// run in arrival order (never a later one), so rank order *is* arrival
 /// order for ties — the merge preserves the stable total order end to end.
 fn merge_into(
     runs: Vec<Run>,
     key: &SortKey,
     env: &OpEnv,
-    mut emit: impl FnMut(&Row) -> Result<()>,
+    mut emit: impl FnMut(Option<&[u8]>, &Row) -> Result<()>,
 ) -> Result<()> {
     let ranks: Vec<u64> = runs.iter().map(|r| r.rank).collect();
     let mut readers: Vec<SpillReader> = runs.into_iter().map(|r| r.reader).collect();
     let cmp = key.cmp.clone();
-    let mut scratch: Vec<u8> = Vec::new();
     let mut heap = HeapBy::new(move |a: &(KeyedRow, usize), b: &(KeyedRow, usize)| {
         a.0.compare(&b.0, &cmp).then(ranks[a.1].cmp(&ranks[b.1]))
     });
     for (i, r) in readers.iter_mut().enumerate() {
-        if let Some(row) = r.next_row()? {
-            heap.push((KeyedRow::new(row, key, env, &mut scratch), i));
+        if let Some((stored, row)) = r.next_keyed()? {
+            heap.push((KeyedRow::from_stored(stored, row), i));
         }
     }
     while let Some((keyed, i)) = heap.pop() {
-        emit(&keyed.row)?;
+        emit(keyed.key.as_ref().map(InlineKey::as_slice), &keyed.row)?;
         env.tracker.move_rows(1);
-        if let Some(next) = readers[i].next_row()? {
-            heap.push((KeyedRow::new(next, key, env, &mut scratch), i));
+        if let Some((stored, next)) = readers[i].next_keyed()? {
+            heap.push((KeyedRow::from_stored(stored, next), i));
         }
     }
     env.tracker.compare(heap.take_comparisons());
@@ -940,6 +1034,129 @@ mod tests {
             }
             assert_eq!(layer.starts, expect, "M={mem}");
         }
+    }
+
+    /// SplitMix64 — independent streams per seed, good avalanche; drives
+    /// the adversarial-value generators below.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Rows whose sort keys hit every normalization edge: NaN and ±0.0
+    /// floats, empty strings and strings containing NUL bytes, ints beyond
+    /// 2^53 (lossy under an f64 cast, so normalization refuses them and the
+    /// whole sort falls back to the comparator), NULLs, and plain values.
+    fn adversarial_rows(n: usize, seed: u64, include_lossy: bool) -> Vec<Row> {
+        use wf_common::Value;
+        let mut st = seed;
+        (0..n)
+            .map(|_| {
+                let r = splitmix64(&mut st);
+                let v = match r % 12 {
+                    0 => Value::Float(f64::NAN),
+                    1 => Value::Float(0.0),
+                    2 => Value::Float(-0.0),
+                    3 => Value::Str("".into()),
+                    4 => Value::Str("a\0b".into()),
+                    5 => Value::Str("\0".into()),
+                    6 if include_lossy => Value::Int((1i64 << 53) + 1 + (r >> 32) as i64),
+                    7 => Value::Null,
+                    8 => Value::Float(((r >> 16) as i64 as f64) / 7.0),
+                    9 => Value::Str(format!("s{}", r % 50).into()),
+                    _ => Value::Int((r % 1000) as i64 - 500),
+                };
+                Row::new(vec![v, Value::Int((splitmix64(&mut st) % 97) as i64)])
+            })
+            .collect()
+    }
+
+    /// The radix backend (normalized keys) and the comparator backend must
+    /// produce the identical stable order and identical modeled counters on
+    /// adversarial key distributions — including inputs where a lossy int
+    /// forces the whole sort onto the comparator path.
+    #[test]
+    fn radix_matches_comparator_on_adversarial_values() {
+        let spec = SortSpec::new(vec![
+            OrdElem::asc(AttrId::new(0)),
+            OrdElem::desc(AttrId::new(1)),
+        ]);
+        let sk = SortKey::new(&spec);
+        for (seed, include_lossy) in [(11u64, false), (12, true), (13, false), (14, true)] {
+            for mem in [1024u64, 3] {
+                let rows = adversarial_rows(1200, seed, include_lossy);
+                let env_norm = OpEnv::with_memory_blocks(mem);
+                let env_cmp = env_norm.with_toggles(false, true);
+                let a = sort_rows(rows.clone(), &sk, &env_norm).unwrap();
+                let b = sort_rows(rows, &sk, &env_cmp).unwrap();
+                assert_eq!(a, b, "seed={seed} lossy={include_lossy} M={mem}");
+                assert_eq!(
+                    env_norm.tracker.snapshot().modeled_counters(),
+                    env_cmp.tracker.snapshot().modeled_counters(),
+                    "seed={seed} lossy={include_lossy} M={mem}"
+                );
+            }
+        }
+    }
+
+    /// The in-memory comparison charge is the deterministic `n·⌈log₂n⌉`
+    /// regardless of backend or key distribution.
+    #[test]
+    fn in_memory_comparison_charge_is_the_model_formula() {
+        for n in [2usize, 3, 4, 500, 1000] {
+            let expected = n as u64 * (usize::BITS - (n - 1).leading_zeros()) as u64;
+            for norm in [true, false] {
+                let env = OpEnv::with_memory_blocks(1 << 20).with_toggles(norm, true);
+                let mut rows = make_rows(n, n as u64);
+                sort_in_memory(&mut rows, &cmp_on0(), &env);
+                assert_eq!(
+                    env.tracker.snapshot().comparisons,
+                    expected,
+                    "n={n} norm={norm}"
+                );
+            }
+        }
+    }
+
+    /// Stability under the radix backend: rows with equal keys keep input
+    /// order, including keys that tie only in the 8-byte prefix.
+    #[test]
+    fn radix_sort_is_stable() {
+        // Key 9 bytes (int column): values differing only in the low byte
+        // share the 8-byte prefix, so the full-key resolve pass runs.
+        let rows: Vec<Row> = (0..800).map(|i| row![(i % 5) as i64, i as i64]).collect();
+        let env = OpEnv::with_memory_blocks(1 << 20);
+        let mut sorted = rows.clone();
+        sort_in_memory(&mut sorted, &cmp_on0(), &env);
+        let mut expect = rows;
+        expect.sort_by(|a, b| {
+            a.get(AttrId::new(0))
+                .as_int()
+                .cmp(&b.get(AttrId::new(0)).as_int())
+        });
+        assert_eq!(sorted, expect, "stable sort must preserve arrival order");
+    }
+
+    /// External runs carry their normalized keys to the spill device and
+    /// back; outputs and modeled counters still match the comparator path.
+    #[test]
+    fn keyed_runs_round_trip_through_external_sort() {
+        let spec = SortSpec::new(vec![OrdElem::asc(AttrId::new(0))]);
+        let sk = SortKey::new(&spec);
+        let rows = adversarial_rows(3000, 21, false);
+        let env_norm = OpEnv::with_memory_blocks(2);
+        let env_cmp = env_norm.with_toggles(false, true);
+        let a = sort_rows(rows.clone(), &sk, &env_norm).unwrap();
+        let b = sort_rows(rows, &sk, &env_cmp).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            env_norm.tracker.snapshot().modeled_counters(),
+            env_cmp.tracker.snapshot().modeled_counters(),
+            "key-carrying spills must not change modeled I/O"
+        );
     }
 
     #[test]

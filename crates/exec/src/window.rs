@@ -233,6 +233,17 @@ impl FrameSpec {
         };
         self.units == FrameUnits::Rows && bounded(self.start) && bounded(self.end)
     }
+
+    /// True when both bounds are numeric RANGE offsets (`x PRECEDING` /
+    /// `y FOLLOWING`): the frame is a key-distance window around the
+    /// current row's key. Neither bound touches CURRENT ROW, so no peer
+    /// resolution is involved, and both frame edges slide monotonically
+    /// with the (sorted) key — which is what lets the sliding aggregates
+    /// ring-stream these frames instead of buffering the partition.
+    pub fn is_offset_range(&self) -> bool {
+        let off = |b: Bound| matches!(b, Bound::Preceding(_) | Bound::Following(_));
+        self.units == FrameUnits::Range && off(self.start) && off(self.end)
+    }
 }
 
 /// How the window operator evaluates **spilled** partitions for one window
@@ -247,7 +258,7 @@ impl FrameSpec {
 ///   plus per-peer-group rank state: `O(M + frame)`.
 /// * [`StreamableEval::Buffered`] — one whole partition buffered:
 ///   `O(M + partition)`, the fallback for frames that genuinely need
-///   random access (RANGE offsets, unbounded ROWS lookahead, variance).
+///   random access (peer-anchored RANGE frames, unbounded ROWS lookahead).
 ///
 /// Variants are ordered weakest-first so a chain mixing several window
 /// calls is governed by the `min` (weakest) member — see
@@ -282,11 +293,20 @@ impl StreamableEval {
             Ntile(_) | PercentRank | CumeDist => StreamableEval::OnePass,
             // Row references: a ring of `offset` rows.
             Lag { .. } | Lead { .. } => StreamableEval::Ring,
-            // Frame readers over a bounded physical-row window.
+            // Frame readers over a bounded physical-row window. The
+            // variance family joins via its sum/sum-of-squares prefix
+            // lanes — same sliding-window discipline as SUM/AVG.
             FirstValue(_) | LastValue(_) | NthValue(..) | Count(_) | Sum(_) | Avg(_) | Min(_)
-            | Max(_)
+            | Max(_) | VarPop(_) | VarSamp(_) | StddevPop(_) | StddevSamp(_)
                 if frame.is_bounded_rows() =>
             {
+                StreamableEval::Ring
+            }
+            // Pure-offset RANGE frames: both edges are key-distance bounds
+            // that slide monotonically with the sorted key, so the sliding
+            // aggregates resolve them with two monotone pointers over a
+            // ring instead of buffering the partition.
+            Count(_) | Sum(_) | Avg(_) | Min(_) | Max(_) if frame.is_offset_range() => {
                 StreamableEval::Ring
             }
             _ => StreamableEval::Buffered,
@@ -896,10 +916,11 @@ impl<I: Operator> WindowOp<I> {
     }
 
     /// Ring-buffer streaming for spilled partitions: ranking functions,
-    /// `lag`/`lead`, and bounded-ROWS frame readers evaluate with at most
-    /// `hist + delay + 1` staged rows (the frame extent) plus per-peer-group
-    /// rank state — `O(M + frame)` tracked residency instead of buffering
-    /// the partition. Partition and peer boundaries are detected with the
+    /// `lag`/`lead`, bounded-ROWS frame readers (including the variance
+    /// family), and pure-offset RANGE aggregates evaluate with at most the
+    /// frame extent staged plus per-peer-group rank state — `O(M + frame)`
+    /// tracked residency instead of buffering the partition. Partition and
+    /// peer boundaries are detected with the
     /// exact comparison charges of the materialized path (via
     /// [`RunSplitter`]); value computation mirrors the materialized
     /// evaluators bit for bit (see [`RingEval`]).
@@ -925,7 +946,7 @@ impl<I: Operator> WindowOp<I> {
         let needs_peers = matches!(self.func, WindowFunction::Rank | WindowFunction::DenseRank);
         let mut peer_split =
             needs_peers.then(|| RunSplitter::new(bounds, &self.union_attrs, n, env.reuse_bounds));
-        let mut ring = RingEval::new(&self.func, &self.frame, env)?;
+        let mut ring = RingEval::new(&self.func, &self.frame, &self.wok, env)?;
         let mut prev: Option<Row> = None;
         let mut idx = 0usize;
         while let Some(row) = stream.next_row()? {
@@ -1194,7 +1215,14 @@ impl RunningAgg {
 ///   popping strictly-worse entries keeps the *leftmost* extremum, exactly
 ///   the sparse table's tie rule, in `O(n)` total — and charge the sparse
 ///   table's deterministic build comparisons at partition end, keeping
-///   modeled counters identical.
+///   modeled counters identical;
+/// * the variance family (`var_pop`/`var_samp`/`stddev_pop`/`stddev_samp`)
+///   adds a sum-of-squares prefix lane and applies the materialized path's
+///   sum-of-squares identity verbatim (same association order, same
+///   clamping) — bit-identical floats, zero extra comparisons;
+/// * pure-offset RANGE frames resolve through [`RangeState`]'s monotone
+///   pointers — the same half-open ranges as the materialized binary
+///   searches (NULL peer regions included), equally uncharged.
 struct RingEval {
     func: WindowFunction,
     frame: FrameSpec,
@@ -1211,12 +1239,17 @@ struct RingEval {
     /// Ranking state of the open peer group.
     rank: i64,
     dense: i64,
-    /// Sum/Avg/Count(col): prefix accumulators for indexes
-    /// `[pbase, received]` — `(exact int sum, float sum, non-null count)`
-    /// over rows `0..j`.
-    prefixes: std::collections::VecDeque<(i128, f64, i64)>,
+    /// Sum/Avg/Count(col)/variance: prefix accumulators for indexes
+    /// `[pbase, received]` — `(exact int sum, float sum, float sum of
+    /// squares, non-null count)` over rows `0..j`. The sum-of-squares lane
+    /// is populated by the variance family only.
+    prefixes: std::collections::VecDeque<(i128, f64, f64, i64)>,
     pbase: usize,
     all_int: bool,
+    /// Pure-offset RANGE frames: streamed mirror of the materialized
+    /// binary-search frame resolution (see [`RangeState`]). `None` in
+    /// ROWS / frame-less modes.
+    range: Option<RangeState>,
     /// Min/Max: monotonic deque of rel indices with non-null values —
     /// front is the frame's leftmost extremum; `next_add` is the first
     /// index not yet offered to it. O(n) total over a partition.
@@ -1227,8 +1260,37 @@ struct RingEval {
     stage: Option<wf_storage::SegmentBuilder>,
 }
 
+/// Streaming state for pure-offset RANGE frames (`x PRECEDING .. y
+/// FOLLOWING` in key space). Because the partition arrives sorted on the
+/// single numeric ordering key, both frame edges are monotone in the row
+/// index: the materialized path's per-row binary searches collapse into two
+/// pointers (`fs`/`fe`) that only ever advance — `O(n)` per partition, and
+/// (like the binary searches) uncharged. NULL-key rows form their own peer
+/// region at whichever end the sort placed them.
+struct RangeState {
+    /// The single ordering key (validated lazily, per row, exactly like
+    /// [`range_key`] — so an empty input never errors).
+    wok: SortSpec,
+    /// Frame-start key delta: `Preceding(k) → -k`, `Following(k) → +k`.
+    start_delta: i64,
+    /// Frame-end key delta, same encoding.
+    end_delta: i64,
+    /// Ascending-normalized keys of rows `[kbase, received)`, aligned with
+    /// the row ring; `(key, is_null)` as produced by [`range_key_row`].
+    keys: std::collections::VecDeque<(f64, bool)>,
+    kbase: usize,
+    /// Monotone frame pointers: `fs` = first index with key ≥ key(i) +
+    /// start_delta, `fe` = one past the last with key ≤ key(i) + end_delta.
+    fs: usize,
+    fe: usize,
+    /// The NULL peer region `[null_start, null_end)`; `null_end == None`
+    /// means it runs to the partition end (NULLs sorted last).
+    null_start: Option<usize>,
+    null_end: Option<usize>,
+}
+
 impl RingEval {
-    fn new(func: &WindowFunction, frame: &FrameSpec, env: &OpEnv) -> Result<Self> {
+    fn new(func: &WindowFunction, frame: &FrameSpec, wok: &SortSpec, env: &OpEnv) -> Result<Self> {
         use WindowFunction::*;
         if func.uses_frame() {
             // Mirror `frame_ranges`' offset validation.
@@ -1253,12 +1315,33 @@ impl RingEval {
         let (hist, delay) = match func {
             Lag { offset, .. } => (*offset as usize, 0),
             Lead { offset, .. } => (0, *offset as usize),
-            _ if func.uses_frame() => (
+            // RANGE offsets are key distances, not row counts: retention
+            // and readiness come from the key pointers instead (see
+            // `RangeState`), so hist/delay stay zero there.
+            _ if func.uses_frame() && frame.units == FrameUnits::Rows => (
                 preceding(frame.start).max(preceding(frame.end)),
                 following(frame.start).max(following(frame.end)),
             ),
             _ => (0, 0),
         };
+        let range = (func.uses_frame() && frame.units == FrameUnits::Range).then(|| {
+            let delta = |b: Bound| match b {
+                Bound::Preceding(k) => -k,
+                Bound::Following(k) => k,
+                _ => 0,
+            };
+            RangeState {
+                wok: wok.clone(),
+                start_delta: delta(frame.start),
+                end_delta: delta(frame.end),
+                keys: std::collections::VecDeque::new(),
+                kbase: 0,
+                fs: 0,
+                fe: 0,
+                null_start: None,
+                null_end: None,
+            }
+        });
         let stage = matches!(func, Sum(_) | Avg(_)).then(|| env.store.builder());
         Ok(RingEval {
             func: func.clone(),
@@ -1272,9 +1355,10 @@ impl RingEval {
             charge: env.store.ring_charge(),
             rank: 0,
             dense: 0,
-            prefixes: std::collections::VecDeque::from([(0i128, 0f64, 0i64)]),
+            prefixes: std::collections::VecDeque::from([(0i128, 0f64, 0f64, 0i64)]),
             pbase: 0,
             all_int: true,
+            range,
             minmax: std::collections::VecDeque::new(),
             next_add: 0,
             stage,
@@ -1295,9 +1379,23 @@ impl RingEval {
             self.rank = self.received as i64 + 1;
             self.dense += 1;
         }
+        if let Some(r) = &mut self.range {
+            // Resolve the ordering key first — the materialized path
+            // validates it (in `frame_ranges`) before touching the
+            // aggregate column.
+            let (k, knull) = range_key_row(&r.wok, &row)?;
+            if knull {
+                if r.null_start.is_none() {
+                    r.null_start = Some(self.received);
+                }
+            } else if r.null_start.is_some() && r.null_end.is_none() {
+                r.null_end = Some(self.received);
+            }
+            r.keys.push_back((k, knull));
+        }
         match &self.func {
             Sum(col) | Avg(col) => {
-                let &(pi, pf, pc) = self.prefixes.back().expect("prefix seeded");
+                let &(pi, pf, pq, pc) = self.prefixes.back().expect("prefix seeded");
                 let (di, df, dc) = match row.get(*col) {
                     Value::Int(x) => (*x as i128, *x as f64, 1),
                     Value::Float(x) => {
@@ -1312,22 +1410,102 @@ impl RingEval {
                         })
                     }
                 };
-                self.prefixes.push_back((pi + di, pf + df, pc + dc));
+                self.prefixes.push_back((pi + di, pf + df, pq, pc + dc));
+            }
+            VarPop(col) | VarSamp(col) | StddevPop(col) | StddevSamp(col) => {
+                let &(pi, pf, pq, pc) = self.prefixes.back().expect("prefix seeded");
+                let (x, dc) = match row.get(*col) {
+                    Value::Int(v) => (*v as f64, 1),
+                    Value::Float(v) => (*v, 1),
+                    Value::Null => (0.0, 0),
+                    other => {
+                        return Err(Error::TypeMismatch {
+                            expected: "numeric".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                self.prefixes.push_back((pi, pf + x, pq + x * x, pc + dc));
             }
             Count(Some(col)) => {
-                let &(pi, pf, pc) = self.prefixes.back().expect("prefix seeded");
+                let &(pi, pf, pq, pc) = self.prefixes.back().expect("prefix seeded");
                 self.prefixes
-                    .push_back((pi, pf, pc + i64::from(!row.get(*col).is_null())));
+                    .push_back((pi, pf, pq, pc + i64::from(!row.get(*col).is_null())));
             }
             _ => {}
         }
         self.charge.enter(row.encoded_len());
         self.ring.push_back(row);
         self.received += 1;
-        while self.next_emit + self.delay < self.received {
-            self.emit_next(self.received, out)?;
+        if self.range.is_some() {
+            while self.range_ready() {
+                self.emit_next(self.received, out)?;
+            }
+        } else {
+            while self.next_emit + self.delay < self.received {
+                self.emit_next(self.received, out)?;
+            }
         }
         Ok(())
+    }
+
+    /// Pure-offset RANGE emission gate for row `next_emit`: the partition
+    /// arrives key-sorted, so once the *latest* key passes the frame's end
+    /// target the frame can no longer grow. A NULL-key row's frame is the
+    /// NULL peer region, complete once a non-NULL key follows it (NULLs
+    /// are contiguous under the sort); rows the gate never releases are
+    /// flushed at partition end, when the length is exact.
+    fn range_ready(&self) -> bool {
+        let Some(r) = &self.range else { return false };
+        if self.next_emit >= self.received {
+            return false;
+        }
+        let (ki, inull) = r.keys[self.next_emit - r.kbase];
+        let (kl, lnull) = r.keys[self.received - 1 - r.kbase];
+        if inull {
+            !lnull
+        } else {
+            // A NULL key in the tail sorts past every numeric target —
+            // the same side rule the materialized binary search applies.
+            lnull || kl > ki + r.end_delta as f64
+        }
+    }
+
+    /// Resolve the pure-offset RANGE frame of row `i` — the same half-open
+    /// range the materialized binary searches produce, computed with the
+    /// monotone `fs`/`fe` sweeps (each pointer passes a row at most once:
+    /// `O(n)` per partition). Uncharged, like the binary searches.
+    fn range_frame(&mut self, i: usize, avail: usize) -> (usize, usize) {
+        let r = self.range.as_mut().expect("range mode");
+        let (ki, inull) = r.keys[i - r.kbase];
+        if inull {
+            let s = r.null_start.expect("null key was recorded");
+            let e = r.null_end.unwrap_or(avail);
+            return (s.min(avail), e.max(s).min(avail));
+        }
+        let ts = ki + r.start_delta as f64;
+        let te = ki + r.end_delta as f64;
+        // NULL keys before the current row count as "below any numeric
+        // target" (the binary searches' `mid < i` side rule); ones at or
+        // past it stop the sweep.
+        while r.fs < self.received {
+            let (k, knull) = r.keys[r.fs - r.kbase];
+            if (knull && r.fs < i) || (!knull && k < ts) {
+                r.fs += 1;
+            } else {
+                break;
+            }
+        }
+        while r.fe < self.received {
+            let (k, knull) = r.keys[r.fe - r.kbase];
+            if (knull && r.fe < i) || (!knull && k <= te) {
+                r.fe += 1;
+            } else {
+                break;
+            }
+        }
+        let s = r.fs.min(avail);
+        (s, r.fe.max(s).min(avail))
     }
 
     /// Evaluate and emit the next pending row. `avail` is the number of
@@ -1367,14 +1545,20 @@ impl RingEval {
                 row.push(v);
             }
             _ => {
-                // Bounded-ROWS frame readers: resolve the frame exactly
-                // like `frame_ranges`.
-                let s = rows_bound_start(self.frame.start, i, avail).min(avail);
-                let e = rows_bound_end(self.frame.end, i, avail).max(s).min(avail);
+                // Frame readers: bounded-ROWS frames resolve exactly like
+                // `frame_ranges`; pure-offset RANGE frames replay the
+                // materialized binary searches via the monotone pointers.
+                let (s, e) = if self.range.is_some() {
+                    self.range_frame(i, avail)
+                } else {
+                    let s = rows_bound_start(self.frame.start, i, avail).min(avail);
+                    let e = rows_bound_end(self.frame.end, i, avail).max(s).min(avail);
+                    (s, e)
+                };
                 if let Sum(_) | Avg(_) = &self.func {
                     // Provisional value: prefix differences, resolved at
                     // partition end once the type class is known.
-                    let (si, sf, sc) = self.prefix_diff(s, e);
+                    let (si, sf, _, sc) = self.prefix_diff(s, e);
                     row.push(Value::Int(sc));
                     row.push(Value::Int((si >> 64) as i64));
                     row.push(Value::Int(si as u64 as i64));
@@ -1426,7 +1610,24 @@ impl RingEval {
             }
             Count(None) => Value::Int((e - s) as i64),
             // Non-null count from the prefix deque: O(1), exact integers.
-            Count(Some(_)) => Value::Int(self.prefix_diff(s, e).2),
+            Count(Some(_)) => Value::Int(self.prefix_diff(s, e).3),
+            // Variance family: the materialized path's sum-of-squares
+            // identity over the same f64 prefix lanes — identical
+            // association order, so results match bit for bit.
+            VarPop(_) | VarSamp(_) | StddevPop(_) | StddevSamp(_) => {
+                let (_, sum, sq, cnt) = self.prefix_diff(s, e);
+                let sample = matches!(self.func, VarSamp(_) | StddevSamp(_));
+                let sqrt = matches!(self.func, StddevPop(_) | StddevSamp(_));
+                let cnt = cnt as f64;
+                let min_n = if sample { 2.0 } else { 1.0 };
+                if cnt < min_n {
+                    Value::Null
+                } else {
+                    let ssd = (sq - sum * sum / cnt).max(0.0);
+                    let var = ssd / if sample { cnt - 1.0 } else { cnt };
+                    Value::Float(if sqrt { var.sqrt() } else { var })
+                }
+            }
             other => unreachable!("{other:?} is not a ring frame reader"),
         }
     }
@@ -1477,15 +1678,22 @@ impl RingEval {
 
     /// `prefix[e] - prefix[s]` — the materialized prefix arrays' exact
     /// arithmetic, including float association order.
-    fn prefix_diff(&self, s: usize, e: usize) -> (i128, f64, i64) {
+    fn prefix_diff(&self, s: usize, e: usize) -> (i128, f64, f64, i64) {
         let pe = self.prefixes[e - self.pbase];
         let ps = self.prefixes[s - self.pbase];
-        (pe.0 - ps.0, pe.1 - ps.1, pe.2 - ps.2)
+        (pe.0 - ps.0, pe.1 - ps.1, pe.2 - ps.2, pe.3 - ps.3)
     }
 
-    /// Drop ring rows (and prefix entries) no upcoming frame can read.
+    /// Drop ring rows (and prefix/key entries) no upcoming frame can read.
     fn evict(&mut self) {
-        let keep = self.next_emit.saturating_sub(self.hist);
+        let keep = match &self.range {
+            // Pure-offset RANGE: retain everything the slower frame
+            // pointer (or a not-yet-emitted row) may still read. `fe`
+            // joins the floor so degenerate end-before-start frames never
+            // outrun their own start pointer's reads.
+            Some(r) => self.next_emit.min(r.fs).min(r.fe),
+            None => self.next_emit.saturating_sub(self.hist),
+        };
         while self.base < keep {
             if let Some(row) = self.ring.pop_front() {
                 self.charge.leave(row.encoded_len());
@@ -1495,6 +1703,12 @@ impl RingEval {
         while self.pbase < keep {
             self.prefixes.pop_front();
             self.pbase += 1;
+        }
+        if let Some(r) = &mut self.range {
+            while r.kbase < keep {
+                r.keys.pop_front();
+                r.kbase += 1;
+            }
         }
     }
 
@@ -1570,11 +1784,19 @@ impl RingEval {
         self.rank = 0;
         self.dense = 0;
         self.prefixes.clear();
-        self.prefixes.push_back((0, 0.0, 0));
+        self.prefixes.push_back((0, 0.0, 0.0, 0));
         self.pbase = 0;
         self.all_int = true;
         self.minmax.clear();
         self.next_add = 0;
+        if let Some(r) = &mut self.range {
+            r.keys.clear();
+            r.kbase = 0;
+            r.fs = 0;
+            r.fe = 0;
+            r.null_start = None;
+            r.null_end = None;
+        }
         Ok(())
     }
 }
@@ -1871,13 +2093,20 @@ fn rows_bound_end(b: Bound, i: usize, n: usize) -> usize {
 
 /// RANGE with a numeric offset needs a single numeric ordering key.
 fn range_key(part: &[Row], wok: &SortSpec, i: usize) -> Result<(f64, bool)> {
+    range_key_row(wok, &part[i])
+}
+
+/// [`range_key`] over a single streamed row: the ascending-normalized
+/// numeric key (or the NULL marker), with the materialized path's exact
+/// validation and error messages.
+fn range_key_row(wok: &SortSpec, row: &Row) -> Result<(f64, bool)> {
     if wok.len() != 1 {
         return Err(Error::InvalidQuery(
             "RANGE with offset requires exactly one ORDER BY key".into(),
         ));
     }
     let e = wok.elems()[0];
-    let v = part[i].get(e.attr);
+    let v = row.get(e.attr);
     if v.is_null() {
         return Ok((0.0, true));
     }
@@ -3115,6 +3344,11 @@ mod tests {
             start: Bound::Preceding(2),
             end: Bound::CurrentRow,
         };
+        let range_window = FrameSpec {
+            units: FrameUnits::Range,
+            start: Bound::Preceding(2),
+            end: Bound::Following(2),
+        };
         let cases = [
             // SQL-default-frame aggregates: the Shi & Wang one-pass.
             (WindowFunction::Sum(AttrId::new(0)), default, OnePass),
@@ -3144,15 +3378,37 @@ mod tests {
                 rows_unbounded,
                 Buffered,
             ),
+            // A CURRENT ROW bound makes the RANGE frame peer-anchored:
+            // that still buffers. Pure-offset RANGE rings for the sliding
+            // aggregates, but not for positional readers or variance.
             (WindowFunction::Sum(AttrId::new(0)), range_offset, Buffered),
+            (WindowFunction::Sum(AttrId::new(0)), range_window, Ring),
+            (WindowFunction::Min(AttrId::new(0)), range_window, Ring),
+            (WindowFunction::Count(None), range_window, Ring),
+            (
+                WindowFunction::FirstValue(AttrId::new(0)),
+                range_window,
+                Buffered,
+            ),
+            (
+                WindowFunction::VarPop(AttrId::new(0)),
+                range_window,
+                Buffered,
+            ),
             (WindowFunction::LastValue(AttrId::new(0)), whole, Buffered),
             // Distribution functions stage one pass through the store
-            // (staged replay: partition cardinality first); variance stays
-            // buffered.
+            // (staged replay: partition cardinality first); the variance
+            // family rings over bounded ROWS frames like sum/avg.
             (WindowFunction::PercentRank, default, OnePass),
             (WindowFunction::CumeDist, default, OnePass),
             (WindowFunction::PercentRank, whole, OnePass),
-            (WindowFunction::VarPop(AttrId::new(0)), sliding, Buffered),
+            (WindowFunction::VarPop(AttrId::new(0)), sliding, Ring),
+            (WindowFunction::StddevSamp(AttrId::new(0)), sliding, Ring),
+            (
+                WindowFunction::VarSamp(AttrId::new(0)),
+                rows_unbounded,
+                Buffered,
+            ),
         ];
         for (func, frame, expect) in cases {
             assert_eq!(

@@ -96,6 +96,47 @@ fn corrupt(msg: &str) -> Error {
     Error::Execution(format!("spill codec: {msg}"))
 }
 
+/// Sentinel key length marking a keyless entry.
+const NO_KEY: u16 = u16::MAX;
+
+/// Append a key-carrying entry: `klen:u16 key-bytes row`. `klen = 0xFFFF`
+/// marks a keyless entry (the row failed normalized-key encoding and the
+/// reader must fall back to the comparator). Key bytes are the normalized
+/// byte-comparable sort key; persisting them alongside the row lets run
+/// read-back reuse the key instead of re-encoding it.
+pub fn encode_keyed_row(key: Option<&[u8]>, row: &Row, buf: &mut ByteBuf) {
+    match key {
+        Some(k) => {
+            assert!(
+                k.len() < NO_KEY as usize,
+                "normalized key longer than u16 framing"
+            );
+            buf.put_u16_le(k.len() as u16);
+            buf.put_slice(k);
+        }
+        None => buf.put_u16_le(NO_KEY),
+    }
+    encode_row(row, buf);
+}
+
+/// Decode one key-carrying entry from the front of `cursor`, advancing it.
+pub fn decode_keyed_row(cursor: &mut &[u8]) -> Result<(Option<Vec<u8>>, Row)> {
+    let klen_bytes = take(cursor, 2, "key length")?;
+    let klen = u16::from_le_bytes([klen_bytes[0], klen_bytes[1]]);
+    let key = if klen == NO_KEY {
+        None
+    } else {
+        Some(take(cursor, klen as usize, "key bytes")?.to_vec())
+    };
+    let row = decode_row(cursor)?;
+    Ok((key, row))
+}
+
+/// Bytes the keyed framing adds on top of [`Row::encoded_len`].
+pub fn keyed_overhead(key: Option<&[u8]>) -> usize {
+    2 + key.map_or(0, <[u8]>::len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +195,48 @@ mod tests {
             let full = buf.as_slice();
             let mut short = &full[..full.len() - cut];
             assert!(decode_row(&mut short).is_err());
+        }
+    }
+
+    #[test]
+    fn keyed_entries_round_trip() {
+        let mut buf = ByteBuf::new();
+        let r1 = row![1, "x"];
+        let r2 = row![2.5f64, Value::Null];
+        encode_keyed_row(Some(&[0x01, 0xFF, 0x00]), &r1, &mut buf);
+        encode_keyed_row(None, &r2, &mut buf);
+        encode_keyed_row(Some(&[]), &r1, &mut buf);
+        let mut cursor = buf.as_slice();
+        let (k1, back1) = decode_keyed_row(&mut cursor).unwrap();
+        assert_eq!(k1.as_deref(), Some(&[0x01, 0xFF, 0x00][..]));
+        assert_eq!(back1, r1);
+        let (k2, back2) = decode_keyed_row(&mut cursor).unwrap();
+        assert_eq!(k2, None);
+        assert_eq!(back2, r2);
+        let (k3, back3) = decode_keyed_row(&mut cursor).unwrap();
+        assert_eq!(k3.as_deref(), Some(&[][..]));
+        assert_eq!(back3, r1);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn keyed_overhead_matches_encoding() {
+        for key in [None, Some(&[1u8, 2, 3][..]), Some(&[][..])] {
+            let mut buf = ByteBuf::new();
+            let r = row![7, "abc"];
+            encode_keyed_row(key, &r, &mut buf);
+            assert_eq!(buf.len(), keyed_overhead(key) + r.encoded_len());
+        }
+    }
+
+    #[test]
+    fn truncated_keyed_entry_errors() {
+        let mut buf = ByteBuf::new();
+        encode_keyed_row(Some(&[9u8; 8]), &row![1], &mut buf);
+        let full = buf.as_slice();
+        for cut in [1, 5, full.len() - 1] {
+            let mut short = &full[..full.len() - cut];
+            assert!(decode_keyed_row(&mut short).is_err());
         }
     }
 

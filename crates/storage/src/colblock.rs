@@ -1,0 +1,418 @@
+//! Columnar row batches.
+//!
+//! A [`RowBatch`] stores a uniform-arity run of rows column-major: each
+//! column becomes a typed lane ([`ColumnVec`]) with a validity [`Bitmap`],
+//! falling back to a boxed-value lane when a column mixes types. Batches are
+//! a *physical* layout only — the row-view shim ([`RowBatch::row`]) rebuilds
+//! the exact [`Row`] that went in, so operators migrate to per-column loops
+//! incrementally while the cost model keeps charging per logical row/block.
+//!
+//! Lane selection is per column and value-preserving: a lane is used only
+//! when every non-null value in the column has that type, so `Int(2)` never
+//! silently widens to `Float(2.0)` on round-trip.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use wf_common::{AttrSet, Row, Value};
+
+/// A packed validity (non-null) bitmap.
+#[derive(Debug, Clone, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Empty bitmap with room for `n` bits.
+    pub fn with_capacity(n: usize) -> Self {
+        Bitmap {
+            words: Vec::with_capacity(n.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Bit at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when every bit is set (vacuously true when empty) — lets per-lane
+    /// loops skip the null check entirely.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+}
+
+/// One column of a [`RowBatch`]: a typed lane plus validity, or a boxed
+/// fallback for mixed-type columns.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    /// All non-null values are `Value::Int`.
+    Int { vals: Vec<i64>, valid: Bitmap },
+    /// All non-null values are `Value::Float`.
+    Float { vals: Vec<f64>, valid: Bitmap },
+    /// All non-null values are `Value::Str`.
+    Str { vals: Vec<Arc<str>>, valid: Bitmap },
+    /// Mixed types: boxed values, exact round-trip.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnVec {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int { vals, .. } => vals.len(),
+            ColumnVec::Float { vals, .. } => vals.len(),
+            ColumnVec::Str { vals, .. } => vals.len(),
+            ColumnVec::Mixed(vals) => vals.len(),
+        }
+    }
+
+    /// True when the lane holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconstruct the value at `i` (exactly the value that was stored).
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Int { vals, valid } => {
+                if valid.get(i) {
+                    Value::Int(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVec::Float { vals, valid } => {
+                if valid.get(i) {
+                    Value::Float(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVec::Str { vals, valid } => {
+                if valid.get(i) {
+                    Value::Str(Arc::clone(&vals[i]))
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVec::Mixed(vals) => vals[i].clone(),
+        }
+    }
+
+    /// Feed the value at `i` into `state` exactly as `Value::hash` would —
+    /// per-lane hashing must be indistinguishable from hashing the
+    /// reconstructed [`Value`].
+    #[inline]
+    pub fn hash_value<H: Hasher>(&self, i: usize, state: &mut H) {
+        match self {
+            ColumnVec::Int { vals, valid } => {
+                if valid.get(i) {
+                    1u8.hash(state);
+                    (vals[i] as f64).to_bits().hash(state);
+                } else {
+                    0u8.hash(state);
+                }
+            }
+            ColumnVec::Float { vals, valid } => {
+                if valid.get(i) {
+                    1u8.hash(state);
+                    vals[i].to_bits().hash(state);
+                } else {
+                    0u8.hash(state);
+                }
+            }
+            ColumnVec::Str { vals, valid } => {
+                if valid.get(i) {
+                    2u8.hash(state);
+                    vals[i].hash(state);
+                } else {
+                    0u8.hash(state);
+                }
+            }
+            ColumnVec::Mixed(vals) => vals[i].hash(state),
+        }
+    }
+
+    fn from_rows(rows: &[Row], col: usize) -> ColumnVec {
+        // Sniff the lane type: a lane applies only when every non-null value
+        // in the column has that exact type.
+        let mut saw = (false, false, false); // (int, float, str)
+        for r in rows {
+            match &r.values()[col] {
+                Value::Null => {}
+                Value::Int(_) => saw.0 = true,
+                Value::Float(_) => saw.1 = true,
+                Value::Str(_) => saw.2 = true,
+            }
+        }
+        let n = rows.len();
+        match saw {
+            (_, false, false) => {
+                // Int lane also hosts all-null columns.
+                let mut vals = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for r in rows {
+                    match &r.values()[col] {
+                        Value::Int(v) => {
+                            vals.push(*v);
+                            valid.push(true);
+                        }
+                        _ => {
+                            vals.push(0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Int { vals, valid }
+            }
+            (false, true, false) => {
+                let mut vals = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for r in rows {
+                    match &r.values()[col] {
+                        Value::Float(v) => {
+                            vals.push(*v);
+                            valid.push(true);
+                        }
+                        _ => {
+                            vals.push(0.0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Float { vals, valid }
+            }
+            (false, false, true) => {
+                let empty: Arc<str> = Arc::from("");
+                let mut vals = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for r in rows {
+                    match &r.values()[col] {
+                        Value::Str(s) => {
+                            vals.push(Arc::clone(s));
+                            valid.push(true);
+                        }
+                        _ => {
+                            vals.push(Arc::clone(&empty));
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Str { vals, valid }
+            }
+            _ => ColumnVec::Mixed(rows.iter().map(|r| r.values()[col].clone()).collect()),
+        }
+    }
+}
+
+/// A run of rows stored column-major with typed lanes.
+#[derive(Debug, Clone)]
+pub struct RowBatch {
+    columns: Vec<ColumnVec>,
+    rows: usize,
+    bytes: usize,
+}
+
+impl RowBatch {
+    /// Build a batch from uniform-arity rows. Rows with differing arity
+    /// cannot be columnarized; callers keep those as row vectors.
+    pub fn from_rows(rows: &[Row]) -> Option<RowBatch> {
+        let arity = rows.first().map(Row::arity).unwrap_or(0);
+        if rows.iter().any(|r| r.arity() != arity) {
+            return None;
+        }
+        let columns = (0..arity).map(|c| ColumnVec::from_rows(rows, c)).collect();
+        Some(RowBatch {
+            columns,
+            rows: rows.len(),
+            bytes: rows.iter().map(Row::encoded_len).sum(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column lanes.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.columns
+    }
+
+    /// One column lane.
+    pub fn column(&self, idx: usize) -> &ColumnVec {
+        &self.columns[idx]
+    }
+
+    /// Total row-codec bytes of the batch (identical to summing
+    /// `Row::encoded_len` over the source rows) — keeps block accounting
+    /// independent of the physical layout.
+    pub fn encoded_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Row-view shim: materialize row `i` exactly as it was stored.
+    #[inline]
+    pub fn row(&self, i: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.value(i)).collect())
+    }
+
+    /// All rows, materialized.
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Hash row `i` on `attrs` — bit-identical to `hash_row_on` over the
+    /// materialized row (same hasher, same per-value byte feed, same
+    /// canonical attribute order).
+    pub fn hash_row(&self, i: usize, attrs: &AttrSet) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for a in attrs.iter() {
+            self.columns[a.index()].hash_value(i, &mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_common::{row, AttrId};
+
+    fn hash_row_reference(row: &Row, attrs: &AttrSet) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for a in attrs.iter() {
+            row.get(a).hash(&mut h);
+        }
+        h.finish()
+    }
+
+    #[test]
+    fn bitmap_push_get_count() {
+        let mut b = Bitmap::with_capacity(130);
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(b.count_ones(), (0..130).filter(|i| i % 3 == 0).count());
+        assert!(!b.all_set());
+        let mut all = Bitmap::with_capacity(65);
+        for _ in 0..65 {
+            all.push(true);
+        }
+        assert!(all.all_set());
+    }
+
+    #[test]
+    fn typed_lanes_round_trip() {
+        let rows = vec![
+            row![1i64, 2.5f64, "a", 7],
+            row![Value::Null, Value::Null, Value::Null, 1.5f64],
+            row![-3i64, f64::NAN, "", "mixed"],
+        ];
+        let b = RowBatch::from_rows(&rows).unwrap();
+        assert!(matches!(b.column(0), ColumnVec::Int { .. }));
+        assert!(matches!(b.column(1), ColumnVec::Float { .. }));
+        assert!(matches!(b.column(2), ColumnVec::Str { .. }));
+        assert!(matches!(b.column(3), ColumnVec::Mixed(_)));
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(&b.row(i), r);
+        }
+        assert_eq!(b.to_rows(), rows);
+        assert_eq!(
+            b.encoded_bytes(),
+            rows.iter().map(Row::encoded_len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn all_null_column_round_trips() {
+        let rows = vec![row![Value::Null], row![Value::Null]];
+        let b = RowBatch::from_rows(&rows).unwrap();
+        assert_eq!(b.row(0), rows[0]);
+        assert_eq!(b.row(1), rows[1]);
+    }
+
+    #[test]
+    fn ragged_arity_refused() {
+        let rows = vec![row![1], row![1, 2]];
+        assert!(RowBatch::from_rows(&rows).is_none());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = RowBatch::from_rows(&[]).unwrap();
+        assert!(b.is_empty());
+        assert_eq!(b.arity(), 0);
+        assert_eq!(b.encoded_bytes(), 0);
+    }
+
+    #[test]
+    fn lane_hash_matches_value_hash() {
+        let rows = vec![
+            row![1i64, 2.5f64, "a", 7],
+            row![Value::Null, Value::Null, Value::Null, "s"],
+            row![i64::MAX, -0.0f64, "", 2.0f64],
+        ];
+        let b = RowBatch::from_rows(&rows).unwrap();
+        for attrs in [
+            AttrSet::from_iter([AttrId::new(0)]),
+            AttrSet::from_iter([AttrId::new(1), AttrId::new(2)]),
+            AttrSet::from_iter([AttrId::new(0), AttrId::new(3)]),
+        ] {
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(
+                    b.hash_row(i, &attrs),
+                    hash_row_reference(r, &attrs),
+                    "row {i} attrs {attrs:?}"
+                );
+            }
+        }
+    }
+}

@@ -7,6 +7,9 @@
 //!   hashes plus a calibrated time model (the benchmark harness reports the
 //!   modeled time, see DESIGN.md §2),
 //! * [`codec`] — the row serialization format used by spill files,
+//! * [`colblock`] — columnar row batches: typed per-column lanes with
+//!   validity bitmaps and a row-view shim, the vectorized layout operators
+//!   stream between each other,
 //! * [`spill`] — append-only spill files over an in-memory simulated disk or
 //!   a real temporary file,
 //! * [`mem`] — the sort-memory ledger (the paper's `M`),
@@ -25,6 +28,7 @@
 pub mod block;
 pub mod bytebuf;
 pub mod codec;
+pub mod colblock;
 pub mod cost;
 pub mod mem;
 pub mod segstore;
@@ -32,6 +36,7 @@ pub mod spill;
 pub mod table;
 
 pub use block::{blocks_for_bytes, BLOCK_SIZE};
+pub use colblock::{Bitmap, ColumnVec, RowBatch};
 pub use cost::{CostSnapshot, CostTracker, CostWeights, PoolCounters};
 pub use mem::MemoryLedger;
 pub use segstore::{

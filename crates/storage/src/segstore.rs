@@ -25,6 +25,7 @@
 //!   over-budget residency is visible in the same high-water mark.
 
 use crate::block::blocks_for_bytes;
+use crate::colblock::RowBatch;
 use crate::cost::PoolCounters;
 use crate::spill::{IoMeter, SpillFile, SpillMedium, SpillReader};
 use std::sync::{Arc, Mutex};
@@ -252,6 +253,13 @@ impl SegmentStore {
         SegmentHandle::Shared { rows }
     }
 
+    /// A handle over a shared columnar batch: zero-copy and uncharged for
+    /// the same reason as [`SegmentStore::shared`] — the base table is
+    /// modeled as on-disk, whatever its in-memory layout.
+    pub fn shared_batch(batch: Arc<RowBatch>) -> SegmentHandle {
+        SegmentHandle::SharedBatch { batch }
+    }
+
     /// Register `bytes`/`rows` of operator-held unit memory (e.g. one
     /// buffered window partition) with the residency ledger. The charge may
     /// exceed the budget — a unit must be held *somewhere* — and is released
@@ -457,6 +465,11 @@ pub enum SegmentHandle {
     /// A view over shared rows (the heap table; modeled as on-disk, never
     /// pool-charged).
     Shared { rows: Arc<Vec<Row>> },
+    /// A view over a shared columnar batch (the heap table's column cache;
+    /// modeled as on-disk like [`SegmentHandle::Shared`], never
+    /// pool-charged). Operators with per-column fast paths read the lanes
+    /// directly; everyone else goes through the row-view shim.
+    SharedBatch { batch: Arc<RowBatch> },
     /// Spilled to the pool device; read back block at a time.
     Spilled { reader: SpillReader, rows: u64 },
 }
@@ -467,6 +480,7 @@ impl SegmentHandle {
         match self {
             SegmentHandle::Resident(r) => r.rows.len(),
             SegmentHandle::Shared { rows } => rows.len(),
+            SegmentHandle::SharedBatch { batch } => batch.len(),
             SegmentHandle::Spilled { rows, .. } => *rows as usize,
         }
     }
@@ -479,6 +493,16 @@ impl SegmentHandle {
     /// True when the segment lives on the spill device.
     pub fn is_spilled(&self) -> bool {
         matches!(self, SegmentHandle::Spilled { .. })
+    }
+
+    /// The shared columnar batch behind this handle, if it has one —
+    /// operators with per-column fast paths peek here before falling back
+    /// to the row stream.
+    pub fn as_batch(&self) -> Option<&Arc<RowBatch>> {
+        match self {
+            SegmentHandle::SharedBatch { batch } => Some(batch),
+            _ => None,
+        }
     }
 
     /// Materialize all rows (charges pool reads for a spilled segment;
@@ -496,6 +520,7 @@ impl SegmentHandle {
             SegmentHandle::Shared { rows } => {
                 Ok(Arc::try_unwrap(rows).unwrap_or_else(|a| a.as_ref().clone()))
             }
+            SegmentHandle::SharedBatch { batch } => Ok(batch.to_rows()),
             SegmentHandle::Spilled { mut reader, .. } => reader.read_all(),
         }
     }
@@ -511,6 +536,7 @@ impl SegmentHandle {
                 }
             }
             SegmentHandle::Shared { rows } => SegmentReader::Shared { rows, next: 0 },
+            SegmentHandle::SharedBatch { batch } => SegmentReader::SharedBatch { batch, next: 0 },
             SegmentHandle::Spilled { reader, .. } => SegmentReader::Spilled(reader),
         }
     }
@@ -521,6 +547,7 @@ impl std::fmt::Debug for SegmentHandle {
         let kind = match self {
             SegmentHandle::Resident(_) => "resident",
             SegmentHandle::Shared { .. } => "shared",
+            SegmentHandle::SharedBatch { .. } => "shared-batch",
             SegmentHandle::Spilled { .. } => "spilled",
         };
         write!(f, "SegmentHandle<{kind}, {} rows>", self.len())
@@ -538,6 +565,8 @@ pub enum SegmentReader {
     },
     /// Shared base-table rows, cloned lazily.
     Shared { rows: Arc<Vec<Row>>, next: usize },
+    /// Shared columnar batch, materialized through the row-view shim.
+    SharedBatch { batch: Arc<RowBatch>, next: usize },
     /// Spilled rows decoded block at a time.
     Spilled(SpillReader),
 }
@@ -549,6 +578,11 @@ impl SegmentReader {
             SegmentReader::Resident { iter, .. } => Ok(iter.next()),
             SegmentReader::Shared { rows, next } => {
                 let out = rows.get(*next).cloned();
+                *next += 1;
+                Ok(out)
+            }
+            SegmentReader::SharedBatch { batch, next } => {
+                let out = (*next < batch.len()).then(|| batch.row(*next));
                 *next += 1;
                 Ok(out)
             }
@@ -645,6 +679,26 @@ mod tests {
         assert!(!h.is_spilled());
         assert_eq!(store.snapshot().resident_bytes, 0);
         assert_eq!(h.into_rows().unwrap(), *base);
+    }
+
+    #[test]
+    fn shared_batch_handle_is_uncharged_and_round_trips() {
+        let store = SegmentStore::new(Some(1), SpillMedium::Simulated);
+        let base = rows(100);
+        let batch = Arc::new(RowBatch::from_rows(&base).unwrap());
+        let h = SegmentStore::shared_batch(Arc::clone(&batch));
+        assert_eq!(h.len(), 100);
+        assert!(!h.is_spilled());
+        assert!(h.as_batch().is_some());
+        assert_eq!(store.snapshot().resident_bytes, 0);
+        let mut reader = h.read();
+        let mut streamed = Vec::new();
+        while let Some(r) = reader.next_row().unwrap() {
+            streamed.push(r);
+        }
+        assert_eq!(streamed, base);
+        let h2 = SegmentStore::shared_batch(batch);
+        assert_eq!(h2.into_rows().unwrap(), base);
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! [`FileStore`] (a real temporary file, for integration tests that want to
 //! exercise the OS path).
 
-use crate::block::BLOCK_SIZE;
+use crate::block::{blocks_for_bytes, BLOCK_SIZE};
 use crate::bytebuf::ByteBuf;
-use crate::codec::{decode_row, encode_row};
+use crate::codec::{decode_keyed_row, decode_row, encode_keyed_row, encode_row};
 use crate::cost::{CostTracker, PoolCounters};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -186,12 +186,24 @@ impl IoMeter {
 
 /// Writer for one spill file. Rows are encoded into a block-sized buffer and
 /// written out block by block; every block write is charged to the meter.
+///
+/// A file is either *plain* ([`Self::push`]) or *key-carrying*
+/// ([`Self::push_keyed`]) — the two entry formats cannot mix. Key-carrying
+/// files persist the normalized sort key next to each row so read-back never
+/// re-encodes keys; their physical bytes grow by the key size, but I/O is
+/// charged against **modeled bytes** (the row-codec size alone), keeping
+/// block counts bit-identical to a plain file holding the same rows.
 pub struct SpillFile {
     store: Box<dyn SpillStore>,
     buffer: ByteBuf,
     meter: IoMeter,
     rows: u64,
     bytes: u64,
+    keyed: bool,
+    /// Row-codec bytes appended (excludes keyed framing); the charging basis
+    /// for key-carrying files.
+    modeled_bytes: u64,
+    charged_writes: u64,
 }
 
 impl SpillFile {
@@ -208,18 +220,51 @@ impl SpillFile {
             meter,
             rows: 0,
             bytes: 0,
+            keyed: false,
+            modeled_bytes: 0,
+            charged_writes: 0,
         })
     }
 
     /// Append one row.
     pub fn push(&mut self, row: &Row) -> Result<()> {
+        debug_assert!(!self.keyed, "plain push into a key-carrying spill file");
         encode_row(row, &mut self.buffer);
         self.rows += 1;
+        self.modeled_bytes += row.encoded_len() as u64;
         while self.buffer.len() >= BLOCK_SIZE {
             let block = self.buffer.split_to(BLOCK_SIZE);
             self.store.append(&block)?;
             self.meter.write_blocks(1);
             self.bytes += BLOCK_SIZE as u64;
+        }
+        Ok(())
+    }
+
+    /// Append one row with its normalized sort key (or `None` when the row
+    /// has no byte-comparable encoding). Switches the file to the
+    /// key-carrying entry format; read it back with
+    /// [`SpillReader::next_keyed`]. Writes are charged as the *modeled*
+    /// (row-codec) bytes cross block boundaries, so the total block count is
+    /// identical to pushing the same rows without keys.
+    pub fn push_keyed(&mut self, key: Option<&[u8]>, row: &Row) -> Result<()> {
+        debug_assert!(
+            self.keyed || self.rows == 0,
+            "keyed push into a plain spill file"
+        );
+        self.keyed = true;
+        encode_keyed_row(key, row, &mut self.buffer);
+        self.rows += 1;
+        self.modeled_bytes += row.encoded_len() as u64;
+        while self.buffer.len() >= BLOCK_SIZE {
+            let block = self.buffer.split_to(BLOCK_SIZE);
+            self.store.append(&block)?;
+            self.bytes += BLOCK_SIZE as u64;
+        }
+        let due = self.modeled_bytes / BLOCK_SIZE as u64;
+        if due > self.charged_writes {
+            self.meter.write_blocks(due - self.charged_writes);
+            self.charged_writes = due;
         }
         Ok(())
     }
@@ -234,9 +279,19 @@ impl SpillFile {
     pub fn into_reader(mut self) -> Result<SpillReader> {
         if !self.buffer.is_empty() {
             self.store.append(self.buffer.as_slice())?;
-            self.meter.write_blocks(1);
+            if !self.keyed {
+                self.meter.write_blocks(1);
+            }
             self.bytes += self.buffer.len() as u64;
             self.buffer.clear();
+        }
+        if self.keyed {
+            // Settle the trailing partial modeled block.
+            let due = blocks_for_bytes(self.modeled_bytes as usize);
+            if due > self.charged_writes {
+                self.meter.write_blocks(due - self.charged_writes);
+                self.charged_writes = due;
+            }
         }
         Ok(SpillReader {
             store: self.store,
@@ -245,6 +300,10 @@ impl SpillFile {
             total: self.bytes,
             pending: ByteBuf::new(),
             remaining_rows: self.rows,
+            keyed: self.keyed,
+            modeled_total: self.modeled_bytes,
+            modeled_consumed: 0,
+            charged_reads: 0,
         })
     }
 }
@@ -257,6 +316,10 @@ pub struct SpillReader {
     total: u64,
     pending: ByteBuf,
     remaining_rows: u64,
+    keyed: bool,
+    modeled_total: u64,
+    modeled_consumed: u64,
+    charged_reads: u64,
 }
 
 impl SpillReader {
@@ -265,8 +328,12 @@ impl SpillReader {
         self.remaining_rows
     }
 
-    /// Read the next row, or `None` at end of file.
+    /// Read the next row, or `None` at end of file. On key-carrying files
+    /// the persisted key is decoded and dropped.
     pub fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.keyed {
+            return Ok(self.next_keyed()?.map(|(_, row)| row));
+        }
         if self.remaining_rows == 0 {
             return Ok(None);
         }
@@ -276,21 +343,63 @@ impl SpillReader {
                 self.remaining_rows -= 1;
                 return Ok(Some(row));
             }
-            if self.offset >= self.total {
-                return Err(Error::Execution(
-                    "spill file ended with rows still expected".into(),
-                ));
-            }
-            let want = BLOCK_SIZE.min((self.total - self.offset) as usize);
-            let mut block = vec![0u8; want];
-            let n = self.store.read_at(self.offset, &mut block)?;
-            if n == 0 {
-                return Err(Error::Execution("short read from spill store".into()));
-            }
-            self.offset += n as u64;
-            self.meter.read_blocks(1);
-            self.pending.extend_from_slice(&block[..n]);
+            self.fill_pending(true)?;
         }
+    }
+
+    /// Read the next row together with its persisted normalized key. Valid
+    /// on any file; plain files yield `None` keys. On key-carrying files
+    /// reads are charged as modeled (row-codec) byte consumption crosses
+    /// block boundaries — total reads equal total writes, exactly as on a
+    /// plain file holding the same rows.
+    pub fn next_keyed(&mut self) -> Result<Option<(Option<Vec<u8>>, Row)>> {
+        if !self.keyed {
+            return Ok(self.next_row()?.map(|row| (None, row)));
+        }
+        if self.remaining_rows == 0 {
+            return Ok(None);
+        }
+        loop {
+            if let Some((key, row)) = self.try_decode_keyed()? {
+                self.remaining_rows -= 1;
+                self.modeled_consumed += row.encoded_len() as u64;
+                let due = if self.remaining_rows == 0 {
+                    // Settle the trailing partial modeled block.
+                    blocks_for_bytes(self.modeled_total as usize)
+                } else {
+                    self.modeled_consumed / BLOCK_SIZE as u64
+                };
+                if due > self.charged_reads {
+                    self.meter.read_blocks(due - self.charged_reads);
+                    self.charged_reads = due;
+                }
+                return Ok(Some((key, row)));
+            }
+            self.fill_pending(false)?;
+        }
+    }
+
+    /// Top up the pending buffer with one physical block, optionally
+    /// charging the meter (key-carrying files charge by modeled bytes in
+    /// the decode loop instead).
+    fn fill_pending(&mut self, charge: bool) -> Result<()> {
+        if self.offset >= self.total {
+            return Err(Error::Execution(
+                "spill file ended with rows still expected".into(),
+            ));
+        }
+        let want = BLOCK_SIZE.min((self.total - self.offset) as usize);
+        let mut block = vec![0u8; want];
+        let n = self.store.read_at(self.offset, &mut block)?;
+        if n == 0 {
+            return Err(Error::Execution("short read from spill store".into()));
+        }
+        self.offset += n as u64;
+        if charge {
+            self.meter.read_blocks(1);
+        }
+        self.pending.extend_from_slice(&block[..n]);
+        Ok(())
     }
 
     /// Attempt to decode a full row from the pending buffer without
@@ -306,6 +415,22 @@ impl SpillReader {
                 let used = self.pending.len() - cursor.len();
                 self.pending.advance(used);
                 Ok(Some(row))
+            }
+            Err(_) => Ok(None), // presumed truncated; caller tops up
+        }
+    }
+
+    /// Keyed-entry twin of [`Self::try_decode`].
+    fn try_decode_keyed(&mut self) -> Result<Option<(Option<Vec<u8>>, Row)>> {
+        if self.pending.len() < 2 {
+            return Ok(None);
+        }
+        let mut cursor: &[u8] = self.pending.as_slice();
+        match decode_keyed_row(&mut cursor) {
+            Ok(entry) => {
+                let used = self.pending.len() - cursor.len();
+                self.pending.advance(used);
+                Ok(Some(entry))
             }
             Err(_) => Ok(None), // presumed truncated; caller tops up
         }
@@ -387,6 +512,78 @@ mod tests {
         }
         let back = f.into_reader().unwrap().read_all().unwrap();
         assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn keyed_spill_round_trips_keys_and_rows() {
+        let tracker = Arc::new(CostTracker::new());
+        let mut f = SpillFile::create(SpillMedium::Simulated, Arc::clone(&tracker)).unwrap();
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64, format!("r{i}")]).collect();
+        for (i, r) in rows.iter().enumerate() {
+            let key = (i as u64).to_be_bytes();
+            let k = if i % 7 == 0 { None } else { Some(&key[..]) };
+            f.push_keyed(k, r).unwrap();
+        }
+        let mut reader = f.into_reader().unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            let (key, back) = reader.next_keyed().unwrap().unwrap();
+            assert_eq!(&back, r);
+            if i % 7 == 0 {
+                assert_eq!(key, None);
+            } else {
+                assert_eq!(key.as_deref(), Some(&(i as u64).to_be_bytes()[..]));
+            }
+        }
+        assert!(reader.next_keyed().unwrap().is_none());
+    }
+
+    #[test]
+    fn keyed_spill_charges_modeled_blocks_exactly_like_plain() {
+        // Keys inflate the physical file but must not change charged I/O.
+        let rows: Vec<Row> = (0..3000)
+            .map(|i| row![i as i64, format!("value-{i}"), (i as f64) * 0.5])
+            .collect();
+        let plain = Arc::new(CostTracker::new());
+        let mut pf = SpillFile::create(SpillMedium::Simulated, Arc::clone(&plain)).unwrap();
+        for r in &rows {
+            pf.push(r).unwrap();
+        }
+        pf.into_reader().unwrap().read_all().unwrap();
+
+        let keyed = Arc::new(CostTracker::new());
+        let mut kf = SpillFile::create(SpillMedium::Simulated, Arc::clone(&keyed)).unwrap();
+        let wide_key = [0xABu8; 32];
+        for r in &rows {
+            kf.push_keyed(Some(&wide_key), r).unwrap();
+        }
+        let mut reader = kf.into_reader().unwrap();
+        while reader.next_keyed().unwrap().is_some() {}
+
+        assert_eq!(
+            plain.snapshot().modeled_counters(),
+            keyed.snapshot().modeled_counters()
+        );
+        let s = keyed.snapshot();
+        let bytes: usize = rows.iter().map(|r| r.encoded_len()).sum();
+        assert_eq!(s.blocks_written, crate::block::blocks_for_bytes(bytes));
+        assert_eq!(s.blocks_read, s.blocks_written);
+    }
+
+    #[test]
+    fn keyed_spill_via_next_row_drops_keys() {
+        let tracker = Arc::new(CostTracker::new());
+        let mut f = SpillFile::create(SpillMedium::Simulated, Arc::clone(&tracker)).unwrap();
+        let rows = vec![row![1, "a"], row![2, "b"]];
+        for r in &rows {
+            f.push_keyed(Some(b"key"), r).unwrap();
+        }
+        let mut reader = f.into_reader().unwrap();
+        assert_eq!(reader.next_row().unwrap().as_ref(), Some(&rows[0]));
+        assert_eq!(reader.next_row().unwrap().as_ref(), Some(&rows[1]));
+        assert!(reader.next_row().unwrap().is_none());
+        let s = tracker.snapshot();
+        assert_eq!(s.blocks_written, 1);
+        assert_eq!(s.blocks_read, 1);
     }
 
     #[test]

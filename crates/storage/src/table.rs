@@ -7,18 +7,22 @@
 //! as reading it from the simulated device.
 
 use crate::block::blocks_for_bytes;
+use crate::colblock::RowBatch;
 use crate::cost::CostTracker;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use wf_common::{Error, Result, Row, Schema};
 
 /// A schema plus rows. Rows live behind an `Arc` so a table scan can hand
 /// out zero-copy shared views ([`Table::shared_rows`]) instead of cloning
 /// the relation; mutation goes through copy-on-write (`Arc::make_mut`).
+/// The columnar view ([`Table::shared_batch`]) is built lazily and cached;
+/// any mutation invalidates it.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     rows: Arc<Vec<Row>>,
     bytes: usize,
+    batch: OnceLock<Arc<RowBatch>>,
 }
 
 impl Table {
@@ -28,6 +32,7 @@ impl Table {
             schema,
             rows: Arc::new(Vec::new()),
             bytes: 0,
+            batch: OnceLock::new(),
         }
     }
 
@@ -56,9 +61,19 @@ impl Table {
         Arc::clone(&self.rows)
     }
 
+    /// Zero-copy shared columnar view of the rows, built on first use and
+    /// cached (table rows have uniform arity, so columnarization never
+    /// fails). This is what a columnar table scan hands downstream.
+    pub fn shared_batch(&self) -> Arc<RowBatch> {
+        Arc::clone(self.batch.get_or_init(|| {
+            Arc::new(RowBatch::from_rows(&self.rows).expect("uniform table arity"))
+        }))
+    }
+
     /// Mutable row access (used by in-place sorters in tests;
     /// copy-on-write when the rows are shared).
     pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        self.batch.take();
         Arc::make_mut(&mut self.rows)
     }
 
@@ -91,6 +106,7 @@ impl Table {
     pub fn push(&mut self, row: Row) {
         debug_assert_eq!(row.arity(), self.schema.len(), "row arity mismatch");
         self.bytes += row.encoded_len();
+        self.batch.take();
         Arc::make_mut(&mut self.rows).push(row);
     }
 
@@ -180,5 +196,20 @@ mod tests {
     #[test]
     fn empty_table_avg_is_zero() {
         assert_eq!(Table::new(schema2()).avg_row_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_batch_caches_and_invalidates_on_mutation() {
+        let mut t = Table::from_rows(schema2(), vec![row![1, "x"], row![2, "y"]]).unwrap();
+        let b1 = t.shared_batch();
+        assert_eq!(b1.to_rows(), t.rows());
+        // Cached: same allocation on repeat.
+        assert!(Arc::ptr_eq(&b1, &t.shared_batch()));
+        t.push(row![3, "z"]);
+        let b2 = t.shared_batch();
+        assert!(!Arc::ptr_eq(&b1, &b2));
+        assert_eq!(b2.to_rows(), t.rows());
+        t.rows_mut()[0] = row![9, "w"];
+        assert_eq!(t.shared_batch().row(0), row![9, "w"]);
     }
 }

@@ -104,7 +104,11 @@ fn brute_force(rows: &[Row], func: &WindowFunction, frame: Option<FrameSpec>) ->
         WindowFunction::Sum(c)
         | WindowFunction::Avg(c)
         | WindowFunction::Min(c)
-        | WindowFunction::Max(c) => Some(*c),
+        | WindowFunction::Max(c)
+        | WindowFunction::VarPop(c)
+        | WindowFunction::VarSamp(c)
+        | WindowFunction::StddevPop(c)
+        | WindowFunction::StddevSamp(c) => Some(*c),
         other => panic!("not covered here: {other:?}"),
     };
     let n = rows.len();
@@ -140,21 +144,26 @@ fn brute_force(rows: &[Row], func: &WindowFunction, frame: Option<FrameSpec>) ->
                     (s.min(m), e.max(s).min(m))
                 }
                 FrameUnits::Range => {
+                    // The key column is sorted within the partition, so
+                    // "first index with key ≥ t" / "one past the last with
+                    // key ≤ t" are partition points — O(log m) instead of
+                    // a linear scan, which matters on the 24k-row
+                    // partitions of the M=1 test.
+                    let first_ge =
+                        |t: i64| part.partition_point(|r| r.get(a(1)).as_int().unwrap() < t);
+                    let past_le =
+                        |t: i64| part.partition_point(|r| r.get(a(1)).as_int().unwrap() <= t);
                     let s = match frame.start {
                         Bound::UnboundedPreceding => 0,
-                        Bound::Preceding(k) => {
-                            (0..m).position(|j| key(j) >= key(i) - k).unwrap_or(m)
-                        }
-                        Bound::CurrentRow => (0..m).position(|j| key(j) == key(i)).unwrap(),
+                        Bound::Preceding(k) => first_ge(key(i) - k),
+                        Bound::CurrentRow => first_ge(key(i)),
+                        Bound::Following(k) => first_ge(key(i) + k),
                         _ => panic!("unused in this suite"),
                     };
                     let e = match frame.end {
-                        Bound::CurrentRow => {
-                            m - (0..m).rev().position(|j| key(j) == key(i)).unwrap()
-                        }
-                        Bound::Following(k) => {
-                            m - (0..m).rev().position(|j| key(j) <= key(i) + k).unwrap_or(m)
-                        }
+                        Bound::CurrentRow => past_le(key(i)),
+                        Bound::Preceding(k) => past_le(key(i) - k),
+                        Bound::Following(k) => past_le(key(i) + k),
                         Bound::UnboundedFollowing => m,
                         _ => panic!("unused in this suite"),
                     };
@@ -196,6 +205,40 @@ fn brute_force(rows: &[Row], func: &WindowFunction, frame: Option<FrameSpec>) ->
                 }
                 WindowFunction::Max(_) => {
                     vals.iter().max().cloned().cloned().unwrap_or(Value::Null)
+                }
+                WindowFunction::VarPop(_)
+                | WindowFunction::VarSamp(_)
+                | WindowFunction::StddevPop(_)
+                | WindowFunction::StddevSamp(_) => {
+                    // The engine's sum-of-squares identity. The table's
+                    // values are small dyadic rationals, so every partial
+                    // sum here is exact and the naive accumulation agrees
+                    // bit for bit with the engine's prefix differences.
+                    let sample = matches!(
+                        func,
+                        WindowFunction::VarSamp(_) | WindowFunction::StddevSamp(_)
+                    );
+                    let sqrt = matches!(
+                        func,
+                        WindowFunction::StddevPop(_) | WindowFunction::StddevSamp(_)
+                    );
+                    let cnt = vals.len() as f64;
+                    let min_n = if sample { 2.0 } else { 1.0 };
+                    if cnt < min_n {
+                        Value::Null
+                    } else {
+                        let sum: f64 = vals.iter().map(|v| v.as_f64().unwrap()).sum();
+                        let sq: f64 = vals
+                            .iter()
+                            .map(|v| {
+                                let x = v.as_f64().unwrap();
+                                x * x
+                            })
+                            .sum();
+                        let ssd = (sq - sum * sum / cnt).max(0.0);
+                        let var = ssd / if sample { cnt - 1.0 } else { cnt };
+                        Value::Float(if sqrt { var.sqrt() } else { var })
+                    }
                 }
                 other => panic!("not covered here: {other:?}"),
             };
@@ -239,6 +282,16 @@ fn frames() -> Vec<(&'static str, Option<FrameSpec>)> {
                 units: FrameUnits::Range,
                 start: Bound::Preceding(2),
                 end: Bound::CurrentRow,
+            }),
+        ),
+        // Pure-offset RANGE: no CURRENT ROW anchor, so the sliding
+        // aggregates take the ring-streaming path when spilled.
+        (
+            "range-window",
+            Some(FrameSpec {
+                units: FrameUnits::Range,
+                start: Bound::Preceding(2),
+                end: Bound::Following(2),
             }),
         ),
     ]
@@ -526,9 +579,17 @@ fn strip_last(rows: &[Row]) -> Vec<Row> {
         .collect()
 }
 
+/// Pure-offset RANGE window shared by the streamed cases.
+const RANGE_WINDOW: FrameSpec = FrameSpec {
+    units: FrameUnits::Range,
+    start: Bound::Preceding(2),
+    end: Bound::Following(2),
+};
+
 /// One case of the newly streamed function family: the function, its frame,
 /// the expected spilled-evaluation class, and the frame extent in rows
-/// (`hist + delay + 1`) for the residency bound.
+/// (`hist + delay + 1`, or the physical span of the key window) for the
+/// residency bound.
 fn streamed_cases() -> Vec<(&'static str, WindowFunction, Option<FrameSpec>, usize)> {
     let sliding = FrameSpec {
         units: FrameUnits::Rows,
@@ -616,6 +677,75 @@ fn streamed_cases() -> Vec<(&'static str, WindowFunction, Option<FrameSpec>, usi
             }),
             4,
         ),
+        // The variance family over bounded ROWS frames: ring-streamed via
+        // the sum-of-squares prefix lane.
+        ("var_samp", WindowFunction::VarSamp(a(3)), Some(sliding), 3),
+        (
+            "stddev_pop",
+            WindowFunction::StddevPop(a(2)),
+            Some(centered),
+            5,
+        ),
+        // Pure-offset RANGE frames: both edges are key distances, resolved
+        // by the monotone pointer sweeps. The order key repeats every 3
+        // rows, so a ±2-key window spans ≤ 15 physical rows; the extents
+        // below also cover the emission gate's lookahead.
+        (
+            "sum_range",
+            WindowFunction::Sum(a(2)),
+            Some(RANGE_WINDOW),
+            24,
+        ),
+        (
+            "avg_range",
+            WindowFunction::Avg(a(3)),
+            Some(RANGE_WINDOW),
+            24,
+        ),
+        (
+            "min_range",
+            WindowFunction::Min(a(2)),
+            Some(RANGE_WINDOW),
+            24,
+        ),
+        (
+            "count_range",
+            WindowFunction::Count(Some(a(2))),
+            Some(RANGE_WINDOW),
+            24,
+        ),
+        // Frames sitting entirely ahead of / behind the current key, and
+        // a key window that is empty for every row.
+        (
+            "max_range_ahead",
+            WindowFunction::Max(a(2)),
+            Some(FrameSpec {
+                units: FrameUnits::Range,
+                start: Bound::Following(1),
+                end: Bound::Following(3),
+            }),
+            30,
+        ),
+        (
+            "min_range_behind",
+            WindowFunction::Min(a(2)),
+            Some(FrameSpec {
+                units: FrameUnits::Range,
+                start: Bound::Preceding(4),
+                end: Bound::Preceding(2),
+            }),
+            30,
+        ),
+        (
+            "max_range_empty",
+            WindowFunction::Max(a(2)),
+            Some(FrameSpec {
+                units: FrameUnits::Range,
+                start: Bound::Following(3),
+                end: Bound::Following(2),
+            }),
+            30,
+        ),
     ]
 }
 
@@ -627,7 +757,11 @@ fn reference_for(rows: &[Row], func: &WindowFunction, frame: Option<FrameSpec>) 
         | WindowFunction::Sum(_)
         | WindowFunction::Avg(_)
         | WindowFunction::Min(_)
-        | WindowFunction::Max(_) => brute_force(rows, func, frame),
+        | WindowFunction::Max(_)
+        | WindowFunction::VarPop(_)
+        | WindowFunction::VarSamp(_)
+        | WindowFunction::StddevPop(_)
+        | WindowFunction::StddevSamp(_) => brute_force(rows, func, frame),
         _ => nav_reference(rows, func, frame),
     }
 }
@@ -699,6 +833,118 @@ fn streamed_functions_at_m1_over_100x_partitions() {
             "{name}: modeled counters must not see the pool"
         );
         assert_eq!(env_unbounded.store_snapshot().spill_blocks_written, 0);
+    }
+}
+
+/// Streaming (tiny-`M`) vs materialized (large-`M`) equivalence for
+/// pure-offset RANGE frames over *descending* and *NULL-bearing float*
+/// order keys — key shapes the main matrix's ascending integer key never
+/// produces. The engine is its own reference: the resident path is pinned
+/// by the unit suite, and the spilled ring path must reproduce its values.
+/// External merge is not stable for tied keys, so outputs are compared as
+/// canonically sorted multisets — a row's window value depends only on its
+/// key and partition, never on its position within a tie group.
+#[test]
+fn range_offset_streaming_matches_materialized_on_desc_and_null_keys() {
+    let schema = Schema::of(&[
+        ("p", DataType::Int),
+        ("k", DataType::Float),
+        ("v", DataType::Int),
+    ]);
+    let mut table = Table::new(schema);
+    let mut state = 0x51a7b2c9d3e4f605u64;
+    let mut rows = Vec::new();
+    for p in 0..2i64 {
+        for i in 0..900i64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = if i % 11 == 7 {
+                Value::Null
+            } else {
+                Value::Float((i / 3) as f64 / 2.0)
+            };
+            let v = if i % 7 == 3 {
+                Value::Null
+            } else {
+                Value::Int(((state >> 33) as i64 % 1000) - 500)
+            };
+            rows.push((state, Row::new(vec![Value::Int(p), k, v])));
+        }
+    }
+    rows.sort_by_key(|(s, _)| *s);
+    for (_, r) in rows {
+        table.push(r);
+    }
+
+    let run_dir = |func: WindowFunction, frame: FrameSpec, env: &ExecEnv, desc: bool| {
+        let dir = if desc {
+            OrdElem::desc(a(1))
+        } else {
+            OrdElem::asc(a(1))
+        };
+        let key = SortSpec::new(vec![OrdElem::asc(a(0)), dir]);
+        let wpk = AttrSet::from_iter([a(0)]);
+        let wok = SortSpec::new(vec![dir]);
+        let scan = TableScan::new(&table, env.op_env().clone());
+        let fs = FullSortOp::new(scan, key, env.op_env().clone())
+            .with_recorded_prefixes(vec![wpk.clone(), wpk.union(&wok.attr_set())]);
+        let mut win = WindowOp::new(fs, wpk, wok, func, Some(frame), env.op_env().clone());
+        let mut out = drain(&mut win).unwrap().into_rows();
+        out.sort_by(|x, y| x.values().cmp(y.values()));
+        out
+    };
+
+    let frames = [
+        RANGE_WINDOW,
+        FrameSpec {
+            units: FrameUnits::Range,
+            start: Bound::Following(0),
+            end: Bound::Following(2),
+        },
+        FrameSpec {
+            units: FrameUnits::Range,
+            start: Bound::Preceding(3),
+            end: Bound::Preceding(1),
+        },
+    ];
+    let funcs = [
+        WindowFunction::Sum(a(2)),
+        WindowFunction::Avg(a(2)),
+        WindowFunction::Min(a(2)),
+        WindowFunction::Count(Some(a(2))),
+    ];
+    for desc in [false, true] {
+        for frame in frames {
+            for func in &funcs {
+                assert_eq!(
+                    StreamableEval::classify(func, &frame),
+                    StreamableEval::Ring,
+                    "{func:?} must ring-stream a pure-offset RANGE frame"
+                );
+                let env_small = ExecEnv::with_memory_blocks(2);
+                let small = run_dir(func.clone(), frame, &env_small, desc);
+                assert!(
+                    env_small.store_snapshot().spill_blocks_written > 0,
+                    "{func:?}/{frame:?} desc={desc}: tiny pool must spill"
+                );
+                let env_big = ExecEnv::with_memory_blocks(1024);
+                let big = run_dir(func.clone(), frame, &env_big, desc);
+                assert_eq!(
+                    small, big,
+                    "{func:?}/{frame:?} desc={desc}: streamed vs materialized"
+                );
+                // Bounded vs unbounded pool: identical modeled counters.
+                let env_unbounded = ExecEnv::with_memory_blocks(2).with_unbounded_pool();
+                let legacy = run_dir(func.clone(), frame, &env_unbounded, desc);
+                assert_eq!(small, legacy, "{func:?}/{frame:?} desc={desc}: pool rows");
+                assert_eq!(
+                    env_small.tracker().snapshot(),
+                    env_unbounded.tracker().snapshot(),
+                    "{func:?}/{frame:?} desc={desc}: modeled counters must not see the pool"
+                );
+            }
+        }
     }
 }
 
