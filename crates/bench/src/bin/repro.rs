@@ -27,9 +27,11 @@ fn usage() -> ! {
            ablate-ss SS unit-count ablation\n\
            parallel  §3.5 parallel speedup\n\
            integrated  §5 GROUP-BY-variant integration\n\
-           regress   fixed workloads → results/BENCH_5.json; exits 1 on a\n\
+           regress   fixed workloads → results/BENCH_6.json; exits 1 on a\n\
                      >2x modeled-cost or peak-residency regression vs\n\
-                     BENCH_5.baseline.json\n\
+                     BENCH_6.baseline.json (set WF_REGRESS_MIN_WALL_SPEEDUP\n\
+                     on multi-core hosts to also gate the parallel chain's\n\
+                     wall speedup)\n\
            all       everything above (except regress)\n\
          options:\n\
            --rows N  table size (default 200000; paper ratio-preserving)"

@@ -2,13 +2,17 @@
 //!
 //! Runs a small, fixed, fully deterministic workload set (row count pinned
 //! regardless of `--rows` so the checked-in baseline stays comparable),
-//! writes `results/BENCH_5.json`, and — when `results/BENCH_5.baseline.json`
+//! writes `results/BENCH_6.json`, and — when `results/BENCH_6.baseline.json`
 //! exists — fails with a non-zero exit if any workload's **modeled cost**
 //! or **peak resident memory** regressed by more than 2× against the
 //! baseline. Modeled cost comes from deterministic counters and peak
 //! residency from the segment store's high-water mark, so both gates are
 //! machine-independent; wall clock (and the derived `rows_per_sec` column)
-//! is recorded for trend inspection but never gated (CI noise).
+//! is recorded for trend inspection but never gated (CI noise) — except
+//! when `WF_REGRESS_MIN_WALL_SPEEDUP` is set (the CI multi-core axis sets
+//! it after confirming `nproc > 1`), which additionally requires the
+//! parallel chain's wall speedup over its serial execution to reach the
+//! given threshold.
 //!
 //! The set also measures the fast paths directly:
 //! * `fig3_radix` / `fig3_comparator` — the fig3 sort microbench on the
@@ -23,11 +27,17 @@
 //!   reference (wall-clock speedup printed),
 //! * `chain_shared_wpk_*` — the two-window shared-partition-key chain with
 //!   boundary reuse on vs. off (comparison reduction printed),
-//! * `par_rank_*` — the planner-driven parallel chain: the same
-//!   multi-partition rank planned serially and with a 4-worker budget
-//!   (the planner must emit `ReorderOp::Par`); the parallel entry records
-//!   its wall-clock speedup over the serial twin and asserts governed
-//!   pool residency.
+//! * `par_chain_*` — the planner-driven parallel chain span: a two-window
+//!   query (rank + one-pass SUM over the same partition key) planned
+//!   serially and with a 4-worker budget (the planner must emit a
+//!   `ReorderOp::Par` span covering both windows, so the per-worker shard
+//!   sort, both window evaluations and the fused segmented sort all run
+//!   inside the worker); the parallel entry records its wall-clock speedup
+//!   over the serial execution of the same plan and asserts governed pool
+//!   residency and a ≥ 1.8× modeled plan speedup,
+//! * `groupby_*` — the same hash GROUP BY computed serially and through
+//!   the 4-worker scatter/merge path (identical rows in identical order;
+//!   the wall ratio is the scatter/merge speedup).
 
 use crate::paper_mb_to_blocks;
 use crate::queries;
@@ -308,34 +318,45 @@ pub fn run_workloads() -> Vec<RegressEntry> {
         }
     }
 
-    // Parallel-chain workloads: a multi-partition rank over a larger,
-    // sort-dominated table, planned serially (workers = 1, must stay FS)
-    // and with a 4-worker budget (the planner must emit ReorderOp::Par —
-    // the cost model favors splitting the sort at this spill-heavy M).
-    // Wall speedup serial/parallel rides on the parallel entry; residency
-    // must stay governed despite 4 concurrent sorts.
+    // Parallel-chain workloads: a two-window chain (a rank and a one-pass
+    // SUM sharing the partition key) over a larger, sort-dominated table,
+    // planned serially (workers = 1, must stay FS ∘ SS) and with a
+    // 4-worker budget. Under the worker budget the planner emits a
+    // ReorderOp::Par *span* covering both windows: the per-worker shard
+    // sort, both window evaluations and the fused segmented sort run
+    // inside the worker and only finished rows are merged. Wall speedup
+    // serial/parallel rides on the parallel entry; residency must stay
+    // governed despite 4 concurrent worker chains.
+    let par_cfg = WsConfig {
+        rows: PAR_ROWS,
+        d_item: (PAR_ROWS as u64 / 100).max(64),
+        d_bill: (PAR_ROWS as u64 / 10).max(64),
+        ..WsConfig::default()
+    };
+    let par_table = par_cfg.generate();
+    let par_blocks = par_table.block_count();
     {
-        use wf_datagen::WsColumn::{Item, SoldTime};
-        let par_cfg = WsConfig {
-            rows: PAR_ROWS,
-            d_item: (PAR_ROWS as u64 / 100).max(64),
-            d_bill: (PAR_ROWS as u64 / 10).max(64),
-            ..WsConfig::default()
-        };
-        let par_table = par_cfg.generate();
+        use wf_datagen::WsColumn::{Item, Quantity, SoldTime, Warehouse};
         let par_stats = TableStats::from_table(&par_table);
-        let par_blocks = par_table.block_count();
         // 150 paper-MB equivalent: one-pass serial FS no longer beats HS's
-        // flat partition I/O here, but splitting the sort four ways does —
-        // the regime the cost model favors Par in.
+        // flat partition I/O here, but splitting the whole chain four ways
+        // does — the regime the cost model favors Par in.
         let m = paper_mb_to_blocks(150.0, par_blocks);
         let query = WindowQuery::new(
             par_table.schema().clone(),
-            vec![WindowSpec::rank(
-                "r",
-                vec![Item.attr()],
-                wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(SoldTime.attr())]),
-            )],
+            vec![
+                WindowSpec::rank(
+                    "r",
+                    vec![Item.attr()],
+                    wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(SoldTime.attr())]),
+                ),
+                WindowSpec::new(
+                    "s",
+                    wf_core::spec::WindowFunction::Sum(Quantity.attr()),
+                    vec![Item.attr()],
+                    wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(Warehouse.attr())]),
+                ),
+            ],
         );
         // One plan — emitted by the planner under the 4-worker budget —
         // executed with the scheduler forced serial (1 thread) and at the
@@ -345,10 +366,18 @@ pub fn run_workloads() -> Vec<RegressEntry> {
         let env_plan = ExecEnv::with_memory_blocks(m).with_par_workers(PAR_WORKERS);
         let plan = optimize(&query, &par_stats, Scheme::Cso, &env_plan).expect("par plan");
         assert!(
-            plan.steps
-                .iter()
-                .any(|s| matches!(s.reorder, ReorderOp::Par { .. })),
+            matches!(plan.steps[0].reorder, ReorderOp::Par { .. }),
             "cost model must favor ReorderOp::Par on this workload: {}",
+            plan.chain_string()
+        );
+        // The second window must fuse into the span (SS-compatible after
+        // the head sort) so its evaluation runs inside the workers.
+        assert!(
+            matches!(
+                plan.steps[1].reorder,
+                ReorderOp::Ss { .. } | ReorderOp::None
+            ),
+            "second window must fuse into the parallel span: {}",
             plan.chain_string()
         );
         let serial_plan = optimize(
@@ -373,18 +402,22 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                     .with_par_workers(PAR_WORKERS)
                     .with_worker_threads(threads);
                 let e = run_plan(&plan, &par_table, &env, name);
-                // Governed residency: the invariant is chain pool (M) +
-                // Σ_w M_w (≤ M) of worker sub-accounts plus per-worker
-                // slack — asserted with the suite's usual 4× constant
-                // (builders, rounding), which is still far below the
-                // relation (the second assert).
+                // Governed residency: the chain-span form is M + Σ_w
+                // (M_w + unit_w) + unit, where unit_w is the largest
+                // in-span partition a worker holds while evaluating its
+                // windows — asserted with the suite's usual 4× constant
+                // (builders, rounding) and a per-worker unit allowance,
+                // which is still far below the relation (the second
+                // assert).
+                let unit_w = par_blocks / 16;
                 assert!(
-                    e.peak_resident_blocks <= 4 * (2 * m + PAR_WORKERS as u64) + 8,
+                    e.peak_resident_blocks
+                        <= 4 * (2 * m + PAR_WORKERS as u64 * (m / 2 + unit_w)) + 8,
                     "parallel peak {} blocks vs M={m}",
                     e.peak_resident_blocks
                 );
                 assert!(
-                    e.peak_resident_blocks < par_blocks / 4,
+                    e.peak_resident_blocks < par_blocks / 2,
                     "parallel peak {} is relation-sized ({par_blocks})",
                     e.peak_resident_blocks
                 );
@@ -394,8 +427,8 @@ pub fn run_workloads() -> Vec<RegressEntry> {
             }
             best.expect("three runs")
         };
-        let serial = best_for(1, "par_rank_serial");
-        let mut par = best_for(PAR_WORKERS, "par_rank_w4");
+        let serial = best_for(1, "par_chain_serial");
+        let mut par = best_for(PAR_WORKERS, "par_chain_w4");
         assert_eq!(
             (
                 serial.comparisons,
@@ -413,12 +446,65 @@ pub fn run_workloads() -> Vec<RegressEntry> {
         let w = env_plan.weights();
         par.par_est_speedup = serial_plan.est_cost.ms(&w) / plan.est_cost.ms(&w);
         assert!(
-            par.par_est_speedup >= 1.5,
-            "modeled parallel speedup collapsed: {:.2}x (serial {} vs parallel {})",
+            par.par_est_speedup >= 1.8,
+            "modeled parallel chain speedup collapsed: {:.2}x (serial {} vs parallel {})",
             par.par_est_speedup,
             serial_plan.chain_string(),
             plan.chain_string()
         );
+        out.push(serial);
+        out.push(par);
+    }
+
+    // Parallel GROUP BY: the same hash aggregate computed by the serial
+    // operator and through the 4-worker scatter/merge path. The parallel
+    // path must emit identical rows in identical order; the wall ratio is
+    // the scatter/merge speedup (hardware-dependent and informational).
+    {
+        use wf_datagen::WsColumn::{Item, Quantity};
+        let keys = [Item.attr()];
+        let aggs = [
+            wf_exec::GroupAgg::CountStar,
+            wf_exec::GroupAgg::Sum(Quantity.attr()),
+        ];
+        let m = paper_mb_to_blocks(150.0, par_blocks);
+        let gb_run = |name: &str, workers: usize| -> (RegressEntry, Table) {
+            let mut best: Option<(RegressEntry, Table)> = None;
+            for _ in 0..3 {
+                let env = ExecEnv::with_memory_blocks(m);
+                let t0 = std::time::Instant::now();
+                let grouped =
+                    wf_exec::group_by_hash_par(&par_table, &keys, &aggs, workers, env.op_env())
+                        .expect("groupby workload");
+                let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                let s = env.tracker().snapshot();
+                let e = RegressEntry {
+                    name: name.to_string(),
+                    modeled_ms: env.weights().modeled_ms(&s),
+                    wall_ms,
+                    rows_per_sec: par_table.row_count() as f64 / (wall_ms / 1000.0).max(1e-9),
+                    comparisons: s.comparisons,
+                    io_blocks: s.io_blocks(),
+                    key_encodes: s.key_encodes,
+                    peak_resident_blocks: env.op_env().store.snapshot().peak_resident_blocks(),
+                    residency_class: "-".to_string(),
+                    par_speedup: 0.0,
+                    par_est_speedup: 0.0,
+                };
+                if best.as_ref().is_none_or(|(b, _)| e.wall_ms < b.wall_ms) {
+                    best = Some((e, grouped));
+                }
+            }
+            best.expect("three runs")
+        };
+        let (serial, by_serial) = gb_run("groupby_serial", 1);
+        let (mut par, by_par) = gb_run("groupby_par", PAR_WORKERS);
+        assert_eq!(
+            by_serial.rows(),
+            by_par.rows(),
+            "parallel GROUP BY must match the serial operator row-for-row"
+        );
+        par.par_speedup = serial.wall_ms / par.wall_ms;
         out.push(serial);
         out.push(par);
     }
@@ -499,10 +585,10 @@ fn chain_query(table: &Table) -> WindowQuery {
     WindowQuery::new(table.schema().clone(), specs)
 }
 
-/// Serialize entries as `BENCH_5.json`.
+/// Serialize entries as `BENCH_6.json`.
 pub fn to_json(entries: &[RegressEntry]) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench5-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench6-v1\",");
     let _ = writeln!(s, "  \"rows\": {REGRESS_ROWS},");
     let _ = writeln!(s, "  \"par_rows\": {PAR_ROWS},");
     s.push_str("  \"entries\": [\n");
@@ -533,7 +619,7 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
 }
 
 /// Minimal extraction of `(name, modeled_ms, peak_resident_blocks)` tuples
-/// from a BENCH_5-shaped JSON file (flat entry objects; no nesting — the
+/// from a BENCH_6-shaped JSON file (flat entry objects; no nesting — the
 /// format we write). Files without the peak column (the BENCH_2 era)
 /// parse with peak 0, which disarms only the peak gate.
 pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
@@ -561,10 +647,10 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
 
 /// Markdown table comparing the current run against the baseline —
 /// modeled cost, peak resident blocks, residency class and wall
-/// throughput per workload — emitted into `results/BENCH_5_summary.md`
+/// throughput per workload — emitted into `results/BENCH_6_summary.md`
 /// for the CI step summary.
 pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64, u64)]) -> String {
-    let mut md = String::from("### `repro regress` — BENCH_5 comparison\n\n");
+    let mut md = String::from("### `repro regress` — BENCH_6 comparison\n\n");
     let _ = writeln!(
         md,
         "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | rows/s | ∥ speedup |"
@@ -613,12 +699,12 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
     let _ = writeln!(
         md,
         "\nGate: modeled cost and peak residency must stay within {REGRESS_FACTOR}× of \
-         `results/BENCH_5.baseline.json`. Wall clock (and rows/s) is informational only."
+         `results/BENCH_6.baseline.json`. Wall clock (and rows/s) is informational only."
     );
     md
 }
 
-/// Run the regression suite: write `results/BENCH_5.json`, print the table
+/// Run the regression suite: write `results/BENCH_6.json`, print the table
 /// and the fast-path headline numbers, compare against the checked-in
 /// baseline. Returns `false` when a >2× modeled-cost or peak-residency
 /// regression was found.
@@ -626,7 +712,7 @@ pub fn run_regress() -> bool {
     let entries = run_workloads();
 
     let mut t = ReportTable::new(
-        "BENCH_5: regression workloads (modeled ms | wall ms | rows/s | comparisons | peak resident)",
+        "BENCH_6: regression workloads (modeled ms | wall ms | rows/s | comparisons | peak resident)",
         &[
             "workload",
             "modeled ms",
@@ -662,7 +748,7 @@ pub fn run_regress() -> bool {
             },
         ]);
     }
-    t.emit("BENCH_5_table");
+    t.emit("BENCH_6_table");
 
     // Headline: byte-key / radix wall speedup on the sort-dominated
     // workloads, and the vectorized-filter wall speedup.
@@ -694,15 +780,21 @@ pub fn run_regress() -> bool {
         wall("filter_rowwise") / wall("filter_vectorized")
     );
     let find = |name: &str| entries.iter().find(|e| e.name == name);
-    if let Some(par) = find("par_rank_w4") {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if let Some(par) = find("par_chain_w4") {
         println!(
             "parallel chain ({PAR_WORKERS} workers): {:.2}x modeled plan speedup, {:.2}x wall \
              over its serial execution (host has {cores} core(s); wall speedup requires \
              cores > 1)",
             par.par_est_speedup, par.par_speedup
+        );
+    }
+    if let Some(gb) = find("groupby_par") {
+        println!(
+            "parallel GROUP BY ({PAR_WORKERS} workers): {:.2}x wall over the serial operator",
+            gb.par_speedup
         );
     }
     if let (Some(on), Some(off)) = (
@@ -720,31 +812,31 @@ pub fn run_regress() -> bool {
 
     let json = to_json(&entries);
     std::fs::create_dir_all("results").ok();
-    if let Err(e) = std::fs::write("results/BENCH_5.json", &json) {
-        eprintln!("(could not write results/BENCH_5.json: {e})");
+    if let Err(e) = std::fs::write("results/BENCH_6.json", &json) {
+        eprintln!("(could not write results/BENCH_6.json: {e})");
     }
     // Markdown comparison for the CI step summary ($GITHUB_STEP_SUMMARY):
     // current vs baseline modeled cost + peak residency + residency class,
     // so bench drift is readable on the PR without downloading artifacts.
-    let baseline_for_md = std::fs::read_to_string("results/BENCH_5.baseline.json")
+    let baseline_for_md = std::fs::read_to_string("results/BENCH_6.baseline.json")
         .map(|raw| parse_baseline(&raw))
         .unwrap_or_default();
     if let Err(e) = std::fs::write(
-        "results/BENCH_5_summary.md",
+        "results/BENCH_6_summary.md",
         step_summary_markdown(&entries, &baseline_for_md),
     ) {
-        eprintln!("(could not write results/BENCH_5_summary.md: {e})");
+        eprintln!("(could not write results/BENCH_6_summary.md: {e})");
     }
 
     // Gate against the checked-in baseline. A missing baseline is fatal in
     // CI (the gate must never silently disarm there) and a friendly skip
     // locally.
-    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_5.baseline.json") else {
+    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_6.baseline.json") else {
         if std::env::var_os("CI").is_some() {
-            println!("\nresults/BENCH_5.baseline.json missing in CI — failing the gate");
+            println!("\nresults/BENCH_6.baseline.json missing in CI — failing the gate");
             return false;
         }
-        println!("\n(no results/BENCH_5.baseline.json — baseline gate skipped)");
+        println!("\n(no results/BENCH_6.baseline.json — baseline gate skipped)");
         return true;
     };
     let baseline = parse_baseline(&baseline_raw);
@@ -755,7 +847,7 @@ pub fn run_regress() -> bool {
             // baseline must be regenerated in the same change.
             println!(
                 "REGRESSION {name}: baseline entry no longer measured \
-                 (renamed/removed? regenerate results/BENCH_5.baseline.json)"
+                 (renamed/removed? regenerate results/BENCH_6.baseline.json)"
             );
             ok = false;
             continue;
@@ -773,6 +865,35 @@ pub fn run_regress() -> bool {
                 name, e.peak_resident_blocks, base_peak
             );
             ok = false;
+        }
+    }
+    // Wall-clock gate, armed only when the caller attests to spare cores
+    // (the CI multi-core axis sets it after checking `nproc`). Never armed
+    // by default: wall speedup on a single-core host is ≈ 1.0 by
+    // construction.
+    if let Some(min) = std::env::var("WF_REGRESS_MIN_WALL_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        match find("par_chain_w4") {
+            Some(par) if par.par_speedup >= min => {
+                println!(
+                    "wall-speedup gate: OK ({:.2}x >= {min:.2}x on {cores} core(s))",
+                    par.par_speedup
+                );
+            }
+            Some(par) => {
+                println!(
+                    "REGRESSION par_chain_w4: wall speedup {:.2}x below the required \
+                     {min:.2}x ({cores} core(s))",
+                    par.par_speedup
+                );
+                ok = false;
+            }
+            None => {
+                println!("REGRESSION: wall-speedup gate armed but par_chain_w4 not measured");
+                ok = false;
+            }
         }
     }
     if ok {

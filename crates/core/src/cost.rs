@@ -242,6 +242,18 @@ impl Cost {
             + self.comparisons * w.ns_per_comparison / 1_000_000.0
             + self.hashes * w.ns_per_hash / 1_000_000.0
     }
+
+    /// Component-wise scaling — how the chain-parallel model turns a serial
+    /// in-span stage cost into an elapsed (critical-path) estimate: the
+    /// stage's work spreads over the effective workers, so its elapsed cost
+    /// is the serial cost times `1/w_eff`.
+    pub fn scaled(&self, f: f64) -> Cost {
+        Cost {
+            io_blocks: self.io_blocks * f,
+            comparisons: self.comparisons * f,
+            hashes: self.hashes * f,
+        }
+    }
 }
 
 fn log2(x: f64) -> f64 {
@@ -335,6 +347,37 @@ pub fn par_fs_cost(stats: &TableStats, m: u64, workers: usize, shard_key: &AttrS
         io_blocks: unit.io_blocks,
         comparisons: unit.comparisons + merge_cmp,
         hashes: t,
+    }
+}
+
+/// Modeled **elapsed** cost of a partition-parallel Hashed Sort over `w`
+/// workers (`ReorderOp::Par { inner: Hs }`): the relation is hash-scattered
+/// on `WHK` (one hash per row, serial), and every worker runs Eq. 2 over
+/// its `1/w_eff` share of the blocks, rows and buckets with
+/// `M_w = ⌊M/w⌋` — the in-worker partitioning re-hashes the worker's share,
+/// hence the `t + t/w_eff` hash term. The final reassembly is a pure
+/// bucket-order interleave (no row merge), so no merge comparisons appear.
+/// Effective parallelism caps at `D(WHK)` exactly like [`par_fs_cost`].
+pub fn par_hs_cost(stats: &TableStats, whk: &AttrSet, m: u64, workers: usize) -> Cost {
+    let w = workers.max(1) as u64;
+    if w == 1 {
+        return hs_cost(stats, whk, m);
+    }
+    let b = stats.blocks() as f64;
+    let t = stats.rows() as f64;
+    let m_w = wf_exec::per_worker_blocks(m, workers);
+    let n = stats.distinct_set(whk) as f64;
+    let w_eff = (w as f64).min(n).max(1.0);
+    let b_w = b / w_eff;
+    let t_w = t / w_eff;
+    let n_w = (n / w_eff).max(1.0);
+    let n_mem = ((m_w as f64) * n_w / b_w).floor().min(n_w);
+    let partition_io = 2.0 * b_w * (1.0 - n_mem / n_w) * HS_PARTITION_IO_PENALTY;
+    let bucket = sort_cost(b_w / n_w, t_w / n_w, m_w);
+    Cost {
+        io_blocks: partition_io + n_w * bucket.io_blocks,
+        comparisons: n_w * bucket.comparisons,
+        hashes: t + t / w_eff,
     }
 }
 
@@ -578,6 +621,50 @@ mod tests {
                 .rows()
                 >= 1
         );
+    }
+
+    /// The parallel HS model: one worker degenerates to Eq. 2 exactly;
+    /// more workers shrink the elapsed estimate (shares partition and sort
+    /// concurrently) while the scatter's extra hashes stay priced; a
+    /// low-cardinality hash key caps the effective parallelism.
+    #[test]
+    fn par_hs_cost_shrinks_with_workers() {
+        let s = stats(400_000, 10_600, &[(0, 20_000), (1, 2)]);
+        let wide = AttrSet::from_iter([a(0)]);
+        let w = CostWeights::default();
+        let m = 37;
+        assert_eq!(par_hs_cost(&s, &wide, m, 1), hs_cost(&s, &wide, m));
+        let serial = hs_cost(&s, &wide, m).ms(&w);
+        let par4 = par_hs_cost(&s, &wide, m, 4);
+        assert!(
+            par4.ms(&w) < serial,
+            "par {} vs serial {serial}",
+            par4.ms(&w)
+        );
+        assert!(
+            par4.hashes > hs_cost(&s, &wide, m).hashes,
+            "scatter re-hash is priced"
+        );
+        // D(WHK)=2 caps w_eff at 2: the narrow key's elapsed estimate is
+        // worse than the wide key's at the same worker count, and its
+        // scatter still pays the bigger per-worker share's re-hash.
+        let narrow = AttrSet::from_iter([a(1)]);
+        let skewed = par_hs_cost(&s, &narrow, m, 4);
+        assert!(skewed.ms(&w) > par4.ms(&w));
+        assert!(skewed.hashes > par4.hashes);
+    }
+
+    #[test]
+    fn cost_scaled_is_componentwise() {
+        let c = Cost {
+            io_blocks: 10.0,
+            comparisons: 6.0,
+            hashes: 4.0,
+        };
+        let half = c.scaled(0.5);
+        assert_eq!(half.io_blocks, 5.0);
+        assert_eq!(half.comparisons, 3.0);
+        assert_eq!(half.hashes, 2.0);
     }
 
     #[test]

@@ -244,9 +244,11 @@ mod tests {
             .build()
             .unwrap();
         let st = stats();
-        // Large memory → the chain ends with FS (total order) and the
-        // satisfied case needs nothing.
-        let env = ExecEnv::with_memory_blocks(111);
+        // Large memory → the serial chain ends with FS (total order) and
+        // the satisfied case needs nothing. Pinned serial: under a worker
+        // budget the planner may prefer a Par{Hs} chain whose grouped
+        // output changes the final-order classification this test pins.
+        let env = ExecEnv::with_memory_blocks(111).with_par_workers(1);
         let sat =
             optimize_integrated(&q_sat, &[InputVariant::heap()], &st, Scheme::Cso, &env).unwrap();
         assert_eq!(sat.final_order, FinalOrder::Satisfied);
@@ -265,7 +267,8 @@ mod tests {
             .build()
             .unwrap();
         let st = stats();
-        let env = ExecEnv::with_memory_blocks(111);
+        // Pinned serial for the same reason as `order_by_influences_total`.
+        let env = ExecEnv::with_memory_blocks(111).with_par_workers(1);
         let best =
             optimize_integrated(&q, &[InputVariant::heap()], &st, Scheme::Cso, &env).unwrap();
         assert_eq!(best.final_order, FinalOrder::PartialSort { prefix_len: 1 });

@@ -10,8 +10,8 @@
 //! only a more expensive one, which the estimate then reflects honestly.
 
 use crate::cost::{
-    fs_cost, hs_bucket_count, hs_cost, par_fs_cost, ss_reorder_cost, window_scan_cost, Cost,
-    TableStats,
+    fs_cost, hs_bucket_count, hs_cost, par_fs_cost, par_hs_cost, ss_reorder_cost, window_scan_cost,
+    Cost, TableStats,
 };
 use crate::cover::KeyPattern;
 use crate::props::SegProps;
@@ -147,7 +147,9 @@ impl Plan {
         if let Some(pred) = &self.filter {
             out.push_str(&format!("  ── Filter {pred:?}\n"));
         }
-        for step in &self.steps {
+        let mut i = 0;
+        while i < self.steps.len() {
+            let step = &self.steps[i];
             let spec = &specs[step.wf];
             match &step.reorder {
                 ReorderOp::None => out.push_str("  ── (matched)\n"),
@@ -161,10 +163,7 @@ impl Plan {
                     mfv,
                 } => out.push_str(&format!(
                     "  ── HashedSort whk={{{}}} key={} buckets={}{}\n",
-                    whk.iter()
-                        .map(|a| schema.name(a).to_string())
-                        .collect::<Vec<_>>()
-                        .join(","),
+                    set_names(whk, schema),
                     names(key, schema),
                     n_buckets,
                     if mfv.is_empty() {
@@ -179,18 +178,54 @@ impl Plan {
                     names(beta, schema)
                 )),
                 ReorderOp::Par { inner, workers } => {
-                    let shard: Vec<&str> =
-                        spec.wpk_written().iter().map(|&a| schema.name(a)).collect();
-                    let inner_desc = match inner.as_ref() {
+                    // The whole span runs inside the workers: head reorder,
+                    // this step's window, and every fused SS + window stage.
+                    // Only finished rows come back through the merge.
+                    let span = par_span_len(&self.steps, specs, i);
+                    let shard = par_shard_attrs(step, specs);
+                    let head = match inner.as_ref() {
                         ReorderOp::Fs { key } => format!("FullSort key={}", names(key, schema)),
+                        ReorderOp::Hs {
+                            whk,
+                            key,
+                            n_buckets,
+                            ..
+                        } => format!(
+                            "HashedSort whk={{{}}} key={} buckets={}",
+                            set_names(whk, schema),
+                            names(key, schema),
+                            n_buckets
+                        ),
                         other => format!("{other:?}"),
                     };
+                    let mut ops = vec![head];
+                    for s in &self.steps[i..i + span] {
+                        if let ReorderOp::Ss { alpha, beta } = &s.reorder {
+                            ops.push(format!(
+                                "SegmentedSort α={} β={}",
+                                names(alpha, schema),
+                                names(beta, schema)
+                            ));
+                        }
+                        ops.push(format!("Window {}", specs[s.wf].name));
+                    }
                     out.push_str(&format!(
-                        "  ── Parallel workers={} shard={{{}}} ∘ {}\n",
+                        "  ── Parallel workers={} shard={{{}}} [{}] ∘ Merge\n",
                         workers,
-                        shard.join(","),
-                        inner_desc
+                        set_names(&shard, schema),
+                        ops.join(" ∘ ")
                     ));
+                    for s in &self.steps[i..i + span] {
+                        let sp = &specs[s.wf];
+                        out.push_str(&format!(
+                            "  {} {} [{}] (in-worker)\n",
+                            sp.name,
+                            sp.describe(schema),
+                            sp.eval_class()
+                        ));
+                    }
+                    i += span;
+                    continue;
                 }
             }
             out.push_str(&format!(
@@ -199,10 +234,19 @@ impl Plan {
                 spec.describe(schema),
                 spec.eval_class()
             ));
+            i += 1;
         }
         out.push_str(&format!("output: {}", self.final_props));
         out
     }
+}
+
+fn set_names(attrs: &AttrSet, schema: &Schema) -> String {
+    attrs
+        .iter()
+        .map(|a| schema.name(a).to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn names(key: &SortSpec, schema: &Schema) -> String {
@@ -255,6 +299,55 @@ impl<'a> PlanContext<'a> {
 /// permutation.
 pub fn default_fs_key(spec: &WindowSpec) -> SortSpec {
     KeyPattern::for_spec(spec).linearize()
+}
+
+/// The scatter key of a `Par` step: the step spec's WPK for an FS inner,
+/// the hash key for an HS inner. Empty for non-`Par` steps.
+pub fn par_shard_attrs(step: &PlanStep, specs: &[WindowSpec]) -> AttrSet {
+    match &step.reorder {
+        ReorderOp::Par { inner, .. } => match inner.as_ref() {
+            ReorderOp::Hs { whk, .. } => whk.clone(),
+            _ => specs[step.wf].wpk().clone(),
+        },
+        _ => AttrSet::empty(),
+    }
+}
+
+/// Length of the chain-parallel span starting at step `k`, **including the
+/// `Par` step itself** — 0 when step `k` is not a `Par` node. A follow-up
+/// step fuses into the span (runs inside the workers, on the worker's shard)
+/// when its reorder needs no cross-shard data movement and its window
+/// partitions stay whole within a shard:
+///
+/// * `None` reorders — provided the step's WPK covers the shard key,
+/// * `Ss` reorders — additionally the declared `α` must cover the shard key,
+///   so SS units never straddle shards.
+///
+/// Any other reorder (FS, HS, a second Par) ends the span: it needs the
+/// whole relation. This one predicate is shared by the cost model
+/// ([`finalize_chain`]'s span discount), EXPLAIN ([`Plan::explain`]) and the
+/// runtime's lowering, so they can never disagree about span membership.
+pub fn par_span_len(steps: &[PlanStep], specs: &[WindowSpec], k: usize) -> usize {
+    let ReorderOp::Par { .. } = &steps[k].reorder else {
+        return 0;
+    };
+    let shard = par_shard_attrs(&steps[k], specs);
+    let mut len = 1;
+    for step in &steps[k + 1..] {
+        let spec = &specs[step.wf];
+        let joins = match &step.reorder {
+            ReorderOp::None => shard.is_subset(spec.wpk()),
+            ReorderOp::Ss { alpha, .. } => {
+                shard.is_subset(spec.wpk()) && shard.is_subset(&alpha.attr_set())
+            }
+            _ => false,
+        };
+        if !joins {
+            break;
+        }
+        len += 1;
+    }
+    len
 }
 
 /// At (near-)equal modeled cost, plans should prefer the reorder with the
@@ -333,16 +426,38 @@ pub fn cheapest_reorder(
             cost,
         );
     }
-    // Partition-parallel Full Sort: only with a worker budget and a
+    // Partition-parallel reorders: only with a worker budget and a
     // non-empty WPK to shard on (the partition-sharded distribution rule).
     if ctx.workers > 1 && !spec.wpk().is_empty() {
         consider(
             ReorderOp::Par {
-                inner: Box::new(ReorderOp::Fs { key }),
+                inner: Box::new(ReorderOp::Fs { key: key.clone() }),
                 workers: ctx.workers,
             },
             par_fs_cost(ctx.stats, ctx.mem_blocks, ctx.workers, spec.wpk()),
         );
+        if ctx.allow_hs {
+            // Per-worker Hashed Sort over globally numbered buckets. The
+            // bucket count is sized to the *worker's* memory grant so an
+            // expected bucket fits `M_w`; the MFV bypass stays off — its
+            // emission order is residency-dependent, which the parallel
+            // interleave cannot tolerate.
+            let whk = spec.wpk().clone();
+            let m_w = wf_exec::per_worker_blocks(ctx.mem_blocks, ctx.workers);
+            let n_buckets = hs_bucket_count(ctx.stats, &whk, m_w);
+            consider(
+                ReorderOp::Par {
+                    inner: Box::new(ReorderOp::Hs {
+                        whk: whk.clone(),
+                        key,
+                        n_buckets,
+                        mfv: Vec::new(),
+                    }),
+                    workers: ctx.workers,
+                },
+                par_hs_cost(ctx.stats, &whk, ctx.mem_blocks, ctx.workers),
+            );
+        }
     }
     best.expect("FS is always applicable")
 }
@@ -399,6 +514,7 @@ pub fn reorder_cost(
         }
         ReorderOp::Par { inner, workers } => match inner.as_ref() {
             ReorderOp::Fs { .. } => par_fs_cost(ctx.stats, ctx.mem_blocks, *workers, spec.wpk()),
+            ReorderOp::Hs { whk, .. } => par_hs_cost(ctx.stats, whk, ctx.mem_blocks, *workers),
             other => reorder_cost(other, props, segments, spec, ctx),
         },
     }
@@ -416,8 +532,8 @@ pub fn finalize_chain(
 ) -> Plan {
     let mut props = input_props.clone();
     let mut segments = input_segments;
-    let mut total = Cost::zero();
     let mut steps = Vec::with_capacity(raw_steps.len());
+    let mut step_costs: Vec<(Cost, Cost)> = Vec::with_capacity(raw_steps.len());
     let mut repairs = 0usize;
 
     for step in raw_steps {
@@ -434,12 +550,18 @@ pub fn finalize_chain(
                 ReorderOp::Ss { alpha, .. } => {
                     props.ss_reorderable(spec) && props.satisfied_prefix_of(alpha) >= alpha.len()
                 }
-                // The executor shards on the step's WPK (so window
-                // partitions stay whole) and only runs a Full Sort inner.
+                // The executor shards on the step's WPK — or, for an HS
+                // inner, on the hash key (a subset of the WPK) — so window
+                // partitions stay whole inside one worker.
                 ReorderOp::Par { inner, workers } => {
                     *workers >= 1
-                        && !spec.wpk().is_empty()
-                        && matches!(inner.as_ref(), ReorderOp::Fs { .. })
+                        && match inner.as_ref() {
+                            ReorderOp::Fs { .. } => !spec.wpk().is_empty(),
+                            ReorderOp::Hs { whk, .. } => {
+                                !whk.is_empty() && whk.is_subset(spec.wpk())
+                            }
+                            _ => false,
+                        }
                 }
             };
             applicable && p2.matches(spec)
@@ -450,16 +572,45 @@ pub fn finalize_chain(
             repairs += 1;
             cheapest_reorder(&props, segments, spec, ctx).0
         };
-        total = total.plus(&reorder_cost(&reorder, &props, segments, spec, ctx));
+        let r_cost = reorder_cost(&reorder, &props, segments, spec, ctx);
         let (p2, s2) = apply_reorder(&reorder, &props, segments, spec, ctx.stats);
         debug_assert!(p2.matches(spec), "finalized step must be matched");
         props = p2;
         segments = s2;
-        total = total.plus(&window_scan_cost(ctx.stats));
+        step_costs.push((r_cost, window_scan_cost(ctx.stats)));
         steps.push(PlanStep {
             wf: step.wf,
             reorder,
         });
+    }
+
+    // Cost the finalized chain span-aware: a `Par` head's own cost is
+    // already an elapsed estimate, and everything fused into its span —
+    // the in-worker window scans (the head step's included) and any SS
+    // reorders — spreads over the effective workers, so those terms scale
+    // by `1/w_eff`. Steps outside a span sum serially as before.
+    let mut total = Cost::zero();
+    let mut i = 0;
+    while i < steps.len() {
+        let span = par_span_len(&steps, specs, i);
+        if span == 0 {
+            total = total.plus(&step_costs[i].0).plus(&step_costs[i].1);
+            i += 1;
+            continue;
+        }
+        let ReorderOp::Par { workers, .. } = &steps[i].reorder else {
+            unreachable!("span starts at a Par step");
+        };
+        let shard = par_shard_attrs(&steps[i], specs);
+        let w_eff = (*workers as u64).min(ctx.stats.distinct_set(&shard)).max(1) as f64;
+        let inv = 1.0 / w_eff;
+        total = total
+            .plus(&step_costs[i].0)
+            .plus(&step_costs[i].1.scaled(inv));
+        for cost in step_costs.iter().take(i + span).skip(i + 1) {
+            total = total.plus(&cost.0.scaled(inv)).plus(&cost.1.scaled(inv));
+        }
+        i += span;
     }
 
     let eval_classes = steps.iter().map(|s| specs[s.wf].eval_class()).collect();
@@ -623,7 +774,7 @@ mod tests {
     }
 
     /// With a worker budget, the repair/choice path weighs the partition-
-    /// parallel FS and picks it where the elapsed model favors it.
+    /// parallel reorders and picks one where the elapsed model favors it.
     #[test]
     fn cheapest_reorder_emits_par_with_worker_budget() {
         let specs = [wf(&[0], &[1])];
@@ -634,7 +785,10 @@ mod tests {
         match &op {
             ReorderOp::Par { inner, workers } => {
                 assert_eq!(*workers, 4);
-                assert!(matches!(inner.as_ref(), ReorderOp::Fs { .. }));
+                assert!(
+                    matches!(inner.as_ref(), ReorderOp::Fs { .. } | ReorderOp::Hs { .. }),
+                    "parallel inner is a full or hashed sort, got {inner:?}"
+                );
             }
             other => panic!("expected Par, got {other:?}"),
         }

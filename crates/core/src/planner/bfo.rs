@@ -160,14 +160,32 @@ impl<'a> Search<'a> {
                 }
             }
         }
-        // Partition-parallel FS when the context has a worker budget: same
-        // resulting properties as the serial FS on each key, different cost.
+        // Partition-parallel reorders when the context has a worker budget:
+        // same resulting properties as the serial inner on each key,
+        // different cost. The HS inner scatters on the WPK itself (worker
+        // bucket tables sized for the per-worker budget share, no MFV).
         if self.ctx.workers > 1 && !spec.wpk().is_empty() {
             for key in &keys {
                 out.push(ReorderOp::Par {
                     inner: Box::new(ReorderOp::Fs { key: key.clone() }),
                     workers: self.ctx.workers,
                 });
+            }
+            if self.ctx.allow_hs {
+                let whk = spec.wpk().clone();
+                let m_w = wf_exec::per_worker_blocks(self.ctx.mem_blocks, self.ctx.workers);
+                let n_buckets = hs_bucket_count(self.ctx.stats, &whk, m_w);
+                for key in &keys {
+                    out.push(ReorderOp::Par {
+                        inner: Box::new(ReorderOp::Hs {
+                            whk: whk.clone(),
+                            key: key.clone(),
+                            n_buckets,
+                            mfv: vec![],
+                        }),
+                        workers: self.ctx.workers,
+                    });
+                }
             }
         }
         let _ = segments;

@@ -18,7 +18,7 @@
 //! the covering function runs first. Every produced chain passes the
 //! finalizer, so a heuristic miss can only cost, never corrupt.
 
-use crate::cost::{fs_cost, hs_bucket_count, hs_cost, par_fs_cost};
+use crate::cost::{fs_cost, hs_bucket_count, hs_cost, par_fs_cost, par_hs_cost};
 use crate::cover::{partition_into_cover_sets, CoverSet, ThetaElem};
 use crate::plan::{
     apply_reorder, better_reorder, finalize_chain, Plan, PlanContext, PlanStep, ReorderOp,
@@ -226,7 +226,7 @@ fn emit_fs_hs_cover_set(
         let mfv = ctx.stats.mfv_for(&whk, ctx.mem_blocks);
         candidates.push((
             ReorderOp::Hs {
-                whk,
+                whk: whk.clone(),
                 key: gamma.clone(),
                 n_buckets,
                 mfv,
@@ -238,11 +238,30 @@ fn emit_fs_hs_cover_set(
         let shard = specs[cs.members[0]].wpk();
         candidates.push((
             ReorderOp::Par {
-                inner: Box::new(ReorderOp::Fs { key: gamma }),
+                inner: Box::new(ReorderOp::Fs { key: gamma.clone() }),
                 workers: ctx.workers,
             },
             par_fs_cost(ctx.stats, ctx.mem_blocks, ctx.workers, shard).ms(&ctx.weights),
         ));
+        // Chain-parallel HS over the same hash-key pool: per-worker bucket
+        // tables sized for the per-worker share of the budget, no MFV (the
+        // workers see disjoint row subsets, so a global MFV list would
+        // misestimate).
+        if ctx.allow_hs && !whk.is_empty() {
+            let m_w = wf_exec::per_worker_blocks(ctx.mem_blocks, ctx.workers);
+            candidates.push((
+                ReorderOp::Par {
+                    inner: Box::new(ReorderOp::Hs {
+                        whk: whk.clone(),
+                        key: gamma,
+                        n_buckets: hs_bucket_count(ctx.stats, &whk, m_w),
+                        mfv: vec![],
+                    }),
+                    workers: ctx.workers,
+                },
+                par_hs_cost(ctx.stats, &whk, ctx.mem_blocks, ctx.workers).ms(&ctx.weights),
+            ));
+        }
     }
     let reorder = candidates
         .into_iter()

@@ -266,7 +266,9 @@ fn build_chain<'a>(
         0,
     ));
     let mut eval_order: Vec<usize> = Vec::with_capacity(plan.steps.len());
-    for (k, step) in plan.steps.iter().enumerate() {
+    let mut k = 0;
+    while k < plan.steps.len() {
+        let step = &plan.steps[k];
         let spec = &specs[step.wf];
         // Sort-key prefixes whose boundary layers FS/HS record for free
         // during their final merge: the partition key and the partition ∪
@@ -294,6 +296,7 @@ fn build_chain<'a>(
                 let opts = HsOptions {
                     n_buckets: *n_buckets,
                     mfv_values: mfv.clone(),
+                    stable_emission: false,
                 };
                 Box::new(
                     HashedSortOp::new(op, whk.clone(), key.clone(), opts, op_env.clone())
@@ -306,30 +309,86 @@ fn build_chain<'a>(
                 beta.clone(),
                 op_env.clone(),
             )),
-            // Partition-parallel reorder: shard on the step's WPK, sort
-            // shards on the inner FS key across the worker pool, ordered-
-            // merge back (wf_exec::scheduler). The finalizer guarantees a
-            // Full Sort inner; a hand-built plan with any other inner falls
-            // back to that inner serially rather than mis-executing.
-            ReorderOp::Par { inner, workers } => match inner.as_ref() {
-                ReorderOp::Fs { key } => Box::new(
-                    wf_exec::ParallelSortOp::new(
-                        op,
-                        key.clone(),
-                        spec.wpk().clone(),
-                        *workers,
-                        op_env.clone(),
-                    )
-                    .with_recorded_prefixes(record),
-                ),
-                other => {
-                    debug_assert!(false, "Par node with non-FS inner: {other:?}");
-                    Box::new(
-                        FullSortOp::new(op, crate::plan::default_fs_key(spec), op_env.clone())
-                            .with_recorded_prefixes(record),
-                    )
+            // Chain-parallel span: shard on the head's scatter key, then
+            // keep going *inside* each worker — head reorder, this step's
+            // window, and every fused SS-compatible successor — and merge
+            // finished rows shard by shard (wf_exec::scheduler). The
+            // finalizer guarantees an FS or HS inner; a hand-built plan
+            // with any other inner falls back to a serial Full Sort rather
+            // than mis-executing.
+            ReorderOp::Par { inner, workers } => {
+                let par_inner = match inner.as_ref() {
+                    ReorderOp::Fs { key } => Some(wf_exec::ParInner::Fs { key: key.clone() }),
+                    ReorderOp::Hs {
+                        whk,
+                        key,
+                        n_buckets,
+                        ..
+                    } => Some(wf_exec::ParInner::Hs {
+                        whk: whk.clone(),
+                        key: key.clone(),
+                        n_buckets: *n_buckets,
+                    }),
+                    _ => None,
+                };
+                if let Some(par_inner) = par_inner {
+                    let span = crate::plan::par_span_len(&plan.steps, specs, k);
+                    let shard = crate::plan::par_shard_attrs(step, specs);
+                    let stages: Vec<wf_exec::ChainStage> = plan.steps[k..k + span]
+                        .iter()
+                        .map(|s| {
+                            let sp = &specs[s.wf];
+                            wf_exec::ChainStage {
+                                ss: match &s.reorder {
+                                    ReorderOp::Ss { alpha, beta } => {
+                                        Some((alpha.clone(), beta.clone()))
+                                    }
+                                    _ => None,
+                                },
+                                wpk: sp.wpk().clone(),
+                                wok: sp.wok().clone(),
+                                func: sp.func.clone(),
+                                frame: sp.frame,
+                            }
+                        })
+                        .collect();
+                    op = Box::new(
+                        wf_exec::ParallelChainOp::new(
+                            op,
+                            par_inner,
+                            shard,
+                            *workers,
+                            stages,
+                            op_env.clone(),
+                        )
+                        .with_recorded_prefixes(record),
+                    );
+                    // One `Metered` shim per fused slot keeps the report at
+                    // one entry per plan step. The innermost shim (the Par
+                    // step's own slot) absorbs the whole span's work; the
+                    // outer shims see it already attributed upstream and
+                    // report zero — elapsed work inside the workers is not
+                    // separable per stage.
+                    for slot in k..k + span {
+                        op = Box::new(Metered::new(
+                            op,
+                            Arc::clone(&tracker),
+                            Rc::clone(cells),
+                            slot + 1,
+                        ));
+                    }
+                    for s in &plan.steps[k..k + span] {
+                        eval_order.push(s.wf);
+                    }
+                    k += span;
+                    continue;
                 }
-            },
+                debug_assert!(false, "Par node with unsupported inner: {inner:?}");
+                Box::new(
+                    FullSortOp::new(op, crate::plan::default_fs_key(spec), op_env.clone())
+                        .with_recorded_prefixes(record),
+                )
+            }
         };
         op = Box::new(WindowOp::new(
             op,
@@ -346,6 +405,7 @@ fn build_chain<'a>(
             k + 1,
         ));
         eval_order.push(step.wf);
+        k += 1;
     }
     (op, eval_order)
 }

@@ -44,14 +44,22 @@ pub struct HsOptions {
     /// whose rows are pipelined directly to the first sort (MFV
     /// optimization). Empty disables the optimization.
     pub mfv_values: Vec<Vec<Value>>,
+    /// Emit buckets in ascending bucket-index order instead of §3.2's
+    /// memory-then-disk order. The default order depends on which buckets
+    /// victim-spilling happened to evict — a function of `M` — while the
+    /// parallel scheduler's `Par{Hs}` path needs an emission order that is
+    /// a pure function of the hash, identical in every worker and pool
+    /// configuration. (MFV rows, when configured, still go first.)
+    pub stable_emission: bool,
 }
 
 impl HsOptions {
-    /// `n` buckets, no MFV optimization.
+    /// `n` buckets, no MFV optimization, §3.2 emission order.
     pub fn with_buckets(n_buckets: usize) -> Self {
         HsOptions {
             n_buckets,
             mfv_values: Vec::new(),
+            stable_emission: false,
         }
     }
 }
@@ -210,9 +218,25 @@ impl<I: Operator> HashedSortOp<I> {
             }
         }
 
-        // Emission order: MFV, then memory-resident, then spilled.
+        // Emission order: MFV first, then — by default — memory-resident
+        // buckets before spilled ones (§3.2); with `stable_emission`,
+        // buckets go out in ascending index order regardless of residency.
         if !mfv_rows.is_empty() {
             self.queue.push_back(PendingBucket::Mfv(mfv_rows));
+        }
+        if self.options.stable_emission {
+            for bucket in buckets {
+                match bucket {
+                    Bucket::Mem { rows, .. } if !rows.is_empty() => {
+                        self.queue.push_back(PendingBucket::Mem(rows))
+                    }
+                    Bucket::Spilled { file } if file.row_count() > 0 => {
+                        self.queue.push_back(PendingBucket::Disk(file))
+                    }
+                    _ => {}
+                }
+            }
+            return Ok(());
         }
         let (mem_buckets, disk_buckets): (Vec<Bucket>, Vec<Bucket>) = buckets
             .into_iter()
@@ -513,6 +537,38 @@ mod tests {
             small / large < 3.0,
             "HS I/O should be roughly flat: {small} vs {large}"
         );
+    }
+
+    /// With `stable_emission`, buckets come out in ascending bucket-index
+    /// order — a pure function of the hash — so a memory budget small
+    /// enough to force victim spilling emits the exact same sequence as an
+    /// ample one, where the default §3.2 order would shuffle spilled
+    /// buckets to the back.
+    #[test]
+    fn stable_emission_is_pool_independent() {
+        let whk = aset(&[0]);
+        let sort = key(&[0, 1]);
+        let opts = HsOptions {
+            n_buckets: 24,
+            mfv_values: Vec::new(),
+            stable_emission: true,
+        };
+        let mut reference: Option<Vec<Vec<Row>>> = None;
+        for mem in [2u64, 512] {
+            let env = OpEnv::with_memory_blocks(mem);
+            let out = hashed_sort(input(3000, 24), &whk, &sort, &opts, &env).unwrap();
+            check_valid_output(&out, &whk, &sort, 3000);
+            let segs: Vec<Vec<Row>> = (0..out.segment_count())
+                .map(|i| out.segment(i).to_vec())
+                .collect();
+            match &reference {
+                None => {
+                    assert!(env.tracker.snapshot().blocks_written > 0, "M=2 must spill");
+                    reference = Some(segs);
+                }
+                Some(r) => assert_eq!(&segs, r, "emission order must not depend on M"),
+            }
+        }
     }
 
     /// Emitted buckets carry recorded WHK layers when asked.

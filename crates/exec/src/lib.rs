@@ -20,8 +20,9 @@
 //! * [`relational`] — filter and hash/sort GROUP BY upstream operators,
 //! * [`parallel`] — hash-partitioned parallel evaluation (paper §3.5),
 //! * [`scheduler`] — the planner-driven parallel execution subsystem:
-//!   partition-sharded worker pool, per-worker ledger sub-accounts, and the
-//!   deterministic ordered merge behind the `ReorderOp::Par` plan node,
+//!   partition-sharded worker pool, per-worker ledger sub-accounts, whole
+//!   chain-parallel spans (in-worker window evaluation behind the
+//!   `ReorderOp::Par` plan node) and their deterministic reassembly,
 //! * [`segment`] — the segmented-rows representation flowing between
 //!   operators (segment boundaries are physical metadata, mirroring how the
 //!   paper's PostgreSQL operators pipeline window partitions).
@@ -54,10 +55,12 @@ pub use hashed_sort::{hashed_sort, HashedSortOp, HsOptions};
 pub use operator::{drain, Operator, SegStream, Segment, SegmentSource, TableScan};
 pub use parallel::ParallelOp;
 pub use relational::{
-    filter, group_by_hash, group_by_sort, FilterOp, GroupAgg, GroupByHashOp, GroupBySortOp,
-    Predicate,
+    filter, group_by_hash, group_by_hash_par, group_by_sort, group_by_sort_par, FilterOp, GroupAgg,
+    GroupByHashOp, GroupBySortOp, Predicate,
 };
-pub use scheduler::{per_worker_blocks, resolve_threads, ParallelSortOp};
+pub use scheduler::{
+    per_worker_blocks, resolve_threads, ChainStage, ParInner, ParallelChainOp, ParallelSortOp,
+};
 pub use segment::{BoundaryLayer, RunSplitter, SegmentBounds, SegmentedRows};
 pub use segmented_sort::{segmented_sort, SegmentedSortOp};
 pub use sorter::SortKey;

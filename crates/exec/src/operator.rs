@@ -174,6 +174,19 @@ impl Segment {
         Ok(self.into_parts()?.0)
     }
 
+    /// Decompose into the underlying store handle plus bounds, admitting
+    /// inline rows to `store` first — how the parallel scheduler ships
+    /// finished worker segments across the reassembly step.
+    pub(crate) fn into_handle(
+        self,
+        store: &Arc<SegmentStore>,
+    ) -> Result<(SegmentHandle, SegmentBounds)> {
+        match self.data {
+            SegData::Handle(h) => Ok((h, self.bounds)),
+            SegData::Rows(r) => Ok((store.admit(r)?, self.bounds)),
+        }
+    }
+
     /// Consume as a streaming row iterator; returns `(row count, stream,
     /// bounds)`.
     pub fn into_stream(self) -> (usize, SegStream, SegmentBounds) {

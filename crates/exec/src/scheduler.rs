@@ -35,6 +35,14 @@
 //!    reported deterministically (sum of worker peaks, independent of how
 //!    worker lifetimes overlapped).
 //!
+//! [`ParallelChainOp`] generalizes the same choreography to a **chain
+//! span**: after the per-worker reorder (FS *or* HS — [`ParInner`]), the
+//! worker keeps going — it runs the window call itself and any follow-up
+//! SS + window stages whose partition keys cover the shard key
+//! ([`ChainStage`]) — and only *finished rows* are reassembled: a k-way
+//! ordered merge for an FS head, an ascending-global-bucket interleave for
+//! an HS head.
+//!
 //! **Determinism contract.** For a fixed plan (fixed `workers`), output
 //! rows, boundary layers, modeled counters *and* pool counters are
 //! bit-identical whatever `threads` resolves to — the scheduler only ever
@@ -44,9 +52,15 @@
 //! the planner's cost decision weighs).
 
 use crate::env::OpEnv;
+use crate::full_sort::FullSortOp;
+use crate::hashed_sort::{HashedSortOp, HsOptions};
 use crate::operator::{Operator, Segment};
+use crate::segment::SegmentBounds;
+use crate::segmented_sort::SegmentedSortOp;
 use crate::sorter::{merge_sorted_handles, sort_stream_to_handle, SortKey};
 use crate::util::hash_row_on;
+use crate::window::{FrameSpec, WindowFunction, WindowOp};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use wf_common::{AttrSet, Error, Result, SortSpec};
 use wf_storage::SegmentHandle;
@@ -279,6 +293,401 @@ impl<I: Operator> Operator for ParallelSortOp<I> {
     }
 }
 
+/// Leaf operator yielding exactly one store-managed segment — the input of
+/// an in-worker chain (its shard buffer) and of the parallel GROUP BY
+/// workers.
+pub(crate) struct HandleSource {
+    seg: Option<Segment>,
+}
+
+impl HandleSource {
+    pub(crate) fn new(handle: SegmentHandle) -> Self {
+        HandleSource {
+            seg: Some(Segment::from_handle(handle, SegmentBounds::none())),
+        }
+    }
+}
+
+impl Operator for HandleSource {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
+        Ok(self.seg.take())
+    }
+}
+
+/// The reorder at the head of a chain-parallel span — what `ReorderOp::Par`
+/// carries as its inner node, lowered to per-worker operators.
+#[derive(Debug, Clone)]
+pub enum ParInner {
+    /// Per-shard Full Sort; the final row merge restores the serial total
+    /// order (the shard key is a subset of the sort key, so key-equal rows
+    /// never straddle shards).
+    Fs {
+        /// The full sort key `perm(WPK) ∘ WOK`.
+        key: SortSpec,
+    },
+    /// Per-worker Hashed Sort over **globally numbered** buckets: the
+    /// scatter assigns bucket `b = hash % n_buckets` to worker
+    /// `b % workers`, and each worker re-derives the same bucket ids with
+    /// the same hash function, so the final emission can interleave worker
+    /// outputs in ascending global bucket order — a pure function of the
+    /// row values, never of which buckets happened to spill.
+    Hs {
+        /// Hash key `WHK ⊆ WPK`.
+        whk: AttrSet,
+        /// Per-bucket sort key.
+        key: SortSpec,
+        /// Global bucket count (shared by the scatter and every worker).
+        n_buckets: usize,
+    },
+}
+
+/// One fused stage of a chain-parallel span: an optional SS reorder (whose
+/// `α` covers the shard key, so units never straddle shards) followed by a
+/// window call — both run inside the worker against its ledger sub-account.
+#[derive(Debug, Clone)]
+pub struct ChainStage {
+    /// `Some((alpha, beta))` — run SS in front of this stage's window.
+    /// Stage 0 never carries one (the span's head reorder fills that role).
+    pub ss: Option<(SortSpec, SortSpec)>,
+    /// Window partition key of this stage's call.
+    pub wpk: AttrSet,
+    /// Window order key of this stage's call.
+    pub wok: SortSpec,
+    /// The window computation.
+    pub func: WindowFunction,
+    /// Explicit frame, `None` for the SQL default.
+    pub frame: Option<FrameSpec>,
+}
+
+/// Run one worker's whole span chain over its shard: head reorder (FS or
+/// HS), then every fused stage's SS + window. Returns the finished
+/// segments in emission order — at most one for an FS head, one per
+/// non-empty bucket (ascending bucket id) for an HS head.
+fn run_worker_chain(
+    shard: SegmentHandle,
+    inner: &ParInner,
+    head_record: &[AttrSet],
+    stages: &[ChainStage],
+    env: &OpEnv,
+) -> Result<Vec<(SegmentHandle, SegmentBounds)>> {
+    let source = HandleSource::new(shard);
+    let mut op: Box<dyn Operator> = match inner {
+        ParInner::Fs { key } => Box::new(
+            FullSortOp::new(source, key.clone(), env.clone())
+                .with_recorded_prefixes(head_record.to_vec()),
+        ),
+        ParInner::Hs {
+            whk,
+            key,
+            n_buckets,
+        } => Box::new(
+            HashedSortOp::new(
+                source,
+                whk.clone(),
+                key.clone(),
+                HsOptions {
+                    n_buckets: *n_buckets,
+                    mfv_values: Vec::new(),
+                    stable_emission: true,
+                },
+                env.clone(),
+            )
+            .with_recorded_prefixes(head_record.to_vec()),
+        ),
+    };
+    for stage in stages {
+        if let Some((alpha, beta)) = &stage.ss {
+            op = Box::new(SegmentedSortOp::new(
+                op,
+                alpha.clone(),
+                beta.clone(),
+                env.clone(),
+            ));
+        }
+        op = Box::new(WindowOp::new(
+            op,
+            stage.wpk.clone(),
+            stage.wok.clone(),
+            stage.func.clone(),
+            stage.frame,
+            env.clone(),
+        ));
+    }
+    let mut out = Vec::new();
+    while let Some(seg) = op.next_segment()? {
+        out.push(seg.into_handle(&env.store)?);
+    }
+    Ok(out)
+}
+
+enum ChainState {
+    /// Nothing pulled yet — the scatter and the workers run on first pull.
+    Pending,
+    /// HS head: finished bucket segments queued in ascending global bucket
+    /// order; the workers' residency folds back when the queue drains.
+    Emitting {
+        queue: VecDeque<(SegmentHandle, SegmentBounds)>,
+        shard_envs: Vec<OpEnv>,
+    },
+    Done,
+}
+
+/// The chain-parallel operator behind a planned `Par` span: scatter on the
+/// shard key, run the **whole span** — head reorder, window evaluation and
+/// any SS-compatible follow-up stages — inside each worker, then reassemble
+/// *finished rows* deterministically:
+///
+/// * **FS head** — each worker emits at most one finished segment (FS is
+///   single-segment and every later stage is 1:1); the non-empty worker
+///   outputs are k-way ordered-merged on the span's final ordering, with the
+///   boundary layers every worker proved re-recorded for free during the
+///   merge. Rows, layers and the segment structure equal the serial chain's.
+/// * **HS head** — each worker emits one finished segment per non-empty
+///   bucket in ascending global bucket id; the final emission interleaves
+///   them back into one ascending bucket-id sequence (pure concatenation —
+///   no row merge), one segment per pull. The output is a deterministic
+///   permutation of the serial `Hs` chain's segments, invariant across
+///   worker, thread and pool configurations.
+///
+/// Counter and residency choreography is [`ParallelSortOp`]'s: fresh
+/// per-worker trackers absorbed in shard order, ledger sub-accounts at
+/// `M_w = ⌊M / workers⌋` folded back via `absorb_concurrent` — so for a
+/// fixed plan, modeled and pool counters are invariant under the thread
+/// count and the residency stays governed at `O(M + Σ_w (M_w + unit_w))`.
+pub struct ParallelChainOp<I> {
+    input: I,
+    inner: ParInner,
+    /// Scatter key: the head spec's WPK for an FS head, `WHK` for HS.
+    shard_attrs: AttrSet,
+    workers: usize,
+    head_record: Vec<AttrSet>,
+    stages: Vec<ChainStage>,
+    env: OpEnv,
+    state: ChainState,
+}
+
+impl<I: Operator> ParallelChainOp<I> {
+    /// A span over `input`: `inner` at the head, then `stages` in order
+    /// (stage 0 is the head reorder's own window call). `shard_attrs` is
+    /// the scatter key — the head spec's WPK for FS (must be a subset of
+    /// the sort key), the hash key for HS (must equal `inner`'s `whk`).
+    pub fn new(
+        input: I,
+        inner: ParInner,
+        shard_attrs: AttrSet,
+        workers: usize,
+        stages: Vec<ChainStage>,
+        env: OpEnv,
+    ) -> Self {
+        debug_assert!(!stages.is_empty(), "a span carries at least its own window");
+        match &inner {
+            ParInner::Fs { key } => debug_assert!(
+                shard_attrs.is_subset(&key.attr_set()),
+                "shard key must be a subset of the sort key"
+            ),
+            ParInner::Hs { whk, .. } => {
+                debug_assert_eq!(&shard_attrs, whk, "HS spans scatter on the hash key")
+            }
+        }
+        ParallelChainOp {
+            input,
+            inner,
+            shard_attrs,
+            workers: workers.max(1),
+            head_record: Vec::new(),
+            stages,
+            env,
+            state: ChainState::Pending,
+        }
+    }
+
+    /// Record boundary layers for these prefixes of the head sort key in
+    /// every worker — the same sets the serial chain would hand its first
+    /// window step.
+    pub fn with_recorded_prefixes(mut self, sets: Vec<AttrSet>) -> Self {
+        self.head_record = sets;
+        self
+    }
+
+    /// The ordering the span's rows end in: the last SS stage's `α ∘ β`,
+    /// else the head sort key — the key the FS-head merge reassembles on.
+    fn final_order(&self) -> SortSpec {
+        let mut order = match &self.inner {
+            ParInner::Fs { key } | ParInner::Hs { key, .. } => key.clone(),
+        };
+        for stage in &self.stages {
+            if let Some((alpha, beta)) = &stage.ss {
+                order = alpha.concat(beta);
+            }
+        }
+        order
+    }
+
+    /// Scatter, workers, and (for FS) the final merge — everything up to
+    /// the first emission.
+    fn run_span(&mut self) -> Result<ChainState> {
+        let shards = self.workers;
+        let env = &self.env;
+        env.store.begin_concurrent_phase();
+
+        // Scatter the upstream stream into per-worker shard buffers. An HS
+        // head additionally notes which global buckets are non-empty — the
+        // interleave order of the final emission.
+        let n_buckets = match &self.inner {
+            ParInner::Hs { n_buckets, .. } => (*n_buckets).max(1),
+            ParInner::Fs { .. } => 0,
+        };
+        let mut bucket_nonempty = vec![false; n_buckets];
+        let mut builders: Vec<_> = (0..shards).map(|_| env.store.builder()).collect();
+        let mut route = |h: u64| -> usize {
+            if n_buckets == 0 {
+                (h % shards as u64) as usize
+            } else {
+                let b = (h % n_buckets as u64) as usize;
+                bucket_nonempty[b] = true;
+                b % shards
+            }
+        };
+        while let Some(seg) = self.input.next_segment()? {
+            let batch = if env.columnar {
+                seg.shared_batch().map(Arc::clone)
+            } else {
+                None
+            };
+            if let Some(batch) = batch {
+                env.tracker.hash(batch.len() as u64);
+                for i in 0..batch.len() {
+                    let idx = route(batch.hash_row(i, &self.shard_attrs));
+                    builders[idx].push(batch.row(i))?;
+                }
+            } else {
+                let (_, mut stream, _) = seg.into_stream();
+                while let Some(row) = stream.next_row()? {
+                    env.tracker.hash(1);
+                    let idx = route(hash_row_on(&row, &self.shard_attrs));
+                    builders[idx].push(row)?;
+                }
+            }
+        }
+        let total: usize = builders.iter().map(|b| b.len()).sum();
+        if total == 0 {
+            return Ok(ChainState::Done);
+        }
+
+        // Per-worker environments and the scoped pool: every worker runs the
+        // whole span chain over its shard.
+        let m_w = per_worker_blocks(env.mem_blocks, shards);
+        let mut jobs: Vec<(usize, (SegmentHandle, OpEnv))> = Vec::with_capacity(shards);
+        for (i, b) in builders.into_iter().enumerate() {
+            jobs.push((i, (b.finish()?, env.shard_env(m_w))));
+        }
+        let shard_envs: Vec<OpEnv> = jobs.iter().map(|(_, (_, e))| e.clone()).collect();
+        let threads = resolve_threads(env, shards, shards);
+        let (inner, head_record, stages) = (&self.inner, &self.head_record, &self.stages);
+        let finished = run_sharded(shards, threads, jobs, |_, (shard, shard_env)| {
+            run_worker_chain(shard, inner, head_record, stages, &shard_env)
+        });
+
+        // Deterministic reassembly: trackers in shard order, first error by
+        // shard index.
+        absorb_worker_trackers(env, &shard_envs);
+        let mut per_worker: Vec<VecDeque<(SegmentHandle, SegmentBounds)>> =
+            Vec::with_capacity(shards);
+        for (i, slot) in finished.into_iter().enumerate() {
+            match slot {
+                Some(Ok(segs)) => per_worker.push(segs.into()),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(Error::Execution(format!(
+                        "a parallel chain worker thread panicked (shard {i} unaccounted)"
+                    )))
+                }
+            }
+        }
+
+        if n_buckets == 0 {
+            // FS head: merge the non-empty workers' finished rows on the
+            // span's final ordering, re-recording exactly the boundary
+            // layers every worker proved (their attribute sets agree by
+            // construction; intersect defensively, in first-worker order).
+            let mut handles: Vec<SegmentHandle> = Vec::new();
+            let mut record: Option<Vec<AttrSet>> = None;
+            for queue in per_worker {
+                for (handle, bounds) in queue {
+                    match &mut record {
+                        None => {
+                            record = Some(bounds.layers().iter().map(|l| l.attrs.clone()).collect())
+                        }
+                        Some(sets) => {
+                            sets.retain(|a| bounds.layers().iter().any(|l| &l.attrs == a))
+                        }
+                    }
+                    handles.push(handle);
+                }
+            }
+            let key = SortKey::new(&self.final_order());
+            let (out, bounds, n) =
+                merge_sorted_handles(handles, &key, env, &record.unwrap_or_default())?;
+            debug_assert_eq!(n, total, "merge must reassemble every scattered row");
+            absorb_worker_stores(env, &shard_envs);
+            let mut queue = VecDeque::new();
+            queue.push_back((out, bounds));
+            return Ok(ChainState::Emitting {
+                queue,
+                shard_envs: Vec::new(),
+            });
+        }
+
+        // HS head: interleave the workers' finished buckets back into
+        // ascending global bucket order. Worker `b % workers` emitted its
+        // non-empty buckets ascending, and every stage is 1:1 per segment,
+        // so the fronts line up exactly with the scatter's non-empty set.
+        let mut queue = VecDeque::new();
+        for (b, nonempty) in bucket_nonempty.iter().enumerate() {
+            if *nonempty {
+                let w = b % shards;
+                let seg = per_worker[w].pop_front().ok_or_else(|| {
+                    Error::Execution(format!(
+                        "parallel chain bucket {b} missing from worker {w}'s output"
+                    ))
+                })?;
+                queue.push_back(seg);
+            }
+        }
+        debug_assert!(
+            per_worker.iter().all(|q| q.is_empty()),
+            "workers must emit exactly the scattered non-empty buckets"
+        );
+        Ok(ChainState::Emitting { queue, shard_envs })
+    }
+}
+
+impl<I: Operator> Operator for ParallelChainOp<I> {
+    fn next_segment(&mut self) -> Result<Option<Segment>> {
+        if matches!(self.state, ChainState::Pending) {
+            self.state = self.run_span()?;
+        }
+        match &mut self.state {
+            ChainState::Pending => unreachable!("span ran above"),
+            ChainState::Done => Ok(None),
+            ChainState::Emitting { queue, shard_envs } => match queue.pop_front() {
+                Some((handle, bounds)) => Ok(Some(Segment::from_handle(handle, bounds))),
+                None => {
+                    // The workers' handles are fully consumed — their
+                    // sub-account peaks are final, fold them back. (An FS
+                    // head already folded back at merge time and left the
+                    // list empty.)
+                    if !shard_envs.is_empty() {
+                        absorb_worker_stores(&self.env, shard_envs);
+                    }
+                    self.state = ChainState::Done;
+                    Ok(None)
+                }
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,5 +869,245 @@ mod tests {
         assert_eq!(per_worker_blocks(8, 4), 2);
         assert_eq!(per_worker_blocks(2, 4), 1, "floor one block");
         assert_eq!(per_worker_blocks(8, 0), 8);
+    }
+
+    /// Degenerate budgets and shard counts stay sane: a pool smaller than
+    /// the worker count still grants every worker one block, and a zero
+    /// shard count resolves to one thread instead of zero.
+    #[test]
+    fn helpers_survive_degenerate_budgets() {
+        assert_eq!(per_worker_blocks(1, 4), 1, "M < workers floors at 1");
+        assert_eq!(per_worker_blocks(0, 4), 1, "M = 0 floors at 1");
+        assert_eq!(per_worker_blocks(0, 0), 1);
+        let env = OpEnv::with_memory_blocks(4).with_worker_threads(0);
+        assert_eq!(resolve_threads(&env, 4, 0), 1, "no shards → one thread");
+        let forced = env.with_worker_threads(16);
+        assert_eq!(resolve_threads(&forced, 2, 3), 3, "override clamps too");
+    }
+
+    fn rank_stage(wpk: &[usize], wok: &[usize]) -> ChainStage {
+        ChainStage {
+            ss: None,
+            wpk: aset(wpk),
+            wok: key(wok),
+            func: WindowFunction::Rank,
+            frame: None,
+        }
+    }
+
+    /// Rows with heavy ties on the sort key `(0, 1)` and a distinguishing
+    /// payload column: stability violations show up as row-order diffs.
+    fn tied_sample(n: usize) -> Vec<Row> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let r = state >> 16;
+                row![(r % 24) as i64, ((r >> 8) % 50) as i64, (r >> 16) as i64]
+            })
+            .collect()
+    }
+
+    /// Tie order within equal sort keys survives the span: scatter, the
+    /// in-worker stable sort, the in-worker window and the merge all
+    /// preserve arrival order, matching the serial chain row-for-row.
+    #[test]
+    fn fs_chain_span_preserves_tie_order() {
+        let rows = tied_sample(4000);
+        let env = OpEnv::with_memory_blocks(4);
+        let serial = serial_fs_chain(rows.clone(), &env);
+        for workers in [2usize, 4] {
+            let env_p = OpEnv::with_memory_blocks(2);
+            let mut op = ParallelChainOp::new(
+                SegmentSource::new(SegmentedRows::single_segment(rows.clone())),
+                ParInner::Fs { key: key(&[0, 1]) },
+                aset(&[0]),
+                workers,
+                vec![rank_stage(&[0], &[1])],
+                env_p.clone(),
+            )
+            .with_recorded_prefixes(vec![aset(&[0]), aset(&[0, 1])]);
+            let seg = op.next_segment().unwrap().unwrap();
+            let out = seg.into_rows().unwrap();
+            assert_eq!(out, serial[0].0, "workers={workers}");
+        }
+
+        // Same probe through the one-pass (staged) window path: a running
+        // sum over the SQL-default frame.
+        let sum_stage = || ChainStage {
+            ss: None,
+            wpk: aset(&[0]),
+            wok: key(&[1]),
+            func: WindowFunction::Sum(AttrId::new(2)),
+            frame: None,
+        };
+        let serial_sum = {
+            let env = OpEnv::with_memory_blocks(4);
+            let fs = FullSortOp::new(
+                SegmentSource::new(SegmentedRows::single_segment(rows.clone())),
+                key(&[0, 1]),
+                env.clone(),
+            )
+            .with_recorded_prefixes(vec![aset(&[0]), aset(&[0, 1])]);
+            let mut win = WindowOp::new(
+                fs,
+                aset(&[0]),
+                key(&[1]),
+                WindowFunction::Sum(AttrId::new(2)),
+                None,
+                env.clone(),
+            );
+            let mut out = Vec::new();
+            while let Some(seg) = win.next_segment().unwrap() {
+                out.extend(seg.into_rows().unwrap());
+            }
+            out
+        };
+        for workers in [2usize, 4] {
+            let env_p = OpEnv::with_memory_blocks(2);
+            let mut op = ParallelChainOp::new(
+                SegmentSource::new(SegmentedRows::single_segment(rows.clone())),
+                ParInner::Fs { key: key(&[0, 1]) },
+                aset(&[0]),
+                workers,
+                vec![sum_stage()],
+                env_p.clone(),
+            )
+            .with_recorded_prefixes(vec![aset(&[0]), aset(&[0, 1])]);
+            let mut out = Vec::new();
+            while let Some(seg) = op.next_segment().unwrap() {
+                out.extend(seg.into_rows().unwrap());
+            }
+            assert_eq!(out, serial_sum, "sum workers={workers}");
+        }
+    }
+
+    fn serial_fs_chain(
+        rows: Vec<Row>,
+        env: &OpEnv,
+    ) -> Vec<(Vec<Row>, Vec<crate::segment::BoundaryLayer>)> {
+        let fs = FullSortOp::new(
+            SegmentSource::new(SegmentedRows::single_segment(rows)),
+            key(&[0, 1]),
+            env.clone(),
+        )
+        .with_recorded_prefixes(vec![aset(&[0]), aset(&[0, 1])]);
+        let mut win = WindowOp::new(
+            fs,
+            aset(&[0]),
+            key(&[1]),
+            WindowFunction::Rank,
+            None,
+            env.clone(),
+        );
+        let mut out = Vec::new();
+        while let Some(seg) = win.next_segment().unwrap() {
+            let layers = seg.bounds.layers().to_vec();
+            out.push((seg.into_rows().unwrap(), layers));
+        }
+        out
+    }
+
+    /// FS-head chain span: rows *and* boundary layers equal the serial
+    /// FS → Window chain's, for every worker count — including workers
+    /// exceeding the distinct shard values and a pool smaller than the
+    /// worker count.
+    #[test]
+    fn fs_chain_span_matches_serial_chain() {
+        let rows = sample(2_000);
+        let env = OpEnv::with_memory_blocks(4);
+        let serial = serial_fs_chain(rows.clone(), &env);
+        assert_eq!(serial.len(), 1, "FS chain emits one segment");
+        for (workers, m) in [(1usize, 4u64), (2, 4), (4, 4), (4, 2), (31, 4)] {
+            let env_p = OpEnv::with_memory_blocks(m);
+            let mut op = ParallelChainOp::new(
+                SegmentSource::new(SegmentedRows::single_segment(rows.clone())),
+                ParInner::Fs { key: key(&[0, 1]) },
+                aset(&[0]),
+                workers,
+                vec![rank_stage(&[0], &[1])],
+                env_p.clone(),
+            )
+            .with_recorded_prefixes(vec![aset(&[0]), aset(&[0, 1])]);
+            let seg = op.next_segment().unwrap().unwrap();
+            let layers = seg.bounds.layers().to_vec();
+            let out = seg.into_rows().unwrap();
+            assert!(op.next_segment().unwrap().is_none());
+            assert_eq!(out, serial[0].0, "workers={workers} M={m}");
+            assert_eq!(layers, serial[0].1, "workers={workers} M={m}");
+        }
+    }
+
+    /// HS-head chain span: one finished bucket per pull in ascending global
+    /// bucket order — the exact same segments whatever the worker count,
+    /// and the same rows (as a multiset, per bucket) as the serial
+    /// HS → Window chain.
+    #[test]
+    fn hs_chain_span_is_worker_count_invariant() {
+        let rows = sample(2_000);
+        let n_buckets = 16usize;
+
+        // Serial chain, stable emission so bucket order is comparable.
+        let env_s = OpEnv::with_memory_blocks(4);
+        let hs = HashedSortOp::new(
+            SegmentSource::new(SegmentedRows::single_segment(rows.clone())),
+            aset(&[0]),
+            key(&[0, 1]),
+            HsOptions {
+                n_buckets,
+                mfv_values: Vec::new(),
+                stable_emission: true,
+            },
+            env_s.clone(),
+        );
+        let mut win = WindowOp::new(
+            hs,
+            aset(&[0]),
+            key(&[1]),
+            WindowFunction::Rank,
+            None,
+            env_s.clone(),
+        );
+        let mut serial = Vec::new();
+        while let Some(seg) = win.next_segment().unwrap() {
+            serial.push(seg.into_rows().unwrap());
+        }
+
+        for workers in [1usize, 2, 4] {
+            let env_p = OpEnv::with_memory_blocks(4);
+            let mut op = ParallelChainOp::new(
+                SegmentSource::new(SegmentedRows::single_segment(rows.clone())),
+                ParInner::Hs {
+                    whk: aset(&[0]),
+                    key: key(&[0, 1]),
+                    n_buckets,
+                },
+                aset(&[0]),
+                workers,
+                vec![rank_stage(&[0], &[1])],
+                env_p.clone(),
+            );
+            let mut par = Vec::new();
+            while let Some(seg) = op.next_segment().unwrap() {
+                par.push(seg.into_rows().unwrap());
+            }
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn chain_span_empty_input_yields_nothing() {
+        let env = OpEnv::with_memory_blocks(2);
+        let mut op = ParallelChainOp::new(
+            SegmentSource::new(SegmentedRows::empty()),
+            ParInner::Fs { key: key(&[0, 1]) },
+            aset(&[0]),
+            4,
+            vec![rank_stage(&[0], &[1])],
+            env,
+        );
+        assert!(op.next_segment().unwrap().is_none());
     }
 }

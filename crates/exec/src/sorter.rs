@@ -640,25 +640,46 @@ pub fn merge_fan_in(mem_blocks: u64) -> usize {
     (mem_blocks.saturating_sub(1)).max(2) as usize
 }
 
+/// Reduce `runs` to at most one merge fan-in's worth with balanced
+/// intermediate passes, **in formation-rank order**: each pass merges
+/// adjacent groups of `f` runs into a fresh pass output, so every
+/// intermediate run covers a contiguous arrival interval and the min-rank
+/// tie-break in [`merge_into`] stays faithful to arrival order at every
+/// level. (Appending merged runs back onto the same work list would let a
+/// later batch mix non-contiguous ranks — e.g. `[run 4, merged(0,1)]`
+/// carrying min-rank 0 — which breaks ties differently per fan-in and
+/// makes the tie order depend on `M`.)
+fn reduce_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Run>> {
+    let f = merge_fan_in(env.mem_blocks);
+    while runs.len() > f {
+        let mut next: Vec<Run> = Vec::with_capacity(runs.len().div_ceil(f));
+        let mut iter = runs.into_iter().peekable();
+        while iter.peek().is_some() {
+            let batch: Vec<Run> = iter.by_ref().take(f).collect();
+            if batch.len() == 1 {
+                next.extend(batch);
+                continue;
+            }
+            let rank = batch.iter().map(|r| r.rank).min().unwrap_or(0);
+            let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
+            merge_into(batch, key, env, |key, row| {
+                out.push_keyed(key, row)?;
+                Ok(())
+            })?;
+            next.push(Run {
+                reader: out.into_reader()?,
+                rank,
+            });
+        }
+        runs = next;
+    }
+    Ok(runs)
+}
+
 /// Merge runs down to a single materialized stream; intermediate passes
 /// write new runs, the final pass emits rows directly.
-fn merge_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>> {
-    let f = merge_fan_in(env.mem_blocks);
-    // Intermediate passes.
-    while runs.len() > f {
-        let batch: Vec<Run> = runs.drain(..f).collect();
-        let rank = batch.iter().map(|r| r.rank).min().unwrap_or(0);
-        let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
-        merge_into(batch, key, env, |key, row| {
-            out.push_keyed(key, row)?;
-            Ok(())
-        })?;
-        runs.push(Run {
-            reader: out.into_reader()?,
-            rank,
-        });
-    }
-    // Final pass.
+fn merge_runs(runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>> {
+    let runs = reduce_runs(runs, key, env)?;
     let mut result = Vec::new();
     merge_into(runs, key, env, |_, row| {
         result.push(row.clone());
@@ -670,25 +691,12 @@ fn merge_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>
 /// Like [`merge_runs`] but the final pass streams into a segment-store
 /// builder (bounded residency) and records boundary layers on the way.
 fn merge_runs_to_handle(
-    mut runs: Vec<Run>,
+    runs: Vec<Run>,
     key: &SortKey,
     env: &OpEnv,
     record: &[AttrSet],
 ) -> Result<(SegmentHandle, SegmentBounds, usize)> {
-    let f = merge_fan_in(env.mem_blocks);
-    while runs.len() > f {
-        let batch: Vec<Run> = runs.drain(..f).collect();
-        let rank = batch.iter().map(|r| r.rank).min().unwrap_or(0);
-        let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
-        merge_into(batch, key, env, |key, row| {
-            out.push_keyed(key, row)?;
-            Ok(())
-        })?;
-        runs.push(Run {
-            reader: out.into_reader()?,
-            rank,
-        });
-    }
+    let runs = reduce_runs(runs, key, env)?;
     let mut builder = env.store.builder();
     let mut recorder = PrefixRecorder::new(record, env);
     let mut n = 0usize;
@@ -883,6 +891,40 @@ mod tests {
             .map(|r| r.get(AttrId::new(0)).as_int().unwrap())
             .collect();
         assert_eq!(got, expected);
+    }
+
+    /// Tie order is stable (arrival order) and independent of `M` — even
+    /// when a small fan-in forces multi-level intermediate merges. The
+    /// payload column distinguishes tied keys, so any rank-propagation
+    /// slip in the merge cascade shows up as a row-order diff.
+    #[test]
+    fn external_sort_tie_order_is_m_independent() {
+        let mut state = 7u64;
+        let rows: Vec<Row> = (0..4000)
+            .map(|i: i64| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                row![((state >> 33) % 40) as i64, i, "padding-padding-padding"]
+            })
+            .collect();
+        let reference =
+            sort_rows(rows.clone(), &cmp_on0(), &OpEnv::with_memory_blocks(1024)).unwrap();
+        // In-memory reference is stable by construction: ties in arrival order.
+        for w in reference.windows(2) {
+            if w[0].get(AttrId::new(0)) == w[1].get(AttrId::new(0)) {
+                assert!(
+                    w[0].get(AttrId::new(1)).as_int().unwrap()
+                        < w[1].get(AttrId::new(1)).as_int().unwrap(),
+                    "reference must be stable"
+                );
+            }
+        }
+        for m in [1u64, 2, 3, 4, 7] {
+            let sorted =
+                sort_rows(rows.clone(), &cmp_on0(), &OpEnv::with_memory_blocks(m)).unwrap();
+            assert_eq!(sorted, reference, "M={m}");
+        }
     }
 
     #[test]

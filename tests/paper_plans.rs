@@ -135,7 +135,13 @@ fn table10_q9_structure() {
 fn bfo_matches_cso_cost_on_paper_queries() {
     let q = q7();
     let s = stats();
-    let env = ExecEnv::with_memory_blocks(M50);
+    // Serial planning pinned like `plan_chain`: BFO prices steps
+    // individually during its memoized search and cannot anticipate the
+    // finalize-time parallel span discount, so under a worker budget its
+    // best chain may finalize slightly above CSO's Par span. The
+    // BFO-equals-CSO optimality claim is the paper's serial-plan-space
+    // invariant.
+    let env = ExecEnv::with_memory_blocks(M50).with_par_workers(1);
     let bfo = optimize(&q, &s, Scheme::Bfo, &env).unwrap();
     let cso = optimize(&q, &s, Scheme::Cso, &env).unwrap();
     let w = env.weights();

@@ -275,22 +275,259 @@ fn par_chain_residency_is_governed() {
     assert!(snap.spill_blocks_written > 0, "tiny pool must spill");
 
     let block = wfopt::storage::BLOCK_SIZE;
-    // Largest unit a step may hold: the biggest window partition (~1/16 of
-    // the relation via the `w` column) dominates the HS bucket here.
+    // Whole-chain spans run the window (and fused SS) inside the workers,
+    // so the governed form is `M + Σ_w (M_w + unit_w) + unit`: each worker
+    // concurrently holds its per-worker budget plus its largest in-span
+    // unit (a `p` partition, ~1/24 of the relation), and the serial HS step
+    // downstream holds its largest bucket (~1/16 via `w`).
+    let worker_unit = table.byte_size() / 20;
     let unit_bytes = table.byte_size() / 14;
     let budget_bytes = (m as usize) * block; // M, and Σ_w M_w ≤ M by construction
-    let bound = 4 * (2 * budget_bytes + workers * block + unit_bytes);
+    let bound = 2 * (2 * budget_bytes + workers * (block + worker_unit) + unit_bytes);
     assert!(
         snap.peak_resident_bytes <= bound,
         "peak {} exceeds governed bound {bound}",
         snap.peak_resident_bytes
     );
     assert!(
-        snap.peak_resident_bytes < table.byte_size() / 4,
+        snap.peak_resident_bytes < table.byte_size() / 2,
         "peak {} is relation-sized ({})",
         snap.peak_resident_bytes,
         table.byte_size()
     );
+}
+
+/// One window workload per `StreamableEval` class, for the in-worker
+/// evaluation matrix: a running sum over the SQL-default frame
+/// (one-pass), a rank (ring), and a suffix sum over `ROWS CURRENT ROW ..
+/// UNBOUNDED FOLLOWING` (buffered).
+fn class_specs() -> Vec<(&'static str, WindowSpec, wfopt::exec::StreamableEval)> {
+    use wfopt::core::spec::WindowFunction;
+    use wfopt::exec::{Bound, FrameSpec, FrameUnits, StreamableEval};
+    vec![
+        (
+            "one_pass",
+            WindowSpec::new("s_run", WindowFunction::Sum(a(2)), vec![a(0)], key(&[1])),
+            StreamableEval::OnePass,
+        ),
+        (
+            "ring",
+            WindowSpec::rank("r", vec![a(0)], key(&[1])),
+            StreamableEval::Ring,
+        ),
+        (
+            "buffered",
+            WindowSpec::new("s_tail", WindowFunction::Sum(a(2)), vec![a(0)], key(&[1])).with_frame(
+                FrameSpec {
+                    units: FrameUnits::Rows,
+                    start: Bound::CurrentRow,
+                    end: Bound::UnboundedFollowing,
+                },
+            ),
+            StreamableEval::Buffered,
+        ),
+    ]
+}
+
+/// In-worker window evaluation across every `StreamableEval` class: a
+/// `Par{Fs}` span produces bit-identical rows to the serial FS chain for
+/// each class, across workers {1, 2, 4} × threads {1, 3} × bounded and
+/// unbounded pools, with modeled counters invariant per fixed plan.
+#[test]
+fn par_chain_in_worker_eval_classes_match_serial() {
+    let table = build_table(4_000);
+    let stats = TableStats::from_table(&table);
+    let m = 2u64;
+    let ctx = PlanContext::new(&stats, m);
+    for (class_name, spec, expected_class) in class_specs() {
+        assert_eq!(spec.eval_class(), expected_class, "{class_name}");
+        let specs = vec![spec];
+        let step = |reorder| vec![PlanStep { wf: 0, reorder }];
+        let serial_plan = finalize_chain(
+            "serial",
+            &specs,
+            &SegProps::unordered(),
+            1,
+            step(ReorderOp::Fs { key: key(&[0, 1]) }),
+            &ctx,
+        );
+        assert_eq!(serial_plan.repairs, 0);
+        let (serial_rows, ..) = run(&table, &serial_plan, &ExecEnv::with_memory_blocks(m));
+
+        for workers in [1usize, 2, 4] {
+            let plan = finalize_chain(
+                "par",
+                &specs,
+                &SegProps::unordered(),
+                1,
+                step(ReorderOp::Par {
+                    inner: Box::new(ReorderOp::Fs { key: key(&[0, 1]) }),
+                    workers,
+                }),
+                &ctx,
+            );
+            assert_eq!(plan.repairs, 0);
+            let mut reference: Option<wfopt::storage::CostSnapshot> = None;
+            for (threads, bounded) in [(1usize, true), (3, true), (1, false)] {
+                let env = if bounded {
+                    ExecEnv::with_memory_blocks(m).with_worker_threads(threads)
+                } else {
+                    ExecEnv::with_memory_blocks(m).with_unbounded_pool()
+                };
+                let (rows, work, _) = run(&table, &plan, &env);
+                assert_eq!(
+                    rows, serial_rows,
+                    "{class_name} workers={workers} threads={threads} bounded={bounded}"
+                );
+                match &reference {
+                    None => reference = Some(work),
+                    Some(r) => assert_eq!(
+                        &work, r,
+                        "{class_name} workers={workers} threads={threads} bounded={bounded}: counters"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// A `Par{Hs}` span with a fused SS stage: rows are invariant across
+/// workers, threads and pool boundedness (the ascending-bucket interleave
+/// is schedule-free), the output multiset equals the serial HS chain's,
+/// and modeled counters are invariant per fixed plan.
+#[test]
+fn par_hs_chain_matrix() {
+    let table = build_table(5_000);
+    let stats = TableStats::from_table(&table);
+    let m = 2u64;
+    let ctx = PlanContext::new(&stats, m);
+    let specs = vec![
+        WindowSpec::rank("r_pk", vec![a(0)], key(&[1])),
+        WindowSpec::new(
+            "pr_pv",
+            wfopt::core::spec::WindowFunction::PercentRank,
+            vec![a(0)],
+            key(&[2]),
+        ),
+    ];
+    let raw = |head| {
+        vec![
+            PlanStep {
+                wf: 0,
+                reorder: head,
+            },
+            PlanStep {
+                wf: 1,
+                reorder: ReorderOp::Ss {
+                    alpha: key(&[0]),
+                    beta: key(&[2]),
+                },
+            },
+        ]
+    };
+    let hs = ReorderOp::Hs {
+        whk: aset(&[0]),
+        key: key(&[0, 1]),
+        n_buckets: 16,
+        mfv: vec![],
+    };
+    let serial_plan = finalize_chain(
+        "serial",
+        &specs,
+        &SegProps::unordered(),
+        1,
+        raw(hs.clone()),
+        &ctx,
+    );
+    assert_eq!(serial_plan.repairs, 0);
+    let (serial_rows, ..) = run(&table, &serial_plan, &ExecEnv::with_memory_blocks(m));
+    let sorted = |rows: &[Row]| {
+        let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+        v.sort();
+        v
+    };
+
+    let mut par_rows: Option<Vec<Row>> = None;
+    for workers in [1usize, 2, 4] {
+        let plan = finalize_chain(
+            "par",
+            &specs,
+            &SegProps::unordered(),
+            1,
+            raw(ReorderOp::Par {
+                inner: Box::new(hs.clone()),
+                workers,
+            }),
+            &ctx,
+        );
+        assert_eq!(plan.repairs, 0);
+        let mut reference: Option<wfopt::storage::CostSnapshot> = None;
+        for (threads, bounded) in [(1usize, true), (3, true), (1, false)] {
+            let env = if bounded {
+                ExecEnv::with_memory_blocks(m).with_worker_threads(threads)
+            } else {
+                ExecEnv::with_memory_blocks(m).with_unbounded_pool()
+            };
+            let (rows, work, _) = run(&table, &plan, &env);
+            match &par_rows {
+                None => {
+                    assert_eq!(sorted(&rows), sorted(&serial_rows), "multiset vs serial HS");
+                    par_rows = Some(rows);
+                }
+                Some(r) => assert_eq!(
+                    &rows, r,
+                    "workers={workers} threads={threads} bounded={bounded}: rows"
+                ),
+            }
+            match &reference {
+                None => reference = Some(work),
+                Some(r) => assert_eq!(
+                    &work, r,
+                    "workers={workers} threads={threads} bounded={bounded}: counters"
+                ),
+            }
+        }
+    }
+}
+
+/// Parallel GROUP BY (hash and sort variants) matches the serial
+/// operators row-for-row, in order, across workers {1, 2, 4} × pools
+/// {M = 2, large, unbounded}.
+#[test]
+fn groupby_par_end_to_end_matrix() {
+    use wfopt::exec::{
+        group_by_hash, group_by_hash_par, group_by_sort, group_by_sort_par, GroupAgg, OpEnv,
+    };
+    let table = build_table(5_000);
+    let keys = [a(0)];
+    let aggs = [GroupAgg::CountStar, GroupAgg::Sum(a(2))];
+    for m in [2u64, 256] {
+        let env = OpEnv::with_memory_blocks(m);
+        let serial_hash = group_by_hash(&table, &keys, &aggs, &env).unwrap();
+        let serial_sort = group_by_sort(&table, &keys, &aggs, &env).unwrap();
+        assert!(serial_hash.row_count() > 1);
+        for workers in [1usize, 2, 4] {
+            for unbounded in [false, true] {
+                let env_p = if unbounded {
+                    OpEnv::with_memory_blocks(m).with_unbounded_pool()
+                } else {
+                    OpEnv::with_memory_blocks(m)
+                };
+                let h = group_by_hash_par(&table, &keys, &aggs, workers, &env_p).unwrap();
+                let s = group_by_sort_par(&table, &keys, &aggs, workers, &env_p).unwrap();
+                assert_eq!(
+                    h.rows(),
+                    serial_hash.rows(),
+                    "hash M={m} workers={workers} unbounded={unbounded}"
+                );
+                assert_eq!(
+                    s.rows(),
+                    serial_sort.rows(),
+                    "sort M={m} workers={workers} unbounded={unbounded}"
+                );
+            }
+        }
+    }
 }
 
 /// End-to-end through the planner: with a worker budget the optimizer

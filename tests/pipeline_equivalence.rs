@@ -309,6 +309,7 @@ fn execute_plan_matches_batch_composition_of_same_plan() {
                     HsOptions {
                         n_buckets: *n_buckets,
                         mfv_values: mfv.clone(),
+                        stable_emission: false,
                     },
                     env_b.op_env().clone(),
                 )
