@@ -1,0 +1,88 @@
+//! Overhead guard for the disabled trace sink (`TraceSink::disabled()`).
+//!
+//! The fig3 sort workload runs twice: once as shipped (the sorter's own
+//! instrumentation already hits the disabled sink), and once with an
+//! artificially amplified span density — one extra disabled `span()` per
+//! row on top, far denser than any real instrumentation point. The
+//! amplified leg must stay within 2% of the baseline's best wall time,
+//! pinning the no-op fast path (no clock read, no lock, no allocation) as
+//! effectively free. Noise tolerance: interleaved best-of-N with up to
+//! three attempts before the assertion fires.
+
+use std::time::Instant;
+
+use wf_bench::experiments::Harness;
+use wf_bench::microbench::{iterations, BenchGroup};
+use wf_bench::queries;
+use wf_common::TraceSink;
+use wf_exec::{sorter, OpEnv, SortKey};
+
+/// Maximum tolerated wall-time ratio of the amplified leg over baseline.
+const MAX_OVERHEAD: f64 = 1.02;
+const ATTEMPTS: usize = 3;
+
+fn sort_ms(table: &wf_storage::Table, key: &SortKey, spans_per_row: bool) -> f64 {
+    let blocks = table.block_count();
+    let env = OpEnv::with_memory_blocks(blocks * 4).with_toggles(true, true);
+    let rows = table.rows().to_vec();
+    let sink = TraceSink::disabled();
+    let t0 = Instant::now();
+    if spans_per_row {
+        for _ in 0..rows.len() {
+            let _span = sink.span("bench", "noop");
+        }
+    }
+    let sorted = sorter::sort_rows(rows, key, &env).expect("sort");
+    let ms = t0.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(sorted.len(), table.row_count());
+    ms
+}
+
+fn main() {
+    let h = Harness { rows: 30_000 };
+    let table = h.ws_config().generate();
+    let spec = queries::q1();
+    let fs_key = wf_core::plan::default_fs_key(&spec);
+    let key = SortKey::new(&fs_key);
+    let iters = iterations();
+
+    let mut ratio = f64::INFINITY;
+    let mut baseline = f64::INFINITY;
+    let mut amplified = f64::INFINITY;
+    for attempt in 1..=ATTEMPTS {
+        // Interleave the legs so drift (thermal, scheduler) hits both.
+        let mut base_best = f64::INFINITY;
+        let mut amp_best = f64::INFINITY;
+        sort_ms(&table, &key, false); // warm-up
+        sort_ms(&table, &key, true);
+        for _ in 0..iters {
+            base_best = base_best.min(sort_ms(&table, &key, false));
+            amp_best = amp_best.min(sort_ms(&table, &key, true));
+        }
+        ratio = amp_best / base_best;
+        baseline = base_best;
+        amplified = amp_best;
+        eprintln!("attempt {attempt}: baseline {base_best:.3} ms, +1 span/row {amp_best:.3} ms, ratio {ratio:.4}");
+        if ratio <= MAX_OVERHEAD {
+            break;
+        }
+    }
+
+    let mut g = BenchGroup::with_iterations("trace_overhead (fig3 sort, 30k rows)", iters);
+    g.bench("sort_baseline", || {
+        sort_ms(&table, &key, false);
+    });
+    g.bench("sort_plus_noop_span_per_row", || {
+        sort_ms(&table, &key, true);
+    });
+    g.finish();
+    println!("disabled-sink overhead: {ratio:.4}x ({baseline:.3} ms -> {amplified:.3} ms)");
+
+    assert!(
+        ratio <= MAX_OVERHEAD,
+        "disabled trace sink added {:.2}% wall overhead on the fig3 sort \
+         (limit {:.0}%): baseline {baseline:.3} ms, amplified {amplified:.3} ms",
+        (ratio - 1.0) * 100.0,
+        (MAX_OVERHEAD - 1.0) * 100.0,
+    );
+}

@@ -27,14 +27,25 @@ fn usage() -> ! {
            ablate-ss SS unit-count ablation\n\
            parallel  §3.5 parallel speedup\n\
            integrated  §5 GROUP-BY-variant integration\n\
-           regress   fixed workloads → results/BENCH_6.json; exits 1 on a\n\
+           explain [q6|q7|q8|q9|par]  print the CSO plan (default par, a\n\
+                     4-worker parallel chain); with --analyze, execute it\n\
+                     and annotate each step with measured wall vs modeled\n\
+                     ms, rows, segments, comparisons, spill bytes and\n\
+                     residency class; with --trace PATH, also write the\n\
+                     execution timeline as Chrome trace-event JSON (load\n\
+                     in chrome://tracing or Perfetto) plus PATH.folded\n\
+                     flamegraph stacks, self-validated (exit 1 on an\n\
+                     invalid trace)\n\
+           regress   fixed workloads → results/BENCH_7.json; exits 1 on a\n\
                      >2x modeled-cost or peak-residency regression vs\n\
-                     BENCH_6.baseline.json (set WF_REGRESS_MIN_WALL_SPEEDUP\n\
+                     BENCH_7.baseline.json (set WF_REGRESS_MIN_WALL_SPEEDUP\n\
                      on multi-core hosts to also gate the parallel chain's\n\
                      wall speedup)\n\
-           all       everything above (except regress)\n\
+           all       everything above (except regress and explain)\n\
          options:\n\
-           --rows N  table size (default 200000; paper ratio-preserving)"
+           --rows N       table size (default 200000; paper ratio-preserving)\n\
+           --analyze      (explain) execute and print measured-vs-modeled\n\
+           --trace PATH   (explain) record spans and write a Chrome trace"
     );
     std::process::exit(2);
 }
@@ -46,6 +57,9 @@ fn main() {
     }
     let mut rows = 200_000usize;
     let mut cmd: Option<String> = None;
+    let mut sub: Option<String> = None;
+    let mut analyze = false;
+    let mut trace: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,7 +70,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--analyze" => analyze = true,
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             c if cmd.is_none() => cmd = Some(c.to_string()),
+            c if cmd.as_deref() == Some("explain") && sub.is_none() => sub = Some(c.to_string()),
             _ => usage(),
         }
         i += 1;
@@ -77,6 +97,12 @@ fn main() {
         Some("ablate-ss") => run_ablate_ss(&h),
         Some("parallel") => run_parallel(&h),
         Some("integrated") => run_integrated(&h),
+        Some("explain") => {
+            let which = sub.as_deref().unwrap_or("par");
+            if !wf_bench::explain::run_explain(&h, which, analyze, trace.as_deref()) {
+                std::process::exit(1);
+            }
+        }
         Some("regress") => {
             // Row count is pinned inside the module so the checked-in
             // baseline stays comparable across machines and invocations.

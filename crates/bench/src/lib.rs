@@ -11,6 +11,7 @@
 //! counters next to wall time.
 
 pub mod experiments;
+pub mod explain;
 pub mod microbench;
 pub mod queries;
 pub mod regress;

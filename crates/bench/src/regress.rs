@@ -2,7 +2,7 @@
 //!
 //! Runs a small, fixed, fully deterministic workload set (row count pinned
 //! regardless of `--rows` so the checked-in baseline stays comparable),
-//! writes `results/BENCH_6.json`, and — when `results/BENCH_6.baseline.json`
+//! writes `results/BENCH_7.json`, and — when `results/BENCH_7.baseline.json`
 //! exists — fails with a non-zero exit if any workload's **modeled cost**
 //! or **peak resident memory** regressed by more than 2× against the
 //! baseline. Modeled cost comes from deterministic counters and peak
@@ -94,11 +94,24 @@ pub struct RegressEntry {
     /// deterministic and machine-independent; only set on the parallel
     /// workloads).
     pub par_est_speedup: f64,
+    /// Per-step modeled cost attribution `(label, modeled ms)` of the
+    /// workload's chain, scan slot included (empty for the operator-less
+    /// microbenches). For `Par` spans the innermost fused slot absorbs the
+    /// whole span's worker-side cost — that slot is the span's attribution.
+    pub stage_modeled_ms: Vec<(String, f64)>,
+    /// Peak resident pool blocks per worker shard, recorded when scheduler
+    /// phases absorb their workers (empty for serial executions).
+    pub worker_peak_blocks: Vec<u64>,
+    /// Full three-domain metrics snapshot ([`wf_core::ExecMetrics`]) of the
+    /// workload's execution, embedded under `"exec"` in the BENCH JSON
+    /// (`None` for microbenches that bypass plan execution).
+    pub metrics: Option<wf_core::ExecMetrics>,
 }
 
 fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str) -> RegressEntry {
     let report = execute_plan(plan, table, env).expect("regress workload");
     let wall_ms = report.wall.as_secs_f64() * 1000.0;
+    let weights = env.weights();
     RegressEntry {
         name: name.to_string(),
         modeled_ms: report.modeled_ms,
@@ -111,6 +124,13 @@ fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str
         residency_class: report.weakest_eval_class().label().to_string(),
         par_speedup: 0.0,
         par_est_speedup: 0.0,
+        stage_modeled_ms: report
+            .step_metrics
+            .iter()
+            .map(|m| (m.label.clone(), weights.modeled_ms(&m.work)))
+            .collect(),
+        worker_peak_blocks: report.worker_peak_blocks.clone(),
+        metrics: Some(wf_core::ExecMetrics::from_report(&report)),
     }
 }
 
@@ -210,6 +230,9 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                 residency_class: "-".to_string(),
                 par_speedup: 0.0,
                 par_est_speedup: 0.0,
+                stage_modeled_ms: vec![],
+                worker_peak_blocks: vec![],
+                metrics: None,
             };
             if best.as_ref().is_none_or(|b| e.wall_ms < b.wall_ms) {
                 best = Some(e);
@@ -336,28 +359,12 @@ pub fn run_workloads() -> Vec<RegressEntry> {
     let par_table = par_cfg.generate();
     let par_blocks = par_table.block_count();
     {
-        use wf_datagen::WsColumn::{Item, Quantity, SoldTime, Warehouse};
         let par_stats = TableStats::from_table(&par_table);
         // 150 paper-MB equivalent: one-pass serial FS no longer beats HS's
         // flat partition I/O here, but splitting the whole chain four ways
         // does — the regime the cost model favors Par in.
         let m = paper_mb_to_blocks(150.0, par_blocks);
-        let query = WindowQuery::new(
-            par_table.schema().clone(),
-            vec![
-                WindowSpec::rank(
-                    "r",
-                    vec![Item.attr()],
-                    wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(SoldTime.attr())]),
-                ),
-                WindowSpec::new(
-                    "s",
-                    wf_core::spec::WindowFunction::Sum(Quantity.attr()),
-                    vec![Item.attr()],
-                    wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(Warehouse.attr())]),
-                ),
-            ],
-        );
+        let query = par_chain_query(par_table.schema().clone());
         // One plan — emitted by the planner under the 4-worker budget —
         // executed with the scheduler forced serial (1 thread) and at the
         // full pool (4 threads). The determinism contract makes the two
@@ -490,6 +497,9 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                     residency_class: "-".to_string(),
                     par_speedup: 0.0,
                     par_est_speedup: 0.0,
+                    stage_modeled_ms: vec![],
+                    worker_peak_blocks: env.op_env().store.worker_peak_blocks(),
+                    metrics: None,
                 };
                 if best.as_ref().is_none_or(|(b, _)| e.wall_ms < b.wall_ms) {
                     best = Some((e, grouped));
@@ -568,6 +578,28 @@ pub fn run_workloads() -> Vec<RegressEntry> {
     out
 }
 
+/// The parallel-chain regression query — a rank and a one-pass SUM sharing
+/// the partition key — also the workload `repro explain par` traces.
+pub fn par_chain_query(schema: wf_common::Schema) -> WindowQuery {
+    use wf_datagen::WsColumn::{Item, Quantity, SoldTime, Warehouse};
+    WindowQuery::new(
+        schema,
+        vec![
+            WindowSpec::rank(
+                "r",
+                vec![Item.attr()],
+                wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(SoldTime.attr())]),
+            ),
+            WindowSpec::new(
+                "s",
+                wf_core::spec::WindowFunction::Sum(Quantity.attr()),
+                vec![Item.attr()],
+                wf_common::SortSpec::new(vec![wf_common::OrdElem::asc(Warehouse.attr())]),
+            ),
+        ],
+    )
+}
+
 fn chain_query(table: &Table) -> WindowQuery {
     use wf_datagen::WsColumn::{Item, SoldTime, Warehouse};
     let specs = vec![
@@ -585,10 +617,10 @@ fn chain_query(table: &Table) -> WindowQuery {
     WindowQuery::new(table.schema().clone(), specs)
 }
 
-/// Serialize entries as `BENCH_6.json`.
+/// Serialize entries as `BENCH_7.json`.
 pub fn to_json(entries: &[RegressEntry]) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench6-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench7-v1\",");
     let _ = writeln!(s, "  \"rows\": {REGRESS_ROWS},");
     let _ = writeln!(s, "  \"par_rows\": {PAR_ROWS},");
     s.push_str("  \"entries\": [\n");
@@ -612,50 +644,56 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
             e.par_speedup,
             e.par_est_speedup
         );
+        if let Some(m) = &e.metrics {
+            // Full three-domain snapshot (modeled cost / pool traffic /
+            // wall) — already a single-line JSON object.
+            s.truncate(s.len() - 1);
+            let _ = write!(s, ", \"exec\": {}}}", m.to_json());
+        }
         s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s
 }
 
-/// Minimal extraction of `(name, modeled_ms, peak_resident_blocks)` tuples
-/// from a BENCH_6-shaped JSON file (flat entry objects; no nesting — the
-/// format we write). Files without the peak column (the BENCH_2 era)
-/// parse with peak 0, which disarms only the peak gate.
+/// Extraction of `(name, modeled_ms, peak_resident_blocks)` tuples from a
+/// BENCH_7-shaped JSON file, through the in-tree parser (`wf_common::Json`)
+/// — entries may nest freely (the `"exec"` metrics object does). Files
+/// without the peak column parse with peak 0, which disarms only the peak
+/// gate; unparseable files yield no entries (the missing-baseline path).
 pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
-    let mut out = Vec::new();
-    for obj in json.split('{').skip(2) {
-        let obj = obj.split('}').next().unwrap_or("");
-        let field = |key: &str| -> Option<&str> {
-            let pos = obj.find(&format!("\"{key}\""))?;
-            let rest = obj[pos..].split(':').nth(1)?;
-            Some(rest.split(',').next()?.trim())
-        };
-        let (Some(name), Some(ms)) = (field("name"), field("modeled_ms")) else {
-            continue;
-        };
-        let name = name.trim_matches(['"', ' ']).to_string();
-        let peak = field("peak_resident_blocks")
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(0);
-        if let Ok(ms) = ms.parse::<f64>() {
-            out.push((name, ms, peak));
-        }
-    }
-    out
+    let Ok(doc) = wf_common::Json::parse(json) else {
+        return Vec::new();
+    };
+    let Some(entries) = doc.get("entries").and_then(|e| e.as_array()) else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|e| {
+            let name = e.get("name")?.as_str()?.to_string();
+            let ms = e.get("modeled_ms")?.as_f64()?;
+            let peak = e
+                .get("peak_resident_blocks")
+                .and_then(|p| p.as_u64())
+                .unwrap_or(0);
+            Some((name, ms, peak))
+        })
+        .collect()
 }
 
 /// Markdown table comparing the current run against the baseline —
-/// modeled cost, peak resident blocks, residency class and wall
-/// throughput per workload — emitted into `results/BENCH_6_summary.md`
-/// for the CI step summary.
+/// modeled cost, peak resident blocks, per-worker residency peaks,
+/// residency class, wall throughput and (for `Par` workloads) the
+/// per-stage modeled-cost attribution — emitted into
+/// `results/BENCH_7_summary.md` for the CI step summary.
 pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64, u64)]) -> String {
-    let mut md = String::from("### `repro regress` — BENCH_6 comparison\n\n");
+    let mut md = String::from("### `repro regress` — BENCH_7 comparison\n\n");
     let _ = writeln!(
         md,
-        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | rows/s | ∥ speedup |"
+        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | worker peaks | rows/s | ∥ speedup | stage ms |"
     );
-    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---|");
     for e in entries {
         let base = baseline.iter().find(|(n, _, _)| *n == e.name);
         let (base_ms, base_peak, delta) = match base {
@@ -682,9 +720,33 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
         } else {
             "–".to_string()
         };
+        let peaks = if e.worker_peak_blocks.is_empty() {
+            "–".to_string()
+        } else {
+            format!(
+                "[{}]",
+                e.worker_peak_blocks
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        // Per-stage modeled attribution, shown where worker spans exist
+        // (the `Par` workloads) — elsewhere the single-stage breakdown
+        // repeats the modeled column.
+        let stages = if e.worker_peak_blocks.is_empty() || e.stage_modeled_ms.is_empty() {
+            "–".to_string()
+        } else {
+            e.stage_modeled_ms
+                .iter()
+                .map(|(label, ms)| format!("{label} {ms:.2}"))
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
         let _ = writeln!(
             md,
-            "| `{}` | {} | {:.2} | {} | {} | {} | {} | {} | {} |",
+            "| `{}` | {} | {:.2} | {} | {} | {} | {} | {} | {} | {} | {} |",
             e.name,
             e.residency_class,
             e.modeled_ms,
@@ -692,19 +754,21 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
             delta,
             e.peak_resident_blocks,
             base_peak,
+            peaks,
             rows_s,
-            speedup
+            speedup,
+            stages
         );
     }
     let _ = writeln!(
         md,
         "\nGate: modeled cost and peak residency must stay within {REGRESS_FACTOR}× of \
-         `results/BENCH_6.baseline.json`. Wall clock (and rows/s) is informational only."
+         `results/BENCH_7.baseline.json`. Wall clock (and rows/s) is informational only."
     );
     md
 }
 
-/// Run the regression suite: write `results/BENCH_6.json`, print the table
+/// Run the regression suite: write `results/BENCH_7.json`, print the table
 /// and the fast-path headline numbers, compare against the checked-in
 /// baseline. Returns `false` when a >2× modeled-cost or peak-residency
 /// regression was found.
@@ -712,7 +776,7 @@ pub fn run_regress() -> bool {
     let entries = run_workloads();
 
     let mut t = ReportTable::new(
-        "BENCH_6: regression workloads (modeled ms | wall ms | rows/s | comparisons | peak resident)",
+        "BENCH_7: regression workloads (modeled ms | wall ms | rows/s | comparisons | peak resident)",
         &[
             "workload",
             "modeled ms",
@@ -722,6 +786,7 @@ pub fn run_regress() -> bool {
             "io",
             "key encodes",
             "peak res blk",
+            "worker peaks",
             "class",
             "par speedup",
         ],
@@ -740,6 +805,18 @@ pub fn run_regress() -> bool {
             format!("{}", e.io_blocks),
             format!("{}", e.key_encodes),
             format!("{}", e.peak_resident_blocks),
+            if e.worker_peak_blocks.is_empty() {
+                "-".to_string()
+            } else {
+                format!(
+                    "[{}]",
+                    e.worker_peak_blocks
+                        .iter()
+                        .map(|b| b.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            },
             e.residency_class.clone(),
             if e.par_speedup > 0.0 {
                 format!("{:.2}x", e.par_speedup)
@@ -748,7 +825,7 @@ pub fn run_regress() -> bool {
             },
         ]);
     }
-    t.emit("BENCH_6_table");
+    t.emit("BENCH_7_table");
 
     // Headline: byte-key / radix wall speedup on the sort-dominated
     // workloads, and the vectorized-filter wall speedup.
@@ -812,31 +889,31 @@ pub fn run_regress() -> bool {
 
     let json = to_json(&entries);
     std::fs::create_dir_all("results").ok();
-    if let Err(e) = std::fs::write("results/BENCH_6.json", &json) {
-        eprintln!("(could not write results/BENCH_6.json: {e})");
+    if let Err(e) = std::fs::write("results/BENCH_7.json", &json) {
+        eprintln!("(could not write results/BENCH_7.json: {e})");
     }
     // Markdown comparison for the CI step summary ($GITHUB_STEP_SUMMARY):
     // current vs baseline modeled cost + peak residency + residency class,
     // so bench drift is readable on the PR without downloading artifacts.
-    let baseline_for_md = std::fs::read_to_string("results/BENCH_6.baseline.json")
+    let baseline_for_md = std::fs::read_to_string("results/BENCH_7.baseline.json")
         .map(|raw| parse_baseline(&raw))
         .unwrap_or_default();
     if let Err(e) = std::fs::write(
-        "results/BENCH_6_summary.md",
+        "results/BENCH_7_summary.md",
         step_summary_markdown(&entries, &baseline_for_md),
     ) {
-        eprintln!("(could not write results/BENCH_6_summary.md: {e})");
+        eprintln!("(could not write results/BENCH_7_summary.md: {e})");
     }
 
     // Gate against the checked-in baseline. A missing baseline is fatal in
     // CI (the gate must never silently disarm there) and a friendly skip
     // locally.
-    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_6.baseline.json") else {
+    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_7.baseline.json") else {
         if std::env::var_os("CI").is_some() {
-            println!("\nresults/BENCH_6.baseline.json missing in CI — failing the gate");
+            println!("\nresults/BENCH_7.baseline.json missing in CI — failing the gate");
             return false;
         }
-        println!("\n(no results/BENCH_6.baseline.json — baseline gate skipped)");
+        println!("\n(no results/BENCH_7.baseline.json — baseline gate skipped)");
         return true;
     };
     let baseline = parse_baseline(&baseline_raw);
@@ -847,7 +924,7 @@ pub fn run_regress() -> bool {
             // baseline must be regenerated in the same change.
             println!(
                 "REGRESSION {name}: baseline entry no longer measured \
-                 (renamed/removed? regenerate results/BENCH_6.baseline.json)"
+                 (renamed/removed? regenerate results/BENCH_7.baseline.json)"
             );
             ok = false;
             continue;
@@ -922,6 +999,9 @@ mod tests {
             residency_class: class.into(),
             par_speedup: 0.0,
             par_est_speedup: 0.0,
+            stage_modeled_ms: vec![],
+            worker_peak_blocks: vec![],
+            metrics: None,
         }
     }
 
@@ -943,13 +1023,64 @@ mod tests {
         let entries = vec![entry("w1", 2.0, 8, "one-pass"), entry("w3", 1.0, 4, "ring")];
         let baseline = vec![("w1".to_string(), 1.0, 8u64)];
         let md = step_summary_markdown(&entries, &baseline);
-        assert!(md.contains("| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 | 8k | – |"));
+        assert!(
+            md.contains("| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 | – | 8k | – | – |"),
+            "{md}"
+        );
         // A workload with no baseline row reads "new", never a bogus delta.
-        assert!(md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new | 8k | – |"));
-        // A parallel workload shows its wall speedup.
+        assert!(
+            md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new | – | 8k | – | – |"),
+            "{md}"
+        );
+        // A parallel workload shows wall speedup, per-worker residency
+        // peaks and the per-stage modeled attribution.
         let mut par = entry("w4", 1.0, 4, "ring");
         par.par_speedup = 2.5;
+        par.worker_peak_blocks = vec![3, 5];
+        par.stage_modeled_ms = vec![
+            ("scan+filter".to_string(), 0.5),
+            ("PAR→r".to_string(), 1.25),
+        ];
         let md2 = step_summary_markdown(&[par], &[]);
-        assert!(md2.contains("| 2.50x |"), "{md2}");
+        assert!(
+            md2.contains("| [3, 5] | 8k | 2.50x | scan+filter 0.50; PAR→r 1.25 |"),
+            "{md2}"
+        );
+    }
+
+    #[test]
+    fn exec_metrics_embed_survives_baseline_parsing() {
+        // Entries with a nested `"exec"` object must not confuse the
+        // baseline extractor (the pre-parser splitter would have).
+        let mut e = entry("w1", 1.25, 17, "ring");
+        e.metrics = Some(wf_core::ExecMetrics {
+            modeled_ms: 1.25,
+            wall_ms: 0.8,
+            blocks_read: 1,
+            blocks_written: 1,
+            comparisons: 7,
+            hashes: 0,
+            rows_moved: 10,
+            key_encodes: 5,
+            peak_resident_blocks: 17,
+            peak_resident_rows: 40,
+            pool_spill_blocks_written: 0,
+            pool_spill_blocks_read: 0,
+            worker_peak_blocks: vec![2, 3],
+        });
+        let json = to_json(&[e, entry("w2", 0.5, 0, "-")]);
+        let doc = wf_common::Json::parse(&json).expect("BENCH JSON parses");
+        let entries = doc.get("entries").and_then(|v| v.as_array()).unwrap();
+        let exec = entries[0].get("exec").expect("embedded metrics");
+        let back = wf_core::ExecMetrics::from_json(exec).expect("metrics round-trip");
+        assert_eq!(back.worker_peak_blocks, vec![2, 3]);
+        assert_eq!(back.comparisons, 7);
+        assert!(
+            entries[1].get("exec").is_none(),
+            "microbench entries stay flat"
+        );
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("w1".to_string(), 1.25, 17));
     }
 }

@@ -15,16 +15,20 @@
 
 pub mod attrs;
 pub mod error;
+pub mod json;
 pub mod normkey;
 pub mod ord;
 pub mod row;
 pub mod schema;
+pub mod trace;
 pub mod value;
 
 pub use attrs::{AttrId, AttrSeq, AttrSet};
 pub use error::{Error, Result};
+pub use json::Json;
 pub use normkey::KeyNormalizer;
 pub use ord::{Direction, NullOrder, OrdElem, RowComparator, SortSpec};
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
+pub use trace::{SpanGuard, SpanRecord, TraceSink};
 pub use value::Value;

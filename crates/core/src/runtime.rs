@@ -25,12 +25,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wf_common::{Field, Result, Row};
+use wf_common::{json, Field, Result, Row, TraceSink};
 use wf_exec::{
     FilterOp, FullSortOp, HashedSortOp, HsOptions, OpEnv, Operator, Segment, SegmentedSortOp,
     TableScan, WindowOp,
 };
-use wf_storage::{CostSnapshot, CostTracker, CostWeights, StoreSnapshot, Table};
+use wf_storage::{CostSnapshot, CostTracker, CostWeights, StoreSnapshot, Table, BLOCK_SIZE};
 
 /// Execution environment: unit reorder memory, spill medium, cost weights.
 #[derive(Clone)]
@@ -144,6 +144,22 @@ impl ExecEnv {
     pub fn store_snapshot(&self) -> StoreSnapshot {
         self.op_env.store.snapshot()
     }
+
+    /// Same environment with the given span recorder attached: operators,
+    /// sorter phases, scheduler workers and the segment store all record
+    /// wall-clock spans on it. Tracing only reads the clock — rows, modeled
+    /// counters and pool counters are bit-identical with it on or off.
+    pub fn with_trace(&self, trace: Arc<TraceSink>) -> Self {
+        ExecEnv {
+            op_env: self.op_env.with_trace(trace),
+            ..self.clone()
+        }
+    }
+
+    /// The environment's span recorder (the shared no-op sink by default).
+    pub fn trace(&self) -> &Arc<TraceSink> {
+        &self.op_env.trace
+    }
 }
 
 /// Result of executing a plan.
@@ -160,6 +176,15 @@ pub struct ExecReport {
     pub wall: Duration,
     /// Per-step `(label, work)` breakdown.
     pub steps: Vec<(String, CostSnapshot)>,
+    /// Per-step measured execution metrics in chain order. Unlike
+    /// [`ExecReport::steps`] this includes slot 0 (the table scan plus any
+    /// WHERE filter) and carries the measured side — own wall time, rows
+    /// and segments emitted — that EXPLAIN ANALYZE compares against the
+    /// modeled counters.
+    pub step_metrics: Vec<StepMetrics>,
+    /// Peak resident pool blocks per parallel worker shard, recorded when
+    /// scheduler phases absorb their workers (empty for serial plans).
+    pub worker_peak_blocks: Vec<u64>,
     /// Segment-store residency and pool-spill statistics for this
     /// execution (peak resident bytes/rows, pool blocks moved). Pool
     /// traffic never enters `work` or `modeled_ms` — see
@@ -183,6 +208,130 @@ impl ExecReport {
     }
 }
 
+/// One chain step's measured execution metrics (see
+/// [`ExecReport::step_metrics`]).
+#[derive(Debug, Clone)]
+pub struct StepMetrics {
+    /// Report label (`scan+filter` for slot 0, `ARROW name` per plan step).
+    pub label: String,
+    /// Modeled work counters attributed to this step.
+    pub work: CostSnapshot,
+    /// Wall time attributed to this step (elapsed in its pulls minus what
+    /// nested upstream steps spent during the same pulls).
+    pub wall: Duration,
+    /// Rows this step emitted downstream.
+    pub rows: u64,
+    /// Segments this step emitted downstream.
+    pub segments: u64,
+    /// Residency class of the step's window evaluation (`None` for the
+    /// scan slot).
+    pub eval_class: Option<wf_exec::StreamableEval>,
+}
+
+/// One execution's three metric domains — modeled cost, pool traffic and
+/// measured wall — flattened into a single serializable record. This is
+/// what `repro regress` embeds per workload in BENCH JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecMetrics {
+    /// Modeled execution time under the environment's weights.
+    pub modeled_ms: f64,
+    /// Measured wall-clock time.
+    pub wall_ms: f64,
+    /// Modeled work counters (tracker delta of the execution).
+    pub blocks_read: u64,
+    pub blocks_written: u64,
+    pub comparisons: u64,
+    pub hashes: u64,
+    pub rows_moved: u64,
+    pub key_encodes: u64,
+    /// Segment-pool residency and traffic (never part of the modeled cost).
+    pub peak_resident_blocks: u64,
+    pub peak_resident_rows: u64,
+    pub pool_spill_blocks_written: u64,
+    pub pool_spill_blocks_read: u64,
+    /// Peak resident pool blocks per parallel worker shard (empty when the
+    /// plan ran serially).
+    pub worker_peak_blocks: Vec<u64>,
+}
+
+impl ExecMetrics {
+    /// Snapshot a finished execution's report.
+    pub fn from_report(report: &ExecReport) -> Self {
+        ExecMetrics {
+            modeled_ms: report.modeled_ms,
+            wall_ms: report.wall.as_secs_f64() * 1e3,
+            blocks_read: report.work.blocks_read,
+            blocks_written: report.work.blocks_written,
+            comparisons: report.work.comparisons,
+            hashes: report.work.hashes,
+            rows_moved: report.work.rows_moved,
+            key_encodes: report.work.key_encodes,
+            peak_resident_blocks: report.store.peak_resident_blocks(),
+            peak_resident_rows: report.store.peak_resident_rows as u64,
+            pool_spill_blocks_written: report.store.spill_blocks_written,
+            pool_spill_blocks_read: report.store.spill_blocks_read,
+            worker_peak_blocks: report.worker_peak_blocks.clone(),
+        }
+    }
+
+    /// Single-line JSON object (hand-rolled; field order is stable).
+    pub fn to_json(&self) -> String {
+        let peaks = self
+            .worker_peak_blocks
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"modeled_ms\":{:.3},\"wall_ms\":{:.3},\"blocks_read\":{},\
+             \"blocks_written\":{},\"comparisons\":{},\"hashes\":{},\
+             \"rows_moved\":{},\"key_encodes\":{},\"peak_resident_blocks\":{},\
+             \"peak_resident_rows\":{},\"pool_spill_blocks_written\":{},\
+             \"pool_spill_blocks_read\":{},\"worker_peak_blocks\":[{}]}}",
+            self.modeled_ms,
+            self.wall_ms,
+            self.blocks_read,
+            self.blocks_written,
+            self.comparisons,
+            self.hashes,
+            self.rows_moved,
+            self.key_encodes,
+            self.peak_resident_blocks,
+            self.peak_resident_rows,
+            self.pool_spill_blocks_written,
+            self.pool_spill_blocks_read,
+            peaks,
+        )
+    }
+
+    /// Parse a value produced by [`ExecMetrics::to_json`]. Returns `None`
+    /// when a field is missing or mistyped (old baselines degrade
+    /// gracefully).
+    pub fn from_json(v: &json::Json) -> Option<Self> {
+        let u = |k: &str| v.get(k)?.as_u64();
+        Some(ExecMetrics {
+            modeled_ms: v.get("modeled_ms")?.as_f64()?,
+            wall_ms: v.get("wall_ms")?.as_f64()?,
+            blocks_read: u("blocks_read")?,
+            blocks_written: u("blocks_written")?,
+            comparisons: u("comparisons")?,
+            hashes: u("hashes")?,
+            rows_moved: u("rows_moved")?,
+            key_encodes: u("key_encodes")?,
+            peak_resident_blocks: u("peak_resident_blocks")?,
+            peak_resident_rows: u("peak_resident_rows")?,
+            pool_spill_blocks_written: u("pool_spill_blocks_written")?,
+            pool_spill_blocks_read: u("pool_spill_blocks_read")?,
+            worker_peak_blocks: v
+                .get("worker_peak_blocks")?
+                .as_array()?
+                .iter()
+                .map(|p| p.as_u64())
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
 /// Execute a finalized plan over `table`.
 ///
 /// The initial table scan is charged (the windowed table is read once);
@@ -193,51 +342,93 @@ pub fn execute_plan(plan: &Plan, table: &Table, env: &ExecEnv) -> Result<ExecRep
     execute_plan_with_specs(plan, &plan.specs, table, env)
 }
 
-/// Shared per-step work accounting. Slot 0 is the table scan; slot `k + 1`
+/// One slot of per-step execution accounting: the modeled work counters
+/// plus the measured side EXPLAIN ANALYZE compares them against (own wall
+/// time, rows and segments emitted).
+#[derive(Clone, Copy, Default)]
+struct StepExec {
+    work: CostSnapshot,
+    wall: Duration,
+    rows: u64,
+    segments: u64,
+}
+
+/// Shared per-step accounting. Slot 0 is the table scan; slot `k + 1`
 /// is plan step `k` (its reorder plus its window evaluation).
-type MeterCells = Rc<RefCell<Vec<CostSnapshot>>>;
+type MeterCells = Rc<RefCell<Vec<StepExec>>>;
 
 /// Wraps one step's operator subtree and attributes tracker deltas to its
 /// slot. Because pulls recurse into upstream (already-metered) operators,
 /// the shim subtracts whatever upstream slots accumulated during the same
-/// pull — the remainder is exactly this step's own work.
+/// pull — the remainder is exactly this step's own work. Wall time is
+/// attributed the same way (elapsed minus upstream wall), and each pull is
+/// wrapped in a `step` span so the timeline shows the chain's nesting;
+/// neither touches the tracker, so tracing never changes modeled counters.
 struct Metered<O> {
     inner: O,
     tracker: Arc<CostTracker>,
     cells: MeterCells,
     idx: usize,
+    label: Rc<str>,
+    trace: Arc<TraceSink>,
 }
 
 impl<O> Metered<O> {
-    fn new(inner: O, tracker: Arc<CostTracker>, cells: MeterCells, idx: usize) -> Self {
+    fn new(
+        inner: O,
+        tracker: Arc<CostTracker>,
+        cells: MeterCells,
+        idx: usize,
+        label: Rc<str>,
+        trace: Arc<TraceSink>,
+    ) -> Self {
         Metered {
             inner,
             tracker,
             cells,
             idx,
+            label,
+            trace,
         }
     }
 
-    fn upstream_sum(&self) -> CostSnapshot {
-        self.cells.borrow()[..self.idx]
-            .iter()
-            .fold(CostSnapshot::default(), |acc, c| acc.plus(c))
+    fn upstream_sum(&self) -> (CostSnapshot, Duration) {
+        self.cells.borrow()[..self.idx].iter().fold(
+            (CostSnapshot::default(), Duration::ZERO),
+            |(work, wall), c| (work.plus(&c.work), wall + c.wall),
+        )
     }
 }
 
 impl<O: Operator> Operator for Metered<O> {
     fn next_segment(&mut self) -> Result<Option<Segment>> {
-        let upstream_before = self.upstream_sum();
+        let _span = self.trace.span_with("step", || self.label.to_string());
+        let (upstream_before, upstream_wall_before) = self.upstream_sum();
         let before = self.tracker.snapshot();
+        let start = Instant::now();
         let result = self.inner.next_segment();
+        let elapsed = start.elapsed();
         let delta = self.tracker.snapshot().since(&before);
-        let upstream_delta = self.upstream_sum().since(&upstream_before);
+        let (upstream_after, upstream_wall_after) = self.upstream_sum();
+        let upstream_delta = upstream_after.since(&upstream_before);
         let own = delta.since(&upstream_delta);
+        let own_wall = elapsed.saturating_sub(upstream_wall_after - upstream_wall_before);
         let mut cells = self.cells.borrow_mut();
         let slot = &mut cells[self.idx];
-        *slot = slot.plus(&own);
+        slot.work = slot.work.plus(&own);
+        slot.wall += own_wall;
+        if let Ok(Some(seg)) = &result {
+            slot.rows += seg.len() as u64;
+            slot.segments += 1;
+        }
         result
     }
+}
+
+/// Report label of plan step `k` (shared by [`ExecReport::steps`] and the
+/// EXPLAIN ANALYZE table).
+fn step_label(step: &crate::plan::PlanStep, specs: &[WindowSpec]) -> String {
+    format!("{} {}", step.reorder.arrow(), specs[step.wf].name)
 }
 
 /// Compile a plan into its operator chain over `table`. Returns the chain's
@@ -264,6 +455,8 @@ fn build_chain<'a>(
         Arc::clone(&tracker),
         Rc::clone(cells),
         0,
+        Rc::from("scan+filter"),
+        Arc::clone(&op_env.trace),
     ));
     let mut eval_order: Vec<usize> = Vec::with_capacity(plan.steps.len());
     let mut k = 0;
@@ -375,6 +568,8 @@ fn build_chain<'a>(
                             Arc::clone(&tracker),
                             Rc::clone(cells),
                             slot + 1,
+                            Rc::from(step_label(&plan.steps[slot], specs)),
+                            Arc::clone(&op_env.trace),
                         ));
                     }
                     for s in &plan.steps[k..k + span] {
@@ -403,6 +598,8 @@ fn build_chain<'a>(
             Arc::clone(&tracker),
             Rc::clone(cells),
             k + 1,
+            Rc::from(step_label(step, specs)),
+            Arc::clone(&op_env.trace),
         ));
         eval_order.push(step.wf);
         k += 1;
@@ -425,7 +622,7 @@ pub fn execute_plan_with_specs(
     // Compile the chain and drive it segment by segment: downstream steps
     // consume each bucket / run while upstream ones still hold the rest.
     let cells: MeterCells = Rc::new(RefCell::new(vec![
-        CostSnapshot::default();
+        StepExec::default();
         plan.steps.len() + 1
     ]));
     let (mut op, eval_order) = build_chain(plan, specs, table, env, &cells);
@@ -439,11 +636,25 @@ pub fn execute_plan_with_specs(
         .steps
         .iter()
         .zip(cells.borrow().iter().skip(1))
-        .map(|(step, work)| {
-            (
-                format!("{} {}", step.reorder.arrow(), specs[step.wf].name),
-                *work,
-            )
+        .map(|(step, exec)| (step_label(step, specs), exec.work))
+        .collect();
+    // Measured per-step metrics, scan slot included. A step's residency
+    // class comes from the plan (recorded at finalize time, same source as
+    // `eval_classes` below).
+    let step_metrics: Vec<StepMetrics> = cells
+        .borrow()
+        .iter()
+        .enumerate()
+        .map(|(idx, exec)| StepMetrics {
+            label: match idx {
+                0 => "scan+filter".to_string(),
+                k => step_label(&plan.steps[k - 1], specs),
+            },
+            work: exec.work,
+            wall: exec.wall,
+            rows: exec.rows,
+            segments: exec.segments,
+            eval_class: idx.checked_sub(1).map(|k| plan.eval_classes[k]),
         })
         .collect();
 
@@ -495,9 +706,143 @@ pub fn execute_plan_with_specs(
         work,
         wall: start.elapsed(),
         steps: steps_report,
+        step_metrics,
+        worker_peak_blocks: env.op_env().store.worker_peak_blocks(),
         store: env.store_snapshot(),
         eval_classes,
     })
+}
+
+/// EXPLAIN ANALYZE: execute `plan` and render its EXPLAIN tree followed by
+/// a per-step table comparing the modeled time against the measured wall —
+/// the modeled-vs-measured delta is the headline — alongside actual rows,
+/// segments, comparison and spill-byte counters and each step's residency
+/// class, with store residency/pool-traffic footers. Returns the report
+/// too, so callers can reuse the execution instead of re-running it.
+pub fn explain_analyze(plan: &Plan, table: &Table, env: &ExecEnv) -> Result<(ExecReport, String)> {
+    let report = execute_plan(plan, table, env)?;
+    let text = render_analyze(plan, table.schema(), &report, env.weights());
+    Ok((report, text))
+}
+
+fn render_analyze(
+    plan: &Plan,
+    schema: &wf_common::Schema,
+    report: &ExecReport,
+    weights: CostWeights,
+) -> String {
+    const HEADERS: [&str; 9] = [
+        "step", "wall ms", "model ms", "Δ ms", "rows", "segs", "cmp", "spill B", "class",
+    ];
+    let spill_bytes = |work: &CostSnapshot| work.io_blocks() * BLOCK_SIZE as u64;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for m in &report.step_metrics {
+        let wall_ms = m.wall.as_secs_f64() * 1e3;
+        let model_ms = weights.modeled_ms(&m.work);
+        rows.push(vec![
+            m.label.clone(),
+            format!("{wall_ms:.3}"),
+            format!("{model_ms:.3}"),
+            format!("{:+.3}", model_ms - wall_ms),
+            m.rows.to_string(),
+            m.segments.to_string(),
+            m.work.comparisons.to_string(),
+            spill_bytes(&m.work).to_string(),
+            m.eval_class
+                .map_or_else(|| "-".to_string(), |c| c.to_string()),
+        ]);
+    }
+    let total_wall = report.wall.as_secs_f64() * 1e3;
+    rows.push(vec![
+        "total".to_string(),
+        format!("{total_wall:.3}"),
+        format!("{:.3}", report.modeled_ms),
+        format!("{:+.3}", report.modeled_ms - total_wall),
+        report.table.row_count().to_string(),
+        report
+            .step_metrics
+            .iter()
+            .map(|m| m.segments)
+            .sum::<u64>()
+            .to_string(),
+        report.work.comparisons.to_string(),
+        spill_bytes(&report.work).to_string(),
+        if report.eval_classes.is_empty() {
+            "-".to_string()
+        } else {
+            report.weakest_eval_class().to_string()
+        },
+    ]);
+
+    // Hand-aligned table: first column left-aligned, numeric columns right-
+    // aligned. Widths count chars, not bytes (the Δ header is multi-byte).
+    let mut widths: Vec<usize> = HEADERS.iter().map(|h| h.chars().count()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let pad = " ".repeat(w - cell.chars().count());
+            if i == 0 {
+                line.push_str(cell);
+                line.push_str(&pad);
+            } else {
+                line.push_str(&pad);
+                line.push_str(cell);
+            }
+        }
+        line.truncate(line.trim_end().len());
+        line.push('\n');
+        line
+    };
+    let rule = widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("  ");
+
+    let mut out = plan.explain(schema);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str(&fmt_row(&HEADERS.map(String::from)));
+    out.push_str(&rule);
+    out.push('\n');
+    let (steps, total) = rows.split_at(rows.len() - 1);
+    for row in steps {
+        out.push_str(&fmt_row(row));
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out.push_str(&fmt_row(&total[0]));
+    out.push_str(&format!(
+        "peak residency: {} blocks ({} rows)\n",
+        report.store.peak_resident_blocks(),
+        report.store.peak_resident_rows
+    ));
+    if !report.worker_peak_blocks.is_empty() {
+        let peaks = report
+            .worker_peak_blocks
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("worker peaks: [{peaks}] blocks\n"));
+    }
+    out.push_str(&format!(
+        "pool traffic: {} blocks out, {} blocks in ({} segments spilled)\n",
+        report.store.spill_blocks_written,
+        report.store.spill_blocks_read,
+        report.store.spilled_segments
+    ));
+    out
 }
 
 /// Project a table to the given output columns (SELECT-list projection;
@@ -633,6 +978,92 @@ mod tests {
         assert_eq!(report.eval_classes[0].0, "r");
         assert_eq!(report.eval_classes[0].1, wf_exec::StreamableEval::Ring);
         assert_eq!(report.weakest_eval_class(), wf_exec::StreamableEval::Ring);
+    }
+
+    /// `step_metrics` carries one slot per chain stage plus the scan, its
+    /// work column agrees with `steps`, and the totals reconcile.
+    #[test]
+    fn step_metrics_cover_scan_and_reconcile_with_steps() {
+        let table = sample_table();
+        let schema = table.schema().clone();
+        let query = QueryBuilder::new(&schema)
+            .rank("r", &["dept"], &[("salary", false)])
+            .build()
+            .unwrap();
+        let stats = TableStats::from_table(&table);
+        let env = ExecEnv::with_memory_blocks(64);
+        let plan = optimize(&query, &stats, Scheme::Cso, &env).unwrap();
+        let report = execute_plan_with_specs(&plan, &query.specs, &table, &env).unwrap();
+        assert_eq!(report.step_metrics.len(), report.steps.len() + 1);
+        assert_eq!(report.step_metrics[0].label, "scan+filter");
+        assert_eq!(report.step_metrics[0].eval_class, None);
+        for (m, (label, work)) in report.step_metrics[1..].iter().zip(&report.steps) {
+            assert_eq!(&m.label, label);
+            assert_eq!(m.work, *work);
+            assert!(m.eval_class.is_some());
+        }
+        // The last step emits the chain's output rows.
+        assert_eq!(report.step_metrics.last().unwrap().rows, 10);
+        assert!(report.step_metrics.iter().all(|m| m.segments >= 1));
+        assert!(report.worker_peak_blocks.is_empty(), "serial plan");
+    }
+
+    #[test]
+    fn explain_analyze_renders_per_step_table() {
+        let table = sample_table();
+        let schema = table.schema().clone();
+        let query = QueryBuilder::new(&schema)
+            .rank("a", &["dept"], &[("salary", false)])
+            .rank("b", &[], &[("salary", false)])
+            .build()
+            .unwrap();
+        let stats = TableStats::from_table(&table);
+        let env = ExecEnv::with_memory_blocks(64);
+        let plan = optimize(&query, &stats, Scheme::Cso, &env).unwrap();
+        let (report, text) = explain_analyze(&plan, &table, &env).unwrap();
+        assert_eq!(report.table.row_count(), 10);
+        // EXPLAIN tree first, then the measured table and footers.
+        assert!(text.starts_with("input:"), "{text}");
+        for needle in [
+            "wall ms",
+            "model ms",
+            "Δ ms",
+            "spill B",
+            "scan+filter",
+            "total",
+            "peak residency:",
+            "pool traffic:",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // One table line per step metric, plus header/rules/total.
+        let table_lines = text
+            .lines()
+            .filter(|l| l.starts_with("scan+filter") || l.contains('→') && l.contains('.'))
+            .count();
+        assert!(table_lines >= report.step_metrics.len(), "{text}");
+    }
+
+    #[test]
+    fn exec_metrics_roundtrip_through_json() {
+        let table = sample_table();
+        let schema = table.schema().clone();
+        let query = QueryBuilder::new(&schema)
+            .rank("r", &["dept"], &[("salary", false)])
+            .build()
+            .unwrap();
+        let stats = TableStats::from_table(&table);
+        let env = ExecEnv::with_memory_blocks(64);
+        let plan = optimize(&query, &stats, Scheme::Cso, &env).unwrap();
+        let report = execute_plan_with_specs(&plan, &query.specs, &table, &env).unwrap();
+        let metrics = ExecMetrics::from_report(&report);
+        let parsed = json::Json::parse(&metrics.to_json()).unwrap();
+        let back = ExecMetrics::from_json(&parsed).unwrap();
+        assert_eq!(back.comparisons, metrics.comparisons);
+        assert_eq!(back.rows_moved, metrics.rows_moved);
+        assert_eq!(back.peak_resident_blocks, metrics.peak_resident_blocks);
+        assert_eq!(back.worker_peak_blocks, metrics.worker_peak_blocks);
+        assert!((back.modeled_ms - metrics.modeled_ms).abs() < 1e-3);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Per-operator execution environment.
 
 use std::sync::Arc;
-use wf_common::Result;
+use wf_common::{Result, TraceSink};
 use wf_storage::spill::SpillMedium;
 use wf_storage::{CostTracker, MemoryLedger, SegmentStore};
 
@@ -45,6 +45,12 @@ pub struct OpEnv {
     /// the row-at-a-time pipeline; modeled counters are bit-identical either
     /// way — vectorization changes wall time, never the cost model.
     pub columnar: bool,
+    /// Span recorder for the wall-clock metric domain (defaults to the
+    /// shared no-op sink). Shard environments and rebudgeted environments
+    /// inherit it, so every phase of a chain — including worker threads —
+    /// lands in one timeline. Tracing only reads the clock: rows, modeled
+    /// counters, and pool counters are bit-identical with it on or off.
+    pub trace: Arc<TraceSink>,
 }
 
 /// Parse the `WF_WORKERS` environment variable (`0`/unset → no override).
@@ -68,6 +74,18 @@ impl OpEnv {
             reuse_bounds: true,
             worker_threads: env_worker_threads(),
             columnar: true,
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Same environment with the given span recorder (see [`OpEnv::trace`]).
+    /// The segment store picks it up too, so pool spill-outs land in the
+    /// same timeline.
+    pub fn with_trace(&self, trace: Arc<TraceSink>) -> Self {
+        self.store.set_trace(Arc::clone(&trace));
+        OpEnv {
+            trace,
+            ..self.clone()
         }
     }
 
@@ -115,9 +133,11 @@ impl OpEnv {
     /// Same environment with a different memory budget (and a fresh segment
     /// pool of the same size; the tracker stays shared).
     pub fn with_blocks(&self, mem_blocks: u64) -> Self {
+        let store = SegmentStore::new(Some(mem_blocks.max(1)), self.medium);
+        store.set_trace(Arc::clone(&self.trace));
         OpEnv {
             mem_blocks,
-            store: SegmentStore::new(Some(mem_blocks.max(1)), self.medium),
+            store,
             ..self.clone()
         }
     }
@@ -137,8 +157,10 @@ impl OpEnv {
     /// in memory, nothing pool-spills). The reference configuration for the
     /// residency equivalence suite.
     pub fn with_unbounded_pool(&self) -> Self {
+        let store = SegmentStore::new(None, self.medium);
+        store.set_trace(Arc::clone(&self.trace));
         OpEnv {
-            store: SegmentStore::new(None, self.medium),
+            store,
             ..self.clone()
         }
     }
@@ -175,6 +197,18 @@ mod tests {
         // Unbounded parents hand out unbounded shard stores.
         let unbounded = env.with_unbounded_pool();
         assert_eq!(unbounded.shard_env(2).store.budget_bytes(), None);
+    }
+
+    #[test]
+    fn trace_sink_is_inherited_by_shards_and_rebudgets() {
+        let env = OpEnv::with_memory_blocks(4);
+        assert!(!env.trace.is_enabled(), "default is the no-op sink");
+        let traced = env.with_trace(TraceSink::enabled());
+        assert!(traced.trace.is_enabled());
+        assert!(traced.shard_env(2).trace.is_enabled());
+        assert!(traced.with_blocks(8).trace.is_enabled());
+        assert!(traced.with_unbounded_pool().trace.is_enabled());
+        assert!(traced.with_toggles(false, false).trace.is_enabled());
     }
 
     #[test]

@@ -136,6 +136,9 @@ impl<I: Operator> HashedSortOp<I> {
         let env = &self.env;
         let mut ledger = env.ledger()?;
         let n = self.options.n_buckets;
+        let _span = env
+            .trace
+            .span_with("sort", || format!("hs.partition buckets={n}"));
 
         let mfv: HashSet<Vec<Value>> = self.options.mfv_values.iter().cloned().collect();
         let mut mfv_rows: Vec<Row> = Vec::new();
@@ -271,7 +274,11 @@ impl<I: Operator> Operator for HashedSortOp<I> {
         if let Some(input) = self.input.take() {
             self.partition_phase(input)?;
         }
-        match self.queue.pop_front() {
+        let pending = self.queue.pop_front();
+        let _span = pending
+            .is_some()
+            .then(|| self.env.trace.span("sort", "hs.bucket_sort"));
+        match pending {
             None => Ok(None),
             Some(PendingBucket::Mfv(rows)) => Ok(Some(self.emit_rows(rows)?)),
             Some(PendingBucket::Mem(mut rows)) => {

@@ -753,7 +753,10 @@ pub fn group_by_hash_par(
     let jobs = scatter_by_key(table, &key_set, workers, env)?;
     let shard_envs: Vec<OpEnv> = jobs.iter().map(|(_, (_, e))| e.clone()).collect();
     let threads = resolve_threads(env, workers, workers);
-    let grouped = run_sharded(workers, threads, jobs, |_, (shard, shard_env)| {
+    let grouped = run_sharded(workers, threads, jobs, |i, (shard, shard_env)| {
+        let _span = shard_env
+            .trace
+            .span_with("worker", || format!("groupby_hash_worker shard={i}"));
         let mut source = HandleSource::new(shard);
         let rows = crate::full_sort::UpstreamRows::new(&mut source);
         hash_aggregate(rows, keys, aggs, &shard_env)
@@ -806,7 +809,9 @@ pub fn group_by_sort_par(
     let jobs = scatter_by_key(table, &key_set, workers, env)?;
     let shard_envs: Vec<OpEnv> = jobs.iter().map(|(_, (_, e))| e.clone()).collect();
     let threads = resolve_threads(env, workers, workers);
-    let grouped = run_sharded(workers, threads, jobs, |_, (shard, shard_env)| {
+    let grouped = run_sharded(workers, threads, jobs, |i, (shard, shard_env)| {
+        let trace = Arc::clone(&shard_env.trace);
+        let _span = trace.span_with("worker", || format!("groupby_sort_worker shard={i}"));
         let mut op = GroupBySortOp::new(
             HandleSource::new(shard),
             keys.to_vec(),

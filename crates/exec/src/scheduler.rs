@@ -223,6 +223,9 @@ impl<I: Operator> Operator for ParallelSortOp<I> {
         // Phase 1 — scatter the upstream stream into shard buffers (store-
         // managed: they spill past the pool budget, so the scatter holds
         // O(pool), never the relation).
+        let scatter_span = env
+            .trace
+            .span_with("par", || format!("scatter shards={shards}"));
         let mut builders: Vec<_> = (0..shards).map(|_| env.store.builder()).collect();
         while let Some(seg) = self.input.next_segment()? {
             let batch = if env.columnar {
@@ -251,6 +254,7 @@ impl<I: Operator> Operator for ParallelSortOp<I> {
         if total == 0 {
             return Ok(None);
         }
+        drop(scatter_span);
 
         // Phase 2 — per-shard environments (fresh tracker + ledger
         // sub-account at M_w) and the scoped worker pool.
@@ -262,7 +266,12 @@ impl<I: Operator> Operator for ParallelSortOp<I> {
         let shard_envs: Vec<OpEnv> = jobs.iter().map(|(_, (_, e))| e.clone()).collect();
         let threads = resolve_threads(env, shards, shards);
         let key = &self.key;
-        let sorted = run_sharded(shards, threads, jobs, |_, (shard, shard_env)| {
+        let sorted = run_sharded(shards, threads, jobs, |i, (shard, shard_env)| {
+            // The worker span opens on the worker's own OS thread, so each
+            // worker lands on its own timeline lane.
+            let _span = shard_env
+                .trace
+                .span_with("worker", || format!("sort_worker shard={i}"));
             sort_stream_to_handle(shard.read(), key, &shard_env, &[]).map(|(handle, _, _)| handle)
         });
 
@@ -282,8 +291,10 @@ impl<I: Operator> Operator for ParallelSortOp<I> {
                 }
             }
         }
+        let merge_span = env.trace.span("par", "merge");
         let (out, bounds, n) = merge_sorted_handles(shard_handles, key, env, &self.record)?;
         debug_assert_eq!(n, total, "merge must reassemble every scattered row");
+        drop(merge_span);
 
         // Phase 4 — fold the workers' high-water marks into the chain's
         // store (handles were consumed by the merge, so the sub-accounts'
@@ -538,6 +549,9 @@ impl<I: Operator> ParallelChainOp<I> {
             ParInner::Fs { .. } => 0,
         };
         let mut bucket_nonempty = vec![false; n_buckets];
+        let scatter_span = env
+            .trace
+            .span_with("par", || format!("scatter shards={shards}"));
         let mut builders: Vec<_> = (0..shards).map(|_| env.store.builder()).collect();
         let mut route = |h: u64| -> usize {
             if n_buckets == 0 {
@@ -573,6 +587,7 @@ impl<I: Operator> ParallelChainOp<I> {
         if total == 0 {
             return Ok(ChainState::Done);
         }
+        drop(scatter_span);
 
         // Per-worker environments and the scoped pool: every worker runs the
         // whole span chain over its shard.
@@ -584,7 +599,12 @@ impl<I: Operator> ParallelChainOp<I> {
         let shard_envs: Vec<OpEnv> = jobs.iter().map(|(_, (_, e))| e.clone()).collect();
         let threads = resolve_threads(env, shards, shards);
         let (inner, head_record, stages) = (&self.inner, &self.head_record, &self.stages);
-        let finished = run_sharded(shards, threads, jobs, |_, (shard, shard_env)| {
+        let finished = run_sharded(shards, threads, jobs, |i, (shard, shard_env)| {
+            // Opened on the worker's OS thread → one timeline lane per
+            // worker, with the whole in-worker chain nested beneath it.
+            let _span = shard_env
+                .trace
+                .span_with("worker", || format!("chain_worker shard={i}"));
             run_worker_chain(shard, inner, head_record, stages, &shard_env)
         });
 
@@ -626,9 +646,11 @@ impl<I: Operator> ParallelChainOp<I> {
                 }
             }
             let key = SortKey::new(&self.final_order());
+            let merge_span = env.trace.span("par", "merge");
             let (out, bounds, n) =
                 merge_sorted_handles(handles, &key, env, &record.unwrap_or_default())?;
             debug_assert_eq!(n, total, "merge must reassemble every scattered row");
+            drop(merge_span);
             absorb_worker_stores(env, &shard_envs);
             let mut queue = VecDeque::new();
             queue.push_back((out, bounds));

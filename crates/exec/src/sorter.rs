@@ -249,6 +249,9 @@ pub fn sort_in_memory(rows: &mut [Row], key: &SortKey, env: &OpEnv) {
     let log2_ceil = (usize::BITS - (n - 1).leading_zeros()) as u64;
     env.tracker.compare(n as u64 * log2_ceil);
     if all_encoded {
+        let _span = env
+            .trace
+            .span_with("sort", || format!("in_memory.radix n={n}"));
         radix_sort_prefixes(&mut perm);
         // Radix is stable and `perm` started in index order, so equal-prefix
         // runs are already index-ordered; only runs whose *full* keys may
@@ -271,6 +274,9 @@ pub fn sort_in_memory(rows: &mut [Row], key: &SortKey, env: &OpEnv) {
             i = j;
         }
     } else {
+        let _span = env
+            .trace
+            .span_with("sort", || format!("in_memory.comparator n={n}"));
         perm.sort_unstable_by(|&(pa, ia), &(pb, ib)| {
             pa.cmp(&pb)
                 .then_with(|| match (spans[ia as usize], spans[ib as usize]) {
@@ -518,6 +524,9 @@ fn form_runs_from(
     env: &OpEnv,
     ledger: &mut MemoryLedger,
 ) -> Result<Vec<Run>> {
+    // Covers replacement selection *and* the run writes it interleaves with
+    // (the external sort's spill-write phase).
+    let _span = env.trace.span("sort", "run_formation");
     let cmp = key.cmp.clone();
     let mut scratch: Vec<u8> = Vec::new();
     // (run_tag, arrival seq, keyed row) ordered by tag, then key, then
@@ -652,6 +661,12 @@ pub fn merge_fan_in(mem_blocks: u64) -> usize {
 fn reduce_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Run>> {
     let f = merge_fan_in(env.mem_blocks);
     while runs.len() > f {
+        // One span per intermediate pass: each reads every remaining run
+        // back from the spill device and writes the merged outputs to it.
+        let n_runs = runs.len();
+        let _span = env
+            .trace
+            .span_with("sort", || format!("merge_pass runs={n_runs} fan_in={f}"));
         let mut next: Vec<Run> = Vec::with_capacity(runs.len().div_ceil(f));
         let mut iter = runs.into_iter().peekable();
         while iter.peek().is_some() {
@@ -680,6 +695,7 @@ fn reduce_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Run
 /// write new runs, the final pass emits rows directly.
 fn merge_runs(runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Row>> {
     let runs = reduce_runs(runs, key, env)?;
+    let _span = env.trace.span("sort", "final_merge");
     let mut result = Vec::new();
     merge_into(runs, key, env, |_, row| {
         result.push(row.clone());
@@ -697,6 +713,7 @@ fn merge_runs_to_handle(
     record: &[AttrSet],
 ) -> Result<(SegmentHandle, SegmentBounds, usize)> {
     let runs = reduce_runs(runs, key, env)?;
+    let _span = env.trace.span("sort", "final_merge");
     let mut builder = env.store.builder();
     let mut recorder = PrefixRecorder::new(record, env);
     let mut n = 0usize;
@@ -761,6 +778,10 @@ pub(crate) fn merge_sorted_handles(
     env: &OpEnv,
     record: &[AttrSet],
 ) -> Result<(SegmentHandle, SegmentBounds, usize)> {
+    let n_handles = handles.len();
+    let _span = env
+        .trace
+        .span_with("sort", || format!("merge_handles inputs={n_handles}"));
     let mut readers: Vec<wf_storage::SegmentReader> =
         handles.into_iter().map(|h| h.read()).collect();
     let cmp = key.cmp.clone();

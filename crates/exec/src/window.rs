@@ -1000,8 +1000,14 @@ impl<I: Operator> Operator for WindowOp<I> {
     fn next_segment(&mut self) -> Result<Option<Segment>> {
         match self.input.next_segment()? {
             None => Ok(None),
-            Some(seg) if seg.is_spilled() => Ok(Some(self.eval_spilled(seg)?)),
-            Some(seg) => Ok(Some(self.eval_segment(seg)?)),
+            Some(seg) if seg.is_spilled() => {
+                let _span = self.env.trace.span("window", "eval_spilled");
+                Ok(Some(self.eval_spilled(seg)?))
+            }
+            Some(seg) => {
+                let _span = self.env.trace.span("window", "eval");
+                Ok(Some(self.eval_segment(seg)?))
+            }
         }
     }
 }

@@ -29,7 +29,7 @@ use crate::colblock::RowBatch;
 use crate::cost::PoolCounters;
 use crate::spill::{IoMeter, SpillFile, SpillMedium, SpillReader};
 use std::sync::{Arc, Mutex};
-use wf_common::{Result, Row};
+use wf_common::{Result, Row, TraceSink};
 
 /// Residency accounting (behind the store's mutex).
 #[derive(Debug, Default)]
@@ -44,6 +44,11 @@ struct PoolState {
     phase_peak_bytes: usize,
     phase_peak_rows: usize,
     spilled_segments: u64,
+    /// Per-shard high-water marks folded in by
+    /// [`SegmentStore::absorb_concurrent`]: index `i` holds the largest peak
+    /// any concurrent phase's worker `i` ever reached (elementwise max
+    /// across phases). Empty until a parallel phase runs.
+    worker_peak_bytes: Vec<usize>,
 }
 
 impl PoolState {
@@ -91,6 +96,11 @@ pub struct SegmentStore {
     medium: SpillMedium,
     pool_io: Arc<PoolCounters>,
     state: Mutex<PoolState>,
+    /// Span recorder for pool spill-out events; the shared no-op sink until
+    /// [`SegmentStore::set_trace`] swaps it in. Behind its own mutex so the
+    /// store stays `Sync` without widening the state lock; it is read once
+    /// per *segment overflow*, never per row.
+    trace: Mutex<Arc<TraceSink>>,
 }
 
 impl SegmentStore {
@@ -101,7 +111,19 @@ impl SegmentStore {
             medium,
             pool_io: Arc::new(PoolCounters::new()),
             state: Mutex::new(PoolState::default()),
+            trace: Mutex::new(TraceSink::disabled()),
         })
+    }
+
+    /// Attach a span recorder; pool spill-outs record `spill` spans on it.
+    /// Tracing never alters charging, spill decisions, or counters.
+    pub fn set_trace(&self, trace: Arc<TraceSink>) {
+        *self.trace.lock().expect("trace lock") = trace;
+    }
+
+    /// The store's current span recorder.
+    pub fn trace(&self) -> Arc<TraceSink> {
+        self.trace.lock().expect("trace lock").clone()
     }
 
     /// Pool budget in bytes (`None` = unbounded).
@@ -183,6 +205,7 @@ impl SegmentStore {
             medium: self.medium,
             pool_io: Arc::clone(&self.pool_io),
             state: Mutex::new(PoolState::default()),
+            trace: Mutex::new(self.trace()),
         })
     }
 
@@ -223,6 +246,30 @@ impl SegmentStore {
         s.phase_peak_bytes = s.used_bytes;
         s.phase_peak_rows = s.used_rows;
         s.spilled_segments += spilled;
+        // Keep the per-shard peaks visible for observability (EXPLAIN
+        // ANALYZE / regress): elementwise max across phases by shard index.
+        if s.worker_peak_bytes.len() < workers.len() {
+            s.worker_peak_bytes.resize(workers.len(), 0);
+        }
+        for (slot, w) in s.worker_peak_bytes.iter_mut().zip(workers) {
+            *slot = (*slot).max(w.peak_resident_bytes);
+        }
+    }
+
+    /// Per-shard residency peaks recorded by concurrent phases, in whole
+    /// blocks by shard index (empty when no parallel phase ran). The fold in
+    /// [`SegmentStore::absorb_concurrent`] sums these onto the parent's
+    /// in-phase watermark; this accessor exposes the addends so EXPLAIN
+    /// ANALYZE and the regress table can show how evenly the pool budget was
+    /// used across workers.
+    pub fn worker_peak_blocks(&self) -> Vec<u64> {
+        self.state
+            .lock()
+            .expect("store lock")
+            .worker_peak_bytes
+            .iter()
+            .map(|&b| blocks_for_bytes(b))
+            .collect()
     }
 
     /// Start building a segment: rows pushed stay resident while the pool
@@ -375,11 +422,13 @@ impl SegmentBuilder {
             return Ok(());
         }
         // Overflow: move the buffered prefix and this row to the device.
+        let buffered = self.rows.len();
+        let trace = self.store.trace();
+        let _span = trace.span_with("spill", || format!("pool.spill_out prefix_rows={buffered}"));
         let mut file = SpillFile::create_metered(
             self.store.medium,
             IoMeter::Pool(self.store.pool_io.clone()),
         )?;
-        let buffered = self.rows.len();
         for r in self.rows.drain(..) {
             file.push(&r)?;
         }
@@ -803,6 +852,53 @@ mod tests {
             10 + pa.peak_resident_rows + pb.peak_resident_rows
         );
         assert_eq!(parent.snapshot().resident_rows, 0);
+    }
+
+    #[test]
+    fn worker_peaks_are_recorded_per_shard() {
+        let parent = SegmentStore::new(Some(64), SpillMedium::Simulated);
+        assert!(parent.worker_peak_blocks().is_empty(), "no phase yet");
+        parent.begin_concurrent_phase();
+        let a = parent.sub_store(Some(8));
+        let b = parent.sub_store(Some(8));
+        let ha = a.admit(rows(30)).unwrap();
+        let hb = b.admit(rows(500)).unwrap();
+        drop(ha);
+        drop(hb);
+        parent.absorb_concurrent(&[a.snapshot(), b.snapshot()]);
+        let peaks = parent.worker_peak_blocks();
+        assert_eq!(peaks.len(), 2);
+        assert!(peaks[1] > peaks[0], "shard 1 held far more: {peaks:?}");
+        // A later, smaller phase must not shrink the recorded peaks.
+        parent.begin_concurrent_phase();
+        let c = parent.sub_store(Some(8));
+        let hc = c.admit(rows(1)).unwrap();
+        drop(hc);
+        parent.absorb_concurrent(&[c.snapshot()]);
+        assert_eq!(parent.worker_peak_blocks(), peaks);
+    }
+
+    #[test]
+    fn sub_store_inherits_trace_sink() {
+        let parent = SegmentStore::new(Some(64), SpillMedium::Simulated);
+        assert!(!parent.trace().is_enabled());
+        parent.set_trace(TraceSink::enabled());
+        assert!(parent.trace().is_enabled());
+        assert!(parent.sub_store(Some(8)).trace().is_enabled());
+    }
+
+    #[test]
+    fn pool_spill_out_records_a_span() {
+        let store = SegmentStore::new(Some(1), SpillMedium::Simulated);
+        let sink = TraceSink::enabled();
+        store.set_trace(Arc::clone(&sink));
+        let h = store.admit(rows(2000)).unwrap();
+        assert!(h.is_spilled());
+        let records = sink.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].cat, "spill");
+        assert!(records[0].name.starts_with("pool.spill_out"));
+        assert_eq!(sink.open_spans(), 0);
     }
 
     /// Sequential parallel phases fold onto their own watermarks: the

@@ -61,7 +61,9 @@ pub mod prelude {
     pub use wf_core::plan::{Plan, PlanStep, ReorderOp};
     pub use wf_core::planner::{optimize, Scheme};
     pub use wf_core::query::{QueryBuilder, WindowQuery};
-    pub use wf_core::runtime::{execute_plan, ExecEnv, ExecReport};
+    pub use wf_core::runtime::{
+        execute_plan, explain_analyze, ExecEnv, ExecMetrics, ExecReport, StepMetrics,
+    };
     pub use wf_core::spec::{WindowFunction, WindowSpec};
     pub use wf_storage::table::Table;
 }

@@ -1,0 +1,370 @@
+//! The tracing subsystem's contracts, end to end:
+//!
+//! * **Bit-identity** — executing any chain (FS / HS / FS→SS / `Par{Fs}`,
+//!   bounded or unbounded pool) with a span recorder attached changes no
+//!   output row, no modeled counter and no pool counter: sinks only read
+//!   the clock.
+//! * **Span balance** — every opened span closes (guards are RAII), and
+//!   within each thread lane the recorded spans nest laminarly: two spans
+//!   either disjoint or contained, worker lanes included.
+//! * **Exporter round-trip** — the Chrome trace-event JSON re-parses with
+//!   the in-tree parser and carries every recorded span; a traced
+//!   4-worker parallel chain interleaves at least two thread lanes.
+//! * **EXPLAIN ANALYZE shape** — the rendered table pins its column set
+//!   and row count for both a serial and a `Par{...}` plan.
+
+use wfopt::common::{Json, TraceSink};
+use wfopt::core::cost::TableStats;
+use wfopt::core::plan::{finalize_chain, Plan, PlanContext, PlanStep, ReorderOp};
+use wfopt::core::props::SegProps;
+use wfopt::core::runtime::{execute_plan, explain_analyze, ExecEnv};
+use wfopt::core::spec::WindowSpec;
+use wfopt::prelude::*;
+
+fn a(i: usize) -> AttrId {
+    AttrId::new(i)
+}
+fn key(ids: &[usize]) -> SortSpec {
+    SortSpec::new(ids.iter().map(|&i| OrdElem::asc(a(i))).collect())
+}
+
+/// (p ~24 partitions, k order key with ties, v value, w ~16 partitions) in
+/// scrambled order — enough rows to spill at small budgets.
+fn build_table(rows_n: usize) -> Table {
+    let schema = Schema::of(&[
+        ("p", DataType::Int),
+        ("k", DataType::Int),
+        ("v", DataType::Int),
+        ("w", DataType::Int),
+    ]);
+    let mut t = Table::new(schema);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for _ in 0..rows_n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = state >> 16;
+        t.push(Row::new(vec![
+            Value::Int((r % 24) as i64),
+            Value::Int(((r >> 8) % 50) as i64),
+            Value::Int(((r >> 16) % 1000) as i64),
+            Value::Int(((r >> 24) % 16) as i64),
+        ]));
+    }
+    t
+}
+
+fn rank_specs() -> Vec<WindowSpec> {
+    vec![
+        WindowSpec::rank("r_pk", vec![a(0)], key(&[1])),
+        WindowSpec::rank("r_pv", vec![a(0)], key(&[2])),
+    ]
+}
+
+/// Single-step plan over spec 0 with the given head reorder.
+fn one_step_plan(stats: &TableStats, m: u64, reorder: ReorderOp) -> Plan {
+    let specs = rank_specs();
+    let ctx = PlanContext::new(stats, m);
+    finalize_chain(
+        "trace",
+        &specs[..1],
+        &SegProps::unordered(),
+        1,
+        vec![PlanStep { wf: 0, reorder }],
+        &ctx,
+    )
+}
+
+/// Two-step `FS→ wf0  SS→ wf1` chain (the SS step rides on the head sort's
+/// order), optionally with the head parallelized at `workers` shards.
+fn chain_plan(stats: &TableStats, m: u64, workers: Option<usize>) -> Plan {
+    let specs = rank_specs();
+    let ctx = PlanContext::new(stats, m);
+    let fs = ReorderOp::Fs { key: key(&[0, 1]) };
+    let head = match workers {
+        None => fs,
+        Some(w) => ReorderOp::Par {
+            inner: Box::new(fs),
+            workers: w,
+        },
+    };
+    finalize_chain(
+        "trace_chain",
+        &specs,
+        &SegProps::unordered(),
+        1,
+        vec![
+            PlanStep {
+                wf: 0,
+                reorder: head,
+            },
+            PlanStep {
+                wf: 1,
+                reorder: ReorderOp::Ss {
+                    alpha: key(&[0]),
+                    beta: key(&[2]),
+                },
+            },
+        ],
+        &ctx,
+    )
+}
+
+fn rows_key(t: &Table) -> Vec<String> {
+    t.rows().iter().map(|r| format!("{r:?}")).collect()
+}
+
+/// Tracing on vs off: identical rows, identical modeled counters,
+/// identical pool counters — across chain shapes and pool regimes.
+#[test]
+fn tracing_is_bit_identical_across_chains_and_pools() {
+    let table = build_table(4000);
+    let stats = TableStats::from_table(&table);
+    let m = 8u64;
+    let hs = ReorderOp::Hs {
+        whk: AttrSet::from_iter([a(0)]),
+        key: key(&[0, 1]),
+        n_buckets: wfopt::core::cost::hs_bucket_count(&stats, &AttrSet::from_iter([a(0)]), m),
+        mfv: vec![],
+    };
+    let plans: Vec<(&str, Plan)> = vec![
+        (
+            "fs",
+            one_step_plan(&stats, m, ReorderOp::Fs { key: key(&[0, 1]) }),
+        ),
+        ("hs", one_step_plan(&stats, m, hs)),
+        ("fs_ss_chain", chain_plan(&stats, m, None)),
+        ("par_fs_chain", chain_plan(&stats, m, Some(4))),
+    ];
+    for (name, plan) in &plans {
+        for bounded in [true, false] {
+            let mk_env = || {
+                let env = ExecEnv::with_memory_blocks(m);
+                if bounded {
+                    env
+                } else {
+                    env.with_unbounded_pool()
+                }
+            };
+            let off_env = mk_env();
+            let off = execute_plan(plan, &table, &off_env).expect("untraced run");
+            let sink = TraceSink::enabled();
+            let on_env = mk_env().with_trace(sink.clone());
+            let on = execute_plan(plan, &table, &on_env).expect("traced run");
+
+            assert_eq!(
+                rows_key(&off.table),
+                rows_key(&on.table),
+                "{name} bounded={bounded}: rows must not change under tracing"
+            );
+            assert_eq!(
+                off.work, on.work,
+                "{name} bounded={bounded}: modeled counters must not change"
+            );
+            assert_eq!(
+                off.store, on.store,
+                "{name} bounded={bounded}: pool counters must not change"
+            );
+            assert_eq!(
+                off.worker_peak_blocks, on.worker_peak_blocks,
+                "{name} bounded={bounded}: worker peaks must not change"
+            );
+            // The traced run actually recorded something, and balanced.
+            assert_eq!(sink.open_spans(), 0, "{name}: dangling span guard");
+            assert!(
+                !sink.records().is_empty(),
+                "{name}: traced run recorded no spans"
+            );
+            // The untraced environment really was the no-op sink.
+            assert!(!off_env.trace().is_enabled());
+        }
+    }
+}
+
+/// Per-lane laminar nesting: within a lane, any two spans are disjoint or
+/// contained (1 µs slack for timestamp truncation), and every lane's
+/// depths start at 0.
+#[test]
+fn spans_balance_and_nest_within_every_lane() {
+    let table = build_table(3000);
+    let stats = TableStats::from_table(&table);
+    let plan = chain_plan(&stats, 8, Some(4));
+    let sink = TraceSink::enabled();
+    let env = ExecEnv::with_memory_blocks(8)
+        .with_worker_threads(4)
+        .with_trace(sink.clone());
+    execute_plan(&plan, &table, &env).expect("traced run");
+    assert_eq!(sink.open_spans(), 0, "every open span must have closed");
+
+    let records = sink.records();
+    assert!(!records.is_empty());
+    let lanes: std::collections::BTreeSet<u64> = records.iter().map(|r| r.lane).collect();
+    for lane in lanes {
+        let in_lane: Vec<_> = records.iter().filter(|r| r.lane == lane).collect();
+        assert!(
+            in_lane.iter().any(|r| r.depth == 0),
+            "lane {lane} has no top-level span"
+        );
+        for r in &in_lane {
+            let end = r.start_us + r.dur_us;
+            if r.depth > 0 {
+                // Some shallower span of this lane contains it.
+                assert!(
+                    in_lane.iter().any(|p| {
+                        p.depth < r.depth
+                            && p.start_us <= r.start_us
+                            && p.start_us + p.dur_us + 1 >= end
+                    }),
+                    "lane {lane}: span {:?} (depth {}) has no enclosing parent",
+                    r.name,
+                    r.depth
+                );
+            }
+            for other in &in_lane {
+                let o_end = other.start_us + other.dur_us;
+                let disjoint = o_end <= r.start_us + 1 || end <= other.start_us + 1;
+                let contains = other.start_us <= r.start_us && end <= o_end + 1;
+                let contained = r.start_us <= other.start_us && o_end <= end + 1;
+                assert!(
+                    disjoint || contains || contained,
+                    "lane {lane}: spans {:?} and {:?} partially overlap",
+                    r.name,
+                    other.name
+                );
+            }
+        }
+    }
+}
+
+/// The Chrome export re-parses with the in-tree JSON parser, carries every
+/// span, and a 4-worker parallel chain interleaves >= 2 thread lanes.
+#[test]
+fn chrome_export_roundtrips_and_par_chain_gets_worker_lanes() {
+    let table = build_table(3000);
+    let stats = TableStats::from_table(&table);
+    let plan = chain_plan(&stats, 8, Some(4));
+    let sink = TraceSink::enabled();
+    let env = ExecEnv::with_memory_blocks(8)
+        .with_worker_threads(4)
+        .with_trace(sink.clone());
+    execute_plan(&plan, &table, &env).expect("traced run");
+
+    let records = sink.records();
+    let doc = Json::parse(&sink.to_chrome_json()).expect("chrome export parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let complete: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .collect();
+    assert_eq!(complete.len(), records.len(), "every span exports");
+    let lanes: std::collections::BTreeSet<u64> = complete
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(|t| t.as_u64()))
+        .collect();
+    assert!(
+        lanes.len() >= 2,
+        "parallel chain must interleave >= 2 lanes, got {}",
+        lanes.len()
+    );
+    // Worker spans live on lanes of their own, away from the driver lane.
+    let driver_lane = complete
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("scan+filter"))
+        .and_then(|e| e.get("tid").and_then(|t| t.as_u64()))
+        .expect("driver step span present");
+    let worker_lanes: std::collections::BTreeSet<u64> = complete
+        .iter()
+        .filter(|e| {
+            e.get("name")
+                .and_then(|n| n.as_str())
+                .is_some_and(|n| n.starts_with("chain_worker") || n.starts_with("sort_worker"))
+        })
+        .filter_map(|e| e.get("tid").and_then(|t| t.as_u64()))
+        .collect();
+    assert!(!worker_lanes.is_empty(), "no worker spans recorded");
+    assert!(
+        !worker_lanes.contains(&driver_lane),
+        "worker spans must not share the driver's lane"
+    );
+    // The folded-stacks emitter agrees on total self time > 0.
+    assert!(sink.to_folded_stacks().lines().all(|l| l
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse::<u64>()
+        .is_ok()));
+}
+
+/// EXPLAIN ANALYZE shape pin: column header, one data row per chain step
+/// (scan included), a total row and the residency footers — for a serial
+/// and a parallel plan.
+#[test]
+fn explain_analyze_shape_is_pinned() {
+    let table = build_table(3000);
+    let stats = TableStats::from_table(&table);
+    for (name, plan, par) in [
+        ("serial", chain_plan(&stats, 8, None), false),
+        ("par", chain_plan(&stats, 8, Some(4)), true),
+    ] {
+        let env = ExecEnv::with_memory_blocks(8).with_worker_threads(2);
+        let (report, text) = explain_analyze(&plan, &table, &env).expect("explain analyze");
+        // The EXPLAIN tree leads.
+        assert!(text.starts_with("input:"), "{name}: {text}");
+        if par {
+            assert!(text.contains("Parallel workers=4"), "{name}: {text}");
+        }
+        // Pinned column set, in order.
+        let header = text
+            .lines()
+            .find(|l| l.starts_with("step"))
+            .unwrap_or_else(|| panic!("{name}: no header in {text}"));
+        let cols: Vec<&str> = header.split_whitespace().collect();
+        assert_eq!(
+            cols,
+            [
+                "step", "wall", "ms", "model", "ms", "Δ", "ms", "rows", "segs", "cmp", "spill",
+                "B", "class"
+            ],
+            "{name}: header drifted"
+        );
+        // One data row per step metric between the two rules, then the
+        // total row.
+        let lines: Vec<&str> = text.lines().collect();
+        let rules: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.starts_with('-') && l.contains("  -"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(rules.len(), 2, "{name}: expected two rule lines\n{text}");
+        assert_eq!(
+            rules[1] - rules[0] - 1,
+            report.step_metrics.len(),
+            "{name}: one row per chain step (scan included)\n{text}"
+        );
+        assert!(
+            lines[rules[1] + 1].starts_with("total"),
+            "{name}: total row follows the closing rule\n{text}"
+        );
+        assert!(text.contains("peak residency:"), "{name}");
+        assert!(text.contains("pool traffic:"), "{name}");
+        if par {
+            assert!(
+                text.contains("worker peaks: ["),
+                "{name}: parallel run must list per-worker peaks\n{text}"
+            );
+            assert!(!report.worker_peak_blocks.is_empty(), "{name}");
+        }
+        // The scan row and every step label render.
+        for m in &report.step_metrics {
+            assert!(
+                text.contains(&m.label),
+                "{name}: missing row for {}",
+                m.label
+            );
+        }
+    }
+}
