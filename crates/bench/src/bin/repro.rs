@@ -36,16 +36,24 @@ fn usage() -> ! {
                      in chrome://tracing or Perfetto) plus PATH.folded\n\
                      flamegraph stacks, self-validated (exit 1 on an\n\
                      invalid trace)\n\
-           regress   fixed workloads → results/BENCH_7.json; exits 1 on a\n\
+           regress   fixed workloads → results/BENCH_8.json; exits 1 on a\n\
                      >2x modeled-cost or peak-residency regression vs\n\
-                     BENCH_7.baseline.json (set WF_REGRESS_MIN_WALL_SPEEDUP\n\
-                     on multi-core hosts to also gate the parallel chain's\n\
-                     wall speedup)\n\
-           all       everything above (except regress and explain)\n\
+                     BENCH_8.baseline.json (set WF_REGRESS_MIN_WALL_SPEEDUP /\n\
+                     WF_REGRESS_MIN_GROUPBY_WALL_SPEEDUP on multi-core hosts\n\
+                     to also gate parallel wall speedups)\n\
+           serve     line-protocol TCP server over a generated web_sales\n\
+                     table (one SQL statement per line; `.stats`,\n\
+                     `.shutdown`)\n\
+           client \"SQL\"...  send statements to a running server; use\n\
+                     `.shutdown` as the last statement to stop it\n\
+           all       everything above (except regress, explain and serve)\n\
          options:\n\
-           --rows N       table size (default 200000; paper ratio-preserving)\n\
+           --rows N       table size (default 200000; paper ratio-preserving;\n\
+                          serve defaults to 8000)\n\
            --analyze      (explain) execute and print measured-vs-modeled\n\
-           --trace PATH   (explain) record spans and write a Chrome trace"
+           --trace PATH   (explain) record spans and write a Chrome trace\n\
+           --port N       (serve/client) TCP port, default 7878\n\
+           --threads N    (serve) connection-handler threads, default 8"
     );
     std::process::exit(2);
 }
@@ -56,10 +64,14 @@ fn main() {
         usage();
     }
     let mut rows = 200_000usize;
+    let mut rows_set = false;
     let mut cmd: Option<String> = None;
     let mut sub: Option<String> = None;
     let mut analyze = false;
     let mut trace: Option<String> = None;
+    let mut port = 7878u16;
+    let mut threads = 8usize;
+    let mut statements: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,14 +81,30 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+                rows_set = true;
             }
             "--analyze" => analyze = true,
             "--trace" => {
                 i += 1;
                 trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--port" => {
+                i += 1;
+                port = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             c if cmd.is_none() => cmd = Some(c.to_string()),
             c if cmd.as_deref() == Some("explain") && sub.is_none() => sub = Some(c.to_string()),
+            c if cmd.as_deref() == Some("client") => statements.push(c.to_string()),
             _ => usage(),
         }
         i += 1;
@@ -108,6 +136,25 @@ fn main() {
             // baseline stays comparable across machines and invocations.
             if !wf_bench::regress::run_regress() {
                 eprintln!("\n(total harness time: {:.1?})", started.elapsed());
+                std::process::exit(1);
+            }
+        }
+        Some("serve") => {
+            let opts = wf_bench::server::ServeOptions {
+                port,
+                rows: if rows_set { rows } else { 8_000 },
+                threads,
+                ..Default::default()
+            };
+            if !wf_bench::server::run_serve(&opts) {
+                std::process::exit(1);
+            }
+        }
+        Some("client") => {
+            if statements.is_empty() {
+                usage();
+            }
+            if !wf_bench::server::run_client(port, &statements) {
                 std::process::exit(1);
             }
         }

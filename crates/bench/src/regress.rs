@@ -2,7 +2,7 @@
 //!
 //! Runs a small, fixed, fully deterministic workload set (row count pinned
 //! regardless of `--rows` so the checked-in baseline stays comparable),
-//! writes `results/BENCH_7.json`, and — when `results/BENCH_7.baseline.json`
+//! writes `results/BENCH_8.json`, and — when `results/BENCH_8.baseline.json`
 //! exists — fails with a non-zero exit if any workload's **modeled cost**
 //! or **peak resident memory** regressed by more than 2× against the
 //! baseline. Modeled cost comes from deterministic counters and peak
@@ -37,7 +37,14 @@
 //!   residency and a ≥ 1.8× modeled plan speedup,
 //! * `groupby_*` — the same hash GROUP BY computed serially and through
 //!   the 4-worker scatter/merge path (identical rows in identical order;
-//!   the wall ratio is the scatter/merge speedup).
+//!   the wall ratio is the scatter/merge speedup, gateable via
+//!   `WF_REGRESS_MIN_GROUPBY_WALL_SPEEDUP` like the chain's wall gate),
+//! * `concurrent_inflight_{1,8,64}` — 64 executions of one statement
+//!   through the served session front end at 1/8/64 in-flight sessions
+//!   (admission-governed, per-query budgets pinned): deterministic columns
+//!   identical across levels by the isolation contract (asserted), pool
+//!   peak asserted ≤ the pool budget, and p50/p99 latency + statements/s
+//!   recorded per level.
 
 use crate::paper_mb_to_blocks;
 use crate::queries;
@@ -94,6 +101,15 @@ pub struct RegressEntry {
     /// deterministic and machine-independent; only set on the parallel
     /// workloads).
     pub par_est_speedup: f64,
+    /// Median per-statement latency (wall ms; only set on the served
+    /// concurrency workloads, informational like all wall numbers).
+    pub p50_ms: f64,
+    /// 99th-percentile per-statement latency (wall ms; concurrency
+    /// workloads only).
+    pub p99_ms: f64,
+    /// Completed statements per second over the level's whole wall time
+    /// (concurrency workloads only).
+    pub qps: f64,
     /// Per-step modeled cost attribution `(label, modeled ms)` of the
     /// workload's chain, scan slot included (empty for the operator-less
     /// microbenches). For `Par` spans the innermost fused slot absorbs the
@@ -124,6 +140,9 @@ fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str
         residency_class: report.weakest_eval_class().label().to_string(),
         par_speedup: 0.0,
         par_est_speedup: 0.0,
+        p50_ms: 0.0,
+        p99_ms: 0.0,
+        qps: 0.0,
         stage_modeled_ms: report
             .step_metrics
             .iter()
@@ -230,6 +249,9 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                 residency_class: "-".to_string(),
                 par_speedup: 0.0,
                 par_est_speedup: 0.0,
+                p50_ms: 0.0,
+                p99_ms: 0.0,
+                qps: 0.0,
                 stage_modeled_ms: vec![],
                 worker_peak_blocks: vec![],
                 metrics: None,
@@ -497,6 +519,9 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                     residency_class: "-".to_string(),
                     par_speedup: 0.0,
                     par_est_speedup: 0.0,
+                    p50_ms: 0.0,
+                    p99_ms: 0.0,
+                    qps: 0.0,
                     stage_modeled_ms: vec![],
                     worker_peak_blocks: env.op_env().store.worker_peak_blocks(),
                     metrics: None,
@@ -575,6 +600,136 @@ pub fn run_workloads() -> Vec<RegressEntry> {
         let plan = optimize(&chain_query, &stats, Scheme::Cso, &env).expect("plan");
         out.push(run_plan(&plan, &table, &env, name));
     }
+
+    // Served-concurrency family: the same statement pushed through the
+    // session front end at 1, 8 and 64 in-flight sessions — always
+    // CONCURRENT_STATEMENTS total executions, so the deterministic columns
+    // (modeled ms, comparisons, I/O: per-statement counters × 64) are
+    // identical across levels and gateable, while p50/p99/qps read out the
+    // queueing behavior. Per-query budget and worker count are pinned, so
+    // a statement's spill decisions cannot see its neighbours; pool peak is
+    // asserted governed in code and recorded as 0 (the wall-timing of
+    // admissions makes the measured peak scheduling-dependent, which must
+    // not arm the baseline peak gate).
+    out.extend(run_concurrency_family());
+    out
+}
+
+/// Pinned size of the served-concurrency workloads.
+pub const CONCURRENT_ROWS: usize = 12_000;
+/// Total statements executed per concurrency level.
+pub const CONCURRENT_STATEMENTS: usize = 64;
+/// In-flight session counts of the concurrency family.
+pub const CONCURRENT_LEVELS: [usize; 3] = [1, 8, 64];
+
+fn run_concurrency_family() -> Vec<RegressEntry> {
+    use std::time::Instant;
+
+    let cfg = WsConfig {
+        rows: CONCURRENT_ROWS,
+        d_item: (CONCURRENT_ROWS as u64 / 20).max(64),
+        d_bill: (CONCURRENT_ROWS as u64 / 10).max(64),
+        ..WsConfig::default()
+    };
+    let table = cfg.generate();
+    let sql = "SELECT *, \
+        rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r, \
+        sum(ws_quantity) OVER (PARTITION BY ws_bill_customer_sk ORDER BY ws_sold_date_sk) AS s \
+        FROM web_sales";
+    const POOL_BLOCKS: u64 = 64;
+
+    let mut out = Vec::new();
+    for &inflight in &CONCURRENT_LEVELS {
+        let db = wfopt::DatabaseConfig::new()
+            .memory_blocks(POOL_BLOCKS)
+            .max_concurrent(4)
+            .per_query_blocks(16)
+            .queue_depth(CONCURRENT_STATEMENTS)
+            .worker_threads(1)
+            .open();
+        db.register("web_sales", table.clone()).expect("register");
+        let per_session = CONCURRENT_STATEMENTS / inflight;
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..inflight)
+            .map(|_| {
+                let session = db.session();
+                std::thread::spawn(move || {
+                    let mut lat = Vec::with_capacity(per_session);
+                    let mut modeled = 0.0f64;
+                    let mut cmp = 0u64;
+                    let mut io = 0u64;
+                    let mut enc = 0u64;
+                    for _ in 0..per_session {
+                        let o = session.execute(sql).expect("concurrency workload");
+                        lat.push(o.wall.as_secs_f64() * 1000.0);
+                        modeled += o.report.modeled_ms;
+                        cmp += o.report.work.comparisons;
+                        io += o.report.work.io_blocks();
+                        enc += o.report.work.key_encodes;
+                    }
+                    (lat, modeled, cmp, io, enc)
+                })
+            })
+            .collect();
+        let mut lats = Vec::with_capacity(CONCURRENT_STATEMENTS);
+        let (mut modeled, mut cmp, mut io, mut enc) = (0.0f64, 0u64, 0u64, 0u64);
+        for h in handles {
+            let (l, m, c, i, k) = h.join().expect("concurrency session");
+            lats.extend(l);
+            modeled += m;
+            cmp += c;
+            io += i;
+            enc += k;
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        lats.sort_by(|a, b| a.total_cmp(b));
+        let p50 = lats[lats.len() / 2];
+        let p99 = lats[(lats.len() * 99 / 100).min(lats.len() - 1)];
+
+        // Governed residency under load — asserted here with the exact pool
+        // budget, not baseline-gated (see the call-site comment).
+        let pool_peak = db.pool_snapshot().peak_resident_blocks();
+        assert!(
+            pool_peak <= POOL_BLOCKS,
+            "served pool peak {pool_peak} blocks exceeds the {POOL_BLOCKS}-block budget \
+             at {inflight} in flight"
+        );
+        let stats = db.admission_stats();
+        assert_eq!(stats.completed, CONCURRENT_STATEMENTS as u64);
+        assert_eq!(stats.rejected, 0, "queue_depth must absorb every arrival");
+
+        out.push(RegressEntry {
+            name: format!("concurrent_inflight_{inflight}"),
+            modeled_ms: modeled,
+            wall_ms,
+            rows_per_sec: 0.0,
+            comparisons: cmp,
+            io_blocks: io,
+            key_encodes: enc,
+            peak_resident_blocks: 0,
+            residency_class: "-".to_string(),
+            par_speedup: 0.0,
+            par_est_speedup: 0.0,
+            p50_ms: p50,
+            p99_ms: p99,
+            qps: CONCURRENT_STATEMENTS as f64 / (wall_ms / 1000.0).max(1e-9),
+            stage_modeled_ms: vec![],
+            worker_peak_blocks: vec![],
+            metrics: None,
+        });
+    }
+    // The bit-identity contract, asserted across the whole family: 64
+    // statements cost exactly the same deterministic work no matter how
+    // many ran at once.
+    for pair in out.windows(2) {
+        assert_eq!(
+            (pair[0].comparisons, pair[0].io_blocks, pair[0].key_encodes),
+            (pair[1].comparisons, pair[1].io_blocks, pair[1].key_encodes),
+            "{} and {} must perform identical deterministic work",
+            pair[0].name,
+            pair[1].name
+        );
+    }
     out
 }
 
@@ -617,10 +772,10 @@ fn chain_query(table: &Table) -> WindowQuery {
     WindowQuery::new(table.schema().clone(), specs)
 }
 
-/// Serialize entries as `BENCH_7.json`.
+/// Serialize entries as `BENCH_8.json`.
 pub fn to_json(entries: &[RegressEntry]) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench7-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench8-v1\",");
     let _ = writeln!(s, "  \"rows\": {REGRESS_ROWS},");
     let _ = writeln!(s, "  \"par_rows\": {PAR_ROWS},");
     s.push_str("  \"entries\": [\n");
@@ -631,7 +786,8 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
              \"rows_per_sec\": {:.0}, \
              \"comparisons\": {}, \"io_blocks\": {}, \"key_encodes\": {}, \
              \"peak_resident_blocks\": {}, \"residency_class\": \"{}\", \
-             \"par_speedup\": {:.2}, \"par_est_speedup\": {:.2}}}",
+             \"par_speedup\": {:.2}, \"par_est_speedup\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"qps\": {:.1}}}",
             e.name,
             e.modeled_ms,
             e.wall_ms,
@@ -642,7 +798,10 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
             e.peak_resident_blocks,
             e.residency_class,
             e.par_speedup,
-            e.par_est_speedup
+            e.par_est_speedup,
+            e.p50_ms,
+            e.p99_ms,
+            e.qps
         );
         if let Some(m) = &e.metrics {
             // Full three-domain snapshot (modeled cost / pool traffic /
@@ -657,7 +816,7 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
 }
 
 /// Extraction of `(name, modeled_ms, peak_resident_blocks)` tuples from a
-/// BENCH_7-shaped JSON file, through the in-tree parser (`wf_common::Json`)
+/// BENCH_8-shaped JSON file, through the in-tree parser (`wf_common::Json`)
 /// — entries may nest freely (the `"exec"` metrics object does). Files
 /// without the peak column parse with peak 0, which disarms only the peak
 /// gate; unparseable files yield no entries (the missing-baseline path).
@@ -686,14 +845,17 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
 /// modeled cost, peak resident blocks, per-worker residency peaks,
 /// residency class, wall throughput and (for `Par` workloads) the
 /// per-stage modeled-cost attribution — emitted into
-/// `results/BENCH_7_summary.md` for the CI step summary.
+/// `results/BENCH_8_summary.md` for the CI step summary.
 pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64, u64)]) -> String {
-    let mut md = String::from("### `repro regress` — BENCH_7 comparison\n\n");
+    let mut md = String::from("### `repro regress` — BENCH_8 comparison\n\n");
     let _ = writeln!(
         md,
-        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | worker peaks | rows/s | ∥ speedup | stage ms |"
+        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | worker peaks | rows/s | p50/p99 ms | qps | ∥ speedup | stage ms |"
     );
-    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---|");
+    let _ = writeln!(
+        md,
+        "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|"
+    );
     for e in entries {
         let base = baseline.iter().find(|(n, _, _)| *n == e.name);
         let (base_ms, base_peak, delta) = match base {
@@ -744,9 +906,19 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
                 .collect::<Vec<_>>()
                 .join("; ")
         };
+        let latency = if e.qps > 0.0 {
+            format!("{:.1}/{:.1}", e.p50_ms, e.p99_ms)
+        } else {
+            "–".to_string()
+        };
+        let qps = if e.qps > 0.0 {
+            format!("{:.0}", e.qps)
+        } else {
+            "–".to_string()
+        };
         let _ = writeln!(
             md,
-            "| `{}` | {} | {:.2} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| `{}` | {} | {:.2} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             e.name,
             e.residency_class,
             e.modeled_ms,
@@ -756,6 +928,8 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
             base_peak,
             peaks,
             rows_s,
+            latency,
+            qps,
             speedup,
             stages
         );
@@ -763,12 +937,14 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
     let _ = writeln!(
         md,
         "\nGate: modeled cost and peak residency must stay within {REGRESS_FACTOR}× of \
-         `results/BENCH_7.baseline.json`. Wall clock (and rows/s) is informational only."
+         `results/BENCH_8.baseline.json`. Wall clock (rows/s, p50/p99, qps) is informational \
+         unless `WF_REGRESS_MIN_WALL_SPEEDUP` / `WF_REGRESS_MIN_GROUPBY_WALL_SPEEDUP` arm the \
+         multi-core wall gates."
     );
     md
 }
 
-/// Run the regression suite: write `results/BENCH_7.json`, print the table
+/// Run the regression suite: write `results/BENCH_8.json`, print the table
 /// and the fast-path headline numbers, compare against the checked-in
 /// baseline. Returns `false` when a >2× modeled-cost or peak-residency
 /// regression was found.
@@ -776,7 +952,7 @@ pub fn run_regress() -> bool {
     let entries = run_workloads();
 
     let mut t = ReportTable::new(
-        "BENCH_7: regression workloads (modeled ms | wall ms | rows/s | comparisons | peak resident)",
+        "BENCH_8: regression workloads (modeled ms | wall ms | rows/s | comparisons | peak resident)",
         &[
             "workload",
             "modeled ms",
@@ -789,6 +965,8 @@ pub fn run_regress() -> bool {
             "worker peaks",
             "class",
             "par speedup",
+            "p50/p99 ms",
+            "qps",
         ],
     );
     for e in &entries {
@@ -823,9 +1001,19 @@ pub fn run_regress() -> bool {
             } else {
                 "-".to_string()
             },
+            if e.qps > 0.0 {
+                format!("{:.1}/{:.1}", e.p50_ms, e.p99_ms)
+            } else {
+                "-".to_string()
+            },
+            if e.qps > 0.0 {
+                format!("{:.0}", e.qps)
+            } else {
+                "-".to_string()
+            },
         ]);
     }
-    t.emit("BENCH_7_table");
+    t.emit("BENCH_8_table");
 
     // Headline: byte-key / radix wall speedup on the sort-dominated
     // workloads, and the vectorized-filter wall speedup.
@@ -874,6 +1062,15 @@ pub fn run_regress() -> bool {
             gb.par_speedup
         );
     }
+    for &level in &CONCURRENT_LEVELS {
+        if let Some(e) = find(&format!("concurrent_inflight_{level}")) {
+            println!(
+                "served concurrency ({level:>2} in flight): p50 {:>6.1} ms, p99 {:>6.1} ms, \
+                 {:>5.0} statements/s",
+                e.p50_ms, e.p99_ms, e.qps
+            );
+        }
+    }
     if let (Some(on), Some(off)) = (
         find("chain_shared_wpk_reuse"),
         find("chain_shared_wpk_noreuse"),
@@ -889,31 +1086,31 @@ pub fn run_regress() -> bool {
 
     let json = to_json(&entries);
     std::fs::create_dir_all("results").ok();
-    if let Err(e) = std::fs::write("results/BENCH_7.json", &json) {
-        eprintln!("(could not write results/BENCH_7.json: {e})");
+    if let Err(e) = std::fs::write("results/BENCH_8.json", &json) {
+        eprintln!("(could not write results/BENCH_8.json: {e})");
     }
     // Markdown comparison for the CI step summary ($GITHUB_STEP_SUMMARY):
     // current vs baseline modeled cost + peak residency + residency class,
     // so bench drift is readable on the PR without downloading artifacts.
-    let baseline_for_md = std::fs::read_to_string("results/BENCH_7.baseline.json")
+    let baseline_for_md = std::fs::read_to_string("results/BENCH_8.baseline.json")
         .map(|raw| parse_baseline(&raw))
         .unwrap_or_default();
     if let Err(e) = std::fs::write(
-        "results/BENCH_7_summary.md",
+        "results/BENCH_8_summary.md",
         step_summary_markdown(&entries, &baseline_for_md),
     ) {
-        eprintln!("(could not write results/BENCH_7_summary.md: {e})");
+        eprintln!("(could not write results/BENCH_8_summary.md: {e})");
     }
 
     // Gate against the checked-in baseline. A missing baseline is fatal in
     // CI (the gate must never silently disarm there) and a friendly skip
     // locally.
-    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_7.baseline.json") else {
+    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_8.baseline.json") else {
         if std::env::var_os("CI").is_some() {
-            println!("\nresults/BENCH_7.baseline.json missing in CI — failing the gate");
+            println!("\nresults/BENCH_8.baseline.json missing in CI — failing the gate");
             return false;
         }
-        println!("\n(no results/BENCH_7.baseline.json — baseline gate skipped)");
+        println!("\n(no results/BENCH_8.baseline.json — baseline gate skipped)");
         return true;
     };
     let baseline = parse_baseline(&baseline_raw);
@@ -924,7 +1121,7 @@ pub fn run_regress() -> bool {
             // baseline must be regenerated in the same change.
             println!(
                 "REGRESSION {name}: baseline entry no longer measured \
-                 (renamed/removed? regenerate results/BENCH_7.baseline.json)"
+                 (renamed/removed? regenerate results/BENCH_8.baseline.json)"
             );
             ok = false;
             continue;
@@ -973,6 +1170,33 @@ pub fn run_regress() -> bool {
             }
         }
     }
+    // Same idea for the parallel GROUP BY scatter/merge path, with its own
+    // threshold: merge overhead caps its speedup below the chain's.
+    if let Some(min) = std::env::var("WF_REGRESS_MIN_GROUPBY_WALL_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        match find("groupby_par") {
+            Some(gb) if gb.par_speedup >= min => {
+                println!(
+                    "groupby wall-speedup gate: OK ({:.2}x >= {min:.2}x on {cores} core(s))",
+                    gb.par_speedup
+                );
+            }
+            Some(gb) => {
+                println!(
+                    "REGRESSION groupby_par: wall speedup {:.2}x below the required \
+                     {min:.2}x ({cores} core(s))",
+                    gb.par_speedup
+                );
+                ok = false;
+            }
+            None => {
+                println!("REGRESSION: groupby wall gate armed but groupby_par not measured");
+                ok = false;
+            }
+        }
+    }
     if ok {
         println!(
             "\nbaseline gate: OK (no workload exceeded {REGRESS_FACTOR}x \
@@ -999,6 +1223,9 @@ mod tests {
             residency_class: class.into(),
             par_speedup: 0.0,
             par_est_speedup: 0.0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+            qps: 0.0,
             stage_modeled_ms: vec![],
             worker_peak_blocks: vec![],
             metrics: None,
@@ -1024,12 +1251,14 @@ mod tests {
         let baseline = vec![("w1".to_string(), 1.0, 8u64)];
         let md = step_summary_markdown(&entries, &baseline);
         assert!(
-            md.contains("| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 | – | 8k | – | – |"),
+            md.contains(
+                "| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 | – | 8k | – | – | – | – |"
+            ),
             "{md}"
         );
         // A workload with no baseline row reads "new", never a bogus delta.
         assert!(
-            md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new | – | 8k | – | – |"),
+            md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new | – | 8k | – | – | – | – |"),
             "{md}"
         );
         // A parallel workload shows wall speedup, per-worker residency
@@ -1043,7 +1272,7 @@ mod tests {
         ];
         let md2 = step_summary_markdown(&[par], &[]);
         assert!(
-            md2.contains("| [3, 5] | 8k | 2.50x | scan+filter 0.50; PAR→r 1.25 |"),
+            md2.contains("| [3, 5] | 8k | – | – | 2.50x | scan+filter 0.50; PAR→r 1.25 |"),
             "{md2}"
         );
     }

@@ -28,6 +28,11 @@ pub enum Error {
     Planning(String),
     /// SQL parse error with a byte offset into the input.
     Parse { offset: usize, message: String },
+    /// The admission governor refused or timed out a query (queue full,
+    /// queue-wait timeout). The shared store is untouched; retrying is safe.
+    Admission(String),
+    /// The query was canceled via its `CancelToken` before it ran.
+    Canceled(String),
 }
 
 impl fmt::Display for Error {
@@ -45,6 +50,8 @@ impl fmt::Display for Error {
             Error::Parse { offset, message } => {
                 write!(f, "parse error at byte {offset}: {message}")
             }
+            Error::Admission(msg) => write!(f, "admission error: {msg}"),
+            Error::Canceled(msg) => write!(f, "query canceled: {msg}"),
         }
     }
 }
@@ -76,6 +83,14 @@ mod tests {
             }
             .to_string(),
             "parse error at byte 3: bad token"
+        );
+        assert_eq!(
+            Error::Admission("queue full".into()).to_string(),
+            "admission error: queue full"
+        );
+        assert_eq!(
+            Error::Canceled("by client".into()).to_string(),
+            "query canceled: by client"
         );
     }
 

@@ -17,9 +17,12 @@
 //!   groups), **PSQL** (PostgreSQL 9.1 naive), plus CSO ablations,
 //! * [`query`] / [`runtime`] — user-facing query description and plan
 //!   execution,
+//! * [`admission`] — cross-query admission control: a governed pool of
+//!   ledger sub-accounts, FIFO queueing, timeout/cancel,
 //! * [`integrated`] — §5's integrated optimization over input-property
 //!   variants and ORDER BY requirements.
 
+pub mod admission;
 pub mod cost;
 pub mod cover;
 pub mod integrated;
@@ -31,6 +34,7 @@ pub mod query;
 pub mod runtime;
 pub mod spec;
 
+pub use admission::{AdmissionConfig, AdmissionPermit, AdmissionStats, CancelToken, QueryGovernor};
 pub use plan::{Plan, PlanStep, ReorderOp};
 pub use planner::{optimize, Scheme};
 pub use props::SegProps;

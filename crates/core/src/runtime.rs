@@ -57,6 +57,20 @@ impl ExecEnv {
         }
     }
 
+    /// Environment running inside a **caller-provided segment store** — the
+    /// serving path: the admission governor budgets each admitted query with
+    /// a pooled sub-account of the shared store, and this constructor turns
+    /// that account into a full execution environment (`M` derived from the
+    /// account's budget, fresh tracker, default toggles).
+    pub fn with_store(store: Arc<wf_storage::SegmentStore>) -> Self {
+        let op_env = OpEnv::with_store(store);
+        ExecEnv {
+            par_workers: op_env.worker_threads.max(1),
+            op_env,
+            weights: CostWeights::default(),
+        }
+    }
+
     /// Same environment with the planner worker budget pinned (shares the
     /// tracker and store).
     pub fn with_par_workers(&self, workers: usize) -> Self {

@@ -78,6 +78,29 @@ impl OpEnv {
         }
     }
 
+    /// Environment executing inside a **caller-provided segment store** —
+    /// the admission path: the governor hands each admitted query a pooled
+    /// sub-account of the shared store, and the whole chain (unit reorder
+    /// memory included) is budgeted by that account. `mem_blocks` is derived
+    /// from the store's budget (unbounded store → a large effective `M`).
+    pub fn with_store(store: Arc<SegmentStore>) -> Self {
+        let mem_blocks = store
+            .budget_bytes()
+            .map(|b| (b / wf_storage::BLOCK_SIZE).max(1) as u64)
+            .unwrap_or(u64::MAX / wf_storage::BLOCK_SIZE as u64);
+        OpEnv {
+            tracker: Arc::new(CostTracker::new()),
+            medium: SpillMedium::Simulated,
+            store,
+            mem_blocks,
+            norm_keys: true,
+            reuse_bounds: true,
+            worker_threads: env_worker_threads(),
+            columnar: true,
+            trace: TraceSink::disabled(),
+        }
+    }
+
     /// Same environment with the given span recorder (see [`OpEnv::trace`]).
     /// The segment store picks it up too, so pool spill-outs land in the
     /// same timeline.

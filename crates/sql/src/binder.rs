@@ -18,15 +18,24 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// The single canonical form of a table name (ASCII-lowercased, like
+    /// unquoted SQL identifiers). Everything that keys tables by name — this
+    /// catalog, `wfopt`'s session table map, statistics maps — goes through
+    /// this one function so a table registered as `WS` is found by `ws` and
+    /// vice versa.
+    pub fn canonical(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
     /// Register (or replace) a table.
     pub fn register(&mut self, name: &str, schema: Schema) {
-        self.tables.insert(name.to_ascii_lowercase(), schema);
+        self.tables.insert(Self::canonical(name), schema);
     }
 
     /// Look up a table's schema.
     pub fn schema(&self, name: &str) -> Result<&Schema> {
         self.tables
-            .get(&name.to_ascii_lowercase())
+            .get(&Self::canonical(name))
             .ok_or_else(|| Error::InvalidQuery(format!("unknown table `{name}`")))
     }
 }

@@ -96,6 +96,13 @@ pub struct SegmentStore {
     medium: SpillMedium,
     pool_io: Arc<PoolCounters>,
     state: Mutex<PoolState>,
+    /// Set only on accounts created by [`SegmentStore::pooled_sub_store`]:
+    /// every charge/release is mirrored up the chain so the root ledger's
+    /// high-water mark tracks the true combined residency of all live
+    /// sub-accounts, while spill *decisions* keep consulting only the local
+    /// budget (never the parent's occupancy) — which is what keeps each
+    /// query's placement and counters deterministic under concurrency.
+    parent: Option<Arc<SegmentStore>>,
     /// Span recorder for pool spill-out events; the shared no-op sink until
     /// [`SegmentStore::set_trace`] swaps it in. Behind its own mutex so the
     /// store stays `Sync` without widening the state lock; it is read once
@@ -111,6 +118,7 @@ impl SegmentStore {
             medium,
             pool_io: Arc::new(PoolCounters::new()),
             state: Mutex::new(PoolState::default()),
+            parent: None,
             trace: Mutex::new(TraceSink::disabled()),
         })
     }
@@ -149,35 +157,56 @@ impl SegmentStore {
     /// so concurrent builders on a shared store can never jointly overshoot
     /// (which would also make the high-water mark timing-dependent).
     fn try_charge(&self, bytes: usize, rows: usize) -> bool {
-        let mut s = self.state.lock().expect("store lock");
-        if let Some(b) = self.budget {
-            if s.used_bytes + bytes > b {
-                return false;
+        {
+            let mut s = self.state.lock().expect("store lock");
+            if let Some(b) = self.budget {
+                if s.used_bytes + bytes > b {
+                    return false;
+                }
             }
+            s.used_bytes += bytes;
+            s.used_rows += rows;
+            s.note_peaks();
         }
-        s.used_bytes += bytes;
-        s.used_rows += rows;
-        s.note_peaks();
+        // The admission decision is strictly local; the parent ledger only
+        // *observes* the residency (see `pooled_sub_store`). The local lock
+        // is dropped first — locks are never held across the chain.
+        if let Some(p) = &self.parent {
+            p.charge(bytes, rows);
+        }
         true
     }
 
     /// Charge residency (unconditional; the caller decided).
     fn charge(&self, bytes: usize, rows: usize) {
-        let mut s = self.state.lock().expect("store lock");
-        s.used_bytes += bytes;
-        s.used_rows += rows;
-        s.note_peaks();
+        {
+            let mut s = self.state.lock().expect("store lock");
+            s.used_bytes += bytes;
+            s.used_rows += rows;
+            s.note_peaks();
+        }
+        if let Some(p) = &self.parent {
+            p.charge(bytes, rows);
+        }
     }
 
     /// Release residency previously charged.
     fn release(&self, bytes: usize, rows: usize) {
-        let mut s = self.state.lock().expect("store lock");
-        s.used_bytes = s.used_bytes.saturating_sub(bytes);
-        s.used_rows = s.used_rows.saturating_sub(rows);
+        {
+            let mut s = self.state.lock().expect("store lock");
+            s.used_bytes = s.used_bytes.saturating_sub(bytes);
+            s.used_rows = s.used_rows.saturating_sub(rows);
+        }
+        if let Some(p) = &self.parent {
+            p.release(bytes, rows);
+        }
     }
 
     fn note_spill(&self) {
         self.state.lock().expect("store lock").spilled_segments += 1;
+        if let Some(p) = &self.parent {
+            p.note_spill();
+        }
     }
 
     /// A per-worker **ledger sub-account** of this store: an independent
@@ -205,6 +234,37 @@ impl SegmentStore {
             medium: self.medium,
             pool_io: Arc::clone(&self.pool_io),
             state: Mutex::new(PoolState::default()),
+            parent: None,
+            trace: Mutex::new(self.trace()),
+        })
+    }
+
+    /// A **pooled** ledger sub-account: like [`SegmentStore::sub_store`] it
+    /// has an independent budget so its spill decisions depend only on its
+    /// own deterministic usage, but unlike a worker sub-account every
+    /// charge/release (and spill event) is *forwarded* up to this store, so
+    /// the shared ledger's residency and high-water mark genuinely track the
+    /// combined live footprint of all concurrent sub-accounts.
+    ///
+    /// This is the cross-**query** flavor of the PR 5 mechanism: the
+    /// admission governor hands each admitted query one pooled sub-account
+    /// budgeted from the global pool, so `Σ per-query budgets ≤ pool` bounds
+    /// global residency to `O(pool + largest unit)` while each query's
+    /// counters stay bit-identical to a solo run under the same per-query
+    /// budget. Do **not** use this for parallel workers *inside* a chain —
+    /// those fold their peaks back via [`SegmentStore::absorb_concurrent`],
+    /// and forwarding would double-count them.
+    ///
+    /// The child's budget follows the requested `budget_blocks` verbatim
+    /// (`None` = unbounded child) — an unbounded *parent* here only means
+    /// the global ledger is purely observational.
+    pub fn pooled_sub_store(self: &Arc<Self>, budget_blocks: Option<u64>) -> Arc<SegmentStore> {
+        Arc::new(SegmentStore {
+            budget: budget_blocks.map(|b| b.max(1) as usize * crate::block::BLOCK_SIZE),
+            medium: self.medium,
+            pool_io: Arc::clone(&self.pool_io),
+            state: Mutex::new(PoolState::default()),
+            parent: Some(Arc::clone(self)),
             trace: Mutex::new(self.trace()),
         })
     }
@@ -924,6 +984,84 @@ mod tests {
         run_phase(60);
         assert!(parent.snapshot().peak_resident_rows > after_one);
         assert_eq!(parent.snapshot().peak_resident_rows, 60);
+    }
+
+    #[test]
+    fn pooled_sub_store_forwards_residency_to_parent() {
+        let pool = SegmentStore::new(Some(64), SpillMedium::Simulated);
+        let a = pool.pooled_sub_store(Some(8));
+        let b = pool.pooled_sub_store(Some(8));
+        let ha = a.admit(rows(30)).unwrap();
+        let hb = b.admit(rows(50)).unwrap();
+        // The shared ledger sees the *combined* live residency…
+        let snap = pool.snapshot();
+        assert_eq!(snap.resident_rows, 80);
+        assert_eq!(
+            snap.resident_bytes,
+            a.snapshot().resident_bytes + b.snapshot().resident_bytes
+        );
+        assert_eq!(snap.peak_resident_rows, 80);
+        drop(ha);
+        drop(hb);
+        // …and every release flows back.
+        let snap = pool.snapshot();
+        assert_eq!(snap.resident_rows, 0);
+        assert_eq!(snap.resident_bytes, 0);
+        assert_eq!(snap.peak_resident_rows, 80);
+    }
+
+    #[test]
+    fn pooled_sub_store_spills_by_local_budget_only() {
+        // A roomy pool must not save a sub-account from its own budget:
+        // spill decisions depend only on the account's deterministic usage,
+        // never on how much of the pool other queries happen to occupy.
+        let pool = SegmentStore::new(Some(10_000), SpillMedium::Simulated);
+        let q = pool.pooled_sub_store(Some(1));
+        let h = q.admit(rows(2000)).unwrap();
+        assert!(h.is_spilled());
+        assert_eq!(q.snapshot().spilled_segments, 1);
+        // The spill event is mirrored into the shared ledger…
+        assert_eq!(pool.snapshot().spilled_segments, 1);
+        // …as is the pool I/O (shared counters, as with worker accounts).
+        assert!(pool.snapshot().spill_blocks_written > 0);
+        // The overflowed prefix's charge was released through to the parent.
+        drop(h);
+        assert_eq!(pool.snapshot().resident_bytes, 0);
+    }
+
+    #[test]
+    fn pooled_sub_store_counters_do_not_depend_on_pool_occupancy() {
+        // The same input through the same per-query budget must place
+        // segments identically whether the pool is empty or mostly occupied
+        // by a neighbor — the bit-identity contract under concurrency.
+        let solo_pool = SegmentStore::new(Some(64), SpillMedium::Simulated);
+        let solo = solo_pool.pooled_sub_store(Some(2));
+        let h1 = solo.admit(rows(400)).unwrap();
+        let solo_snap = solo.snapshot();
+        let solo_spilled = h1.is_spilled();
+        drop(h1);
+
+        let busy_pool = SegmentStore::new(Some(64), SpillMedium::Simulated);
+        let neighbor = busy_pool.pooled_sub_store(Some(60));
+        let _big = neighbor.admit(rows(3000)).unwrap();
+        let q = busy_pool.pooled_sub_store(Some(2));
+        let h2 = q.admit(rows(400)).unwrap();
+        assert_eq!(h2.is_spilled(), solo_spilled);
+        let snap = q.snapshot();
+        assert_eq!(snap.peak_resident_bytes, solo_snap.peak_resident_bytes);
+        assert_eq!(snap.spilled_segments, solo_snap.spilled_segments);
+    }
+
+    #[test]
+    fn pooled_sub_store_hold_reaches_parent_high_water() {
+        let pool = SegmentStore::new(Some(4), SpillMedium::Simulated);
+        let q = pool.pooled_sub_store(Some(2));
+        {
+            let _g = q.hold(3 * BLOCK_SIZE, 90);
+            assert_eq!(pool.snapshot().resident_bytes, 3 * BLOCK_SIZE);
+        }
+        assert_eq!(pool.snapshot().resident_bytes, 0);
+        assert_eq!(pool.snapshot().peak_resident_bytes, 3 * BLOCK_SIZE);
     }
 
     #[test]

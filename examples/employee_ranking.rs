@@ -1,12 +1,11 @@
-//! The paper's Example 1, through the SQL front end: department and global
-//! salary rankings in one statement.
+//! The paper's Example 1, through the served session API: department and
+//! global salary rankings in one statement.
 //!
 //! ```sh
 //! cargo run --example employee_ranking
 //! ```
 
 use wfopt::prelude::*;
-use wfopt::sql::{parse_window_query, Catalog};
 
 fn main() -> Result<()> {
     let schema = Schema::of(&[
@@ -14,7 +13,7 @@ fn main() -> Result<()> {
         ("dept", DataType::Int),
         ("salary", DataType::Int),
     ]);
-    let mut table = Table::new(schema.clone());
+    let mut table = Table::new(schema);
     let data: &[(i64, Option<i64>, Option<i64>)] = &[
         (1, None, None),
         (2, None, Some(84000)),
@@ -31,8 +30,8 @@ fn main() -> Result<()> {
         table.push(Row::new(vec![e.into(), d.into(), s.into()]));
     }
 
-    let mut catalog = Catalog::new();
-    catalog.register("emptab", schema.clone());
+    let db = DatabaseConfig::new().per_query_blocks(64).open();
+    db.register("emptab", table)?;
 
     let sql = "SELECT *, \
                rank() OVER (PARTITION BY dept ORDER BY salary desc nulls last) AS rank_in_dept, \
@@ -41,23 +40,12 @@ fn main() -> Result<()> {
                ORDER BY dept, rank_in_dept";
     println!("{sql}\n");
 
-    let (_, query) = parse_window_query(sql, &catalog)?;
-    let stats = TableStats::from_table(&table);
-    let env = ExecEnv::with_memory_blocks(64);
+    let prepared = db.session().prepare(sql)?;
+    println!("chain: {}\n", prepared.plan().chain_string());
 
-    let plan = optimize(&query, &stats, Scheme::Cso, &env)?;
-    println!("chain: {}\n", plan.chain_string());
-
-    let report = execute_plan(&plan, &table, &env)?;
-    let sorted = wfopt::core::integrated::apply_final_order(
-        report.table,
-        &plan.final_props,
-        query.order_by.as_ref().expect("query has ORDER BY"),
-        &env,
-    )?;
-
+    let outcome = prepared.execute()?;
     println!("EMPNUM  DEPT  SALARY  RANK_IN_DEPT  GLOBALRANK");
-    for row in sorted.rows() {
+    for row in outcome.table.rows() {
         let v = row.values();
         println!(
             "{:>6}  {:>4}  {:>6}  {:>12}  {:>10}",
@@ -68,5 +56,11 @@ fn main() -> Result<()> {
             v[4].to_string()
         );
     }
+    println!(
+        "\nmodeled {:.3} ms, wall {:.3} ms (queued {:.3} ms)",
+        outcome.report.modeled_ms,
+        outcome.wall.as_secs_f64() * 1e3,
+        outcome.queue_wait.as_secs_f64() * 1e3,
+    );
     Ok(())
 }

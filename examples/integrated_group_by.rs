@@ -101,16 +101,26 @@ fn main() -> Result<()> {
         best.final_order
     );
 
-    // Execute the chosen combination end to end.
-    let table = if best.variant == 0 {
-        &by_hash
-    } else {
-        &by_sort
-    };
-    let report = execute_plan(&best.plan, table, &env)?;
+    // Execute the chosen combination end to end, served through a session:
+    // register the winning GROUP BY output and run the window query on it.
+    let table = if best.variant == 0 { by_hash } else { by_sort };
+    let db = DatabaseConfig::new()
+        .scheme(Scheme::Cso)
+        .per_query_blocks(32)
+        .open();
+    db.register("item_summary", table)?;
+    let outcome = db
+        .session()
+        .prepare_query("item_summary", query)?
+        .execute()?;
+    println!(
+        "served chain:   {} ({:.1} modeled ms)",
+        outcome.plan.chain_string(),
+        outcome.report.modeled_ms
+    );
     println!("\ntop items by volume:");
-    let rank_col = report.table.schema().resolve("rank_by_volume")?;
-    let mut rows: Vec<&Row> = report.table.rows().iter().collect();
+    let rank_col = outcome.table.schema().resolve("rank_by_volume")?;
+    let mut rows: Vec<&Row> = outcome.table.rows().iter().collect();
     rows.sort_by_key(|r| r.get(rank_col).as_int().unwrap_or(i64::MAX));
     for row in rows.iter().take(5) {
         println!("{row}");

@@ -1,14 +1,14 @@
-//! Parallel window evaluation (paper §3.5): hash-partition on the window
-//! partition key and evaluate each data partition on its own thread.
+//! Parallel window evaluation (paper §3.5) through the session API: the
+//! same statement against two databases, one pinned serial and one pinned
+//! to 4 worker threads — the planner emits a `Par{..}` reorder under the
+//! parallel config, and rows are bit-identical either way.
 //!
 //! ```sh
 //! cargo run --release --example parallel_windows
 //! ```
 
-use std::time::Instant;
+use std::time::Duration;
 use wfopt::datagen::{WsColumn, WsConfig};
-use wfopt::exec::window::WindowFunction;
-use wfopt::exec::{drain, evaluate_window, full_sort, ParallelOp, SegmentedRows, TableScan};
 use wfopt::prelude::*;
 
 fn main() -> Result<()> {
@@ -18,56 +18,38 @@ fn main() -> Result<()> {
         ..WsConfig::default()
     };
     let table = cfg.generate();
-    let wpk = AttrSet::from_iter([WsColumn::Item.attr()]);
-    let wok = SortSpec::new(vec![OrdElem::asc(WsColumn::SoldTime.attr())]);
-    let sort_key = SortSpec::new(vec![
-        OrdElem::asc(WsColumn::Item.attr()),
-        OrdElem::asc(WsColumn::SoldTime.attr()),
-    ]);
+    let sql = "SELECT *, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r \
+               FROM web_sales";
 
-    let chain = |input: SegmentedRows, env: &wfopt::exec::OpEnv| -> Result<SegmentedRows> {
-        let sorted = full_sort(input, &sort_key, env)?;
-        evaluate_window(sorted, &wpk, &wok, &WindowFunction::Rank, None, env)
+    let run = |workers: usize| -> Result<(Table, String, Duration)> {
+        let db = DatabaseConfig::new()
+            .per_query_blocks(64)
+            .worker_threads(workers)
+            .open();
+        db.register("web_sales", table.clone())?;
+        let outcome = db.session().execute(sql)?;
+        Ok((
+            outcome.table,
+            outcome.plan.chain_string(),
+            outcome.report.wall,
+        ))
     };
 
-    // Sequential.
-    let env_seq = ExecEnv::with_memory_blocks(256);
-    let t0 = Instant::now();
-    let seq = chain(
-        SegmentedRows::single_segment(table.rows().to_vec()),
-        env_seq.op_env(),
-    )?;
-    let seq_wall = t0.elapsed();
+    let (seq, seq_chain, seq_wall) = run(1)?;
+    let (par, par_chain, par_wall) = run(4)?;
 
-    // Parallel over 4 workers — expressed as a pipeline stage: TableScan
-    // feeds the ParallelOp, which scatters, runs the per-worker chains
-    // (each against the ledger sub-account it is handed), and re-emits
-    // segments.
-    let env_par = ExecEnv::with_memory_blocks(64);
-    let t1 = Instant::now();
-    let mut par_op = ParallelOp::new(
-        TableScan::new(&table, env_par.op_env().clone()),
-        wpk.clone(),
-        4,
-        env_par.op_env().clone(),
-        |_, part, worker_env| chain(part, worker_env),
-    );
-    let par = drain(&mut par_op)?;
-    let par_wall = t1.elapsed();
-
-    assert_eq!(seq.len(), par.len());
     println!("rows: {}", table.row_count());
-    println!("sequential: {seq_wall:?}");
+    println!("serial chain:      {seq_chain}  ({seq_wall:?})");
     println!(
-        "parallel(4): {par_wall:?}  ({:.2}x)",
+        "parallel(4) chain: {par_chain}  ({par_wall:?}, {:.2}x)",
         seq_wall.as_secs_f64() / par_wall.as_secs_f64()
     );
 
     // Verify identical ranks by order number.
     let order_attr = WsColumn::OrderNumber.attr();
     let rank_attr = AttrId::new(table.schema().len());
-    let collect = |s: &SegmentedRows| {
-        let mut v: Vec<(i64, i64)> = s
+    let collect = |t: &Table| {
+        let mut v: Vec<(i64, i64)> = t
             .rows()
             .iter()
             .map(|r| {
@@ -81,6 +63,6 @@ fn main() -> Result<()> {
         v
     };
     assert_eq!(collect(&seq), collect(&par));
-    println!("results identical across sequential and parallel execution");
+    println!("results identical across serial and parallel execution");
     Ok(())
 }

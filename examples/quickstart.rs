@@ -1,5 +1,5 @@
-//! Quickstart: build a table, declare window functions, optimize with the
-//! cover-set scheme and execute.
+//! Quickstart: build a table, declare window functions with the builder,
+//! and run them through a served database session.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -44,24 +44,27 @@ fn main() -> Result<()> {
         )
         .build()?;
 
-    let stats = TableStats::from_table(&table);
-    let env = ExecEnv::with_memory_blocks(64);
-    let plan = optimize(&query, &stats, Scheme::Cso, &env)?;
+    let db = DatabaseConfig::new().per_query_blocks(64).open();
+    db.register("sales", table)?;
 
-    println!("plan ({}): {}", plan.scheme, plan.chain_string());
-    println!("{}\n", plan.explain(&schema));
+    let prepared = db.session().prepare_query("sales", query)?;
+    println!(
+        "plan ({}): {}",
+        prepared.plan().scheme,
+        prepared.plan().chain_string()
+    );
+    println!("{}\n", prepared.plan().explain(&schema));
 
-    let report = execute_plan(&plan, &table, &env)?;
-    let out = &report.table;
-    println!("{}", out.schema());
-    for row in out.rows() {
+    let outcome = prepared.execute()?;
+    println!("{}", outcome.table.schema());
+    for row in outcome.table.rows() {
         println!("{row}");
     }
     println!(
         "\nwork: {} block I/Os, {} comparisons, modeled {:.3} ms",
-        report.work.io_blocks(),
-        report.work.comparisons,
-        report.modeled_ms
+        outcome.report.work.io_blocks(),
+        outcome.report.work.comparisons,
+        outcome.report.modeled_ms
     );
     Ok(())
 }

@@ -1,6 +1,7 @@
 //! Retail analytics over a TPC-DS-shaped `web_sales` table: five window
 //! functions (the paper's Q7 workload), compared across all four
-//! optimization schemes at a small sort-memory budget.
+//! optimization schemes at a small per-query memory budget — each scheme
+//! served by its own database.
 //!
 //! ```sh
 //! cargo run --release --example retail_analytics
@@ -52,8 +53,8 @@ fn main() -> Result<()> {
         )
         .build()?;
 
-    let stats = TableStats::from_table(&table);
-    // ~4 MB of sort memory against a ~9 MB table: the small-M regime.
+    // ~4 MB of per-query sort memory against a ~9 MB table: the small-M
+    // regime.
     let mem_blocks = 16;
 
     println!(
@@ -62,19 +63,25 @@ fn main() -> Result<()> {
     );
     let mut baseline = 0.0;
     for scheme in [Scheme::Bfo, Scheme::Cso, Scheme::Orcl, Scheme::Psql] {
-        let env = ExecEnv::with_memory_blocks(mem_blocks);
-        let plan = optimize(&query, &stats, scheme, &env)?;
-        let report = execute_plan(&plan, &table, &env)?;
+        let db = DatabaseConfig::new()
+            .scheme(scheme)
+            .per_query_blocks(mem_blocks)
+            .open();
+        db.register("web_sales", table.clone())?;
+        let outcome = db
+            .session()
+            .prepare_query("web_sales", query.clone())?
+            .execute()?;
         if scheme == Scheme::Bfo {
-            baseline = report.modeled_ms;
+            baseline = outcome.report.modeled_ms;
         }
         println!(
             "{:<8} {:<55} {:>10} {:>9.1} ({:.2}x)",
             scheme.name(),
-            plan.chain_string(),
-            plan.reorder_count(),
-            report.modeled_ms,
-            report.modeled_ms / baseline
+            outcome.plan.chain_string(),
+            outcome.plan.reorder_count(),
+            outcome.report.modeled_ms,
+            outcome.report.modeled_ms / baseline
         );
     }
     println!(

@@ -1,12 +1,12 @@
 //! The SQL front end with frames and the full function library: moving
-//! averages, running totals, ntile buckets and value references.
+//! averages, running totals, ntile buckets and value references — prepared
+//! and executed through a database session.
 //!
 //! ```sh
 //! cargo run --example sql_frontend
 //! ```
 
 use wfopt::prelude::*;
-use wfopt::sql::{parse_window_query, Catalog};
 
 fn main() -> Result<()> {
     let schema = Schema::of(&[
@@ -14,7 +14,7 @@ fn main() -> Result<()> {
         ("store", DataType::Str),
         ("revenue", DataType::Int),
     ]);
-    let mut table = Table::new(schema.clone());
+    let mut table = Table::new(schema);
     let revenue = [310, 295, 340, 280, 365, 390, 355, 320, 410, 375];
     for (i, r) in revenue.iter().enumerate() {
         let store = if i % 2 == 0 { "downtown" } else { "airport" };
@@ -25,8 +25,8 @@ fn main() -> Result<()> {
         ]));
     }
 
-    let mut catalog = Catalog::new();
-    catalog.register("daily_sales", schema);
+    let db = DatabaseConfig::new().per_query_blocks(64).open();
+    db.register("daily_sales", table)?;
 
     let sql = "SELECT *, \
         sum(revenue) OVER (PARTITION BY store ORDER BY day) AS running_total, \
@@ -37,16 +37,16 @@ fn main() -> Result<()> {
         max(revenue) OVER (PARTITION BY store) AS store_best \
         FROM daily_sales";
 
-    let (tname, query) = parse_window_query(sql, &catalog)?;
-    println!("table: {tname}, {} window functions\n", query.specs.len());
+    let prepared = db.session().prepare(sql)?;
+    println!(
+        "table: {}, {} window functions\n",
+        prepared.table_name(),
+        prepared.window_query().specs.len()
+    );
+    println!("EXPLAIN:\n{}\n", prepared.explain()?);
 
-    let stats = TableStats::from_table(&table);
-    let env = ExecEnv::with_memory_blocks(64);
-    let plan = optimize(&query, &stats, Scheme::Cso, &env)?;
-    println!("EXPLAIN:\n{}\n", plan.explain(table.schema()));
-
-    let report = execute_plan(&plan, &table, &env)?;
-    let out = &report.table;
+    let outcome = prepared.execute()?;
+    let out = &outcome.table;
     let names: Vec<&str> = out
         .schema()
         .fields()

@@ -86,5 +86,21 @@ fn main() -> Result<()> {
         store.spill_blocks_written + store.spill_blocks_read,
     );
     assert_eq!(rows_seen, table.row_count());
+
+    // The same computation as one served statement: the session API drives
+    // an identical chain, with admission and residency governed for us.
+    let db = DatabaseConfig::new().per_query_blocks(64).open();
+    db.register("web_sales", table)?;
+    let outcome = db.session().execute(
+        "SELECT *, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r \
+         FROM web_sales",
+    )?;
+    println!(
+        "\nserved:        {} rows via `{}` ({:.1} modeled ms, wall {:.1} ms)",
+        outcome.table.row_count(),
+        outcome.plan.chain_string(),
+        outcome.report.modeled_ms,
+        outcome.wall.as_secs_f64() * 1e3,
+    );
     Ok(())
 }

@@ -1,139 +1,13 @@
-//! A small embedded-database façade: register tables, run window-function
-//! SQL, get tables back. Ties the whole pipeline together — parse → bind →
-//! optimize (any scheme) → execute → final ORDER BY → projection.
+//! Legacy location of the embedded-database façade.
+//!
+//! The implementation moved to [`crate::session`]: [`Database`] is now a
+//! `Clone + Send + Sync` handle opened from a
+//! [`DatabaseConfig`](crate::session::DatabaseConfig), queries run through
+//! [`Session`](crate::session::Session)s under admission control, and
+//! `query_detailed` returns a named
+//! [`QueryOutcome`](crate::session::QueryOutcome) instead of a 3-tuple.
+//! This module re-exports the type so `wfopt::db::Database` and
+//! `wfopt::Database` keep working; see the session module's docs for the
+//! migration table.
 
-use wf_common::{Error, Result, Schema, SortSpec};
-use wf_core::cost::TableStats;
-use wf_core::integrated::apply_final_order;
-use wf_core::plan::Plan;
-use wf_core::planner::{optimize, Scheme};
-use wf_core::runtime::{execute_plan, project, ExecEnv, ExecReport};
-use wf_sql::{parse_window_query, Catalog};
-use wf_storage::Table;
-
-/// An in-memory database of named tables with a window-query SQL interface.
-///
-/// ```
-/// use wfopt::prelude::*;
-/// use wfopt::Database;
-///
-/// let mut db = Database::new();
-/// let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]);
-/// let mut t = Table::new(schema);
-/// for (g, v) in [(1, 10), (1, 30), (2, 20)] {
-///     t.push(Row::new(vec![g.into(), v.into()]));
-/// }
-/// db.register("t", t).unwrap();
-///
-/// let out = db
-///     .query("SELECT *, rank() OVER (PARTITION BY g ORDER BY v DESC) AS r FROM t")
-///     .unwrap();
-/// assert_eq!(out.schema().len(), 3);
-/// assert_eq!(out.row_count(), 3);
-/// ```
-pub struct Database {
-    catalog: Catalog,
-    tables: std::collections::HashMap<String, Table>,
-    stats: std::collections::HashMap<String, TableStats>,
-    scheme: Scheme,
-    mem_blocks: u64,
-}
-
-impl Default for Database {
-    fn default() -> Self {
-        Database {
-            catalog: Catalog::new(),
-            tables: std::collections::HashMap::new(),
-            stats: std::collections::HashMap::new(),
-            scheme: Scheme::Cso,
-            mem_blocks: 256,
-        }
-    }
-}
-
-impl Database {
-    /// Empty database (CSO planning, 256 blocks of sort memory).
-    pub fn new() -> Self {
-        Database::default()
-    }
-
-    /// Change the optimization scheme (e.g. to compare against PSQL).
-    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
-        self.scheme = scheme;
-        self
-    }
-
-    /// Change the unit reorder memory (the paper's `M`, in blocks).
-    pub fn with_memory_blocks(mut self, blocks: u64) -> Self {
-        self.mem_blocks = blocks;
-        self
-    }
-
-    /// Register a table; statistics are computed eagerly.
-    pub fn register(&mut self, name: &str, table: Table) -> Result<()> {
-        self.catalog.register(name, table.schema().clone());
-        self.stats
-            .insert(name.to_ascii_lowercase(), TableStats::from_table(&table));
-        self.tables.insert(name.to_ascii_lowercase(), table);
-        Ok(())
-    }
-
-    /// Look up a registered table.
-    pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables
-            .get(&name.to_ascii_lowercase())
-            .ok_or_else(|| Error::InvalidQuery(format!("unknown table `{name}`")))
-    }
-
-    /// Table schema by name.
-    pub fn schema(&self, name: &str) -> Result<&Schema> {
-        self.table(name).map(Table::schema)
-    }
-
-    /// Run a window query end to end; returns the result table.
-    pub fn query(&self, sql: &str) -> Result<Table> {
-        self.query_detailed(sql).map(|(t, _, _)| t)
-    }
-
-    /// Run a window query, returning the result, the plan and the
-    /// execution report (for EXPLAIN ANALYZE-style inspection).
-    pub fn query_detailed(&self, sql: &str) -> Result<(Table, Plan, ExecReport)> {
-        let (table_name, query) = parse_window_query(sql, &self.catalog)?;
-        let table = self.table(&table_name)?;
-        let stats = self
-            .stats
-            .get(&table_name.to_ascii_lowercase())
-            .ok_or_else(|| Error::InvalidQuery(format!("no statistics for `{table_name}`")))?;
-        let env = ExecEnv::with_memory_blocks(self.mem_blocks);
-        let plan = optimize(&query, stats, self.scheme, &env)?;
-        let report = execute_plan(&plan, table, &env)?;
-
-        let order = query.order_by.clone().unwrap_or_else(SortSpec::empty);
-        let mut out = report.table.clone();
-        if !order.is_empty() {
-            out = apply_final_order(out, &plan.final_props, &order, &env)?;
-        }
-        if let Some(projection) = &query.projection {
-            out = project(out, projection)?;
-        }
-        Ok((out, plan, report))
-    }
-
-    /// The plan a query would run, without executing it (EXPLAIN).
-    pub fn explain(&self, sql: &str) -> Result<String> {
-        let (table_name, query) = parse_window_query(sql, &self.catalog)?;
-        let stats = self
-            .stats
-            .get(&table_name.to_ascii_lowercase())
-            .ok_or_else(|| Error::InvalidQuery(format!("no statistics for `{table_name}`")))?;
-        let env = ExecEnv::with_memory_blocks(self.mem_blocks);
-        let plan = optimize(&query, stats, self.scheme, &env)?;
-        Ok(format!(
-            "{} [{}; est {:.1} ms]\n{}",
-            plan.chain_string(),
-            plan.scheme,
-            plan.est_cost.ms(&env.weights()),
-            plan.explain(self.schema(&table_name)?)
-        ))
-    }
-}
+pub use crate::session::Database;

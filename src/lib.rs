@@ -42,7 +42,9 @@
 //! ```
 
 pub mod db;
+pub mod session;
 pub use db::Database;
+pub use session::{DatabaseConfig, PreparedQuery, QueryOutcome, Session};
 
 pub use wf_common as common;
 pub use wf_core as core;
@@ -66,4 +68,7 @@ pub mod prelude {
     };
     pub use wf_core::spec::{WindowFunction, WindowSpec};
     pub use wf_storage::table::Table;
+
+    pub use crate::session::{Database, DatabaseConfig, PreparedQuery, QueryOutcome, Session};
+    pub use wf_core::admission::{AdmissionConfig, AdmissionStats, CancelToken, QueryGovernor};
 }

@@ -1,10 +1,10 @@
-//! The embedded `Database` façade: SQL in, tables out, with projections,
-//! named windows, final ORDER BY and scheme selection.
+//! The embedded `Database` façade through the session API: SQL in, tables
+//! out, with projections, named windows, final ORDER BY, scheme selection
+//! and the full [`QueryOutcome`] surface.
 
 use wfopt::prelude::*;
-use wfopt::Database;
 
-fn sales_db() -> Database {
+fn sales_table() -> Table {
     let schema = Schema::of(&[
         ("store", DataType::Str),
         ("day", DataType::Int),
@@ -22,9 +22,17 @@ fn sales_db() -> Database {
     for (s, d, r) in data {
         t.push(Row::new(vec![s.into(), d.into(), r.into()]));
     }
-    let mut db = Database::new();
-    db.register("sales", t).unwrap();
+    t
+}
+
+fn sales_db_with(cfg: DatabaseConfig) -> Database {
+    let db = cfg.open();
+    db.register("sales", sales_table()).unwrap();
     db
+}
+
+fn sales_db() -> Database {
+    sales_db_with(DatabaseConfig::new())
 }
 
 #[test]
@@ -121,8 +129,12 @@ fn explain_shows_chain() {
 fn schemes_configurable_and_equivalent() {
     let sql = "SELECT *, rank() OVER (PARTITION BY store ORDER BY revenue) AS r FROM sales \
                ORDER BY store, day";
-    let cso = sales_db().with_scheme(Scheme::Cso).query(sql).unwrap();
-    let psql = sales_db().with_scheme(Scheme::Psql).query(sql).unwrap();
+    let cso = sales_db_with(DatabaseConfig::new().scheme(Scheme::Cso))
+        .query(sql)
+        .unwrap();
+    let psql = sales_db_with(DatabaseConfig::new().scheme(Scheme::Psql))
+        .query(sql)
+        .unwrap();
     assert_eq!(
         cso.rows(),
         psql.rows(),
@@ -164,8 +176,9 @@ fn errors_are_reported() {
 
 #[test]
 fn tiny_memory_database_still_correct() {
-    let db = sales_db().with_memory_blocks(1);
-    // Memory of one block: the ledger floor still allows execution.
+    // A per-query budget of one block: the ledger floor still allows
+    // execution.
+    let db = sales_db_with(DatabaseConfig::new().per_query_blocks(1));
     let out = db
         .query("SELECT *, rank() OVER (ORDER BY revenue) AS r FROM sales")
         .unwrap();
@@ -178,4 +191,67 @@ fn tiny_memory_database_still_correct() {
     let mut sorted = ranks.clone();
     sorted.sort_unstable();
     assert_eq!(sorted, vec![1, 2, 3, 4, 5, 6]);
+}
+
+#[test]
+fn query_detailed_returns_named_outcome() {
+    let db = sales_db();
+    let outcome = db
+        .query_detailed(
+            "SELECT *, rank() OVER (PARTITION BY store ORDER BY revenue) AS r FROM sales",
+        )
+        .unwrap();
+    assert_eq!(outcome.table.row_count(), 6);
+    assert!(!outcome.plan.steps.is_empty());
+    assert_eq!(outcome.report.table.row_count(), 6);
+    assert!(outcome.explain.contains("model ms"), "{}", outcome.explain);
+    assert!(outcome.wall >= outcome.report.wall);
+    assert_eq!(outcome.queue_wait.as_nanos(), 0, "uncontended database");
+    assert_eq!(outcome.admission.admitted, 1);
+    assert!(outcome.trace.is_none(), "tracing is opt-in per session");
+}
+
+#[test]
+fn prepared_query_is_reusable() {
+    let db = sales_db();
+    let prepared = db
+        .session()
+        .prepare("SELECT *, rank() OVER (ORDER BY revenue) AS r FROM sales")
+        .unwrap();
+    assert_eq!(prepared.table_name(), "sales");
+    let first = prepared.execute().unwrap();
+    let second = prepared.execute().unwrap();
+    assert_eq!(first.table.rows(), second.table.rows());
+    assert_eq!(
+        first.report.work, second.report.work,
+        "modeled counters identical run to run"
+    );
+    assert_eq!(db.admission_stats().admitted, 2);
+    assert_eq!(db.admission_stats().completed, 2);
+}
+
+#[test]
+fn register_is_case_insensitive_like_the_catalog() {
+    let db = DatabaseConfig::new().open();
+    db.register("Sales", sales_table()).unwrap();
+    assert!(db.table("SALES").is_ok());
+    assert!(db.schema("sales").is_ok());
+    let out = db
+        .query("SELECT *, rank() OVER (ORDER BY revenue) AS r FROM SaLeS")
+        .unwrap();
+    assert_eq!(out.row_count(), 6);
+}
+
+#[test]
+fn deprecated_builder_shims_still_compile_and_run() {
+    #![allow(deprecated)]
+    let db = Database::new()
+        .with_scheme(Scheme::Psql)
+        .with_memory_blocks(8);
+    db.register("sales", sales_table()).unwrap();
+    assert_eq!(db.config().resolved_per_query_blocks(), 8);
+    let out = db
+        .query("SELECT *, rank() OVER (ORDER BY revenue) AS r FROM sales")
+        .unwrap();
+    assert_eq!(out.row_count(), 6);
 }

@@ -72,7 +72,7 @@ fn default_frame_with_order_by_is_range_up_to_current_row() {
 /// total; with ORDER BY the running sum includes peers of the current row.
 #[test]
 fn sql_default_frames_match_sql_semantics() {
-    let mut db = Database::new();
+    let db = Database::new();
     let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]);
     let mut t = Table::new(schema);
     for (g, v) in [(1, 10), (1, 20), (1, 20), (1, 50), (2, 7)] {
@@ -406,7 +406,7 @@ fn nulls_last_running_aggregates_skip_nulls_but_count_star_does_not() {
 
 #[test]
 fn nulls_first_descending_rank_via_sql() {
-    let mut db = Database::new();
+    let db = Database::new();
     let schema = Schema::of(&[("id", DataType::Int), ("v", DataType::Int)]);
     let mut t = Table::new(schema);
     t.push(Row::new(vec![1.into(), 5.into()]));
@@ -603,7 +603,7 @@ fn negative_frame_offsets_are_rejected() {
         }
     }
 
-    let mut db = Database::new();
+    let db = Database::new();
     let schema = Schema::of(&[("v", DataType::Int)]);
     let mut t = Table::new(schema);
     t.push(Row::new(vec![1.into()]));

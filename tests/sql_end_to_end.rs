@@ -1,24 +1,20 @@
-//! SQL front end → planner → executor → ORDER BY, end to end.
+//! SQL front end → planner → executor → ORDER BY, end to end — through the
+//! session API: every statement runs via `Session::prepare` → `execute`.
 
 mod common;
 
 use common::{column_by_key, random_table, reference_rank};
-use wfopt::core::integrated::apply_final_order;
 use wfopt::prelude::*;
-use wfopt::sql::{parse_window_query, Catalog};
 
 fn run_sql(sql: &str, table: &Table, scheme: Scheme, mem: u64) -> (Table, WindowQuery) {
-    let mut catalog = Catalog::new();
-    catalog.register("t", table.schema().clone());
-    let (_, query) = parse_window_query(sql, &catalog).expect("parse+bind");
-    let stats = TableStats::from_table(table);
-    let env = ExecEnv::with_memory_blocks(mem);
-    let plan = optimize(&query, &stats, scheme, &env).expect("plan");
-    let report = execute_plan(&plan, table, &env).expect("execute");
-    let out = match &query.order_by {
-        Some(order) => apply_final_order(report.table, &plan.final_props, order, &env).unwrap(),
-        None => report.table,
-    };
+    let db = DatabaseConfig::new()
+        .scheme(scheme)
+        .per_query_blocks(mem)
+        .open();
+    db.register("t", table.clone()).unwrap();
+    let prepared = db.session().prepare(sql).expect("parse+bind+plan");
+    let query = prepared.window_query().clone();
+    let out = prepared.execute().expect("execute").table;
     (out, query)
 }
 
@@ -114,19 +110,14 @@ fn aggregates_and_frames_via_sql() {
     for (g, v) in [(1, 10), (1, 20), (1, 30), (2, 5), (2, 15)] {
         table.push(Row::new(vec![g.into(), v.into()]));
     }
-    let mut catalog = Catalog::new();
-    catalog.register("t", table.schema().clone());
-    let (_, query) = parse_window_query(
+    let (out, _) = run_sql(
         "SELECT *, sum(v) OVER (PARTITION BY g ORDER BY v) AS rsum, \
          avg(v) OVER (PARTITION BY g ORDER BY v ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) \
          AS mavg FROM t",
-        &catalog,
-    )
-    .unwrap();
-    let stats = TableStats::from_table(&table);
-    let env = ExecEnv::with_memory_blocks(8);
-    let plan = optimize(&query, &stats, Scheme::Cso, &env).unwrap();
-    let out = execute_plan(&plan, &table, &env).unwrap().table;
+        &table,
+        Scheme::Cso,
+        8,
+    );
 
     // Collect by (g, v) since ids are absent here.
     let mut by_gv = std::collections::HashMap::new();
