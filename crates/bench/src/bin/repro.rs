@@ -36,9 +36,9 @@ fn usage() -> ! {
                      in chrome://tracing or Perfetto) plus PATH.folded\n\
                      flamegraph stacks, self-validated (exit 1 on an\n\
                      invalid trace)\n\
-           regress   fixed workloads → results/BENCH_8.json; exits 1 on a\n\
+           regress   fixed workloads → results/BENCH_9.json; exits 1 on a\n\
                      >2x modeled-cost or peak-residency regression vs\n\
-                     BENCH_8.baseline.json (set WF_REGRESS_MIN_WALL_SPEEDUP /\n\
+                     BENCH_9.baseline.json (set WF_REGRESS_MIN_WALL_SPEEDUP /\n\
                      WF_REGRESS_MIN_GROUPBY_WALL_SPEEDUP on multi-core hosts\n\
                      to also gate parallel wall speedups)\n\
            serve     line-protocol TCP server over a generated web_sales\n\

@@ -2,7 +2,7 @@
 //!
 //! Runs a small, fixed, fully deterministic workload set (row count pinned
 //! regardless of `--rows` so the checked-in baseline stays comparable),
-//! writes `results/BENCH_8.json`, and — when `results/BENCH_8.baseline.json`
+//! writes `results/BENCH_9.json`, and — when `results/BENCH_9.baseline.json`
 //! exists — fails with a non-zero exit if any workload's **modeled cost**
 //! or **peak resident memory** regressed by more than 2× against the
 //! baseline. Modeled cost comes from deterministic counters and peak
@@ -39,6 +39,13 @@
 //!   the 4-worker scatter/merge path (identical rows in identical order;
 //!   the wall ratio is the scatter/merge speedup, gateable via
 //!   `WF_REGRESS_MIN_GROUPBY_WALL_SPEEDUP` like the chain's wall gate),
+//! * `spill_file` / `spill_objectstore` / `spill_objectstore_prefetch` —
+//!   the spill-heavy fig3 FS sort run against each storage backend with
+//!   knobs pinned in code (compression on; the object-store rows add
+//!   modeled request latency): deterministic counters asserted identical
+//!   across the three rows, wall read per backend, and the prefetch row
+//!   records — and gates at ≥ 1.3× — the read-ahead speedup over cold
+//!   reads on the latency-knobbed store,
 //! * `concurrent_inflight_{1,8,64}` — 64 executions of one statement
 //!   through the served session front end at 1/8/64 in-flight sessions
 //!   (admission-governed, per-query budgets pinned): deterministic columns
@@ -58,7 +65,7 @@ use wf_core::query::WindowQuery;
 use wf_core::runtime::{execute_plan, ExecEnv};
 use wf_core::spec::WindowSpec;
 use wf_datagen::WsConfig;
-use wf_storage::Table;
+use wf_storage::{ObjectStoreConfig, SpillConfig, Table};
 
 /// Pinned size of the regression workloads (see module docs).
 pub const REGRESS_ROWS: usize = 40_000;
@@ -101,6 +108,13 @@ pub struct RegressEntry {
     /// deterministic and machine-independent; only set on the parallel
     /// workloads).
     pub par_est_speedup: f64,
+    /// Wall-clock speedup of read-ahead over cold synchronous reads on the
+    /// same latency-knobbed spill backend (only set on the
+    /// `spill_objectstore_prefetch` workload; 0 = not applicable). Unlike
+    /// the other wall columns this one is latency-driven, not core-driven —
+    /// prefetch workers overlap modeled network sleeps, so the speedup
+    /// reproduces on a single-core host and is asserted ≥ 1.3×.
+    pub prefetch_speedup: f64,
     /// Median per-statement latency (wall ms; only set on the served
     /// concurrency workloads, informational like all wall numbers).
     pub p50_ms: f64,
@@ -140,6 +154,7 @@ fn run_plan(plan: &wf_core::plan::Plan, table: &Table, env: &ExecEnv, name: &str
         residency_class: report.weakest_eval_class().label().to_string(),
         par_speedup: 0.0,
         par_est_speedup: 0.0,
+        prefetch_speedup: 0.0,
         p50_ms: 0.0,
         p99_ms: 0.0,
         qps: 0.0,
@@ -249,6 +264,7 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                 residency_class: "-".to_string(),
                 par_speedup: 0.0,
                 par_est_speedup: 0.0,
+                prefetch_speedup: 0.0,
                 p50_ms: 0.0,
                 p99_ms: 0.0,
                 qps: 0.0,
@@ -519,6 +535,7 @@ pub fn run_workloads() -> Vec<RegressEntry> {
                     residency_class: "-".to_string(),
                     par_speedup: 0.0,
                     par_est_speedup: 0.0,
+                    prefetch_speedup: 0.0,
                     p50_ms: 0.0,
                     p99_ms: 0.0,
                     qps: 0.0,
@@ -599,6 +616,85 @@ pub fn run_workloads() -> Vec<RegressEntry> {
             ExecEnv::with_memory_blocks(paper_mb_to_blocks(75.0, blocks)).with_toggles(true, reuse);
         let plan = optimize(&chain_query, &stats, Scheme::Cso, &env).expect("plan");
         out.push(run_plan(&plan, &table, &env, name));
+    }
+
+    // Spill-backend family: the fig3 FS sort at the spill-heavy budget,
+    // executed against each storage backend with knobs pinned in code (the
+    // `WF_SPILL_BACKEND` CI axis steers the *test suite's* default backend,
+    // never these rows). Backends live below the charging layer, so the
+    // deterministic columns are asserted bit-identical across all three
+    // rows — only wall differs, which is exactly what the per-backend wall
+    // columns read out. The prefetch entry additionally records — and gates
+    // at ≥ 1.3× — the wall speedup of async read-ahead over cold
+    // synchronous reads on the latency-knobbed object store. That speedup
+    // is latency-driven (prefetch workers overlap the modeled network
+    // sleeps), so it reproduces on a single-core host, unlike the
+    // core-driven `par_*` wall numbers.
+    {
+        // The fig3 m=500 point: still spills a few large runs (enough
+        // traffic to measure), but keeps the latency-knobbed object-store
+        // rows to a couple of seconds of modeled network time.
+        let m = paper_mb_to_blocks(500.0, blocks);
+        let fs = ReorderOp::Fs {
+            key: wf_core::plan::default_fs_key(&spec),
+        };
+        let plan = single_op_plan(&spec, fs, &stats, m);
+        // LAN-ish object store with a pronounced time-to-first-byte on
+        // GETs — the read-side latency read-ahead exists to hide.
+        let knobs = ObjectStoreConfig {
+            request_latency: std::time::Duration::from_micros(100),
+            first_byte_delay: std::time::Duration::from_micros(600),
+            throughput_bytes_per_sec: 400 << 20,
+        };
+        let spill_run = |name: &str, cfg: SpillConfig| -> RegressEntry {
+            let env = ExecEnv::with_memory_blocks(m).with_spill(cfg);
+            run_plan(&plan, &table, &env, name)
+        };
+        let file = spill_run("spill_file", SpillConfig::file().with_compress(true));
+        let cold = spill_run(
+            "spill_objectstore",
+            SpillConfig::object_store(knobs).with_compress(true),
+        );
+        let mut pre = spill_run(
+            "spill_objectstore_prefetch",
+            SpillConfig::object_store(knobs)
+                .with_compress(true)
+                .with_prefetch(4),
+        );
+        assert!(
+            file.io_blocks > 0,
+            "the spill workloads must actually spill"
+        );
+        for e in [&cold, &pre] {
+            assert_eq!(
+                (
+                    file.comparisons,
+                    file.io_blocks,
+                    file.key_encodes,
+                    file.peak_resident_blocks
+                ),
+                (
+                    e.comparisons,
+                    e.io_blocks,
+                    e.key_encodes,
+                    e.peak_resident_blocks
+                ),
+                "{}: spill backends must be counter-invisible",
+                e.name
+            );
+        }
+        pre.prefetch_speedup = cold.wall_ms / pre.wall_ms.max(1e-9);
+        assert!(
+            pre.prefetch_speedup >= 1.3,
+            "read-ahead must buy back >= 1.3x of the object store's GET latency: \
+             {:.2}x (cold {:.1} ms vs prefetch {:.1} ms)",
+            pre.prefetch_speedup,
+            cold.wall_ms,
+            pre.wall_ms
+        );
+        out.push(file);
+        out.push(cold);
+        out.push(pre);
     }
 
     // Served-concurrency family: the same statement pushed through the
@@ -710,6 +806,7 @@ fn run_concurrency_family() -> Vec<RegressEntry> {
             residency_class: "-".to_string(),
             par_speedup: 0.0,
             par_est_speedup: 0.0,
+            prefetch_speedup: 0.0,
             p50_ms: p50,
             p99_ms: p99,
             qps: CONCURRENT_STATEMENTS as f64 / (wall_ms / 1000.0).max(1e-9),
@@ -772,10 +869,10 @@ fn chain_query(table: &Table) -> WindowQuery {
     WindowQuery::new(table.schema().clone(), specs)
 }
 
-/// Serialize entries as `BENCH_8.json`.
+/// Serialize entries as `BENCH_9.json`.
 pub fn to_json(entries: &[RegressEntry]) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench8-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench9-v1\",");
     let _ = writeln!(s, "  \"rows\": {REGRESS_ROWS},");
     let _ = writeln!(s, "  \"par_rows\": {PAR_ROWS},");
     s.push_str("  \"entries\": [\n");
@@ -787,6 +884,7 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
              \"comparisons\": {}, \"io_blocks\": {}, \"key_encodes\": {}, \
              \"peak_resident_blocks\": {}, \"residency_class\": \"{}\", \
              \"par_speedup\": {:.2}, \"par_est_speedup\": {:.2}, \
+             \"prefetch_speedup\": {:.2}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"qps\": {:.1}}}",
             e.name,
             e.modeled_ms,
@@ -799,6 +897,7 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
             e.residency_class,
             e.par_speedup,
             e.par_est_speedup,
+            e.prefetch_speedup,
             e.p50_ms,
             e.p99_ms,
             e.qps
@@ -816,7 +915,7 @@ pub fn to_json(entries: &[RegressEntry]) -> String {
 }
 
 /// Extraction of `(name, modeled_ms, peak_resident_blocks)` tuples from a
-/// BENCH_8-shaped JSON file, through the in-tree parser (`wf_common::Json`)
+/// BENCH_9-shaped JSON file, through the in-tree parser (`wf_common::Json`)
 /// — entries may nest freely (the `"exec"` metrics object does). Files
 /// without the peak column parse with peak 0, which disarms only the peak
 /// gate; unparseable files yield no entries (the missing-baseline path).
@@ -845,16 +944,16 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
 /// modeled cost, peak resident blocks, per-worker residency peaks,
 /// residency class, wall throughput and (for `Par` workloads) the
 /// per-stage modeled-cost attribution — emitted into
-/// `results/BENCH_8_summary.md` for the CI step summary.
+/// `results/BENCH_9_summary.md` for the CI step summary.
 pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64, u64)]) -> String {
-    let mut md = String::from("### `repro regress` — BENCH_8 comparison\n\n");
+    let mut md = String::from("### `repro regress` — BENCH_9 comparison\n\n");
     let _ = writeln!(
         md,
-        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | worker peaks | rows/s | p50/p99 ms | qps | ∥ speedup | stage ms |"
+        "| workload | class | modeled ms | baseline ms | Δ | peak blk | baseline blk | worker peaks | rows/s | p50/p99 ms | qps | ∥ speedup | prefetch | stage ms |"
     );
     let _ = writeln!(
         md,
-        "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|"
+        "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|"
     );
     for e in entries {
         let base = baseline.iter().find(|(n, _, _)| *n == e.name);
@@ -916,9 +1015,14 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
         } else {
             "–".to_string()
         };
+        let prefetch = if e.prefetch_speedup > 0.0 {
+            format!("{:.2}x", e.prefetch_speedup)
+        } else {
+            "–".to_string()
+        };
         let _ = writeln!(
             md,
-            "| `{}` | {} | {:.2} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| `{}` | {} | {:.2} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             e.name,
             e.residency_class,
             e.modeled_ms,
@@ -931,20 +1035,22 @@ pub fn step_summary_markdown(entries: &[RegressEntry], baseline: &[(String, f64,
             latency,
             qps,
             speedup,
+            prefetch,
             stages
         );
     }
     let _ = writeln!(
         md,
         "\nGate: modeled cost and peak residency must stay within {REGRESS_FACTOR}× of \
-         `results/BENCH_8.baseline.json`. Wall clock (rows/s, p50/p99, qps) is informational \
+         `results/BENCH_9.baseline.json`. Wall clock (rows/s, p50/p99, qps) is informational \
          unless `WF_REGRESS_MIN_WALL_SPEEDUP` / `WF_REGRESS_MIN_GROUPBY_WALL_SPEEDUP` arm the \
-         multi-core wall gates."
+         multi-core wall gates; the `prefetch` column's read-ahead speedup is latency-driven \
+         and gated at ≥ 1.3× in the harness itself."
     );
     md
 }
 
-/// Run the regression suite: write `results/BENCH_8.json`, print the table
+/// Run the regression suite: write `results/BENCH_9.json`, print the table
 /// and the fast-path headline numbers, compare against the checked-in
 /// baseline. Returns `false` when a >2× modeled-cost or peak-residency
 /// regression was found.
@@ -952,7 +1058,7 @@ pub fn run_regress() -> bool {
     let entries = run_workloads();
 
     let mut t = ReportTable::new(
-        "BENCH_8: regression workloads (modeled ms | wall ms | rows/s | comparisons | peak resident)",
+        "BENCH_9: regression workloads (modeled ms | wall ms | rows/s | comparisons | peak resident)",
         &[
             "workload",
             "modeled ms",
@@ -1013,7 +1119,7 @@ pub fn run_regress() -> bool {
             },
         ]);
     }
-    t.emit("BENCH_8_table");
+    t.emit("BENCH_9_table");
 
     // Headline: byte-key / radix wall speedup on the sort-dominated
     // workloads, and the vectorized-filter wall speedup.
@@ -1062,6 +1168,17 @@ pub fn run_regress() -> bool {
             gb.par_speedup
         );
     }
+    if let (Some(file), Some(cold), Some(pre)) = (
+        find("spill_file"),
+        find("spill_objectstore"),
+        find("spill_objectstore_prefetch"),
+    ) {
+        println!(
+            "spill backends (identical counters): file {:.1} ms, object store {:.1} ms cold, \
+             {:.1} ms with read-ahead — prefetch speedup {:.2}x (gated >= 1.3x)",
+            file.wall_ms, cold.wall_ms, pre.wall_ms, pre.prefetch_speedup
+        );
+    }
     for &level in &CONCURRENT_LEVELS {
         if let Some(e) = find(&format!("concurrent_inflight_{level}")) {
             println!(
@@ -1086,31 +1203,31 @@ pub fn run_regress() -> bool {
 
     let json = to_json(&entries);
     std::fs::create_dir_all("results").ok();
-    if let Err(e) = std::fs::write("results/BENCH_8.json", &json) {
-        eprintln!("(could not write results/BENCH_8.json: {e})");
+    if let Err(e) = std::fs::write("results/BENCH_9.json", &json) {
+        eprintln!("(could not write results/BENCH_9.json: {e})");
     }
     // Markdown comparison for the CI step summary ($GITHUB_STEP_SUMMARY):
     // current vs baseline modeled cost + peak residency + residency class,
     // so bench drift is readable on the PR without downloading artifacts.
-    let baseline_for_md = std::fs::read_to_string("results/BENCH_8.baseline.json")
+    let baseline_for_md = std::fs::read_to_string("results/BENCH_9.baseline.json")
         .map(|raw| parse_baseline(&raw))
         .unwrap_or_default();
     if let Err(e) = std::fs::write(
-        "results/BENCH_8_summary.md",
+        "results/BENCH_9_summary.md",
         step_summary_markdown(&entries, &baseline_for_md),
     ) {
-        eprintln!("(could not write results/BENCH_8_summary.md: {e})");
+        eprintln!("(could not write results/BENCH_9_summary.md: {e})");
     }
 
     // Gate against the checked-in baseline. A missing baseline is fatal in
     // CI (the gate must never silently disarm there) and a friendly skip
     // locally.
-    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_8.baseline.json") else {
+    let Ok(baseline_raw) = std::fs::read_to_string("results/BENCH_9.baseline.json") else {
         if std::env::var_os("CI").is_some() {
-            println!("\nresults/BENCH_8.baseline.json missing in CI — failing the gate");
+            println!("\nresults/BENCH_9.baseline.json missing in CI — failing the gate");
             return false;
         }
-        println!("\n(no results/BENCH_8.baseline.json — baseline gate skipped)");
+        println!("\n(no results/BENCH_9.baseline.json — baseline gate skipped)");
         return true;
     };
     let baseline = parse_baseline(&baseline_raw);
@@ -1121,7 +1238,7 @@ pub fn run_regress() -> bool {
             // baseline must be regenerated in the same change.
             println!(
                 "REGRESSION {name}: baseline entry no longer measured \
-                 (renamed/removed? regenerate results/BENCH_8.baseline.json)"
+                 (renamed/removed? regenerate results/BENCH_9.baseline.json)"
             );
             ok = false;
             continue;
@@ -1223,6 +1340,7 @@ mod tests {
             residency_class: class.into(),
             par_speedup: 0.0,
             par_est_speedup: 0.0,
+            prefetch_speedup: 0.0,
             p50_ms: 0.0,
             p99_ms: 0.0,
             qps: 0.0,
@@ -1252,13 +1370,15 @@ mod tests {
         let md = step_summary_markdown(&entries, &baseline);
         assert!(
             md.contains(
-                "| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 | – | 8k | – | – | – | – |"
+                "| `w1` | one-pass | 2.00 | 1.00 | +100.0% | 8 | 8 | – | 8k | – | – | – | – | – |"
             ),
             "{md}"
         );
         // A workload with no baseline row reads "new", never a bogus delta.
         assert!(
-            md.contains("| `w3` | ring | 1.00 | new | n/a | 4 | new | – | 8k | – | – | – | – |"),
+            md.contains(
+                "| `w3` | ring | 1.00 | new | n/a | 4 | new | – | 8k | – | – | – | – | – |"
+            ),
             "{md}"
         );
         // A parallel workload shows wall speedup, per-worker residency
@@ -1272,7 +1392,7 @@ mod tests {
         ];
         let md2 = step_summary_markdown(&[par], &[]);
         assert!(
-            md2.contains("| [3, 5] | 8k | – | – | 2.50x | scan+filter 0.50; PAR→r 1.25 |"),
+            md2.contains("| [3, 5] | 8k | – | – | 2.50x | – | scan+filter 0.50; PAR→r 1.25 |"),
             "{md2}"
         );
     }

@@ -100,6 +100,7 @@ fn handle_connection(stream: TcpStream, db: &Database, shutdown: &AtomicBool) {
             }
             ".stats" => {
                 let s = db.admission_stats();
+                let sp = db.spill_stats();
                 writeln!(writer, "ok stats")
                     .and_then(|_| writeln!(writer, "admitted {}", s.admitted))
                     .and_then(|_| writeln!(writer, "completed {}", s.completed))
@@ -107,6 +108,16 @@ fn handle_connection(stream: TcpStream, db: &Database, shutdown: &AtomicBool) {
                     .and_then(|_| writeln!(writer, "rejected {}", s.rejected))
                     .and_then(|_| writeln!(writer, "timed_out {}", s.timed_out))
                     .and_then(|_| writeln!(writer, "peak_in_flight {}", s.peak_in_flight))
+                    .and_then(|_| writeln!(writer, "spill_backend {}", sp.backend))
+                    .and_then(|_| writeln!(writer, "spill_put_requests {}", sp.put_requests))
+                    .and_then(|_| writeln!(writer, "spill_get_requests {}", sp.get_requests))
+                    .and_then(|_| writeln!(writer, "spill_bytes_written {}", sp.bytes_written))
+                    .and_then(|_| writeln!(writer, "spill_bytes_read {}", sp.bytes_read))
+                    .and_then(|_| writeln!(writer, "prefetch_hits {}", sp.prefetch_hits))
+                    .and_then(|_| writeln!(writer, "prefetch_misses {}", sp.prefetch_misses))
+                    .and_then(|_| {
+                        writeln!(writer, "prefetch_hit_rate {:.3}", sp.prefetch_hit_rate())
+                    })
                     .and_then(|_| writeln!(writer, "."))
             }
             sql => match db.session().execute(sql) {

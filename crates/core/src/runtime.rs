@@ -32,7 +32,7 @@ use wf_exec::{
 };
 use wf_storage::{CostSnapshot, CostTracker, CostWeights, StoreSnapshot, Table, BLOCK_SIZE};
 
-/// Execution environment: unit reorder memory, spill medium, cost weights.
+/// Execution environment: unit reorder memory, spill backend, cost weights.
 #[derive(Clone)]
 pub struct ExecEnv {
     op_env: OpEnv,
@@ -47,7 +47,8 @@ pub struct ExecEnv {
 
 impl ExecEnv {
     /// Environment with the given unit reorder memory (in blocks), a fresh
-    /// tracker and the simulated spill device.
+    /// tracker and the environment-selected spill backend (in-memory by
+    /// default).
     pub fn with_memory_blocks(blocks: u64) -> Self {
         let op_env = OpEnv::with_memory_blocks(blocks);
         ExecEnv {
@@ -119,6 +120,16 @@ impl ExecEnv {
     pub fn with_blocks(&self, blocks: u64) -> Self {
         ExecEnv {
             op_env: self.op_env.with_blocks(blocks),
+            ..self.clone()
+        }
+    }
+
+    /// Same environment with a different spill configuration (backend,
+    /// compression, read-ahead); rows and all counters are invariant under
+    /// this knob — only wall time may move.
+    pub fn with_spill(&self, spill: wf_storage::SpillConfig) -> Self {
+        ExecEnv {
+            op_env: self.op_env.with_spill(spill),
             ..self.clone()
         }
     }

@@ -2,19 +2,21 @@
 
 use std::sync::Arc;
 use wf_common::{Result, TraceSink};
-use wf_storage::spill::SpillMedium;
-use wf_storage::{CostTracker, MemoryLedger, SegmentStore};
+use wf_storage::{CostTracker, MemoryLedger, SegmentStore, SpillConfig};
 
 /// Everything a reordering operator needs: the shared cost tracker, the
-/// spill medium, the size of its unit reorder memory (the paper's `M`,
-/// in blocks), and the shared segment store governing inter-operator
+/// spill configuration, the size of its unit reorder memory (the paper's
+/// `M`, in blocks), and the shared segment store governing inter-operator
 /// segment residency.
 #[derive(Clone)]
 pub struct OpEnv {
     /// Shared work counters.
     pub tracker: Arc<CostTracker>,
-    /// Where spills go.
-    pub medium: SpillMedium,
+    /// Where spills go (backend + compression + read-ahead). Defaults from
+    /// `WF_SPILL_BACKEND` / `WF_SPILL_COMPRESS` / `WF_PREFETCH_BLOCKS`;
+    /// rows, modeled counters, and pool counters are bit-identical across
+    /// every setting — only wall time may move.
+    pub spill: SpillConfig,
     /// Unit reorder memory in blocks.
     pub mem_blocks: u64,
     /// Compare byte-comparable normalized sort keys instead of dispatching
@@ -62,13 +64,15 @@ pub(crate) fn env_worker_threads() -> usize {
 }
 
 impl OpEnv {
-    /// Environment with a fresh tracker, simulated spill device, the given
-    /// memory budget, and a segment pool of the same size.
+    /// Environment with a fresh tracker, the environment-selected spill
+    /// configuration, the given memory budget, and a segment pool of the
+    /// same size.
     pub fn with_memory_blocks(mem_blocks: u64) -> Self {
+        let spill = SpillConfig::from_env();
         OpEnv {
             tracker: Arc::new(CostTracker::new()),
-            medium: SpillMedium::Simulated,
-            store: SegmentStore::new(Some(mem_blocks.max(1)), SpillMedium::Simulated),
+            store: SegmentStore::with_spill(Some(mem_blocks.max(1)), spill.clone()),
+            spill,
             mem_blocks,
             norm_keys: true,
             reuse_bounds: true,
@@ -90,7 +94,7 @@ impl OpEnv {
             .unwrap_or(u64::MAX / wf_storage::BLOCK_SIZE as u64);
         OpEnv {
             tracker: Arc::new(CostTracker::new()),
-            medium: SpillMedium::Simulated,
+            spill: store.spill_config().clone(),
             store,
             mem_blocks,
             norm_keys: true,
@@ -153,10 +157,26 @@ impl OpEnv {
         MemoryLedger::with_blocks(self.mem_blocks)
     }
 
+    /// Same environment with a different spill configuration; the segment
+    /// pool is rebuilt on the new backend with the same budget.
+    pub fn with_spill(&self, spill: SpillConfig) -> Self {
+        let budget = self
+            .store
+            .budget_bytes()
+            .map(|b| (b / wf_storage::BLOCK_SIZE) as u64);
+        let store = SegmentStore::with_spill(budget, spill.clone());
+        store.set_trace(Arc::clone(&self.trace));
+        OpEnv {
+            spill,
+            store,
+            ..self.clone()
+        }
+    }
+
     /// Same environment with a different memory budget (and a fresh segment
     /// pool of the same size; the tracker stays shared).
     pub fn with_blocks(&self, mem_blocks: u64) -> Self {
-        let store = SegmentStore::new(Some(mem_blocks.max(1)), self.medium);
+        let store = SegmentStore::with_spill(Some(mem_blocks.max(1)), self.spill.clone());
         store.set_trace(Arc::clone(&self.trace));
         OpEnv {
             mem_blocks,
@@ -180,7 +200,7 @@ impl OpEnv {
     /// in memory, nothing pool-spills). The reference configuration for the
     /// residency equivalence suite.
     pub fn with_unbounded_pool(&self) -> Self {
-        let store = SegmentStore::new(None, self.medium);
+        let store = SegmentStore::with_spill(None, self.spill.clone());
         store.set_trace(Arc::clone(&self.trace));
         OpEnv {
             store,

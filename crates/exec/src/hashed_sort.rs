@@ -31,7 +31,7 @@ use crate::sorter::{record_prefix_layers, sort_in_memory, sort_stream_to_handle,
 use crate::util::hash_row_on;
 use std::collections::{HashSet, VecDeque};
 use wf_common::{AttrSet, Error, Result, Row, SortSpec, Value};
-use wf_storage::{MemoryLedger, SpillFile};
+use wf_storage::{IoMeter, MemoryLedger, SpillFile};
 
 /// Tuning knobs for Hashed Sort.
 #[derive(Debug, Clone)]
@@ -361,7 +361,7 @@ fn spill_victim(
     let Some((idx, bytes)) = victim else {
         return Ok(false);
     };
-    let mut file = SpillFile::create(env.medium, env.tracker.clone())?;
+    let mut file = SpillFile::with_config(&env.spill, IoMeter::Model(env.tracker.clone()))?;
     if let Bucket::Mem { rows, .. } = &mut buckets[idx] {
         for row in rows.drain(..) {
             file.push(&row)?;

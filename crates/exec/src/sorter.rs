@@ -68,7 +68,7 @@ use crate::segment::SegmentBounds;
 use crate::util::HeapBy;
 use std::cmp::Ordering;
 use wf_common::{AttrSet, KeyNormalizer, Result, Row, RowComparator, SortSpec};
-use wf_storage::{MemoryLedger, SegmentHandle, SpillFile, SpillReader};
+use wf_storage::{IoMeter, MemoryLedger, SegmentHandle, SpillFile, SpillReader};
 
 /// A sort key: the comparator plus the normalized-key encoder for the same
 /// specification. Build once per operator, share across segments.
@@ -596,7 +596,10 @@ fn drain_heap_with_input(
                     rank,
                 });
             }
-            current_file = Some(SpillFile::create(env.medium, env.tracker.clone())?);
+            current_file = Some(SpillFile::with_config(
+                &env.spill,
+                IoMeter::Model(env.tracker.clone()),
+            )?);
             current_tag = tag;
         }
         let file = current_file.as_mut().expect("file just ensured");
@@ -676,7 +679,7 @@ fn reduce_runs(mut runs: Vec<Run>, key: &SortKey, env: &OpEnv) -> Result<Vec<Run
                 continue;
             }
             let rank = batch.iter().map(|r| r.rank).min().unwrap_or(0);
-            let mut out = SpillFile::create(env.medium, env.tracker.clone())?;
+            let mut out = SpillFile::with_config(&env.spill, IoMeter::Model(env.tracker.clone()))?;
             merge_into(batch, key, env, |key, row| {
                 out.push_keyed(key, row)?;
                 Ok(())

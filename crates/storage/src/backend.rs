@@ -1,0 +1,824 @@
+//! Pluggable spill backends — the storage-adapter layer under
+//! [`crate::spill`].
+//!
+//! A [`SpillFile`](crate::spill::SpillFile) produces *logical* blocks:
+//! [`BLOCK_SIZE`]-byte slices of the row/key
+//! stream, charged to the modeled or pool meters exactly as the paper's
+//! cost model prices them. This module owns everything **below** that
+//! charging layer: where the block bytes physically live, what they cost in
+//! wall time, and whether they are compressed at rest.
+//!
+//! ```text
+//!   SpillFile / SpillReader          logical blocks, meter charging
+//!        │          ▲
+//!        │ write    │ read (direct or via the read-ahead Prefetcher)
+//!        ▼          │
+//!   Box<dyn BackendFile>             one spill object, block-granular
+//!        ▲
+//!        │ open()
+//!   Arc<dyn SpillBackend>            LocalFileBackend | MemBackend
+//!                                    | ObjectStoreBackend
+//! ```
+//!
+//! The invariant that makes the layering safe: a backend only ever sees
+//! opaque block payloads. Rows, modeled counters, and pool counters are
+//! decided entirely above this line, so **every backend is bit-identical in
+//! all three** — only wall time (and the informational [`BackendStats`])
+//! may differ. `tests/storage_backend_tests.rs` gates this across the full
+//! backend × compression × prefetch matrix.
+//!
+//! Compression is negotiated per backend: a [`SpillConfig`] may request it,
+//! but it only takes effect when the backend's [`BackendCaps::compressible`]
+//! says the medium benefits (RAM-to-RAM copies do not).
+
+use crate::block::BLOCK_SIZE;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use wf_common::{Error, Result};
+
+/// Shared request/byte counters of one backend instance. Every file opened
+/// from the backend feeds the same counters, so [`BackendStats`] aggregates
+/// the whole store's spill traffic (informational — never part of modeled
+/// time or pool counters).
+#[derive(Debug, Default)]
+pub struct BackendCounters {
+    put_requests: AtomicU64,
+    get_requests: AtomicU64,
+    delete_requests: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_misses: AtomicU64,
+}
+
+impl BackendCounters {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    #[inline]
+    pub(crate) fn record_put(&self, bytes: usize) {
+        self.put_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_get(&self, bytes: usize) {
+        self.get_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_delete(&self) {
+        self.delete_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_prefetch(&self, hit: bool) {
+        if hit {
+            self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.prefetch_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time read of a backend's [`BackendCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendStats {
+    /// Backend name (`"mem"` / `"file"` / `"objectstore"`).
+    pub backend: &'static str,
+    /// Block-append requests issued.
+    pub put_requests: u64,
+    /// Block-read requests issued (prefetched reads included).
+    pub get_requests: u64,
+    /// Spill objects deleted (every file is, eventually — delete-on-drop).
+    pub delete_requests: u64,
+    /// Physical bytes written (post-compression).
+    pub bytes_written: u64,
+    /// Physical bytes read (pre-decompression).
+    pub bytes_read: u64,
+    /// Reads served from the read-ahead buffer without blocking.
+    pub prefetch_hits: u64,
+    /// Reads that had to wait for (or issue) the fetch.
+    pub prefetch_misses: u64,
+}
+
+impl BackendStats {
+    /// Fraction of reads served from the read-ahead buffer (0 when no
+    /// prefetched read happened).
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        let total = self.prefetch_hits + self.prefetch_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Capability flags a backend advertises; [`SpillConfig`] negotiates
+/// compression against them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// Blocks survive in external storage (OS files / object store) rather
+    /// than the process heap.
+    pub persistent: bool,
+    /// Requests cross a (simulated) network: latency-bound, so read-ahead
+    /// pays off most here.
+    pub remote: bool,
+    /// Compressing blocks saves real transfer/storage cost on this medium.
+    /// RAM-backed media decline: the CPU spent would buy nothing.
+    pub compressible: bool,
+}
+
+/// Block-granular storage adapter — where spill blocks physically live.
+///
+/// Implementations must be cheap to share ([`Arc`]) and thread-safe:
+/// [`SpillBackend::open`] is called once per spill file, from any worker
+/// thread.
+pub trait SpillBackend: Send + Sync {
+    /// Short stable name (`"mem"` / `"file"` / `"objectstore"`).
+    fn name(&self) -> &'static str;
+    /// What this medium is good at (drives compression negotiation).
+    fn caps(&self) -> BackendCaps;
+    /// Create a fresh, empty spill object.
+    fn open(&self) -> Result<Box<dyn BackendFile>>;
+    /// The backend's shared traffic counters.
+    fn counters(&self) -> &Arc<BackendCounters>;
+
+    /// Snapshot the traffic counters.
+    fn stats(&self) -> BackendStats {
+        let c = self.counters();
+        BackendStats {
+            backend: self.name(),
+            put_requests: c.put_requests.load(Ordering::Relaxed),
+            get_requests: c.get_requests.load(Ordering::Relaxed),
+            delete_requests: c.delete_requests.load(Ordering::Relaxed),
+            bytes_written: c.bytes_written.load(Ordering::Relaxed),
+            bytes_read: c.bytes_read.load(Ordering::Relaxed),
+            prefetch_hits: c.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_misses: c.prefetch_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One spill object: an append-only sequence of opaque block payloads.
+///
+/// Writes go through `&mut self` (single producer — the `SpillFile`);
+/// reads take `&self` so the prefetcher's worker threads can fetch
+/// concurrently. Every implementation deletes its storage on drop — the
+/// handle *is* the object's lifetime, which is what keeps aborted queries
+/// (cancel/timeout dropping a reader mid-stream) from leaking spill space.
+pub trait BackendFile: Send + Sync {
+    /// Append one block payload.
+    fn append_block(&mut self, block: &[u8]) -> Result<()>;
+    /// Read back the payload of block `idx` (0-based append order).
+    fn read_block(&self, idx: u64) -> Result<Vec<u8>>;
+    /// Blocks appended so far.
+    fn block_count(&self) -> u64;
+    /// Release the underlying storage. Idempotent; also invoked by drop.
+    fn delete(&self);
+    /// The owning backend's shared traffic counters (prefetch hit/miss
+    /// accounting reports here).
+    fn counters(&self) -> &Arc<BackendCounters>;
+}
+
+// ---------------------------------------------------------------------------
+// MemBackend
+// ---------------------------------------------------------------------------
+
+/// In-memory backend (the default): blocks live on the process heap. This
+/// absorbs the old `SimStore` — counts are what matter, wall I/O is free.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    counters: Arc<BackendCounters>,
+}
+
+impl MemBackend {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+}
+
+impl SpillBackend for MemBackend {
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            persistent: false,
+            remote: false,
+            compressible: false,
+        }
+    }
+
+    fn open(&self) -> Result<Box<dyn BackendFile>> {
+        Ok(Box::new(MemFile {
+            blocks: Mutex::new(Some(Vec::new())),
+            counters: Arc::clone(&self.counters),
+        }))
+    }
+
+    fn counters(&self) -> &Arc<BackendCounters> {
+        &self.counters
+    }
+}
+
+struct MemFile {
+    /// `None` after delete.
+    blocks: Mutex<Option<Vec<Vec<u8>>>>,
+    counters: Arc<BackendCounters>,
+}
+
+impl BackendFile for MemFile {
+    fn append_block(&mut self, block: &[u8]) -> Result<()> {
+        let mut guard = self.blocks.lock().expect("mem spill lock");
+        let blocks = guard
+            .as_mut()
+            .ok_or_else(|| Error::Execution("append to deleted spill object".into()))?;
+        blocks.push(block.to_vec());
+        self.counters.record_put(block.len());
+        Ok(())
+    }
+
+    fn read_block(&self, idx: u64) -> Result<Vec<u8>> {
+        let guard = self.blocks.lock().expect("mem spill lock");
+        let blocks = guard
+            .as_ref()
+            .ok_or_else(|| Error::Execution("read from deleted spill object".into()))?;
+        let block = blocks
+            .get(idx as usize)
+            .ok_or_else(|| Error::Execution(format!("spill block {idx} out of range")))?
+            .clone();
+        self.counters.record_get(block.len());
+        Ok(block)
+    }
+
+    fn block_count(&self) -> u64 {
+        self.blocks
+            .lock()
+            .expect("mem spill lock")
+            .as_ref()
+            .map_or(0, |b| b.len() as u64)
+    }
+
+    fn delete(&self) {
+        if self.blocks.lock().expect("mem spill lock").take().is_some() {
+            self.counters.record_delete();
+        }
+    }
+
+    fn counters(&self) -> &Arc<BackendCounters> {
+        &self.counters
+    }
+}
+
+impl Drop for MemFile {
+    fn drop(&mut self) {
+        self.delete();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LocalFileBackend
+// ---------------------------------------------------------------------------
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Real temporary files (one per spill object), removed on drop.
+#[derive(Debug)]
+pub struct LocalFileBackend {
+    dir: PathBuf,
+    counters: Arc<BackendCounters>,
+}
+
+impl LocalFileBackend {
+    /// Spill into the OS temp dir.
+    pub fn new() -> Arc<Self> {
+        Self::in_dir(std::env::temp_dir())
+    }
+
+    /// Spill into a caller-chosen directory (tests point this at a private
+    /// dir to observe delete-on-drop).
+    pub fn in_dir(dir: PathBuf) -> Arc<Self> {
+        Arc::new(LocalFileBackend {
+            dir,
+            counters: Arc::new(BackendCounters::default()),
+        })
+    }
+}
+
+impl SpillBackend for LocalFileBackend {
+    fn name(&self) -> &'static str {
+        "file"
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            persistent: true,
+            remote: false,
+            compressible: true,
+        }
+    }
+
+    fn open(&self) -> Result<Box<dyn BackendFile>> {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .dir
+            .join(format!("wfopt-spill-{}-{}.tmp", std::process::id(), n));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| Error::Execution(format!("create spill file: {e}")))?;
+        Ok(Box::new(LocalFile {
+            inner: Mutex::new(LocalFileInner {
+                file,
+                index: Vec::new(),
+                len: 0,
+            }),
+            path,
+            deleted: AtomicBool::new(false),
+            counters: Arc::clone(&self.counters),
+        }))
+    }
+
+    fn counters(&self) -> &Arc<BackendCounters> {
+        &self.counters
+    }
+}
+
+struct LocalFileInner {
+    file: File,
+    /// `(offset, len)` of each appended block — payloads are variable-sized
+    /// once compression is on.
+    index: Vec<(u64, u32)>,
+    len: u64,
+}
+
+struct LocalFile {
+    inner: Mutex<LocalFileInner>,
+    path: PathBuf,
+    deleted: AtomicBool,
+    counters: Arc<BackendCounters>,
+}
+
+impl BackendFile for LocalFile {
+    fn append_block(&mut self, block: &[u8]) -> Result<()> {
+        let inner = self.inner.get_mut().expect("file spill lock");
+        inner
+            .file
+            .seek(SeekFrom::End(0))
+            .and_then(|_| inner.file.write_all(block))
+            .map_err(|e| Error::Execution(format!("spill write: {e}")))?;
+        inner.index.push((inner.len, block.len() as u32));
+        inner.len += block.len() as u64;
+        self.counters.record_put(block.len());
+        Ok(())
+    }
+
+    fn read_block(&self, idx: u64) -> Result<Vec<u8>> {
+        let mut inner = self.inner.lock().expect("file spill lock");
+        let &(offset, len) = inner
+            .index
+            .get(idx as usize)
+            .ok_or_else(|| Error::Execution(format!("spill block {idx} out of range")))?;
+        let mut buf = vec![0u8; len as usize];
+        inner
+            .file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| Error::Execution(format!("spill seek: {e}")))?;
+        let mut total = 0;
+        while total < buf.len() {
+            let n = inner
+                .file
+                .read(&mut buf[total..])
+                .map_err(|e| Error::Execution(format!("spill read: {e}")))?;
+            if n == 0 {
+                return Err(Error::Execution("short read from spill file".into()));
+            }
+            total += n;
+        }
+        self.counters.record_get(buf.len());
+        Ok(buf)
+    }
+
+    fn block_count(&self) -> u64 {
+        self.inner.lock().expect("file spill lock").index.len() as u64
+    }
+
+    fn delete(&self) {
+        if !self.deleted.swap(true, Ordering::SeqCst) {
+            let _ = std::fs::remove_file(&self.path);
+            self.counters.record_delete();
+        }
+    }
+
+    fn counters(&self) -> &Arc<BackendCounters> {
+        &self.counters
+    }
+}
+
+impl Drop for LocalFile {
+    fn drop(&mut self) {
+        self.delete();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ObjectStoreBackend
+// ---------------------------------------------------------------------------
+
+/// Wall-time knobs of the simulated object store. All-zero (the default)
+/// models an infinitely fast store — request counting still works, which is
+/// what the suite-wide `WF_SPILL_BACKEND=objectstore` CI axis uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObjectStoreConfig {
+    /// Round-trip cost charged to every request (PUT and GET).
+    pub request_latency: Duration,
+    /// Extra time-to-first-byte charged to every GET.
+    pub first_byte_delay: Duration,
+    /// Transfer rate in bytes/second (`0` = unlimited).
+    pub throughput_bytes_per_sec: u64,
+}
+
+impl ObjectStoreConfig {
+    fn transfer_time(&self, bytes: usize) -> Duration {
+        if self.throughput_bytes_per_sec == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(bytes as f64 / self.throughput_bytes_per_sec as f64)
+        }
+    }
+}
+
+/// Simulated remote object store: blocks live on the heap like
+/// [`MemBackend`], but every request sleeps for its modeled network cost
+/// (sleeping, not spinning — so concurrent prefetch fetches genuinely
+/// overlap, even on a single-core host).
+#[derive(Debug)]
+pub struct ObjectStoreBackend {
+    cfg: ObjectStoreConfig,
+    counters: Arc<BackendCounters>,
+}
+
+impl ObjectStoreBackend {
+    pub fn new(cfg: ObjectStoreConfig) -> Arc<Self> {
+        Arc::new(ObjectStoreBackend {
+            cfg,
+            counters: Arc::new(BackendCounters::default()),
+        })
+    }
+
+    /// The latency/throughput knobs this store was built with.
+    pub fn config(&self) -> ObjectStoreConfig {
+        self.cfg
+    }
+}
+
+impl SpillBackend for ObjectStoreBackend {
+    fn name(&self) -> &'static str {
+        "objectstore"
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            persistent: true,
+            remote: true,
+            compressible: true,
+        }
+    }
+
+    fn open(&self) -> Result<Box<dyn BackendFile>> {
+        Ok(Box::new(ObjectFile {
+            blocks: Mutex::new(Some(Vec::new())),
+            cfg: self.cfg,
+            counters: Arc::clone(&self.counters),
+        }))
+    }
+
+    fn counters(&self) -> &Arc<BackendCounters> {
+        &self.counters
+    }
+}
+
+struct ObjectFile {
+    blocks: Mutex<Option<Vec<Vec<u8>>>>,
+    cfg: ObjectStoreConfig,
+    counters: Arc<BackendCounters>,
+}
+
+impl BackendFile for ObjectFile {
+    fn append_block(&mut self, block: &[u8]) -> Result<()> {
+        let cost = self.cfg.request_latency + self.cfg.transfer_time(block.len());
+        if !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+        let mut guard = self.blocks.lock().expect("object spill lock");
+        let blocks = guard
+            .as_mut()
+            .ok_or_else(|| Error::Execution("PUT to deleted spill object".into()))?;
+        blocks.push(block.to_vec());
+        self.counters.record_put(block.len());
+        Ok(())
+    }
+
+    fn read_block(&self, idx: u64) -> Result<Vec<u8>> {
+        // Snapshot the payload first, then sleep outside the lock so
+        // concurrent GETs (the prefetcher's whole point) overlap their
+        // simulated network time.
+        let block = {
+            let guard = self.blocks.lock().expect("object spill lock");
+            let blocks = guard
+                .as_ref()
+                .ok_or_else(|| Error::Execution("GET from deleted spill object".into()))?;
+            blocks
+                .get(idx as usize)
+                .ok_or_else(|| Error::Execution(format!("spill block {idx} out of range")))?
+                .clone()
+        };
+        let cost = self.cfg.request_latency
+            + self.cfg.first_byte_delay
+            + self.cfg.transfer_time(block.len());
+        if !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+        self.counters.record_get(block.len());
+        Ok(block)
+    }
+
+    fn block_count(&self) -> u64 {
+        self.blocks
+            .lock()
+            .expect("object spill lock")
+            .as_ref()
+            .map_or(0, |b| b.len() as u64)
+    }
+
+    fn delete(&self) {
+        if self
+            .blocks
+            .lock()
+            .expect("object spill lock")
+            .take()
+            .is_some()
+        {
+            self.counters.record_delete();
+        }
+    }
+
+    fn counters(&self) -> &Arc<BackendCounters> {
+        &self.counters
+    }
+}
+
+impl Drop for ObjectFile {
+    fn drop(&mut self) {
+        self.delete();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selection & configuration
+// ---------------------------------------------------------------------------
+
+/// Serializable backend selector — what [`DatabaseConfig`] and CLI flags
+/// carry around ([`SpillConfig`] holds the live `Arc<dyn SpillBackend>`).
+///
+/// [`DatabaseConfig`]: https://docs.rs/wfopt
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillBackendKind {
+    /// In-memory ([`MemBackend`], the default).
+    #[default]
+    Mem,
+    /// Local temp files ([`LocalFileBackend`]).
+    File,
+    /// Simulated object store ([`ObjectStoreBackend`]) with the given
+    /// latency knobs.
+    ObjectStore(ObjectStoreConfig),
+}
+
+impl SpillBackendKind {
+    /// Parse the `WF_SPILL_BACKEND` environment variable
+    /// (`mem`/`file`/`objectstore`; unset or unknown → `Mem`). The
+    /// env-selected object store has zero latency — the CI matrix axis runs
+    /// the whole suite over it, so it must only exercise the code path, not
+    /// slow the suite down.
+    pub fn from_env() -> Self {
+        match std::env::var("WF_SPILL_BACKEND").as_deref() {
+            Ok("file") => SpillBackendKind::File,
+            Ok("objectstore") => SpillBackendKind::ObjectStore(ObjectStoreConfig::default()),
+            _ => SpillBackendKind::Mem,
+        }
+    }
+
+    /// Instantiate a fresh backend (its own counters).
+    pub fn build(self) -> Arc<dyn SpillBackend> {
+        match self {
+            SpillBackendKind::Mem => MemBackend::new(),
+            SpillBackendKind::File => LocalFileBackend::new(),
+            SpillBackendKind::ObjectStore(cfg) => ObjectStoreBackend::new(cfg),
+        }
+    }
+}
+
+/// Everything the spill path needs to know: which backend, whether to
+/// compress blocks at rest, and how deep to read ahead. Cloning shares the
+/// backend (and its counters) — one config per chain/store aggregates all
+/// of its spill traffic.
+#[derive(Clone)]
+pub struct SpillConfig {
+    /// Where blocks live.
+    pub backend: Arc<dyn SpillBackend>,
+    /// Request block compression (applied only where the backend's
+    /// [`BackendCaps::compressible`] agrees).
+    pub compress: bool,
+    /// Read-ahead depth in blocks (`0` = synchronous cold reads).
+    pub prefetch_blocks: usize,
+}
+
+impl SpillConfig {
+    /// In-memory backend, no compression, no read-ahead — the default.
+    pub fn mem() -> Self {
+        Self::of_kind(SpillBackendKind::Mem)
+    }
+
+    /// Local temp-file backend.
+    pub fn file() -> Self {
+        Self::of_kind(SpillBackendKind::File)
+    }
+
+    /// Simulated object store with the given knobs.
+    pub fn object_store(cfg: ObjectStoreConfig) -> Self {
+        Self::of_kind(SpillBackendKind::ObjectStore(cfg))
+    }
+
+    /// A fresh backend of the given kind, compression and prefetch off.
+    pub fn of_kind(kind: SpillBackendKind) -> Self {
+        SpillConfig {
+            backend: kind.build(),
+            compress: false,
+            prefetch_blocks: 0,
+        }
+    }
+
+    /// Backend from `WF_SPILL_BACKEND`, compression from
+    /// `WF_SPILL_COMPRESS` (`1`/`true`), read-ahead depth from
+    /// `WF_PREFETCH_BLOCKS` — the defaults every environment not given an
+    /// explicit config starts from.
+    pub fn from_env() -> Self {
+        let compress = matches!(
+            std::env::var("WF_SPILL_COMPRESS").as_deref(),
+            Ok("1") | Ok("true")
+        );
+        let prefetch = std::env::var("WF_PREFETCH_BLOCKS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        Self::of_kind(SpillBackendKind::from_env())
+            .with_compress(compress)
+            .with_prefetch(prefetch)
+    }
+
+    /// Same config with compression requested/cleared.
+    pub fn with_compress(mut self, compress: bool) -> Self {
+        self.compress = compress;
+        self
+    }
+
+    /// Same config with the read-ahead depth set.
+    pub fn with_prefetch(mut self, prefetch_blocks: usize) -> Self {
+        self.prefetch_blocks = prefetch_blocks;
+        self
+    }
+
+    /// Whether blocks will actually be compressed: requested **and** the
+    /// backend's medium benefits (the negotiation).
+    pub fn effective_compress(&self) -> bool {
+        self.compress && self.backend.caps().compressible
+    }
+
+    /// Traffic snapshot of the shared backend.
+    pub fn stats(&self) -> BackendStats {
+        self.backend.stats()
+    }
+}
+
+impl std::fmt::Debug for SpillConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillConfig")
+            .field("backend", &self.backend.name())
+            .field("compress", &self.compress)
+            .field("prefetch_blocks", &self.prefetch_blocks)
+            .finish()
+    }
+}
+
+/// The logical block size backends receive (uncompressed payloads are
+/// exactly this long except for a file's trailing partial block).
+pub const LOGICAL_BLOCK: usize = BLOCK_SIZE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(backend: &dyn SpillBackend) {
+        let mut f = backend.open().unwrap();
+        let blocks: Vec<Vec<u8>> = (0..5u8)
+            .map(|i| vec![i; if i == 4 { 100 } else { BLOCK_SIZE }])
+            .collect();
+        for b in &blocks {
+            f.append_block(b).unwrap();
+        }
+        assert_eq!(f.block_count(), 5);
+        // Out-of-order reads are allowed (merge cascades interleave runs).
+        for idx in [3u64, 0, 4, 2, 1] {
+            assert_eq!(f.read_block(idx).unwrap(), blocks[idx as usize]);
+        }
+        assert!(f.read_block(5).is_err());
+        let s = backend.stats();
+        assert_eq!(s.put_requests, 5);
+        assert_eq!(s.get_requests, 5);
+        drop(f);
+        assert_eq!(backend.stats().delete_requests, 1);
+    }
+
+    #[test]
+    fn mem_backend_round_trips() {
+        round_trip(&*MemBackend::new());
+    }
+
+    #[test]
+    fn file_backend_round_trips() {
+        round_trip(&*LocalFileBackend::new());
+    }
+
+    #[test]
+    fn object_store_round_trips_and_counts() {
+        let backend = ObjectStoreBackend::new(ObjectStoreConfig::default());
+        round_trip(&*backend);
+        let s = backend.stats();
+        assert_eq!(s.backend, "objectstore");
+        assert!(s.bytes_written >= 4 * BLOCK_SIZE as u64);
+        assert_eq!(s.bytes_read, s.bytes_written);
+    }
+
+    #[test]
+    fn local_file_is_removed_on_drop_and_delete_is_idempotent() {
+        let backend = LocalFileBackend::new();
+        let mut f = backend.open().unwrap();
+        f.append_block(&[1, 2, 3]).unwrap();
+        let path = backend.dir.read_dir().unwrap().count();
+        assert!(path > 0);
+        f.delete();
+        f.delete();
+        drop(f);
+        assert_eq!(backend.stats().delete_requests, 1);
+    }
+
+    #[test]
+    fn object_store_sleeps_for_latency() {
+        let backend = ObjectStoreBackend::new(ObjectStoreConfig {
+            request_latency: Duration::from_millis(2),
+            first_byte_delay: Duration::from_millis(3),
+            throughput_bytes_per_sec: 0,
+        });
+        let mut f = backend.open().unwrap();
+        let t = std::time::Instant::now();
+        f.append_block(&[0u8; 64]).unwrap();
+        f.read_block(0).unwrap();
+        // One PUT (2 ms) + one GET (2 + 3 ms).
+        assert!(t.elapsed() >= Duration::from_millis(7));
+    }
+
+    #[test]
+    fn compression_negotiation_follows_caps() {
+        let mem = SpillConfig::mem().with_compress(true);
+        assert!(!mem.effective_compress(), "RAM declines compression");
+        let file = SpillConfig::file().with_compress(true);
+        assert!(file.effective_compress());
+        let os = SpillConfig::object_store(ObjectStoreConfig::default()).with_compress(true);
+        assert!(os.effective_compress());
+        assert!(!SpillConfig::file().effective_compress(), "off by default");
+    }
+
+    #[test]
+    fn kind_selects_backends() {
+        assert_eq!(SpillBackendKind::Mem.build().name(), "mem");
+        assert_eq!(SpillBackendKind::File.build().name(), "file");
+        assert_eq!(
+            SpillBackendKind::ObjectStore(ObjectStoreConfig::default())
+                .build()
+                .name(),
+            "objectstore"
+        );
+    }
+}

@@ -137,6 +137,147 @@ pub fn keyed_overhead(key: Option<&[u8]>) -> usize {
     2 + key.map_or(0, <[u8]>::len)
 }
 
+// ---------------------------------------------------------------------------
+// Block compression (zero-dependency LZSS-style codec)
+// ---------------------------------------------------------------------------
+//
+// Spill blocks are highly self-similar — repeated arity headers, value tags,
+// and key prefixes — so a tiny greedy LZ with a single-probe hash table
+// recovers most of the easy redundancy without pulling in a dependency.
+//
+// Framing: `mode:u8 raw_len:u32le payload`.
+//   mode 0 → payload is the raw block verbatim (compression didn't help);
+//   mode 1 → payload is an LZ token stream:
+//     token := 1lllllll dist:u16le   -- copy (l + MIN_MATCH) bytes from
+//                                       `dist` bytes back (dist ≥ 1)
+//            | 0lllllll byte{l+1}    -- run of l+1 literal bytes
+//
+// Every compressed block decodes to exactly `raw_len` bytes; anything else
+// is a corruption error.
+
+/// Stored-raw frame marker.
+const MODE_RAW: u8 = 0;
+/// LZ token-stream frame marker.
+const MODE_LZ: u8 = 1;
+/// Shortest back-reference worth a 3-byte token.
+const MIN_MATCH: usize = 4;
+/// Longest match a single copy token encodes (`MIN_MATCH + 127`).
+const MAX_MATCH: usize = MIN_MATCH + 0x7f;
+/// Longest literal run a single token encodes.
+const MAX_LITERAL_RUN: usize = 0x80;
+/// Farthest back a u16 distance can reach.
+const MAX_DISTANCE: usize = u16::MAX as usize;
+const HASH_BITS: u32 = 13;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn flush_literals(src: &[u8], start: usize, end: usize, out: &mut Vec<u8>) {
+    let mut at = start;
+    while at < end {
+        let run = (end - at).min(MAX_LITERAL_RUN);
+        out.push((run - 1) as u8);
+        out.extend_from_slice(&src[at..at + run]);
+        at += run;
+    }
+}
+
+/// Compress one spill block. Always produces a valid frame: if the LZ pass
+/// doesn't beat storing the block raw, the raw frame is emitted instead.
+pub fn compress_block(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() / 2 + 16);
+    out.push(MODE_LZ);
+    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+
+    let mut table = [usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut literal_start = 0usize;
+    while i + MIN_MATCH <= raw.len() {
+        let h = hash4(raw, i);
+        let candidate = table[h];
+        table[h] = i;
+        let matched = candidate != usize::MAX
+            && i - candidate <= MAX_DISTANCE
+            && raw[candidate..candidate + MIN_MATCH] == raw[i..i + MIN_MATCH];
+        if matched {
+            let mut len = MIN_MATCH;
+            let limit = (raw.len() - i).min(MAX_MATCH);
+            while len < limit && raw[candidate + len] == raw[i + len] {
+                len += 1;
+            }
+            flush_literals(raw, literal_start, i, &mut out);
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            out.extend_from_slice(&((i - candidate) as u16).to_le_bytes());
+            i += len;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(raw, literal_start, raw.len(), &mut out);
+
+    if out.len() < 5 + raw.len() {
+        out
+    } else {
+        let mut stored = Vec::with_capacity(5 + raw.len());
+        stored.push(MODE_RAW);
+        stored.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        stored.extend_from_slice(raw);
+        stored
+    }
+}
+
+/// Decompress one frame produced by [`compress_block`].
+pub fn decompress_block(frame: &[u8]) -> Result<Vec<u8>> {
+    if frame.len() < 5 {
+        return Err(corrupt("truncated compressed block header"));
+    }
+    let mode = frame[0];
+    let raw_len = u32::from_le_bytes(frame[1..5].try_into().expect("4 bytes")) as usize;
+    let payload = &frame[5..];
+    match mode {
+        MODE_RAW => {
+            if payload.len() != raw_len {
+                return Err(corrupt("stored block length mismatch"));
+            }
+            Ok(payload.to_vec())
+        }
+        MODE_LZ => {
+            let mut out = Vec::with_capacity(raw_len);
+            let mut cursor = payload;
+            while !cursor.is_empty() {
+                let tok = take(&mut cursor, 1, "compression token")?[0];
+                if tok & 0x80 != 0 {
+                    let len = (tok & 0x7f) as usize + MIN_MATCH;
+                    let d = take(&mut cursor, 2, "match distance")?;
+                    let dist = u16::from_le_bytes([d[0], d[1]]) as usize;
+                    if dist == 0 || dist > out.len() {
+                        return Err(corrupt("match distance out of range"));
+                    }
+                    // Byte-at-a-time: a distance shorter than the match
+                    // length means the copy overlaps its own output (RLE).
+                    let start = out.len() - dist;
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                } else {
+                    let run = (tok & 0x7f) as usize + 1;
+                    out.extend_from_slice(take(&mut cursor, run, "literal run")?);
+                }
+            }
+            if out.len() != raw_len {
+                return Err(corrupt("decompressed length mismatch"));
+            }
+            Ok(out)
+        }
+        other => Err(corrupt(&format!("unknown compression mode {other:#x}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +388,71 @@ mod tests {
         buf.put_u8(0x7f);
         let mut cursor = buf.as_slice();
         assert!(decode_row(&mut cursor).is_err());
+    }
+
+    fn compress_round_trip(raw: &[u8]) -> usize {
+        let frame = compress_block(raw);
+        assert_eq!(decompress_block(&frame).unwrap(), raw);
+        frame.len()
+    }
+
+    #[test]
+    fn compression_round_trips_empty_and_tiny() {
+        compress_round_trip(&[]);
+        compress_round_trip(&[42]);
+        compress_round_trip(b"abc");
+    }
+
+    #[test]
+    fn compression_shrinks_repetitive_blocks() {
+        let raw: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
+            .iter()
+            .cycle()
+            .take(8192)
+            .copied()
+            .collect();
+        let size = compress_round_trip(&raw);
+        assert!(size < raw.len() / 4, "{size} should be < {}", raw.len() / 4);
+    }
+
+    #[test]
+    fn compression_handles_overlapping_matches() {
+        // Pure RLE: dist 1, len > dist → overlapping copy.
+        let raw = vec![7u8; 5000];
+        let size = compress_round_trip(&raw);
+        assert!(size < 200);
+    }
+
+    #[test]
+    fn incompressible_blocks_are_stored_raw() {
+        // A SplitMix64 byte stream has no 4-byte repeats to speak of.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut raw = Vec::with_capacity(4096);
+        while raw.len() < 4096 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            raw.extend_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        }
+        let frame = compress_block(&raw);
+        assert_eq!(frame[0], MODE_RAW);
+        assert_eq!(frame.len(), raw.len() + 5);
+        assert_eq!(decompress_block(&frame).unwrap(), raw);
+    }
+
+    #[test]
+    fn corrupt_compressed_frames_error() {
+        assert!(decompress_block(&[]).is_err());
+        assert!(decompress_block(&[MODE_LZ, 0, 0]).is_err());
+        assert!(decompress_block(&[9, 0, 0, 0, 0]).is_err(), "unknown mode");
+        // Stored frame whose payload length disagrees with raw_len.
+        assert!(decompress_block(&[MODE_RAW, 5, 0, 0, 0, 1, 2]).is_err());
+        // Match distance pointing before the start of output.
+        let bad = [MODE_LZ, 4, 0, 0, 0, 0x80, 9, 0];
+        assert!(decompress_block(&bad).is_err());
+        // Token stream that decodes to the wrong length.
+        let short = [MODE_LZ, 9, 0, 0, 0, 0x01, b'a', b'b'];
+        assert!(decompress_block(&short).is_err());
     }
 }

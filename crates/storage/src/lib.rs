@@ -6,12 +6,18 @@
 //! * [`cost`] — a thread-safe tracker of block reads/writes, comparisons and
 //!   hashes plus a calibrated time model (the benchmark harness reports the
 //!   modeled time, see DESIGN.md §2),
-//! * [`codec`] — the row serialization format used by spill files,
+//! * [`codec`] — the row serialization format used by spill files, plus the
+//!   zero-dependency LZ block compressor backends may apply at rest,
 //! * [`colblock`] — columnar row batches: typed per-column lanes with
 //!   validity bitmaps and a row-view shim, the vectorized layout operators
 //!   stream between each other,
-//! * [`spill`] — append-only spill files over an in-memory simulated disk or
-//!   a real temporary file,
+//! * [`backend`] — pluggable spill media behind the
+//!   [`backend::SpillBackend`] adapter trait: in-memory, local temp files,
+//!   or a simulated object store with latency/throughput knobs,
+//! * [`spill`] — append-only spill files over a configured backend, owning
+//!   all block-granular meter charging,
+//! * [`prefetch`] — the async read-ahead pipeline that fetches upcoming
+//!   spill blocks while the current one evaluates,
 //! * [`mem`] — the sort-memory ledger (the paper's `M`),
 //! * [`segstore`] — the spill-backed segment store: a ledger-governed pool
 //!   of row blocks behind [`segstore::SegmentHandle`]s, which is how
@@ -25,23 +31,30 @@
 //! experiments reproduce the paper's I/O behaviour (pass counts, spill
 //! fractions) at laptop scale.
 
+pub mod backend;
 pub mod block;
 pub mod bytebuf;
 pub mod codec;
 pub mod colblock;
 pub mod cost;
 pub mod mem;
+pub mod prefetch;
 pub mod segstore;
 pub mod spill;
 pub mod table;
 
+pub use backend::{
+    BackendCaps, BackendFile, BackendStats, LocalFileBackend, MemBackend, ObjectStoreBackend,
+    ObjectStoreConfig, SpillBackend, SpillBackendKind, SpillConfig,
+};
 pub use block::{blocks_for_bytes, BLOCK_SIZE};
 pub use colblock::{Bitmap, ColumnVec, RowBatch};
 pub use cost::{CostSnapshot, CostTracker, CostWeights, PoolCounters};
 pub use mem::MemoryLedger;
+pub use prefetch::Prefetcher;
 pub use segstore::{
     ResidencyHold, RingCharge, SegmentBuilder, SegmentHandle, SegmentReader, SegmentStore,
     StoreSnapshot,
 };
-pub use spill::{FileStore, IoMeter, SimStore, SpillFile, SpillMedium, SpillReader, SpillStore};
+pub use spill::{IoMeter, SpillFile, SpillMedium, SpillReader};
 pub use table::Table;

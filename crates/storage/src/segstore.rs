@@ -24,6 +24,7 @@
 //!   an SS unit) register the buffer with [`SegmentStore::hold`], so forced
 //!   over-budget residency is visible in the same high-water mark.
 
+use crate::backend::SpillConfig;
 use crate::block::blocks_for_bytes;
 use crate::colblock::RowBatch;
 use crate::cost::PoolCounters;
@@ -93,7 +94,10 @@ pub struct SegmentStore {
     /// Pool budget in bytes; `None` means unbounded (the pre-store pipeline:
     /// every segment stays resident and nothing ever pool-spills).
     budget: Option<usize>,
-    medium: SpillMedium,
+    /// Backend + compression + read-ahead configuration for pool spill
+    /// files. Shared (cloned) into every sub-account, so one store's whole
+    /// tree reports into the same backend counters.
+    spill: SpillConfig,
     pool_io: Arc<PoolCounters>,
     state: Mutex<PoolState>,
     /// Set only on accounts created by [`SegmentStore::pooled_sub_store`]:
@@ -111,16 +115,28 @@ pub struct SegmentStore {
 }
 
 impl SegmentStore {
-    /// A store with the given pool budget in blocks (`None` = unbounded).
+    /// A store with the given pool budget in blocks (`None` = unbounded)
+    /// on the legacy two-way medium selector.
     pub fn new(budget_blocks: Option<u64>, medium: SpillMedium) -> Arc<Self> {
+        Self::with_spill(budget_blocks, medium.config())
+    }
+
+    /// A store with the given pool budget in blocks (`None` = unbounded)
+    /// spilling through the given backend configuration.
+    pub fn with_spill(budget_blocks: Option<u64>, spill: SpillConfig) -> Arc<Self> {
         Arc::new(SegmentStore {
             budget: budget_blocks.map(|b| b as usize * crate::block::BLOCK_SIZE),
-            medium,
+            spill,
             pool_io: Arc::new(PoolCounters::new()),
             state: Mutex::new(PoolState::default()),
             parent: None,
             trace: Mutex::new(TraceSink::disabled()),
         })
+    }
+
+    /// The spill configuration this store (and its sub-accounts) use.
+    pub fn spill_config(&self) -> &SpillConfig {
+        &self.spill
     }
 
     /// Attach a span recorder; pool spill-outs record `spill` spans on it.
@@ -231,7 +247,7 @@ impl SegmentStore {
         };
         Arc::new(SegmentStore {
             budget,
-            medium: self.medium,
+            spill: self.spill.clone(),
             pool_io: Arc::clone(&self.pool_io),
             state: Mutex::new(PoolState::default()),
             parent: None,
@@ -261,7 +277,7 @@ impl SegmentStore {
     pub fn pooled_sub_store(self: &Arc<Self>, budget_blocks: Option<u64>) -> Arc<SegmentStore> {
         Arc::new(SegmentStore {
             budget: budget_blocks.map(|b| b.max(1) as usize * crate::block::BLOCK_SIZE),
-            medium: self.medium,
+            spill: self.spill.clone(),
             pool_io: Arc::clone(&self.pool_io),
             state: Mutex::new(PoolState::default()),
             parent: Some(Arc::clone(self)),
@@ -485,10 +501,8 @@ impl SegmentBuilder {
         let buffered = self.rows.len();
         let trace = self.store.trace();
         let _span = trace.span_with("spill", || format!("pool.spill_out prefix_rows={buffered}"));
-        let mut file = SpillFile::create_metered(
-            self.store.medium,
-            IoMeter::Pool(self.store.pool_io.clone()),
-        )?;
+        let mut file =
+            SpillFile::with_config(&self.store.spill, IoMeter::Pool(self.store.pool_io.clone()))?;
         for r in self.rows.drain(..) {
             file.push(&r)?;
         }

@@ -2,140 +2,34 @@
 //!
 //! Sorted runs (Full Sort), spilled hash buckets (Hashed Sort) and oversized
 //! segment units (Segmented Sort) all live in spill files. A [`SpillFile`]
-//! buffers encoded rows and writes whole blocks to a [`SpillStore`],
-//! charging the shared [`CostTracker`]; a [`SpillReader`] streams them back,
-//! charging reads the same way.
+//! buffers encoded rows and writes whole logical blocks to a pluggable
+//! [`SpillBackend`](crate::backend::SpillBackend), charging the shared
+//! [`CostTracker`]; a [`SpillReader`] streams them back, charging reads the
+//! same way.
 //!
-//! Two stores are provided: [`SimStore`] (an in-memory simulated device —
-//! the default for benchmarks, where only the *counts* matter) and
-//! [`FileStore`] (a real temporary file, for integration tests that want to
-//! exercise the OS path).
+//! The charging layer lives entirely here and is expressed in *logical*
+//! uncompressed [`BLOCK_SIZE`] blocks. Everything physical — which medium
+//! holds the bytes ([`crate::backend`]), whether blocks are compressed at
+//! rest ([`crate::codec::compress_block`]), and whether reads are served by
+//! the async read-ahead pipeline ([`crate::prefetch`]) — happens below this
+//! line and therefore cannot change modeled or pool counters, only wall
+//! time.
 
+use crate::backend::{BackendFile, SpillConfig};
 use crate::block::{blocks_for_bytes, BLOCK_SIZE};
 use crate::bytebuf::ByteBuf;
-use crate::codec::{decode_keyed_row, decode_row, encode_keyed_row, encode_row};
+use crate::codec::{
+    compress_block, decode_keyed_row, decode_row, decompress_block, encode_keyed_row, encode_row,
+};
 use crate::cost::{CostTracker, PoolCounters};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::prefetch::Prefetcher;
 use std::sync::Arc;
 use wf_common::{Error, Result, Row};
 
-/// Backing device for spill data.
-pub trait SpillStore: Send {
-    /// Append bytes to the store.
-    fn append(&mut self, data: &[u8]) -> Result<()>;
-    /// Read `buf.len()` bytes starting at `offset`; short reads are errors.
-    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize>;
-    /// Total bytes stored.
-    fn len(&self) -> u64;
-    /// True when nothing has been written.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-/// In-memory simulated device.
-#[derive(Debug, Default)]
-pub struct SimStore {
-    data: Vec<u8>,
-}
-
-impl SimStore {
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl SpillStore for SimStore {
-    fn append(&mut self, data: &[u8]) -> Result<()> {
-        self.data.extend_from_slice(data);
-        Ok(())
-    }
-
-    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize> {
-        let start = offset as usize;
-        let end = (start + buf.len()).min(self.data.len());
-        if start > self.data.len() {
-            return Err(Error::Execution("spill read past end".into()));
-        }
-        let n = end - start;
-        buf[..n].copy_from_slice(&self.data[start..end]);
-        Ok(n)
-    }
-
-    fn len(&self) -> u64 {
-        self.data.len() as u64
-    }
-}
-
-static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-/// A real temporary file, removed on drop.
-#[derive(Debug)]
-pub struct FileStore {
-    file: File,
-    path: PathBuf,
-    len: u64,
-}
-
-impl FileStore {
-    /// Create a fresh temp file under the OS temp dir.
-    pub fn new() -> Result<Self> {
-        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path =
-            std::env::temp_dir().join(format!("wfopt-spill-{}-{}.tmp", std::process::id(), n));
-        let file = OpenOptions::new()
-            .create_new(true)
-            .read(true)
-            .write(true)
-            .open(&path)
-            .map_err(|e| Error::Execution(format!("create spill file: {e}")))?;
-        Ok(FileStore { file, path, len: 0 })
-    }
-}
-
-impl SpillStore for FileStore {
-    fn append(&mut self, data: &[u8]) -> Result<()> {
-        self.file
-            .seek(SeekFrom::End(0))
-            .and_then(|_| self.file.write_all(data))
-            .map_err(|e| Error::Execution(format!("spill write: {e}")))?;
-        self.len += data.len() as u64;
-        Ok(())
-    }
-
-    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize> {
-        self.file
-            .seek(SeekFrom::Start(offset))
-            .map_err(|e| Error::Execution(format!("spill seek: {e}")))?;
-        let mut total = 0;
-        while total < buf.len() {
-            let n = self
-                .file
-                .read(&mut buf[total..])
-                .map_err(|e| Error::Execution(format!("spill read: {e}")))?;
-            if n == 0 {
-                break;
-            }
-            total += n;
-        }
-        Ok(total)
-    }
-
-    fn len(&self) -> u64 {
-        self.len
-    }
-}
-
-impl Drop for FileStore {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
-    }
-}
-
-/// Which store spill files should use.
+/// Which store spill files should use — the legacy two-way selector, kept
+/// for call sites that predate [`SpillConfig`]. `Simulated` maps to the
+/// in-memory backend, `TempFile` to real local files; neither compresses
+/// nor prefetches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SpillMedium {
     /// In-memory simulated device (default; counts are what matter).
@@ -145,11 +39,15 @@ pub enum SpillMedium {
     TempFile,
 }
 
-fn make_store(medium: SpillMedium) -> Result<Box<dyn SpillStore>> {
-    Ok(match medium {
-        SpillMedium::Simulated => Box::new(SimStore::new()),
-        SpillMedium::TempFile => Box::new(FileStore::new()?),
-    })
+impl SpillMedium {
+    /// The equivalent full [`SpillConfig`] (fresh backend, no compression,
+    /// no read-ahead).
+    pub fn config(self) -> SpillConfig {
+        match self {
+            SpillMedium::Simulated => SpillConfig::mem(),
+            SpillMedium::TempFile => SpillConfig::file(),
+        }
+    }
 }
 
 /// Where a spill file's block traffic is charged.
@@ -185,7 +83,8 @@ impl IoMeter {
 }
 
 /// Writer for one spill file. Rows are encoded into a block-sized buffer and
-/// written out block by block; every block write is charged to the meter.
+/// written out block by block; every logical block write is charged to the
+/// meter (compression may shrink the physical payload, never the charge).
 ///
 /// A file is either *plain* ([`Self::push`]) or *key-carrying*
 /// ([`Self::push_keyed`]) — the two entry formats cannot mix. Key-carrying
@@ -194,16 +93,21 @@ impl IoMeter {
 /// charged against **modeled bytes** (the row-codec size alone), keeping
 /// block counts bit-identical to a plain file holding the same rows.
 pub struct SpillFile {
-    store: Box<dyn SpillStore>,
+    file: Box<dyn BackendFile>,
     buffer: ByteBuf,
     meter: IoMeter,
     rows: u64,
+    /// Logical (uncompressed) bytes flushed so far.
     bytes: u64,
     keyed: bool,
     /// Row-codec bytes appended (excludes keyed framing); the charging basis
     /// for key-carrying files.
     modeled_bytes: u64,
     charged_writes: u64,
+    /// Compress blocks at rest (already negotiated against the backend).
+    compress: bool,
+    /// Read-ahead depth the reader should use.
+    prefetch: usize,
 }
 
 impl SpillFile {
@@ -212,10 +116,16 @@ impl SpillFile {
         Self::create_metered(medium, IoMeter::Model(tracker))
     }
 
-    /// Create a spill file charging the given meter.
+    /// Create a spill file on the given medium charging the given meter.
     pub fn create_metered(medium: SpillMedium, meter: IoMeter) -> Result<Self> {
+        Self::with_config(&medium.config(), meter)
+    }
+
+    /// Create a spill file on a configured backend, with the config's
+    /// compression (post-negotiation) and read-ahead settings.
+    pub fn with_config(cfg: &SpillConfig, meter: IoMeter) -> Result<Self> {
         Ok(SpillFile {
-            store: make_store(medium)?,
+            file: cfg.backend.open()?,
             buffer: ByteBuf::with_capacity(2 * BLOCK_SIZE),
             meter,
             rows: 0,
@@ -223,7 +133,19 @@ impl SpillFile {
             keyed: false,
             modeled_bytes: 0,
             charged_writes: 0,
+            compress: cfg.effective_compress(),
+            prefetch: cfg.prefetch_blocks,
         })
+    }
+
+    /// Hand one logical block to the backend, compressing at rest when
+    /// negotiated. Charging happens at the call sites, in logical blocks.
+    fn write_physical(&mut self, block: &[u8]) -> Result<()> {
+        if self.compress {
+            self.file.append_block(&compress_block(block))
+        } else {
+            self.file.append_block(block)
+        }
     }
 
     /// Append one row.
@@ -234,7 +156,7 @@ impl SpillFile {
         self.modeled_bytes += row.encoded_len() as u64;
         while self.buffer.len() >= BLOCK_SIZE {
             let block = self.buffer.split_to(BLOCK_SIZE);
-            self.store.append(&block)?;
+            self.write_physical(&block)?;
             self.meter.write_blocks(1);
             self.bytes += BLOCK_SIZE as u64;
         }
@@ -258,7 +180,7 @@ impl SpillFile {
         self.modeled_bytes += row.encoded_len() as u64;
         while self.buffer.len() >= BLOCK_SIZE {
             let block = self.buffer.split_to(BLOCK_SIZE);
-            self.store.append(&block)?;
+            self.write_physical(&block)?;
             self.bytes += BLOCK_SIZE as u64;
         }
         let due = self.modeled_bytes / BLOCK_SIZE as u64;
@@ -275,15 +197,17 @@ impl SpillFile {
     }
 
     /// Finish writing, flushing the trailing partial block, and return a
-    /// reader positioned at the start.
+    /// reader positioned at the start. The reader reads back through the
+    /// same backend handle — dropping it (including on the abort paths:
+    /// cancel, timeout, error unwind) deletes the underlying storage.
     pub fn into_reader(mut self) -> Result<SpillReader> {
         if !self.buffer.is_empty() {
-            self.store.append(self.buffer.as_slice())?;
+            let block = self.buffer.split_to(self.buffer.len());
+            self.write_physical(&block)?;
             if !self.keyed {
                 self.meter.write_blocks(1);
             }
-            self.bytes += self.buffer.len() as u64;
-            self.buffer.clear();
+            self.bytes += block.len() as u64;
         }
         if self.keyed {
             // Settle the trailing partial modeled block.
@@ -293,8 +217,28 @@ impl SpillFile {
                 self.charged_writes = due;
             }
         }
+        let blocks = self.file.block_count();
+        // Read-ahead only pays off with something to read ahead *to*; a
+        // single-block file is served directly, without spinning up threads.
+        let source = if self.prefetch > 0 && blocks > 1 {
+            let file: Arc<dyn BackendFile> = Arc::from(self.file);
+            let counters = Arc::clone(file.counters());
+            BlockSource::Prefetch(Prefetcher::new(
+                file,
+                blocks,
+                self.prefetch,
+                self.compress,
+                counters,
+            ))
+        } else {
+            BlockSource::Direct {
+                file: self.file,
+                next: 0,
+                decompress: self.compress,
+            }
+        };
         Ok(SpillReader {
-            store: self.store,
+            source,
             meter: self.meter,
             offset: 0,
             total: self.bytes,
@@ -308,11 +252,46 @@ impl SpillFile {
     }
 }
 
-/// Streaming reader over a finished spill file.
+/// How a reader obtains the next decompressed logical block: a synchronous
+/// cold read per block, or the async read-ahead pipeline.
+enum BlockSource {
+    Direct {
+        file: Box<dyn BackendFile>,
+        next: u64,
+        decompress: bool,
+    },
+    Prefetch(Prefetcher),
+}
+
+impl BlockSource {
+    fn next_block(&mut self) -> Result<Vec<u8>> {
+        match self {
+            BlockSource::Direct {
+                file,
+                next,
+                decompress,
+            } => {
+                let payload = file.read_block(*next)?;
+                *next += 1;
+                if *decompress {
+                    decompress_block(&payload)
+                } else {
+                    Ok(payload)
+                }
+            }
+            BlockSource::Prefetch(pf) => pf.next_block(),
+        }
+    }
+}
+
+/// Streaming reader over a finished spill file. Owns the backend handle;
+/// drop deletes the underlying storage.
 pub struct SpillReader {
-    store: Box<dyn SpillStore>,
+    source: BlockSource,
     meter: IoMeter,
+    /// Logical bytes consumed from the backend so far.
     offset: u64,
+    /// Total logical bytes in the file.
     total: u64,
     pending: ByteBuf,
     remaining_rows: u64,
@@ -379,26 +358,26 @@ impl SpillReader {
         }
     }
 
-    /// Top up the pending buffer with one physical block, optionally
+    /// Top up the pending buffer with one logical block, optionally
     /// charging the meter (key-carrying files charge by modeled bytes in
-    /// the decode loop instead).
+    /// the decode loop instead). Charging happens here — at consumption —
+    /// whether the block came from a cold read or was already prefetched,
+    /// which is what keeps counters identical across read pipelines.
     fn fill_pending(&mut self, charge: bool) -> Result<()> {
         if self.offset >= self.total {
             return Err(Error::Execution(
                 "spill file ended with rows still expected".into(),
             ));
         }
-        let want = BLOCK_SIZE.min((self.total - self.offset) as usize);
-        let mut block = vec![0u8; want];
-        let n = self.store.read_at(self.offset, &mut block)?;
-        if n == 0 {
+        let block = self.source.next_block()?;
+        if block.is_empty() {
             return Err(Error::Execution("short read from spill store".into()));
         }
-        self.offset += n as u64;
+        self.offset += block.len() as u64;
         if charge {
             self.meter.read_blocks(1);
         }
-        self.pending.extend_from_slice(&block[..n]);
+        self.pending.extend_from_slice(&block);
         Ok(())
     }
 
@@ -449,14 +428,19 @@ impl SpillReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{LocalFileBackend, ObjectStoreConfig, SpillBackendKind};
     use wf_common::row;
 
-    fn spill_round_trip(medium: SpillMedium, n: usize) {
-        let tracker = Arc::new(CostTracker::new());
-        let mut f = SpillFile::create(medium, Arc::clone(&tracker)).unwrap();
-        let rows: Vec<Row> = (0..n)
+    fn sample_rows(n: usize) -> Vec<Row> {
+        (0..n)
             .map(|i| row![i as i64, format!("value-{i}"), (i as f64) * 0.5])
-            .collect();
+            .collect()
+    }
+
+    fn spill_round_trip_cfg(cfg: &SpillConfig, n: usize) {
+        let tracker = Arc::new(CostTracker::new());
+        let mut f = SpillFile::with_config(cfg, IoMeter::Model(Arc::clone(&tracker))).unwrap();
+        let rows = sample_rows(n);
         for r in &rows {
             f.push(r).unwrap();
         }
@@ -478,17 +462,49 @@ mod tests {
 
     #[test]
     fn sim_store_round_trip_small() {
-        spill_round_trip(SpillMedium::Simulated, 10);
+        spill_round_trip_cfg(&SpillConfig::mem(), 10);
     }
 
     #[test]
     fn sim_store_round_trip_multi_block() {
-        spill_round_trip(SpillMedium::Simulated, 2000);
+        spill_round_trip_cfg(&SpillConfig::mem(), 2000);
     }
 
     #[test]
     fn file_store_round_trip() {
-        spill_round_trip(SpillMedium::TempFile, 500);
+        spill_round_trip_cfg(&SpillConfig::file(), 500);
+    }
+
+    #[test]
+    fn every_backend_compression_prefetch_combo_round_trips_identically() {
+        // The tentpole invariant at its smallest: same rows, same charged
+        // blocks, regardless of backend, compression, or read-ahead.
+        for kind in [
+            SpillBackendKind::Mem,
+            SpillBackendKind::File,
+            SpillBackendKind::ObjectStore(ObjectStoreConfig::default()),
+        ] {
+            for compress in [false, true] {
+                for prefetch in [0usize, 2] {
+                    let cfg = SpillConfig::of_kind(kind)
+                        .with_compress(compress)
+                        .with_prefetch(prefetch);
+                    spill_round_trip_cfg(&cfg, 1200);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_file_shrinks_physical_bytes_but_not_charges() {
+        let cfg = SpillConfig::file().with_compress(true);
+        assert!(cfg.effective_compress());
+        spill_round_trip_cfg(&cfg, 3000);
+        let s = cfg.stats();
+        assert!(s.put_requests > 1);
+        // "value-{i}" rows are repetitive; at-rest bytes must shrink well
+        // below the logical volume the meter charged for.
+        assert!(s.bytes_written < s.put_requests * BLOCK_SIZE as u64 / 2);
     }
 
     #[test]
@@ -540,9 +556,7 @@ mod tests {
     #[test]
     fn keyed_spill_charges_modeled_blocks_exactly_like_plain() {
         // Keys inflate the physical file but must not change charged I/O.
-        let rows: Vec<Row> = (0..3000)
-            .map(|i| row![i as i64, format!("value-{i}"), (i as f64) * 0.5])
-            .collect();
+        let rows = sample_rows(3000);
         let plain = Arc::new(CostTracker::new());
         let mut pf = SpillFile::create(SpillMedium::Simulated, Arc::clone(&plain)).unwrap();
         for r in &rows {
@@ -586,12 +600,70 @@ mod tests {
         assert_eq!(s.blocks_read, 1);
     }
 
+    fn temp_spill_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wfopt-spilltest-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
-    fn file_store_removes_file_on_drop() {
-        let store = FileStore::new().unwrap();
-        let path = store.path.clone();
-        assert!(path.exists());
-        drop(store);
-        assert!(!path.exists());
+    fn spill_file_is_removed_when_reader_drops() {
+        let dir = temp_spill_dir("reader-drop");
+        let cfg = SpillConfig {
+            backend: LocalFileBackend::in_dir(dir.clone()),
+            compress: false,
+            prefetch_blocks: 0,
+        };
+        let tracker = Arc::new(CostTracker::new());
+        let mut f = SpillFile::with_config(&cfg, IoMeter::Model(tracker)).unwrap();
+        for r in sample_rows(1000) {
+            f.push(&r).unwrap();
+        }
+        let mut reader = f.into_reader().unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        // Simulate an aborted query: drop mid-stream, before EOF.
+        reader.next_row().unwrap().unwrap();
+        drop(reader);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spill_file_is_removed_when_prefetching_reader_drops() {
+        let dir = temp_spill_dir("prefetch-drop");
+        let cfg = SpillConfig {
+            backend: LocalFileBackend::in_dir(dir.clone()),
+            compress: true,
+            prefetch_blocks: 2,
+        };
+        let tracker = Arc::new(CostTracker::new());
+        let mut f = SpillFile::with_config(&cfg, IoMeter::Model(tracker)).unwrap();
+        for r in sample_rows(2000) {
+            f.push(&r).unwrap();
+        }
+        let mut reader = f.into_reader().unwrap();
+        reader.next_row().unwrap().unwrap();
+        drop(reader); // joins the prefetch workers, then deletes the file
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_drop_before_reader_deletes_file() {
+        let dir = temp_spill_dir("writer-drop");
+        let cfg = SpillConfig {
+            backend: LocalFileBackend::in_dir(dir.clone()),
+            compress: false,
+            prefetch_blocks: 0,
+        };
+        let tracker = Arc::new(CostTracker::new());
+        let mut f = SpillFile::with_config(&cfg, IoMeter::Model(tracker)).unwrap();
+        for r in sample_rows(100) {
+            f.push(&r).unwrap();
+        }
+        drop(f); // aborted before into_reader
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -38,8 +38,7 @@ use wf_core::planner::{optimize, Scheme};
 use wf_core::query::WindowQuery;
 use wf_core::runtime::{explain_analyze, project, ExecEnv, ExecReport};
 use wf_sql::{parse_window_query, Catalog};
-use wf_storage::spill::SpillMedium;
-use wf_storage::{SegmentStore, StoreSnapshot, Table};
+use wf_storage::{BackendStats, SegmentStore, SpillBackendKind, SpillConfig, StoreSnapshot, Table};
 
 /// Builder for a [`Database`]: planning scheme, the global memory pool, and
 /// the admission-control knobs.
@@ -63,6 +62,9 @@ pub struct DatabaseConfig {
     queue_depth: Option<usize>,
     worker_threads: Option<usize>,
     queue_timeout: Option<Duration>,
+    spill_backend: Option<SpillBackendKind>,
+    compress_spill: Option<bool>,
+    prefetch_blocks: Option<usize>,
 }
 
 impl Default for DatabaseConfig {
@@ -78,6 +80,9 @@ impl Default for DatabaseConfig {
             queue_depth: None,
             worker_threads: None,
             queue_timeout: None,
+            spill_backend: None,
+            compress_spill: None,
+            prefetch_blocks: None,
         }
     }
 }
@@ -139,6 +144,30 @@ impl DatabaseConfig {
         self
     }
 
+    /// Spill backend for every query's spill traffic (sort runs, hash
+    /// buckets, pool overflow). Unset, the backend comes from the
+    /// `WF_SPILL_BACKEND` environment variable (in-memory by default).
+    /// Rows and all counters are invariant under this knob.
+    pub fn spill_backend(mut self, kind: SpillBackendKind) -> Self {
+        self.spill_backend = Some(kind);
+        self
+    }
+
+    /// Request block compression at rest for spill files (applied only on
+    /// backends whose medium benefits — local files and the object store;
+    /// the in-memory backend declines). Unset, follows `WF_SPILL_COMPRESS`.
+    pub fn compress_spill(mut self, compress: bool) -> Self {
+        self.compress_spill = Some(compress);
+        self
+    }
+
+    /// Read-ahead depth in blocks for spill read-back (`0` = synchronous
+    /// cold reads). Unset, follows `WF_PREFETCH_BLOCKS`.
+    pub fn prefetch_blocks(mut self, blocks: usize) -> Self {
+        self.prefetch_blocks = Some(blocks);
+        self
+    }
+
     /// The per-query budget this config resolves to.
     pub fn resolved_per_query_blocks(&self) -> u64 {
         self.per_query_blocks
@@ -150,9 +179,30 @@ impl DatabaseConfig {
         self.queue_depth.unwrap_or(self.max_concurrent)
     }
 
+    /// The live [`SpillConfig`] this config resolves to: environment
+    /// defaults (`WF_SPILL_BACKEND` / `WF_SPILL_COMPRESS` /
+    /// `WF_PREFETCH_BLOCKS`) with the explicit builder knobs layered on
+    /// top. Each call builds a fresh backend (fresh traffic counters).
+    pub fn resolved_spill_config(&self) -> SpillConfig {
+        let env = SpillConfig::from_env();
+        let mut cfg = match self.spill_backend {
+            Some(kind) => SpillConfig::of_kind(kind)
+                .with_compress(env.compress)
+                .with_prefetch(env.prefetch_blocks),
+            None => env,
+        };
+        if let Some(compress) = self.compress_spill {
+            cfg = cfg.with_compress(compress);
+        }
+        if let Some(prefetch) = self.prefetch_blocks {
+            cfg = cfg.with_prefetch(prefetch);
+        }
+        cfg
+    }
+
     /// Open an (empty) database with this configuration.
     pub fn open(self) -> Database {
-        let pool = SegmentStore::new(Some(self.memory_blocks), SpillMedium::Simulated);
+        let pool = SegmentStore::with_spill(Some(self.memory_blocks), self.resolved_spill_config());
         let governor = QueryGovernor::new(
             Arc::clone(&pool),
             AdmissionConfig {
@@ -282,6 +332,19 @@ impl Database {
     /// Admission counters (admitted/queued/rejected, queue waits, …).
     pub fn admission_stats(&self) -> AdmissionStats {
         self.inner.governor.stats()
+    }
+
+    /// The live spill configuration (backend, compression, read-ahead)
+    /// shared by every query of this database.
+    pub fn spill_config(&self) -> &SpillConfig {
+        self.inner.governor.pool().spill_config()
+    }
+
+    /// Spill-backend traffic across all queries: physical requests and
+    /// bytes plus prefetch hit/miss counts. Informational — never part of
+    /// modeled time or pool counters.
+    pub fn spill_stats(&self) -> BackendStats {
+        self.spill_config().stats()
     }
 
     /// Register (or replace) a table; statistics are computed eagerly.

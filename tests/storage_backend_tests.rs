@@ -1,0 +1,279 @@
+//! The spill-backend invariant, end to end: for one plan at one memory
+//! budget, every backend (in-memory, local file, simulated object store) ×
+//! compression {off, on} × read-ahead {0, 2} must produce **bit-identical
+//! rows, modeled counters, and pool counters**. Backends live entirely
+//! below the charging layer, so only wall time — and the informational
+//! backend traffic stats — may differ.
+//!
+//! Plus: property round-trips of the block compressor over
+//! SplitMix64-generated row payloads, and the delete-on-drop guarantee for
+//! aborted queries.
+
+mod common;
+
+use common::random_table;
+use wfopt::core::spec::WindowSpec;
+use wfopt::prelude::*;
+use wfopt::storage::bytebuf::ByteBuf;
+use wfopt::storage::codec::{
+    compress_block, decode_keyed_row, decode_row, decompress_block, encode_keyed_row, encode_row,
+};
+use wfopt::storage::{LocalFileBackend, StoreSnapshot};
+
+fn spec(name: &str, wpk: &[usize], wok: &[usize]) -> WindowSpec {
+    WindowSpec::rank(
+        name,
+        wpk.iter().map(|&i| AttrId::new(i)).collect(),
+        SortSpec::new(wok.iter().map(|&i| OrdElem::asc(AttrId::new(i))).collect()),
+    )
+}
+
+/// Everything a backend is *not* allowed to change about an execution.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    rows: Vec<Row>,
+    modeled: (u64, u64, u64, u64, u64),
+    pool: (u64, u64, u64, u64, u64),
+}
+
+fn pool_counters(s: &StoreSnapshot) -> (u64, u64, u64, u64, u64) {
+    (
+        s.spilled_segments,
+        s.spill_blocks_written,
+        s.spill_blocks_read,
+        s.peak_resident_blocks(),
+        s.peak_resident_rows as u64,
+    )
+}
+
+fn run(table: &Table, mem_blocks: u64, spill: SpillConfig) -> Observables {
+    let query = WindowQuery::new(
+        table.schema().clone(),
+        vec![spec("r1", &[1], &[2]), spec("r2", &[], &[2, 1])],
+    );
+    let stats = TableStats::from_table(table);
+    let env = ExecEnv::with_memory_blocks(mem_blocks).with_spill(spill);
+    let plan = optimize(&query, &stats, Scheme::Cso, &env).unwrap();
+    let report = execute_plan(&plan, table, &env).unwrap();
+    Observables {
+        rows: report.table.rows().to_vec(),
+        modeled: report.work.modeled_counters(),
+        pool: pool_counters(&env.store_snapshot()),
+    }
+}
+
+#[test]
+fn backends_compression_and_prefetch_are_counter_invisible() {
+    let table = random_table(6_000, &[40, 900], 7);
+    for m in [1u64, 2, 256] {
+        // Reference: the default configuration (in-memory, raw, cold reads).
+        let reference = run(&table, m, SpillConfig::mem());
+        assert!(
+            !reference.rows.is_empty(),
+            "M={m}: reference produced no rows"
+        );
+        for kind in [
+            SpillBackendKind::Mem,
+            SpillBackendKind::File,
+            SpillBackendKind::ObjectStore(ObjectStoreConfig::default()),
+        ] {
+            for compress in [false, true] {
+                for prefetch in [0usize, 2] {
+                    let cfg = SpillConfig::of_kind(kind)
+                        .with_compress(compress)
+                        .with_prefetch(prefetch);
+                    let got = run(&table, m, cfg);
+                    assert_eq!(
+                        got, reference,
+                        "M={m} kind={kind:?} compress={compress} prefetch={prefetch}: \
+                         rows/modeled/pool counters must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spilling_config_reports_backend_traffic() {
+    let table = random_table(6_000, &[40, 900], 7);
+    let cfg = SpillConfig::of_kind(SpillBackendKind::File)
+        .with_compress(true)
+        .with_prefetch(2);
+    run(&table, 1, cfg.clone());
+    let s = cfg.stats();
+    assert_eq!(s.backend, "file");
+    assert!(s.put_requests > 0, "M=1 must spill");
+    assert!(s.get_requests > 0);
+    assert!(s.delete_requests > 0, "every spill file must be deleted");
+    assert!(
+        s.prefetch_hits + s.prefetch_misses > 0,
+        "prefetch depth 2 must route multi-block reads through the pipeline"
+    );
+    // Compression is on and the payload is repetitive integer rows: the
+    // at-rest bytes must undercut the logical block volume.
+    assert!(s.bytes_written < s.put_requests * wfopt::storage::BLOCK_SIZE as u64);
+}
+
+#[test]
+fn mem_backend_declines_compression() {
+    let cfg = SpillConfig::mem().with_compress(true);
+    assert!(!cfg.effective_compress());
+    let table = random_table(3_000, &[25, 500], 11);
+    run(&table, 1, cfg.clone());
+    let s = cfg.stats();
+    // Declined negotiation = raw blocks: every full block is exactly
+    // BLOCK_SIZE physical bytes, so volume ≥ (puts - files) full blocks.
+    assert!(s.put_requests > 0);
+    assert!(s.bytes_written > (s.put_requests.saturating_sub(s.delete_requests)) * 4096);
+}
+
+#[test]
+fn aborted_queries_leave_no_spill_files_behind() {
+    let dir = std::env::temp_dir().join(format!("wfopt-abort-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = SpillConfig {
+        backend: LocalFileBackend::in_dir(dir.clone()),
+        compress: false,
+        prefetch_blocks: 2,
+    };
+    // A canceled session: admission fails before execution, but the spill
+    // machinery of a previously-started run must still have cleaned up.
+    let db = DatabaseConfig::new()
+        .memory_blocks(8)
+        .max_concurrent(1)
+        .per_query_blocks(1)
+        .open();
+    let table = random_table(4_000, &[30], 3);
+    db.register("t", table).unwrap();
+    // Run one spilling query through a store on the private dir directly.
+    let t2 = random_table(4_000, &[30, 700], 3);
+    run(&t2, 1, cfg.clone());
+    assert!(cfg.stats().put_requests > 0, "the run must have spilled");
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        0,
+        "all spill files must be deleted once readers drop"
+    );
+    // Cancellation before execution must not leak either.
+    let token = CancelToken::new();
+    token.cancel();
+    let session = db.session().with_cancel(token);
+    assert!(session
+        .query("SELECT *, rank() OVER (PARTITION BY c0 ORDER BY id) AS r FROM t")
+        .is_err());
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Codec property tests (SplitMix64-driven)
+// ---------------------------------------------------------------------------
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn random_row(rng: &mut SplitMix64) -> Row {
+    let arity = (rng.next() % 6) as usize;
+    let values = (0..arity)
+        .map(|_| match rng.next() % 4 {
+            0 => Value::Null,
+            1 => Value::Int(rng.next() as i64),
+            2 => Value::Float(f64::from_bits(rng.next() % (1 << 62))),
+            _ => {
+                let len = (rng.next() % 40) as usize;
+                Value::str(
+                    (0..len)
+                        .map(|_| char::from(b'a' + (rng.next() % 26) as u8))
+                        .collect::<String>(),
+                )
+            }
+        })
+        .collect();
+    Row::new(values)
+}
+
+#[test]
+fn compressed_row_blocks_round_trip() {
+    let mut rng = SplitMix64(0xC0FFEE);
+    for trial in 0..50 {
+        let rows: Vec<Row> = (0..(rng.next() % 200))
+            .map(|_| random_row(&mut rng))
+            .collect();
+        let mut buf = ByteBuf::new();
+        for r in &rows {
+            encode_row(r, &mut buf);
+        }
+        let frame = compress_block(buf.as_slice());
+        let raw = decompress_block(&frame).unwrap();
+        assert_eq!(raw, buf.as_slice(), "trial {trial}: payload mismatch");
+        let mut cursor: &[u8] = &raw;
+        for r in &rows {
+            assert_eq!(&decode_row(&mut cursor).unwrap(), r, "trial {trial}");
+        }
+        assert!(cursor.is_empty());
+    }
+}
+
+#[test]
+fn compressed_keyed_blocks_round_trip() {
+    let mut rng = SplitMix64(0xBEEF);
+    for trial in 0..30 {
+        let entries: Vec<(Option<Vec<u8>>, Row)> = (0..(rng.next() % 120))
+            .map(|_| {
+                let key = if rng.next().is_multiple_of(5) {
+                    None
+                } else {
+                    let len = (rng.next() % 24) as usize;
+                    Some((0..len).map(|_| rng.next() as u8).collect())
+                };
+                (key, random_row(&mut rng))
+            })
+            .collect();
+        let mut buf = ByteBuf::new();
+        for (k, r) in &entries {
+            encode_keyed_row(k.as_deref(), r, &mut buf);
+        }
+        let raw = decompress_block(&compress_block(buf.as_slice())).unwrap();
+        let mut cursor: &[u8] = &raw;
+        for (k, r) in &entries {
+            let (bk, br) = decode_keyed_row(&mut cursor).unwrap();
+            assert_eq!((&bk, &br), (k, r), "trial {trial}");
+        }
+        assert!(cursor.is_empty());
+    }
+}
+
+#[test]
+fn database_spill_knobs_flow_into_stats() {
+    let db = DatabaseConfig::new()
+        .memory_blocks(8)
+        .max_concurrent(1)
+        .per_query_blocks(1)
+        .spill_backend(SpillBackendKind::ObjectStore(ObjectStoreConfig::default()))
+        .compress_spill(true)
+        .prefetch_blocks(2)
+        .open();
+    let table = random_table(4_000, &[30], 5);
+    db.register("t", table).unwrap();
+    let out = db
+        .session()
+        .query("SELECT *, rank() OVER (PARTITION BY c0 ORDER BY id) AS r FROM t")
+        .unwrap();
+    assert_eq!(out.row_count(), 4_000);
+    let s = db.spill_stats();
+    assert_eq!(s.backend, "objectstore");
+    assert!(s.put_requests > 0, "M=1 must spill");
+    assert_eq!(s.put_requests, s.get_requests);
+    assert!(s.prefetch_hits + s.prefetch_misses > 0);
+    assert!(db.spill_config().effective_compress());
+}
